@@ -1,0 +1,40 @@
+//! # `prom-baselines` — drift-detection baselines for the Fig. 10 comparison
+//!
+//! The Prom paper compares against three families of prior work:
+//!
+//! * [`naive_cp::NaiveCp`] — a plain split-conformal detector in the style
+//!   of the MAPIE and PUNCC libraries: full calibration set, a single LAC
+//!   nonconformity function, no distance weighting, reject when the p-value
+//!   of the predicted label falls below ε.
+//! * [`tesseract::Tesseract`] — a TESSERACT-style conformal evaluator
+//!   (Pendlebury et al., USENIX Security '19): single nonconformity
+//!   function with **per-class rejection thresholds** tuned on a validation
+//!   split to maximize misprediction-detection F1.
+//! * [`rise::Rise`] — a RISE-style detector (Zhai et al., MobiCom '21):
+//!   credibility/confidence scores from a single nonconformity function feed
+//!   a **trained SVM** that classifies predictions as trustworthy or not.
+//!
+//! All three implement [`DriftDetector`], the same deployment-time interface
+//! the evaluation harness uses for Prom itself.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod naive_cp;
+pub mod rise;
+pub mod tesseract;
+
+/// A deployment-time drift/misprediction detector: decides whether to
+/// reject an underlying model's prediction given the model's embedding and
+/// probability vector for the input.
+pub trait DriftDetector {
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `true` if the detector would reject (flag) this prediction.
+    fn rejects(&self, embedding: &[f64], probs: &[f64]) -> bool;
+}
+
+pub use naive_cp::NaiveCp;
+pub use rise::Rise;
+pub use tesseract::Tesseract;

@@ -1,0 +1,94 @@
+//! Naive split conformal prediction (the MAPIE / PUNCC style of Fig. 10).
+//!
+//! Uses the entire calibration set (no adaptive selection, no distance
+//! weighting) and a single LAC nonconformity function; a prediction is
+//! rejected when the p-value of its predicted label is below ε.
+
+use prom_core::calibration::CalibrationRecord;
+use prom_core::nonconformity::{Lac, Nonconformity};
+use prom_core::pvalue::{p_value_for_label, ScoredSample};
+
+use crate::DriftDetector;
+
+/// A plain split-CP misprediction detector.
+pub struct NaiveCp {
+    samples: Vec<ScoredSample>,
+    epsilon: f64,
+}
+
+impl NaiveCp {
+    /// Builds the detector from calibration records.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty calibration set or ε outside `[0, 1)`.
+    pub fn new(records: &[CalibrationRecord], epsilon: f64) -> Self {
+        assert!(!records.is_empty(), "empty calibration set");
+        assert!((0.0..1.0).contains(&epsilon), "epsilon out of range");
+        let samples = records
+            .iter()
+            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
+            .collect();
+        Self { samples, epsilon }
+    }
+
+    /// The p-value of the predicted (argmax) label.
+    pub fn credibility(&self, probs: &[f64]) -> f64 {
+        let predicted = prom_ml::matrix::argmax(probs);
+        p_value_for_label(&self.samples, predicted, Lac.score(probs, predicted))
+    }
+}
+
+impl DriftDetector for NaiveCp {
+    fn name(&self) -> &'static str {
+        "MAPIE-PUNCC"
+    }
+
+    fn rejects(&self, _embedding: &[f64], probs: &[f64]) -> bool {
+        self.credibility(probs) < self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<CalibrationRecord> {
+        (0..60)
+            .map(|i| {
+                let label = i % 2;
+                let conf = 0.65 + 0.3 * ((i * 7 % 13) as f64 / 13.0);
+                let probs =
+                    if label == 0 { vec![conf, 1.0 - conf] } else { vec![1.0 - conf, conf] };
+                CalibrationRecord::new(vec![i as f64], probs, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_typical_confidences() {
+        let cp = NaiveCp::new(&records(), 0.1);
+        assert!(!cp.rejects(&[0.0], &[0.8, 0.2]));
+    }
+
+    #[test]
+    fn rejects_flat_probabilities() {
+        // A maximally uncertain prediction has higher LAC nonconformity
+        // than every calibration score (all conf >= 0.65).
+        let cp = NaiveCp::new(&records(), 0.1);
+        assert!(cp.rejects(&[0.0], &[0.51, 0.49]));
+    }
+
+    #[test]
+    fn credibility_is_monotone_in_confidence() {
+        let cp = NaiveCp::new(&records(), 0.1);
+        assert!(cp.credibility(&[0.9, 0.1]) >= cp.credibility(&[0.7, 0.3]));
+        assert!(cp.credibility(&[0.7, 0.3]) >= cp.credibility(&[0.55, 0.45]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty calibration set")]
+    fn empty_records_panic() {
+        let _ = NaiveCp::new(&[], 0.1);
+    }
+}

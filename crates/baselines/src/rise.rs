@@ -1,0 +1,156 @@
+//! A RISE-style detector (Zhai et al., MobiCom '21).
+//!
+//! RISE computes a credibility and a confidence score from a single
+//! nonconformity function over the full calibration set, then — unlike
+//! Prom's model-free thresholding — trains a supervised classifier (an SVM)
+//! on those two scores to decide whether a prediction should be trusted.
+//! The paper notes RISE "struggles with uneven data or tasks with many
+//! labels"; the trained decision boundary inherits whatever bias the
+//! validation data has.
+
+use prom_core::calibration::CalibrationRecord;
+use prom_core::nonconformity::{Lac, Nonconformity};
+use prom_core::pvalue::{p_values, ScoredSample};
+use prom_ml::data::Dataset;
+use prom_ml::svm::{LinearSvm, SvmConfig};
+use prom_ml::traits::Classifier;
+
+use crate::tesseract::LabeledOutcome;
+use crate::DriftDetector;
+
+/// The RISE-style detector.
+pub struct Rise {
+    samples: Vec<ScoredSample>,
+    svm: LinearSvm,
+    epsilon: f64,
+}
+
+impl Rise {
+    /// Builds the detector: computes (credibility, confidence) for each
+    /// validation outcome and trains the SVM to separate correct from
+    /// incorrect predictions in that 2-D score space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty calibration/validation data or if the validation
+    /// set has only one outcome class.
+    pub fn fit(
+        records: &[CalibrationRecord],
+        validation: &[LabeledOutcome],
+        epsilon: f64,
+    ) -> Self {
+        assert!(!records.is_empty(), "empty calibration set");
+        assert!(!validation.is_empty(), "empty validation set");
+        let samples: Vec<ScoredSample> = records
+            .iter()
+            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
+            .collect();
+
+        let mut x = Vec::with_capacity(validation.len());
+        let mut y = Vec::with_capacity(validation.len());
+        for v in validation {
+            x.push(score_features(&samples, &v.probs, epsilon));
+            // Class 1 = "should reject" (the model was wrong).
+            y.push(usize::from(!v.correct));
+        }
+        assert!(
+            y.iter().any(|&c| c == 0) && y.iter().any(|&c| c == 1),
+            "validation needs both correct and incorrect outcomes"
+        );
+        // Mispredictions are the minority class on in-distribution
+        // validation data; oversample them so the SVM does not collapse to
+        // "never reject".
+        let minority = y.iter().filter(|&&c| c == 1).count();
+        let majority = y.len() - minority;
+        if minority > 0 && majority > minority {
+            let copies = (majority / minority).min(20);
+            let extra: Vec<(Vec<f64>, usize)> = x
+                .iter()
+                .zip(y.iter())
+                .filter(|(_, &c)| c == 1)
+                .map(|(f, &c)| (f.clone(), c))
+                .collect();
+            for _ in 1..copies {
+                for (f, c) in &extra {
+                    x.push(f.clone());
+                    y.push(*c);
+                }
+            }
+        }
+        let svm = LinearSvm::fit(&Dataset::new(x, y), SvmConfig::default());
+        Self { samples, svm, epsilon }
+    }
+}
+
+/// The 2-D score vector RISE feeds its SVM: credibility (p-value of the
+/// predicted label) and confidence (1 - the runner-up p-value).
+fn score_features(samples: &[ScoredSample], probs: &[f64], epsilon: f64) -> Vec<f64> {
+    let predicted = prom_ml::matrix::argmax(probs);
+    let test_scores: Vec<f64> = (0..probs.len()).map(|y| Lac.score(probs, y)).collect();
+    let ps = p_values(samples, &test_scores);
+    let credibility = ps[predicted];
+    let runner_up = ps
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != predicted)
+        .map(|(_, &p)| p)
+        .fold(0.0f64, f64::max);
+    let confidence = 1.0 - runner_up;
+    // Include the prediction-set size as an auxiliary signal.
+    let set_size = ps.iter().filter(|&&p| p > epsilon).count() as f64;
+    vec![credibility, confidence, set_size]
+}
+
+impl DriftDetector for Rise {
+    fn name(&self) -> &'static str {
+        "RISE"
+    }
+
+    fn rejects(&self, _embedding: &[f64], probs: &[f64]) -> bool {
+        let features = score_features(&self.samples, probs, self.epsilon);
+        self.svm.predict(&features) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<CalibrationRecord> {
+        (0..80)
+            .map(|i| {
+                let label = i % 2;
+                let conf = 0.65 + 0.3 * ((i * 7 % 13) as f64 / 13.0);
+                let probs =
+                    if label == 0 { vec![conf, 1.0 - conf] } else { vec![1.0 - conf, conf] };
+                CalibrationRecord::new(vec![i as f64], probs, label)
+            })
+            .collect()
+    }
+
+    fn validation() -> Vec<LabeledOutcome> {
+        let mut v = Vec::new();
+        for i in 0..60 {
+            let conf = 0.65 + 0.3 * ((i * 5 % 11) as f64 / 11.0);
+            v.push(LabeledOutcome { probs: vec![conf, 1.0 - conf], correct: true });
+            v.push(LabeledOutcome { probs: vec![0.53, 0.47], correct: false });
+        }
+        v
+    }
+
+    #[test]
+    fn learns_to_separate_score_space() {
+        let rise = Rise::fit(&records(), &validation(), 0.1);
+        assert!(!rise.rejects(&[0.0], &[0.88, 0.12]), "confident prediction rejected");
+        assert!(rise.rejects(&[0.0], &[0.52, 0.48]), "uncertain prediction accepted");
+    }
+
+    #[test]
+    #[should_panic(expected = "both correct and incorrect")]
+    fn one_sided_validation_panics() {
+        let one_sided: Vec<LabeledOutcome> = (0..10)
+            .map(|_| LabeledOutcome { probs: vec![0.9, 0.1], correct: true })
+            .collect();
+        let _ = Rise::fit(&records(), &one_sided, 0.1);
+    }
+}

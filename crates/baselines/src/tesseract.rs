@@ -1,0 +1,154 @@
+//! A TESSERACT-style conformal evaluator (Pendlebury et al., USENIX
+//! Security '19).
+//!
+//! Like naive CP it uses the full calibration set and one nonconformity
+//! function, but rejection thresholds are **per class** and tuned on a
+//! validation split with known prediction correctness, maximizing the F1
+//! score of misprediction detection.
+
+use prom_core::calibration::CalibrationRecord;
+use prom_core::nonconformity::{Lac, Nonconformity};
+use prom_core::pvalue::{p_value_for_label, ScoredSample};
+use prom_ml::metrics::BinaryConfusion;
+
+use crate::DriftDetector;
+
+/// A validation observation: the model's probability vector and whether its
+/// prediction was correct.
+#[derive(Debug, Clone)]
+pub struct LabeledOutcome {
+    /// Model probability vector.
+    pub probs: Vec<f64>,
+    /// Whether the model's argmax prediction was correct.
+    pub correct: bool,
+}
+
+/// The TESSERACT-style detector.
+pub struct Tesseract {
+    samples: Vec<ScoredSample>,
+    /// Per-class p-value thresholds.
+    thresholds: Vec<f64>,
+}
+
+impl Tesseract {
+    /// Builds the detector and tunes per-class thresholds on the validation
+    /// outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty calibration or validation data.
+    pub fn fit(
+        records: &[CalibrationRecord],
+        validation: &[LabeledOutcome],
+        n_classes: usize,
+    ) -> Self {
+        assert!(!records.is_empty(), "empty calibration set");
+        assert!(!validation.is_empty(), "empty validation set");
+        let samples: Vec<ScoredSample> = records
+            .iter()
+            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
+            .collect();
+
+        // Precompute validation p-values once.
+        let val: Vec<(usize, f64, bool)> = validation
+            .iter()
+            .map(|v| {
+                let predicted = prom_ml::matrix::argmax(&v.probs);
+                let p =
+                    p_value_for_label(&samples, predicted, Lac.score(&v.probs, predicted));
+                (predicted, p, v.correct)
+            })
+            .collect();
+
+        // Tune each class's threshold independently over a p-value grid,
+        // maximizing the class-local detection F1.
+        let grid = [0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5];
+        let mut thresholds = vec![0.1; n_classes];
+        for (class, threshold) in thresholds.iter_mut().enumerate() {
+            let class_val: Vec<&(usize, f64, bool)> =
+                val.iter().filter(|(c, _, _)| *c == class).collect();
+            if class_val.is_empty() {
+                continue;
+            }
+            let mut best = (0.1, -1.0);
+            for &t in &grid {
+                let mut confusion = BinaryConfusion::default();
+                for &&(_, p, correct) in &class_val {
+                    confusion.record(p < t, !correct);
+                }
+                let f1 = confusion.f1();
+                if f1 > best.1 {
+                    best = (t, f1);
+                }
+            }
+            *threshold = best.0;
+        }
+        Self { samples, thresholds }
+    }
+
+    /// The tuned per-class thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl DriftDetector for Tesseract {
+    fn name(&self) -> &'static str {
+        "TESSERACT"
+    }
+
+    fn rejects(&self, _embedding: &[f64], probs: &[f64]) -> bool {
+        let predicted = prom_ml::matrix::argmax(probs);
+        let p = p_value_for_label(&self.samples, predicted, Lac.score(probs, predicted));
+        p < self.thresholds.get(predicted).copied().unwrap_or(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<CalibrationRecord> {
+        (0..80)
+            .map(|i| {
+                let label = i % 2;
+                let conf = 0.65 + 0.3 * ((i * 7 % 13) as f64 / 13.0);
+                let probs =
+                    if label == 0 { vec![conf, 1.0 - conf] } else { vec![1.0 - conf, conf] };
+                CalibrationRecord::new(vec![i as f64], probs, label)
+            })
+            .collect()
+    }
+
+    fn validation() -> Vec<LabeledOutcome> {
+        let mut v = Vec::new();
+        for i in 0..40 {
+            let conf = 0.65 + 0.3 * ((i * 5 % 11) as f64 / 11.0);
+            v.push(LabeledOutcome { probs: vec![conf, 1.0 - conf], correct: true });
+            v.push(LabeledOutcome { probs: vec![0.52, 0.48], correct: false });
+        }
+        v
+    }
+
+    #[test]
+    fn tuned_detector_separates_validation_like_cases() {
+        let t = Tesseract::fit(&records(), &validation(), 2);
+        assert!(!t.rejects(&[0.0], &[0.85, 0.15]), "confident prediction rejected");
+        assert!(t.rejects(&[0.0], &[0.52, 0.48]), "uncertain prediction accepted");
+    }
+
+    #[test]
+    fn thresholds_are_per_class() {
+        let t = Tesseract::fit(&records(), &validation(), 2);
+        assert_eq!(t.thresholds().len(), 2);
+        for &thr in t.thresholds() {
+            assert!((0.0..=0.5).contains(&thr));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty validation set")]
+    fn empty_validation_panics() {
+        let _ = Tesseract::fit(&records(), &[], 2);
+    }
+}

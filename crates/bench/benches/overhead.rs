@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for Prom's deployment-time overhead
+//! (Sec. 7.6 of the paper: scoring and drift detection take single-digit
+//! milliseconds on a laptop).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use prom_core::calibration::{select_weighted_subset, CalibrationRecord, SelectionConfig};
+use prom_core::committee::PromConfig;
+use prom_core::predictor::PromClassifier;
+use prom_core::regression::{
+    ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord,
+};
+use prom_ml::cluster::KMeans;
+use prom_ml::rng::{gaussian_with, rng_from_seed};
+
+fn classification_records(n: usize, n_classes: usize, dim: usize) -> Vec<CalibrationRecord> {
+    let mut rng = rng_from_seed(7);
+    (0..n)
+        .map(|i| {
+            let label = i % n_classes;
+            let embedding: Vec<f64> =
+                (0..dim).map(|d| gaussian_with(&mut rng, (label * d) as f64 * 0.1, 1.0)).collect();
+            let conf = 0.5 + 0.45 * ((i * 13 % 17) as f64 / 17.0);
+            let mut probs = vec![(1.0 - conf) / (n_classes - 1) as f64; n_classes];
+            probs[label] = conf;
+            CalibrationRecord::new(embedding, probs, label)
+        })
+        .collect()
+}
+
+fn regression_records(n: usize, dim: usize) -> Vec<RegressionRecord> {
+    let mut rng = rng_from_seed(11);
+    (0..n)
+        .map(|_| {
+            let embedding: Vec<f64> = (0..dim).map(|_| gaussian_with(&mut rng, 0.0, 1.0)).collect();
+            let target = embedding.iter().sum::<f64>();
+            RegressionRecord::new(embedding, target + gaussian_with(&mut rng, 0.0, 0.1), target)
+        })
+        .collect()
+}
+
+fn bench_judge_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("judge_classification");
+    group.sample_size(30);
+    for &n in &[100usize, 500, 1000] {
+        let prom =
+            PromClassifier::new(classification_records(n, 6, 16), PromConfig::default()).unwrap();
+        let embedding = vec![0.3; 16];
+        let probs = vec![0.55, 0.2, 0.1, 0.06, 0.05, 0.04];
+        group.bench_function(format!("calibration_{n}"), |b| {
+            b.iter(|| std::hint::black_box(prom.judge(&embedding, &probs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_judge_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("judge_regression");
+    group.sample_size(30);
+    let config = PromRegressorConfig {
+        clusters: ClusterChoice::Fixed(5),
+        ..Default::default()
+    };
+    let prom = PromRegressor::new(regression_records(500, 16), config).unwrap();
+    let embedding = vec![0.2; 16];
+    group.bench_function("calibration_500", |b| {
+        b.iter(|| std::hint::black_box(prom.judge(&embedding, 1.0)))
+    });
+    group.finish();
+}
+
+fn bench_subset_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_subset_selection");
+    group.sample_size(30);
+    let records = classification_records(1000, 6, 16);
+    let embeddings: Vec<Vec<f64>> = records.iter().map(|r| r.embedding.clone()).collect();
+    let query = vec![0.1; 16];
+    group.bench_function("n1000_d16", |b| {
+        b.iter(|| {
+            std::hint::black_box(select_weighted_subset(
+                &embeddings,
+                &query,
+                &SelectionConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(20);
+    let points: Vec<Vec<f64>> = regression_records(400, 8)
+        .into_iter()
+        .map(|r| r.embedding)
+        .collect();
+    group.bench_function("fit_k8_n400", |b| {
+        b.iter_batched(
+            || points.clone(),
+            |pts| std::hint::black_box(KMeans::fit(&pts, 8, 3)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_judge_classification,
+    bench_judge_regression,
+    bench_subset_selection,
+    bench_kmeans
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Diagnostic: embedding-space distance contrast between calibration,
+//! design-time (i.i.d.), and deployment (drifted) samples, per case study
+//! and model. Prom's Eq. 1 weighting can only separate drifted inputs if
+//! their nearest-calibration distances are a clear multiple of the
+//! in-distribution ones; this tool reports that multiple.
+
+use prom_bench::{header, scale_from_args};
+use prom_eval::registry::{models_for, CaseId};
+use prom_eval::report::render_table;
+use prom_eval::scenario::{fit_scenario, is_misprediction};
+use prom_ml::matrix::l2_distance;
+use prom_workloads::CodeSample;
+
+fn nearest(cal: &[Vec<f64>], q: &[f64]) -> f64 {
+    cal.iter().map(|c| l2_distance(c, q)).fold(f64::INFINITY, f64::min)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let scale = scale_from_args();
+    header("Drift diagnostics: nearest-calibration distances (median)");
+    let mut rows = Vec::new();
+    for case in CaseId::CLASSIFICATION {
+        for model in models_for(case) {
+            let fitted = fit_scenario(&scale.scenario(case, model));
+            let cal: Vec<Vec<f64>> =
+                fitted.records.iter().map(|r| r.embedding.clone()).collect();
+            let dist_of = |samples: &[CodeSample]| -> Vec<f64> {
+                samples.iter().map(|s| nearest(&cal, &fitted.model.embed(s))).collect()
+            };
+            let iid = median(dist_of(&fitted.data.iid_test));
+            let all_drift = dist_of(&fitted.data.drift_test);
+            let drift = median(all_drift.clone());
+            // Split drifted samples by whether the model mispredicts.
+            let wrong: Vec<f64> = fitted
+                .data
+                .drift_test
+                .iter()
+                .zip(all_drift.iter())
+                .filter(|(s, _)| is_misprediction(s, fitted.model.predict(s)))
+                .map(|(_, &d)| d)
+                .collect();
+            let n_wrong = wrong.len();
+            let wrong_med = median(wrong);
+            rows.push(vec![
+                case.name().to_string(),
+                model.paper_name.to_string(),
+                format!("{iid:.2}"),
+                format!("{drift:.2}"),
+                format!("{wrong_med:.2}"),
+                format!("{:.2}x", drift / iid.max(1e-9)),
+                format!("{:.2}x", wrong_med / iid.max(1e-9)),
+                format!("{}/{}", n_wrong, fitted.data.drift_test.len()),
+                format!("tau {:.1}", fitted.prom_config.tau),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &["case", "model", "iid", "drift", "wrong", "drift/iid", "wrong/iid", "wrong/n", "tau"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 11: each single nonconformity function (LAC, Top-K,
+//! APS, RAPS) vs Prom's full voting committee, per classification case
+//! study (min–max across that case's models).
+
+use prom_bench::{header, scale_from_args};
+use prom_eval::registry::{models_for, CaseId};
+use prom_eval::report::render_table;
+use prom_eval::suite::run_ncm_ablation;
+
+fn main() {
+    let scale = scale_from_args();
+    header("Figure 11: individual nonconformity functions vs the Prom ensemble");
+    for case in CaseId::CLASSIFICATION {
+        println!("\n--- {} ---", case.name());
+        // Collect per-model ablations, then aggregate per method.
+        let mut per_method: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new(); // (name, f1s, accs)
+        for model in models_for(case) {
+            let rows = run_ncm_ablation(&scale.scenario(case, model));
+            for (name, stats) in rows {
+                match per_method.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some((_, f1s, accs)) => {
+                        f1s.push(stats.f1);
+                        accs.push(stats.accuracy);
+                    }
+                    None => per_method.push((name, vec![stats.f1], vec![stats.accuracy])),
+                }
+            }
+        }
+        let rows: Vec<Vec<String>> = per_method
+            .iter()
+            .map(|(name, f1s, accs)| {
+                let mean_f1 = f1s.iter().sum::<f64>() / f1s.len() as f64;
+                let mean_acc = accs.iter().sum::<f64>() / accs.len() as f64;
+                let min = f1s.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = f1s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                vec![
+                    name.clone(),
+                    format!("{mean_acc:.3}"),
+                    format!("{mean_f1:.3}"),
+                    format!("[{min:.2},{max:.2}]"),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["method", "accuracy", "F1", "F1 range"], &rows));
+    }
+    println!();
+    println!("(paper: no single function wins everywhere; the ensemble beats each)");
+}

@@ -1,0 +1,47 @@
+//! Regenerates Fig. 12: initial-training vs incremental-learning overhead
+//! per case study (wall-clock; the paper reports hours on its hardware, the
+//! *shape* — incremental learning being a small fraction of initial
+//! training — is the reproduced claim).
+
+use prom_bench::{header, scale_from_args};
+use prom_eval::report::render_table;
+use prom_eval::suite::{run_all_classification, run_codegen_suite};
+
+fn main() {
+    let scale = scale_from_args();
+    header("Figure 12: initial training vs incremental learning overhead");
+    let results = run_all_classification(scale);
+
+    let mut cases: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for r in &results {
+        match cases.iter_mut().find(|(c, _)| *c == r.case_name) {
+            Some((_, v)) => v.push((r.train_seconds, r.incremental_seconds)),
+            None => cases.push((r.case_name, vec![(r.train_seconds, r.incremental_seconds)])),
+        }
+    }
+    let codegen = run_codegen_suite(scale);
+    cases.push((
+        "C5: DNN code generation",
+        vec![(codegen.train_seconds, codegen.incremental_seconds)],
+    ));
+
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|(case, v)| {
+            let train: f64 = v.iter().map(|(t, _)| t).sum::<f64>() / v.len() as f64;
+            let inc: f64 = v.iter().map(|(_, i)| i).sum::<f64>() / v.len() as f64;
+            vec![
+                case.to_string(),
+                format!("{train:.2}s"),
+                format!("{inc:.2}s"),
+                format!("{:.1}%", 100.0 * inc / train.max(1e-9)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["case", "initial training", "incremental", "ratio"], &rows)
+    );
+    println!();
+    println!("(paper: initial training hours; incremental learning < 1 hour)");
+}

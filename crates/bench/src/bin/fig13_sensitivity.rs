@@ -1,0 +1,64 @@
+//! Regenerates Fig. 13: Prom's hyperparameter sensitivity —
+//! (a) significance level ε, (b) regression cluster count, (c) the Gaussian
+//! confidence scale `c`, and (d) coverage deviations across cases.
+
+use prom_bench::{header, scale_from_args};
+use prom_core::committee::confidence_score;
+use prom_eval::codegen_eval::sweep_cluster_size;
+use prom_eval::registry::{models_for, CaseId};
+use prom_eval::report::render_table;
+use prom_eval::scenario::{fit_scenario, sweep_epsilon};
+use prom_eval::suite::{coverage_deviations, run_all_classification};
+
+fn main() {
+    let scale = scale_from_args();
+
+    header("Figure 13(a): sensitivity to the significance level (loop vectorization)");
+    let model = models_for(CaseId::Vectorization)[2]; // Magni et al. (MLP)
+    let fitted = fit_scenario(&scale.scenario(CaseId::Vectorization, model));
+    let eps = [0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95];
+    let rows: Vec<Vec<String>> = sweep_epsilon(&fitted, &eps)
+        .iter()
+        .map(|(e, d)| {
+            vec![
+                format!("{e:.2}"),
+                format!("{:.3}", d.precision),
+                format!("{:.3}", d.recall),
+                format!("{:.3}", d.f1),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["epsilon", "precision", "recall", "F1"], &rows));
+
+    header("Figure 13(b): sensitivity to the cluster count (C5 regression)");
+    let mut codegen_cfg = scale.codegen();
+    // The sweep refits the whole pipeline per point; keep it moderate.
+    codegen_cfg.variant_tasks = codegen_cfg.variant_tasks.min(10);
+    let sizes = [2, 5, 10, 15, 20, 25, 30];
+    let rows: Vec<Vec<String>> = sweep_cluster_size(&codegen_cfg, &sizes)
+        .iter()
+        .map(|(k, f1)| vec![format!("{k}"), format!("{f1:.3}")])
+        .collect();
+    print!("{}", render_table(&["clusters", "mean F1"], &rows));
+
+    header("Figure 13(c): confidence score vs prediction-set size");
+    let mut rows = Vec::new();
+    for set_size in 0..=5usize {
+        let mut row = vec![format!("{set_size}")];
+        for c in [1.0, 2.0, 3.0, 4.0] {
+            row.push(format!("{:.3}", confidence_score(set_size, c)));
+        }
+        rows.push(row);
+    }
+    print!("{}", render_table(&["set size", "c=1", "c=2", "c=3", "c=4"], &rows));
+
+    header("Figure 13(d): coverage deviations across case studies");
+    let results = run_all_classification(scale);
+    let rows: Vec<Vec<String>> = coverage_deviations(&results)
+        .iter()
+        .map(|(case, dev)| vec![case.clone(), format!("{dev:.4}")])
+        .collect();
+    print!("{}", render_table(&["case", "coverage deviation"], &rows));
+    println!();
+    println!("(paper: geomean deviation 2.5%; thread coarsening worst at 4.4%)");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 1(a): a Vulde-style Bi-LSTM trained on 2012–2014
+//! vulnerability samples, evaluated on later year buckets — data drift
+//! makes the F1 score collapse.
+
+use prom_bench::{header, scale_from_args};
+use prom_eval::suite::run_motivation;
+
+fn main() {
+    let scale = scale_from_args();
+    header("Figure 1(a): impact of data drift on vulnerability detection (Vulde)");
+    println!("{:<8} {:>8}", "years", "F1");
+    for (bucket, f1) in run_motivation(scale) {
+        println!("{bucket:<8} {f1:>8.3}");
+    }
+    println!();
+    println!("(paper: F1 > 0.8 on 12-14, < 0.3 on 22-23)");
+}

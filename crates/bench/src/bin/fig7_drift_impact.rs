@@ -1,0 +1,22 @@
+//! Regenerates Fig. 7: design-time vs deployment-time quality of every
+//! underlying model (the paper's violin plots, as five-number summaries).
+
+use prom_bench::{header, perf_or_acc, scale_from_args};
+use prom_eval::suite::run_all_classification;
+
+fn main() {
+    let scale = scale_from_args();
+    header("Figure 7: model quality at design time vs deployment (drifted) time");
+    let results = run_all_classification(scale);
+    let mut current_case = "";
+    for r in &results {
+        if r.case_name != current_case {
+            current_case = r.case_name;
+            println!("\n--- {current_case} ---");
+        }
+        println!("{:<16} design     {}", r.model_name, perf_or_acc(&r.design.perf, r.design.accuracy));
+        println!("{:<16} deployment {}", "", perf_or_acc(&r.deploy.perf, r.deploy.accuracy));
+    }
+    println!();
+    println!("(paper: every model's deployment distribution shifts down vs design time)");
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 9: deployment quality before vs after Prom-guided
+//! incremental learning (relabeling ≤5% of the flagged samples).
+
+use prom_bench::{header, perf_or_acc, scale_from_args};
+use prom_eval::suite::run_all_classification;
+
+fn main() {
+    let scale = scale_from_args();
+    header("Figure 9: incremental learning on Prom-flagged samples");
+    let results = run_all_classification(scale);
+    let mut current_case = "";
+    for r in &results {
+        if r.case_name != current_case {
+            current_case = r.case_name;
+            println!("\n--- {current_case} ---");
+        }
+        println!(
+            "{:<16} native      {}",
+            r.model_name,
+            perf_or_acc(&r.deploy.perf, r.deploy.accuracy)
+        );
+        println!(
+            "{:<16} prom+retrain {}  (relabeled {} samples)",
+            "",
+            perf_or_acc(&r.prom_deploy.perf, r.prom_deploy.accuracy),
+            r.n_relabeled
+        );
+    }
+    println!();
+    println!("(paper: retraining on <=5% of flagged samples restores most design-time quality)");
+}

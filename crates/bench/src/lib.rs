@@ -1,0 +1,72 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same CLI flags:
+//!
+//! * `--quick` — smoke-run scale (small datasets, few epochs);
+//! * `--scale <f64>` — dataset-size multiplier (default 1.0);
+//! * `--epochs <f64>` — training-epoch multiplier (default 1.0);
+//! * `--seed <u64>` — base seed (default 0).
+
+#![warn(missing_docs)]
+
+use prom_eval::report::DistStats;
+use prom_eval::suite::SuiteScale;
+
+/// Parses the common CLI flags into a [`SuiteScale`].
+pub fn scale_from_args() -> SuiteScale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = SuiteScale::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = SuiteScale::quick(),
+            "--scale" => {
+                i += 1;
+                scale.data = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a float"));
+            }
+            "--epochs" => {
+                i += 1;
+                scale.epochs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--epochs needs a float"));
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+            }
+            other => panic!("unknown flag {other}; known: --quick --scale --epochs --seed"),
+        }
+        i += 1;
+    }
+    scale
+}
+
+/// Prints a section header in the style used by every binary.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Formats a [`DistStats`] as the textual stand-in for one violin.
+pub fn violin(d: &DistStats) -> String {
+    format!(
+        "mean {:.3} | min {:.3} q1 {:.3} med {:.3} q3 {:.3} max {:.3}",
+        d.mean, d.min, d.q1, d.median, d.q3, d.max
+    )
+}
+
+/// Formats an optional perf distribution or falls back to accuracy.
+pub fn perf_or_acc(perf: &Option<DistStats>, accuracy: f64) -> String {
+    match perf {
+        Some(d) => violin(d),
+        None => format!("accuracy {:.3}", accuracy),
+    }
+}

@@ -1,0 +1,145 @@
+//! Initialization assessment (Sec. 5.2, Eq. 3): cross-validated coverage of
+//! the conformal prediction region on the calibration set.
+//!
+//! If Prom is set up correctly, a prediction region computed at significance
+//! ε should contain the true label of held-out calibration samples about
+//! `1 - ε` of the time. Large deviations mean the underlying model or the
+//! calibration split is unsuitable, and Prom alerts the user.
+
+use prom_ml::rng::{rng_from_seed, split_indices};
+
+use crate::calibration::CalibrationRecord;
+use crate::committee::PromConfig;
+use crate::predictor::PromClassifier;
+use crate::PromError;
+
+/// Result of the Eq. 3 coverage cross-validation.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Mean coverage across rounds.
+    pub coverage: f64,
+    /// Per-round coverage values.
+    pub per_round: Vec<f64>,
+    /// `|coverage - (1 - epsilon)|`.
+    pub deviation: f64,
+    /// `true` when the deviation is within the paper's 0.1 alert threshold.
+    pub ok: bool,
+}
+
+/// Maximum deviation before Prom alerts the user (Sec. 5.2).
+pub const DEVIATION_ALERT_THRESHOLD: f64 = 0.1;
+
+/// Cross-validates coverage: `rounds` times, split the calibration set
+/// 80/20 into internal-calibration and validation parts, build a detector
+/// on the former, and measure how often the validation label falls inside
+/// the prediction region.
+///
+/// # Errors
+///
+/// Returns [`PromError`] if the calibration set is too small to split or the
+/// configuration is invalid.
+pub fn assess_initialization(
+    records: &[CalibrationRecord],
+    config: &PromConfig,
+    rounds: usize,
+    seed: u64,
+) -> Result<CoverageReport, PromError> {
+    if records.len() < 5 {
+        return Err(PromError::InvalidConfig {
+            detail: format!("need at least 5 calibration samples to assess, got {}", records.len()),
+        });
+    }
+    let rounds = rounds.max(1);
+    let mut rng = rng_from_seed(seed);
+    let holdout = (records.len() / 5).max(1); // 20% validation
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let (cal_idx, val_idx) = split_indices(&mut rng, records.len(), holdout);
+        let cal: Vec<CalibrationRecord> =
+            cal_idx.iter().map(|&i| records[i].clone()).collect();
+        let prom = PromClassifier::new(cal, config.clone())?;
+        let covered = val_idx
+            .iter()
+            .filter(|&&i| {
+                let r = &records[i];
+                prom.prediction_set(&r.embedding, &r.probs).contains(&r.label)
+            })
+            .count();
+        per_round.push(covered as f64 / val_idx.len() as f64);
+    }
+    let coverage = per_round.iter().sum::<f64>() / per_round.len() as f64;
+    let deviation = (coverage - (1.0 - config.epsilon)).abs();
+    Ok(CoverageReport { coverage, per_round, deviation, ok: deviation <= DEVIATION_ALERT_THRESHOLD })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-behaved calibration set: tight clusters, confident correct
+    /// probabilities.
+    fn good_records(n: usize) -> Vec<CalibrationRecord> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.0 } else { 6.0 };
+                let jitter = ((i * 29 % 97) as f64 / 97.0 - 0.5) * 0.6;
+                // Mild probability spread so nonconformity scores vary.
+                let conf = 0.85 + ((i * 13 % 10) as f64) * 0.012;
+                let probs = if label == 0 {
+                    vec![conf, 1.0 - conf]
+                } else {
+                    vec![1.0 - conf, conf]
+                };
+                CalibrationRecord::new(vec![base + jitter, base - jitter], probs, label)
+            })
+            .collect()
+    }
+
+    /// A broken setup: the model is completely uninformative (constant
+    /// 50/50 probabilities) over spread-out inputs, so the conformal region
+    /// collapses and coverage craters.
+    fn bad_records(n: usize) -> Vec<CalibrationRecord> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let x = i as f64 * 0.37;
+                CalibrationRecord::new(vec![x, -x], vec![0.5, 0.5], label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn good_setup_has_low_deviation() {
+        let report =
+            assess_initialization(&good_records(200), &PromConfig::default(), 3, 7).unwrap();
+        assert!(report.ok, "good setup flagged: {report:?}");
+        assert!(report.coverage > 0.75, "coverage too low: {report:?}");
+        assert_eq!(report.per_round.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_setup_is_flagged() {
+        // Anti-correlated probabilities give the true label maximal
+        // nonconformity, so it rarely enters the prediction region.
+        let report =
+            assess_initialization(&bad_records(100), &PromConfig::default(), 3, 7).unwrap();
+        assert!(!report.ok, "broken setup not flagged: {report:?}");
+    }
+
+    #[test]
+    fn tiny_calibration_is_an_error() {
+        let err = assess_initialization(&good_records(3), &PromConfig::default(), 3, 0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn coverage_is_a_probability() {
+        let report =
+            assess_initialization(&good_records(60), &PromConfig::default(), 5, 1).unwrap();
+        assert!((0.0..=1.0).contains(&report.coverage));
+        for c in &report.per_round {
+            assert!((0.0..=1.0).contains(c));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Calibration records and the adaptive, distance-weighted subset selection
+//! of Sec. 5.1.2 (Fig. 6) of the paper.
+
+use prom_ml::matrix::l2_distance;
+
+/// One calibration sample: the model's embedding of the input, its
+/// probability vector, and the ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRecord {
+    /// Feature-space embedding of the input (see `Classifier::embed`).
+    pub embedding: Vec<f64>,
+    /// Model probability vector over classes.
+    pub probs: Vec<f64>,
+    /// Ground-truth class label.
+    pub label: usize,
+}
+
+impl CalibrationRecord {
+    /// Creates a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range for `probs` or either vector is
+    /// empty.
+    pub fn new(embedding: Vec<f64>, probs: Vec<f64>, label: usize) -> Self {
+        assert!(!embedding.is_empty(), "empty embedding");
+        assert!(!probs.is_empty(), "empty probability vector");
+        assert!(label < probs.len(), "label {label} out of range for {} classes", probs.len());
+        Self { embedding, probs, label }
+    }
+}
+
+/// Controls how the calibration subset is selected and weighted for a test
+/// input.
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Fraction of nearest calibration samples to keep (paper default: 0.5).
+    pub fraction: f64,
+    /// Below this calibration-set size all samples are used
+    /// (paper default: 200).
+    pub min_full_size: usize,
+    /// Temperature τ of the `exp(-d / tau)` weighting (paper default: 500).
+    pub tau: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self { fraction: 0.5, min_full_size: 200, tau: 500.0 }
+    }
+}
+
+/// A selected calibration sample: its index in the full set and the weight
+/// from Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectedSample {
+    /// Index into the calibration-record array.
+    pub index: usize,
+    /// Eq. 1 weight `exp(-||v_i - v|| / tau)`, in `(0, 1]`.
+    pub weight: f64,
+}
+
+/// Selects the calibration subset nearest to `test_embedding` and computes
+/// the Eq. 1 weights.
+///
+/// If the calibration set has fewer than `config.min_full_size` samples, all
+/// of them are selected; otherwise the nearest `fraction` (at least one)
+/// are.
+///
+/// # Panics
+///
+/// Panics on an empty calibration set or an embedding-length mismatch.
+pub fn select_weighted_subset(
+    embeddings: &[Vec<f64>],
+    test_embedding: &[f64],
+    config: &SelectionConfig,
+) -> Vec<SelectedSample> {
+    assert!(!embeddings.is_empty(), "cannot select from an empty calibration set");
+    let n = embeddings.len();
+    let mut by_distance: Vec<(f64, usize)> = embeddings
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            assert_eq!(e.len(), test_embedding.len(), "embedding length mismatch");
+            (l2_distance(e, test_embedding), i)
+        })
+        .collect();
+    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+    let keep = if n < config.min_full_size {
+        n
+    } else {
+        ((n as f64 * config.fraction).round() as usize).clamp(1, n)
+    };
+    by_distance[..keep]
+        .iter()
+        .map(|&(d, index)| SelectedSample { index, weight: (-d / config.tau).exp() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_embeddings(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn small_sets_are_used_whole() {
+        let emb = line_embeddings(10);
+        let sel = select_weighted_subset(&emb, &[0.0], &SelectionConfig::default());
+        assert_eq!(sel.len(), 10);
+    }
+
+    #[test]
+    fn large_sets_keep_the_nearest_fraction() {
+        let emb = line_embeddings(400);
+        let sel = select_weighted_subset(&emb, &[0.0], &SelectionConfig::default());
+        assert_eq!(sel.len(), 200);
+        // Selected indices must be the 200 smallest (nearest to 0.0).
+        assert!(sel.iter().all(|s| s.index < 200));
+    }
+
+    #[test]
+    fn weights_decay_with_distance_and_stay_in_unit_interval() {
+        let emb = line_embeddings(300);
+        let cfg = SelectionConfig { tau: 50.0, ..Default::default() };
+        let sel = select_weighted_subset(&emb, &[0.0], &cfg);
+        for w in sel.windows(2) {
+            assert!(w[0].weight >= w[1].weight, "weights must be sorted by distance");
+        }
+        assert!(sel.iter().all(|s| s.weight > 0.0 && s.weight <= 1.0));
+        // The nearest sample (distance 0) has weight exactly 1.
+        assert!((sel[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_is_configurable() {
+        let emb = line_embeddings(400);
+        let cfg = SelectionConfig { fraction: 0.25, ..Default::default() };
+        assert_eq!(select_weighted_subset(&emb, &[0.0], &cfg).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding length mismatch")]
+    fn mismatched_embedding_panics() {
+        let emb = line_embeddings(5);
+        let _ = select_weighted_subset(&emb, &[0.0, 1.0], &SelectionConfig::default());
+    }
+
+    #[test]
+    fn record_validation() {
+        let r = CalibrationRecord::new(vec![1.0], vec![0.7, 0.3], 0);
+        assert_eq!(r.label, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_label_out_of_range_panics() {
+        let _ = CalibrationRecord::new(vec![1.0], vec![0.7, 0.3], 2);
+    }
+}

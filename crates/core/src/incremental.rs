@@ -1,0 +1,111 @@
+//! Incremental-learning support (Sec. 5.4): choosing which Prom-flagged
+//! samples to relabel.
+//!
+//! Prom itself does not retrain models — retraining is task-specific and
+//! happens in the caller (see `prom-eval`). What belongs here is the
+//! *selection policy*: given the judgements of a deployment window, pick the
+//! flagged samples most worth a ground-truth label, bounded by a budget
+//! (the paper relabels at most 5% of flagged samples, sometimes just one).
+
+use crate::committee::PromJudgement;
+
+/// A relabeling budget.
+#[derive(Debug, Clone, Copy)]
+pub struct RelabelBudget {
+    /// Fraction of flagged samples to relabel (paper: 0.05).
+    pub fraction: f64,
+    /// Lower bound on how many to relabel when anything is flagged
+    /// (paper: "sometimes just one").
+    pub min_count: usize,
+}
+
+impl Default for RelabelBudget {
+    fn default() -> Self {
+        Self { fraction: 0.05, min_count: 1 }
+    }
+}
+
+impl RelabelBudget {
+    /// How many of `flagged` samples the budget allows.
+    pub fn allowance(&self, flagged: usize) -> usize {
+        if flagged == 0 {
+            return 0;
+        }
+        ((flagged as f64 * self.fraction).ceil() as usize).clamp(self.min_count.min(flagged), flagged)
+    }
+}
+
+/// Selects the indices of flagged (rejected) samples to relabel, most
+/// drifted first (lowest mean credibility), bounded by the budget.
+///
+/// `judgements[i]` must correspond to deployment sample `i`; the returned
+/// indices point into that array.
+pub fn select_for_relabeling(judgements: &[PromJudgement], budget: RelabelBudget) -> Vec<usize> {
+    let mut flagged: Vec<(usize, f64)> = judgements
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| !j.accepted)
+        .map(|(i, j)| (i, j.mean_credibility()))
+        .collect();
+    flagged.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN credibility"));
+    let take = budget.allowance(flagged.len());
+    flagged.into_iter().take(take).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::committee::ExpertVerdict;
+
+    fn judgement(accepted: bool, credibility: f64) -> PromJudgement {
+        PromJudgement {
+            accepted,
+            reject_votes: usize::from(!accepted) * 4,
+            verdicts: vec![ExpertVerdict {
+                expert: "LAC".into(),
+                credibility,
+                confidence: 0.5,
+                prediction_set_size: 0,
+                reject: !accepted,
+            }],
+        }
+    }
+
+    #[test]
+    fn budget_allowance_rounds_up_with_floor() {
+        let b = RelabelBudget::default();
+        assert_eq!(b.allowance(0), 0);
+        assert_eq!(b.allowance(1), 1); // min_count
+        assert_eq!(b.allowance(100), 5); // 5%
+        assert_eq!(b.allowance(10), 1);
+        let big = RelabelBudget { fraction: 0.5, min_count: 2 };
+        assert_eq!(big.allowance(10), 5);
+        assert_eq!(big.allowance(1), 1); // capped at flagged count
+    }
+
+    #[test]
+    fn selects_lowest_credibility_rejects_first() {
+        let js = vec![
+            judgement(true, 0.9),   // accepted: never selected
+            judgement(false, 0.05),
+            judgement(false, 0.01),
+            judgement(false, 0.20),
+        ];
+        let picked =
+            select_for_relabeling(&js, RelabelBudget { fraction: 0.5, min_count: 1 });
+        assert_eq!(picked, vec![2, 1], "must pick the two most drifted rejects");
+    }
+
+    #[test]
+    fn default_budget_selects_at_least_one() {
+        let js = vec![judgement(false, 0.5), judgement(true, 0.9)];
+        let picked = select_for_relabeling(&js, RelabelBudget::default());
+        assert_eq!(picked, vec![0]);
+    }
+
+    #[test]
+    fn nothing_flagged_nothing_selected() {
+        let js = vec![judgement(true, 0.9); 5];
+        assert!(select_for_relabeling(&js, RelabelBudget::default()).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Classification nonconformity functions.
+//!
+//! A nonconformity function maps a model's probability vector and a
+//! candidate label to a scalar "strangeness": larger means the label fits
+//! the prediction *less*. Prom ships the four functions of the paper's
+//! supplemental table — LAC, Top-K, APS, and RAPS — and new ones can be
+//! added by implementing [`Nonconformity`].
+
+/// A classification nonconformity measure.
+///
+/// Implementations must be deterministic and must return larger scores for
+/// labels that conform less to the probability vector.
+pub trait Nonconformity: Send + Sync {
+    /// Short human-readable name (used in reports and committee verdicts).
+    fn name(&self) -> &'static str;
+
+    /// Nonconformity of `label` under the model output `probs`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `label >= probs.len()`.
+    fn score(&self, probs: &[f64], label: usize) -> f64;
+}
+
+/// LAC (Least Ambiguous set-valued Classifier, Sadinle et al.):
+/// `1 - p(label)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lac;
+
+impl Nonconformity for Lac {
+    fn name(&self) -> &'static str {
+        "LAC"
+    }
+
+    fn score(&self, probs: &[f64], label: usize) -> f64 {
+        assert!(label < probs.len(), "label out of range");
+        1.0 - probs[label]
+    }
+}
+
+/// Top-K (Angelopoulos et al.): the 1-based rank of the label when classes
+/// are sorted by descending probability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopK;
+
+impl Nonconformity for TopK {
+    fn name(&self) -> &'static str {
+        "Top-K"
+    }
+
+    fn score(&self, probs: &[f64], label: usize) -> f64 {
+        assert!(label < probs.len(), "label out of range");
+        let p = probs[label];
+        // Rank = 1 + number of classes with strictly higher probability;
+        // ties broken by index so the score is deterministic.
+        let rank = 1 + probs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &q)| q > p || (q == p && i < label))
+            .count();
+        rank as f64
+    }
+}
+
+/// APS (Adaptive Prediction Sets, Romano et al.): cumulative probability
+/// mass of all classes at least as probable as the label, inclusive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aps;
+
+impl Nonconformity for Aps {
+    fn name(&self) -> &'static str {
+        "APS"
+    }
+
+    fn score(&self, probs: &[f64], label: usize) -> f64 {
+        assert!(label < probs.len(), "label out of range");
+        let p = probs[label];
+        probs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &q)| q > p || (q == p && i <= label))
+            .map(|(_, &q)| q)
+            .sum()
+    }
+}
+
+/// RAPS (Regularized APS, Angelopoulos et al.): APS plus a penalty
+/// `lambda * max(rank - k_reg, 0)` discouraging deep labels.
+#[derive(Debug, Clone, Copy)]
+pub struct Raps {
+    /// Regularization weight λ.
+    pub lambda: f64,
+    /// Number of penalty-free top ranks.
+    pub k_reg: usize,
+}
+
+impl Default for Raps {
+    fn default() -> Self {
+        Self { lambda: 0.01, k_reg: 1 }
+    }
+}
+
+impl Nonconformity for Raps {
+    fn name(&self) -> &'static str {
+        "RAPS"
+    }
+
+    fn score(&self, probs: &[f64], label: usize) -> f64 {
+        let aps = Aps.score(probs, label);
+        let rank = TopK.score(probs, label);
+        aps + self.lambda * (rank - self.k_reg as f64).max(0.0)
+    }
+}
+
+/// The paper's default expert committee: LAC, Top-K, APS, RAPS.
+pub fn default_committee() -> Vec<Box<dyn Nonconformity>> {
+    vec![Box::new(Lac), Box::new(TopK), Box::new(Aps), Box::new(Raps::default())]
+}
+
+/// Builds a single-function committee by name (used by the baselines and
+/// the Fig. 11 ablation). Recognised names: `"LAC"`, `"Top-K"`, `"APS"`,
+/// `"RAPS"`.
+pub fn by_name(name: &str) -> Option<Box<dyn Nonconformity>> {
+    match name {
+        "LAC" => Some(Box::new(Lac)),
+        "Top-K" => Some(Box::new(TopK)),
+        "APS" => Some(Box::new(Aps)),
+        "RAPS" => Some(Box::new(Raps::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROBS: [f64; 4] = [0.5, 0.3, 0.15, 0.05];
+
+    #[test]
+    fn lac_is_one_minus_probability() {
+        assert!((Lac.score(&PROBS, 0) - 0.5).abs() < 1e-12);
+        assert!((Lac.score(&PROBS, 3) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_is_descending_rank() {
+        assert_eq!(TopK.score(&PROBS, 0), 1.0);
+        assert_eq!(TopK.score(&PROBS, 1), 2.0);
+        assert_eq!(TopK.score(&PROBS, 3), 4.0);
+    }
+
+    #[test]
+    fn topk_breaks_ties_deterministically() {
+        let tied = [0.4, 0.4, 0.2];
+        assert_eq!(TopK.score(&tied, 0), 1.0);
+        assert_eq!(TopK.score(&tied, 1), 2.0);
+    }
+
+    #[test]
+    fn aps_accumulates_down_to_label() {
+        assert!((Aps.score(&PROBS, 0) - 0.5).abs() < 1e-12);
+        assert!((Aps.score(&PROBS, 1) - 0.8).abs() < 1e-12);
+        assert!((Aps.score(&PROBS, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raps_penalizes_deep_ranks() {
+        let raps = Raps { lambda: 0.1, k_reg: 1 };
+        assert!((raps.score(&PROBS, 0) - 0.5).abs() < 1e-12); // rank 1, no penalty
+        assert!((raps.score(&PROBS, 2) - (0.95 + 0.2)).abs() < 1e-12); // rank 3
+    }
+
+    #[test]
+    fn all_functions_increase_for_less_likely_labels() {
+        for f in default_committee() {
+            let likely = f.score(&PROBS, 0);
+            let unlikely = f.score(&PROBS, 3);
+            assert!(unlikely > likely, "{} is not monotone", f.name());
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for f in default_committee() {
+            let rebuilt = by_name(f.name()).expect("name should resolve");
+            assert_eq!(rebuilt.name(), f.name());
+            assert!((rebuilt.score(&PROBS, 1) - f.score(&PROBS, 1)).abs() < 1e-12);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let _ = Lac.score(&PROBS, 4);
+    }
+}

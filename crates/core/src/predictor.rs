@@ -1,0 +1,388 @@
+//! [`PromClassifier`]: the deployment-time wrapper for classification
+//! models.
+
+use prom_ml::traits::Classifier;
+
+use crate::calibration::{select_weighted_subset, CalibrationRecord, SelectionConfig};
+use crate::committee::{
+    committee_accepts, confidence_score, expert_rejects, ExpertVerdict, PromConfig, PromJudgement,
+};
+use crate::nonconformity::{default_committee, Nonconformity};
+use crate::pvalue::{p_values, ScoredSample};
+use crate::PromError;
+
+/// Drift detector for a deployed probabilistic classifier.
+///
+/// Construct once at design time from a calibration set (held out from the
+/// model's training data), then call [`PromClassifier::judge`] on every
+/// deployment-time prediction. The wrapper never touches the underlying
+/// model: it only consumes embeddings and probability vectors, mirroring the
+/// paper's `pybind11` integration note.
+pub struct PromClassifier {
+    records: Vec<CalibrationRecord>,
+    /// Calibration embeddings, kept contiguous for the per-judgement
+    /// nearest-subset search.
+    embeddings: Vec<Vec<f64>>,
+    experts: Vec<Box<dyn Nonconformity>>,
+    /// `cal_scores[e][i]`: expert `e`'s nonconformity of calibration record
+    /// `i` at its true label, precomputed offline (Sec. 4.1.1).
+    cal_scores: Vec<Vec<f64>>,
+    config: PromConfig,
+    n_classes: usize,
+}
+
+impl PromClassifier {
+    /// Builds a detector with the paper's default expert committee
+    /// (LAC, Top-K, APS, RAPS).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError`] if the calibration set is empty or
+    /// inconsistent, or the configuration is out of range.
+    pub fn new(records: Vec<CalibrationRecord>, config: PromConfig) -> Result<Self, PromError> {
+        Self::with_experts(records, default_committee(), config)
+    }
+
+    /// Builds a detector with a custom expert committee (e.g. a single
+    /// function for the Fig. 11 ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError`] if the calibration set is empty or
+    /// inconsistent, the committee is empty, or the configuration is out of
+    /// range.
+    pub fn with_experts(
+        records: Vec<CalibrationRecord>,
+        experts: Vec<Box<dyn Nonconformity>>,
+        config: PromConfig,
+    ) -> Result<Self, PromError> {
+        if records.is_empty() {
+            return Err(PromError::EmptyCalibration);
+        }
+        if experts.is_empty() {
+            return Err(PromError::InvalidConfig { detail: "empty expert committee".into() });
+        }
+        config.validate().map_err(|detail| PromError::InvalidConfig { detail })?;
+        let emb_dim = records[0].embedding.len();
+        let n_classes = records[0].probs.len();
+        for (i, r) in records.iter().enumerate() {
+            if r.embedding.len() != emb_dim {
+                return Err(PromError::DimensionMismatch {
+                    detail: format!(
+                        "record {i} embedding has length {}, expected {emb_dim}",
+                        r.embedding.len()
+                    ),
+                });
+            }
+            if r.probs.len() != n_classes {
+                return Err(PromError::DimensionMismatch {
+                    detail: format!(
+                        "record {i} has {} classes, expected {n_classes}",
+                        r.probs.len()
+                    ),
+                });
+            }
+        }
+        let cal_scores = experts
+            .iter()
+            .map(|e| records.iter().map(|r| e.score(&r.probs, r.label)).collect())
+            .collect();
+        let embeddings = records.iter().map(|r| r.embedding.clone()).collect();
+        Ok(Self { records, embeddings, experts, cal_scores, config, n_classes })
+    }
+
+    /// Convenience constructor: runs `model` over the calibration inputs to
+    /// extract embeddings and probability vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PromClassifier::new`].
+    pub fn from_model<X, M: Classifier<X>>(
+        model: &M,
+        inputs: &[X],
+        labels: &[usize],
+        config: PromConfig,
+    ) -> Result<Self, PromError> {
+        assert_eq!(inputs.len(), labels.len(), "input/label length mismatch");
+        let records = inputs
+            .iter()
+            .zip(labels.iter())
+            .map(|(x, &y)| CalibrationRecord::new(model.embed(x), model.predict_proba(x), y))
+            .collect();
+        Self::new(records, config)
+    }
+
+    /// Judges one deployment-time prediction: `embedding` and `probs` are
+    /// the underlying model's embedding and probability vector for the test
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` has a different number of classes than the
+    /// calibration records or `embedding` has the wrong dimension.
+    pub fn judge(&self, embedding: &[f64], probs: &[f64]) -> PromJudgement {
+        self.judge_with(embedding, probs, &self.config)
+    }
+
+    /// Like [`PromClassifier::judge`], but with threshold parameters taken
+    /// from `config` instead of the stored configuration. Selection
+    /// parameters (`tau`, fraction, min size) still come from the stored
+    /// configuration, so grid search over ε / confidence thresholds does not
+    /// redo the calibration work.
+    pub fn judge_with(&self, embedding: &[f64], probs: &[f64], config: &PromConfig) -> PromJudgement {
+        let predicted = prom_ml::matrix::argmax(probs);
+        let ps_per_expert = self.expert_p_values(embedding, probs);
+        let verdicts: Vec<ExpertVerdict> = self
+            .experts
+            .iter()
+            .zip(ps_per_expert.iter())
+            .map(|(expert, ps)| {
+                let credibility = ps[predicted];
+                let set_size = ps.iter().filter(|&&p| p > config.epsilon).count();
+                let confidence = confidence_score(set_size, config.gaussian_c);
+                ExpertVerdict {
+                    expert: expert.name().to_string(),
+                    credibility,
+                    confidence,
+                    prediction_set_size: set_size,
+                    reject: expert_rejects(credibility, confidence, config),
+                }
+            })
+            .collect();
+        let (accepted, reject_votes) = committee_accepts(&verdicts);
+        PromJudgement { accepted, reject_votes, verdicts }
+    }
+
+    /// Per-expert p-values for every candidate label (`result[e][y]`).
+    ///
+    /// This is the raw statistical assessment behind [`PromClassifier::judge`];
+    /// the tuning module reuses it to sweep thresholds without recomputing
+    /// distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` has a different number of classes than the
+    /// calibration records or `embedding` has the wrong dimension.
+    pub fn expert_p_values(&self, embedding: &[f64], probs: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(probs.len(), self.n_classes, "class-count mismatch");
+        let selection = SelectionConfig {
+            fraction: self.config.selection_fraction,
+            min_full_size: self.config.min_full_size,
+            tau: self.config.tau,
+        };
+        let selected = select_weighted_subset(&self.embeddings, embedding, &selection);
+        self.experts
+            .iter()
+            .zip(self.cal_scores.iter())
+            .map(|(expert, scores)| {
+                let samples: Vec<ScoredSample> = selected
+                    .iter()
+                    .map(|s| ScoredSample {
+                        label: self.records[s.index].label,
+                        adjusted_score: s.weight * scores[s.index],
+                    })
+                    .collect();
+                let test_scores: Vec<f64> =
+                    (0..self.n_classes).map(|y| expert.score(probs, y)).collect();
+                p_values(&samples, &test_scores)
+            })
+            .collect()
+    }
+
+    /// The prediction set (labels with p-value above ε) of the *first*
+    /// expert — the set used for coverage assessment (Eq. 3).
+    pub fn prediction_set(&self, embedding: &[f64], probs: &[f64]) -> Vec<usize> {
+        let selection = SelectionConfig {
+            fraction: self.config.selection_fraction,
+            min_full_size: self.config.min_full_size,
+            tau: self.config.tau,
+        };
+        let selected = select_weighted_subset(&self.embeddings, embedding, &selection);
+        let expert = &self.experts[0];
+        let scores = &self.cal_scores[0];
+        let samples: Vec<ScoredSample> = selected
+            .iter()
+            .map(|s| ScoredSample {
+                label: self.records[s.index].label,
+                adjusted_score: s.weight * scores[s.index],
+            })
+            .collect();
+        let test_scores: Vec<f64> = (0..self.n_classes).map(|y| expert.score(probs, y)).collect();
+        p_values(&samples, &test_scores)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > self.config.epsilon)
+            .map(|(y, _)| y)
+            .collect()
+    }
+
+    /// Replaces the calibration set (used after incremental retraining, when
+    /// the model and its calibration data are refreshed together).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PromClassifier::new`].
+    pub fn recalibrate(&mut self, records: Vec<CalibrationRecord>) -> Result<(), PromError> {
+        let experts = std::mem::take(&mut self.experts);
+        let rebuilt = Self::with_experts(records, experts, self.config.clone())?;
+        *self = rebuilt;
+        Ok(())
+    }
+
+    /// Number of calibration records.
+    pub fn calibration_len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PromConfig {
+        &self.config
+    }
+
+    /// Borrow the calibration records (used by the assessment module).
+    pub fn records(&self) -> &[CalibrationRecord] {
+        &self.records
+    }
+
+    /// Names of the experts on the committee.
+    pub fn expert_names(&self) -> Vec<&'static str> {
+        self.experts.iter().map(|e| e.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Calibration set with two clusters and *realistic* model outputs:
+    /// confidence varies sample-to-sample and ~15% of predictions are wrong,
+    /// as any real calibration set would have. (With perfectly constant,
+    /// perfectly correct probabilities, rank-based nonconformity degenerates
+    /// — faithful to the method, but not a useful test fixture.)
+    fn toy_records(n: usize) -> Vec<CalibrationRecord> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.0 } else { 6.0 };
+                let jitter = ((i * 37 % 100) as f64 / 100.0 - 0.5) * 0.8;
+                let conf = 0.6 + 0.38 * ((i * 13 % 23) as f64 / 23.0);
+                let wrong = i % 7 == 3; // ~15% calibration mispredictions
+                let p_true = if wrong { 1.0 - conf } else { conf };
+                let probs = if label == 0 {
+                    vec![p_true, 1.0 - p_true]
+                } else {
+                    vec![1.0 - p_true, p_true]
+                };
+                CalibrationRecord::new(vec![base + jitter, base - jitter], probs, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_most_in_distribution_predictions() {
+        let prom = PromClassifier::new(toy_records(80), PromConfig::default()).unwrap();
+        // Draw test samples from the same distribution as calibration.
+        let mut accepted = 0;
+        let total = 40;
+        for i in 0..total {
+            let jitter = ((i * 41 % 100) as f64 / 100.0 - 0.5) * 0.8;
+            let conf = 0.6 + 0.38 * ((i * 17 % 23) as f64 / 23.0);
+            let j = prom.judge(&[jitter, -jitter], &[conf, 1.0 - conf]);
+            accepted += usize::from(j.accepted);
+        }
+        let rate = accepted as f64 / total as f64;
+        assert!(rate > 0.7, "in-distribution acceptance rate too low: {rate}");
+    }
+
+    #[test]
+    fn rejects_far_out_of_distribution_inputs() {
+        let prom = PromClassifier::new(toy_records(60), PromConfig::default()).unwrap();
+        // Far embedding + flat probabilities: both scores collapse.
+        let j = prom.judge(&[500.0, -500.0], &[0.51, 0.49]);
+        assert!(!j.accepted, "drifted prediction should be rejected: {j:?}");
+        assert!(j.reject_votes >= 2);
+    }
+
+    #[test]
+    fn judgement_has_one_verdict_per_expert() {
+        let prom = PromClassifier::new(toy_records(40), PromConfig::default()).unwrap();
+        let j = prom.judge(&[0.0, 0.0], &[0.9, 0.1]);
+        assert_eq!(j.verdicts.len(), 4);
+        let names: Vec<&str> = j.verdicts.iter().map(|v| v.expert.as_str()).collect();
+        assert_eq!(names, vec!["LAC", "Top-K", "APS", "RAPS"]);
+    }
+
+    #[test]
+    fn empty_calibration_is_an_error() {
+        assert_eq!(
+            PromClassifier::new(vec![], PromConfig::default()).err(),
+            Some(PromError::EmptyCalibration)
+        );
+    }
+
+    #[test]
+    fn inconsistent_records_are_an_error() {
+        let mut records = toy_records(10);
+        records.push(CalibrationRecord::new(vec![0.0], vec![0.5, 0.5], 0));
+        assert!(matches!(
+            PromClassifier::new(records, PromConfig::default()),
+            Err(PromError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let cfg = PromConfig { epsilon: 2.0, ..Default::default() };
+        assert!(matches!(
+            PromClassifier::new(toy_records(10), cfg),
+            Err(PromError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn recalibrate_swaps_records() {
+        let mut prom = PromClassifier::new(toy_records(20), PromConfig::default()).unwrap();
+        assert_eq!(prom.calibration_len(), 20);
+        prom.recalibrate(toy_records(30)).unwrap();
+        assert_eq!(prom.calibration_len(), 30);
+        assert_eq!(prom.expert_names().len(), 4);
+    }
+
+    #[test]
+    fn prediction_set_contains_true_label_for_typical_inputs() {
+        let prom = PromClassifier::new(toy_records(80), PromConfig::default()).unwrap();
+        let set = prom.prediction_set(&[0.1, 0.1], &[0.9, 0.1]);
+        assert!(set.contains(&0), "typical class-0 input must have 0 in its set: {set:?}");
+    }
+
+    #[test]
+    fn from_model_extracts_records() {
+        struct Stub;
+        impl Classifier<Vec<f64>> for Stub {
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn predict_proba(&self, x: &Vec<f64>) -> Vec<f64> {
+                if x[0] < 3.0 {
+                    vec![0.9, 0.1]
+                } else {
+                    vec![0.1, 0.9]
+                }
+            }
+            fn embed(&self, x: &Vec<f64>) -> Vec<f64> {
+                x.clone()
+            }
+        }
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 2) as f64 * 6.0]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let prom =
+            PromClassifier::from_model(&Stub, &inputs, &labels, PromConfig::default()).unwrap();
+        assert_eq!(prom.calibration_len(), 20);
+        assert!(prom.judge(&[0.0], &[0.9, 0.1]).accepted);
+    }
+}

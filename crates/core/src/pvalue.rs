@@ -1,0 +1,116 @@
+//! Eq. 2 p-values: the fraction of (weighted) calibration nonconformity
+//! scores, among samples sharing the candidate label, that are at least as
+//! strange as the test sample's score.
+
+/// A calibration sample prepared for p-value computation: its label and its
+/// *weight-adjusted* nonconformity score (`w_i * a_i`, Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredSample {
+    /// Ground-truth label of the calibration sample.
+    pub label: usize,
+    /// Weight-adjusted nonconformity score.
+    pub adjusted_score: f64,
+}
+
+/// Computes the Eq. 2 p-value of a test score for one candidate label:
+///
+/// ```text
+/// p = |{i : y_i = y  and  a_i >= a_test}| / |{i : y_i = y}|
+/// ```
+///
+/// Returns 0 when no calibration sample carries the candidate label — a
+/// label never seen in calibration offers no evidence of conformity.
+pub fn p_value_for_label(samples: &[ScoredSample], label: usize, test_score: f64) -> f64 {
+    let mut same_label = 0usize;
+    let mut at_least = 0usize;
+    for s in samples {
+        if s.label == label {
+            same_label += 1;
+            if s.adjusted_score >= test_score {
+                at_least += 1;
+            }
+        }
+    }
+    if same_label == 0 {
+        0.0
+    } else {
+        at_least as f64 / same_label as f64
+    }
+}
+
+/// Computes p-values for every candidate label, given the per-label test
+/// scores (`test_scores[y]` is the test sample's nonconformity assuming
+/// label `y`).
+pub fn p_values(samples: &[ScoredSample], test_scores: &[f64]) -> Vec<f64> {
+    test_scores
+        .iter()
+        .enumerate()
+        .map(|(label, &ts)| p_value_for_label(samples, label, ts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ScoredSample> {
+        vec![
+            ScoredSample { label: 0, adjusted_score: 0.1 },
+            ScoredSample { label: 0, adjusted_score: 0.2 },
+            ScoredSample { label: 0, adjusted_score: 0.3 },
+            ScoredSample { label: 0, adjusted_score: 0.4 },
+            ScoredSample { label: 1, adjusted_score: 0.9 },
+        ]
+    }
+
+    #[test]
+    fn counts_fraction_at_least_as_strange() {
+        // Test score 0.25: two of four class-0 samples (0.3, 0.4) are >=.
+        assert!((p_value_for_label(&samples(), 0, 0.25) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conforming_test_score_yields_high_p() {
+        // A tiny test score is less strange than everything.
+        assert!((p_value_for_label(&samples(), 0, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonconforming_test_score_yields_zero_p() {
+        assert_eq!(p_value_for_label(&samples(), 0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn unseen_label_yields_zero_p() {
+        assert_eq!(p_value_for_label(&samples(), 7, 0.0), 0.0);
+    }
+
+    #[test]
+    fn p_values_vector_matches_scalar_calls() {
+        let s = samples();
+        let tests = [0.25, 0.5];
+        let ps = p_values(&s, &tests);
+        assert_eq!(ps.len(), 2);
+        assert!((ps[0] - p_value_for_label(&s, 0, 0.25)).abs() < 1e-12);
+        assert!((ps[1] - p_value_for_label(&s, 1, 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_value_is_in_unit_interval() {
+        for t in [-1.0, 0.0, 0.15, 0.35, 2.0] {
+            let p = p_value_for_label(&samples(), 0, t);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn p_value_is_monotone_decreasing_in_test_score() {
+        let s = samples();
+        let mut last = f64::INFINITY;
+        for t in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+            let p = p_value_for_label(&s, 0, t);
+            assert!(p <= last, "p-value must not increase with strangeness");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Conformal drift detection for regression models (Sec. 5.1 of the paper).
+//!
+//! Regression has no labels to condition Eq. 2 on, so Prom manufactures
+//! them: the calibration set is clustered with k-means (K chosen by the gap
+//! statistic over 2..=20) and every sample's pseudo-label is its cluster.
+//! At deployment the ground truth is unknown, so it is approximated by the
+//! mean target of the k nearest calibration samples (k = 3), and the
+//! nonconformity is the residual between the model's prediction and that
+//! proxy.
+
+use prom_ml::cluster::{gap_statistic_k, KMeans};
+use prom_ml::knn::k_nearest;
+
+use crate::calibration::{select_weighted_subset, SelectionConfig};
+use crate::committee::{
+    committee_accepts, confidence_score, expert_rejects, ExpertVerdict, PromConfig, PromJudgement,
+};
+use crate::pvalue::{p_values, ScoredSample};
+use crate::PromError;
+
+/// One regression calibration sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionRecord {
+    /// Feature-space embedding of the input.
+    pub embedding: Vec<f64>,
+    /// The model's prediction for the input.
+    pub prediction: f64,
+    /// Ground-truth target.
+    pub target: f64,
+}
+
+impl RegressionRecord {
+    /// Creates a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty embedding or non-finite values.
+    pub fn new(embedding: Vec<f64>, prediction: f64, target: f64) -> Self {
+        assert!(!embedding.is_empty(), "empty embedding");
+        assert!(prediction.is_finite() && target.is_finite(), "non-finite record");
+        Self { embedding, prediction, target }
+    }
+}
+
+/// A regression nonconformity measure over a (prediction, target) pair.
+///
+/// `scale` is a robust residual scale computed on the calibration set,
+/// letting normalized measures compare residuals across tasks.
+pub trait RegressionNonconformity: Send + Sync {
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Nonconformity score; larger means stranger.
+    fn score(&self, prediction: f64, target: f64, scale: f64) -> f64;
+}
+
+/// `|prediction - target|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsoluteResidual;
+
+impl RegressionNonconformity for AbsoluteResidual {
+    fn name(&self) -> &'static str {
+        "AbsRes"
+    }
+
+    fn score(&self, prediction: f64, target: f64, _scale: f64) -> f64 {
+        (prediction - target).abs()
+    }
+}
+
+/// `(prediction - target)^2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SquaredResidual;
+
+impl RegressionNonconformity for SquaredResidual {
+    fn name(&self) -> &'static str {
+        "SqRes"
+    }
+
+    fn score(&self, prediction: f64, target: f64, _scale: f64) -> f64 {
+        (prediction - target) * (prediction - target)
+    }
+}
+
+/// `|prediction - target| / scale` — residual in units of the calibration
+/// set's typical residual.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedResidual;
+
+impl RegressionNonconformity for NormalizedResidual {
+    fn name(&self) -> &'static str {
+        "NormRes"
+    }
+
+    fn score(&self, prediction: f64, target: f64, scale: f64) -> f64 {
+        (prediction - target).abs() / scale.max(1e-12)
+    }
+}
+
+/// `|prediction - target| / (|target| + 1)` — relative error, robust near
+/// zero targets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelativeResidual;
+
+impl RegressionNonconformity for RelativeResidual {
+    fn name(&self) -> &'static str {
+        "RelRes"
+    }
+
+    fn score(&self, prediction: f64, target: f64, _scale: f64) -> f64 {
+        (prediction - target).abs() / (target.abs() + 1.0)
+    }
+}
+
+/// The default regression committee: absolute, squared, normalized, and
+/// relative residuals.
+pub fn default_regression_committee() -> Vec<Box<dyn RegressionNonconformity>> {
+    vec![
+        Box::new(AbsoluteResidual),
+        Box::new(SquaredResidual),
+        Box::new(NormalizedResidual),
+        Box::new(RelativeResidual),
+    ]
+}
+
+/// How the number of pseudo-label clusters is chosen.
+#[derive(Debug, Clone, Copy)]
+pub enum ClusterChoice {
+    /// Gap statistic over the inclusive range (paper default: 2..=20).
+    GapStatistic {
+        /// Smallest K considered.
+        min_k: usize,
+        /// Largest K considered.
+        max_k: usize,
+    },
+    /// A fixed K (used by the Fig. 13(b) sensitivity sweep).
+    Fixed(usize),
+}
+
+impl Default for ClusterChoice {
+    fn default() -> Self {
+        ClusterChoice::GapStatistic { min_k: 2, max_k: 20 }
+    }
+}
+
+/// Configuration of [`PromRegressor`].
+#[derive(Debug, Clone)]
+pub struct PromRegressorConfig {
+    /// The shared thresholds and selection parameters.
+    pub prom: PromConfig,
+    /// Number of neighbours used for the ground-truth proxy (paper: 3).
+    pub knn_k: usize,
+    /// Cluster-count selection strategy.
+    pub clusters: ClusterChoice,
+    /// Seed for k-means and the gap statistic.
+    pub seed: u64,
+}
+
+impl Default for PromRegressorConfig {
+    fn default() -> Self {
+        Self {
+            prom: PromConfig::default(),
+            knn_k: 3,
+            clusters: ClusterChoice::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Drift detector for a deployed regression model.
+pub struct PromRegressor {
+    records: Vec<RegressionRecord>,
+    embeddings: Vec<Vec<f64>>,
+    cluster_labels: Vec<usize>,
+    kmeans: KMeans,
+    experts: Vec<Box<dyn RegressionNonconformity>>,
+    /// `cal_scores[e][i]`: expert `e`'s residual nonconformity of record `i`.
+    cal_scores: Vec<Vec<f64>>,
+    residual_scale: f64,
+    config: PromRegressorConfig,
+}
+
+impl PromRegressor {
+    /// Builds a detector with the default residual committee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError`] on an empty or inconsistent calibration set or
+    /// invalid configuration.
+    pub fn new(
+        records: Vec<RegressionRecord>,
+        config: PromRegressorConfig,
+    ) -> Result<Self, PromError> {
+        Self::with_experts(records, default_regression_committee(), config)
+    }
+
+    /// Builds a detector with a custom residual committee.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PromRegressor::new`].
+    pub fn with_experts(
+        records: Vec<RegressionRecord>,
+        experts: Vec<Box<dyn RegressionNonconformity>>,
+        config: PromRegressorConfig,
+    ) -> Result<Self, PromError> {
+        if records.is_empty() {
+            return Err(PromError::EmptyCalibration);
+        }
+        if experts.is_empty() {
+            return Err(PromError::InvalidConfig { detail: "empty expert committee".into() });
+        }
+        if config.knn_k == 0 {
+            return Err(PromError::InvalidConfig { detail: "knn_k must be >= 1".into() });
+        }
+        config.prom.validate().map_err(|detail| PromError::InvalidConfig { detail })?;
+        let emb_dim = records[0].embedding.len();
+        if let Some((i, r)) =
+            records.iter().enumerate().find(|(_, r)| r.embedding.len() != emb_dim)
+        {
+            return Err(PromError::DimensionMismatch {
+                detail: format!(
+                    "record {i} embedding has length {}, expected {emb_dim}",
+                    r.embedding.len()
+                ),
+            });
+        }
+
+        let embeddings: Vec<Vec<f64>> = records.iter().map(|r| r.embedding.clone()).collect();
+        let k = match config.clusters {
+            ClusterChoice::Fixed(k) => {
+                if k == 0 {
+                    return Err(PromError::InvalidConfig {
+                        detail: "cluster count must be >= 1".into(),
+                    });
+                }
+                k.min(records.len())
+            }
+            ClusterChoice::GapStatistic { min_k, max_k } => {
+                if min_k == 0 || max_k < min_k {
+                    return Err(PromError::InvalidConfig {
+                        detail: format!("bad gap-statistic range {min_k}..={max_k}"),
+                    });
+                }
+                gap_statistic_k(&embeddings, min_k..=max_k.min(records.len()), 3, config.seed)
+            }
+        };
+        let kmeans = KMeans::fit(&embeddings, k, config.seed);
+        let cluster_labels: Vec<usize> = embeddings.iter().map(|e| kmeans.assign(e)).collect();
+
+        let residual_scale = records
+            .iter()
+            .map(|r| (r.prediction - r.target).abs())
+            .sum::<f64>()
+            / records.len() as f64;
+        let cal_scores: Vec<Vec<f64>> = experts
+            .iter()
+            .map(|e| {
+                records
+                    .iter()
+                    .map(|r| e.score(r.prediction, r.target, residual_scale))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            records,
+            embeddings,
+            cluster_labels,
+            kmeans,
+            experts,
+            cal_scores,
+            residual_scale,
+            config,
+        })
+    }
+
+    /// Approximates the deployment-time ground truth of a test input as the
+    /// mean target of its `knn_k` nearest calibration samples (Sec. 5.1.1).
+    pub fn approximate_target(&self, embedding: &[f64]) -> f64 {
+        let neighbours = k_nearest(&self.embeddings, embedding, self.config.knn_k);
+        neighbours.iter().map(|&i| self.records[i].target).sum::<f64>()
+            / neighbours.len() as f64
+    }
+
+    /// Judges one deployment-time regression prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an embedding-dimension mismatch.
+    pub fn judge(&self, embedding: &[f64], prediction: f64) -> PromJudgement {
+        let proxy_target = self.approximate_target(embedding);
+        // Pseudo-label of the test input: the cluster of its nearest
+        // calibration sample (Sec. 5.1.2).
+        let nearest = k_nearest(&self.embeddings, embedding, 1)[0];
+        let assigned = self.cluster_labels[nearest];
+        let n_clusters = self.kmeans.k();
+
+        let selection = SelectionConfig {
+            fraction: self.config.prom.selection_fraction,
+            min_full_size: self.config.prom.min_full_size,
+            tau: self.config.prom.tau,
+        };
+        let selected = select_weighted_subset(&self.embeddings, embedding, &selection);
+
+        let verdicts: Vec<ExpertVerdict> = self
+            .experts
+            .iter()
+            .zip(self.cal_scores.iter())
+            .map(|(expert, scores)| {
+                let samples: Vec<ScoredSample> = selected
+                    .iter()
+                    .map(|s| ScoredSample {
+                        label: self.cluster_labels[s.index],
+                        adjusted_score: s.weight * scores[s.index],
+                    })
+                    .collect();
+                let test_score = expert.score(prediction, proxy_target, self.residual_scale);
+                // The residual score does not depend on the candidate
+                // cluster, but the per-cluster calibration populations do.
+                let test_scores = vec![test_score; n_clusters];
+                let ps = p_values(&samples, &test_scores);
+                let credibility = ps[assigned];
+                let set_size =
+                    ps.iter().filter(|&&p| p > self.config.prom.epsilon).count();
+                let confidence = confidence_score(set_size, self.config.prom.gaussian_c);
+                ExpertVerdict {
+                    expert: expert.name().to_string(),
+                    credibility,
+                    confidence,
+                    prediction_set_size: set_size,
+                    reject: expert_rejects(credibility, confidence, &self.config.prom),
+                }
+            })
+            .collect();
+        let (accepted, reject_votes) = committee_accepts(&verdicts);
+        PromJudgement { accepted, reject_votes, verdicts }
+    }
+
+    /// Replaces the calibration set (after incremental retraining).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PromRegressor::new`].
+    pub fn recalibrate(&mut self, records: Vec<RegressionRecord>) -> Result<(), PromError> {
+        let experts = std::mem::take(&mut self.experts);
+        let rebuilt = Self::with_experts(records, experts, self.config.clone())?;
+        *self = rebuilt;
+        Ok(())
+    }
+
+    /// Number of pseudo-label clusters in use.
+    pub fn n_clusters(&self) -> usize {
+        self.kmeans.k()
+    }
+
+    /// Number of calibration records.
+    pub fn calibration_len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The robust residual scale of the calibration set.
+    pub fn residual_scale(&self) -> f64 {
+        self.residual_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Calibration set: y = 2x over two separated input clusters, with an
+    /// accurate model (prediction ≈ target).
+    fn records(n: usize) -> Vec<RegressionRecord> {
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+                let x = base + (i as f64 * 0.37).sin() * 0.5;
+                let target = 2.0 * x;
+                let prediction = target + (i as f64 * 0.91).cos() * 0.1;
+                RegressionRecord::new(vec![x, x * 0.5], prediction, target)
+            })
+            .collect()
+    }
+
+    fn config_fixed(k: usize) -> PromRegressorConfig {
+        PromRegressorConfig { clusters: ClusterChoice::Fixed(k), ..Default::default() }
+    }
+
+    #[test]
+    fn accepts_accurate_in_distribution_predictions() {
+        let prom = PromRegressor::new(records(80), config_fixed(2)).unwrap();
+        // In-distribution input near x = 0, prediction close to 2x = 0.2.
+        let j = prom.judge(&[0.1, 0.05], 0.2);
+        assert!(j.accepted, "accurate prediction should be accepted: {j:?}");
+    }
+
+    #[test]
+    fn rejects_wildly_wrong_predictions() {
+        let prom = PromRegressor::new(records(80), config_fixed(2)).unwrap();
+        // Same input, but the model predicts 50 instead of ~0.2: the
+        // residual against the k-NN proxy is enormous.
+        let j = prom.judge(&[0.1, 0.05], 50.0);
+        assert!(!j.accepted, "wrong prediction should be rejected: {j:?}");
+    }
+
+    #[test]
+    fn proxy_target_matches_local_mean() {
+        let prom = PromRegressor::new(records(40), config_fixed(2)).unwrap();
+        let approx = prom.approximate_target(&[0.0, 0.0]);
+        assert!(approx.abs() < 1.5, "proxy should be near 0 for the x=0 cluster: {approx}");
+        let approx_far = prom.approximate_target(&[10.0, 5.0]);
+        assert!((approx_far - 20.0).abs() < 1.5, "proxy should be near 20: {approx_far}");
+    }
+
+    #[test]
+    fn gap_statistic_discovers_two_clusters() {
+        let cfg = PromRegressorConfig {
+            clusters: ClusterChoice::GapStatistic { min_k: 2, max_k: 8 },
+            ..Default::default()
+        };
+        let prom = PromRegressor::new(records(80), cfg).unwrap();
+        assert!((2..=4).contains(&prom.n_clusters()), "found {}", prom.n_clusters());
+    }
+
+    #[test]
+    fn default_committee_has_four_residual_experts() {
+        let prom = PromRegressor::new(records(30), config_fixed(2)).unwrap();
+        let j = prom.judge(&[0.0, 0.0], 0.0);
+        assert_eq!(j.verdicts.len(), 4);
+    }
+
+    #[test]
+    fn empty_records_error() {
+        assert_eq!(
+            PromRegressor::new(vec![], PromRegressorConfig::default()).err(),
+            Some(PromError::EmptyCalibration)
+        );
+    }
+
+    #[test]
+    fn invalid_cluster_range_error() {
+        let cfg = PromRegressorConfig {
+            clusters: ClusterChoice::GapStatistic { min_k: 5, max_k: 2 },
+            ..Default::default()
+        };
+        assert!(matches!(
+            PromRegressor::new(records(10), cfg),
+            Err(PromError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn recalibrate_replaces_data() {
+        let mut prom = PromRegressor::new(records(30), config_fixed(2)).unwrap();
+        prom.recalibrate(records(50)).unwrap();
+        assert_eq!(prom.calibration_len(), 50);
+    }
+
+    #[test]
+    fn residual_experts_scale_sanely() {
+        let scale = 2.0;
+        assert!((AbsoluteResidual.score(3.0, 1.0, scale) - 2.0).abs() < 1e-12);
+        assert!((SquaredResidual.score(3.0, 1.0, scale) - 4.0).abs() < 1e-12);
+        assert!((NormalizedResidual.score(3.0, 1.0, scale) - 1.0).abs() < 1e-12);
+        assert!((RelativeResidual.score(3.0, 1.0, scale) - 1.0).abs() < 1e-12);
+    }
+}

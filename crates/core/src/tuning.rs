@@ -1,0 +1,277 @@
+//! Grid search over Prom's thresholds (Sec. 5.2: "a parameter selection
+//! function with a grid search algorithm is provided to help users set the
+//! optimal parameters automatically").
+//!
+//! The search consumes a validation set of deployment-like outcomes — each
+//! with the model's embedding, probability vector, and whether the model's
+//! prediction was actually correct — and picks the `(epsilon,
+//! confidence_threshold)` pair maximizing the F1 score of misprediction
+//! detection.
+
+use prom_ml::metrics::BinaryConfusion;
+
+use crate::calibration::CalibrationRecord;
+use crate::committee::PromConfig;
+use crate::predictor::PromClassifier;
+use crate::PromError;
+
+/// One validation observation for threshold tuning.
+#[derive(Debug, Clone)]
+pub struct ValidationOutcome {
+    /// Model embedding of the validation input.
+    pub embedding: Vec<f64>,
+    /// Model probability vector.
+    pub probs: Vec<f64>,
+    /// Whether the model's argmax prediction was correct.
+    pub correct: bool,
+}
+
+/// A grid-search result.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// The winning configuration.
+    pub config: PromConfig,
+    /// Misprediction-detection F1 of the winning configuration.
+    pub f1: f64,
+    /// Every `(epsilon, confidence_threshold, f1)` triple evaluated.
+    pub grid: Vec<(f64, f64, f64)>,
+}
+
+/// Calibrates the Eq. 1 temperature τ so that the detector's rejection
+/// rate on *in-distribution* data matches `target_reject_rate`
+/// (cross-validated on the calibration set, as in the paper's
+/// initialization assessment — no deployment data is consulted).
+///
+/// The rejection rate is monotone non-increasing in τ (larger τ weakens the
+/// distance weighting), so a log-space bisection converges quickly. Returns
+/// the calibrated τ.
+///
+/// # Errors
+///
+/// Returns [`PromError`] if the records are too few to split.
+pub fn calibrate_tau(
+    records: &[CalibrationRecord],
+    base: &PromConfig,
+    target_reject_rate: f64,
+    seed: u64,
+) -> Result<f64, PromError> {
+    if records.len() < 10 {
+        return Err(PromError::InvalidConfig {
+            detail: format!("need at least 10 records to calibrate tau, got {}", records.len()),
+        });
+    }
+    // Scale-free bounds: express τ as a multiple of the median pairwise
+    // embedding distance.
+    let med = median_pairwise_distance(records);
+    let rate_at = |tau: f64| -> Result<f64, PromError> {
+        let mut rng = prom_ml::rng::rng_from_seed(seed ^ 0x7a0);
+        let rounds = 3;
+        let holdout = (records.len() / 5).max(2);
+        let mut rejected = 0usize;
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            let (cal_idx, val_idx) =
+                prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
+            let cal: Vec<CalibrationRecord> =
+                cal_idx.iter().map(|i| records[*i].clone()).collect();
+            let config = PromConfig { tau, ..base.clone() };
+            let prom = PromClassifier::new(cal, config)?;
+            for &i in &val_idx {
+                let r = &records[i];
+                total += 1;
+                rejected += usize::from(!prom.judge(&r.embedding, &r.probs).accepted);
+            }
+        }
+        Ok(rejected as f64 / total.max(1) as f64)
+    };
+    let (mut lo, mut hi) = (0.25f64, 64.0f64); // multipliers of the median
+    // If even the weakest weighting rejects less than the target, the
+    // distance signal is irrelevant; keep the weak end.
+    if rate_at(hi * med)? >= target_reject_rate {
+        return Ok(hi * med);
+    }
+    for _ in 0..8 {
+        let mid = (lo * hi).sqrt();
+        if rate_at(mid * med)? > target_reject_rate {
+            lo = mid; // too aggressive: increase tau
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi * med)
+}
+
+fn median_pairwise_distance(records: &[CalibrationRecord]) -> f64 {
+    let cap = records.len().min(64);
+    let mut dists = Vec::new();
+    for i in 0..cap {
+        for j in (i + 1)..cap {
+            dists.push(prom_ml::matrix::l2_distance(
+                &records[i].embedding,
+                &records[j].embedding,
+            ));
+        }
+    }
+    if dists.is_empty() {
+        return 1.0;
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    dists[dists.len() / 2].max(1e-6)
+}
+
+/// Sweeps `epsilons x confidence_thresholds`, evaluating each pair's
+/// misprediction-detection F1 on the validation outcomes, and returns the
+/// best configuration (ties go to the earlier grid point).
+///
+/// The calibration work (distances, nonconformity scores) is done once; only
+/// thresholding is re-evaluated per grid point.
+///
+/// # Errors
+///
+/// Returns [`PromError`] if the detector cannot be built or a grid axis is
+/// empty.
+pub fn grid_search(
+    records: Vec<CalibrationRecord>,
+    validation: &[ValidationOutcome],
+    base: PromConfig,
+    epsilons: &[f64],
+    confidence_thresholds: &[f64],
+) -> Result<GridSearchResult, PromError> {
+    if epsilons.is_empty() || confidence_thresholds.is_empty() {
+        return Err(PromError::InvalidConfig { detail: "empty grid axis".into() });
+    }
+    let prom = PromClassifier::new(records, base.clone())?;
+    let mut grid = Vec::with_capacity(epsilons.len() * confidence_thresholds.len());
+    let mut best: Option<(PromConfig, f64)> = None;
+    for &eps in epsilons {
+        for &thr in confidence_thresholds {
+            let candidate = PromConfig {
+                epsilon: eps,
+                confidence_threshold: thr,
+                ..base.clone()
+            };
+            if candidate.validate().is_err() {
+                continue;
+            }
+            let mut confusion = BinaryConfusion::default();
+            for v in validation {
+                let judgement = prom.judge_with(&v.embedding, &v.probs, &candidate);
+                confusion.record(!judgement.accepted, !v.correct);
+            }
+            let f1 = confusion.f1();
+            grid.push((eps, thr, f1));
+            if best.as_ref().is_none_or(|(_, b)| f1 > *b) {
+                best = Some((candidate, f1));
+            }
+        }
+    }
+    let (config, f1) = best.ok_or_else(|| PromError::InvalidConfig {
+        detail: "no valid grid point".into(),
+    })?;
+    Ok(GridSearchResult { config, f1, grid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_records(n: usize) -> Vec<CalibrationRecord> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.0 } else { 6.0 };
+                let jitter = ((i * 17 % 50) as f64 / 50.0 - 0.5) * 0.6;
+                // Near-continuous confidence spread, with occasional
+                // calibration errors, as real model outputs have.
+                let conf = 0.6 + 0.38 * ((i * 13 % 97) as f64 / 97.0);
+                let p_true = if i % 9 == 4 { 1.0 - conf } else { conf };
+                let probs =
+                    if label == 0 { vec![p_true, 1.0 - p_true] } else { vec![1.0 - p_true, p_true] };
+                CalibrationRecord::new(vec![base + jitter, base - jitter], probs, label)
+            })
+            .collect()
+    }
+
+    /// Half the validation set is in-distribution and correct; half is
+    /// drifted (far embeddings, flat probs) and wrong.
+    fn validation() -> Vec<ValidationOutcome> {
+        let mut v = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f64 * 0.21).sin() * 0.4;
+            v.push(ValidationOutcome {
+                embedding: vec![jitter, -jitter],
+                probs: vec![0.88, 0.12],
+                correct: true,
+            });
+            v.push(ValidationOutcome {
+                embedding: vec![100.0 + jitter, -100.0],
+                probs: vec![0.52, 0.48],
+                correct: false,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn grid_search_finds_a_separating_configuration() {
+        let result = grid_search(
+            toy_records(80),
+            &validation(),
+            PromConfig::default(),
+            &[0.05, 0.1, 0.2],
+            &[0.5, 0.9, 0.95],
+        )
+        .unwrap();
+        assert!(result.f1 > 0.9, "grid search F1 too low: {result:?}");
+        assert_eq!(result.grid.len(), 9);
+    }
+
+    #[test]
+    fn empty_axis_is_an_error() {
+        let err = grid_search(
+            toy_records(20),
+            &validation(),
+            PromConfig::default(),
+            &[],
+            &[0.9],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn calibrate_tau_hits_in_distribution_target() {
+        let records = toy_records(120);
+        let base = PromConfig::default();
+        let tau = calibrate_tau(&records, &base, 0.12, 1).unwrap();
+        assert!(tau > 0.0);
+        // Rebuild with the calibrated tau and measure the in-distribution
+        // rejection rate on the records themselves.
+        let prom =
+            PromClassifier::new(records.clone(), PromConfig { tau, ..base }).unwrap();
+        let rejected = records
+            .iter()
+            .filter(|r| !prom.judge(&r.embedding, &r.probs).accepted)
+            .count();
+        let rate = rejected as f64 / records.len() as f64;
+        assert!(rate <= 0.35, "calibrated in-distribution rejection too high: {rate}");
+    }
+
+    #[test]
+    fn calibrate_tau_needs_enough_records() {
+        let err = calibrate_tau(&toy_records(4), &PromConfig::default(), 0.1, 0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn invalid_grid_points_are_skipped() {
+        let result = grid_search(
+            toy_records(40),
+            &validation(),
+            PromConfig::default(),
+            &[0.1, 7.0], // 7.0 is invalid and must be skipped
+            &[0.95],
+        )
+        .unwrap();
+        assert_eq!(result.grid.len(), 1);
+    }
+}

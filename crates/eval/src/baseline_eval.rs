@@ -1,0 +1,118 @@
+//! Prom vs prior-work detectors on identical scenarios (Fig. 10).
+//!
+//! All detectors share one trained underlying model and one calibration
+//! split; TESSERACT and RISE additionally receive the design-time (i.i.d.)
+//! test outcomes as their validation data for threshold/SVM tuning.
+
+use prom_baselines::tesseract::LabeledOutcome;
+use prom_baselines::{DriftDetector, NaiveCp, Rise, Tesseract};
+use prom_ml::metrics::BinaryConfusion;
+
+use crate::report::DetectionStats;
+use crate::scenario::{fit_scenario, is_misprediction, FittedScenario, ScenarioConfig};
+
+/// Detection quality of every method on one scenario.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Case-study display name.
+    pub case_name: &'static str,
+    /// Model display name.
+    pub model_name: &'static str,
+    /// `(detector name, stats)` per method, Prom included.
+    pub methods: Vec<(String, DetectionStats)>,
+}
+
+fn evaluate_detector(
+    fitted: &FittedScenario,
+    rejects: &mut dyn FnMut(&[f64], &[f64]) -> bool,
+) -> DetectionStats {
+    let mut confusion = BinaryConfusion::default();
+    for s in &fitted.data.drift_test {
+        let probs = fitted.model.predict_proba(s);
+        let embedding = fitted.model.embed(s);
+        let pred = prom_ml::matrix::argmax(&probs);
+        confusion.record(rejects(&embedding, &probs), is_misprediction(s, pred));
+    }
+    DetectionStats::from_confusion(&confusion)
+}
+
+/// Runs Prom and all three baselines on one scenario.
+pub fn compare_detectors(config: &ScenarioConfig) -> BaselineComparison {
+    let fitted = fit_scenario(config);
+
+    // Validation outcomes for the tuned baselines: the design-time test
+    // set, where correctness is known without any drift leakage.
+    let validation: Vec<LabeledOutcome> = fitted
+        .data
+        .iid_test
+        .iter()
+        .map(|s| {
+            let probs = fitted.model.predict_proba(s);
+            let pred = prom_ml::matrix::argmax(&probs);
+            LabeledOutcome { probs, correct: !is_misprediction(s, pred) }
+        })
+        .collect();
+    let has_both =
+        validation.iter().any(|v| v.correct) && validation.iter().any(|v| !v.correct);
+
+    let mut methods = Vec::new();
+
+    methods.push((
+        "PROM".to_string(),
+        evaluate_detector(&fitted, &mut |e, p| !fitted.prom.judge(e, p).accepted),
+    ));
+
+    let naive = NaiveCp::new(&fitted.records, fitted.prom_config.epsilon);
+    methods.push((
+        naive.name().to_string(),
+        evaluate_detector(&fitted, &mut |e, p| naive.rejects(e, p)),
+    ));
+
+    let tesseract = Tesseract::fit(&fitted.records, &validation, fitted.data.n_classes);
+    methods.push((
+        tesseract.name().to_string(),
+        evaluate_detector(&fitted, &mut |e, p| tesseract.rejects(e, p)),
+    ));
+
+    if has_both {
+        let rise = Rise::fit(&fitted.records, &validation, fitted.prom_config.epsilon);
+        methods.push((
+            rise.name().to_string(),
+            evaluate_detector(&fitted, &mut |e, p| rise.rejects(e, p)),
+        ));
+    }
+
+    BaselineComparison {
+        case_name: config.case.name(),
+        model_name: config.model.paper_name,
+        methods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Arch, TrainBudget};
+    use crate::registry::{CaseId, CaseScale, ModelSpec};
+
+    #[test]
+    fn all_detectors_produce_stats_on_devmap() {
+        let config = ScenarioConfig {
+            scale: CaseScale { data_scale: 0.12, seed: 5 },
+            budget: TrainBudget { epochs_scale: 0.2, seed: 5 },
+            ..ScenarioConfig::new(
+                CaseId::Devmap,
+                ModelSpec { paper_name: "test", arch: Arch::Mlp },
+            )
+        };
+        let cmp = compare_detectors(&config);
+        assert!(cmp.methods.len() >= 3, "expected Prom + at least 2 baselines");
+        let names: Vec<&str> = cmp.methods.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"PROM"));
+        assert!(names.contains(&"MAPIE-PUNCC"));
+        assert!(names.contains(&"TESSERACT"));
+        for (name, stats) in &cmp.methods {
+            assert!(stats.n > 0, "{name} evaluated nothing");
+        }
+    }
+}

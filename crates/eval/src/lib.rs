@@ -1,0 +1,31 @@
+//! # `prom-eval` — the experiment harness of the Prom reproduction
+//!
+//! Glues the workspace together: trains the 13 underlying models of the
+//! paper's Table 1 on the synthetic case studies, wraps them with Prom,
+//! introduces drift, measures detection quality, runs incremental learning,
+//! and emits the rows behind every table and figure of the evaluation.
+//!
+//! * [`models`] — the unified [`models::TrainedModel`] wrapper over all
+//!   architectures (MLP, LSTM/Bi-LSTM, transformer, GBC, SVM, GNN);
+//! * [`registry`] — the case-study × model matrix of Table 1;
+//! * [`scenario`] — the classification pipeline (train → calibrate →
+//!   deploy → detect → incrementally learn) behind Figs. 7–11;
+//! * [`codegen_eval`] — the regression pipeline behind Table 3 and
+//!   Fig. 8(e);
+//! * [`baseline_eval`] — Prom vs RISE / TESSERACT / naive CP (Fig. 10);
+//! * [`suite`] — parallel whole-evaluation orchestration and aggregation;
+//! * [`report`] — shared result structs and pretty-printing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline_eval;
+pub mod codegen_eval;
+pub mod models;
+pub mod registry;
+pub mod report;
+pub mod scenario;
+pub mod suite;
+
+pub use registry::{CaseId, ModelSpec};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioResult};

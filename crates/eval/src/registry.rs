@@ -1,0 +1,166 @@
+//! The case-study × model matrix of the paper's Table 1.
+
+use prom_workloads::coarsening::{self, CoarseningConfig};
+use prom_workloads::devmap::{self, DevmapConfig};
+use prom_workloads::vectorization::{self, VectorizationConfig};
+use prom_workloads::vulnerability::{self, VulnerabilityConfig};
+use prom_workloads::ClassificationCase;
+
+use crate::models::Arch;
+
+/// The five case studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseId {
+    /// C1: GPU thread coarsening.
+    Coarsening,
+    /// C2: loop vectorization.
+    Vectorization,
+    /// C3: heterogeneous device mapping.
+    Devmap,
+    /// C4: vulnerability detection.
+    Vulnerability,
+    /// C5: DNN code generation (regression; handled by
+    /// [`crate::codegen_eval`]).
+    Codegen,
+}
+
+impl CaseId {
+    /// The four classification case studies (C5 is regression).
+    pub const CLASSIFICATION: [CaseId; 4] =
+        [CaseId::Coarsening, CaseId::Vectorization, CaseId::Devmap, CaseId::Vulnerability];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseId::Coarsening => "C1: thread coarsening",
+            CaseId::Vectorization => "C2: loop vectorization",
+            CaseId::Devmap => "C3: heterogeneous mapping",
+            CaseId::Vulnerability => "C4: vulnerability detection",
+            CaseId::Codegen => "C5: DNN code generation",
+        }
+    }
+}
+
+/// One underlying model of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSpec {
+    /// The name used in the paper (e.g. `"DeepTune"`).
+    pub paper_name: &'static str,
+    /// The architecture this reproduction uses for it.
+    pub arch: Arch,
+}
+
+/// The models evaluated per case study (paper Table 1).
+pub fn models_for(case: CaseId) -> Vec<ModelSpec> {
+    match case {
+        CaseId::Coarsening => vec![
+            ModelSpec { paper_name: "Magni et al.", arch: Arch::Mlp },
+            ModelSpec { paper_name: "DeepTune", arch: Arch::Lstm },
+            ModelSpec { paper_name: "IR2Vec", arch: Arch::Gbc },
+        ],
+        CaseId::Vectorization => vec![
+            ModelSpec { paper_name: "K.Stock et al.", arch: Arch::Svm },
+            ModelSpec { paper_name: "DeepTune", arch: Arch::Lstm },
+            ModelSpec { paper_name: "Magni et al.", arch: Arch::Mlp },
+        ],
+        CaseId::Devmap => vec![
+            ModelSpec { paper_name: "DeepTune", arch: Arch::Lstm },
+            ModelSpec { paper_name: "Programl", arch: Arch::Gnn },
+            ModelSpec { paper_name: "IR2Vec", arch: Arch::Gbc },
+        ],
+        CaseId::Vulnerability => vec![
+            ModelSpec { paper_name: "Vulde", arch: Arch::BiLstm },
+            ModelSpec { paper_name: "CodeXGLUE", arch: Arch::Transformer },
+            ModelSpec { paper_name: "LineVul", arch: Arch::Transformer },
+        ],
+        CaseId::Codegen => vec![ModelSpec { paper_name: "Tlp", arch: Arch::Transformer }],
+    }
+}
+
+/// Dataset-size scaling for the classification cases: 1.0 is the full
+/// experiment size; tests use smaller values.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseScale {
+    /// Multiplier on per-suite/per-family/per-era sample counts.
+    pub data_scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for CaseScale {
+    fn default() -> Self {
+        Self { data_scale: 1.0, seed: 0 }
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(4)
+}
+
+/// Generates a classification case study's data.
+///
+/// # Panics
+///
+/// Panics if called with [`CaseId::Codegen`] (a regression case; see
+/// [`crate::codegen_eval`]).
+pub fn generate_case(case: CaseId, scale: CaseScale) -> ClassificationCase {
+    match case {
+        CaseId::Coarsening => coarsening::generate(&CoarseningConfig {
+            kernels_per_suite: scaled(40, scale.data_scale),
+            seed: scale.seed,
+            ..Default::default()
+        }),
+        CaseId::Vectorization => vectorization::generate(&VectorizationConfig {
+            loops_per_family: scaled(110, scale.data_scale),
+            seed: scale.seed,
+            ..Default::default()
+        }),
+        CaseId::Devmap => devmap::generate(&DevmapConfig {
+            kernels_per_suite: scaled(90, scale.data_scale),
+            seed: scale.seed,
+            ..Default::default()
+        }),
+        CaseId::Vulnerability => vulnerability::generate(&VulnerabilityConfig {
+            samples_per_era: scaled(105, scale.data_scale),
+            train_eras: (1, 8),
+            deploy_eras: (9, 11),
+            seed: scale.seed,
+        }),
+        CaseId::Codegen => panic!("C5 is a regression case; use codegen_eval"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_thirteen_models() {
+        let total: usize = [
+            CaseId::Coarsening,
+            CaseId::Vectorization,
+            CaseId::Devmap,
+            CaseId::Vulnerability,
+            CaseId::Codegen,
+        ]
+        .iter()
+        .map(|&c| models_for(c).len())
+        .sum();
+        assert_eq!(total, 13, "Table 1 lists 13 test methods");
+    }
+
+    #[test]
+    fn every_classification_case_generates() {
+        for case in CaseId::CLASSIFICATION {
+            let data = generate_case(case, CaseScale { data_scale: 0.1, seed: 1 });
+            assert!(!data.train.is_empty(), "{case:?}");
+            assert!(!data.drift_test.is_empty(), "{case:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regression case")]
+    fn codegen_is_not_a_classification_case() {
+        let _ = generate_case(CaseId::Codegen, CaseScale::default());
+    }
+}

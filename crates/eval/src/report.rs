@@ -1,0 +1,199 @@
+//! Shared result structs (serializable for `EXPERIMENTS.md` generation)
+//! and distribution summaries standing in for the paper's violin plots.
+
+use prom_ml::metrics::BinaryConfusion;
+use serde::{Deserialize, Serialize};
+
+/// A five-number summary of a value distribution — the textual equivalent
+/// of one violin in Figs. 7 and 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl DistStats {
+    /// Summarizes a non-empty slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty distribution");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN value"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (sorted.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        Self {
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: sorted[sorted.len() - 1],
+            n: values.len(),
+        }
+    }
+}
+
+/// Quality of one evaluation pass of the underlying model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Fraction of samples where the predicted label equals the oracle.
+    pub accuracy: f64,
+    /// Macro F1 over classes (meaningful for C4).
+    pub macro_f1: f64,
+    /// Distribution of performance-to-oracle ratios (optimization tasks;
+    /// `None` for pure classification).
+    pub perf: Option<DistStats>,
+}
+
+/// Drift-detection quality (the metrics of Sec. 6.6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionStats {
+    /// Detection accuracy.
+    pub accuracy: f64,
+    /// Precision of rejects.
+    pub precision: f64,
+    /// Recall of mispredictions.
+    pub recall: f64,
+    /// F1 of misprediction detection.
+    pub f1: f64,
+    /// False-positive rate (correct predictions rejected).
+    pub fpr: f64,
+    /// False-negative rate (mispredictions accepted).
+    pub fnr: f64,
+    /// Number of evaluated samples.
+    pub n: usize,
+    /// Number of true mispredictions among them.
+    pub n_mispredictions: usize,
+}
+
+impl DetectionStats {
+    /// Converts a raw confusion table.
+    pub fn from_confusion(c: &BinaryConfusion) -> Self {
+        Self {
+            accuracy: c.accuracy(),
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+            fpr: c.false_positive_rate(),
+            fnr: c.false_negative_rate(),
+            n: c.total(),
+            n_mispredictions: c.tp + c.fn_,
+        }
+    }
+}
+
+/// Formats a ratio as a paper-style percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Renders a simple aligned table (rows of equal-length cells).
+///
+/// # Panics
+///
+/// Panics if rows have uneven lengths.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    for r in rows {
+        assert_eq!(r.len(), ncols, "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for r in rows {
+        out.push_str(&fmt_row(r.clone(), &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_stats_of_known_values() {
+        let s = DistStats::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.q1 - 2.0).abs() < 1e-12);
+        assert!((s.q3 - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn dist_stats_interpolates_quartiles() {
+        let s = DistStats::from_values(&[0.0, 1.0]);
+        assert!((s.median - 0.5).abs() < 1e-12);
+        assert!((s.q1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_stats_from_confusion() {
+        let mut c = BinaryConfusion::default();
+        for _ in 0..9 {
+            c.record(true, true);
+        }
+        c.record(false, true);
+        c.record(true, false);
+        for _ in 0..9 {
+            c.record(false, false);
+        }
+        let d = DetectionStats::from_confusion(&c);
+        assert!((d.recall - 0.9).abs() < 1e-12);
+        assert!((d.precision - 0.9).abs() < 1e-12);
+        assert_eq!(d.n, 20);
+        assert_eq!(d.n_mispredictions, 10);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(t.contains("| name      | value |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.962), "96.2%");
+    }
+}

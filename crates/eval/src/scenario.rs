@@ -1,0 +1,411 @@
+//! The end-to-end classification pipeline: train → calibrate → deploy under
+//! drift → detect mispredictions → incrementally learn.
+//!
+//! One [`run_scenario`] call reproduces, for a single (case, model) pair,
+//! the measurements behind Fig. 7 (drift impact), Fig. 8 (detection),
+//! Fig. 9 (incremental learning), Fig. 12 (overhead), and Fig. 13(d)
+//! (coverage deviation).
+
+use std::time::Instant;
+
+use prom_core::assessment::assess_initialization;
+use prom_core::calibration::CalibrationRecord;
+use prom_core::committee::{PromConfig, PromJudgement};
+use prom_core::incremental::{select_for_relabeling, RelabelBudget};
+use prom_core::predictor::PromClassifier;
+use prom_core::tuning::calibrate_tau;
+use prom_ml::metrics::BinaryConfusion;
+use prom_ml::metrics::ConfusionMatrix;
+use prom_workloads::{ClassificationCase, CodeSample};
+
+use crate::models::{TrainBudget, TrainedModel};
+use crate::registry::{generate_case, CaseId, CaseScale, ModelSpec};
+use crate::report::{DetectionStats, DistStats, EvalStats};
+
+/// Configuration of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Which case study.
+    pub case: CaseId,
+    /// Which underlying model.
+    pub model: ModelSpec,
+    /// Dataset scale.
+    pub scale: CaseScale,
+    /// Training budget.
+    pub budget: TrainBudget,
+    /// Prom thresholds (τ is auto-calibrated unless
+    /// [`ScenarioConfig::auto_tau`] is `None`).
+    pub prom: PromConfig,
+    /// Relabeling budget for incremental learning.
+    pub relabel: RelabelBudget,
+    /// Auto-calibrate τ by cross-validation on the calibration set so the
+    /// in-distribution rejection rate lands near this target (the paper's
+    /// Sec. 5.2 grid-search parameter selection). The paper's fixed τ = 500
+    /// assumes neural-embedding distance scales; our embeddings are
+    /// standardized features, so τ must track the actual distance scale for
+    /// Eq. 1 to have any effect. `None` keeps the configured τ.
+    pub auto_tau: Option<f64>,
+}
+
+impl ScenarioConfig {
+    /// The default full-scale configuration for a (case, model) pair.
+    pub fn new(case: CaseId, model: ModelSpec) -> Self {
+        Self {
+            case,
+            model,
+            scale: CaseScale::default(),
+            budget: TrainBudget::default(),
+            prom: PromConfig::default(),
+            relabel: RelabelBudget::default(),
+            auto_tau: Some(0.14),
+        }
+    }
+
+    /// A reduced-scale configuration for tests and smoke runs.
+    pub fn small(case: CaseId, model: ModelSpec) -> Self {
+        Self {
+            scale: CaseScale { data_scale: 0.25, seed: 0 },
+            budget: TrainBudget { epochs_scale: 0.3, seed: 0 },
+            ..Self::new(case, model)
+        }
+    }
+}
+
+/// A trained scenario, before deployment evaluation (shared by the Prom
+/// pipeline and the baseline comparison so the model is trained once).
+pub struct FittedScenario {
+    /// The generated case data.
+    pub data: ClassificationCase,
+    /// The trained underlying model.
+    pub model: TrainedModel,
+    /// Training split actually used for fitting (calibration held out).
+    pub train_part: Vec<CodeSample>,
+    /// The calibration split.
+    pub cal_part: Vec<CodeSample>,
+    /// Calibration records extracted from the model.
+    pub records: Vec<CalibrationRecord>,
+    /// The Prom detector.
+    pub prom: PromClassifier,
+    /// Wall-clock seconds of initial model training.
+    pub train_seconds: f64,
+    /// The effective Prom configuration (with calibrated τ).
+    pub prom_config: PromConfig,
+}
+
+/// Grid-searches (ε, confidence threshold) by cross-validation on the
+/// calibration records: the objective is the F1 of detecting the model's
+/// *in-distribution* mispredictions, subject to a false-positive-rate cap
+/// of 15%. This is the paper's Sec. 5.2 "parameter selection function with
+/// a grid search algorithm". Not enabled by default: in-distribution
+/// mispredictions are a weak tuning signal (that is exactly why Prom
+/// exists), and on these workloads the search under-tunes; the paper's
+/// fixed ε = 0.1 with τ calibration is more faithful and more robust.
+#[allow(dead_code)]
+pub fn tune_thresholds(
+    records: &[CalibrationRecord],
+    base: &PromConfig,
+    seed: u64,
+) -> PromConfig {
+    const EPSILONS: [f64; 6] = [0.02, 0.05, 0.1, 0.15, 0.25, 0.35];
+    const CONF_THRESHOLDS: [f64; 3] = [0.95, 0.9, 0.5];
+    const FPR_CAP: f64 = 0.15;
+    if records.len() < 20 {
+        return base.clone();
+    }
+    let mut rng = prom_ml::rng::rng_from_seed(seed ^ 0x6e1d);
+    let holdout = records.len() / 4;
+    // Accumulate one confusion per grid point over 2 rounds.
+    let mut tallies =
+        vec![BinaryConfusion::default(); EPSILONS.len() * CONF_THRESHOLDS.len()];
+    for _ in 0..2 {
+        let (cal_idx, val_idx) = prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
+        let cal: Vec<CalibrationRecord> = cal_idx.iter().map(|i| records[*i].clone()).collect();
+        let Ok(prom) = PromClassifier::new(cal, base.clone()) else {
+            return base.clone();
+        };
+        for &i in &val_idx {
+            let r = &records[i];
+            let correct = prom_ml::matrix::argmax(&r.probs) == r.label;
+            for (gi, (&eps, &thr)) in EPSILONS
+                .iter()
+                .flat_map(|e| CONF_THRESHOLDS.iter().map(move |t| (e, t)))
+                .enumerate()
+            {
+                let candidate =
+                    PromConfig { epsilon: eps, confidence_threshold: thr, ..base.clone() };
+                let j = prom.judge_with(&r.embedding, &r.probs, &candidate);
+                tallies[gi].record(!j.accepted, !correct);
+            }
+        }
+    }
+    let mut best: Option<(usize, f64)> = None;
+    let mut fallback: Option<(usize, f64)> = None;
+    for (gi, c) in tallies.iter().enumerate() {
+        let (f1, fpr) = (c.f1(), c.false_positive_rate());
+        if fpr <= FPR_CAP && best.as_ref().is_none_or(|&(_, b)| f1 > b) {
+            best = Some((gi, f1));
+        }
+        if fallback.as_ref().is_none_or(|&(_, b)| fpr < b) {
+            fallback = Some((gi, fpr));
+        }
+    }
+    let gi = best.or(fallback).map(|(g, _)| g).unwrap_or(0);
+    let eps = EPSILONS[gi / CONF_THRESHOLDS.len()];
+    let thr = CONF_THRESHOLDS[gi % CONF_THRESHOLDS.len()];
+    PromConfig { epsilon: eps, confidence_threshold: thr, ..base.clone() }
+}
+
+/// Trains the underlying model, carves out the calibration set (10% capped
+/// at 1,000, per Sec. 4.1.1), and builds the Prom detector.
+pub fn fit_scenario(config: &ScenarioConfig) -> FittedScenario {
+    let data = generate_case(config.case, config.scale);
+    let mut rng = prom_ml::rng::rng_from_seed(config.scale.seed ^ 0xca11b);
+    let cal_n = (data.train.len() / 10).clamp(10, 1000).min(data.train.len() / 2);
+    let (train_idx, cal_idx) = prom_ml::rng::split_indices(&mut rng, data.train.len(), cal_n);
+    let train_part: Vec<CodeSample> = train_idx.iter().map(|&i| data.train[i].clone()).collect();
+    let cal_part: Vec<CodeSample> = cal_idx.iter().map(|&i| data.train[i].clone()).collect();
+
+    let t0 = Instant::now();
+    let model = TrainedModel::fit(
+        config.model.arch,
+        &train_part,
+        data.n_classes,
+        data.vocab,
+        config.budget,
+    );
+    let train_seconds = t0.elapsed().as_secs_f64();
+
+    // Calibration labels: for optimization tasks, several configurations
+    // can be equally acceptable (the paper's own misprediction rule is
+    // "more than 20% below the oracle", Sec. 6.6). Conditioning Eq. 2 on
+    // the *exact* oracle class would make rank-based nonconformity scores
+    // meaningless whenever the model legitimately picks a different but
+    // near-optimal configuration — so an acceptable prediction calibrates
+    // under its own label, and only a real misprediction under the oracle's.
+    let records: Vec<CalibrationRecord> = cal_part
+        .iter()
+        .map(|s| {
+            let probs = model.predict_proba(s);
+            let pred = prom_ml::matrix::argmax(&probs);
+            let label = if !s.runtimes.is_empty() && !s.is_misprediction(pred) {
+                pred
+            } else {
+                s.label
+            };
+            CalibrationRecord::new(model.embed(s), probs, label)
+        })
+        .collect();
+
+    let mut prom_config = config.prom.clone();
+    if let Some(target) = config.auto_tau {
+        prom_config.tau = calibrate_tau(&records, &prom_config, target, config.scale.seed)
+            .unwrap_or(prom_config.tau);
+    }
+    let prom = PromClassifier::new(records.clone(), prom_config.clone())
+        .expect("calibration records should be valid");
+    FittedScenario { data, model, train_part, cal_part, records, prom, train_seconds, prom_config }
+}
+
+/// Evaluates the model on a sample set: accuracy, macro F1, and (for
+/// optimization tasks) the performance-to-oracle distribution.
+pub fn evaluate_model(model: &TrainedModel, samples: &[CodeSample], n_classes: usize) -> EvalStats {
+    let pred: Vec<usize> = samples.iter().map(|s| model.predict(s)).collect();
+    let truth: Vec<usize> = samples.iter().map(|s| s.label).collect();
+    let accuracy = prom_ml::metrics::accuracy(&pred, &truth);
+    let macro_f1 = ConfusionMatrix::new(n_classes, &pred, &truth).macro_f1();
+    let ratios: Vec<f64> = samples
+        .iter()
+        .zip(pred.iter())
+        .filter(|(s, _)| !s.runtimes.is_empty())
+        .map(|(s, &p)| s.perf_ratio(p))
+        .collect();
+    let perf = if ratios.is_empty() { None } else { Some(DistStats::from_values(&ratios)) };
+    EvalStats { accuracy, macro_f1, perf }
+}
+
+/// Whether predicting `pred` for `sample` counts as a misprediction under
+/// the paper's rules (Sec. 6.6): >20% below oracle performance for
+/// optimization tasks, plain misclassification otherwise.
+pub fn is_misprediction(sample: &CodeSample, pred: usize) -> bool {
+    if sample.runtimes.is_empty() {
+        pred != sample.label
+    } else {
+        sample.is_misprediction(pred)
+    }
+}
+
+/// Judges every sample with Prom, returning the per-sample judgements.
+pub fn judge_all(
+    prom: &PromClassifier,
+    model: &TrainedModel,
+    samples: &[CodeSample],
+) -> Vec<PromJudgement> {
+    samples.iter().map(|s| prom.judge(&model.embed(s), &model.predict_proba(s))).collect()
+}
+
+/// Detection quality of reject decisions against misprediction truth.
+pub fn detection_stats(
+    model: &TrainedModel,
+    samples: &[CodeSample],
+    judgements: &[PromJudgement],
+) -> DetectionStats {
+    let mut confusion = BinaryConfusion::default();
+    for (s, j) in samples.iter().zip(judgements.iter()) {
+        let pred = model.predict(s);
+        confusion.record(!j.accepted, is_misprediction(s, pred));
+    }
+    DetectionStats::from_confusion(&confusion)
+}
+
+/// The complete result of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Case-study display name.
+    pub case_name: &'static str,
+    /// Model display name (paper name).
+    pub model_name: &'static str,
+    /// Design-time (i.i.d. test) model quality.
+    pub design: EvalStats,
+    /// Deployment (drifted test) model quality, before any mitigation.
+    pub deploy: EvalStats,
+    /// Deployment quality after Prom-guided incremental learning.
+    pub prom_deploy: EvalStats,
+    /// Drift-detection quality on the deployment set.
+    pub detection: DetectionStats,
+    /// How many samples were relabeled for incremental learning.
+    pub n_relabeled: usize,
+    /// Wall-clock seconds of the initial training.
+    pub train_seconds: f64,
+    /// Wall-clock seconds of the incremental-learning update.
+    pub incremental_seconds: f64,
+    /// Eq. 3 coverage deviation of the calibration setup.
+    pub coverage_deviation: f64,
+}
+
+/// Runs the full pipeline for one (case, model) pair.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+    let mut fitted = fit_scenario(config);
+    let n_classes = fitted.data.n_classes;
+
+    let design = evaluate_model(&fitted.model, &fitted.data.iid_test, n_classes);
+    let deploy = evaluate_model(&fitted.model, &fitted.data.drift_test, n_classes);
+
+    let judgements = judge_all(&fitted.prom, &fitted.model, &fitted.data.drift_test);
+    let detection = detection_stats(&fitted.model, &fitted.data.drift_test, &judgements);
+
+    let coverage_deviation =
+        assess_initialization(&fitted.records, &fitted.prom_config, 3, config.scale.seed)
+            .map(|r| r.deviation)
+            .unwrap_or(f64::NAN);
+
+    // Incremental learning: relabel a budgeted slice of the flagged
+    // samples (their oracle labels play the role of expert feedback).
+    let picked = select_for_relabeling(&judgements, config.relabel);
+    let relabeled: Vec<CodeSample> =
+        picked.iter().map(|&i| fitted.data.drift_test[i].clone()).collect();
+    let t0 = Instant::now();
+    fitted.model.retrain(&fitted.train_part, &relabeled);
+    let incremental_seconds = t0.elapsed().as_secs_f64();
+
+    let prom_deploy = evaluate_model(&fitted.model, &fitted.data.drift_test, n_classes);
+
+    ScenarioResult {
+        case_name: config.case.name(),
+        model_name: config.model.paper_name,
+        design,
+        deploy,
+        prom_deploy,
+        detection,
+        n_relabeled: relabeled.len(),
+        train_seconds: fitted.train_seconds,
+        incremental_seconds,
+        coverage_deviation,
+    }
+}
+
+/// Sweeps the significance level ε on an already-fitted scenario,
+/// re-thresholding the cached p-values (Fig. 13(a)).
+pub fn sweep_epsilon(
+    fitted: &FittedScenario,
+    epsilons: &[f64],
+) -> Vec<(f64, DetectionStats)> {
+    let samples = &fitted.data.drift_test;
+    epsilons
+        .iter()
+        .map(|&eps| {
+            let cfg = PromConfig { epsilon: eps, ..fitted.prom_config.clone() };
+            let mut confusion = BinaryConfusion::default();
+            for s in samples {
+                let probs = fitted.model.predict_proba(s);
+                let j = fitted.prom.judge_with(&fitted.model.embed(s), &probs, &cfg);
+                let pred = prom_ml::matrix::argmax(&probs);
+                confusion.record(!j.accepted, is_misprediction(s, pred));
+            }
+            (eps, DetectionStats::from_confusion(&confusion))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Arch;
+
+    fn tiny_config(case: CaseId, arch: Arch) -> ScenarioConfig {
+        ScenarioConfig {
+            scale: CaseScale { data_scale: 0.12, seed: 3 },
+            budget: TrainBudget { epochs_scale: 0.2, seed: 3 },
+            ..ScenarioConfig::new(case, ModelSpec { paper_name: "test", arch })
+        }
+    }
+
+    #[test]
+    fn devmap_mlp_scenario_shows_drift_and_detection() {
+        let result = run_scenario(&tiny_config(CaseId::Devmap, Arch::Mlp));
+        // Design-time accuracy should be decent; deployment should not be
+        // better than design by a wide margin.
+        assert!(result.design.accuracy > 0.6, "design accuracy: {}", result.design.accuracy);
+        assert!(result.detection.n > 0);
+        assert!(result.detection.n_mispredictions > 0, "drift should cause mispredictions");
+        // Detection must beat the trivial always-reject/never-reject F1.
+        assert!(result.detection.f1 > 0.2, "detection F1: {:?}", result.detection);
+        assert!(result.n_relabeled >= 1);
+        assert!(result.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn coarsening_scenario_has_perf_ratios() {
+        let result = run_scenario(&tiny_config(CaseId::Coarsening, Arch::Mlp));
+        let design_perf = result.design.perf.as_ref().expect("C1 has runtimes");
+        let deploy_perf = result.deploy.perf.as_ref().expect("C1 has runtimes");
+        assert!(design_perf.mean <= 1.0 + 1e-9);
+        assert!(deploy_perf.mean <= 1.0 + 1e-9);
+        // Drift should cost performance relative to design time.
+        assert!(
+            deploy_perf.mean <= design_perf.mean + 0.05,
+            "deployment should not outperform design: {design_perf:?} vs {deploy_perf:?}"
+        );
+    }
+
+    #[test]
+    fn epsilon_sweep_trades_precision_for_recall() {
+        let fitted = fit_scenario(&tiny_config(CaseId::Devmap, Arch::Mlp));
+        let sweep = sweep_epsilon(&fitted, &[0.02, 0.3]);
+        // A larger epsilon rejects more, so recall must not decrease.
+        assert!(sweep[1].1.recall >= sweep[0].1.recall - 1e-9);
+    }
+
+    #[test]
+    fn incremental_learning_helps_vulnerability_case() {
+        let mut cfg = tiny_config(CaseId::Vulnerability, Arch::BiLstm);
+        cfg.scale.data_scale = 0.2;
+        cfg.budget.epochs_scale = 0.4;
+        let result = run_scenario(&cfg);
+        assert!(
+            result.prom_deploy.accuracy >= result.deploy.accuracy - 0.02,
+            "incremental learning should not hurt: {} -> {}",
+            result.deploy.accuracy,
+            result.prom_deploy.accuracy
+        );
+    }
+}

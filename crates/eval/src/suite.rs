@@ -1,0 +1,335 @@
+//! Whole-evaluation orchestration: runs every (case, model) scenario of
+//! Table 1, the ablations, and the sensitivity sweeps — in parallel across
+//! scenarios — and aggregates them the way the paper's figures do.
+
+use parking_lot::Mutex;
+
+use prom_core::nonconformity;
+use prom_core::predictor::PromClassifier;
+use prom_ml::data::SeqDataset;
+use prom_ml::lstm::{Lstm, LstmConfig};
+use prom_ml::metrics::{BinaryConfusion, ConfusionMatrix};
+use prom_workloads::vulnerability;
+
+use crate::baseline_eval::{compare_detectors, BaselineComparison};
+use crate::codegen_eval::{run_codegen, CodegenConfig, CodegenResult};
+use crate::models::TrainBudget;
+use crate::registry::{models_for, CaseId, CaseScale};
+use crate::report::DetectionStats;
+use crate::scenario::{
+    detection_stats, fit_scenario, judge_all, run_scenario, ScenarioConfig, ScenarioResult,
+};
+
+/// Global scale of an evaluation run: 1.0 reproduces the full experiment;
+/// smaller values give fast smoke runs with the same code paths.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteScale {
+    /// Multiplier on dataset sizes.
+    pub data: f64,
+    /// Multiplier on training epochs.
+    pub epochs: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteScale {
+    fn default() -> Self {
+        Self { data: 1.0, epochs: 1.0, seed: 0 }
+    }
+}
+
+impl SuiteScale {
+    /// A fast smoke-run scale.
+    pub fn quick() -> Self {
+        Self { data: 0.25, epochs: 0.3, seed: 0 }
+    }
+
+    /// The scenario configuration for one (case, model) pair.
+    pub fn scenario(&self, case: CaseId, model: crate::registry::ModelSpec) -> ScenarioConfig {
+        ScenarioConfig {
+            scale: CaseScale { data_scale: self.data, seed: self.seed },
+            budget: TrainBudget { epochs_scale: self.epochs, seed: self.seed },
+            ..ScenarioConfig::new(case, model)
+        }
+    }
+
+    /// The C5 configuration.
+    pub fn codegen(&self) -> CodegenConfig {
+        let full = CodegenConfig::default();
+        CodegenConfig {
+            train_tasks: ((full.train_tasks as f64 * self.data).round() as usize).max(4),
+            records_per_task: ((full.records_per_task as f64 * self.data.max(0.4)).round()
+                as usize)
+                .max(10),
+            variant_tasks: ((full.variant_tasks as f64 * self.data).round() as usize).max(3),
+            variant_records: ((full.variant_records as f64 * self.data.max(0.4)).round()
+                as usize)
+                .max(10),
+            epochs: ((full.epochs as f64 * self.epochs).round() as usize).max(3),
+            seed: self.seed,
+            ..full
+        }
+    }
+}
+
+/// Runs all 12 classification scenarios of Table 1 (C1–C4 × their models)
+/// in parallel threads.
+pub fn run_all_classification(scale: SuiteScale) -> Vec<ScenarioResult> {
+    let mut jobs = Vec::new();
+    for case in CaseId::CLASSIFICATION {
+        for model in models_for(case) {
+            jobs.push(scale.scenario(case, model));
+        }
+    }
+    let results = Mutex::new(Vec::with_capacity(jobs.len()));
+    crossbeam::thread::scope(|s| {
+        for (i, job) in jobs.iter().enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                let r = run_scenario(job);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("scenario thread panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the C5 regression experiment.
+pub fn run_codegen_suite(scale: SuiteScale) -> CodegenResult {
+    run_codegen(&scale.codegen())
+}
+
+/// Fig. 10: Prom vs baselines on every classification scenario, in
+/// parallel.
+pub fn run_baseline_suite(scale: SuiteScale) -> Vec<BaselineComparison> {
+    let mut jobs = Vec::new();
+    for case in CaseId::CLASSIFICATION {
+        for model in models_for(case) {
+            jobs.push(scale.scenario(case, model));
+        }
+    }
+    let results = Mutex::new(Vec::with_capacity(jobs.len()));
+    crossbeam::thread::scope(|s| {
+        for (i, job) in jobs.iter().enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                let r = compare_detectors(job);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("baseline thread panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Fig. 11: detection quality of each single nonconformity function vs the
+/// full Prom committee, on one (case, model) scenario.
+pub fn run_ncm_ablation(config: &ScenarioConfig) -> Vec<(String, DetectionStats)> {
+    let fitted = fit_scenario(config);
+    let mut out = Vec::new();
+    for name in ["LAC", "Top-K", "APS", "RAPS"] {
+        let expert = nonconformity::by_name(name).expect("known NCM");
+        let prom = PromClassifier::with_experts(
+            fitted.records.clone(),
+            vec![expert],
+            fitted.prom_config.clone(),
+        )
+        .expect("valid single-expert committee");
+        let judgements: Vec<_> = fitted
+            .data
+            .drift_test
+            .iter()
+            .map(|s| prom.judge(&fitted.model.embed(s), &fitted.model.predict_proba(s)))
+            .collect();
+        out.push((
+            name.to_string(),
+            detection_stats(&fitted.model, &fitted.data.drift_test, &judgements),
+        ));
+    }
+    let judgements = judge_all(&fitted.prom, &fitted.model, &fitted.data.drift_test);
+    out.push((
+        "PROM".to_string(),
+        detection_stats(&fitted.model, &fitted.data.drift_test, &judgements),
+    ));
+    out
+}
+
+/// Fig. 1(a): trains the Vulde-style Bi-LSTM on the earliest era bucket and
+/// reports its F1 on every bucket, reproducing the motivation experiment.
+pub fn run_motivation(scale: SuiteScale) -> Vec<(String, f64)> {
+    let per_era = ((110.0 * scale.data).round() as usize).max(10);
+    let buckets = vulnerability::era_buckets(per_era, scale.seed);
+
+    // Train on the first bucket (years 2012–2014), as in Fig. 1(a).
+    let train_samples = &buckets[0].1;
+    let seqs: Vec<Vec<usize>> = train_samples.iter().map(|s| s.tokens.clone()).collect();
+    let labels: Vec<usize> = train_samples.iter().map(|s| s.label).collect();
+    let data = SeqDataset::new(seqs, labels, vulnerability::VOCAB);
+    let model = Lstm::fit(
+        &data,
+        LstmConfig {
+            bidirectional: true,
+            epochs: ((16.0 * scale.epochs).round() as usize).max(3),
+            seed: scale.seed,
+            ..Default::default()
+        },
+    );
+
+    buckets
+        .iter()
+        .map(|(name, samples)| {
+            let pred: Vec<usize> =
+                samples.iter().map(|s| prom_ml::traits::Classifier::predict(&model, &s.tokens[..])).collect();
+            let truth: Vec<usize> = samples.iter().map(|s| s.label).collect();
+            let f1 = ConfusionMatrix::new(2, &pred, &truth)
+                .recall(1)
+                .and_then(|r| {
+                    ConfusionMatrix::new(2, &pred, &truth).precision(1).map(|p| {
+                        if p + r == 0.0 {
+                            0.0
+                        } else {
+                            2.0 * p * r / (p + r)
+                        }
+                    })
+                })
+                .unwrap_or(0.0);
+            (name.clone(), f1)
+        })
+        .collect()
+}
+
+/// Fig. 13(d): coverage deviations per case (mean across that case's
+/// models), pulled from scenario results.
+pub fn coverage_deviations(results: &[ScenarioResult]) -> Vec<(String, f64)> {
+    let mut by_case: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in results {
+        if r.coverage_deviation.is_nan() {
+            continue;
+        }
+        match by_case.iter_mut().find(|(c, _)| c == r.case_name) {
+            Some((_, v)) => v.push(r.coverage_deviation),
+            None => by_case.push((r.case_name.to_string(), vec![r.coverage_deviation])),
+        }
+    }
+    by_case
+        .into_iter()
+        .map(|(c, v)| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (c, mean)
+        })
+        .collect()
+}
+
+/// Table 2: the paper's headline aggregate over all scenarios.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Mean design-time perf-to-oracle over optimization scenarios.
+    pub perf_training: f64,
+    /// Mean deployment perf-to-oracle (native).
+    pub perf_deploy: f64,
+    /// Mean deployment perf-to-oracle after Prom incremental learning.
+    pub perf_prom: f64,
+    /// Pooled detection accuracy.
+    pub accuracy: f64,
+    /// Pooled detection precision.
+    pub precision: f64,
+    /// Pooled detection recall.
+    pub recall: f64,
+    /// Pooled detection F1.
+    pub f1: f64,
+}
+
+/// Aggregates scenario results into the Table 2 row.
+pub fn summarize(results: &[ScenarioResult]) -> Summary {
+    let perf: Vec<(f64, f64, f64)> = results
+        .iter()
+        .filter_map(|r| {
+            match (&r.design.perf, &r.deploy.perf, &r.prom_deploy.perf) {
+                (Some(d), Some(x), Some(p)) => Some((d.mean, x.mean, p.mean)),
+                _ => None,
+            }
+        })
+        .collect();
+    let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| -> f64 {
+        if perf.is_empty() {
+            return f64::NAN;
+        }
+        perf.iter().map(f).sum::<f64>() / perf.len() as f64
+    };
+    // Pool detection confusion counts across scenarios.
+    let mut pooled = BinaryConfusion::default();
+    for r in results {
+        let d = &r.detection;
+        // Reconstruct approximate counts from rates and totals.
+        let tp = (d.recall * d.n_mispredictions as f64).round() as usize;
+        let fn_ = d.n_mispredictions - tp.min(d.n_mispredictions);
+        let negatives = d.n - d.n_mispredictions;
+        let fp = (d.fpr * negatives as f64).round() as usize;
+        let tn = negatives - fp.min(negatives);
+        pooled.tp += tp;
+        pooled.fn_ += fn_;
+        pooled.fp += fp;
+        pooled.tn += tn;
+    }
+    Summary {
+        perf_training: mean(&|t| t.0),
+        perf_deploy: mean(&|t| t.1),
+        perf_prom: mean(&|t| t.2),
+        accuracy: pooled.accuracy(),
+        precision: pooled.precision(),
+        recall: pooled.recall(),
+        f1: pooled.f1(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Arch;
+    use crate::registry::ModelSpec;
+
+    fn tiny() -> SuiteScale {
+        SuiteScale { data: 0.1, epochs: 0.15, seed: 2 }
+    }
+
+    #[test]
+    fn motivation_f1_declines_over_eras() {
+        let curve = run_motivation(SuiteScale { data: 0.5, epochs: 0.6, seed: 0 });
+        assert_eq!(curve.len(), 5);
+        let first = curve[0].1;
+        let last = curve[4].1;
+        assert!(first > 0.7, "design-era F1 too low: {first}");
+        assert!(
+            last < first - 0.2,
+            "F1 should decline substantially across eras: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn ncm_ablation_reports_five_methods() {
+        let cfg = tiny().scenario(
+            CaseId::Devmap,
+            ModelSpec { paper_name: "test", arch: Arch::Mlp },
+        );
+        let rows = run_ncm_ablation(&cfg);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["LAC", "Top-K", "APS", "RAPS", "PROM"]);
+    }
+
+    #[test]
+    fn summary_pools_detection_counts() {
+        let cfg = tiny().scenario(
+            CaseId::Coarsening,
+            ModelSpec { paper_name: "test", arch: Arch::Mlp },
+        );
+        let r = run_scenario(&cfg);
+        let s = summarize(&[r]);
+        assert!((0.0..=1.0).contains(&s.accuracy));
+        assert!(s.perf_training.is_finite());
+    }
+}

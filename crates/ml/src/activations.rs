@@ -1,0 +1,145 @@
+//! Scalar and vector activation functions with their derivatives.
+
+/// Logistic sigmoid `1 / (1 + e^-x)`, numerically stable for large `|x|`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid expressed via its output `s = sigmoid(x)`.
+#[inline]
+pub fn sigmoid_deriv_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed via its output `t = tanh(x)`.
+#[inline]
+pub fn tanh_deriv_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU (subgradient 0 at the kink).
+#[inline]
+pub fn relu_deriv(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// In-place, numerically stable softmax.
+///
+/// An empty slice is left untouched.
+pub fn softmax_in_place(logits: &mut [f64]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    // sum >= 1 because the max element maps to exp(0) = 1.
+    for x in logits.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Returns the softmax of `logits` as a new vector.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Cross-entropy loss `-ln p[target]` with clamping away from zero.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds.
+pub fn cross_entropy(probs: &[f64], target: usize) -> f64 {
+    assert!(target < probs.len(), "target {target} out of range for {} classes", probs.len());
+    -(probs[target].max(1e-12)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        for &x in &[-50.0, -3.0, -0.5, 0.0, 0.5, 3.0, 50.0] {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-12, "sigmoid(x)+sigmoid(-x) != 1 at {x}");
+        }
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1e9, 0.0, -1e9]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn derivative_identities_match_numeric_gradient() {
+        let h = 1e-6;
+        for &x in &[-2.0, -0.3, 0.4, 1.7] {
+            let ds = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            assert!((ds - sigmoid_deriv_from_output(sigmoid(x))).abs() < 1e-6);
+            let dt = (tanh(x + h) - tanh(x - h)) / (2.0 * h);
+            assert!((dt - tanh_deriv_from_output(tanh(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_zero_for_certain_prediction() {
+        assert!(cross_entropy(&[1.0, 0.0], 0).abs() < 1e-9);
+        assert!(cross_entropy(&[0.5, 0.5], 1) > 0.0);
+    }
+}

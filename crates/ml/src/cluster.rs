@@ -1,0 +1,291 @@
+//! K-means++ clustering and the gap statistic for selecting K.
+//!
+//! Prom's regression conformal predictor (Sec. 5.1.2 of the paper) turns a
+//! regression calibration set into pseudo-classes by clustering feature
+//! vectors with k-means, choosing K via the gap statistic (Tibshirani et
+//! al.) over K = 2..=20.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::l2_distance;
+use crate::rng::rng_from_seed;
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Runs k-means++ with Lloyd iterations until convergence (or
+    /// `max_iter`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or `k == 0`.
+    pub fn fit(points: &[Vec<f64>], k: usize, seed: u64) -> Self {
+        assert!(!points.is_empty(), "k-means needs data");
+        assert!(k > 0, "k-means needs k >= 1");
+        let k = k.min(points.len());
+        let mut rng = rng_from_seed(seed);
+        let mut centroids = plus_plus_init(points, k, &mut rng);
+        let dim = points[0].len();
+        let max_iter = 100;
+        for _ in 0..max_iter {
+            // Assign.
+            let assignment: Vec<usize> =
+                points.iter().map(|p| nearest_centroid(&centroids, p).0).collect();
+            // Update.
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in points.iter().zip(assignment.iter()) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(p.iter()) {
+                    *s += v;
+                }
+            }
+            let mut moved = 0.0;
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+                if count == 0 {
+                    continue; // keep empty clusters where they are
+                }
+                let new: Vec<f64> = sum.iter().map(|&s| s / count as f64).collect();
+                moved += l2_distance(c, &new);
+                *c = new;
+            }
+            if moved < 1e-9 {
+                break;
+            }
+        }
+        Self { centroids }
+    }
+
+    /// The cluster index of the nearest centroid.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest_centroid(&self.centroids, point).0
+    }
+
+    /// Distance to the nearest centroid.
+    pub fn distance(&self, point: &[f64]) -> f64 {
+        nearest_centroid(&self.centroids, point).1
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Within-cluster sum of squared distances for the given points.
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        points
+            .iter()
+            .map(|p| {
+                let d = self.distance(p);
+                d * d
+            })
+            .sum()
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f64>], point: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = l2_distance(c, point);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let d = nearest_centroid(&centroids, p).1;
+                d * d
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Selects K in `k_range` by the gap statistic (Tibshirani et al. 2001):
+/// compares log within-cluster dispersion against `n_refs` uniform reference
+/// datasets drawn from the data's bounding box.
+///
+/// Uses the standard decision rule — the smallest K whose gap is within one
+/// reference standard error of the next gap (`gap(k) >= gap(k+1) - s(k+1)`)
+/// — falling back to the largest gap when no K satisfies it.
+///
+/// # Panics
+///
+/// Panics on empty data or an empty range.
+pub fn gap_statistic_k(
+    points: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    n_refs: usize,
+    seed: u64,
+) -> usize {
+    assert!(!points.is_empty(), "gap statistic needs data");
+    assert!(!k_range.is_empty(), "gap statistic needs a K range");
+    let n_refs = n_refs.max(1);
+    let dim = points[0].len();
+    // Bounding box for the reference distribution.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for j in 0..dim {
+            lo[j] = lo[j].min(p[j]);
+            hi[j] = hi[j].max(p[j]);
+        }
+    }
+    let mut rng = rng_from_seed(seed ^ 0x5eed);
+    let mut ks = Vec::new();
+    let mut gaps = Vec::new();
+    let mut errs = Vec::new();
+    for k in k_range {
+        if k > points.len() {
+            break;
+        }
+        let model = KMeans::fit(points, k, seed.wrapping_add(k as u64));
+        let log_wk = model.inertia(points).max(1e-12).ln();
+        let mut ref_logs = Vec::with_capacity(n_refs);
+        for r in 0..n_refs {
+            let reference: Vec<Vec<f64>> = (0..points.len())
+                .map(|_| {
+                    (0..dim)
+                        .map(|j| {
+                            if (hi[j] - lo[j]).abs() < 1e-12 {
+                                lo[j]
+                            } else {
+                                rng.gen_range(lo[j]..=hi[j])
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let ref_model =
+                KMeans::fit(&reference, k, seed.wrapping_add((r * 1000 + k) as u64));
+            ref_logs.push(ref_model.inertia(&reference).max(1e-12).ln());
+        }
+        let mean_ref = ref_logs.iter().sum::<f64>() / n_refs as f64;
+        let var_ref =
+            ref_logs.iter().map(|l| (l - mean_ref) * (l - mean_ref)).sum::<f64>() / n_refs as f64;
+        // s_k = sd * sqrt(1 + 1/B), per Tibshirani et al.
+        let s_k = var_ref.sqrt() * (1.0 + 1.0 / n_refs as f64).sqrt();
+        ks.push(k);
+        gaps.push(mean_ref - log_wk);
+        errs.push(s_k);
+    }
+    // First-local rule.
+    for i in 0..gaps.len().saturating_sub(1) {
+        if gaps[i] >= gaps[i + 1] - errs[i + 1] {
+            return ks[i];
+        }
+    }
+    // Fallback: largest gap.
+    let mut best = 0;
+    for (i, &g) in gaps.iter().enumerate() {
+        if g > gaps[best] {
+            best = i;
+        }
+    }
+    ks[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::gaussian_with;
+
+    fn three_blobs(n_per: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rng_from_seed(seed);
+        let centers = [(-10.0, 0.0), (10.0, 0.0), (0.0, 15.0)];
+        let mut pts = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..n_per {
+                pts.push(vec![
+                    gaussian_with(&mut rng, cx, 0.5),
+                    gaussian_with(&mut rng, cy, 0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_recovers_blob_centers() {
+        let pts = three_blobs(50, 1);
+        let model = KMeans::fit(&pts, 3, 42);
+        // Each true center should be within 1.0 of some learned centroid.
+        for target in [[-10.0, 0.0], [10.0, 0.0], [0.0, 15.0]] {
+            let nearest = model
+                .centroids()
+                .iter()
+                .map(|c| l2_distance(c, &target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.0, "no centroid near {target:?} (closest at {nearest})");
+        }
+    }
+
+    #[test]
+    fn assignments_are_consistent_with_distance() {
+        let pts = three_blobs(30, 2);
+        let model = KMeans::fit(&pts, 3, 7);
+        for p in &pts {
+            let a = model.assign(p);
+            let d = l2_distance(&model.centroids()[a], p);
+            for c in model.centroids() {
+                assert!(d <= l2_distance(c, p) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = three_blobs(40, 3);
+        let i2 = KMeans::fit(&pts, 2, 1).inertia(&pts);
+        let i6 = KMeans::fit(&pts, 6, 1).inertia(&pts);
+        assert!(i6 <= i2, "more clusters must not increase inertia: {i2} -> {i6}");
+    }
+
+    #[test]
+    fn gap_statistic_finds_three_blobs() {
+        let pts = three_blobs(40, 4);
+        let k = gap_statistic_k(&pts, 2..=8, 3, 99);
+        assert!((2..=4).contains(&k), "gap statistic picked k = {k} for 3 blobs");
+    }
+
+    #[test]
+    fn k_capped_at_population() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let model = KMeans::fit(&pts, 10, 0);
+        assert!(model.k() <= 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! Feature-vector datasets, splitting, and standardization.
+
+use rand::rngs::StdRng;
+
+use crate::rng;
+
+/// A labeled feature-vector dataset for classification.
+///
+/// Rows of `x` are samples; `y[i]` is the class index of sample `i`.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature rows (one `Vec<f64>` per sample).
+    pub x: Vec<Vec<f64>>,
+    /// Class label per sample.
+    pub y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that features and labels align.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != y.len()` or if feature rows are ragged.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Largest label + 1 (0 for an empty dataset).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Selects the given sample indices into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Appends another dataset's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch (when both are non-empty).
+    pub fn extend(&mut self, other: &Dataset) {
+        if !self.is_empty() && !other.is_empty() {
+            assert_eq!(self.dim(), other.dim(), "dataset dimensionality mismatch");
+        }
+        self.x.extend(other.x.iter().cloned());
+        self.y.extend(other.y.iter().copied());
+    }
+
+    /// Random split into `(rest, holdout)` of sizes `(n - holdout_len, holdout_len)`.
+    ///
+    /// This is the split Prom uses to carve a calibration set out of the
+    /// training data (10% up to 1,000 samples by default, Sec. 4.1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holdout_len > self.len()`.
+    pub fn split_holdout(&self, rng_: &mut StdRng, holdout_len: usize) -> (Dataset, Dataset) {
+        let (kept, held) = rng::split_indices(rng_, self.len(), holdout_len);
+        (self.subset(&kept), self.subset(&held))
+    }
+}
+
+/// A labeled feature-vector dataset for regression.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionDataset {
+    /// Feature rows (one `Vec<f64>` per sample).
+    pub x: Vec<Vec<f64>>,
+    /// Target value per sample.
+    pub y: Vec<f64>,
+}
+
+impl RegressionDataset {
+    /// Creates a regression dataset, checking feature/target alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != y.len()`.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Selects the given sample indices into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> RegressionDataset {
+        RegressionDataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// A labeled token-sequence dataset (inputs to [`crate::lstm`] and
+/// [`crate::transformer`]).
+#[derive(Debug, Clone, Default)]
+pub struct SeqDataset {
+    /// Token-id sequences (one per sample); ids must be `< vocab`.
+    pub seqs: Vec<Vec<usize>>,
+    /// Class label per sample.
+    pub y: Vec<usize>,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl SeqDataset {
+    /// Creates a sequence dataset, validating token ids against the vocab.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, an empty sequence, or out-of-vocab tokens.
+    pub fn new(seqs: Vec<Vec<usize>>, y: Vec<usize>, vocab: usize) -> Self {
+        assert_eq!(seqs.len(), y.len(), "sequence/label length mismatch");
+        for s in &seqs {
+            assert!(!s.is_empty(), "empty token sequence");
+            assert!(s.iter().all(|&t| t < vocab), "token id out of vocabulary");
+        }
+        Self { seqs, y, vocab }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Largest label + 1 (0 for an empty dataset).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Selects the given sample indices into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> SeqDataset {
+        SeqDataset {
+            seqs: indices.iter().map(|&i| self.seqs[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            vocab: self.vocab,
+        }
+    }
+
+    /// Appends another sequence dataset's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on vocabulary mismatch.
+    pub fn extend(&mut self, other: &SeqDataset) {
+        if self.is_empty() {
+            self.vocab = other.vocab;
+        }
+        if !other.is_empty() {
+            assert_eq!(self.vocab, other.vocab, "vocabulary mismatch");
+        }
+        self.seqs.extend(other.seqs.iter().cloned());
+        self.y.extend(other.y.iter().copied());
+    }
+}
+
+/// Per-feature standardization (z-score) fitted on training data and applied
+/// to deployment data.
+///
+/// Constant features get unit scale so they pass through unchanged.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on the given feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a standardizer on no data");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for r in rows {
+            for (m, &v) in means.iter_mut().zip(r.iter()) {
+                *m += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        let mut stds = vec![0.0; d];
+        for r in rows {
+            for ((s, &v), &m) in stds.iter_mut().zip(r.iter()).zip(means.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Standardizes one feature row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes many feature rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Feature dimensionality this standardizer was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+/// Yields `k`-fold `(train_indices, test_indices)` partitions of `0..n`.
+///
+/// Folds are contiguous blocks of a seeded shuffle, so every sample appears
+/// in exactly one test fold.
+pub fn k_fold_indices(rng_: &mut StdRng, n: usize, k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "k-fold needs at least k samples");
+    let perm = rng::permutation(rng_, n);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test: Vec<usize> = perm[lo..hi].to_vec();
+        let train: Vec<usize> = perm[..lo].iter().chain(perm[hi..].iter()).copied().collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 1.0], vec![1.0, 2.0], vec![2.0, 3.0], vec![3.0, 4.0]],
+            vec![0, 1, 0, 1],
+        )
+    }
+
+    #[test]
+    fn dataset_shape_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = toy().subset(&[2, 0]);
+        assert_eq!(d.x, vec![vec![2.0, 3.0], vec![0.0, 1.0]]);
+        assert_eq!(d.y, vec![0, 0]);
+    }
+
+    #[test]
+    fn split_holdout_partitions() {
+        let d = toy();
+        let mut rng = rng_from_seed(1);
+        let (train, cal) = d.split_holdout(&mut rng, 1);
+        assert_eq!(train.len(), 3);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let s = Standardizer::fit(&rows);
+        let t = s.transform_all(&rows);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[j] * r[j]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_feature_passthrough() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let s = Standardizer::fit(&rows);
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+        assert_eq!(s.transform(&[9.0]), vec![2.0]);
+    }
+
+    #[test]
+    fn k_fold_covers_every_sample_once() {
+        let mut rng = rng_from_seed(9);
+        let folds = k_fold_indices(&mut rng, 23, 5);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 23];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample must be tested exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/label length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+}

@@ -1,0 +1,449 @@
+//! A graph neural network (mean-aggregation graph convolution) over program
+//! graphs, with hand-written backprop.
+//!
+//! Stands in for ProGraML (case study 3): workload generators emit small
+//! control/data-flow-style graphs whose node features summarize instruction
+//! mixes; the GNN classifies the whole graph. The mean-readout vector of the
+//! final layer serves as the embedding handed to Prom.
+
+use rand::rngs::StdRng;
+
+use crate::activations::{relu, relu_deriv, softmax};
+use crate::matrix::{axpy, Matrix};
+use crate::optim::AdamState;
+use crate::rng::{self, rng_from_seed};
+use crate::traits::Classifier;
+
+/// An undirected graph with per-node feature vectors.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// One feature row per node.
+    pub node_features: Vec<Vec<f64>>,
+    /// Undirected edges as `(u, v)` node-index pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph, validating edge endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node set, ragged features, or out-of-range edges.
+    pub fn new(node_features: Vec<Vec<f64>>, edges: Vec<(usize, usize)>) -> Self {
+        assert!(!node_features.is_empty(), "graph needs at least one node");
+        let d = node_features[0].len();
+        assert!(node_features.iter().all(|f| f.len() == d), "ragged node features");
+        let n = node_features.len();
+        assert!(
+            edges.iter().all(|&(u, v)| u < n && v < n),
+            "edge endpoint out of range"
+        );
+        Self { node_features, edges }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.node_features.len()
+    }
+
+    /// Node feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.node_features[0].len()
+    }
+
+    /// Adjacency list (undirected; self-loops are kept once).
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n_nodes()];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            if u != v {
+                adj[v].push(u);
+            }
+        }
+        adj
+    }
+}
+
+/// A labeled graph dataset.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDataset {
+    /// Graph per sample.
+    pub graphs: Vec<Graph>,
+    /// Class label per sample.
+    pub y: Vec<usize>,
+}
+
+impl GraphDataset {
+    /// Creates a dataset, checking alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn new(graphs: Vec<Graph>, y: Vec<usize>) -> Self {
+        assert_eq!(graphs.len(), y.len(), "graph/label length mismatch");
+        Self { graphs, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Largest label + 1.
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Selects the given sample indices into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> GraphDataset {
+        GraphDataset {
+            graphs: indices.iter().map(|&i| self.graphs[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Appends another dataset's samples.
+    pub fn extend(&mut self, other: &GraphDataset) {
+        self.graphs.extend(other.graphs.iter().cloned());
+        self.y.extend(other.y.iter().copied());
+    }
+}
+
+/// Training hyperparameters for [`Gnn`].
+#[derive(Debug, Clone)]
+pub struct GnnConfig {
+    /// Widths of the graph-convolution layers (e.g. `[16, 16]`).
+    pub hidden: Vec<usize>,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GnnConfig {
+    fn default() -> Self {
+        Self { hidden: vec![16, 16], epochs: 40, learning_rate: 0.01, batch_size: 8, seed: 0 }
+    }
+}
+
+struct GcnLayer {
+    w: Matrix, // d_in x d_out
+    b: Vec<f64>,
+    opt_w: AdamState,
+    opt_b: AdamState,
+}
+
+impl GcnLayer {
+    fn new(rng: &mut StdRng, d_in: usize, d_out: usize) -> Self {
+        Self {
+            w: rng::xavier_matrix(rng, d_in, d_out),
+            b: vec![0.0; d_out],
+            opt_w: AdamState::new(d_in, d_out),
+            opt_b: AdamState::new(1, d_out),
+        }
+    }
+}
+
+struct LayerCache {
+    m: Matrix, // h + mean_neighbours(h), n x d_in
+    z: Matrix, // m w + b, n x d_out
+}
+
+/// A graph convolution network for whole-graph classification.
+pub struct Gnn {
+    layers: Vec<GcnLayer>,
+    head_w: Matrix, // k x d_last
+    head_b: Vec<f64>,
+    opt_head_w: AdamState,
+    opt_head_b: AdamState,
+    n_classes: usize,
+    config: GnnConfig,
+}
+
+impl Gnn {
+    /// Trains a GNN classifier on the graph dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or fewer than two classes.
+    pub fn fit(data: &GraphDataset, config: GnnConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a GNN on empty data");
+        let n_classes = data.n_classes();
+        assert!(n_classes >= 2, "GNN classifier needs at least two classes");
+        let d_in = data.graphs[0].feature_dim();
+        let mut rng = rng_from_seed(config.seed);
+        let mut dims = vec![d_in];
+        dims.extend_from_slice(&config.hidden);
+        let layers: Vec<GcnLayer> =
+            dims.windows(2).map(|p| GcnLayer::new(&mut rng, p[0], p[1])).collect();
+        let d_last = *dims.last().expect("at least input dim");
+        let mut model = Self {
+            layers,
+            head_w: rng::xavier_matrix(&mut rng, n_classes, d_last),
+            head_b: vec![0.0; n_classes],
+            opt_head_w: AdamState::new(n_classes, d_last),
+            opt_head_b: AdamState::new(1, n_classes),
+            n_classes,
+            config,
+        };
+        let epochs = model.config.epochs;
+        model.train_epochs(data, epochs);
+        model
+    }
+
+    /// Continues training on (possibly new) data — incremental learning.
+    pub fn train_epochs(&mut self, data: &GraphDataset, epochs: usize) {
+        let mut rng = rng_from_seed(self.config.seed.wrapping_add(53));
+        for _ in 0..epochs {
+            let order = rng::permutation(&mut rng, data.len());
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                self.step_batch(data, chunk);
+            }
+        }
+    }
+
+    /// Mean aggregation `h_i + mean_{j in N(i)} h_j`.
+    fn aggregate(h: &Matrix, adj: &[Vec<usize>]) -> Matrix {
+        let mut m = h.clone();
+        for (i, neigh) in adj.iter().enumerate() {
+            if neigh.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / neigh.len() as f64;
+            // Accumulate neighbour means into row i.
+            let mut acc = vec![0.0; h.cols()];
+            for &j in neigh {
+                axpy(&mut acc, h.row(j), inv);
+            }
+            axpy(m.row_mut(i), &acc, 1.0);
+        }
+        m
+    }
+
+    /// Transpose of [`Gnn::aggregate`]'s linear map, applied to a gradient.
+    fn aggregate_backward(dm: &Matrix, adj: &[Vec<usize>]) -> Matrix {
+        let mut dh = dm.clone();
+        for (i, neigh) in adj.iter().enumerate() {
+            if neigh.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / neigh.len() as f64;
+            let row = dm.row(i).to_vec();
+            for &j in neigh {
+                axpy(dh.row_mut(j), &row, inv);
+            }
+        }
+        dh
+    }
+
+    fn forward(&self, graph: &Graph) -> (Vec<LayerCache>, Vec<f64>) {
+        let adj = graph.adjacency();
+        let mut h = Matrix::from_rows(&graph.node_features);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let m = Self::aggregate(&h, &adj);
+            let mut z = m.matmul(&layer.w);
+            for i in 0..z.rows() {
+                axpy(z.row_mut(i), &layer.b, 1.0);
+            }
+            h = z.map(relu);
+            caches.push(LayerCache { m, z });
+        }
+        let readout = h.col_means();
+        (caches, readout)
+    }
+
+    fn logits(&self, readout: &[f64]) -> Vec<f64> {
+        let mut out = self.head_w.matvec(readout);
+        for (o, &b) in out.iter_mut().zip(self.head_b.iter()) {
+            *o += b;
+        }
+        out
+    }
+
+    fn step_batch(&mut self, data: &GraphDataset, chunk: &[usize]) {
+        let mut g_layers: Vec<(Matrix, Vec<f64>)> = self
+            .layers
+            .iter()
+            .map(|l| (Matrix::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()]))
+            .collect();
+        let mut g_head_w = Matrix::zeros(self.head_w.rows(), self.head_w.cols());
+        let mut g_head_b = vec![0.0; self.head_b.len()];
+
+        for &idx in chunk {
+            let graph = &data.graphs[idx];
+            let adj = graph.adjacency();
+            let (caches, readout) = self.forward(graph);
+            let mut delta = softmax(&self.logits(&readout));
+            delta[data.y[idx]] -= 1.0;
+            g_head_w.add_outer(&delta, &readout, 1.0);
+            axpy(&mut g_head_b, &delta, 1.0);
+
+            // Readout is a column mean: distribute gradient over nodes.
+            let dreadout = self.head_w.vecmat(&delta);
+            let n = graph.n_nodes();
+            let mut dh = Matrix::zeros(n, dreadout.len());
+            let inv_n = 1.0 / n as f64;
+            for i in 0..n {
+                axpy(dh.row_mut(i), &dreadout, inv_n);
+            }
+
+            for li in (0..self.layers.len()).rev() {
+                let cache = &caches[li];
+                // dZ = dH ⊙ relu'(Z)
+                let mut dz = dh.clone();
+                for i in 0..dz.rows() {
+                    for (d, &z) in dz.row_mut(i).iter_mut().zip(cache.z.row(i)) {
+                        *d *= relu_deriv(z);
+                    }
+                }
+                g_layers[li].0.add_assign(&cache.m.transpose_a_matmul(&dz));
+                for i in 0..dz.rows() {
+                    axpy(&mut g_layers[li].1, dz.row(i), 1.0);
+                }
+                let dm = dz.matmul_transpose_b(&self.layers[li].w);
+                dh = Self::aggregate_backward(&dm, &adj);
+            }
+        }
+
+        let inv = 1.0 / chunk.len() as f64;
+        let lr = self.config.learning_rate;
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(g_layers.iter_mut()) {
+            gw.scale(inv);
+            gw.clip(5.0);
+            layer.opt_w.step(&mut layer.w, gw, lr);
+            let mut gbm = Matrix::from_vec(1, gb.len(), std::mem::take(gb));
+            gbm.scale(inv);
+            gbm.clip(5.0);
+            let mut bm = Matrix::from_vec(1, layer.b.len(), std::mem::take(&mut layer.b));
+            layer.opt_b.step(&mut bm, &gbm, lr);
+            layer.b = bm.as_slice().to_vec();
+        }
+        g_head_w.scale(inv);
+        g_head_w.clip(5.0);
+        self.opt_head_w.step(&mut self.head_w, &g_head_w, lr);
+        let mut gbm = Matrix::from_vec(1, g_head_b.len(), g_head_b);
+        gbm.scale(inv);
+        gbm.clip(5.0);
+        let mut bm = Matrix::from_vec(1, self.head_b.len(), std::mem::take(&mut self.head_b));
+        self.opt_head_b.step(&mut bm, &gbm, lr);
+        self.head_b = bm.as_slice().to_vec();
+    }
+}
+
+impl Classifier<Graph> for Gnn {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, graph: &Graph) -> Vec<f64> {
+        let (_, readout) = self.forward(graph);
+        softmax(&self.logits(&readout))
+    }
+
+    fn embed(&self, graph: &Graph) -> Vec<f64> {
+        let (_, readout) = self.forward(graph);
+        readout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::Rng;
+
+    /// Class 0: chain graphs with low-feature nodes; class 1: star graphs
+    /// with high-feature nodes.
+    fn graph_dataset(n: usize, seed: u64) -> GraphDataset {
+        let mut rng = rng_from_seed(seed);
+        let mut graphs = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let n_nodes = rng.gen_range(4..9);
+            let base = if label == 0 { 0.2 } else { 1.0 };
+            let feats: Vec<Vec<f64>> = (0..n_nodes)
+                .map(|_| {
+                    vec![
+                        base + 0.1 * crate::rng::gaussian(&mut rng),
+                        1.0 - base + 0.1 * crate::rng::gaussian(&mut rng),
+                        rng.gen::<f64>() * 0.1,
+                    ]
+                })
+                .collect();
+            let edges: Vec<(usize, usize)> = if label == 0 {
+                (0..n_nodes - 1).map(|j| (j, j + 1)).collect()
+            } else {
+                (1..n_nodes).map(|j| (0, j)).collect()
+            };
+            graphs.push(Graph::new(feats, edges));
+            y.push(label);
+        }
+        GraphDataset::new(graphs, y)
+    }
+
+    #[test]
+    fn learns_graph_classification() {
+        let train = graph_dataset(120, 1);
+        let test = graph_dataset(60, 2);
+        let model = Gnn::fit(&train, GnnConfig { epochs: 30, ..Default::default() });
+        let pred: Vec<usize> = test.graphs.iter().map(|g| model.predict(g)).collect();
+        assert!(accuracy(&pred, &test.y) > 0.9, "GNN failed graph classification");
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let train = graph_dataset(30, 3);
+        let model = Gnn::fit(&train, GnnConfig { epochs: 3, ..Default::default() });
+        let p = model.predict_proba(&train.graphs[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embedding_width_matches_last_layer() {
+        let train = graph_dataset(20, 4);
+        let model = Gnn::fit(
+            &train,
+            GnnConfig { hidden: vec![12, 7], epochs: 1, ..Default::default() },
+        );
+        assert_eq!(model.embed(&train.graphs[0]).len(), 7);
+    }
+
+    #[test]
+    fn isolated_nodes_are_handled() {
+        let g = Graph::new(vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]], vec![]);
+        let train = graph_dataset(20, 5);
+        let model = Gnn::fit(&train, GnnConfig { epochs: 1, ..Default::default() });
+        let p = model.predict_proba(&g);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn invalid_edges_panic() {
+        let _ = Graph::new(vec![vec![0.0]], vec![(0, 3)]);
+    }
+
+    #[test]
+    fn aggregate_mean_is_correct_on_a_triangle() {
+        let h = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![4.0]]);
+        let g = Graph::new(vec![vec![0.0]; 3], vec![(0, 1), (1, 2), (0, 2)]);
+        let adj = g.adjacency();
+        let m = Gnn::aggregate(&h, &adj);
+        // Node 0: 1 + mean(2, 4) = 4; node 1: 2 + mean(1, 4) = 4.5;
+        // node 2: 4 + mean(2, 1) = 5.5.
+        assert!((m[(0, 0)] - 4.0).abs() < 1e-12);
+        assert!((m[(1, 0)] - 4.5).abs() < 1e-12);
+        assert!((m[(2, 0)] - 5.5).abs() < 1e-12);
+    }
+}

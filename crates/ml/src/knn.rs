@@ -1,0 +1,156 @@
+//! k-nearest-neighbour classification and regression.
+//!
+//! The regressor implements the ground-truth proxy of Sec. 5.1.1: during
+//! deployment the true value of a test sample is approximated by averaging
+//! its k nearest calibration samples (k = 3 in the paper).
+
+use crate::matrix::l2_distance;
+use crate::traits::{Classifier, Regressor};
+
+/// Returns the indices of the `k` nearest rows of `points` to `query`,
+/// ordered from nearest to farthest.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k == 0`.
+pub fn k_nearest(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "k_nearest over empty points");
+    assert!(k > 0, "k_nearest needs k >= 1");
+    let mut dist: Vec<(f64, usize)> =
+        points.iter().enumerate().map(|(i, p)| (l2_distance(p, query), i)).collect();
+    let k = k.min(dist.len());
+    dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+    dist[..k].iter().map(|&(_, i)| i).collect()
+}
+
+/// A k-NN classifier with distance-vote probabilities.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    n_classes: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// Stores the training data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data, `k == 0`, or feature/label mismatch.
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<usize>, k: usize) -> Self {
+        assert!(!x.is_empty(), "k-NN needs training data");
+        assert!(k > 0, "k-NN needs k >= 1");
+        assert_eq!(x.len(), y.len(), "feature/label mismatch");
+        let n_classes = y.iter().copied().max().expect("non-empty labels") + 1;
+        Self { k, n_classes, x, y }
+    }
+
+    /// Adds labeled samples (incremental learning is trivial for k-NN).
+    pub fn absorb(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert_eq!(x.len(), y.len(), "feature/label mismatch");
+        self.x.extend_from_slice(x);
+        self.y.extend_from_slice(y);
+        if let Some(max) = y.iter().copied().max() {
+            self.n_classes = self.n_classes.max(max + 1);
+        }
+    }
+}
+
+impl Classifier<[f64]> for KnnClassifier {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let neighbours = k_nearest(&self.x, x, self.k);
+        let mut votes = vec![0.0; self.n_classes];
+        for &i in &neighbours {
+            votes[self.y[i]] += 1.0;
+        }
+        let total: f64 = votes.iter().sum();
+        votes.iter_mut().for_each(|v| *v /= total);
+        votes
+    }
+
+    fn embed(&self, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+}
+
+/// A k-NN regressor (mean of the k nearest targets).
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Stores the training data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data, `k == 0`, or feature/target mismatch.
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, k: usize) -> Self {
+        assert!(!x.is_empty(), "k-NN needs training data");
+        assert!(k > 0, "k-NN needs k >= 1");
+        assert_eq!(x.len(), y.len(), "feature/target mismatch");
+        Self { k, x, y }
+    }
+}
+
+impl Regressor<[f64]> for KnnRegressor {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let neighbours = k_nearest(&self.x, x, self.k);
+        neighbours.iter().map(|&i| self.y[i]).sum::<f64>() / neighbours.len() as f64
+    }
+
+    fn embed(&self, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let pts = vec![vec![0.0], vec![10.0], vec![1.0], vec![5.0]];
+        assert_eq!(k_nearest(&pts, &[0.4], 3), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn k_nearest_caps_k_at_population() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert_eq!(k_nearest(&pts, &[0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn classifier_majority_vote() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0]];
+        let y = vec![0, 0, 1, 1];
+        let knn = KnnClassifier::fit(x, y, 3);
+        assert_eq!(knn.predict(&[0.05]), 0);
+        let p = knn.predict_proba(&[0.05]);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_extends_training_set() {
+        let mut knn = KnnClassifier::fit(vec![vec![0.0]], vec![0], 1);
+        knn.absorb(&[vec![10.0]], &[2]);
+        assert_eq!(knn.n_classes(), 3);
+        assert_eq!(knn.predict(&[9.0]), 2);
+    }
+
+    #[test]
+    fn regressor_averages_neighbours() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![100.0]];
+        let y = vec![0.0, 1.0, 2.0, 100.0];
+        let knn = KnnRegressor::fit(x, y, 3);
+        assert!((Regressor::predict(&knn, &[1.0][..]) - 1.0).abs() < 1e-12);
+    }
+}

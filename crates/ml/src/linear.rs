@@ -1,0 +1,228 @@
+//! Multinomial logistic regression (softmax regression).
+//!
+//! Used directly as a simple baseline model and internally by Platt scaling
+//! and the RISE baseline.
+
+use rand::rngs::StdRng;
+
+use crate::activations::softmax;
+use crate::data::Dataset;
+use crate::matrix::Matrix;
+use crate::optim::AdamState;
+use crate::rng::{self, rng_from_seed};
+use crate::traits::Classifier;
+
+/// Training hyperparameters for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogisticRegressionConfig {
+    /// Number of full passes over the training data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed for shuffling and initialization.
+    pub seed: u64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        Self { epochs: 120, learning_rate: 0.05, batch_size: 32, l2: 1e-4, seed: 0 }
+    }
+}
+
+/// A trained multinomial logistic regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    w: Matrix, // k x d
+    b: Vec<f64>,
+    opt_w: AdamState,
+    opt_b: AdamState,
+    config: LogisticRegressionConfig,
+}
+
+impl LogisticRegression {
+    /// Trains a model on the given dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or has fewer than two classes.
+    pub fn fit(data: &Dataset, config: LogisticRegressionConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit logistic regression on empty data");
+        let k = data.n_classes();
+        assert!(k >= 2, "logistic regression needs at least two classes");
+        let d = data.dim();
+        let mut rng = rng_from_seed(config.seed);
+        let mut model = Self {
+            w: rng::xavier_matrix(&mut rng, k, d),
+            b: vec![0.0; k],
+            opt_w: AdamState::new(k, d),
+            opt_b: AdamState::new(1, k),
+            config,
+        };
+        let epochs = model.config.epochs;
+        model.run_epochs(data, epochs, &mut rng);
+        model
+    }
+
+    /// Continues training on (possibly new) data — incremental learning.
+    pub fn train_more(&mut self, data: &Dataset, epochs: usize) {
+        let mut rng = rng_from_seed(self.config.seed.wrapping_add(0x9e37_79b9));
+        self.run_epochs(data, epochs, &mut rng);
+    }
+
+    fn run_epochs(&mut self, data: &Dataset, epochs: usize, rng: &mut StdRng) {
+        let k = self.w.rows();
+        let d = self.w.cols();
+        let lr = self.config.learning_rate;
+        for _ in 0..epochs {
+            let order = rng::permutation(rng, data.len());
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                let mut gw = Matrix::zeros(k, d);
+                let mut gb = Matrix::zeros(1, k);
+                for &i in chunk {
+                    let x = &data.x[i];
+                    let probs = self.predict_proba(x);
+                    for c in 0..k {
+                        let err = probs[c] - if c == data.y[i] { 1.0 } else { 0.0 };
+                        gb[(0, c)] += err;
+                        crate::matrix::axpy(gw.row_mut(c), x, err);
+                    }
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                gw.scale(inv);
+                gb.scale(inv);
+                gw.add_scaled(&self.w, self.config.l2);
+                self.opt_w.step(&mut self.w, &gw, lr);
+                let mut b = Matrix::from_vec(1, k, std::mem::take(&mut self.b));
+                self.opt_b.step(&mut b, &gb, lr);
+                self.b = b.as_slice().to_vec();
+            }
+        }
+    }
+
+    /// Raw (pre-softmax) scores for each class.
+    pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.w.matvec(x);
+        for (o, &b) in out.iter_mut().zip(self.b.iter()) {
+            *o += b;
+        }
+        out
+    }
+}
+
+impl Classifier<[f64]> for LogisticRegression {
+    fn n_classes(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax(&self.decision_values(x))
+    }
+
+    fn embed(&self, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::rng::{gaussian_with, rng_from_seed};
+
+    /// Two well-separated Gaussian blobs.
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let center = if label == 0 { -2.0 } else { 2.0 };
+            x.push(vec![gaussian_with(&mut rng, center, 0.7), gaussian_with(&mut rng, -center, 0.7)]);
+            y.push(label);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let train = blobs(200, 1);
+        let test = blobs(80, 2);
+        let model = LogisticRegression::fit(&train, LogisticRegressionConfig::default());
+        let pred: Vec<usize> = test.x.iter().map(|x| model.predict(x)).collect();
+        assert!(accuracy(&pred, &test.y) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let train = blobs(100, 3);
+        let model = LogisticRegression::fit(&train, LogisticRegressionConfig::default());
+        let p = model.predict_proba(&[0.3, -0.4]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut rng = rng_from_seed(5);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(-3.0, 0.0), (3.0, 0.0), (0.0, 4.0)];
+        for i in 0..300 {
+            let c = i % 3;
+            x.push(vec![
+                gaussian_with(&mut rng, centers[c].0, 0.5),
+                gaussian_with(&mut rng, centers[c].1, 0.5),
+            ]);
+            y.push(c);
+        }
+        let data = Dataset::new(x, y);
+        let model = LogisticRegression::fit(&data, LogisticRegressionConfig::default());
+        let pred: Vec<usize> = data.x.iter().map(|x| model.predict(x)).collect();
+        assert!(accuracy(&pred, &data.y) > 0.95);
+        assert_eq!(model.n_classes(), 3);
+    }
+
+    #[test]
+    fn train_more_improves_on_shifted_data() {
+        let train = blobs(150, 7);
+        let mut model = LogisticRegression::fit(
+            &train,
+            LogisticRegressionConfig { epochs: 60, ..Default::default() },
+        );
+        // Shifted distribution: labels flipped in a new region of space.
+        let mut rng = rng_from_seed(8);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let label = i % 2;
+            let center = if label == 0 { 6.0 } else { 10.0 };
+            x.push(vec![gaussian_with(&mut rng, center, 0.4), gaussian_with(&mut rng, center, 0.4)]);
+            y.push(label);
+        }
+        let shifted = Dataset::new(x, y);
+        let before: Vec<usize> = shifted.x.iter().map(|x| model.predict(x)).collect();
+        let acc_before = accuracy(&before, &shifted.y);
+        model.train_more(&shifted, 120);
+        let after: Vec<usize> = shifted.x.iter().map(|x| model.predict(x)).collect();
+        let acc_after = accuracy(&after, &shifted.y);
+        assert!(
+            acc_after >= acc_before,
+            "incremental training should not hurt on the new data: {acc_before} -> {acc_after}"
+        );
+        assert!(acc_after > 0.9, "incremental training should adapt: {acc_after}");
+    }
+
+    #[test]
+    fn embed_is_identity_on_features() {
+        let train = blobs(50, 11);
+        let model = LogisticRegression::fit(
+            &train,
+            LogisticRegressionConfig { epochs: 5, ..Default::default() },
+        );
+        assert_eq!(model.embed(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+}

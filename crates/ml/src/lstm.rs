@@ -1,0 +1,489 @@
+//! LSTM and bidirectional LSTM sequence classifiers with hand-written BPTT.
+//!
+//! These stand in for the DeepTune LSTM (case studies 1–3) and the Vulde
+//! Bi-LSTM (case study 4). Inputs are token-id sequences; the final hidden
+//! state (concatenated directions for Bi-LSTM) is both the classification
+//! representation and the embedding handed to Prom.
+
+use rand::rngs::StdRng;
+
+use crate::activations::{sigmoid, softmax};
+use crate::data::SeqDataset;
+use crate::matrix::{axpy, Matrix};
+use crate::optim::AdamState;
+use crate::rng::{self, rng_from_seed};
+use crate::traits::Classifier;
+
+/// Training hyperparameters for [`Lstm`].
+#[derive(Debug, Clone)]
+pub struct LstmConfig {
+    /// Token-embedding width.
+    pub embed_dim: usize,
+    /// Hidden-state width per direction.
+    pub hidden_dim: usize,
+    /// Whether to run a second, reversed direction (Bi-LSTM).
+    pub bidirectional: bool,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 12,
+            hidden_dim: 16,
+            bidirectional: false,
+            epochs: 20,
+            learning_rate: 0.02,
+            batch_size: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// One direction's parameters: combined gate weights over `[x_t; h_{t-1}]`.
+struct Direction {
+    /// `4h x (e + h)` gate weights, row blocks ordered `[i, f, g, o]`.
+    w: Matrix,
+    /// `4h` gate biases.
+    b: Vec<f64>,
+    opt_w: AdamState,
+    opt_b: AdamState,
+}
+
+struct StepCache {
+    xh: Vec<f64>,   // concatenated [x_t, h_prev]
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,    // cell state after this step
+    tanh_c: Vec<f64>,
+    h: Vec<f64>,    // hidden after this step
+}
+
+impl Direction {
+    fn new(rng: &mut StdRng, embed: usize, hidden: usize) -> Self {
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias starts at 1 (standard trick for gradient flow).
+        for v in b.iter_mut().take(2 * hidden).skip(hidden) {
+            *v = 1.0;
+        }
+        Self {
+            w: rng::xavier_matrix(rng, 4 * hidden, embed + hidden),
+            b,
+            opt_w: AdamState::new(4 * hidden, embed + hidden),
+            opt_b: AdamState::new(1, 4 * hidden),
+        }
+    }
+
+    fn hidden(&self) -> usize {
+        self.w.rows() / 4
+    }
+
+    /// Runs the direction over embedded inputs, returning per-step caches.
+    fn forward(&self, inputs: &[Vec<f64>]) -> Vec<StepCache> {
+        let h_dim = self.hidden();
+        let mut h = vec![0.0; h_dim];
+        let mut c = vec![0.0; h_dim];
+        let mut caches = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let mut xh = Vec::with_capacity(x.len() + h_dim);
+            xh.extend_from_slice(x);
+            xh.extend_from_slice(&h);
+            let mut z = self.w.matvec(&xh);
+            for (zv, &bv) in z.iter_mut().zip(self.b.iter()) {
+                *zv += bv;
+            }
+            let i: Vec<f64> = z[..h_dim].iter().map(|&v| sigmoid(v)).collect();
+            let f: Vec<f64> = z[h_dim..2 * h_dim].iter().map(|&v| sigmoid(v)).collect();
+            let g: Vec<f64> = z[2 * h_dim..3 * h_dim].iter().map(|&v| v.tanh()).collect();
+            let o: Vec<f64> = z[3 * h_dim..].iter().map(|&v| sigmoid(v)).collect();
+            let new_c: Vec<f64> =
+                (0..h_dim).map(|j| f[j] * c[j] + i[j] * g[j]).collect();
+            let tanh_c: Vec<f64> = new_c.iter().map(|&v| v.tanh()).collect();
+            let new_h: Vec<f64> = (0..h_dim).map(|j| o[j] * tanh_c[j]).collect();
+            caches.push(StepCache {
+                xh,
+                i,
+                f,
+                g,
+                o,
+                c: new_c.clone(),
+                tanh_c,
+                h: new_h.clone(),
+            });
+            h = new_h;
+            c = new_c;
+        }
+        caches
+    }
+
+    /// BPTT given dL/dh at the final step. Accumulates gate-weight gradients
+    /// into `gw`/`gb` and returns per-step input gradients (for the
+    /// embedding table).
+    fn backward(
+        &self,
+        caches: &[StepCache],
+        dh_final: &[f64],
+        embed: usize,
+        gw: &mut Matrix,
+        gb: &mut [f64],
+    ) -> Vec<Vec<f64>> {
+        let h_dim = self.hidden();
+        let t_len = caches.len();
+        let mut dx_all = vec![vec![0.0; embed]; t_len];
+        let mut dh = dh_final.to_vec();
+        let mut dc = vec![0.0; h_dim];
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            let c_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h_dim]
+            } else {
+                caches[t - 1].c.clone()
+            };
+            let mut dz = vec![0.0; 4 * h_dim];
+            for j in 0..h_dim {
+                let do_ = dh[j] * cache.tanh_c[j];
+                let dct = dc[j] + dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+                let di = dct * cache.g[j];
+                let df = dct * c_prev[j];
+                let dg = dct * cache.i[j];
+                dz[j] = di * cache.i[j] * (1.0 - cache.i[j]);
+                dz[h_dim + j] = df * cache.f[j] * (1.0 - cache.f[j]);
+                dz[2 * h_dim + j] = dg * (1.0 - cache.g[j] * cache.g[j]);
+                dz[3 * h_dim + j] = do_ * cache.o[j] * (1.0 - cache.o[j]);
+                dc[j] = dct * cache.f[j];
+            }
+            gw.add_outer(&dz, &cache.xh, 1.0);
+            axpy(gb, &dz, 1.0);
+            let dxh = self.w.vecmat(&dz);
+            dx_all[t].copy_from_slice(&dxh[..embed]);
+            dh = dxh[embed..].to_vec();
+        }
+        dx_all
+    }
+}
+
+/// An LSTM (optionally bidirectional) classifier over token sequences.
+pub struct Lstm {
+    embedding: Matrix, // vocab x embed
+    forward_dir: Direction,
+    backward_dir: Option<Direction>,
+    head_w: Matrix, // k x rep
+    head_b: Vec<f64>,
+    opt_embed: AdamState,
+    opt_head_w: AdamState,
+    opt_head_b: AdamState,
+    n_classes: usize,
+    config: LstmConfig,
+}
+
+impl Lstm {
+    /// Trains an LSTM classifier on the sequence dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or fewer than two classes.
+    pub fn fit(data: &SeqDataset, config: LstmConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit an LSTM on empty data");
+        let n_classes = data.n_classes();
+        assert!(n_classes >= 2, "LSTM classifier needs at least two classes");
+        let mut rng = rng_from_seed(config.seed);
+        let e = config.embed_dim;
+        let h = config.hidden_dim;
+        let rep = if config.bidirectional { 2 * h } else { h };
+        let mut model = Self {
+            embedding: rng::xavier_matrix(&mut rng, data.vocab, e),
+            forward_dir: Direction::new(&mut rng, e, h),
+            backward_dir: if config.bidirectional {
+                Some(Direction::new(&mut rng, e, h))
+            } else {
+                None
+            },
+            head_w: rng::xavier_matrix(&mut rng, n_classes, rep),
+            head_b: vec![0.0; n_classes],
+            opt_embed: AdamState::new(data.vocab, e),
+            opt_head_w: AdamState::new(n_classes, rep),
+            opt_head_b: AdamState::new(1, n_classes),
+            n_classes,
+            config,
+        };
+        let epochs = model.config.epochs;
+        model.train_epochs(data, epochs);
+        model
+    }
+
+    /// Continues training on (possibly new) data — incremental learning.
+    pub fn train_epochs(&mut self, data: &SeqDataset, epochs: usize) {
+        let mut rng = rng_from_seed(self.config.seed.wrapping_add(13));
+        for _ in 0..epochs {
+            let order = rng::permutation(&mut rng, data.len());
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                self.step_batch(data, chunk);
+            }
+        }
+    }
+
+    fn embed_tokens(&self, seq: &[usize]) -> Vec<Vec<f64>> {
+        seq.iter().map(|&t| self.embedding.row(t).to_vec()).collect()
+    }
+
+    /// The sequence representation: final forward hidden state, plus final
+    /// backward hidden state when bidirectional.
+    fn representation(&self, seq: &[usize]) -> Vec<f64> {
+        let inputs = self.embed_tokens(seq);
+        let fwd = self.forward_dir.forward(&inputs);
+        let mut rep = fwd.last().expect("non-empty sequence").h.clone();
+        if let Some(bwd) = &self.backward_dir {
+            let mut rev = inputs.clone();
+            rev.reverse();
+            let bcaches = bwd.forward(&rev);
+            rep.extend_from_slice(&bcaches.last().expect("non-empty sequence").h);
+        }
+        rep
+    }
+
+    fn step_batch(&mut self, data: &SeqDataset, chunk: &[usize]) {
+        let e = self.config.embed_dim;
+        let h = self.config.hidden_dim;
+        let rep_dim = self.head_w.cols();
+        let mut g_embed = Matrix::zeros(self.embedding.rows(), e);
+        let mut g_fw = Matrix::zeros(4 * h, e + h);
+        let mut g_fb = vec![0.0; 4 * h];
+        let mut g_bw = Matrix::zeros(4 * h, e + h);
+        let mut g_bb = vec![0.0; 4 * h];
+        let mut g_head_w = Matrix::zeros(self.n_classes, rep_dim);
+        let mut g_head_b = vec![0.0; self.n_classes];
+
+        for &idx in chunk {
+            let seq = &data.seqs[idx];
+            let inputs = self.embed_tokens(seq);
+            let fwd_caches = self.forward_dir.forward(&inputs);
+            let mut rep = fwd_caches.last().expect("non-empty sequence").h.clone();
+            let mut rev_inputs = inputs.clone();
+            rev_inputs.reverse();
+            let bwd_caches = self.backward_dir.as_ref().map(|b| b.forward(&rev_inputs));
+            if let Some(bc) = &bwd_caches {
+                rep.extend_from_slice(&bc.last().expect("non-empty sequence").h);
+            }
+
+            // Head forward + softmax cross-entropy gradient.
+            let mut logits = self.head_w.matvec(&rep);
+            for (l, &b) in logits.iter_mut().zip(self.head_b.iter()) {
+                *l += b;
+            }
+            let mut delta = softmax(&logits);
+            delta[data.y[idx]] -= 1.0;
+
+            g_head_w.add_outer(&delta, &rep, 1.0);
+            axpy(&mut g_head_b, &delta, 1.0);
+            let drep = self.head_w.vecmat(&delta);
+
+            // Backprop through each direction.
+            let dx_fwd = self.forward_dir.backward(
+                &fwd_caches,
+                &drep[..h],
+                e,
+                &mut g_fw,
+                &mut g_fb,
+            );
+            for (t, dx) in dx_fwd.iter().enumerate() {
+                axpy(g_embed.row_mut(seq[t]), dx, 1.0);
+            }
+            if let (Some(bwd), Some(bcaches)) = (&self.backward_dir, &bwd_caches) {
+                let dx_bwd = bwd.backward(bcaches, &drep[h..], e, &mut g_bw, &mut g_bb);
+                // Reversed direction: step t of the backward pass is token
+                // `len - 1 - t` of the original sequence.
+                for (t, dx) in dx_bwd.iter().enumerate() {
+                    axpy(g_embed.row_mut(seq[seq.len() - 1 - t]), dx, 1.0);
+                }
+            }
+        }
+
+        let inv = 1.0 / chunk.len() as f64;
+        let lr = self.config.learning_rate;
+        for g in [&mut g_embed, &mut g_fw, &mut g_bw, &mut g_head_w] {
+            g.scale(inv);
+            g.clip(5.0);
+        }
+        self.opt_embed.step(&mut self.embedding, &g_embed, lr);
+        self.forward_dir.opt_w.step(&mut self.forward_dir.w, &g_fw, lr);
+        step_bias(&mut self.forward_dir.b, &mut self.forward_dir.opt_b, &g_fb, inv, lr);
+        if let Some(bwd) = &mut self.backward_dir {
+            bwd.opt_w.step(&mut bwd.w, &g_bw, lr);
+            step_bias(&mut bwd.b, &mut bwd.opt_b, &g_bb, inv, lr);
+        }
+        self.opt_head_w.step(&mut self.head_w, &g_head_w, lr);
+        step_bias(&mut self.head_b, &mut self.opt_head_b, &g_head_b, inv, lr);
+    }
+
+    /// Whether this model runs a backward direction.
+    pub fn is_bidirectional(&self) -> bool {
+        self.backward_dir.is_some()
+    }
+}
+
+fn step_bias(bias: &mut Vec<f64>, opt: &mut AdamState, grad: &[f64], inv: f64, lr: f64) {
+    let mut g = Matrix::from_vec(1, grad.len(), grad.to_vec());
+    g.scale(inv);
+    g.clip(5.0);
+    let mut b = Matrix::from_vec(1, bias.len(), std::mem::take(bias));
+    opt.step(&mut b, &g, lr);
+    *bias = b.as_slice().to_vec();
+}
+
+impl Classifier<[usize]> for Lstm {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, seq: &[usize]) -> Vec<f64> {
+        assert!(!seq.is_empty(), "cannot classify an empty sequence");
+        let rep = self.representation(seq);
+        let mut logits = self.head_w.matvec(&rep);
+        for (l, &b) in logits.iter_mut().zip(self.head_b.iter()) {
+            *l += b;
+        }
+        softmax(&logits)
+    }
+
+    fn embed(&self, seq: &[usize]) -> Vec<f64> {
+        assert!(!seq.is_empty(), "cannot embed an empty sequence");
+        self.representation(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::Rng;
+
+    /// Class 0: sequences dominated by low tokens; class 1: high tokens.
+    fn token_dataset(n: usize, vocab: usize, len: usize, seed: u64) -> SeqDataset {
+        let mut rng = rng_from_seed(seed);
+        let mut seqs = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let seq: Vec<usize> = (0..len)
+                .map(|_| {
+                    if rng.gen::<f64>() < 0.8 {
+                        if label == 0 {
+                            rng.gen_range(0..vocab / 2)
+                        } else {
+                            rng.gen_range(vocab / 2..vocab)
+                        }
+                    } else {
+                        rng.gen_range(0..vocab)
+                    }
+                })
+                .collect();
+            seqs.push(seq);
+            y.push(label);
+        }
+        SeqDataset::new(seqs, y, vocab)
+    }
+
+    /// A task that genuinely needs order: does token 0 appear before token 1?
+    fn order_dataset(n: usize, seed: u64) -> SeqDataset {
+        let mut rng = rng_from_seed(seed);
+        let vocab = 8;
+        let mut seqs = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let len = 10;
+            let mut seq: Vec<usize> = (0..len).map(|_| rng.gen_range(2..vocab)).collect();
+            let a = rng.gen_range(0..len / 2);
+            let b = rng.gen_range(len / 2..len);
+            let first_is_zero = rng.gen::<bool>();
+            seq[a] = if first_is_zero { 0 } else { 1 };
+            seq[b] = if first_is_zero { 1 } else { 0 };
+            seqs.push(seq);
+            y.push(usize::from(first_is_zero));
+        }
+        SeqDataset::new(seqs, y, vocab)
+    }
+
+    #[test]
+    fn learns_token_distribution_task() {
+        let train = token_dataset(160, 20, 12, 1);
+        let test = token_dataset(60, 20, 12, 2);
+        let model = Lstm::fit(
+            &train,
+            LstmConfig { epochs: 12, embed_dim: 8, hidden_dim: 10, ..Default::default() },
+        );
+        let pred: Vec<usize> = test.seqs.iter().map(|s| model.predict(s)).collect();
+        assert!(accuracy(&pred, &test.y) > 0.9, "LSTM failed the distribution task");
+    }
+
+    #[test]
+    fn learns_order_sensitive_task() {
+        let train = order_dataset(300, 3);
+        let test = order_dataset(100, 4);
+        let model = Lstm::fit(
+            &train,
+            LstmConfig {
+                epochs: 40,
+                embed_dim: 8,
+                hidden_dim: 12,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
+        );
+        let pred: Vec<usize> = test.seqs.iter().map(|s| model.predict(s)).collect();
+        let acc = accuracy(&pred, &test.y);
+        assert!(acc > 0.8, "LSTM failed the order task: {acc}");
+    }
+
+    #[test]
+    fn bidirectional_representation_is_wider() {
+        let train = token_dataset(60, 10, 8, 5);
+        let uni = Lstm::fit(
+            &train,
+            LstmConfig { epochs: 2, hidden_dim: 6, ..Default::default() },
+        );
+        let bi = Lstm::fit(
+            &train,
+            LstmConfig { epochs: 2, hidden_dim: 6, bidirectional: true, ..Default::default() },
+        );
+        assert_eq!(uni.embed(&train.seqs[0]).len(), 6);
+        assert_eq!(bi.embed(&train.seqs[0]).len(), 12);
+        assert!(bi.is_bidirectional());
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let train = token_dataset(40, 10, 8, 6);
+        let model = Lstm::fit(&train, LstmConfig { epochs: 2, ..Default::default() });
+        let p = model.predict_proba(&train.seqs[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_training_reduces_loss_on_new_data() {
+        let train = token_dataset(100, 16, 10, 7);
+        let mut model = Lstm::fit(&train, LstmConfig { epochs: 8, ..Default::default() });
+        // "New-era" data: the token→label association is inverted.
+        let mut flipped = token_dataset(100, 16, 10, 8);
+        for y in flipped.y.iter_mut() {
+            *y = 1 - *y;
+        }
+        let before: Vec<usize> = flipped.seqs.iter().map(|s| model.predict(s)).collect();
+        let acc_before = accuracy(&before, &flipped.y);
+        model.train_epochs(&flipped, 15);
+        let after: Vec<usize> = flipped.seqs.iter().map(|s| model.predict(s)).collect();
+        let acc_after = accuracy(&after, &flipped.y);
+        assert!(
+            acc_after > acc_before + 0.2,
+            "incremental training failed to adapt: {acc_before} -> {acc_after}"
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! Dense row-major `f64` matrices and the vector helpers used across the
+//! crate.
+//!
+//! This is intentionally a minimal BLAS-free implementation: the models in
+//! this crate are small (tens of thousands of parameters), so a cache-aware
+//! `ikj` matrix multiply is more than fast enough.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use prom_ml::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows passed to Matrix::from_rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} * {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other^T` without materializing the transpose.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b shape mismatch: {:?} * {:?}^T",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                out[(i, j)] = dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T * other` without materializing the transpose.
+    pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_a_matmul shape mismatch: {:?}^T * {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec shape mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+    }
+
+    /// Vector–matrix product `v * self` (i.e. `self^T * v`).
+    pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len(), "vecmat shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * m;
+            }
+        }
+        out
+    }
+
+    /// In-place element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f64) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place multiplication of every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// Resets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Returns a new matrix with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Outer product of two vectors: `a b^T`.
+    pub fn outer(a: &[f64], b: &[f64]) -> Matrix {
+        let mut out = Matrix::zeros(a.len(), b.len());
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                out[(i, j)] = ai * bj;
+            }
+        }
+        out
+    }
+
+    /// In-place `self += alpha * a b^T` without allocating the outer product.
+    pub fn add_outer(&mut self, a: &[f64], b: &[f64], alpha: f64) {
+        assert_eq!(self.rows, a.len(), "add_outer row mismatch");
+        assert_eq!(self.cols, b.len(), "add_outer col mismatch");
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(i);
+            for (r, &bj) in row.iter_mut().zip(b.iter()) {
+                *r += alpha * ai * bj;
+            }
+        }
+    }
+
+    /// Sum over rows, producing a length-`cols` vector.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(i)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Mean over rows, producing a length-`cols` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has zero rows.
+    pub fn col_means(&self) -> Vec<f64> {
+        assert!(self.rows > 0, "col_means of an empty matrix");
+        let mut out = self.col_sums();
+        let inv = 1.0 / self.rows as f64;
+        out.iter_mut().for_each(|x| *x *= inv);
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Clips every element into `[-limit, limit]` (gradient clipping).
+    pub fn clip(&mut self, limit: f64) {
+        for a in self.data.iter_mut() {
+            *a = a.clamp(-limit, limit);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch (debug builds assert; release relies on zip).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (l2) distance between two equal-length slices.
+#[inline]
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// l2 norm of a slice.
+#[inline]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// In-place `a += alpha * b` for slices.
+#[inline]
+pub fn axpy(a: &mut [f64], b: &[f64], alpha: f64) {
+    debug_assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x += alpha * y;
+    }
+}
+
+/// Index of the maximum element (first one wins ties).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[inline]
+pub fn argmax(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in a.iter().enumerate() {
+        if x > a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum element (first one wins ties).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[inline]
+pub fn argmin(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for (i, &x) in a.iter().enumerate() {
+        if x < a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3), a);
+        let i2 = Matrix::identity(2);
+        assert_eq!(i2.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_b_agrees_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 0.5, -1.0]]);
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_a_matmul_agrees_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 1.0], vec![2.0, 3.0]]);
+        assert_eq!(a.transpose_a_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.vecmat(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let m = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m, Matrix::from_rows(&[vec![3.0, 4.0], vec![6.0, 8.0]]));
+    }
+
+    #[test]
+    fn add_outer_matches_outer() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0], 2.0);
+        let mut expect = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0]);
+        expect.scale(2.0);
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn col_sums_and_means() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.col_sums(), vec![4.0, 6.0]);
+        assert_eq!(a.col_means(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_argmin_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmin(&[4.0, 0.0, 0.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let mut m = Matrix::from_rows(&[vec![-10.0, 0.5], vec![3.0, -0.2]]);
+        m.clip(1.0);
+        assert_eq!(m, Matrix::from_rows(&[vec![-1.0, 0.5], vec![1.0, -0.2]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn l2_distance_triangle_inequality_spot_check() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        let c = [6.0, 8.0];
+        assert!((l2_distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!(l2_distance(&a, &c) <= l2_distance(&a, &b) + l2_distance(&b, &c) + 1e-12);
+    }
+}

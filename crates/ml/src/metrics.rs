@@ -1,0 +1,320 @@
+//! Classification, regression, and detection-quality metrics.
+//!
+//! The drift-detection metrics (accuracy / precision / recall / F1 over
+//! reject decisions) defined in Sec. 6.6 of the paper live here as
+//! [`BinaryConfusion`]; per-class classification metrics use
+//! [`ConfusionMatrix`].
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of positions where the two label sequences agree.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy length mismatch");
+    assert!(!pred.is_empty(), "accuracy of empty predictions");
+    let hits = pred.iter().zip(truth.iter()).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// A binary confusion table for detector-style decisions
+/// (positive = "the detector fired", e.g. Prom rejected the prediction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Detector fired and the event was real (misprediction rejected).
+    pub tp: usize,
+    /// Detector fired but the event was not real (correct prediction rejected).
+    pub fp: usize,
+    /// Detector stayed quiet and the event was not real.
+    pub tn: usize,
+    /// Detector stayed quiet but the event was real (misprediction accepted).
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Accumulates one observation.
+    pub fn record(&mut self, fired: bool, real: bool) {
+        match (fired, real) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Builds a confusion table from parallel decision/ground-truth slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn from_decisions(fired: &[bool], real: &[bool]) -> Self {
+        assert_eq!(fired.len(), real.len(), "decision length mismatch");
+        let mut c = Self::default();
+        for (&f, &r) in fired.iter().zip(real.iter()) {
+            c.record(f, r);
+        }
+        c
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(tp + tn) / total`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// `tp / (tp + fp)`; 0 when the detector never fired.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 0 when there were no real events.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// `fp / (fp + tn)`: how often correct predictions are rejected.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tn) as f64
+        }
+    }
+
+    /// `fn / (fn + tp)`: how often mispredictions slip through.
+    pub fn false_negative_rate(&self) -> f64 {
+        if self.fn_ + self.tp == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / (self.fn_ + self.tp) as f64
+        }
+    }
+}
+
+/// A `k x k` multiclass confusion matrix (`rows = truth`, `cols = predicted`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix over `k` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn new(k: usize, pred: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "confusion length mismatch");
+        let mut counts = vec![0usize; k * k];
+        for (&p, &t) in pred.iter().zip(truth.iter()) {
+            assert!(p < k && t < k, "label out of range: pred {p}, truth {t}, k {k}");
+            counts[t * k + p] += 1;
+        }
+        Self { k, counts }
+    }
+
+    /// Count of samples with true class `t` predicted as class `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.k + p]
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: usize = (0..self.k).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / predicted as f64)
+        }
+    }
+
+    /// Per-class recall (`None` for classes never observed).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let actual: usize = (0..self.k).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / actual as f64)
+        }
+    }
+
+    /// Macro-averaged F1 over the classes that appear in the data.
+    pub fn macro_f1(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for c in 0..self.k {
+            let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) else {
+                // A class absent from both predictions and truth contributes
+                // nothing; a class absent from one side counts as F1 = 0.
+                let observed: usize = (0..self.k).map(|x| self.count(c, x)).sum();
+                let predicted: usize = (0..self.k).map(|t| self.count(t, c)).sum();
+                if observed + predicted > 0 {
+                    n += 1;
+                }
+                continue;
+            };
+            if p + r > 0.0 {
+                total += 2.0 * p * r / (p + r);
+            }
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mse length mismatch");
+    assert!(!pred.is_empty(), "mse of empty predictions");
+    pred.iter().zip(truth.iter()).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty predictions");
+    pred.iter().zip(truth.iter()).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R². Returns 0 for constant truth.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "r2 length mismatch");
+    assert!(!pred.is_empty(), "r2 of empty predictions");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot < 1e-12 {
+        return 0.0;
+    }
+    let ss_res: f64 = pred.iter().zip(truth.iter()).map(|(p, t)| (p - t) * (p - t)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics on empty input or non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_confusion_metrics() {
+        // 8 mispredictions of which 7 rejected; 12 correct of which 2 rejected.
+        let mut c = BinaryConfusion::default();
+        for _ in 0..7 {
+            c.record(true, true);
+        }
+        c.record(false, true);
+        for _ in 0..2 {
+            c.record(true, false);
+        }
+        for _ in 0..10 {
+            c.record(false, false);
+        }
+        assert_eq!(c.total(), 20);
+        assert!((c.recall() - 7.0 / 8.0).abs() < 1e-12);
+        assert!((c.precision() - 7.0 / 9.0).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 2.0 / 12.0).abs() < 1e-12);
+        assert!((c.false_negative_rate() - 1.0 / 8.0).abs() < 1e-12);
+        let f1 = c.f1();
+        let p = c.precision();
+        let r = c.recall();
+        assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_confusion_degenerate_cases() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_perfect_prediction() {
+        let cm = ConfusionMatrix::new(3, &[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(cm.precision(1), Some(1.0));
+        assert_eq!(cm.recall(2), Some(1.0));
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_never_predicted_class() {
+        let cm = ConfusionMatrix::new(3, &[0, 0, 0], &[0, 1, 2]);
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.recall(1), Some(0.0));
+        assert!(cm.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 2.0, 5.0];
+        assert!((mse(&pred, &truth) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&pred, &truth) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r2(&truth, &truth) > 0.999);
+        assert!(r2(&pred, &truth) < 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_constant() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! First-order optimizers operating on [`Matrix`] parameters.
+//!
+//! Each parameter matrix gets its own optimizer state; models keep a
+//! `Vec<AdamState>` parallel to their parameter list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Adam optimizer state for a single parameter matrix.
+///
+/// # Examples
+///
+/// ```
+/// use prom_ml::matrix::Matrix;
+/// use prom_ml::optim::AdamState;
+///
+/// let mut w = Matrix::filled(1, 1, 1.0);
+/// let mut adam = AdamState::new(1, 1);
+/// // Minimize f(w) = w^2; gradient is 2w.
+/// for _ in 0..500 {
+///     let g = w.map(|x| 2.0 * x);
+///     adam.step(&mut w, &g, 0.05);
+/// }
+/// assert!(w[(0, 0)].abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamState {
+    m: Matrix,
+    v: Matrix,
+    t: u64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+}
+
+impl AdamState {
+    /// Creates state for a `rows x cols` parameter with the standard
+    /// hyperparameters (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update to `param` given `grad` and learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes of `param`, `grad`, and this state disagree.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix, lr: f64) {
+        assert_eq!(param.shape(), grad.shape(), "Adam param/grad shape mismatch");
+        assert_eq!(param.shape(), self.m.shape(), "Adam state shape mismatch");
+        self.t += 1;
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let (p, g) = (param.as_mut_slice(), grad.as_slice());
+        let (m, v) = (self.m.as_mut_slice(), self.v.as_mut_slice());
+        for i in 0..p.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            p[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Resets the optimizer state (used when retraining from a warm start
+    /// with fresh momentum).
+    pub fn reset(&mut self) {
+        self.m.fill_zero();
+        self.v.fill_zero();
+        self.t = 0;
+    }
+}
+
+/// Plain SGD with optional momentum for a single parameter matrix.
+#[derive(Debug, Clone)]
+pub struct SgdState {
+    velocity: Matrix,
+    momentum: f64,
+}
+
+impl SgdState {
+    /// Creates SGD state with the given momentum coefficient (0 disables it).
+    pub fn new(rows: usize, cols: usize, momentum: f64) -> Self {
+        Self { velocity: Matrix::zeros(rows, cols), momentum }
+    }
+
+    /// Applies one SGD step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix, lr: f64) {
+        assert_eq!(param.shape(), grad.shape(), "SGD param/grad shape mismatch");
+        let (p, g) = (param.as_mut_slice(), grad.as_slice());
+        let v = self.velocity.as_mut_slice();
+        for i in 0..p.len() {
+            v[i] = self.momentum * v[i] - lr * g[i];
+            p[i] += v[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both optimizers should descend a simple quadratic bowl.
+    fn quadratic_descends(mut step: impl FnMut(&mut Matrix, &Matrix)) -> f64 {
+        let mut w = Matrix::from_rows(&[vec![3.0, -2.0]]);
+        for _ in 0..400 {
+            let g = w.map(|x| 2.0 * x);
+            step(&mut w, &g);
+        }
+        w.frobenius_norm()
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut adam = AdamState::new(1, 2);
+        let norm = quadratic_descends(|w, g| adam.step(w, g, 0.05));
+        assert!(norm < 1e-2, "Adam failed to converge: |w| = {norm}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_minimizes_quadratic() {
+        let mut sgd = SgdState::new(1, 2, 0.9);
+        let norm = quadratic_descends(|w, g| sgd.step(w, g, 0.01));
+        assert!(norm < 1e-2, "SGD failed to converge: |w| = {norm}");
+    }
+
+    #[test]
+    fn adam_reset_clears_time() {
+        let mut adam = AdamState::new(1, 1);
+        let mut w = Matrix::filled(1, 1, 1.0);
+        let g = Matrix::filled(1, 1, 0.5);
+        adam.step(&mut w, &g, 0.1);
+        assert_eq!(adam.t, 1);
+        adam.reset();
+        assert_eq!(adam.t, 0);
+        assert_eq!(adam.m, Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn adam_shape_mismatch_panics() {
+        let mut adam = AdamState::new(1, 1);
+        let mut w = Matrix::zeros(2, 2);
+        let g = Matrix::zeros(2, 2);
+        adam.step(&mut w, &g, 0.1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded randomness helpers shared by models and workload generators.
+//!
+//! All stochastic code in this workspace goes through [`rand::rngs::StdRng`]
+//! seeded from a `u64`, so every experiment is reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Creates a deterministic RNG from a `u64` seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples from a standard normal distribution via Box–Muller.
+///
+/// Avoids a dependency on `rand_distr`; precision is more than adequate for
+/// weight initialization and synthetic data generation.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    // Draw u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+pub fn gaussian_with(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * gaussian(rng)
+}
+
+/// Xavier/Glorot-style initialization: `N(0, sqrt(2 / (fan_in + fan_out)))`.
+pub fn xavier_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let std_dev = (2.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols).map(|_| std_dev * gaussian(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform_matrix(rng: &mut StdRng, rows: usize, cols: usize, limit: f64) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Returns a freshly shuffled copy of `0..n` (used for minibatch ordering).
+pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Splits `0..n` into two disjoint shuffled index sets of sizes
+/// `(n - holdout, holdout)`.
+///
+/// # Panics
+///
+/// Panics if `holdout > n`.
+pub fn split_indices(rng: &mut StdRng, n: usize, holdout: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(holdout <= n, "holdout {holdout} larger than population {n}");
+    let idx = permutation(rng, n);
+    let held = idx[..holdout].to_vec();
+    let kept = idx[holdout..].to_vec();
+    (kept, held)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = rng_from_seed(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = rng_from_seed(3);
+        let mut p = permutation(&mut rng, 100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_indices_partition() {
+        let mut rng = rng_from_seed(5);
+        let (kept, held) = split_indices(&mut rng, 50, 10);
+        assert_eq!(kept.len(), 40);
+        assert_eq!(held.len(), 10);
+        let mut all: Vec<usize> = kept.iter().chain(held.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xavier_matrix_shape_and_scale() {
+        let mut rng = rng_from_seed(11);
+        let m = xavier_matrix(&mut rng, 64, 32);
+        assert_eq!(m.shape(), (64, 32));
+        let max = m.as_slice().iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        assert!(max < 1.0, "xavier init unexpectedly large: {max}");
+    }
+}

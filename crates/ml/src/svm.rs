@@ -1,0 +1,245 @@
+//! Linear support vector machines trained with Pegasos (stochastic
+//! subgradient descent on the hinge loss), one-vs-rest multiclass, and Platt
+//! scaling so the model exposes the probability vector Prom needs.
+//!
+//! Plays the role of the K.Stock et al. vectorization model and the internal
+//! detector of the RISE baseline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::activations::sigmoid;
+use crate::data::Dataset;
+use crate::rng::rng_from_seed;
+use crate::traits::Classifier;
+
+/// Training hyperparameters for [`LinearSvm`].
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Number of Pegasos epochs (passes over the data).
+    pub epochs: usize,
+    /// Regularization parameter λ of Pegasos (inverse of C·n).
+    pub lambda: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self { epochs: 60, lambda: 1e-3, seed: 0 }
+    }
+}
+
+/// A binary linear SVM `sign(w·x + b)` with a Platt-scaled probability.
+#[derive(Debug, Clone)]
+struct BinarySvm {
+    w: Vec<f64>,
+    b: f64,
+    /// Platt scaling parameters: P(y=1|x) = sigmoid(a * margin + c).
+    platt_a: f64,
+    platt_c: f64,
+}
+
+impl BinarySvm {
+    /// `y` entries must be +1.0 / -1.0.
+    fn fit(x: &[Vec<f64>], y: &[f64], config: &SvmConfig, rng: &mut StdRng) -> Self {
+        let d = x[0].len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut t: u64 = 0;
+        // Offset the 1/(λt) Pegasos schedule so the first steps are O(1)
+        // instead of O(1/λ); the unregularized bias would otherwise keep the
+        // huge initial kick forever and ruin Platt calibration.
+        let t0 = 1.0 / config.lambda;
+        for _ in 0..config.epochs {
+            for _ in 0..x.len() {
+                t += 1;
+                let i = rng.gen_range(0..x.len());
+                let eta = 1.0 / (config.lambda * (t as f64 + t0));
+                let margin = crate::matrix::dot(&w, &x[i]) + b;
+                // Shrink step (regularization).
+                let shrink = 1.0 - eta * config.lambda;
+                w.iter_mut().for_each(|v| *v *= shrink.max(0.0));
+                if y[i] * margin < 1.0 {
+                    crate::matrix::axpy(&mut w, &x[i], eta * y[i]);
+                    b += eta * y[i] * 0.1; // unregularized, slower bias drift
+                }
+            }
+        }
+        let mut svm = Self { w, b, platt_a: -1.0, platt_c: 0.0 };
+        svm.fit_platt(x, y);
+        svm
+    }
+
+    fn margin(&self, x: &[f64]) -> f64 {
+        crate::matrix::dot(&self.w, x) + self.b
+    }
+
+    /// Fits the Platt sigmoid P(y=1|f) = sigmoid(a f + c) by gradient
+    /// descent on the log loss of the training margins. (The classic Platt
+    /// recipe uses held-out data and Newton steps; plain GD on training
+    /// margins is sufficient for the small models in this reproduction.)
+    fn fit_platt(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let margins: Vec<f64> = x.iter().map(|xi| self.margin(xi)).collect();
+        let targets: Vec<f64> = y.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+        // The log loss is convex in (a, c); starting from a positive slope
+        // keeps the fit in the canonical "larger margin => larger P(y=1)"
+        // parameterization.
+        let (mut a, mut c) = (1.0f64, 0.0f64);
+        let lr = 0.1;
+        for _ in 0..500 {
+            let mut ga = 0.0;
+            let mut gc = 0.0;
+            for (&m, &t) in margins.iter().zip(targets.iter()) {
+                let p = sigmoid(a * m + c);
+                ga += (p - t) * m;
+                gc += p - t;
+            }
+            let inv = 1.0 / margins.len() as f64;
+            a -= lr * ga * inv;
+            c -= lr * gc * inv;
+        }
+        self.platt_a = a;
+        self.platt_c = c;
+    }
+
+    fn proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.platt_a * self.margin(x) + self.platt_c)
+    }
+}
+
+/// A one-vs-rest multiclass linear SVM with Platt-scaled probabilities.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    machines: Vec<BinarySvm>,
+    n_classes: usize,
+    config: SvmConfig,
+}
+
+impl LinearSvm {
+    /// Trains one binary machine per class (one-vs-rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or fewer than two classes.
+    pub fn fit(data: &Dataset, config: SvmConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit an SVM on empty data");
+        let n_classes = data.n_classes();
+        assert!(n_classes >= 2, "SVM needs at least two classes");
+        let mut rng = rng_from_seed(config.seed);
+        let machines = (0..n_classes)
+            .map(|c| {
+                let y: Vec<f64> =
+                    data.y.iter().map(|&v| if v == c { 1.0 } else { -1.0 }).collect();
+                BinarySvm::fit(&data.x, &y, &config, &mut rng)
+            })
+            .collect();
+        Self { machines, n_classes, config }
+    }
+
+    /// Retrains from the current weights on (possibly augmented) data —
+    /// incremental learning. Platt parameters are refitted.
+    pub fn train_more(&mut self, data: &Dataset, epochs: usize) {
+        let mut rng = rng_from_seed(self.config.seed.wrapping_add(77));
+        let config = SvmConfig { epochs, ..self.config.clone() };
+        for (c, machine) in self.machines.iter_mut().enumerate() {
+            let y: Vec<f64> = data.y.iter().map(|&v| if v == c { 1.0 } else { -1.0 }).collect();
+            // Warm start: continue Pegasos from existing weights.
+            let mut warm = BinarySvm::fit(&data.x, &y, &config, &mut rng);
+            // Blend old and new weight vectors to retain prior knowledge.
+            for (w_new, &w_old) in warm.w.iter_mut().zip(machine.w.iter()) {
+                *w_new = 0.5 * *w_new + 0.5 * w_old;
+            }
+            warm.b = 0.5 * warm.b + 0.5 * machine.b;
+            warm.fit_platt(&data.x, &y);
+            *machine = warm;
+        }
+    }
+
+    /// Raw margins for each class (useful for tests and baselines).
+    pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        self.machines.iter().map(|m| m.margin(x)).collect()
+    }
+}
+
+impl Classifier<[f64]> for LinearSvm {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut probs: Vec<f64> = self.machines.iter().map(|m| m.proba(x)).collect();
+        let total: f64 = probs.iter().sum();
+        if total <= 1e-12 {
+            return vec![1.0 / self.n_classes as f64; self.n_classes];
+        }
+        probs.iter_mut().for_each(|p| *p /= total);
+        probs
+    }
+
+    fn embed(&self, x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::rng::{gaussian_with, rng_from_seed};
+
+    fn blobs(n: usize, seed: u64, centers: &[(f64, f64)]) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % centers.len();
+            x.push(vec![
+                gaussian_with(&mut rng, centers[c].0, 0.5),
+                gaussian_with(&mut rng, centers[c].1, 0.5),
+            ]);
+            y.push(c);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn binary_separable_problem() {
+        let train = blobs(200, 1, &[(-2.0, -2.0), (2.0, 2.0)]);
+        let test = blobs(80, 2, &[(-2.0, -2.0), (2.0, 2.0)]);
+        let svm = LinearSvm::fit(&train, SvmConfig::default());
+        let pred: Vec<usize> = test.x.iter().map(|x| svm.predict(x)).collect();
+        assert!(accuracy(&pred, &test.y) > 0.95);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let train = blobs(300, 3, &[(-4.0, 0.0), (4.0, 0.0), (0.0, 5.0)]);
+        let svm = LinearSvm::fit(&train, SvmConfig::default());
+        let pred: Vec<usize> = train.x.iter().map(|x| svm.predict(x)).collect();
+        assert!(accuracy(&pred, &train.y) > 0.9);
+        assert_eq!(svm.n_classes(), 3);
+    }
+
+    #[test]
+    fn probabilities_normalized_and_monotone_with_margin() {
+        let train = blobs(200, 4, &[(-2.0, 0.0), (2.0, 0.0)]);
+        let svm = LinearSvm::fit(&train, SvmConfig::default());
+        let p = svm.predict_proba(&[1.5, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // A point deep in class-1 territory should have higher class-1
+        // probability than a boundary point.
+        let deep = svm.predict_proba(&[4.0, 0.0])[1];
+        let shallow = svm.predict_proba(&[0.2, 0.0])[1];
+        assert!(deep > shallow, "Platt probabilities not monotone: {deep} vs {shallow}");
+    }
+
+    #[test]
+    fn platt_confidence_reflects_distance() {
+        let train = blobs(200, 5, &[(-2.0, 0.0), (2.0, 0.0)]);
+        let svm = LinearSvm::fit(&train, SvmConfig::default());
+        let boundary = svm.predict_proba(&[0.0, 0.0]);
+        // Near the decision boundary both classes should be plausible.
+        assert!(boundary[0] > 0.15 && boundary[1] > 0.15, "boundary probs {boundary:?}");
+    }
+}

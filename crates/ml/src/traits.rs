@@ -1,0 +1,70 @@
+//! Core model abstractions shared by the classic and neural models.
+//!
+//! Prom itself only ever consumes two things from an underlying model: a
+//! **probability vector** over labels (classification) or a scalar estimate
+//! (regression), and a **feature embedding** used to measure distances
+//! between a test input and calibration samples. The [`Classifier`] and
+//! [`Regressor`] traits capture exactly that surface.
+
+/// A trained probabilistic classifier over inputs of type `X`.
+///
+/// Implementations must return a probability vector of length
+/// [`Classifier::n_classes`] summing to (approximately) one, and an
+/// embedding of the input in the model's feature space (for distance-based
+/// calibration-sample selection, Sec. 5.1.2 of the paper).
+pub trait Classifier<X: ?Sized> {
+    /// Number of classes the model discriminates.
+    fn n_classes(&self) -> usize;
+
+    /// Probability of each class for the given input.
+    fn predict_proba(&self, x: &X) -> Vec<f64>;
+
+    /// The model's feature-space embedding of the input.
+    ///
+    /// For neural models this is the representation feeding the output
+    /// layer; for feature-vector models it is the (standardized) input
+    /// itself.
+    fn embed(&self, x: &X) -> Vec<f64>;
+
+    /// The predicted label (argmax of [`Classifier::predict_proba`]).
+    fn predict(&self, x: &X) -> usize {
+        crate::matrix::argmax(&self.predict_proba(x))
+    }
+}
+
+/// A trained regressor over inputs of type `X`.
+pub trait Regressor<X: ?Sized> {
+    /// Point estimate for the given input.
+    fn predict(&self, x: &X) -> f64;
+
+    /// The model's feature-space embedding of the input (see
+    /// [`Classifier::embed`]).
+    fn embed(&self, x: &X) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant {
+        probs: Vec<f64>,
+    }
+
+    impl Classifier<[f64]> for Constant {
+        fn n_classes(&self) -> usize {
+            self.probs.len()
+        }
+        fn predict_proba(&self, _x: &[f64]) -> Vec<f64> {
+            self.probs.clone()
+        }
+        fn embed(&self, x: &[f64]) -> Vec<f64> {
+            x.to_vec()
+        }
+    }
+
+    #[test]
+    fn default_predict_takes_argmax() {
+        let c = Constant { probs: vec![0.1, 0.7, 0.2] };
+        assert_eq!(c.predict(&[0.0]), 1);
+    }
+}

@@ -1,0 +1,591 @@
+//! A single-block, single-head transformer encoder ("mini-BERT") with
+//! hand-written backprop, usable as a sequence classifier or regressor.
+//!
+//! Stands in for the CodeXGLUE / LineVul transformers (case study 4) and the
+//! TLP BERT-based cost model (case study 5). The mean-pooled encoder output
+//! is both the prediction representation and the embedding handed to Prom.
+
+use crate::activations::{relu, relu_deriv, softmax, softmax_in_place};
+use crate::data::SeqDataset;
+use crate::matrix::{axpy, Matrix};
+use crate::optim::AdamState;
+use crate::rng::{self, rng_from_seed};
+use crate::traits::{Classifier, Regressor};
+
+/// Output head of the [`Transformer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformerTask {
+    /// Softmax over `n` classes, cross-entropy loss.
+    Classification(usize),
+    /// Scalar linear output, squared-error loss.
+    Regression,
+}
+
+/// Training hyperparameters for [`Transformer`].
+#[derive(Debug, Clone)]
+pub struct TransformerConfig {
+    /// Model (embedding) width `d`.
+    pub model_dim: usize,
+    /// Attention width `a`.
+    pub attn_dim: usize,
+    /// Feed-forward hidden width `f`.
+    pub ff_dim: usize,
+    /// Maximum sequence length (for learned positional embeddings).
+    pub max_len: usize,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        Self {
+            model_dim: 16,
+            attn_dim: 12,
+            ff_dim: 24,
+            max_len: 64,
+            epochs: 20,
+            learning_rate: 0.01,
+            batch_size: 16,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Params {
+    embed: Matrix,  // vocab x d
+    pos: Matrix,    // max_len x d
+    wq: Matrix,     // d x a
+    wk: Matrix,     // d x a
+    wv: Matrix,     // d x a
+    wp: Matrix,     // a x d
+    w1: Matrix,     // d x f
+    b1: Vec<f64>,   // f
+    w2: Matrix,     // f x d
+    b2: Vec<f64>,   // d
+    head_w: Matrix, // k x d
+    head_b: Vec<f64>,
+}
+
+#[derive(Clone)]
+struct Grads {
+    embed: Matrix,
+    pos: Matrix,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wp: Matrix,
+    w1: Matrix,
+    b1: Vec<f64>,
+    w2: Matrix,
+    b2: Vec<f64>,
+    head_w: Matrix,
+    head_b: Vec<f64>,
+}
+
+#[derive(Clone)]
+struct Opt {
+    embed: AdamState,
+    pos: AdamState,
+    wq: AdamState,
+    wk: AdamState,
+    wv: AdamState,
+    wp: AdamState,
+    w1: AdamState,
+    b1: AdamState,
+    w2: AdamState,
+    b2: AdamState,
+    head_w: AdamState,
+    head_b: AdamState,
+}
+
+struct Cache {
+    x: Matrix,      // T x d (embedded + positional)
+    q: Matrix,      // T x a
+    k: Matrix,      // T x a
+    v: Matrix,      // T x a
+    attn: Matrix,   // T x T (post-softmax)
+    h: Matrix,      // T x a
+    u: Matrix,      // T x d (projected + residual)
+    z1: Matrix,     // T x f (pre-ReLU)
+    g: Matrix,      // T x f (post-ReLU)
+    pooled: Vec<f64>,
+}
+
+/// A single-block transformer encoder with a classification or regression
+/// head.
+#[derive(Clone)]
+pub struct Transformer {
+    params: Params,
+    opt: Opt,
+    task: TransformerTask,
+    config: TransformerConfig,
+}
+
+impl Transformer {
+    /// Builds an untrained model for the given vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Classification(k)` with `k < 2` or a zero vocabulary.
+    pub fn new(vocab: usize, task: TransformerTask, config: TransformerConfig) -> Self {
+        assert!(vocab > 0, "transformer needs a non-empty vocabulary");
+        let out_dim = match task {
+            TransformerTask::Classification(k) => {
+                assert!(k >= 2, "classification needs at least 2 classes");
+                k
+            }
+            TransformerTask::Regression => 1,
+        };
+        let mut rng = rng_from_seed(config.seed);
+        let (d, a, f) = (config.model_dim, config.attn_dim, config.ff_dim);
+        let params = Params {
+            embed: rng::xavier_matrix(&mut rng, vocab, d),
+            pos: rng::xavier_matrix(&mut rng, config.max_len, d),
+            wq: rng::xavier_matrix(&mut rng, d, a),
+            wk: rng::xavier_matrix(&mut rng, d, a),
+            wv: rng::xavier_matrix(&mut rng, d, a),
+            wp: rng::xavier_matrix(&mut rng, a, d),
+            w1: rng::xavier_matrix(&mut rng, d, f),
+            b1: vec![0.0; f],
+            w2: rng::xavier_matrix(&mut rng, f, d),
+            b2: vec![0.0; d],
+            head_w: rng::xavier_matrix(&mut rng, out_dim, d),
+            head_b: vec![0.0; out_dim],
+        };
+        let opt = Opt {
+            embed: AdamState::new(vocab, d),
+            pos: AdamState::new(config.max_len, d),
+            wq: AdamState::new(d, a),
+            wk: AdamState::new(d, a),
+            wv: AdamState::new(d, a),
+            wp: AdamState::new(a, d),
+            w1: AdamState::new(d, f),
+            b1: AdamState::new(1, f),
+            w2: AdamState::new(f, d),
+            b2: AdamState::new(1, d),
+            head_w: AdamState::new(out_dim, d),
+            head_b: AdamState::new(1, out_dim),
+        };
+        Self { params, opt, task, config }
+    }
+
+    /// Trains a classifier on the sequence dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data.
+    pub fn fit_classifier(data: &SeqDataset, config: TransformerConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a transformer on empty data");
+        let mut model =
+            Self::new(data.vocab, TransformerTask::Classification(data.n_classes()), config);
+        let epochs = model.config.epochs;
+        model.train_classifier_epochs(data, epochs);
+        model
+    }
+
+    /// Trains a regressor on token sequences with scalar targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or length mismatch.
+    pub fn fit_regressor(
+        seqs: &[Vec<usize>],
+        targets: &[f64],
+        vocab: usize,
+        config: TransformerConfig,
+    ) -> Self {
+        assert!(!seqs.is_empty(), "cannot fit a transformer on empty data");
+        assert_eq!(seqs.len(), targets.len(), "sequence/target mismatch");
+        let mut model = Self::new(vocab, TransformerTask::Regression, config);
+        let epochs = model.config.epochs;
+        model.train_regressor_epochs(seqs, targets, epochs);
+        model
+    }
+
+    /// Continues classifier training (incremental learning).
+    pub fn train_classifier_epochs(&mut self, data: &SeqDataset, epochs: usize) {
+        let mut rng = rng_from_seed(self.config.seed.wrapping_add(31));
+        for _ in 0..epochs {
+            let order = rng::permutation(&mut rng, data.len());
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                self.step_batch(chunk, &|i| &data.seqs[i], &|i, out: &[f64]| {
+                    let mut d = softmax(out);
+                    d[data.y[i]] -= 1.0;
+                    d
+                });
+            }
+        }
+    }
+
+    /// Continues regressor training (incremental learning).
+    pub fn train_regressor_epochs(
+        &mut self,
+        seqs: &[Vec<usize>],
+        targets: &[f64],
+        epochs: usize,
+    ) {
+        let mut rng = rng_from_seed(self.config.seed.wrapping_add(31));
+        for _ in 0..epochs {
+            let order = rng::permutation(&mut rng, seqs.len());
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                self.step_batch(chunk, &|i| &seqs[i], &|i, out: &[f64]| {
+                    vec![out[0] - targets[i]]
+                });
+            }
+        }
+    }
+
+    fn forward(&self, seq: &[usize]) -> Cache {
+        assert!(!seq.is_empty(), "cannot encode an empty sequence");
+        let p = &self.params;
+        let d = self.config.model_dim;
+        let t_len = seq.len().min(self.config.max_len);
+        let mut x = Matrix::zeros(t_len, d);
+        for (t, &tok) in seq.iter().take(t_len).enumerate() {
+            let row = x.row_mut(t);
+            for (r, (&e, &pe)) in row.iter_mut().zip(p.embed.row(tok).iter().zip(p.pos.row(t))) {
+                *r = e + pe;
+            }
+        }
+        let q = x.matmul(&p.wq);
+        let k = x.matmul(&p.wk);
+        let v = x.matmul(&p.wv);
+        let scale = 1.0 / (self.config.attn_dim as f64).sqrt();
+        let mut attn = q.matmul_transpose_b(&k);
+        attn.scale(scale);
+        for i in 0..t_len {
+            softmax_in_place(attn.row_mut(i));
+        }
+        let h = attn.matmul(&v);
+        let mut u = h.matmul(&p.wp);
+        u.add_assign(&x); // residual
+        let mut z1 = u.matmul(&p.w1);
+        for i in 0..t_len {
+            axpy(z1.row_mut(i), &p.b1, 1.0);
+        }
+        let g = z1.map(relu);
+        let mut f_out = g.matmul(&p.w2);
+        for i in 0..t_len {
+            axpy(f_out.row_mut(i), &p.b2, 1.0);
+        }
+        f_out.add_assign(&u); // residual
+        let pooled = f_out.col_means();
+        Cache { x, q, k, v, attn, h, u, z1, g, pooled }
+    }
+
+    fn head_output(&self, pooled: &[f64]) -> Vec<f64> {
+        let mut out = self.params.head_w.matvec(pooled);
+        for (o, &b) in out.iter_mut().zip(self.params.head_b.iter()) {
+            *o += b;
+        }
+        out
+    }
+
+    /// One minibatch step; `delta_out` maps the raw head output to dL/dz.
+    fn step_batch<'a>(
+        &mut self,
+        chunk: &[usize],
+        seq_of: &dyn Fn(usize) -> &'a Vec<usize>,
+        delta_out: &dyn Fn(usize, &[f64]) -> Vec<f64>,
+    ) {
+        let p = &self.params;
+        let mut g = Grads {
+            embed: Matrix::zeros(p.embed.rows(), p.embed.cols()),
+            pos: Matrix::zeros(p.pos.rows(), p.pos.cols()),
+            wq: Matrix::zeros(p.wq.rows(), p.wq.cols()),
+            wk: Matrix::zeros(p.wk.rows(), p.wk.cols()),
+            wv: Matrix::zeros(p.wv.rows(), p.wv.cols()),
+            wp: Matrix::zeros(p.wp.rows(), p.wp.cols()),
+            w1: Matrix::zeros(p.w1.rows(), p.w1.cols()),
+            b1: vec![0.0; p.b1.len()],
+            w2: Matrix::zeros(p.w2.rows(), p.w2.cols()),
+            b2: vec![0.0; p.b2.len()],
+            head_w: Matrix::zeros(p.head_w.rows(), p.head_w.cols()),
+            head_b: vec![0.0; p.head_b.len()],
+        };
+
+        for &idx in chunk {
+            let seq = seq_of(idx);
+            let cache = self.forward(seq);
+            let out = self.head_output(&cache.pooled);
+            let delta = delta_out(idx, &out);
+            self.backward_sample(seq, &cache, &delta, &mut g);
+        }
+
+        let inv = 1.0 / chunk.len() as f64;
+        let lr = self.config.learning_rate;
+        let p = &mut self.params;
+        let o = &mut self.opt;
+        for (param, grad, opt) in [
+            (&mut p.embed, &mut g.embed, &mut o.embed),
+            (&mut p.pos, &mut g.pos, &mut o.pos),
+            (&mut p.wq, &mut g.wq, &mut o.wq),
+            (&mut p.wk, &mut g.wk, &mut o.wk),
+            (&mut p.wv, &mut g.wv, &mut o.wv),
+            (&mut p.wp, &mut g.wp, &mut o.wp),
+            (&mut p.w1, &mut g.w1, &mut o.w1),
+            (&mut p.w2, &mut g.w2, &mut o.w2),
+            (&mut p.head_w, &mut g.head_w, &mut o.head_w),
+        ] {
+            grad.scale(inv);
+            grad.clip(5.0);
+            opt.step(param, grad, lr);
+        }
+        for (bias, grad, opt) in [
+            (&mut p.b1, &g.b1, &mut o.b1),
+            (&mut p.b2, &g.b2, &mut o.b2),
+            (&mut p.head_b, &g.head_b, &mut o.head_b),
+        ] {
+            let mut gm = Matrix::from_vec(1, grad.len(), grad.clone());
+            gm.scale(inv);
+            gm.clip(5.0);
+            let mut bm = Matrix::from_vec(1, bias.len(), std::mem::take(bias));
+            opt.step(&mut bm, &gm, lr);
+            *bias = bm.as_slice().to_vec();
+        }
+    }
+
+    fn backward_sample(&self, seq: &[usize], cache: &Cache, delta: &[f64], g: &mut Grads) {
+        let p = &self.params;
+        let t_len = cache.x.rows();
+        let scale = 1.0 / (self.config.attn_dim as f64).sqrt();
+
+        // Head.
+        g.head_w.add_outer(delta, &cache.pooled, 1.0);
+        axpy(&mut g.head_b, delta, 1.0);
+        let dpooled = p.head_w.vecmat(delta);
+
+        // Mean pooling: every row of f_out receives dpooled / T.
+        let mut df = Matrix::zeros(t_len, dpooled.len());
+        let inv_t = 1.0 / t_len as f64;
+        for i in 0..t_len {
+            axpy(df.row_mut(i), &dpooled, inv_t);
+        }
+
+        // FFN (with residual): f_out = g W2 + b2 + u.
+        let dg_post = df.matmul_transpose_b(&p.w2); // T x f
+        g.w2.add_assign(&cache.g.transpose_a_matmul(&df));
+        for i in 0..t_len {
+            axpy(&mut g.b2, df.row(i), 1.0);
+        }
+        let mut dz1 = dg_post;
+        for i in 0..t_len {
+            for (dz, &z) in dz1.row_mut(i).iter_mut().zip(cache.z1.row(i)) {
+                *dz *= relu_deriv(z);
+            }
+        }
+        g.w1.add_assign(&cache.u.transpose_a_matmul(&dz1));
+        for i in 0..t_len {
+            axpy(&mut g.b1, dz1.row(i), 1.0);
+        }
+        let mut du = dz1.matmul_transpose_b(&p.w1); // T x d
+        du.add_assign(&df); // residual path
+
+        // Projection (with residual): u = h Wp + x.
+        let dh = du.matmul_transpose_b(&p.wp); // T x a
+        g.wp.add_assign(&cache.h.transpose_a_matmul(&du));
+        let mut dx = du; // residual path: dx starts as du
+
+        // Attention: h = attn v.
+        let dattn = dh.matmul_transpose_b(&cache.v); // T x T
+        let dv = cache.attn.transpose_a_matmul(&dh); // T x a
+        // Row-wise softmax backward.
+        let mut ds = Matrix::zeros(t_len, t_len);
+        for i in 0..t_len {
+            let a_row = cache.attn.row(i);
+            let d_row = dattn.row(i);
+            let inner: f64 = a_row.iter().zip(d_row.iter()).map(|(a, d)| a * d).sum();
+            for (sj, (&aj, &dj)) in ds.row_mut(i).iter_mut().zip(a_row.iter().zip(d_row.iter())) {
+                *sj = aj * (dj - inner);
+            }
+        }
+        ds.scale(scale);
+        let dq = ds.matmul(&cache.k); // T x a
+        let dk = ds.transpose_a_matmul(&cache.q); // T x a
+
+        // Input projections.
+        g.wq.add_assign(&cache.x.transpose_a_matmul(&dq));
+        g.wk.add_assign(&cache.x.transpose_a_matmul(&dk));
+        g.wv.add_assign(&cache.x.transpose_a_matmul(&dv));
+        dx.add_assign(&dq.matmul_transpose_b(&p.wq));
+        dx.add_assign(&dk.matmul_transpose_b(&p.wk));
+        dx.add_assign(&dv.matmul_transpose_b(&p.wv));
+
+        // Embedding + positional tables.
+        for (t, &tok) in seq.iter().take(t_len).enumerate() {
+            axpy(g.embed.row_mut(tok), dx.row(t), 1.0);
+            axpy(g.pos.row_mut(t), dx.row(t), 1.0);
+        }
+    }
+
+    /// Mean-pooled encoder representation (the embedding handed to Prom).
+    pub fn pooled_representation(&self, seq: &[usize]) -> Vec<f64> {
+        self.forward(seq).pooled
+    }
+
+    /// The task this model was built for.
+    pub fn task(&self) -> TransformerTask {
+        self.task
+    }
+}
+
+impl Classifier<[usize]> for Transformer {
+    fn n_classes(&self) -> usize {
+        match self.task {
+            TransformerTask::Classification(k) => k,
+            TransformerTask::Regression => panic!("regression transformer used as classifier"),
+        }
+    }
+
+    fn predict_proba(&self, seq: &[usize]) -> Vec<f64> {
+        assert!(
+            matches!(self.task, TransformerTask::Classification(_)),
+            "regression transformer used as classifier"
+        );
+        let cache = self.forward(seq);
+        softmax(&self.head_output(&cache.pooled))
+    }
+
+    fn embed(&self, seq: &[usize]) -> Vec<f64> {
+        self.pooled_representation(seq)
+    }
+}
+
+impl Regressor<[usize]> for Transformer {
+    fn predict(&self, seq: &[usize]) -> f64 {
+        assert!(
+            matches!(self.task, TransformerTask::Regression),
+            "classification transformer used as regressor"
+        );
+        let cache = self.forward(seq);
+        self.head_output(&cache.pooled)[0]
+    }
+
+    fn embed(&self, seq: &[usize]) -> Vec<f64> {
+        self.pooled_representation(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2};
+    use rand::Rng;
+
+    fn token_dataset(n: usize, vocab: usize, len: usize, seed: u64) -> SeqDataset {
+        let mut rng = rng_from_seed(seed);
+        let mut seqs = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let seq: Vec<usize> = (0..len)
+                .map(|_| {
+                    if rng.gen::<f64>() < 0.8 {
+                        if label == 0 {
+                            rng.gen_range(0..vocab / 2)
+                        } else {
+                            rng.gen_range(vocab / 2..vocab)
+                        }
+                    } else {
+                        rng.gen_range(0..vocab)
+                    }
+                })
+                .collect();
+            seqs.push(seq);
+            y.push(label);
+        }
+        SeqDataset::new(seqs, y, vocab)
+    }
+
+    #[test]
+    fn learns_token_distribution_task() {
+        let train = token_dataset(160, 16, 10, 1);
+        let test = token_dataset(60, 16, 10, 2);
+        let model = Transformer::fit_classifier(
+            &train,
+            TransformerConfig { epochs: 15, ..Default::default() },
+        );
+        let pred: Vec<usize> =
+            test.seqs.iter().map(|s| Classifier::predict(&model, &s[..])).collect();
+        assert!(accuracy(&pred, &test.y) > 0.9, "transformer failed the distribution task");
+    }
+
+    #[test]
+    fn regression_fits_token_counts() {
+        let mut rng = rng_from_seed(3);
+        let vocab = 10;
+        let mut seqs = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..200 {
+            let seq: Vec<usize> = (0..12).map(|_| rng.gen_range(0..vocab)).collect();
+            // Target: normalized count of "expensive" tokens (ids >= 5).
+            let t = seq.iter().filter(|&&t| t >= 5).count() as f64 / 12.0;
+            seqs.push(seq);
+            targets.push(t);
+        }
+        let model = Transformer::fit_regressor(
+            &seqs,
+            &targets,
+            vocab,
+            TransformerConfig { epochs: 30, ..Default::default() },
+        );
+        let pred: Vec<f64> = seqs.iter().map(|s| Regressor::predict(&model, &s[..])).collect();
+        let score = r2(&pred, &targets);
+        assert!(score > 0.8, "transformer regression too weak: r2 = {score}");
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let train = token_dataset(40, 10, 8, 4);
+        let model = Transformer::fit_classifier(
+            &train,
+            TransformerConfig { epochs: 2, ..Default::default() },
+        );
+        let p = model.predict_proba(&train.seqs[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn long_sequences_are_truncated_to_max_len() {
+        let train = token_dataset(20, 8, 6, 5);
+        let model = Transformer::fit_classifier(
+            &train,
+            TransformerConfig { epochs: 1, max_len: 4, ..Default::default() },
+        );
+        let long: Vec<usize> = (0..100).map(|i| i % 8).collect();
+        // Must not panic and must produce a valid distribution.
+        let p = model.predict_proba(&long);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let train = token_dataset(80, 12, 8, 6);
+        let mut model = Transformer::new(
+            train.vocab,
+            TransformerTask::Classification(2),
+            TransformerConfig { epochs: 0, ..Default::default() },
+        );
+        let loss = |m: &Transformer| -> f64 {
+            train
+                .seqs
+                .iter()
+                .zip(train.y.iter())
+                .map(|(s, &y)| crate::activations::cross_entropy(&m.predict_proba(s), y))
+                .sum::<f64>()
+                / train.len() as f64
+        };
+        let before = loss(&model);
+        model.train_classifier_epochs(&train, 10);
+        let after = loss(&model);
+        assert!(after < before, "training must reduce loss: {before} -> {after}");
+    }
+}

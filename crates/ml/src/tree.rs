@@ -1,0 +1,304 @@
+//! CART decision trees: gini-impurity classification trees and
+//! variance-reduction regression trees (the base learner for
+//! [`crate::boosting`]).
+
+/// Hyperparameters shared by classification and regression trees.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in a leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 6, min_samples_split: 4, min_samples_leaf: 2 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class distribution (classification) or `[mean]` (regression).
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART decision tree.
+///
+/// For classification the leaves hold class distributions (so
+/// [`DecisionTree::predict_proba`] is meaningful); for regression the leaves
+/// hold means and [`DecisionTree::predict_value`] applies.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_outputs: usize,
+}
+
+/// What a tree optimizes at each split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitCriterion {
+    /// Gini impurity over `k` classes.
+    Gini(usize),
+    /// Variance reduction on a scalar target.
+    Variance,
+}
+
+impl DecisionTree {
+    /// Fits a classification tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or mismatched lengths.
+    pub fn fit_classifier(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        config: &TreeConfig,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on empty data");
+        assert_eq!(x.len(), y.len(), "feature/label mismatch");
+        let targets: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = build(x, &targets, &idx, SplitCriterion::Gini(n_classes), config, 0);
+        Self { root, n_outputs: n_classes }
+    }
+
+    /// Fits a regression tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or mismatched lengths.
+    pub fn fit_regressor(x: &[Vec<f64>], y: &[f64], config: &TreeConfig) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on empty data");
+        assert_eq!(x.len(), y.len(), "feature/target mismatch");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = build(x, y, &idx, SplitCriterion::Variance, config, 0);
+        Self { root, n_outputs: 1 }
+    }
+
+    /// Class distribution at the leaf the sample lands in.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.leaf_value(x).to_vec()
+    }
+
+    /// Scalar value at the leaf the sample lands in (regression trees).
+    pub fn predict_value(&self, x: &[f64]) -> f64 {
+        self.leaf_value(x)[0]
+    }
+
+    /// Number of leaf outputs (classes for classification, 1 for regression).
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+
+    fn leaf_value(&self, x: &[f64]) -> &[f64] {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+fn leaf_for(targets: &[f64], idx: &[usize], criterion: SplitCriterion) -> Node {
+    match criterion {
+        SplitCriterion::Gini(k) => {
+            let mut dist = vec![0.0; k];
+            for &i in idx {
+                dist[targets[i] as usize] += 1.0;
+            }
+            let total: f64 = dist.iter().sum();
+            dist.iter_mut().for_each(|d| *d /= total.max(1.0));
+            Node::Leaf { value: dist }
+        }
+        SplitCriterion::Variance => {
+            let mean = idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len().max(1) as f64;
+            Node::Leaf { value: vec![mean] }
+        }
+    }
+}
+
+fn impurity(targets: &[f64], idx: &[usize], criterion: SplitCriterion) -> f64 {
+    match criterion {
+        SplitCriterion::Gini(k) => {
+            let mut counts = vec![0.0; k];
+            for &i in idx {
+                counts[targets[i] as usize] += 1.0;
+            }
+            let n = idx.len() as f64;
+            1.0 - counts.iter().map(|c| (c / n) * (c / n)).sum::<f64>()
+        }
+        SplitCriterion::Variance => {
+            let n = idx.len() as f64;
+            let mean = idx.iter().map(|&i| targets[i]).sum::<f64>() / n;
+            idx.iter().map(|&i| (targets[i] - mean) * (targets[i] - mean)).sum::<f64>() / n
+        }
+    }
+}
+
+fn build(
+    x: &[Vec<f64>],
+    targets: &[f64],
+    idx: &[usize],
+    criterion: SplitCriterion,
+    config: &TreeConfig,
+    depth: usize,
+) -> Node {
+    let parent_impurity = impurity(targets, idx, criterion);
+    if depth >= config.max_depth
+        || idx.len() < config.min_samples_split
+        || parent_impurity < 1e-12
+    {
+        return leaf_for(targets, idx, criterion);
+    }
+
+    let n_features = x[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted impurity)
+    let mut values: Vec<f64> = Vec::with_capacity(idx.len());
+    for feature in 0..n_features {
+        values.clear();
+        values.extend(idx.iter().map(|&i| x[i][feature]));
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Candidate thresholds between consecutive distinct values. Cap the
+        // number of candidates to keep fitting O(n log n)-ish per feature.
+        let stride = (values.len() / 32).max(1);
+        for w in values.windows(2).step_by(stride) {
+            let threshold = 0.5 * (w[0] + w[1]);
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| x[i][feature] <= threshold);
+            if left.len() < config.min_samples_leaf || right.len() < config.min_samples_leaf {
+                continue;
+            }
+            let n = idx.len() as f64;
+            let weighted = left.len() as f64 / n * impurity(targets, &left, criterion)
+                + right.len() as f64 / n * impurity(targets, &right, criterion);
+            if best.as_ref().is_none_or(|&(_, _, b)| weighted < b) {
+                best = Some((feature, threshold, weighted));
+            }
+        }
+    }
+
+    let Some((feature, threshold, weighted)) = best else {
+        return leaf_for(targets, idx, criterion);
+    };
+    if parent_impurity - weighted < 1e-9 {
+        return leaf_for(targets, idx, criterion);
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(x, targets, &left_idx, criterion, config, depth + 1)),
+        right: Box::new(build(x, targets, &right_idx, criterion, config, depth + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::rng::{gaussian_with, rng_from_seed};
+
+    #[test]
+    fn splits_axis_aligned_classes() {
+        let x = vec![vec![0.0], vec![0.2], vec![0.9], vec![1.1], vec![1.4]];
+        let y = vec![0, 0, 1, 1, 1];
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { min_samples_split: 2, min_samples_leaf: 1, ..Default::default() },
+        );
+        assert_eq!(tree.predict_proba(&[0.1])[0], 1.0);
+        assert_eq!(tree.predict_proba(&[1.3])[1], 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = rng_from_seed(1);
+        let x: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![gaussian_with(&mut rng, 0.0, 1.0)]).collect();
+        let y: Vec<usize> = x.iter().map(|v| if v[0].sin() > 0.0 { 1 } else { 0 }).collect();
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            &TreeConfig { max_depth: 3, ..Default::default() },
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1, 1, 1];
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_proba(&[5.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 3.0 }).collect();
+        let tree = DecisionTree::fit_regressor(
+            &x,
+            &y,
+            &TreeConfig { max_depth: 2, ..Default::default() },
+        );
+        assert!((tree.predict_value(&[0.2]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_value(&[0.8]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_generalizes_on_blobs() {
+        let mut rng = rng_from_seed(2);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let c = i % 2;
+            let center = if c == 0 { -2.0 } else { 2.0 };
+            x.push(vec![
+                gaussian_with(&mut rng, center, 0.5),
+                gaussian_with(&mut rng, center, 0.5),
+            ]);
+            y.push(c);
+        }
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig::default());
+        let pred: Vec<usize> = x
+            .iter()
+            .map(|v| crate::matrix::argmax(&tree.predict_proba(v)))
+            .collect();
+        assert!(accuracy(&pred, &y) > 0.95);
+    }
+}

@@ -1,0 +1,450 @@
+//! Case study 1: OpenCL GPU thread coarsening (Sec. 6.1 of the paper).
+//!
+//! A predictive model picks a coarsening factor (CF ∈ {1, 2, 4, 8, 16, 32})
+//! for an OpenCL kernel on a given GPU. The paper uses 17 kernels from three
+//! benchmark suites on four GPUs; here, kernels are synthesized from
+//! suite-specific latent distributions and "profiled" on a parametric GPU
+//! performance model, so the oracle CF is the measured-fastest one — exactly
+//! the structure of the Magni et al. dataset.
+//!
+//! **Drift axis**: train on two suites, deploy on the held-out third, whose
+//! kernels have a different compute/memory/divergence balance.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use prom_ml::rng::{gaussian_with, rng_from_seed};
+
+use crate::sample::{ClassificationCase, CodeSample};
+
+/// The candidate coarsening factors (class labels are indices into this).
+pub const COARSENING_FACTORS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Token vocabulary size of the kernel token view.
+pub const VOCAB: usize = 32;
+
+// Token ids for the synthetic kernel language.
+const T_COMPUTE: usize = 0;
+const T_LOAD: usize = 1;
+const T_STORE: usize = 2;
+const T_BRANCH: usize = 3;
+const T_BARRIER: usize = 4;
+const T_LOCAL: usize = 5;
+const T_LOOP: usize = 6;
+const T_WI_BASE: usize = 8; // 4 bins: 8..12
+const T_REG_BASE: usize = 12; // 4 bins: 12..16
+const T_GPU_BASE: usize = 16; // 4 ids: 16..20
+const T_FILLER_BASE: usize = 20; // 20..32
+
+/// A latent OpenCL kernel description.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Arithmetic operations per work-item.
+    pub compute: f64,
+    /// Global memory operations per work-item.
+    pub mem: f64,
+    /// Inter-thread data-reuse potential in `[0, 1]`.
+    pub locality: f64,
+    /// Branch divergence in `[0, 1]`.
+    pub divergence: f64,
+    /// log2 of the work-item count.
+    pub log_work_items: f64,
+    /// Registers per thread.
+    pub regs: f64,
+    /// Barrier density in `[0, 1]`.
+    pub barriers: f64,
+    /// Hidden dynamic irregularity multiplier on the divergence and
+    /// coalescing penalties. **Not** exported into features/tokens: it
+    /// models input-dependent branch behaviour that static features miss.
+    /// Zero for the training suites, substantial for the irregular suite.
+    pub hidden_irregularity: f64,
+}
+
+/// A GPU platform of the parametric performance model.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    /// Platform name (paper used Cypress/Tahiti/Fermi/Kepler-class GPUs).
+    pub name: &'static str,
+    /// Relative compute throughput.
+    pub flops: f64,
+    /// Relative memory bandwidth.
+    pub bandwidth: f64,
+    /// Threads required for full utilization (log2).
+    pub log_full_util_threads: f64,
+    /// Register budget per thread before occupancy degrades.
+    pub reg_budget: f64,
+    /// Sensitivity to divergence under coarsening.
+    pub div_sens: f64,
+    /// Sensitivity of coalescing to coarsening.
+    pub coal_sens: f64,
+}
+
+/// The four GPU platforms (loosely following the paper's four-platform
+/// setup: two AMD-class, two NVIDIA-class with different balances).
+pub fn gpus() -> Vec<Gpu> {
+    vec![
+        Gpu {
+            name: "amd-radeon-5900",
+            flops: 2.6,
+            bandwidth: 1.5,
+            log_full_util_threads: 13.0,
+            reg_budget: 96.0,
+            div_sens: 1.3,
+            coal_sens: 0.8,
+        },
+        Gpu {
+            name: "amd-tahiti-7970",
+            flops: 3.8,
+            bandwidth: 2.6,
+            log_full_util_threads: 14.0,
+            reg_budget: 128.0,
+            div_sens: 1.0,
+            coal_sens: 0.6,
+        },
+        Gpu {
+            name: "nvidia-gtx-480",
+            flops: 1.8,
+            bandwidth: 1.6,
+            log_full_util_threads: 13.5,
+            reg_budget: 63.0,
+            div_sens: 1.6,
+            coal_sens: 1.0,
+        },
+        Gpu {
+            name: "nvidia-k20c",
+            flops: 3.5,
+            bandwidth: 2.0,
+            log_full_util_threads: 14.5,
+            reg_budget: 255.0,
+            div_sens: 0.9,
+            coal_sens: 0.5,
+        },
+    ]
+}
+
+/// Benchmark-suite prototypes. Suite 2 ("irregular") is deliberately far
+/// from suites 0–1 — it is the deployment-time drift source.
+fn sample_kernel(suite: usize, rng: &mut StdRng) -> Kernel {
+    match suite {
+        // Compute-heavy, regular kernels (n-body / BLAS style).
+        0 => Kernel {
+            hidden_irregularity: 0.0,
+            compute: gaussian_with(rng, 44.0, 9.0).clamp(16.0, 72.0),
+            mem: gaussian_with(rng, 5.0, 1.8).clamp(1.0, 12.0),
+            locality: gaussian_with(rng, 0.7, 0.1).clamp(0.0, 1.0),
+            divergence: gaussian_with(rng, 0.1, 0.05).clamp(0.0, 1.0),
+            log_work_items: gaussian_with(rng, 17.0, 1.4).clamp(11.0, 21.0),
+            regs: gaussian_with(rng, 24.0, 4.0).clamp(8.0, 64.0),
+            barriers: gaussian_with(rng, 0.12, 0.08).clamp(0.0, 1.0),
+        },
+        // Memory-bound stencil/scan kernels.
+        1 => Kernel {
+            hidden_irregularity: 0.0,
+            compute: gaussian_with(rng, 12.0, 3.5).clamp(2.0, 28.0),
+            mem: gaussian_with(rng, 22.0, 5.0).clamp(8.0, 40.0),
+            locality: gaussian_with(rng, 0.45, 0.12).clamp(0.0, 1.0),
+            divergence: gaussian_with(rng, 0.18, 0.07).clamp(0.0, 1.0),
+            log_work_items: gaussian_with(rng, 15.5, 1.2).clamp(11.0, 20.0),
+            regs: gaussian_with(rng, 18.0, 3.0).clamp(8.0, 48.0),
+            barriers: gaussian_with(rng, 0.35, 0.12).clamp(0.0, 1.0),
+        },
+        // Texture-sampling kernels — the drifted suite. Statically they
+        // resemble the compute-heavy suite (so a trained model confidently
+        // recommends aggressive coarsening), but most have input-dependent
+        // divergence the static features miss, making coarsening
+        // disastrous; register pressure and barrier density (which barely
+        // influence the training suites' labels) are strongly shifted, so
+        // the drift is visible in feature space.
+        _ => Kernel {
+            hidden_irregularity: if rng.gen::<f64>() < 0.7 {
+                gaussian_with(rng, 4.0, 1.0).clamp(2.5, 7.0)
+            } else {
+                0.0
+            },
+            compute: gaussian_with(rng, 38.0, 5.0).clamp(16.0, 60.0),
+            mem: gaussian_with(rng, 14.0, 3.0).clamp(6.0, 24.0),
+            locality: gaussian_with(rng, 0.65, 0.08).clamp(0.0, 1.0),
+            divergence: gaussian_with(rng, 0.30, 0.08).clamp(0.0, 1.0),
+            log_work_items: gaussian_with(rng, 17.5, 1.0).clamp(13.0, 21.0),
+            regs: gaussian_with(rng, 56.0, 5.0).clamp(24.0, 72.0),
+            barriers: gaussian_with(rng, 0.70, 0.12).clamp(0.0, 1.0),
+        },
+    }
+}
+
+/// Simulated runtime of `kernel` on `gpu` at coarsening factor `cf`
+/// (arbitrary units; only ratios matter).
+pub fn runtime(kernel: &Kernel, gpu: &Gpu, cf: usize) -> f64 {
+    let cf = cf as f64;
+    let items = 2f64.powf(kernel.log_work_items);
+    let threads = items / cf;
+
+    // Occupancy: fewer threads than the GPU needs, or register pressure
+    // from coarsening, both reduce achieved throughput.
+    let util = (threads / 2f64.powf(gpu.log_full_util_threads)).min(1.0);
+    let regs_after = kernel.regs * (1.0 + 0.45 * (cf - 1.0));
+    let reg_occ = (gpu.reg_budget / regs_after).min(1.0);
+    let occupancy = (util * reg_occ).max(0.02);
+
+    // Coarsening merges redundant work between neighbouring work-items:
+    // the achievable gain scales with locality and saturates with cf.
+    let reuse = kernel.locality * (1.0 - 1.0 / cf) * 0.6;
+    let dyn_irregular = 1.0 + kernel.hidden_irregularity;
+    let compute_work = items * kernel.compute * (1.0 - reuse)
+        * (1.0 + kernel.divergence * dyn_irregular * gpu.div_sens * (cf - 1.0) / 12.0);
+    let mem_reuse = kernel.locality * (1.0 - 1.0 / cf) * 0.45;
+    let mem_work = items * kernel.mem * (1.0 - mem_reuse)
+        * (1.0 + gpu.coal_sens * dyn_irregular * (1.0 - kernel.locality) * (cf - 1.0) / 24.0);
+
+    let compute_time = compute_work / (gpu.flops * occupancy * 1e6);
+    let mem_time = mem_work / (gpu.bandwidth * occupancy * 1e6);
+    let barrier_time = kernel.barriers * items * 0.02 * cf.sqrt() / (occupancy * 1e6);
+    compute_time.max(mem_time) + 0.25 * compute_time.min(mem_time) + barrier_time
+}
+
+fn feature_vector(kernel: &Kernel, gpu: &Gpu) -> Vec<f64> {
+    vec![
+        kernel.compute,
+        kernel.mem,
+        kernel.locality,
+        kernel.divergence,
+        kernel.log_work_items,
+        kernel.regs,
+        kernel.barriers,
+        kernel.compute / kernel.mem.max(1.0),
+        gpu.flops,
+        gpu.bandwidth,
+        gpu.log_full_util_threads,
+        gpu.reg_budget / 64.0,
+    ]
+}
+
+fn bin4(value: f64, lo: f64, hi: f64) -> usize {
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 0.999);
+    (t * 4.0) as usize
+}
+
+fn tokens(kernel: &Kernel, gpu_id: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut toks = Vec::new();
+    toks.push(T_GPU_BASE + gpu_id);
+    toks.push(T_WI_BASE + bin4(kernel.log_work_items, 10.0, 21.0));
+    toks.push(T_REG_BASE + bin4(kernel.regs, 8.0, 64.0));
+    toks.push(T_LOOP);
+    let pushes = [
+        (T_COMPUTE, (kernel.compute / 8.0).round() as usize),
+        (T_LOAD, (kernel.mem / 5.0).round() as usize),
+        (T_STORE, (kernel.mem / 10.0).round() as usize),
+        (T_BRANCH, (kernel.divergence * 6.0).round() as usize),
+        (T_BARRIER, (kernel.barriers * 4.0).round() as usize),
+        (T_LOCAL, (kernel.locality * 5.0).round() as usize),
+    ];
+    for (tok, count) in pushes {
+        for _ in 0..count.min(9) {
+            toks.push(tok);
+            // Interleave occasional filler tokens (identifier noise).
+            if rng.gen::<f64>() < 0.25 {
+                toks.push(T_FILLER_BASE + rng.gen_range(0..(VOCAB - T_FILLER_BASE)));
+            }
+        }
+    }
+    if toks.len() < 6 {
+        toks.push(T_COMPUTE);
+        toks.push(T_LOAD);
+    }
+    toks
+}
+
+fn make_sample(suite: usize, gpu_id: usize, gpu: &Gpu, rng: &mut StdRng) -> CodeSample {
+    let kernel = sample_kernel(suite, rng);
+    let runtimes: Vec<f64> = COARSENING_FACTORS
+        .iter()
+        .map(|&cf| runtime(&kernel, gpu, cf) * (1.0 + 0.02 * gaussian_with(rng, 0.0, 1.0)))
+        .collect();
+    let label = prom_ml::matrix::argmin(&runtimes);
+    CodeSample {
+        features: feature_vector(&kernel, gpu),
+        tokens: tokens(&kernel, gpu_id, rng),
+        graph: None,
+        label,
+        runtimes,
+        group: suite,
+    }
+}
+
+/// Configuration of the thread-coarsening case generator.
+#[derive(Debug, Clone)]
+pub struct CoarseningConfig {
+    /// Kernels per suite (each profiled on all four GPUs).
+    pub kernels_per_suite: usize,
+    /// The suite held out for deployment (0, 1, or 2).
+    pub holdout_suite: usize,
+    /// Fraction of the held-out suite's kernels that resemble the training
+    /// suites. Real benchmark suites are mixtures: some kernels look like
+    /// what the model already knows (and stay predictable), others are
+    /// genuinely novel — this is what gives drift detection a meaningful
+    /// accept/reject trade-off instead of "flag everything".
+    pub familiar_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoarseningConfig {
+    fn default() -> Self {
+        Self { kernels_per_suite: 40, holdout_suite: 2, familiar_fraction: 0.35, seed: 0 }
+    }
+}
+
+/// Generates the full case study: train + design-time test on two suites,
+/// drifted deployment test on the held-out suite.
+pub fn generate(config: &CoarseningConfig) -> ClassificationCase {
+    assert!(config.holdout_suite < 3, "suite must be 0..3");
+    let mut rng = rng_from_seed(config.seed);
+    let gpus = gpus();
+    let mut in_dist = Vec::new();
+    let mut drift_test = Vec::new();
+    for suite in 0..3 {
+        for _ in 0..config.kernels_per_suite {
+            // A slice of the held-out suite resembles the training suites.
+            let source_suite = if suite == config.holdout_suite
+                && rng.gen::<f64>() < config.familiar_fraction
+            {
+                (config.holdout_suite + 1 + rng.gen_range(0..2)) % 3
+            } else {
+                suite
+            };
+            for (gpu_id, gpu) in gpus.iter().enumerate() {
+                let mut s = make_sample(source_suite, gpu_id, gpu, &mut rng);
+                s.group = suite;
+                if suite == config.holdout_suite {
+                    drift_test.push(s);
+                } else {
+                    in_dist.push(s);
+                }
+            }
+        }
+    }
+    // 85/15 train / design-time-test split of the in-distribution samples.
+    let n_test = in_dist.len() / 7;
+    let (train_idx, test_idx) =
+        prom_ml::rng::split_indices(&mut rng, in_dist.len(), n_test);
+    let train: Vec<CodeSample> = train_idx.iter().map(|&i| in_dist[i].clone()).collect();
+    let iid_test: Vec<CodeSample> = test_idx.iter().map(|&i| in_dist[i].clone()).collect();
+    let case = ClassificationCase {
+        name: "thread-coarsening",
+        n_classes: COARSENING_FACTORS.len(),
+        vocab: VOCAB,
+        train,
+        iid_test,
+        drift_test,
+    };
+    case.validate();
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&CoarseningConfig::default());
+        let b = generate(&CoarseningConfig::default());
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.train[0].features, b.train[0].features);
+        assert_eq!(a.train[0].tokens, b.train[0].tokens);
+    }
+
+    #[test]
+    fn oracle_labels_are_diverse() {
+        let case = generate(&CoarseningConfig::default());
+        let mut seen = vec![0usize; COARSENING_FACTORS.len()];
+        for s in case.train.iter().chain(case.drift_test.iter()) {
+            seen[s.label] += 1;
+        }
+        let nonzero = seen.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 4, "label distribution too degenerate: {seen:?}");
+    }
+
+    #[test]
+    fn drift_suite_has_shifted_features() {
+        let case = generate(&CoarseningConfig::default());
+        // Barrier density (feature 6) is the strongly shifted dimension of
+        // the texture-sampling drift suite.
+        let mean_bar_train: f64 =
+            case.train.iter().map(|s| s.features[6]).sum::<f64>() / case.train.len() as f64;
+        let mean_bar_drift: f64 = case.drift_test.iter().map(|s| s.features[6]).sum::<f64>()
+            / case.drift_test.len() as f64;
+        assert!(
+            mean_bar_drift > mean_bar_train + 0.2,
+            "drift suite should be barrier-heavy: {mean_bar_train} vs {mean_bar_drift}"
+        );
+    }
+
+    #[test]
+    fn coarsening_helps_compute_bound_local_kernels() {
+        let kernel = Kernel {
+            compute: 60.0,
+            mem: 4.0,
+            locality: 0.9,
+            divergence: 0.05,
+            log_work_items: 19.0,
+            regs: 12.0,
+            barriers: 0.0,
+            hidden_irregularity: 0.0,
+        };
+        let gpu = &gpus()[1];
+        assert!(
+            runtime(&kernel, gpu, 8) < runtime(&kernel, gpu, 1),
+            "high-locality compute kernels should benefit from coarsening"
+        );
+    }
+
+    #[test]
+    fn coarsening_hurts_low_parallelism_divergent_kernels() {
+        let kernel = Kernel {
+            compute: 8.0,
+            mem: 30.0,
+            locality: 0.05,
+            divergence: 0.9,
+            log_work_items: 11.0,
+            regs: 48.0,
+            barriers: 0.1,
+            hidden_irregularity: 0.0,
+        };
+        let gpu = &gpus()[2];
+        assert!(
+            runtime(&kernel, gpu, 1) < runtime(&kernel, gpu, 16),
+            "irregular kernels should prefer no coarsening"
+        );
+    }
+
+    #[test]
+    fn four_gpus_give_different_oracles_sometimes() {
+        let mut rng = rng_from_seed(5);
+        let gpus = gpus();
+        let mut differs = 0;
+        for _ in 0..40 {
+            let k = sample_kernel(0, &mut rng);
+            let best: Vec<usize> = gpus
+                .iter()
+                .map(|g| {
+                    let rts: Vec<f64> =
+                        COARSENING_FACTORS.iter().map(|&cf| runtime(&k, g, cf)).collect();
+                    prom_ml::matrix::argmin(&rts)
+                })
+                .collect();
+            if best.iter().any(|&b| b != best[0]) {
+                differs += 1;
+            }
+        }
+        assert!(differs > 5, "GPU platform should matter for the oracle ({differs}/40)");
+    }
+
+    #[test]
+    fn tokens_are_in_vocabulary() {
+        let case = generate(&CoarseningConfig { kernels_per_suite: 5, ..Default::default() });
+        for s in &case.train {
+            assert!(s.tokens.iter().all(|&t| t < VOCAB));
+        }
+    }
+}

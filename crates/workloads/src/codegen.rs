@@ -1,0 +1,433 @@
+//! Case study 5: DNN code generation (Sec. 6.5 of the paper).
+//!
+//! A regression cost model (TLP, a BERT-based ranker inside TVM) estimates
+//! the quality of a tensor-program *schedule* (tiling, unrolling,
+//! vectorization, parallelization) to steer schedule search on a multi-core
+//! CPU. The paper trains the model on TenSet records of BERT-base and
+//! deploys it on BERT-tiny/medium/large, whose operator shapes put schedules
+//! in different performance regimes.
+//!
+//! Here, the TenSet substrate is a parametric roofline-style cost function
+//! ([`efficiency`]): tiles must fit the cache, vector width must match the
+//! SIMD unit, and parallel grains must amortize their overhead — so the
+//! optimal schedule genuinely changes with operator size, which is exactly
+//! what drifts across BERT variants ("tiny" operators fit entirely in cache
+//! but cannot amortize threads; "large" operators are bandwidth-bound).
+//!
+//! The module also provides [`search_tasks`]: batches of candidate
+//! schedules for a workload, the substrate for the paper's TVM search-loop
+//! experiment (Table 3).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use prom_ml::rng::{gaussian_with, rng_from_seed};
+
+/// Token vocabulary of the schedule encoding consumed by the transformer
+/// cost model.
+pub const VOCAB: usize = 53;
+
+/// The BERT variants of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BertVariant {
+    /// The training distribution.
+    Base,
+    /// Small operators: cache-resident, thread-overhead dominated.
+    Tiny,
+    /// Mid-size operators.
+    Medium,
+    /// Large operators: bandwidth-bound.
+    Large,
+}
+
+impl BertVariant {
+    /// All four variants in Table 3 order.
+    pub const ALL: [BertVariant; 4] =
+        [BertVariant::Base, BertVariant::Tiny, BertVariant::Medium, BertVariant::Large];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            BertVariant::Base => "BERT-base",
+            BertVariant::Tiny => "BERT-tiny",
+            BertVariant::Medium => "BERT-medium",
+            BertVariant::Large => "BERT-large",
+        }
+    }
+
+    /// Mean log2 operator dimension of the variant.
+    fn log_dim_mean(self) -> f64 {
+        match self {
+            BertVariant::Base => 9.5,
+            BertVariant::Tiny => 6.5,
+            BertVariant::Medium => 8.3,
+            BertVariant::Large => 11.3,
+        }
+    }
+}
+
+/// A tensor operator's shape (a matmul-like `M x K x N` contraction).
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// log2 of M.
+    pub log_m: f64,
+    /// log2 of N.
+    pub log_n: f64,
+    /// log2 of K.
+    pub log_k: f64,
+}
+
+/// Samples an operator shape from a variant's distribution.
+pub fn sample_workload(variant: BertVariant, rng: &mut StdRng) -> Workload {
+    let mu = variant.log_dim_mean();
+    Workload {
+        log_m: gaussian_with(rng, mu, 0.5).clamp(4.0, 13.0),
+        log_n: gaussian_with(rng, mu, 0.5).clamp(4.0, 13.0),
+        log_k: gaussian_with(rng, mu - 0.3, 0.5).clamp(4.0, 13.0),
+    }
+}
+
+/// One candidate schedule (the knobs TVM's search explores).
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    /// log2 of the M-dimension tile.
+    pub log_tile_m: f64,
+    /// log2 of the N-dimension tile.
+    pub log_tile_n: f64,
+    /// log2 of the K-dimension tile.
+    pub log_tile_k: f64,
+    /// Unroll factor ∈ {1, 2, 4, 8}.
+    pub unroll: f64,
+    /// Vector width ∈ {1, 2, 4, 8, 16}.
+    pub vec: f64,
+    /// Parallel grain count ∈ {1, 2, 4, 8, 16, 32}.
+    pub par: f64,
+    /// Whether the epilogue is fused (0/1).
+    pub fuse: f64,
+}
+
+/// Samples a random schedule.
+pub fn sample_schedule(rng: &mut StdRng) -> Schedule {
+    Schedule {
+        log_tile_m: rng.gen_range(2..8) as f64,
+        log_tile_n: rng.gen_range(2..8) as f64,
+        log_tile_k: rng.gen_range(2..8) as f64,
+        unroll: [1.0, 2.0, 4.0, 8.0][rng.gen_range(0..4)],
+        vec: [1.0, 2.0, 4.0, 8.0, 16.0][rng.gen_range(0..5)],
+        par: [1.0, 2.0, 4.0, 8.0, 16.0, 32.0][rng.gen_range(0..6)],
+        fuse: f64::from(rng.gen::<bool>()),
+    }
+}
+
+/// The simulated 12-core CPU (paper: AMD EPYC 9B14 server).
+#[derive(Debug, Clone)]
+pub struct CpuTarget {
+    /// L1-resident elements per core.
+    pub l1_elems: f64,
+    /// SIMD lanes.
+    pub simd: f64,
+    /// Core count.
+    pub cores: f64,
+    /// Per-grain parallel overhead (in element-ops).
+    pub grain_overhead: f64,
+}
+
+impl Default for CpuTarget {
+    fn default() -> Self {
+        Self { l1_elems: 4096.0, simd: 8.0, cores: 12.0, grain_overhead: 60_000.0 }
+    }
+}
+
+/// Ground-truth efficiency of a schedule on a workload, in `(0, 1]` — the
+/// fraction of peak throughput achieved. This is the quantity the cost
+/// model regresses (and what "profiling" returns during search).
+pub fn efficiency(w: &Workload, s: &Schedule, cpu: &CpuTarget) -> f64 {
+    // Cache behaviour: the working set of one tile.
+    let (tm, tn, tk) = (
+        2f64.powf(s.log_tile_m.min(w.log_m)),
+        2f64.powf(s.log_tile_n.min(w.log_n)),
+        2f64.powf(s.log_tile_k.min(w.log_k)),
+    );
+    let footprint = tm * tk + tk * tn + tm * tn;
+    let cache_eff = if footprint <= cpu.l1_elems {
+        // Fitting is necessary but tiny tiles waste reuse.
+        0.55 + 0.45 * (footprint / cpu.l1_elems).powf(0.3)
+    } else {
+        // Spilling degrades smoothly to a bandwidth-bound floor.
+        (cpu.l1_elems / footprint).powf(0.45).max(0.15)
+    };
+
+    // Vectorization: matched width is best; over-wide splits, under-wide
+    // wastes lanes; vectors wider than the tile are masked out.
+    let vec_fit = (s.vec.min(cpu.simd) / cpu.simd) * (s.vec.min(tn) / s.vec);
+    let vec_eff = 0.35 + 0.65 * vec_fit;
+
+    // Parallelism: grains must amortize their overhead.
+    let total_work = 2f64.powf(w.log_m + w.log_n + w.log_k);
+    let used = s.par.min(cpu.cores);
+    let work_per_grain = total_work / s.par;
+    let amortize = work_per_grain / (work_per_grain + cpu.grain_overhead);
+    let par_eff = (used / cpu.cores) * amortize + (1.0 - used / cpu.cores) * 0.08;
+
+    // Unroll sweet spot at 4.
+    let u = s.unroll.log2();
+    let unroll_eff = 0.82 + 0.18 * (-(u - 2.0) * (u - 2.0) / 2.0).exp();
+
+    // Fusion helps when tiles are cache-resident, hurts when spilling.
+    let fuse_eff = if s.fuse > 0.5 {
+        if footprint <= cpu.l1_elems {
+            1.05
+        } else {
+            0.92
+        }
+    } else {
+        1.0
+    };
+
+    (cache_eff * vec_eff * par_eff.max(0.02) * unroll_eff * fuse_eff).clamp(0.005, 1.0)
+}
+
+/// One (workload, schedule) pair with its measured efficiency — a TenSet
+/// record equivalent.
+#[derive(Debug, Clone)]
+pub struct ScheduleSample {
+    /// Numeric feature view.
+    pub features: Vec<f64>,
+    /// Token view for the transformer cost model.
+    pub tokens: Vec<usize>,
+    /// Measured efficiency (the regression target), with profiling noise.
+    pub target: f64,
+    /// Which search task / operator this record belongs to.
+    pub workload_id: usize,
+}
+
+fn dim_bin(log_dim: f64) -> usize {
+    (((log_dim - 4.0) / 9.0).clamp(0.0, 0.999) * 6.0) as usize
+}
+
+fn tile_bin(log_tile: f64) -> usize {
+    ((log_tile - 2.0).clamp(0.0, 5.999)) as usize
+}
+
+/// Tokenizes a (workload, schedule) pair: one token per knob, each knob
+/// owning a disjoint id range (sequence length 10, vocabulary [`VOCAB`]).
+pub fn tokenize(w: &Workload, s: &Schedule) -> Vec<usize> {
+    vec![
+        dim_bin(w.log_m),               // 0..6
+        6 + dim_bin(w.log_n),           // 6..12
+        12 + dim_bin(w.log_k),          // 12..18
+        18 + tile_bin(s.log_tile_m),    // 18..24
+        24 + tile_bin(s.log_tile_n),    // 24..30
+        30 + tile_bin(s.log_tile_k),    // 30..36
+        36 + (s.unroll.log2() as usize).min(3), // 36..40
+        40 + (s.vec.log2() as usize).min(4),    // 40..45
+        45 + (s.par.log2() as usize).min(5),    // 45..51
+        if s.fuse >= 0.5 { 52 } else { 51 },    // 51..53
+    ]
+}
+
+fn feature_vector(w: &Workload, s: &Schedule, cpu: &CpuTarget) -> Vec<f64> {
+    let footprint = 2f64.powf(s.log_tile_m + s.log_tile_k)
+        + 2f64.powf(s.log_tile_k + s.log_tile_n)
+        + 2f64.powf(s.log_tile_m + s.log_tile_n);
+    vec![
+        w.log_m,
+        w.log_n,
+        w.log_k,
+        s.log_tile_m,
+        s.log_tile_n,
+        s.log_tile_k,
+        s.unroll.log2(),
+        s.vec.log2(),
+        s.par.log2(),
+        s.fuse,
+        (footprint / cpu.l1_elems).ln(),
+    ]
+}
+
+/// Builds one record with 3% multiplicative profiling noise.
+pub fn make_record(
+    w: &Workload,
+    s: &Schedule,
+    cpu: &CpuTarget,
+    workload_id: usize,
+    rng: &mut StdRng,
+) -> ScheduleSample {
+    let eff = efficiency(w, s, cpu);
+    let noisy = (eff * (1.0 + 0.03 * gaussian_with(rng, 0.0, 1.0))).clamp(0.003, 1.05);
+    ScheduleSample {
+        features: feature_vector(w, s, cpu),
+        tokens: tokenize(w, s),
+        target: noisy,
+        workload_id,
+    }
+}
+
+/// A search task: one operator with a pool of candidate schedules
+/// (the unit of the Table 3 experiment).
+#[derive(Debug, Clone)]
+pub struct SearchTask {
+    /// The operator shape.
+    pub workload: Workload,
+    /// Candidate schedules with ground-truth efficiencies.
+    pub candidates: Vec<ScheduleSample>,
+}
+
+impl SearchTask {
+    /// The best ground-truth efficiency among the candidates (the oracle).
+    pub fn oracle(&self) -> f64 {
+        self.candidates.iter().map(|c| c.target).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The flat training corpus of a variant: `records_per_task` random
+/// schedules for each of `n_tasks` operators.
+pub fn dataset(
+    variant: BertVariant,
+    n_tasks: usize,
+    records_per_task: usize,
+    seed: u64,
+) -> Vec<ScheduleSample> {
+    let cpu = CpuTarget::default();
+    let mut rng = rng_from_seed(seed ^ 0xc0de);
+    let mut out = Vec::with_capacity(n_tasks * records_per_task);
+    for task in 0..n_tasks {
+        let w = sample_workload(variant, &mut rng);
+        for _ in 0..records_per_task {
+            let s = sample_schedule(&mut rng);
+            out.push(make_record(&w, &s, &cpu, task, &mut rng));
+        }
+    }
+    out
+}
+
+/// Search tasks for the Table 3 experiment.
+pub fn search_tasks(
+    variant: BertVariant,
+    n_tasks: usize,
+    candidates_per_task: usize,
+    seed: u64,
+) -> Vec<SearchTask> {
+    let cpu = CpuTarget::default();
+    let mut rng = rng_from_seed(seed ^ 0x5ea6c4);
+    (0..n_tasks)
+        .map(|task| {
+            let w = sample_workload(variant, &mut rng);
+            let candidates = (0..candidates_per_task)
+                .map(|_| {
+                    let s = sample_schedule(&mut rng);
+                    make_record(&w, &s, &cpu, task, &mut rng)
+                })
+                .collect();
+            SearchTask { workload: w, candidates }
+        })
+        .collect()
+}
+
+/// The paper's C5 misprediction rule: the prediction deviates from the
+/// profiled value by 20% or more.
+pub fn is_misprediction(predicted: f64, actual: f64) -> bool {
+    (predicted - actual).abs() / actual.abs().max(1e-9) >= 0.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_bounded() {
+        let cpu = CpuTarget::default();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..500 {
+            let w = sample_workload(BertVariant::Base, &mut rng);
+            let s = sample_schedule(&mut rng);
+            let e = efficiency(&w, &s, &cpu);
+            assert!((0.0..=1.0).contains(&e), "efficiency out of range: {e}");
+        }
+    }
+
+    #[test]
+    fn cache_resident_tiles_beat_spilling_tiles_on_base() {
+        let cpu = CpuTarget::default();
+        let w = Workload { log_m: 10.0, log_n: 10.0, log_k: 10.0 };
+        let good = Schedule {
+            log_tile_m: 5.0,
+            log_tile_n: 5.0,
+            log_tile_k: 5.0,
+            unroll: 4.0,
+            vec: 8.0,
+            par: 16.0,
+            fuse: 1.0,
+        };
+        let spilled = Schedule { log_tile_m: 7.0, log_tile_n: 7.0, log_tile_k: 7.0, ..good };
+        assert!(efficiency(&w, &good, &cpu) > efficiency(&w, &spilled, &cpu));
+    }
+
+    #[test]
+    fn tiny_operators_prefer_fewer_threads() {
+        let cpu = CpuTarget::default();
+        let tiny = Workload { log_m: 6.0, log_n: 6.0, log_k: 6.0 };
+        let narrow = Schedule {
+            log_tile_m: 4.0,
+            log_tile_n: 4.0,
+            log_tile_k: 4.0,
+            unroll: 4.0,
+            vec: 8.0,
+            par: 2.0,
+            fuse: 1.0,
+        };
+        let wide = Schedule { par: 32.0, ..narrow };
+        assert!(
+            efficiency(&tiny, &narrow, &cpu) > efficiency(&tiny, &wide, &cpu),
+            "tiny operators cannot amortize 32 grains"
+        );
+        // …while a base-size operator benefits from more parallelism.
+        let base = Workload { log_m: 10.0, log_n: 10.0, log_k: 10.0 };
+        assert!(efficiency(&base, &wide, &cpu) > efficiency(&base, &narrow, &cpu));
+    }
+
+    #[test]
+    fn tokens_are_in_vocab_and_fixed_length() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..200 {
+            let w = sample_workload(BertVariant::Large, &mut rng);
+            let s = sample_schedule(&mut rng);
+            let t = tokenize(&w, &s);
+            assert_eq!(t.len(), 10);
+            assert!(t.iter().all(|&x| x < VOCAB), "token out of vocab: {t:?}");
+        }
+    }
+
+    #[test]
+    fn dataset_and_tasks_are_deterministic() {
+        let a = dataset(BertVariant::Base, 4, 10, 7);
+        let b = dataset(BertVariant::Base, 4, 10, 7);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a[13].features, b[13].features);
+        assert!((a[13].target - b[13].target).abs() < 1e-15);
+        let t = search_tasks(BertVariant::Tiny, 3, 20, 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].candidates.len(), 20);
+        assert!(t[0].oracle() > 0.0);
+    }
+
+    #[test]
+    fn variants_shift_the_workload_distribution() {
+        let mut rng = rng_from_seed(3);
+        let mean = |v: BertVariant, rng: &mut StdRng| {
+            (0..100).map(|_| sample_workload(v, rng).log_m).sum::<f64>() / 100.0
+        };
+        let base = mean(BertVariant::Base, &mut rng);
+        let tiny = mean(BertVariant::Tiny, &mut rng);
+        let large = mean(BertVariant::Large, &mut rng);
+        assert!(tiny < base - 2.0);
+        assert!(large > base + 1.0);
+    }
+
+    #[test]
+    fn misprediction_rule_is_twenty_percent() {
+        assert!(!is_misprediction(0.5, 0.45));
+        assert!(is_misprediction(0.5, 0.40));
+        assert!(is_misprediction(0.2, 0.5));
+    }
+}

@@ -1,0 +1,349 @@
+//! Case study 3: heterogeneous device mapping (Sec. 6.3 of the paper).
+//!
+//! A binary classifier decides whether an OpenCL kernel runs faster on the
+//! CPU (class 0) or the GPU (class 1). The paper uses the DeepTune dataset
+//! (680 labeled instances from 256 kernels across 7 suites); here, kernels
+//! come from 7 synthetic suite prototypes and the label is the argmin of a
+//! two-device performance model.
+//!
+//! This case supplies a **graph view** of each kernel (a CFG-like structure)
+//! for the ProGraML-style GNN model.
+//!
+//! **Drift axis**: train on 6 suites, deploy on the held-out 7th.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use prom_ml::gnn::Graph;
+use prom_ml::rng::{gaussian_with, rng_from_seed};
+
+use crate::sample::{ClassificationCase, CodeSample};
+
+/// Number of benchmark suites.
+pub const N_SUITES: usize = 7;
+
+/// Token vocabulary size.
+pub const VOCAB: usize = 24;
+
+/// Node-feature dimensionality of the graph view.
+pub const NODE_DIM: usize = 4;
+
+const T_KERNEL: usize = 0;
+const T_COMPUTE: usize = 1;
+const T_LOAD: usize = 2;
+const T_STORE: usize = 3;
+const T_BRANCH: usize = 4;
+const T_XFER: usize = 5;
+const T_ATOMIC: usize = 6;
+const T_SIZE_BASE: usize = 8; // 4 bins
+const T_PAR_BASE: usize = 12; // 4 bins
+const T_FILLER_BASE: usize = 16;
+
+/// A latent OpenCL kernel plus its invocation context.
+#[derive(Debug, Clone)]
+pub struct MappingKernel {
+    /// log2 of bytes transferred host<->device per invocation.
+    pub log_transfer: f64,
+    /// log2 of total arithmetic work.
+    pub log_work: f64,
+    /// Fraction of the work that is data-parallel in `[0, 1]`.
+    pub parallel_fraction: f64,
+    /// Branch divergence in `[0, 1]`.
+    pub divergence: f64,
+    /// Memory-access regularity in `[0, 1]` (1 = perfectly coalesced).
+    pub regularity: f64,
+    /// Atomic-operation density in `[0, 1]`.
+    pub atomics: f64,
+    /// Hidden dynamic stall factor multiplying the GPU's parallel time.
+    ///
+    /// Deliberately **not** exported into the feature/token/graph views:
+    /// it models dynamic behaviour (memory-divergence stalls, TLB misses)
+    /// that static code features cannot capture. Zero for the training
+    /// suites; substantial for the held-out suite — one of the reasons
+    /// unseen benchmarks genuinely break statically-trained models.
+    pub hidden_stall: f64,
+}
+
+/// Simulated CPU and GPU runtimes for a kernel (arbitrary units), both
+/// Amdahl-consistent: the serial fraction runs at scalar speed on either
+/// device, the parallel fraction at the device's effective throughput.
+pub fn runtimes(k: &MappingKernel) -> (f64, f64) {
+    let work = 2f64.powf(k.log_work);
+    let transfer = 2f64.powf(k.log_transfer);
+    let serial = 1.0 - k.parallel_fraction;
+
+    // 12-core CPU: insensitive to divergence/regularity, no transfer cost,
+    // atomics contend a little.
+    let cpu_throughput = 10.8 / (1.0 + 0.3 * k.atomics);
+    let cpu_time = work * (serial + k.parallel_fraction / cpu_throughput) / 1.0e6;
+
+    // GPU: ~40x peak parallel throughput, scaled down by divergence,
+    // irregular access, and atomics; plus PCIe transfer cost.
+    let gpu_throughput = 40.0
+        * (1.0 - 0.75 * k.divergence)
+        * (0.3 + 0.7 * k.regularity)
+        * (1.0 - 0.6 * k.atomics);
+    let gpu_time = transfer / 8.0e6
+        + work
+            * (serial + k.parallel_fraction * (1.0 + k.hidden_stall) / gpu_throughput.max(0.5))
+            / 1.0e6;
+    (cpu_time, gpu_time)
+}
+
+/// Suite prototypes: suites differ in transfer/work balance and
+/// regularity. Suite index 6 (sparse/irregular) is the usual holdout.
+fn sample_kernel(suite: usize, rng: &mut StdRng) -> MappingKernel {
+    let (t, w, p, d, r, a) = match suite {
+        0 => (18.0, 26.0, 0.95, 0.10, 0.90, 0.02), // dense linear algebra
+        1 => (22.0, 24.0, 0.90, 0.15, 0.80, 0.05), // imaging, big transfers
+        2 => (14.0, 22.0, 0.85, 0.25, 0.70, 0.10), // physics
+        3 => (16.0, 20.0, 0.60, 0.20, 0.60, 0.15), // signal processing
+        4 => (20.0, 21.0, 0.75, 0.35, 0.50, 0.20), // data analytics
+        5 => (12.0, 18.0, 0.50, 0.30, 0.75, 0.08), // small-kernel utilities
+        // In-memory streaming analytics: on the dimensions that decide the
+        // CPU/GPU boundary at training time (parallelism, divergence,
+        // regularity, atomics) these kernels look like textbook GPU
+        // winners, so a trained model confidently maps them to the GPU.
+        // But most are dynamically stall-bound there (pointer-chasing the
+        // static features cannot see), and their transfer/work profile
+        // (tiny transfers, huge compute) sits far outside every training
+        // suite — drift that is invisible to the learned rule yet plainly
+        // visible in feature space.
+        _ => (9.0, 28.0, 0.95, 0.15, 0.85, 0.05),
+    };
+    let hidden_stall = if suite == 6 && rng.gen::<f64>() > 0.3 {
+        gaussian_with(rng, 4.5, 1.0).clamp(3.0, 7.0)
+    } else {
+        0.0
+    };
+    MappingKernel {
+        log_transfer: gaussian_with(rng, t, 0.9).clamp(8.0, 28.0),
+        log_work: gaussian_with(rng, w, 0.9).clamp(12.0, 30.0),
+        parallel_fraction: gaussian_with(rng, p, 0.05).clamp(0.05, 1.0),
+        divergence: gaussian_with(rng, d, 0.05).clamp(0.0, 1.0),
+        regularity: gaussian_with(rng, r, 0.06).clamp(0.0, 1.0),
+        atomics: gaussian_with(rng, a, 0.04).clamp(0.0, 1.0),
+        hidden_stall,
+    }
+}
+
+fn feature_vector(k: &MappingKernel) -> Vec<f64> {
+    vec![
+        k.log_transfer,
+        k.log_work,
+        k.parallel_fraction,
+        k.divergence,
+        k.regularity,
+        k.atomics,
+        k.log_work - k.log_transfer, // compute-to-transfer ratio (log)
+    ]
+}
+
+fn bin(value: f64, lo: f64, hi: f64, n: usize) -> usize {
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 0.999);
+    (t * n as f64) as usize
+}
+
+fn tokens(k: &MappingKernel, rng: &mut StdRng) -> Vec<usize> {
+    let mut toks = vec![
+        T_KERNEL,
+        T_SIZE_BASE + bin(k.log_work, 12.0, 30.0, 4),
+        T_PAR_BASE + bin(k.parallel_fraction, 0.0, 1.0, 4),
+    ];
+    let pushes = [
+        (T_COMPUTE, (k.log_work / 4.0).round() as usize),
+        (T_LOAD, ((1.2 - k.regularity) * 6.0).round() as usize),
+        (T_STORE, 2),
+        (T_BRANCH, (k.divergence * 8.0).round() as usize),
+        (T_XFER, (k.log_transfer / 6.0).round() as usize),
+        (T_ATOMIC, (k.atomics * 6.0).round() as usize),
+    ];
+    for (tok, count) in pushes {
+        for _ in 0..count.min(8) {
+            toks.push(tok);
+            if rng.gen::<f64>() < 0.2 {
+                toks.push(T_FILLER_BASE + rng.gen_range(0..(VOCAB - T_FILLER_BASE)));
+            }
+        }
+    }
+    toks
+}
+
+/// Builds a CFG-like graph view: a chain of basic blocks with branch
+/// diamonds, each node carrying `[arith, mem, branch, depth]` features.
+fn graph(k: &MappingKernel, rng: &mut StdRng) -> Graph {
+    let n_blocks = 3 + (k.log_work / 6.0) as usize + rng.gen_range(0..3);
+    let mut feats = Vec::with_capacity(n_blocks);
+    let mut edges = Vec::new();
+    for i in 0..n_blocks {
+        feats.push(vec![
+            (k.log_work / n_blocks as f64) * (0.8 + 0.4 * rng.gen::<f64>()),
+            (1.2 - k.regularity) * 3.0 * rng.gen::<f64>(),
+            k.divergence * (0.5 + rng.gen::<f64>()),
+            i as f64 / n_blocks as f64,
+        ]);
+        if i + 1 < n_blocks {
+            edges.push((i, i + 1));
+        }
+    }
+    // Branch diamonds proportional to divergence.
+    let diamonds = (k.divergence * 3.0) as usize;
+    for _ in 0..diamonds {
+        if n_blocks >= 3 {
+            let a = rng.gen_range(0..n_blocks - 2);
+            edges.push((a, a + 2));
+        }
+    }
+    Graph::new(feats, edges)
+}
+
+fn make_sample(suite: usize, rng: &mut StdRng) -> CodeSample {
+    let k = sample_kernel(suite, rng);
+    let (cpu, gpu) = runtimes(&k);
+    let noise = 1.0 + 0.02 * gaussian_with(rng, 0.0, 1.0);
+    let runtimes = vec![cpu * noise, gpu];
+    let label = prom_ml::matrix::argmin(&runtimes);
+    CodeSample {
+        features: feature_vector(&k),
+        tokens: tokens(&k, rng),
+        graph: Some(graph(&k, rng)),
+        label,
+        runtimes,
+        group: suite,
+    }
+}
+
+/// Configuration of the device-mapping case generator.
+#[derive(Debug, Clone)]
+pub struct DevmapConfig {
+    /// Kernels per suite.
+    pub kernels_per_suite: usize,
+    /// Suite held out for deployment (0..7).
+    pub holdout_suite: usize,
+    /// Fraction of the held-out suite's kernels resembling training suites.
+    pub familiar_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DevmapConfig {
+    fn default() -> Self {
+        Self { kernels_per_suite: 90, holdout_suite: 6, familiar_fraction: 0.3, seed: 0 }
+    }
+}
+
+/// Generates the full case study.
+pub fn generate(config: &DevmapConfig) -> ClassificationCase {
+    assert!(config.holdout_suite < N_SUITES, "suite out of range");
+    let mut rng = rng_from_seed(config.seed);
+    let mut in_dist = Vec::new();
+    let mut drift_test = Vec::new();
+    for suite in 0..N_SUITES {
+        for _ in 0..config.kernels_per_suite {
+            let held_out = suite == config.holdout_suite;
+            let source_suite = if held_out && rng.gen::<f64>() < config.familiar_fraction {
+                (config.holdout_suite + 1 + rng.gen_range(0..N_SUITES - 1)) % N_SUITES
+            } else {
+                suite
+            };
+            let mut s = make_sample(source_suite, &mut rng);
+            s.group = suite;
+            if held_out {
+                drift_test.push(s);
+            } else {
+                in_dist.push(s);
+            }
+        }
+    }
+    let n_test = in_dist.len() / 6;
+    let (train_idx, test_idx) = prom_ml::rng::split_indices(&mut rng, in_dist.len(), n_test);
+    let case = ClassificationCase {
+        name: "device-mapping",
+        n_classes: 2,
+        vocab: VOCAB,
+        train: train_idx.iter().map(|&i| in_dist[i].clone()).collect(),
+        iid_test: test_idx.iter().map(|&i| in_dist[i].clone()).collect(),
+        drift_test,
+    };
+    case.validate();
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_heavy_kernels_stay_on_cpu() {
+        let k = MappingKernel {
+            log_transfer: 27.0,
+            log_work: 16.0,
+            parallel_fraction: 0.8,
+            divergence: 0.1,
+            regularity: 0.9,
+            atomics: 0.0,
+            hidden_stall: 0.0,
+        };
+        let (cpu, gpu) = runtimes(&k);
+        assert!(cpu < gpu, "transfer-dominated kernel should map to CPU");
+    }
+
+    #[test]
+    fn big_regular_parallel_kernels_go_to_gpu() {
+        let k = MappingKernel {
+            log_transfer: 12.0,
+            log_work: 28.0,
+            parallel_fraction: 0.98,
+            divergence: 0.05,
+            regularity: 0.95,
+            atomics: 0.0,
+            hidden_stall: 0.0,
+        };
+        let (cpu, gpu) = runtimes(&k);
+        assert!(gpu < cpu, "massively parallel kernel should map to GPU");
+    }
+
+    #[test]
+    fn both_labels_present_and_balancedish() {
+        let case = generate(&DevmapConfig::default());
+        let ones: usize = case.train.iter().map(|s| s.label).sum();
+        let frac = ones as f64 / case.train.len() as f64;
+        assert!(
+            (0.15..=0.85).contains(&frac),
+            "label balance out of range: {frac}"
+        );
+    }
+
+    #[test]
+    fn every_sample_has_a_graph() {
+        let case = generate(&DevmapConfig { kernels_per_suite: 10, ..Default::default() });
+        for s in case.train.iter().chain(case.drift_test.iter()) {
+            let g = s.graph.as_ref().expect("devmap samples must carry graphs");
+            assert_eq!(g.feature_dim(), NODE_DIM);
+            assert!(g.n_nodes() >= 3);
+        }
+    }
+
+    #[test]
+    fn drift_suite_prefers_cpu_more_often() {
+        let case = generate(&DevmapConfig::default());
+        let gpu_frac = |xs: &[CodeSample]| {
+            xs.iter().map(|s| s.label).sum::<usize>() as f64 / xs.len() as f64
+        };
+        // Hidden stalls push most of the holdout suite onto the CPU.
+        assert!(
+            gpu_frac(&case.train) > gpu_frac(&case.drift_test) + 0.15,
+            "expected GPU preference to collapse under drift: {} vs {}",
+            gpu_frac(&case.train),
+            gpu_frac(&case.drift_test)
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(&DevmapConfig { kernels_per_suite: 8, ..Default::default() });
+        let b = generate(&DevmapConfig { kernels_per_suite: 8, ..Default::default() });
+        assert_eq!(a.train[3].features, b.train[3].features);
+        assert_eq!(a.train[3].tokens, b.train[3].tokens);
+    }
+}

@@ -1,0 +1,36 @@
+//! # `prom-workloads` — synthetic case-study workloads for the Prom
+//! reproduction
+//!
+//! The Prom paper evaluates on five code-analysis/optimization tasks whose
+//! datasets (OpenCL benchmark suites profiled on four GPUs, LLVM loop nests
+//! on a Ryzen 9, the NVD/CVE corpus, TenSet tensor-program records) are not
+//! available in this environment. This crate builds the closest synthetic
+//! equivalents: each case study pairs a **program generator** (emitting
+//! feature-vector, token-stream, and graph views of the same synthetic
+//! program) with a **parametric performance/semantics model** that supplies
+//! oracle labels, per-option runtimes, or throughput.
+//!
+//! Crucially for the paper's topic, every generator has an explicit
+//! **drift axis** mirroring the paper's methodology:
+//!
+//! | module | case study | drift axis |
+//! |---|---|---|
+//! | [`coarsening`] | C1 GPU thread coarsening | held-out benchmark suite |
+//! | [`vectorization`] | C2 loop vectorization | held-out benchmark families |
+//! | [`devmap`] | C3 CPU/GPU mapping | held-out benchmark suite |
+//! | [`vulnerability`] | C4 bug detection | code-pattern evolution over years |
+//! | [`codegen`] | C5 DNN code generation | unseen BERT variant workloads |
+//!
+//! All generation is seeded and deterministic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coarsening;
+pub mod codegen;
+pub mod devmap;
+pub mod sample;
+pub mod vectorization;
+pub mod vulnerability;
+
+pub use sample::{ClassificationCase, CodeSample};

@@ -1,0 +1,176 @@
+//! The shared program-sample representation used by every case study.
+
+use prom_ml::gnn::Graph;
+
+/// One synthetic program with all the views the underlying models consume.
+///
+/// A single sample carries a numeric feature vector (for MLP / SVM / GBC /
+/// logistic-regression models), a token stream (for LSTM / transformer
+/// models), and optionally a program graph (for the GNN), all generated
+/// consistently from the same latent program description.
+#[derive(Debug, Clone)]
+pub struct CodeSample {
+    /// Numeric feature view (already in "raw" units; models standardize).
+    pub features: Vec<f64>,
+    /// Token-stream view (ids `< vocab` of the owning case).
+    pub tokens: Vec<usize>,
+    /// Graph view (only for cases with a GNN model).
+    pub graph: Option<Graph>,
+    /// Oracle class label (best option index, or bug/no-bug).
+    pub label: usize,
+    /// Per-option runtime in arbitrary time units, for optimization tasks
+    /// (`label == argmin(runtimes)`); empty for pure classification tasks.
+    pub runtimes: Vec<f64>,
+    /// Provenance tag: benchmark-suite index or era index (the drift axis).
+    pub group: usize,
+}
+
+impl CodeSample {
+    /// Performance-to-oracle ratio of choosing `option`: 1.0 is optimal,
+    /// lower is worse (Sec. 6.6 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample has no runtimes or `option` is out of range.
+    pub fn perf_ratio(&self, option: usize) -> f64 {
+        assert!(!self.runtimes.is_empty(), "sample has no runtimes");
+        assert!(option < self.runtimes.len(), "option {option} out of range");
+        let best = self.runtimes.iter().copied().fold(f64::INFINITY, f64::min);
+        best / self.runtimes[option]
+    }
+
+    /// Whether predicting `option` is a misprediction under the paper's 20%
+    /// rule (runtime performance ≥ 20% below the oracle).
+    pub fn is_misprediction(&self, option: usize) -> bool {
+        self.perf_ratio(option) < 0.8
+    }
+}
+
+/// A complete classification case study: training data, an i.i.d. test set
+/// (the design-time evaluation), and a drifted test set (the deployment
+/// evaluation).
+#[derive(Debug, Clone)]
+pub struct ClassificationCase {
+    /// Case-study name (e.g. `"thread-coarsening"`).
+    pub name: &'static str,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Token vocabulary size for the sequence views.
+    pub vocab: usize,
+    /// Training samples (in-distribution).
+    pub train: Vec<CodeSample>,
+    /// Held-out samples from the training distribution (design-time test).
+    pub iid_test: Vec<CodeSample>,
+    /// Samples from the shifted deployment distribution.
+    pub drift_test: Vec<CodeSample>,
+}
+
+impl ClassificationCase {
+    /// Sanity checks the case (label ranges, token ranges, non-emptiness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated; generators call this before
+    /// returning.
+    pub fn validate(&self) {
+        assert!(!self.train.is_empty(), "{}: empty training set", self.name);
+        assert!(!self.iid_test.is_empty(), "{}: empty iid test set", self.name);
+        assert!(!self.drift_test.is_empty(), "{}: empty drift test set", self.name);
+        for (part, samples) in [
+            ("train", &self.train),
+            ("iid_test", &self.iid_test),
+            ("drift_test", &self.drift_test),
+        ] {
+            for (i, s) in samples.iter().enumerate() {
+                assert!(
+                    s.label < self.n_classes,
+                    "{}/{part}[{i}]: label {} out of range",
+                    self.name,
+                    s.label
+                );
+                assert!(
+                    s.tokens.iter().all(|&t| t < self.vocab),
+                    "{}/{part}[{i}]: token out of vocabulary",
+                    self.name
+                );
+                assert!(!s.tokens.is_empty(), "{}/{part}[{i}]: empty tokens", self.name);
+                if !s.runtimes.is_empty() {
+                    assert_eq!(
+                        s.label,
+                        prom_ml::matrix::argmin(&s.runtimes),
+                        "{}/{part}[{i}]: label is not the fastest option",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mean oracle-relative performance of always predicting each sample's
+    /// own label (always 1.0; useful as a harness sanity check).
+    pub fn oracle_ratio(&self, samples: &[CodeSample]) -> f64 {
+        let with_rt: Vec<&CodeSample> =
+            samples.iter().filter(|s| !s.runtimes.is_empty()).collect();
+        if with_rt.is_empty() {
+            return 1.0;
+        }
+        with_rt.iter().map(|s| s.perf_ratio(s.label)).sum::<f64>() / with_rt.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(runtimes: Vec<f64>) -> CodeSample {
+        let label = prom_ml::matrix::argmin(&runtimes);
+        CodeSample { features: vec![1.0], tokens: vec![0], graph: None, label, runtimes, group: 0 }
+    }
+
+    #[test]
+    fn perf_ratio_is_one_for_oracle_choice() {
+        let s = sample(vec![4.0, 2.0, 8.0]);
+        assert!((s.perf_ratio(1) - 1.0).abs() < 1e-12);
+        assert!((s.perf_ratio(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misprediction_threshold_is_twenty_percent() {
+        let s = sample(vec![10.0, 12.0, 13.0]);
+        assert!(!s.is_misprediction(0));
+        // 10/12 = 0.83 — within 20% of the oracle.
+        assert!(!s.is_misprediction(1));
+        // 10/13 = 0.77 — more than 20% below.
+        assert!(s.is_misprediction(2));
+    }
+
+    #[test]
+    fn validate_accepts_consistent_case() {
+        let case = ClassificationCase {
+            name: "toy",
+            n_classes: 3,
+            vocab: 5,
+            train: vec![sample(vec![1.0, 2.0, 3.0])],
+            iid_test: vec![sample(vec![2.0, 1.0, 3.0])],
+            drift_test: vec![sample(vec![3.0, 2.0, 1.0])],
+        };
+        case.validate();
+        assert!((case.oracle_ratio(&case.train) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label is not the fastest option")]
+    fn validate_rejects_wrong_oracle_label() {
+        let mut bad = sample(vec![1.0, 2.0]);
+        bad.label = 1;
+        let case = ClassificationCase {
+            name: "toy",
+            n_classes: 2,
+            vocab: 5,
+            train: vec![bad],
+            iid_test: vec![sample(vec![1.0, 2.0])],
+            drift_test: vec![sample(vec![1.0, 2.0])],
+        };
+        case.validate();
+    }
+}

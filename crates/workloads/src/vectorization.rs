@@ -1,0 +1,383 @@
+//! Case study 2: loop vectorization (Sec. 6.2 of the paper).
+//!
+//! A model picks a Vectorization Factor (VF ∈ {1, 2, 4, 8, 16, 32, 64}) and
+//! Interleaving Factor (IF ∈ {1, 2, 4, 8, 16}) for a vectorizable C loop —
+//! 35 combined classes. The paper uses 6,000 synthetic loops derived from 18
+//! benchmark families in the LLVM vectorization test suite, profiled on a
+//! Ryzen 9 5900X; here, loops are synthesized from family-specific latent
+//! distributions and "profiled" on a parametric SIMD cost model.
+//!
+//! **Drift axis**: train on loops from 14 families, deploy on the remaining
+//! 4 (which are skewed towards gather-heavy, dependence-limited loops).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use prom_ml::rng::{gaussian_with, rng_from_seed};
+
+use crate::sample::{ClassificationCase, CodeSample};
+
+/// Candidate vectorization factors.
+pub const VFS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Candidate interleaving factors.
+pub const IFS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Total number of (VF, IF) classes.
+pub const N_CLASSES: usize = VFS.len() * IFS.len();
+
+/// Number of benchmark families (paper: 18, of which 4 held out).
+pub const N_FAMILIES: usize = 18;
+/// Families held out as the drifted deployment set.
+pub const HOLDOUT_FAMILIES: usize = 4;
+
+/// Token vocabulary size of the loop token view.
+pub const VOCAB: usize = 28;
+
+const T_LOOP: usize = 0;
+const T_ARITH: usize = 1;
+const T_LOAD: usize = 2;
+const T_STORE: usize = 3;
+const T_GATHER: usize = 4;
+const T_BRANCH: usize = 5;
+const T_REDUCE: usize = 6;
+const T_CALL: usize = 7;
+const T_TRIP_BASE: usize = 8; // 4 bins
+const T_STRIDE_BASE: usize = 12; // 3 bins
+const T_DTYPE_BASE: usize = 15; // 3 widths
+const T_FILLER_BASE: usize = 18;
+
+/// Decodes a class index into its `(VF, IF)` pair.
+pub fn class_to_factors(class: usize) -> (usize, usize) {
+    assert!(class < N_CLASSES, "class out of range");
+    (VFS[class / IFS.len()], IFS[class % IFS.len()])
+}
+
+/// A latent vectorizable loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// log2 of the trip count.
+    pub log_trip: f64,
+    /// Memory access stride (1 = contiguous).
+    pub stride: f64,
+    /// Arithmetic operations per iteration.
+    pub arith: f64,
+    /// Memory operations per iteration.
+    pub mem: f64,
+    /// Loop-carried dependence distance (iterations); large = effectively
+    /// independent.
+    pub dep_distance: f64,
+    /// Branch density inside the body in `[0, 1]`.
+    pub branch: f64,
+    /// Element width in bytes (4 or 8).
+    pub dtype_bytes: f64,
+    /// Reduction pattern present in `[0, 1]`.
+    pub reduction: f64,
+}
+
+/// The simulated CPU (a Zen3-class core: 256-bit SIMD, 2 FMA pipes).
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// SIMD register width in bytes.
+    pub simd_bytes: f64,
+    /// Number of parallel execution pipes interleaving can fill.
+    pub pipes: f64,
+    /// Relative cost of a gather (strided) lane load.
+    pub gather_cost: f64,
+    /// Vector registers available before interleaving spills.
+    pub vector_regs: f64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self { simd_bytes: 32.0, pipes: 4.0, gather_cost: 3.0, vector_regs: 16.0 }
+    }
+}
+
+/// Simulated loop runtime at a given VF/IF (arbitrary units).
+pub fn runtime(l: &Loop, cpu: &Cpu, vf: usize, il: usize) -> f64 {
+    let vf_f = vf as f64;
+    let il_f = il as f64;
+    let trips = 2f64.powf(l.log_trip);
+    let lanes_fit = (cpu.simd_bytes / l.dtype_bytes).max(1.0);
+
+    // Effective vector width: capped by hardware lanes (wider VF splits
+    // into multiple ops — fine but no further gain) and by the dependence
+    // distance (vectorizing across a dependence serializes).
+    let mut speedup = vf_f.min(lanes_fit);
+    if vf_f > l.dep_distance {
+        // Dependence violation forces partial serialization.
+        speedup = (l.dep_distance).max(1.0);
+    }
+    // Branchy bodies need masking; the wasted lanes grow with VF.
+    let mask_waste = 1.0 + l.branch * (vf_f - 1.0) / 8.0;
+    // Strided access turns vector loads into gathers.
+    let gather = if l.stride > 1.0 && vf > 1 {
+        1.0 + (cpu.gather_cost - 1.0) * (1.0 - 1.0 / l.stride.min(8.0)) * (l.mem / (l.mem + l.arith))
+    } else {
+        1.0
+    };
+    // Interleaving fills the pipes until registers spill.
+    let il_gain = il_f.min(cpu.pipes);
+    let regs_needed = il_f * (vf_f / lanes_fit).max(1.0) * (1.0 + l.reduction);
+    let spill = if regs_needed > cpu.vector_regs {
+        1.0 + 0.35 * (regs_needed - cpu.vector_regs) / cpu.vector_regs
+    } else {
+        1.0
+    };
+    // Reductions limit interleaving gains (horizontal combine at the end).
+    let reduce_penalty = 1.0 + l.reduction * (il_f - 1.0) / 16.0;
+    // Leftover scalar remainder iterations.
+    let chunk = (vf_f * il_f).max(1.0);
+    let remainder = (chunk - 1.0) / 2.0 / trips.max(1.0);
+
+    let body = l.arith + l.mem;
+    let per_iter = body * mask_waste * gather * spill * reduce_penalty / (speedup * il_gain);
+    let startup = 0.5 + 0.05 * chunk; // vector prologue/epilogue cost
+    trips * per_iter * (1.0 + remainder) + startup
+}
+
+/// Family prototypes: each family fixes a region of the latent space.
+/// Families `N_FAMILIES - HOLDOUT_FAMILIES ..` are gather-heavy and
+/// dependence-limited — the drift source.
+fn sample_loop(family: usize, rng: &mut StdRng) -> Loop {
+    let held_out = family >= N_FAMILIES - HOLDOUT_FAMILIES;
+    // Family-deterministic prototype parameters.
+    let f = family as f64;
+    let proto_trip = 8.0 + (f * 1.7) % 8.0;
+    let proto_arith = 2.0 + (f * 2.3) % 12.0;
+    let proto_mem = 1.0 + (f * 1.3) % 6.0;
+    if !held_out {
+        Loop {
+            log_trip: gaussian_with(rng, proto_trip, 1.0).clamp(4.0, 18.0),
+            stride: if rng.gen::<f64>() < 0.15 { 2.0 } else { 1.0 },
+            arith: gaussian_with(rng, proto_arith, 1.5).clamp(1.0, 24.0),
+            mem: gaussian_with(rng, proto_mem, 1.0).clamp(1.0, 12.0),
+            dep_distance: if rng.gen::<f64>() < 0.2 {
+                gaussian_with(rng, 8.0, 3.0).clamp(1.0, 64.0)
+            } else {
+                64.0
+            },
+            branch: gaussian_with(rng, 0.08, 0.06).clamp(0.0, 0.8),
+            dtype_bytes: if family % 3 == 0 { 8.0 } else { 4.0 },
+            reduction: if family % 4 == 0 { 1.0 } else { 0.0 },
+        }
+    } else {
+        // Drifted families: strided gathers, short dependences, branchy.
+        Loop {
+            log_trip: gaussian_with(rng, 7.0, 1.2).clamp(4.0, 14.0),
+            stride: [2.0, 4.0, 8.0][rng.gen_range(0..3)],
+            arith: gaussian_with(rng, 3.0, 1.0).clamp(1.0, 10.0),
+            mem: gaussian_with(rng, 6.0, 1.5).clamp(2.0, 12.0),
+            dep_distance: gaussian_with(rng, 4.0, 2.0).clamp(1.0, 16.0),
+            branch: gaussian_with(rng, 0.4, 0.15).clamp(0.0, 1.0),
+            dtype_bytes: if family % 2 == 0 { 8.0 } else { 4.0 },
+            reduction: if family % 3 == 0 { 1.0 } else { 0.0 },
+        }
+    }
+}
+
+fn feature_vector(l: &Loop) -> Vec<f64> {
+    vec![
+        l.log_trip,
+        l.stride,
+        l.arith,
+        l.mem,
+        l.dep_distance,
+        l.branch,
+        l.dtype_bytes,
+        l.reduction,
+        l.arith / l.mem.max(1.0),
+    ]
+}
+
+fn bin(value: f64, lo: f64, hi: f64, n: usize) -> usize {
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 0.999);
+    (t * n as f64) as usize
+}
+
+fn tokens(l: &Loop, rng: &mut StdRng) -> Vec<usize> {
+    let mut toks = vec![
+        T_LOOP,
+        T_TRIP_BASE + bin(l.log_trip, 4.0, 18.0, 4),
+        T_STRIDE_BASE + bin(l.stride, 1.0, 9.0, 3),
+        T_DTYPE_BASE + if l.dtype_bytes > 4.0 { 1 } else { 0 },
+    ];
+    let pushes = [
+        (T_ARITH, (l.arith / 2.0).round() as usize),
+        (T_LOAD, (l.mem / 1.5).round() as usize),
+        (T_STORE, (l.mem / 3.0).round() as usize),
+        (if l.stride > 1.0 { T_GATHER } else { T_LOAD }, (l.mem / 2.0).round() as usize),
+        (T_BRANCH, (l.branch * 6.0).round() as usize),
+        (T_REDUCE, (l.reduction * 2.0).round() as usize),
+        (T_CALL, usize::from(l.dep_distance < 16.0)),
+    ];
+    for (tok, count) in pushes {
+        for _ in 0..count.min(8) {
+            toks.push(tok);
+            if rng.gen::<f64>() < 0.2 {
+                toks.push(T_FILLER_BASE + rng.gen_range(0..(VOCAB - T_FILLER_BASE)));
+            }
+        }
+    }
+    toks
+}
+
+fn make_sample(family: usize, cpu: &Cpu, rng: &mut StdRng) -> CodeSample {
+    let l = sample_loop(family, rng);
+    let mut runtimes = Vec::with_capacity(N_CLASSES);
+    for &vf in &VFS {
+        for &il in &IFS {
+            runtimes.push(runtime(&l, cpu, vf, il) * (1.0 + 0.015 * gaussian_with(rng, 0.0, 1.0)));
+        }
+    }
+    let label = prom_ml::matrix::argmin(&runtimes);
+    CodeSample {
+        features: feature_vector(&l),
+        tokens: tokens(&l, rng),
+        graph: None,
+        label,
+        runtimes,
+        group: family,
+    }
+}
+
+/// Configuration of the loop-vectorization case generator.
+#[derive(Debug, Clone)]
+pub struct VectorizationConfig {
+    /// Loops per family.
+    pub loops_per_family: usize,
+    /// Fraction of held-out-family loops resembling the training families
+    /// (unseen benchmarks still contain some conventional loops).
+    pub familiar_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VectorizationConfig {
+    fn default() -> Self {
+        Self { loops_per_family: 60, familiar_fraction: 0.4, seed: 0 }
+    }
+}
+
+/// Generates the full case study: train + design-time test on the first 14
+/// families, drifted deployment test on the last 4.
+pub fn generate(config: &VectorizationConfig) -> ClassificationCase {
+    let mut rng = rng_from_seed(config.seed);
+    let cpu = Cpu::default();
+    let mut in_dist = Vec::new();
+    let mut drift_test = Vec::new();
+    for family in 0..N_FAMILIES {
+        for _ in 0..config.loops_per_family {
+            let held_out = family >= N_FAMILIES - HOLDOUT_FAMILIES;
+            let source_family = if held_out && rng.gen::<f64>() < config.familiar_fraction {
+                rng.gen_range(0..N_FAMILIES - HOLDOUT_FAMILIES)
+            } else {
+                family
+            };
+            let mut s = make_sample(source_family, &cpu, &mut rng);
+            s.group = family;
+            if held_out {
+                drift_test.push(s);
+            } else {
+                in_dist.push(s);
+            }
+        }
+    }
+    let n_test = in_dist.len() / 5; // 80/20 split per the paper
+    let (train_idx, test_idx) = prom_ml::rng::split_indices(&mut rng, in_dist.len(), n_test);
+    let case = ClassificationCase {
+        name: "loop-vectorization",
+        n_classes: N_CLASSES,
+        vocab: VOCAB,
+        train: train_idx.iter().map(|&i| in_dist[i].clone()).collect(),
+        iid_test: test_idx.iter().map(|&i| in_dist[i].clone()).collect(),
+        drift_test,
+    };
+    case.validate();
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_encoding_round_trips() {
+        assert_eq!(class_to_factors(0), (1, 1));
+        assert_eq!(class_to_factors(IFS.len()), (2, 1));
+        assert_eq!(class_to_factors(N_CLASSES - 1), (64, 16));
+    }
+
+    #[test]
+    fn contiguous_independent_loops_like_wide_vectors() {
+        let l = Loop {
+            log_trip: 14.0,
+            stride: 1.0,
+            arith: 8.0,
+            mem: 2.0,
+            dep_distance: 64.0,
+            branch: 0.0,
+            dtype_bytes: 4.0,
+            reduction: 0.0,
+        };
+        let cpu = Cpu::default();
+        assert!(
+            runtime(&l, &cpu, 8, 2) < runtime(&l, &cpu, 1, 1),
+            "clean loops should vectorize profitably"
+        );
+    }
+
+    #[test]
+    fn dependence_limited_loops_prefer_narrow_vectors() {
+        let l = Loop {
+            log_trip: 12.0,
+            stride: 1.0,
+            arith: 4.0,
+            mem: 4.0,
+            dep_distance: 2.0,
+            branch: 0.0,
+            dtype_bytes: 4.0,
+            reduction: 0.0,
+        };
+        let cpu = Cpu::default();
+        assert!(
+            runtime(&l, &cpu, 2, 2) < runtime(&l, &cpu, 32, 2),
+            "short dependences should forbid wide VF"
+        );
+    }
+
+    #[test]
+    fn generation_shapes_and_determinism() {
+        let cfg = VectorizationConfig { loops_per_family: 10, seed: 3, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.drift_test.len(), HOLDOUT_FAMILIES * 10);
+        assert_eq!(a.n_classes, 35);
+        assert_eq!(a.train[5].features, b.train[5].features);
+    }
+
+    #[test]
+    fn drifted_families_have_different_optima() {
+        let case = generate(&VectorizationConfig { loops_per_family: 30, seed: 1, ..Default::default() });
+        let mean_label_train: f64 =
+            case.train.iter().map(|s| s.label as f64).sum::<f64>() / case.train.len() as f64;
+        let mean_label_drift: f64 = case.drift_test.iter().map(|s| s.label as f64).sum::<f64>()
+            / case.drift_test.len() as f64;
+        // Drifted loops are gather/dependence limited, so their best VF
+        // (hence class index) is much smaller on average.
+        assert!(
+            mean_label_train > mean_label_drift + 2.0,
+            "expected smaller optimal factors under drift: {mean_label_train} vs {mean_label_drift}"
+        );
+    }
+
+    #[test]
+    fn oracle_uses_multiple_classes() {
+        let case = generate(&VectorizationConfig { loops_per_family: 20, seed: 2, ..Default::default() });
+        let mut seen = std::collections::HashSet::new();
+        for s in &case.train {
+            seen.insert(s.label);
+        }
+        assert!(seen.len() >= 6, "too few distinct oracle classes: {}", seen.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: wrap a trained classifier with Prom and detect drifting
+//! inputs at deployment time.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! The flow mirrors Fig. 3 of the paper:
+//! 1. train any probabilistic model (here: a small MLP on synthetic data);
+//! 2. hold out ~10% of the training data as a calibration set;
+//! 3. build a [`prom::core::PromClassifier`] from (embedding, probability,
+//!    label) calibration records;
+//! 4. at deployment, judge every prediction — accepted predictions are used
+//!    as-is, rejected ones fall back to a safe default / expert review.
+
+use prom::core::calibration::CalibrationRecord;
+use prom::core::committee::PromConfig;
+use prom::core::predictor::PromClassifier;
+use prom::ml::data::Dataset;
+use prom::ml::mlp::{Mlp, MlpConfig};
+use prom::ml::rng::{gaussian_with, rng_from_seed};
+use prom::ml::traits::Classifier;
+
+/// Two Gaussian blobs; `shift` moves the whole distribution (our "drift").
+fn blobs(n: usize, shift: f64, seed: u64) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n {
+        let label = i % 2;
+        let c = if label == 0 { -2.0 } else { 2.0 };
+        x.push(vec![
+            gaussian_with(&mut rng, c + shift, 1.6),
+            gaussian_with(&mut rng, -c + shift, 1.6),
+        ]);
+        y.push(label);
+    }
+    Dataset::new(x, y)
+}
+
+fn main() {
+    // 1. Train the underlying model.
+    let train = blobs(400, 0.0, 1);
+    let model = Mlp::fit_classifier(
+        &train,
+        MlpConfig { hidden: vec![8], epochs: 40, ..Default::default() },
+    );
+
+    // 2–3. Calibration records from held-out training data.
+    let calibration = blobs(80, 0.0, 2);
+    let records: Vec<CalibrationRecord> = calibration
+        .x
+        .iter()
+        .zip(calibration.y.iter())
+        .map(|(x, &y)| {
+            CalibrationRecord::new(Classifier::embed(&model, &x[..]), model.predict_proba(x), y)
+        })
+        .collect();
+    let prom = PromClassifier::new(records, PromConfig::default())
+        .expect("valid calibration records");
+
+    // 4. Deployment: in-distribution inputs vs drifted inputs.
+    for (name, shift) in [("in-distribution", 0.0), ("drifted", 12.0)] {
+        let test = blobs(100, shift, 3);
+        let mut accepted = 0;
+        let mut correct_accepted = 0;
+        for (x, &y) in test.x.iter().zip(test.y.iter()) {
+            let probs = model.predict_proba(x);
+            let judgement = prom.judge(&Classifier::embed(&model, &x[..]), &probs);
+            if judgement.accepted {
+                accepted += 1;
+                correct_accepted +=
+                    usize::from(prom::ml::matrix::argmax(&probs) == y);
+            }
+        }
+        println!(
+            "{name:>16}: accepted {accepted}/100 predictions \
+             ({correct_accepted} of the accepted ones are correct)"
+        );
+    }
+    println!();
+    println!("Prom accepts almost everything in-distribution and rejects the drifted inputs,");
+    println!("where the model would silently mispredict.");
+}

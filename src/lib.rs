@@ -1,0 +1,28 @@
+//! # Prom — deployment-time drift detection for ML-based code analysis and
+//! optimization
+//!
+//! This crate is the facade of a Rust reproduction of *Enhancing
+//! Deployment-Time Predictive Model Robustness for Code Analysis and
+//! Optimization* (CGO 2025). It re-exports the workspace crates:
+//!
+//! * [`core`] ([`prom_core`]) — the conformal-prediction drift detector;
+//! * [`ml`] ([`prom_ml`]) — the from-scratch ML substrate (models, metrics,
+//!   clustering);
+//! * [`workloads`] ([`prom_workloads`]) — the five synthetic case-study
+//!   generators (thread coarsening, loop vectorization, heterogeneous
+//!   mapping, vulnerability detection, DNN code generation);
+//! * [`baselines`] ([`prom_baselines`]) — naive CP, TESSERACT-style, and
+//!   RISE-style drift detectors used for comparison;
+//! * [`eval`] ([`prom_eval`]) — the experiment harness that regenerates the
+//!   paper's tables and figures.
+//!
+//! See the `examples/` directory for runnable end-to-end walkthroughs and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+#![warn(missing_docs)]
+
+pub use prom_baselines as baselines;
+pub use prom_core as core;
+pub use prom_eval as eval;
+pub use prom_ml as ml;
+pub use prom_workloads as workloads;

@@ -1,0 +1,131 @@
+//! Statistical integration tests of the conformal machinery: coverage on
+//! exchangeable data, drift separation, and the initialization assessment.
+
+use prom::core::assessment::assess_initialization;
+use prom::core::calibration::CalibrationRecord;
+use prom::core::committee::PromConfig;
+use prom::core::predictor::PromClassifier;
+use prom::core::regression::{
+    ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord,
+};
+use prom::ml::rng::{gaussian_with, rng_from_seed};
+use rand::Rng;
+
+/// Draws (embedding, probs, label) from a fixed synthetic "model": two
+/// Gaussian clusters with confidence that degrades near the boundary.
+fn draw(n: usize, shift: f64, seed: u64) -> Vec<CalibrationRecord> {
+    let mut rng = rng_from_seed(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % 2;
+            let c = if label == 0 { -2.0 } else { 2.0 };
+            let x = gaussian_with(&mut rng, c + shift, 1.0);
+            let y = gaussian_with(&mut rng, -c + shift, 1.0);
+            // A logistic "model" over the first coordinate.
+            let p1 = 1.0 / (1.0 + (-1.2 * x).exp());
+            CalibrationRecord::new(vec![x, y], vec![1.0 - p1, p1], label)
+        })
+        .collect()
+}
+
+#[test]
+fn prediction_sets_cover_exchangeable_data() {
+    // Split one exchangeable pool into calibration and test; the true label
+    // should fall inside the prediction set about 1 - epsilon of the time.
+    let pool = draw(600, 0.0, 1);
+    let (cal, test) = pool.split_at(300);
+    let config = PromConfig::default(); // epsilon = 0.1
+    let prom = PromClassifier::new(cal.to_vec(), config).unwrap();
+    let covered = test
+        .iter()
+        .filter(|r| prom.prediction_set(&r.embedding, &r.probs).contains(&r.label))
+        .count();
+    let coverage = covered as f64 / test.len() as f64;
+    assert!(
+        (0.78..=1.0).contains(&coverage),
+        "coverage {coverage} too far from the 0.9 target"
+    );
+}
+
+#[test]
+fn drifted_inputs_are_rejected_more_often_than_iid_inputs() {
+    let cal = draw(300, 0.0, 2);
+    let prom = PromClassifier::new(cal, PromConfig { tau: 40.0, ..Default::default() }).unwrap();
+    let reject_rate = |shift: f64, seed: u64| -> f64 {
+        let batch = draw(200, shift, seed);
+        let rejected = batch
+            .iter()
+            .filter(|r| !prom.judge(&r.embedding, &r.probs).accepted)
+            .count();
+        rejected as f64 / batch.len() as f64
+    };
+    let iid = reject_rate(0.0, 3);
+    let drifted = reject_rate(25.0, 4);
+    assert!(
+        drifted > iid + 0.3,
+        "drifted rejection ({drifted}) should far exceed i.i.d. rejection ({iid})"
+    );
+}
+
+#[test]
+fn initialization_assessment_accepts_good_setup() {
+    let cal = draw(400, 0.0, 5);
+    let report = assess_initialization(&cal, &PromConfig::default(), 3, 5).unwrap();
+    assert!(
+        report.deviation < 0.2,
+        "well-posed setup should have low coverage deviation: {report:?}"
+    );
+}
+
+#[test]
+fn regression_detector_separates_systematic_model_error() {
+    // Calibration: an accurate regression model on y = x0 + x1.
+    let mut rng = rng_from_seed(7);
+    let cal: Vec<RegressionRecord> = (0..250)
+        .map(|_| {
+            let x0 = rng.gen_range(-2.0..2.0);
+            let x1 = rng.gen_range(-2.0..2.0);
+            let target = x0 + x1;
+            // Calibration residuals are on the same scale as the k-NN
+            // ground-truth proxy's own error, as in a realistic cost model.
+            RegressionRecord::new(
+                vec![x0, x1],
+                target + gaussian_with(&mut rng, 0.0, 0.3),
+                target,
+            )
+        })
+        .collect();
+    let prom = PromRegressor::new(
+        cal,
+        PromRegressorConfig { clusters: ClusterChoice::Fixed(4), ..Default::default() },
+    )
+    .unwrap();
+
+    // In-range accurate estimates are mostly accepted…
+    let mut accept_good = 0;
+    // …while far-out-of-range inputs with stale estimates are rejected.
+    let mut reject_drifted = 0;
+    for i in 0..100 {
+        let x0 = (i as f64 / 100.0) * 3.0 - 1.5;
+        let good = prom.judge(&[x0, 0.3], x0 + 0.3 + gaussian_with(&mut rng, 0.0, 0.2));
+        accept_good += usize::from(good.accepted);
+        let drifted = prom.judge(&[x0 + 30.0, 30.0], x0 + 0.3);
+        reject_drifted += usize::from(!drifted.accepted);
+    }
+    assert!(accept_good >= 60, "too few accurate estimates accepted: {accept_good}/100");
+    assert!(reject_drifted >= 80, "too few drifted estimates rejected: {reject_drifted}/100");
+}
+
+#[test]
+fn committee_is_deterministic() {
+    let cal = draw(120, 0.0, 9);
+    let prom = PromClassifier::new(cal, PromConfig::default()).unwrap();
+    let a = prom.judge(&[0.4, -0.4], &[0.7, 0.3]);
+    let b = prom.judge(&[0.4, -0.4], &[0.7, 0.3]);
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.reject_votes, b.reject_votes);
+    for (va, vb) in a.verdicts.iter().zip(b.verdicts.iter()) {
+        assert_eq!(va.credibility, vb.credibility);
+        assert_eq!(va.prediction_set_size, vb.prediction_set_size);
+    }
+}

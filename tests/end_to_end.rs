@@ -1,0 +1,109 @@
+//! Cross-crate integration tests: workload generators → ML substrate →
+//! Prom core → evaluation harness, exercised through the public facade.
+
+use prom::core::calibration::CalibrationRecord;
+use prom::core::committee::PromConfig;
+use prom::core::predictor::PromClassifier;
+use prom::eval::models::{Arch, TrainBudget, TrainedModel};
+use prom::eval::registry::{generate_case, models_for, CaseId, CaseScale};
+use prom::eval::scenario::{fit_scenario, run_scenario, ScenarioConfig};
+use prom::eval::ModelSpec;
+use prom::workloads::coarsening::{self, CoarseningConfig};
+
+fn tiny(case: CaseId, arch: Arch) -> ScenarioConfig {
+    ScenarioConfig {
+        scale: CaseScale { data_scale: 0.12, seed: 11 },
+        budget: TrainBudget { epochs_scale: 0.2, seed: 11 },
+        ..ScenarioConfig::new(case, ModelSpec { paper_name: "it", arch })
+    }
+}
+
+#[test]
+fn workload_to_model_to_prom_pipeline() {
+    let case = coarsening::generate(&CoarseningConfig {
+        kernels_per_suite: 10,
+        ..Default::default()
+    });
+    let model = TrainedModel::fit(
+        Arch::Mlp,
+        &case.train,
+        case.n_classes,
+        case.vocab,
+        TrainBudget { epochs_scale: 0.2, seed: 0 },
+    );
+    let records: Vec<CalibrationRecord> = case
+        .iid_test
+        .iter()
+        .map(|s| CalibrationRecord::new(model.embed(s), model.predict_proba(s), s.label))
+        .collect();
+    let prom = PromClassifier::new(records, PromConfig::default()).unwrap();
+    // Judging must work for every drifted sample without panicking and
+    // produce four expert verdicts each.
+    for s in case.drift_test.iter().take(20) {
+        let j = prom.judge(&model.embed(s), &model.predict_proba(s));
+        assert_eq!(j.verdicts.len(), 4);
+        for v in &j.verdicts {
+            assert!((0.0..=1.0).contains(&v.credibility));
+            assert!((0.0..=1.0).contains(&v.confidence));
+        }
+    }
+}
+
+#[test]
+fn every_table1_model_runs_a_scenario() {
+    // One cheap scenario per distinct architecture of Table 1.
+    for (case, arch) in [
+        (CaseId::Coarsening, Arch::Mlp),
+        (CaseId::Coarsening, Arch::Gbc),
+        (CaseId::Devmap, Arch::Gnn),
+        (CaseId::Vulnerability, Arch::BiLstm),
+    ] {
+        let result = run_scenario(&tiny(case, arch));
+        assert!(result.design.accuracy > 0.0, "{case:?}/{arch:?}");
+        assert!(result.detection.n > 0, "{case:?}/{arch:?}");
+        assert!(result.train_seconds > 0.0);
+    }
+}
+
+#[test]
+fn drift_degrades_every_case_study() {
+    // The central premise of the paper: deployment quality under drift is
+    // worse than design-time quality. Verified per case with its first
+    // Table 1 model at reduced scale.
+    for case in CaseId::CLASSIFICATION {
+        let model = models_for(case)[0];
+        let cfg = ScenarioConfig {
+            scale: CaseScale { data_scale: 0.25, seed: 3 },
+            budget: TrainBudget { epochs_scale: 0.35, seed: 3 },
+            ..ScenarioConfig::new(case, model)
+        };
+        let result = run_scenario(&cfg);
+        assert!(
+            result.deploy.accuracy < result.design.accuracy + 0.03,
+            "{case:?}: drift should not improve accuracy ({} -> {})",
+            result.design.accuracy,
+            result.deploy.accuracy
+        );
+    }
+}
+
+#[test]
+fn calibrated_tau_tracks_embedding_scale() {
+    let fitted = fit_scenario(&tiny(CaseId::Devmap, Arch::Mlp));
+    // The auto-calibrated tau must be finite and positive, and the stored
+    // configuration must validate.
+    assert!(fitted.prom_config.tau.is_finite() && fitted.prom_config.tau > 0.0);
+    assert!(fitted.prom_config.validate().is_ok());
+}
+
+#[test]
+fn generated_cases_have_consistent_views() {
+    for case in CaseId::CLASSIFICATION {
+        let data = generate_case(case, CaseScale { data_scale: 0.1, seed: 5 });
+        let dim = data.train[0].features.len();
+        for s in data.train.iter().chain(data.drift_test.iter()) {
+            assert_eq!(s.features.len(), dim, "{case:?}: ragged features");
+            assert!(s.tokens.iter().all(|&t| t < data.vocab), "{case:?}: bad token");
+        }
+    }
+}

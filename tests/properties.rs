@@ -1,0 +1,216 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! conformal-prediction machinery, the ML substrate, and the workload
+//! generators.
+
+use proptest::prelude::*;
+
+use prom::core::calibration::{select_weighted_subset, SelectionConfig};
+use prom::core::committee::confidence_score;
+use prom::core::nonconformity::default_committee;
+use prom::core::pvalue::{p_value_for_label, ScoredSample};
+use prom::ml::activations::softmax;
+use prom::ml::cluster::KMeans;
+use prom::ml::matrix::{argmax, l2_distance, Matrix};
+use prom::ml::metrics::BinaryConfusion;
+
+/// A random probability vector of 2..=8 classes.
+fn probs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..10.0, 2..=8)
+        .prop_map(|raw| softmax(&raw.iter().map(|x| x.ln()).collect::<Vec<_>>()))
+}
+
+fn scored_samples() -> impl Strategy<Value = Vec<ScoredSample>> {
+    proptest::collection::vec((0usize..4, 0.0f64..2.0), 1..60).prop_map(|v| {
+        v.into_iter()
+            .map(|(label, adjusted_score)| ScoredSample { label, adjusted_score })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Eq. 2 p-values are probabilities.
+    #[test]
+    fn p_values_are_in_unit_interval(
+        samples in scored_samples(),
+        label in 0usize..4,
+        score in -1.0f64..3.0,
+    ) {
+        let p = p_value_for_label(&samples, label, score);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Eq. 2 p-values never increase as the test sample gets stranger.
+    #[test]
+    fn p_values_are_monotone_in_strangeness(
+        samples in scored_samples(),
+        label in 0usize..4,
+        a in 0.0f64..2.0,
+        delta in 0.0f64..2.0,
+    ) {
+        let p_low = p_value_for_label(&samples, label, a);
+        let p_high = p_value_for_label(&samples, label, a + delta);
+        prop_assert!(p_high <= p_low + 1e-12);
+    }
+
+    /// Every nonconformity function scores the argmax label no higher than
+    /// the least likely label.
+    #[test]
+    fn nonconformity_prefers_likely_labels(probs in probs_strategy()) {
+        let best = argmax(&probs);
+        let worst = probs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        for f in default_committee() {
+            prop_assert!(
+                f.score(&probs, best) <= f.score(&probs, worst) + 1e-12,
+                "{} not monotone", f.name()
+            );
+        }
+    }
+
+    /// Selection weights are in (0, 1], decay with distance, and the subset
+    /// honours the configured fraction.
+    #[test]
+    fn selection_weights_bounded_and_sorted(
+        n in 2usize..300,
+        fraction in 0.1f64..1.0,
+        tau in 0.5f64..100.0,
+    ) {
+        let embeddings: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.37]).collect();
+        let cfg = SelectionConfig { fraction, min_full_size: 50, tau };
+        let sel = select_weighted_subset(&embeddings, &[0.0], &cfg);
+        prop_assert!(!sel.is_empty());
+        if n >= 50 {
+            let expect = ((n as f64 * fraction).round() as usize).clamp(1, n);
+            prop_assert_eq!(sel.len(), expect);
+        } else {
+            prop_assert_eq!(sel.len(), n);
+        }
+        for pair in sel.windows(2) {
+            prop_assert!(pair[0].weight >= pair[1].weight);
+        }
+        prop_assert!(sel.iter().all(|s| s.weight > 0.0 && s.weight <= 1.0));
+    }
+
+    /// Confidence peaks at singleton prediction sets and decays with |set|.
+    #[test]
+    fn confidence_peaks_at_one(size in 0usize..12, c in 0.5f64..6.0) {
+        let at_one = confidence_score(1, c);
+        prop_assert!((at_one - 1.0).abs() < 1e-12);
+        prop_assert!(confidence_score(size, c) <= at_one);
+        if size >= 1 {
+            prop_assert!(confidence_score(size + 1, c) <= confidence_score(size, c) + 1e-12);
+        }
+    }
+
+    /// Matrix transpose round-trips and matmul agrees with its fused
+    /// transpose variants.
+    #[test]
+    fn matrix_algebra_identities(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        inner in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = prom::ml::rng::rng_from_seed(seed);
+        let a = prom::ml::rng::xavier_matrix(&mut rng, rows, inner);
+        let b = prom::ml::rng::xavier_matrix(&mut rng, cols, inner);
+        let direct = a.matmul_transpose_b(&b);
+        let explicit = a.matmul(&b.transpose());
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert!((direct[(i, j)] - explicit[(i, j)]).abs() < 1e-9);
+            }
+        }
+        let t: Matrix = a.transpose().transpose();
+        prop_assert_eq!(t, a);
+    }
+
+    /// Softmax output is a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_distribution(logits in proptest::collection::vec(-50.0f64..50.0, 1..10)) {
+        let p = softmax(&logits);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// K-means assignments always pick the nearest centroid.
+    #[test]
+    fn kmeans_assignment_consistency(
+        n in 4usize..60,
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = prom::ml::rng::rng_from_seed(seed);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![
+                prom::ml::rng::gaussian(&mut rng) * 3.0,
+                prom::ml::rng::gaussian(&mut rng) * 3.0,
+            ])
+            .collect();
+        let model = KMeans::fit(&points, k, seed);
+        for p in &points {
+            let a = model.assign(p);
+            let d = l2_distance(&model.centroids()[a], p);
+            for c in model.centroids() {
+                prop_assert!(d <= l2_distance(c, p) + 1e-9);
+            }
+        }
+    }
+
+    /// Detection-metric identities: F1 is the harmonic mean; rates are
+    /// complements.
+    #[test]
+    fn confusion_metric_identities(
+        tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50,
+    ) {
+        let c = BinaryConfusion { tp, fp, tn, fn_ };
+        if tp + fp > 0 && tp + fn_ > 0 && c.precision() + c.recall() > 0.0 {
+            let f1 = 2.0 * c.precision() * c.recall() / (c.precision() + c.recall());
+            prop_assert!((c.f1() - f1).abs() < 1e-12);
+        }
+        if fn_ + tp > 0 {
+            prop_assert!((c.recall() + c.false_negative_rate() - 1.0).abs() < 1e-12);
+        }
+        prop_assert!(c.accuracy() <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Workload generators are deterministic in their seed and produce
+    /// valid oracle labels, for arbitrary seeds.
+    #[test]
+    fn coarsening_generator_is_seed_deterministic(seed in 0u64..200) {
+        use prom::workloads::coarsening::{generate, CoarseningConfig};
+        let cfg = CoarseningConfig { kernels_per_suite: 4, seed, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.train.iter().zip(b.train.iter()) {
+            prop_assert_eq!(&x.features, &y.features);
+            prop_assert_eq!(x.label, y.label);
+        }
+    }
+
+    /// Schedule efficiencies stay in (0, 1] over the whole knob space.
+    #[test]
+    fn codegen_efficiency_bounded(seed in 0u64..500) {
+        use prom::workloads::codegen::{
+            efficiency, sample_schedule, sample_workload, BertVariant, CpuTarget,
+        };
+        let mut rng = prom::ml::rng::rng_from_seed(seed);
+        let cpu = CpuTarget::default();
+        for variant in BertVariant::ALL {
+            let w = sample_workload(variant, &mut rng);
+            let s = sample_schedule(&mut rng);
+            let e = efficiency(&w, &s, &cpu);
+            prop_assert!(e > 0.0 && e <= 1.0, "{variant:?}: {e}");
+        }
+    }
+}
