@@ -1,0 +1,68 @@
+//! Offline stand-in for the slice of `parking_lot` this workspace uses:
+//! [`Mutex`] with a non-`Result` `lock()`.
+//!
+//! Backed by [`std::sync::Mutex`]; poisoning (which `parking_lot` does not
+//! have) is surfaced as a panic, matching the workspace's usage where a
+//! poisoned lock means a worker thread already panicked.
+
+#![warn(missing_docs)]
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("lock poisoned: a thread panicked while holding it")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock was poisoned.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("lock poisoned: a thread panicked while holding it")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn contended_increments_from_threads() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 4000);
+    }
+}

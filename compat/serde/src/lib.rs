@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op derive macros from `compat/serde_derive` so that
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{Serialize,
+//! Deserialize}` compile unchanged. See `compat/serde_derive` for why a
+//! no-op expansion is sufficient here.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

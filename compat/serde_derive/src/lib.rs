@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in (see `compat/serde`).
+//!
+//! The workspace derives these traits on result/config structs so that a
+//! future build against real `serde` picks serialization up for free, but
+//! nothing in the workspace calls the traits generically — JSON output goes
+//! through the `compat/serde_json` value API instead. Expanding to nothing
+//! is therefore sufficient and keeps the stand-in dependency-free.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts anything `#[derive(Serialize)]` is placed on.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts anything `#[derive(Deserialize)]` is placed on.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

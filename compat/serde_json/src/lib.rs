@@ -1,0 +1,448 @@
+//! Offline stand-in for the slice of `serde_json` this workspace uses:
+//! [`Value`], [`Map`], the [`json!`] macro, and [`to_string_pretty`].
+//!
+//! [`Map`] preserves insertion order (like `serde_json` with its
+//! `preserve_order` feature), which keeps the generated
+//! `experiment_results.json` sections in the order the experiments ran.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// An ordered JSON object: insertion-ordered `(key, value)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, replacing (in place) any existing entry for it.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, stored exactly (real `serde_json` keeps i64/u64
+    /// precision; going through f64 would corrupt values above 2^53,
+    /// e.g. a large `--seed` recorded in `experiment_results.json`).
+    Int(i64),
+    /// An unsigned integer too large for [`Value::Int`], stored exactly.
+    UInt(u64),
+    /// A float (printed integrally when exact).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+macro_rules! impl_from_number {
+    ($variant:ident as $repr:ty : $($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::$variant(v as $repr)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+impl_from_number!(Number as f64: f64, f32);
+impl_from_number!(Int as i64: u8, u16, u32, i8, i16, i32, i64, isize);
+
+macro_rules! impl_from_u64_like {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                match i64::try_from(v) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(v as u64),
+                }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+impl_from_u64_like!(u64, usize);
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+/// Error type of the serializer (infallible here; kept for API shape).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Values the top-level serializer accepts (`serde_json` is generic over
+/// `Serialize`; the stand-in enumerates the two types the workspace passes).
+pub trait ToJson {
+    /// Borrow as a [`Value`] (cloning structure, not huge here).
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for Map {
+    fn to_json(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/inf; mirror serde_json's refusal conservatively
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes with two-space indentation.
+///
+/// # Errors
+///
+/// Infallible for the stand-in's value model; the `Result` mirrors the real
+/// API.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_json(), 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax; object values may be nested
+/// objects, arrays, or arbitrary expressions convertible via
+/// [`Value::from`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@obj map $($body)+);
+        $crate::Value::Object(map)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => { $crate::json_internal!(@arr $($body)+) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// TT-muncher behind [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- objects: `"key": <value>, ...` ---------------------------------
+    (@obj $map:ident) => {};
+    (@obj $map:ident ,) => {};
+    // Nested object value.
+    (@obj $map:ident $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@obj $map $($rest)*);
+    };
+    (@obj $map:ident $key:literal : { $($inner:tt)* }) => {
+        $map.insert($key.into(), $crate::json!({ $($inner)* }));
+    };
+    // Nested array value.
+    (@obj $map:ident $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@obj $map $($rest)*);
+    };
+    (@obj $map:ident $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert($key.into(), $crate::json!([ $($inner)* ]));
+    };
+    // Expression value: accumulate tokens up to a top-level comma.
+    (@obj $map:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_internal!(@objval $map $key () $($rest)+);
+    };
+    (@objval $map:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::Value::from($($val)+));
+        $crate::json_internal!(@obj $map $($rest)*);
+    };
+    (@objval $map:ident $key:literal ($($val:tt)+)) => {
+        $map.insert($key.into(), $crate::Value::from($($val)+));
+    };
+    (@objval $map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@objval $map $key ($($val)* $next) $($rest)*);
+    };
+    // ---- arrays: `<value>, ...` -----------------------------------------
+    (@arr $($body:tt)+) => {{
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@arritems items $($body)+);
+        $crate::Value::Array(items)
+    }};
+    (@arritems $items:ident) => {};
+    (@arritems $items:ident ,) => {};
+    (@arritems $items:ident { $($inner:tt)* } , $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@arritems $items $($rest)*);
+    };
+    (@arritems $items:ident { $($inner:tt)* }) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    (@arritems $items:ident [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@arritems $items $($rest)*);
+    };
+    (@arritems $items:ident [ $($inner:tt)* ]) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    (@arritems $items:ident $($rest:tt)+) => {
+        $crate::json_internal!(@arrval $items () $($rest)+);
+    };
+    (@arrval $items:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $items.push($crate::Value::from($($val)+));
+        $crate::json_internal!(@arritems $items $($rest)*);
+    };
+    (@arrval $items:ident ($($val:tt)+)) => {
+        $items.push($crate::Value::from($($val)+));
+    };
+    (@arrval $items:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@arrval $items ($($val)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+// The in-crate `json!` expansions trip vec_init_then_push; the pushes come
+// from recursive macro arms, not hand-written code.
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let name = String::from("x");
+        let opt: Option<f64> = None;
+        let v = json!({
+            "name": name.clone(),
+            "n": 3usize,
+            "f": 0.5,
+            "missing": opt,
+            "nested": {"deep": [1, 2, 3], "flag": true},
+            "computed": (1..=3).map(|i| i * 2).max(),
+        });
+        let Value::Object(map) = &v else { panic!("not an object") };
+        assert_eq!(map.get("name"), Some(&Value::String("x".into())));
+        assert_eq!(map.get("missing"), Some(&Value::Null));
+        assert_eq!(map.get("computed"), Some(&Value::Int(6)));
+        let Some(Value::Object(nested)) = map.get("nested") else { panic!("no nested") };
+        assert_eq!(nested.len(), 2);
+    }
+
+    #[test]
+    fn pretty_printer_round_trips_structure() {
+        let mut doc = Map::new();
+        doc.insert("a".into(), json!([{"k": 1}, "two"]));
+        doc.insert("b".into(), Value::Number(2.5));
+        let s = to_string_pretty(&doc).unwrap();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"k\": 1"));
+        assert!(s.contains("\"b\": 2.5"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        let mut s = String::new();
+        write_number(&mut s, 4.0);
+        assert_eq!(s, "4");
+        s.clear();
+        write_number(&mut s, 4.25);
+        assert_eq!(s, "4.25");
+    }
+
+    #[test]
+    fn large_integers_keep_full_precision() {
+        // 2^53 + 1 is not representable as f64; exact storage must survive.
+        let seed: u64 = 9_007_199_254_740_993;
+        let s = to_string_pretty(&Value::from(seed)).unwrap();
+        assert_eq!(s, "9007199254740993");
+        let s = to_string_pretty(&Value::from(u64::MAX)).unwrap();
+        assert_eq!(s, u64::MAX.to_string());
+        let s = to_string_pretty(&Value::from(i64::MIN)).unwrap();
+        assert_eq!(s, i64::MIN.to_string());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string_pretty(&Value::String("a\"b\n".into())).unwrap();
+        assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("k".into(), json!(1));
+        m.insert("j".into(), json!(2));
+        let old = m.insert("k".into(), json!(3));
+        assert_eq!(old, Some(Value::Int(1)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().next().unwrap().0, "k");
+    }
+}

@@ -14,8 +14,11 @@
 //!   credibility/confidence scores from a single nonconformity function feed
 //!   a **trained SVM** that classifies predictions as trustworthy or not.
 //!
-//! All three implement [`DriftDetector`], the same deployment-time interface
-//! the evaluation harness uses for Prom itself.
+//! All three implement [`prom_core::detector::DriftDetector`] — the same
+//! deployment-time interface as Prom itself — and share
+//! [`prom_core::scoring::ScoreTable`], the per-label calibration score
+//! table pre-sorted at construction, so every full-set p-value is a binary
+//! search rather than a linear scan.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,17 +27,23 @@ pub mod naive_cp;
 pub mod rise;
 pub mod tesseract;
 
-/// A deployment-time drift/misprediction detector: decides whether to
-/// reject an underlying model's prediction given the model's embedding and
-/// probability vector for the input.
-pub trait DriftDetector {
-    /// Short display name for reports.
-    fn name(&self) -> &'static str;
-
-    /// `true` if the detector would reject (flag) this prediction.
-    fn rejects(&self, embedding: &[f64], probs: &[f64]) -> bool;
-}
+// The deployment interface lived here before it was promoted into
+// `prom_core` as the workspace-wide detector API; re-exported for
+// compatibility and convenience.
+pub use prom_core::detector::{DriftDetector, Judgement, Sample};
 
 pub use naive_cp::NaiveCp;
 pub use rise::Rise;
 pub use tesseract::Tesseract;
+
+/// LAC credibility shared by the single-function baselines: the p-value of
+/// `predicted` under the full-calibration-set score table. A label never
+/// seen in calibration offers no evidence of conformity (p = 0).
+pub(crate) fn lac_credibility(
+    table: &prom_core::scoring::ScoreTable,
+    probs: &[f64],
+    predicted: usize,
+) -> f64 {
+    use prom_core::nonconformity::{Lac, Nonconformity};
+    table.p_value(predicted, Lac.score(probs, predicted))
+}

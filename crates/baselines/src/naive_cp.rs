@@ -2,17 +2,18 @@
 //!
 //! Uses the entire calibration set (no adaptive selection, no distance
 //! weighting) and a single LAC nonconformity function; a prediction is
-//! rejected when the p-value of its predicted label is below ε.
+//! rejected when the p-value of its predicted label is below ε. The
+//! calibration scores live in a [`ScoreTable`] pre-sorted per label, so
+//! each judgement costs one binary search.
 
 use prom_core::calibration::CalibrationRecord;
-use prom_core::nonconformity::{Lac, Nonconformity};
-use prom_core::pvalue::{p_value_for_label, ScoredSample};
-
-use crate::DriftDetector;
+use prom_core::detector::{DriftDetector, Judgement};
+use prom_core::nonconformity::Lac;
+use prom_core::scoring::ScoreTable;
 
 /// A plain split-CP misprediction detector.
 pub struct NaiveCp {
-    samples: Vec<ScoredSample>,
+    table: ScoreTable,
     epsilon: f64,
 }
 
@@ -25,17 +26,13 @@ impl NaiveCp {
     pub fn new(records: &[CalibrationRecord], epsilon: f64) -> Self {
         assert!(!records.is_empty(), "empty calibration set");
         assert!((0.0..1.0).contains(&epsilon), "epsilon out of range");
-        let samples = records
-            .iter()
-            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
-            .collect();
-        Self { samples, epsilon }
+        Self { table: ScoreTable::from_records(records, &Lac, records[0].probs.len()), epsilon }
     }
 
-    /// The p-value of the predicted (argmax) label.
+    /// The p-value of the predicted (argmax) label; a label never seen in
+    /// calibration offers no evidence of conformity (p = 0).
     pub fn credibility(&self, probs: &[f64]) -> f64 {
-        let predicted = prom_ml::matrix::argmax(probs);
-        p_value_for_label(&self.samples, predicted, Lac.score(probs, predicted))
+        crate::lac_credibility(&self.table, probs, prom_ml::matrix::argmax(probs))
     }
 }
 
@@ -44,8 +41,8 @@ impl DriftDetector for NaiveCp {
         "MAPIE-PUNCC"
     }
 
-    fn rejects(&self, _embedding: &[f64], probs: &[f64]) -> bool {
-        self.credibility(probs) < self.epsilon
+    fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+        Judgement::single(self.credibility(outputs) < self.epsilon)
     }
 }
 
@@ -84,6 +81,24 @@ mod tests {
         let cp = NaiveCp::new(&records(), 0.1);
         assert!(cp.credibility(&[0.9, 0.1]) >= cp.credibility(&[0.7, 0.3]));
         assert!(cp.credibility(&[0.7, 0.3]) >= cp.credibility(&[0.55, 0.45]));
+    }
+
+    #[test]
+    fn sorted_table_matches_linear_scan_reference() {
+        use prom_core::nonconformity::Nonconformity;
+        use prom_core::pvalue::{p_value_for_label, ScoredSample};
+        let recs = records();
+        let cp = NaiveCp::new(&recs, 0.1);
+        let samples: Vec<ScoredSample> = recs
+            .iter()
+            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
+            .collect();
+        for conf in [0.5, 0.62, 0.7, 0.85, 0.99] {
+            let probs = [conf, 1.0 - conf];
+            let predicted = prom_ml::matrix::argmax(&probs);
+            let reference = p_value_for_label(&samples, predicted, Lac.score(&probs, predicted));
+            assert_eq!(cp.credibility(&probs), reference, "conf {conf}");
+        }
     }
 
     #[test]

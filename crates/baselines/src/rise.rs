@@ -6,21 +6,22 @@
 //! on those two scores to decide whether a prediction should be trusted.
 //! The paper notes RISE "struggles with uneven data or tasks with many
 //! labels"; the trained decision boundary inherits whatever bias the
-//! validation data has.
+//! validation data has. Score features come from the pre-sorted
+//! [`ScoreTable`], one binary search per candidate label.
 
 use prom_core::calibration::CalibrationRecord;
+use prom_core::detector::{DriftDetector, Judgement};
 use prom_core::nonconformity::{Lac, Nonconformity};
-use prom_core::pvalue::{p_values, ScoredSample};
+use prom_core::scoring::ScoreTable;
 use prom_ml::data::Dataset;
 use prom_ml::svm::{LinearSvm, SvmConfig};
 use prom_ml::traits::Classifier;
 
 use crate::tesseract::LabeledOutcome;
-use crate::DriftDetector;
 
 /// The RISE-style detector.
 pub struct Rise {
-    samples: Vec<ScoredSample>,
+    table: ScoreTable,
     svm: LinearSvm,
     epsilon: f64,
 }
@@ -34,27 +35,20 @@ impl Rise {
     ///
     /// Panics on empty calibration/validation data or if the validation
     /// set has only one outcome class.
-    pub fn fit(
-        records: &[CalibrationRecord],
-        validation: &[LabeledOutcome],
-        epsilon: f64,
-    ) -> Self {
+    pub fn fit(records: &[CalibrationRecord], validation: &[LabeledOutcome], epsilon: f64) -> Self {
         assert!(!records.is_empty(), "empty calibration set");
         assert!(!validation.is_empty(), "empty validation set");
-        let samples: Vec<ScoredSample> = records
-            .iter()
-            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
-            .collect();
+        let table = ScoreTable::from_records(records, &Lac, records[0].probs.len());
 
         let mut x = Vec::with_capacity(validation.len());
         let mut y = Vec::with_capacity(validation.len());
         for v in validation {
-            x.push(score_features(&samples, &v.probs, epsilon));
+            x.push(score_features(&table, &v.probs, epsilon));
             // Class 1 = "should reject" (the model was wrong).
             y.push(usize::from(!v.correct));
         }
         assert!(
-            y.iter().any(|&c| c == 0) && y.iter().any(|&c| c == 1),
+            y.contains(&0) && y.contains(&1),
             "validation needs both correct and incorrect outcomes"
         );
         // Mispredictions are the minority class on in-distribution
@@ -78,16 +72,17 @@ impl Rise {
             }
         }
         let svm = LinearSvm::fit(&Dataset::new(x, y), SvmConfig::default());
-        Self { samples, svm, epsilon }
+        Self { table, svm, epsilon }
     }
 }
 
-/// The 2-D score vector RISE feeds its SVM: credibility (p-value of the
-/// predicted label) and confidence (1 - the runner-up p-value).
-fn score_features(samples: &[ScoredSample], probs: &[f64], epsilon: f64) -> Vec<f64> {
+/// The score vector RISE feeds its SVM: credibility (p-value of the
+/// predicted label), confidence (1 - the runner-up p-value), and the
+/// prediction-set size as an auxiliary signal.
+fn score_features(table: &ScoreTable, probs: &[f64], epsilon: f64) -> Vec<f64> {
     let predicted = prom_ml::matrix::argmax(probs);
     let test_scores: Vec<f64> = (0..probs.len()).map(|y| Lac.score(probs, y)).collect();
-    let ps = p_values(samples, &test_scores);
+    let ps = table.p_values(&test_scores);
     let credibility = ps[predicted];
     let runner_up = ps
         .iter()
@@ -96,7 +91,6 @@ fn score_features(samples: &[ScoredSample], probs: &[f64], epsilon: f64) -> Vec<
         .map(|(_, &p)| p)
         .fold(0.0f64, f64::max);
     let confidence = 1.0 - runner_up;
-    // Include the prediction-set size as an auxiliary signal.
     let set_size = ps.iter().filter(|&&p| p > epsilon).count() as f64;
     vec![credibility, confidence, set_size]
 }
@@ -106,9 +100,9 @@ impl DriftDetector for Rise {
         "RISE"
     }
 
-    fn rejects(&self, _embedding: &[f64], probs: &[f64]) -> bool {
-        let features = score_features(&self.samples, probs, self.epsilon);
-        self.svm.predict(&features) == 1
+    fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+        let features = score_features(&self.table, outputs, self.epsilon);
+        Judgement::single(self.svm.predict(&features) == 1)
     }
 }
 
@@ -148,9 +142,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "both correct and incorrect")]
     fn one_sided_validation_panics() {
-        let one_sided: Vec<LabeledOutcome> = (0..10)
-            .map(|_| LabeledOutcome { probs: vec![0.9, 0.1], correct: true })
-            .collect();
+        let one_sided: Vec<LabeledOutcome> =
+            (0..10).map(|_| LabeledOutcome { probs: vec![0.9, 0.1], correct: true }).collect();
         let _ = Rise::fit(&records(), &one_sided, 0.1);
     }
 }

@@ -4,14 +4,14 @@
 //! Like naive CP it uses the full calibration set and one nonconformity
 //! function, but rejection thresholds are **per class** and tuned on a
 //! validation split with known prediction correctness, maximizing the F1
-//! score of misprediction detection.
+//! score of misprediction detection. P-values come from the pre-sorted
+//! [`ScoreTable`], both during threshold tuning and at deployment.
 
 use prom_core::calibration::CalibrationRecord;
-use prom_core::nonconformity::{Lac, Nonconformity};
-use prom_core::pvalue::{p_value_for_label, ScoredSample};
+use prom_core::detector::{DriftDetector, Judgement};
+use prom_core::nonconformity::Lac;
+use prom_core::scoring::ScoreTable;
 use prom_ml::metrics::BinaryConfusion;
-
-use crate::DriftDetector;
 
 /// A validation observation: the model's probability vector and whether its
 /// prediction was correct.
@@ -25,7 +25,7 @@ pub struct LabeledOutcome {
 
 /// The TESSERACT-style detector.
 pub struct Tesseract {
-    samples: Vec<ScoredSample>,
+    table: ScoreTable,
     /// Per-class p-value thresholds.
     thresholds: Vec<f64>,
 }
@@ -44,18 +44,14 @@ impl Tesseract {
     ) -> Self {
         assert!(!records.is_empty(), "empty calibration set");
         assert!(!validation.is_empty(), "empty validation set");
-        let samples: Vec<ScoredSample> = records
-            .iter()
-            .map(|r| ScoredSample { label: r.label, adjusted_score: Lac.score(&r.probs, r.label) })
-            .collect();
+        let table = ScoreTable::from_records(records, &Lac, n_classes);
 
         // Precompute validation p-values once.
         let val: Vec<(usize, f64, bool)> = validation
             .iter()
             .map(|v| {
                 let predicted = prom_ml::matrix::argmax(&v.probs);
-                let p =
-                    p_value_for_label(&samples, predicted, Lac.score(&v.probs, predicted));
+                let p = crate::lac_credibility(&table, &v.probs, predicted);
                 (predicted, p, v.correct)
             })
             .collect();
@@ -83,7 +79,7 @@ impl Tesseract {
             }
             *threshold = best.0;
         }
-        Self { samples, thresholds }
+        Self { table, thresholds }
     }
 
     /// The tuned per-class thresholds.
@@ -97,10 +93,10 @@ impl DriftDetector for Tesseract {
         "TESSERACT"
     }
 
-    fn rejects(&self, _embedding: &[f64], probs: &[f64]) -> bool {
-        let predicted = prom_ml::matrix::argmax(probs);
-        let p = p_value_for_label(&self.samples, predicted, Lac.score(probs, predicted));
-        p < self.thresholds.get(predicted).copied().unwrap_or(0.1)
+    fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+        let predicted = prom_ml::matrix::argmax(outputs);
+        let p = crate::lac_credibility(&self.table, outputs, predicted);
+        Judgement::single(p < self.thresholds.get(predicted).copied().unwrap_or(0.1))
     }
 }
 

@@ -68,10 +68,7 @@ fn main() {
     for r in &results {
         println!("{} / {} (relabeled {})", r.case_name, r.model_name, r.n_relabeled);
         println!("  native        {}", perf_or_acc(&r.deploy.perf, r.deploy.accuracy));
-        println!(
-            "  prom+retrain  {}",
-            perf_or_acc(&r.prom_deploy.perf, r.prom_deploy.accuracy)
-        );
+        println!("  prom+retrain  {}", perf_or_acc(&r.prom_deploy.perf, r.prom_deploy.accuracy));
     }
 
     header("Figure 12: training vs incremental-learning overhead (wall-clock)");
@@ -170,8 +167,7 @@ fn main() {
     let baselines = run_baseline_suite(scale);
     let mut baseline_json = Vec::new();
     for c in &baselines {
-        let line: Vec<String> =
-            c.methods.iter().map(|(n, s)| format!("{n} {:.3}", s.f1)).collect();
+        let line: Vec<String> = c.methods.iter().map(|(n, s)| format!("{n} {:.3}", s.f1)).collect();
         println!("{} / {}: {}", c.case_name, c.model_name, line.join(" | "));
         baseline_json.push(json!({
             "case": c.case_name,
@@ -187,8 +183,7 @@ fn main() {
     for case in CaseId::CLASSIFICATION {
         let model = models_for(case)[0];
         let rows = run_ncm_ablation(&scale.scenario(case, model));
-        let line: Vec<String> =
-            rows.iter().map(|(n, s)| format!("{n} {:.3}", s.f1)).collect();
+        let line: Vec<String> = rows.iter().map(|(n, s)| format!("{n} {:.3}", s.f1)).collect();
         println!("{} ({}): {}", case.name(), model.paper_name, line.join(" | "));
         ablation_json.push(json!({
             "case": case.name(),
@@ -204,7 +199,10 @@ fn main() {
     let fitted = fit_scenario(&scale.scenario(CaseId::Vectorization, model));
     let sweep = sweep_epsilon(&fitted, &[0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8]);
     for (eps, d) in &sweep {
-        println!("eps {eps:.2}: precision {:.3} recall {:.3} F1 {:.3}", d.precision, d.recall, d.f1);
+        println!(
+            "eps {eps:.2}: precision {:.3} recall {:.3} F1 {:.3}",
+            d.precision, d.recall, d.f1
+        );
     }
     doc.insert(
         "fig13a_epsilon".into(),

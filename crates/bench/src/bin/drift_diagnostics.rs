@@ -30,8 +30,7 @@ fn main() {
     for case in CaseId::CLASSIFICATION {
         for model in models_for(case) {
             let fitted = fit_scenario(&scale.scenario(case, model));
-            let cal: Vec<Vec<f64>> =
-                fitted.records.iter().map(|r| r.embedding.clone()).collect();
+            let cal: Vec<Vec<f64>> = fitted.records.iter().map(|r| r.embedding.clone()).collect();
             let dist_of = |samples: &[CodeSample]| -> Vec<f64> {
                 samples.iter().map(|s| nearest(&cal, &fitted.model.embed(s))).collect()
             };

@@ -26,9 +26,7 @@ fn main() {
             let f1s: Vec<f64> = comparisons
                 .iter()
                 .filter(|c| &c.case_name == case)
-                .filter_map(|c| {
-                    c.methods.iter().find(|(n, _)| n == method).map(|(_, s)| s.f1)
-                })
+                .filter_map(|c| c.methods.iter().find(|(n, _)| n == method).map(|(_, s)| s.f1))
                 .collect();
             if f1s.is_empty() {
                 row.push("n/a".to_string());

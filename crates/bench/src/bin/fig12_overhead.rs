@@ -38,10 +38,7 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["case", "initial training", "incremental", "ratio"], &rows)
-    );
+    print!("{}", render_table(&["case", "initial training", "incremental", "ratio"], &rows));
     println!();
     println!("(paper: initial training hours; incremental learning < 1 hour)");
 }

@@ -14,7 +14,11 @@ fn main() {
             current_case = r.case_name;
             println!("\n--- {current_case} ---");
         }
-        println!("{:<16} design     {}", r.model_name, perf_or_acc(&r.design.perf, r.design.accuracy));
+        println!(
+            "{:<16} design     {}",
+            r.model_name,
+            perf_or_acc(&r.design.perf, r.design.accuracy)
+        );
         println!("{:<16} deployment {}", "", perf_or_acc(&r.deploy.perf, r.deploy.accuracy));
     }
     println!();

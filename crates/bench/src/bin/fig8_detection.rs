@@ -25,10 +25,7 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["case", "model", "acc", "prec", "recall", "F1", "FPR"], &rows)
-    );
+    print!("{}", render_table(&["case", "model", "acc", "prec", "recall", "F1", "FPR"], &rows));
 
     println!("\n--- Fig. 8(e): C5 DNN code generation (Tlp cost model) ---");
     let codegen = run_codegen_suite(scale);

@@ -11,7 +11,8 @@ fn main() {
     header("Table 3: C5 DNN code generation (estimation accuracy per BERT variant)");
     let result = run_codegen_suite(scale);
 
-    let mut native = vec!["native deployment".to_string(), format!("{:.3}", result.base_design_accuracy)];
+    let mut native =
+        vec!["native deployment".to_string(), format!("{:.3}", result.base_design_accuracy)];
     let mut assisted = vec!["Prom-assisted".to_string(), "/".to_string()];
     let mut headers = vec!["setting".to_string(), "BERT-base".to_string()];
     for v in &result.variants {
@@ -25,7 +26,10 @@ fn main() {
     for v in &result.variants {
         println!(
             "{}: detected {} drifting estimates (recall {:.2}, precision {:.2}), profiled {}",
-            v.variant, v.detection.n_mispredictions, v.detection.recall, v.detection.precision,
+            v.variant,
+            v.detection.n_mispredictions,
+            v.detection.recall,
+            v.detection.precision,
             v.n_profiled
         );
     }

@@ -12,40 +12,89 @@
 use prom_eval::report::DistStats;
 use prom_eval::suite::SuiteScale;
 
-/// Parses the common CLI flags into a [`SuiteScale`].
-pub fn scale_from_args() -> SuiteScale {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = SuiteScale::default();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => scale = SuiteScale::quick(),
-            "--scale" => {
-                i += 1;
-                scale.data = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--scale needs a float"));
-            }
-            "--epochs" => {
-                i += 1;
-                scale.epochs = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--epochs needs a float"));
-            }
+/// The usage string every binary prints on a flag error.
+pub const USAGE: &str = "usage: <binary> [--quick] [--scale <f64>] [--epochs <f64>] [--seed <u64>]
+
+  --quick          smoke-run scale (small datasets, few epochs)
+  --scale <f64>    dataset-size multiplier (default 1.0)
+  --epochs <f64>   training-epoch multiplier (default 1.0)
+  --seed <u64>     base seed (default 0)";
+
+/// Parses the common CLI flags (exclusive of the binary name) into a
+/// [`SuiteScale`].
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending flag or value;
+/// callers append [`USAGE`].
+pub fn parse_scale_args(args: &[String]) -> Result<SuiteScale, String> {
+    // Explicit value flags override `--quick` regardless of flag order:
+    // `--scale 2 --quick` and `--quick --scale 2` both run at data scale 2.
+    let mut quick = false;
+    let mut data: Option<f64> = None;
+    let mut epochs: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--scale" => data = Some(parse_finite(iter.next(), "--scale")?),
+            "--epochs" => epochs = Some(parse_finite(iter.next(), "--epochs")?),
             "--seed" => {
-                i += 1;
-                scale.seed = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+                seed = Some(parse_value(iter.next(), "--seed", "an unsigned integer")?);
             }
-            other => panic!("unknown flag {other}; known: --quick --scale --epochs --seed"),
+            other => {
+                return Err(format!("unknown flag `{other}`"));
+            }
         }
-        i += 1;
     }
-    scale
+    let mut scale = if quick { SuiteScale::quick() } else { SuiteScale::default() };
+    if let Some(v) = data {
+        scale.data = v;
+    }
+    if let Some(v) = epochs {
+        scale.epochs = v;
+    }
+    if let Some(v) = seed {
+        scale.seed = v;
+    }
+    Ok(scale)
+}
+
+fn parse_value<T: std::str::FromStr>(
+    value: Option<&String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs {expected}"))?;
+    raw.parse().map_err(|_| format!("{flag} needs {expected}, got `{raw}`"))
+}
+
+/// Like [`parse_value`] for the multiplier flags, additionally rejecting
+/// the non-finite values `f64::from_str` accepts (`inf` would saturate the
+/// scaled sample counts to `usize::MAX` downstream).
+fn parse_finite(value: Option<&String>, flag: &str) -> Result<f64, String> {
+    let parsed: f64 = parse_value(value, flag, "a finite float")?;
+    if parsed.is_finite() {
+        Ok(parsed)
+    } else {
+        Err(format!("{flag} needs a finite float, got `{parsed}`"))
+    }
+}
+
+/// Parses [`std::env::args`] into a [`SuiteScale`], printing the error and
+/// usage and exiting with status 2 on a bad flag.
+pub fn scale_from_args() -> SuiteScale {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_scale_args(&args) {
+        Ok(scale) => scale,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Prints a section header in the style used by every binary.
@@ -68,5 +117,86 @@ pub fn perf_or_acc(perf: &Option<DistStats>, accuracy: f64) -> String {
     match perf {
         Some(d) => violin(d),
         None => format!("accuracy {:.3}", accuracy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_flags_is_default_scale() {
+        let scale = parse_scale_args(&[]).unwrap();
+        assert_eq!(scale.data, 1.0);
+        assert_eq!(scale.epochs, 1.0);
+        assert_eq!(scale.seed, 0);
+    }
+
+    #[test]
+    fn quick_flag_switches_to_smoke_scale() {
+        let scale = parse_scale_args(&args(&["--quick"])).unwrap();
+        assert_eq!(scale.data, SuiteScale::quick().data);
+        assert_eq!(scale.epochs, SuiteScale::quick().epochs);
+    }
+
+    #[test]
+    fn quick_preserves_explicit_value_flags_in_either_order() {
+        for order in [["--seed", "7", "--quick"], ["--quick", "--seed", "7"]] {
+            let scale = parse_scale_args(&args(&order)).unwrap();
+            assert_eq!(scale.seed, 7, "order {order:?}");
+            assert_eq!(scale.data, SuiteScale::quick().data, "order {order:?}");
+        }
+        for order in [["--scale", "2", "--quick"], ["--quick", "--scale", "2"]] {
+            let scale = parse_scale_args(&args(&order)).unwrap();
+            assert_eq!(scale.data, 2.0, "order {order:?}");
+            assert_eq!(scale.epochs, SuiteScale::quick().epochs, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn value_flags_parse_and_combine() {
+        let scale = parse_scale_args(&args(&["--scale", "0.5", "--epochs", "0.25", "--seed", "7"]))
+            .unwrap();
+        assert_eq!(scale.data, 0.5);
+        assert_eq!(scale.epochs, 0.25);
+        assert_eq!(scale.seed, 7);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_naming_the_flag() {
+        let err = parse_scale_args(&args(&["--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "error should name the flag: {err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_scale_args(&args(&["--scale"])).unwrap_err();
+        assert!(err.contains("--scale"), "error should name the flag: {err}");
+    }
+
+    #[test]
+    fn non_numeric_value_is_an_error_showing_the_value() {
+        let err = parse_scale_args(&args(&["--seed", "many"])).unwrap_err();
+        assert!(err.contains("many"), "error should show the bad value: {err}");
+        let err = parse_scale_args(&args(&["--epochs", "fast"])).unwrap_err();
+        assert!(err.contains("fast"), "error should show the bad value: {err}");
+    }
+
+    #[test]
+    fn negative_seed_rejected_floats_accepted() {
+        assert!(parse_scale_args(&args(&["--seed", "-1"])).is_err());
+        assert!(parse_scale_args(&args(&["--scale", "-0.5"])).is_ok()); // clamped downstream
+    }
+
+    #[test]
+    fn non_finite_multipliers_are_errors() {
+        for bad in ["inf", "-inf", "NaN"] {
+            assert!(parse_scale_args(&args(&["--scale", bad])).is_err(), "--scale {bad}");
+            assert!(parse_scale_args(&args(&["--epochs", bad])).is_err(), "--epochs {bad}");
+        }
     }
 }

@@ -55,8 +55,7 @@ pub fn assess_initialization(
     let mut per_round = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let (cal_idx, val_idx) = split_indices(&mut rng, records.len(), holdout);
-        let cal: Vec<CalibrationRecord> =
-            cal_idx.iter().map(|&i| records[i].clone()).collect();
+        let cal: Vec<CalibrationRecord> = cal_idx.iter().map(|&i| records[i].clone()).collect();
         let prom = PromClassifier::new(cal, config.clone())?;
         let covered = val_idx
             .iter()
@@ -69,7 +68,12 @@ pub fn assess_initialization(
     }
     let coverage = per_round.iter().sum::<f64>() / per_round.len() as f64;
     let deviation = (coverage - (1.0 - config.epsilon)).abs();
-    Ok(CoverageReport { coverage, per_round, deviation, ok: deviation <= DEVIATION_ALERT_THRESHOLD })
+    Ok(CoverageReport {
+        coverage,
+        per_round,
+        deviation,
+        ok: deviation <= DEVIATION_ALERT_THRESHOLD,
+    })
 }
 
 #[cfg(test)]
@@ -86,11 +90,8 @@ mod tests {
                 let jitter = ((i * 29 % 97) as f64 / 97.0 - 0.5) * 0.6;
                 // Mild probability spread so nonconformity scores vary.
                 let conf = 0.85 + ((i * 13 % 10) as f64) * 0.012;
-                let probs = if label == 0 {
-                    vec![conf, 1.0 - conf]
-                } else {
-                    vec![1.0 - conf, conf]
-                };
+                let probs =
+                    if label == 0 { vec![conf, 1.0 - conf] } else { vec![1.0 - conf, conf] };
                 CalibrationRecord::new(vec![base + jitter, base - jitter], probs, label)
             })
             .collect()

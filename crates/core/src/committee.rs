@@ -76,7 +76,7 @@ pub fn confidence_score(prediction_set_size: usize, c: f64) -> f64 {
 }
 
 /// One nonconformity function's verdict on a prediction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExpertVerdict {
     /// Name of the nonconformity function.
     pub expert: String,
@@ -91,7 +91,7 @@ pub struct ExpertVerdict {
 }
 
 /// The committee's aggregate judgement for one test input.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PromJudgement {
     /// `true` if the committee accepts the underlying model's prediction.
     pub accepted: bool,
@@ -125,6 +125,33 @@ impl PromJudgement {
 /// flagged as drifting").
 pub fn expert_rejects(credibility: f64, confidence: f64, config: &PromConfig) -> bool {
     credibility < config.epsilon && confidence < config.confidence_threshold
+}
+
+/// Builds one expert's verdict from its per-label p-values — the single
+/// scoring-to-vote step shared by the classifier, the regressor, and
+/// threshold sweeps: credibility is the p-value of the predicted label, the
+/// prediction set is every label with p-value above ε, and confidence is
+/// the Gaussian of the set size.
+///
+/// # Panics
+///
+/// Panics if `predicted` is out of range for `p_values`.
+pub fn verdict_from_p_values(
+    expert_name: &str,
+    p_values: &[f64],
+    predicted: usize,
+    config: &PromConfig,
+) -> ExpertVerdict {
+    let credibility = p_values[predicted];
+    let set_size = p_values.iter().filter(|&&p| p > config.epsilon).count();
+    let confidence = confidence_score(set_size, config.gaussian_c);
+    ExpertVerdict {
+        expert: expert_name.to_string(),
+        credibility,
+        confidence,
+        prediction_set_size: set_size,
+        reject: expert_rejects(credibility, confidence, config),
+    }
 }
 
 /// Majority vote over expert verdicts; ties reject (conservative).

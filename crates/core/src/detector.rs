@@ -1,0 +1,182 @@
+//! The first-class deployment interface: [`DriftDetector`], the trait every
+//! drift/misprediction detector in the workspace implements.
+//!
+//! The Prom paper's evaluation (Figs. 10 and 12) drives Prom itself and the
+//! prior-work detectors (naive CP, TESSERACT-style, RISE-style) through one
+//! common deployment loop: a stream of model outputs arrives, each must be
+//! judged accept/reject, and the judging overhead must stay negligible next
+//! to the model's own inference. This module is that loop's contract:
+//!
+//! * [`Sample`] — one deployment-time observation (the underlying model's
+//!   embedding plus its output vector);
+//! * [`Judgement`] — a detector's decision, comparable across detectors;
+//! * [`DriftDetector`] — per-sample [`DriftDetector::judge_one`] plus a
+//!   batched [`DriftDetector::judge_batch`] entry point that detectors
+//!   override to amortize per-call work (buffer reuse, shared selection)
+//!   across a window of samples.
+//!
+//! `prom_core`'s own [`crate::predictor::PromClassifier`] and
+//! [`crate::regression::PromRegressor`] implement the trait, as do the
+//! `prom-baselines` detectors; the `prom-eval` harness consumes detectors
+//! only as `&dyn DriftDetector`.
+
+/// One deployment-time observation handed to a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The underlying model's embedding of the input.
+    pub embedding: Vec<f64>,
+    /// The model's output vector: the class-probability vector for
+    /// classifiers, or a single-element slice holding the scalar prediction
+    /// for regressors.
+    pub outputs: Vec<f64>,
+}
+
+impl Sample {
+    /// Creates a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector is empty.
+    pub fn new(embedding: Vec<f64>, outputs: Vec<f64>) -> Self {
+        assert!(!embedding.is_empty(), "empty embedding");
+        assert!(!outputs.is_empty(), "empty model output");
+        Self { embedding, outputs }
+    }
+
+    /// A regression sample: the model's embedding and scalar prediction.
+    pub fn regression(embedding: Vec<f64>, prediction: f64) -> Self {
+        Self::new(embedding, vec![prediction])
+    }
+}
+
+/// A detector's decision on one sample, in a form comparable across
+/// detectors (Prom's committee and the single-function baselines alike).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Judgement {
+    /// `true` if the detector trusts the underlying model's prediction.
+    pub accepted: bool,
+    /// How many of the detector's experts voted to reject (0 or 1 for
+    /// single-function detectors).
+    pub reject_votes: usize,
+    /// Committee size (1 for single-function detectors).
+    pub n_experts: usize,
+}
+
+impl Judgement {
+    /// The judgement of a single-function detector.
+    pub fn single(rejects: bool) -> Self {
+        Self { accepted: !rejects, reject_votes: usize::from(rejects), n_experts: 1 }
+    }
+}
+
+impl From<&crate::committee::PromJudgement> for Judgement {
+    /// Flattens Prom's rich committee judgement to the detector-agnostic
+    /// form (dropping the per-expert verdicts).
+    fn from(j: &crate::committee::PromJudgement) -> Self {
+        Self { accepted: j.accepted, reject_votes: j.reject_votes, n_experts: j.verdicts.len() }
+    }
+}
+
+impl From<crate::committee::PromJudgement> for Judgement {
+    fn from(j: crate::committee::PromJudgement) -> Self {
+        Self::from(&j)
+    }
+}
+
+/// A deployment-time drift/misprediction detector: decides whether to
+/// trust an underlying model's prediction given the model's embedding and
+/// output vector for the input.
+pub trait DriftDetector: Send + Sync {
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Judges one prediction. `outputs` is the probability vector for
+    /// classification detectors and a one-element prediction slice for
+    /// regression detectors.
+    fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement;
+
+    /// Judges a window of predictions.
+    ///
+    /// Equivalent to calling [`DriftDetector::judge_one`] per sample (the
+    /// default does exactly that); implementations override it to amortize
+    /// per-call work — scratch-buffer reuse, shared calibration lookups —
+    /// across the batch. Overrides must return **identical** judgements to
+    /// the looped path.
+    fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
+        samples.iter().map(|s| self.judge_one(&s.embedding, &s.outputs)).collect()
+    }
+
+    /// `true` if the detector would reject (flag) this prediction.
+    fn rejects(&self, embedding: &[f64], outputs: &[f64]) -> bool {
+        !self.judge_one(embedding, outputs).accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A detector that rejects non-positive first outputs.
+    struct SignDetector;
+
+    impl DriftDetector for SignDetector {
+        fn name(&self) -> &'static str {
+            "sign"
+        }
+
+        fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+            Judgement::single(outputs[0] <= 0.0)
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_looped_single_calls() {
+        let det = SignDetector;
+        let samples: Vec<Sample> =
+            (0..10).map(|i| Sample::new(vec![i as f64], vec![i as f64 - 5.0])).collect();
+        let batched = det.judge_batch(&samples);
+        let looped: Vec<Judgement> =
+            samples.iter().map(|s| det.judge_one(&s.embedding, &s.outputs)).collect();
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn rejects_inverts_acceptance() {
+        let det = SignDetector;
+        assert!(det.rejects(&[0.0], &[-1.0]));
+        assert!(!det.rejects(&[0.0], &[1.0]));
+    }
+
+    #[test]
+    fn single_judgement_shape() {
+        assert_eq!(
+            Judgement::single(true),
+            Judgement { accepted: false, reject_votes: 1, n_experts: 1 }
+        );
+        assert_eq!(
+            Judgement::single(false),
+            Judgement { accepted: true, reject_votes: 0, n_experts: 1 }
+        );
+    }
+
+    #[test]
+    fn regression_sample_wraps_prediction() {
+        let s = Sample::regression(vec![1.0, 2.0], 0.75);
+        assert_eq!(s.outputs, vec![0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty model output")]
+    fn empty_outputs_panic() {
+        let _ = Sample::new(vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn detectors_are_object_safe() {
+        let det = SignDetector;
+        let dyn_det: &dyn DriftDetector = &det;
+        let js = dyn_det.judge_batch(&[Sample::new(vec![0.0], vec![1.0])]);
+        assert_eq!(js.len(), 1);
+        assert!(js[0].accepted);
+    }
+}

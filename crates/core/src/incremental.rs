@@ -31,7 +31,8 @@ impl RelabelBudget {
         if flagged == 0 {
             return 0;
         }
-        ((flagged as f64 * self.fraction).ceil() as usize).clamp(self.min_count.min(flagged), flagged)
+        ((flagged as f64 * self.fraction).ceil() as usize)
+            .clamp(self.min_count.min(flagged), flagged)
     }
 }
 
@@ -86,13 +87,12 @@ mod tests {
     #[test]
     fn selects_lowest_credibility_rejects_first() {
         let js = vec![
-            judgement(true, 0.9),   // accepted: never selected
+            judgement(true, 0.9), // accepted: never selected
             judgement(false, 0.05),
             judgement(false, 0.01),
             judgement(false, 0.20),
         ];
-        let picked =
-            select_for_relabeling(&js, RelabelBudget { fraction: 0.5, min_count: 1 });
+        let picked = select_for_relabeling(&js, RelabelBudget { fraction: 0.5, min_count: 1 });
         assert_eq!(picked, vec![2, 1], "must pick the two most drifted rejects");
     }
 

@@ -67,15 +67,18 @@
 pub mod assessment;
 pub mod calibration;
 pub mod committee;
+pub mod detector;
 pub mod incremental;
 pub mod nonconformity;
 pub mod predictor;
 pub mod pvalue;
 pub mod regression;
+pub mod scoring;
 pub mod tuning;
 
 pub use calibration::CalibrationRecord;
 pub use committee::{PromConfig, PromJudgement};
+pub use detector::{DriftDetector, Judgement, Sample};
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;
 

@@ -53,11 +53,8 @@ impl Nonconformity for TopK {
         let p = probs[label];
         // Rank = 1 + number of classes with strictly higher probability;
         // ties broken by index so the score is deterministic.
-        let rank = 1 + probs
-            .iter()
-            .enumerate()
-            .filter(|&(i, &q)| q > p || (q == p && i < label))
-            .count();
+        let rank =
+            1 + probs.iter().enumerate().filter(|&(i, &q)| q > p || (q == p && i < label)).count();
         rank as f64
     }
 }

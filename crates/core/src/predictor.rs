@@ -3,30 +3,30 @@
 
 use prom_ml::traits::Classifier;
 
-use crate::calibration::{select_weighted_subset, CalibrationRecord, SelectionConfig};
+use crate::calibration::{CalibrationRecord, SelectionConfig};
 use crate::committee::{
-    committee_accepts, confidence_score, expert_rejects, ExpertVerdict, PromConfig, PromJudgement,
+    committee_accepts, verdict_from_p_values, ExpertVerdict, PromConfig, PromJudgement,
 };
+use crate::detector::{DriftDetector, Judgement, Sample};
 use crate::nonconformity::{default_committee, Nonconformity};
-use crate::pvalue::{p_values, ScoredSample};
+use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
 
 /// Drift detector for a deployed probabilistic classifier.
 ///
 /// Construct once at design time from a calibration set (held out from the
 /// model's training data), then call [`PromClassifier::judge`] on every
-/// deployment-time prediction. The wrapper never touches the underlying
-/// model: it only consumes embeddings and probability vectors, mirroring the
-/// paper's `pybind11` integration note.
+/// deployment-time prediction — or [`PromClassifier::judge_batch`] on a
+/// window of predictions, which reuses one scoring scratch buffer across
+/// the whole window. The wrapper never touches the underlying model: it
+/// only consumes embeddings and probability vectors, mirroring the paper's
+/// `pybind11` integration note.
 pub struct PromClassifier {
     records: Vec<CalibrationRecord>,
-    /// Calibration embeddings, kept contiguous for the per-judgement
-    /// nearest-subset search.
-    embeddings: Vec<Vec<f64>>,
     experts: Vec<Box<dyn Nonconformity>>,
-    /// `cal_scores[e][i]`: expert `e`'s nonconformity of calibration record
-    /// `i` at its true label, precomputed offline (Sec. 4.1.1).
-    cal_scores: Vec<Vec<f64>>,
+    /// The shared scoring kernel: calibration embeddings, labels, and the
+    /// per-expert score tables precomputed offline (Sec. 4.1.1).
+    kernel: ScoringKernel,
     config: PromConfig,
     n_classes: usize,
 }
@@ -87,8 +87,18 @@ impl PromClassifier {
             .iter()
             .map(|e| records.iter().map(|r| e.score(&r.probs, r.label)).collect())
             .collect();
-        let embeddings = records.iter().map(|r| r.embedding.clone()).collect();
-        Ok(Self { records, embeddings, experts, cal_scores, config, n_classes })
+        let kernel = ScoringKernel::new(
+            records.iter().map(|r| r.embedding.clone()).collect(),
+            records.iter().map(|r| r.label).collect(),
+            n_classes,
+            cal_scores,
+            SelectionConfig {
+                fraction: config.selection_fraction,
+                min_full_size: config.min_full_size,
+                tau: config.tau,
+            },
+        );
+        Ok(Self { records, experts, kernel, config, n_classes })
     }
 
     /// Convenience constructor: runs `model` over the calibration inputs to
@@ -129,24 +139,61 @@ impl PromClassifier {
     /// parameters (`tau`, fraction, min size) still come from the stored
     /// configuration, so grid search over ε / confidence thresholds does not
     /// redo the calibration work.
-    pub fn judge_with(&self, embedding: &[f64], probs: &[f64], config: &PromConfig) -> PromJudgement {
+    pub fn judge_with(
+        &self,
+        embedding: &[f64],
+        probs: &[f64],
+        config: &PromConfig,
+    ) -> PromJudgement {
+        let mut scratch = JudgeScratch::new();
+        self.judge_scratch(embedding, probs, config, &mut scratch)
+    }
+
+    /// Judges a window of predictions, reusing one scratch buffer for the
+    /// whole window — the batched hot path behind
+    /// [`DriftDetector::judge_batch`]. Returns the same judgements as
+    /// calling [`PromClassifier::judge`] per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a class-count or embedding-dimension mismatch in any
+    /// sample.
+    pub fn judge_batch(&self, samples: &[Sample]) -> Vec<PromJudgement> {
+        self.judge_batch_with(samples, &self.config)
+    }
+
+    /// Like [`PromClassifier::judge_batch`], but with threshold parameters
+    /// from `config` (see [`PromClassifier::judge_with`]) — the batched
+    /// form behind ε/confidence sweeps.
+    pub fn judge_batch_with(&self, samples: &[Sample], config: &PromConfig) -> Vec<PromJudgement> {
+        let mut scratch = JudgeScratch::new();
+        samples
+            .iter()
+            .map(|s| self.judge_scratch(&s.embedding, &s.outputs, config, &mut scratch))
+            .collect()
+    }
+
+    /// The single-sample kernel run both paths share: one Eq. 1 selection,
+    /// one p-value pass per expert, one committee vote.
+    fn judge_scratch(
+        &self,
+        embedding: &[f64],
+        probs: &[f64],
+        config: &PromConfig,
+        scratch: &mut JudgeScratch,
+    ) -> PromJudgement {
+        assert_eq!(probs.len(), self.n_classes, "class-count mismatch");
         let predicted = prom_ml::matrix::argmax(probs);
-        let ps_per_expert = self.expert_p_values(embedding, probs);
+        self.kernel.select(embedding, scratch);
         let verdicts: Vec<ExpertVerdict> = self
             .experts
             .iter()
-            .zip(ps_per_expert.iter())
-            .map(|(expert, ps)| {
-                let credibility = ps[predicted];
-                let set_size = ps.iter().filter(|&&p| p > config.epsilon).count();
-                let confidence = confidence_score(set_size, config.gaussian_c);
-                ExpertVerdict {
-                    expert: expert.name().to_string(),
-                    credibility,
-                    confidence,
-                    prediction_set_size: set_size,
-                    reject: expert_rejects(credibility, confidence, config),
-                }
+            .enumerate()
+            .map(|(e, expert)| {
+                scratch.test_scores.clear();
+                scratch.test_scores.extend((0..self.n_classes).map(|y| expert.score(probs, y)));
+                self.kernel.p_values_into(e, scratch);
+                verdict_from_p_values(expert.name(), &scratch.p_values, predicted, config)
             })
             .collect();
         let (accepted, reject_votes) = committee_accepts(&verdicts);
@@ -165,50 +212,53 @@ impl PromClassifier {
     /// calibration records or `embedding` has the wrong dimension.
     pub fn expert_p_values(&self, embedding: &[f64], probs: &[f64]) -> Vec<Vec<f64>> {
         assert_eq!(probs.len(), self.n_classes, "class-count mismatch");
-        let selection = SelectionConfig {
-            fraction: self.config.selection_fraction,
-            min_full_size: self.config.min_full_size,
-            tau: self.config.tau,
-        };
-        let selected = select_weighted_subset(&self.embeddings, embedding, &selection);
+        let mut scratch = JudgeScratch::new();
+        self.kernel.select(embedding, &mut scratch);
         self.experts
             .iter()
-            .zip(self.cal_scores.iter())
-            .map(|(expert, scores)| {
-                let samples: Vec<ScoredSample> = selected
-                    .iter()
-                    .map(|s| ScoredSample {
-                        label: self.records[s.index].label,
-                        adjusted_score: s.weight * scores[s.index],
-                    })
-                    .collect();
-                let test_scores: Vec<f64> =
-                    (0..self.n_classes).map(|y| expert.score(probs, y)).collect();
-                p_values(&samples, &test_scores)
+            .enumerate()
+            .map(|(e, expert)| {
+                scratch.test_scores.clear();
+                scratch.test_scores.extend((0..self.n_classes).map(|y| expert.score(probs, y)));
+                self.kernel.p_values_into(e, &mut scratch);
+                scratch.p_values.clone()
             })
             .collect()
+    }
+
+    /// Re-thresholds precomputed per-expert p-values (from
+    /// [`PromClassifier::expert_p_values`]) under `config`: the committee
+    /// vote without the conformal kernel, so ε/confidence sweeps pay the
+    /// distance and p-value work once per sample instead of once per grid
+    /// point. Returns the same judgement as
+    /// [`PromClassifier::judge_with`] on the sample the p-values came from.
+    pub fn judgement_from_p_values(
+        &self,
+        p_values: &[Vec<f64>],
+        predicted: usize,
+        config: &PromConfig,
+    ) -> PromJudgement {
+        assert_eq!(p_values.len(), self.experts.len(), "expert-count mismatch");
+        let verdicts: Vec<ExpertVerdict> = self
+            .experts
+            .iter()
+            .zip(p_values.iter())
+            .map(|(expert, ps)| verdict_from_p_values(expert.name(), ps, predicted, config))
+            .collect();
+        let (accepted, reject_votes) = committee_accepts(&verdicts);
+        PromJudgement { accepted, reject_votes, verdicts }
     }
 
     /// The prediction set (labels with p-value above ε) of the *first*
     /// expert — the set used for coverage assessment (Eq. 3).
     pub fn prediction_set(&self, embedding: &[f64], probs: &[f64]) -> Vec<usize> {
-        let selection = SelectionConfig {
-            fraction: self.config.selection_fraction,
-            min_full_size: self.config.min_full_size,
-            tau: self.config.tau,
-        };
-        let selected = select_weighted_subset(&self.embeddings, embedding, &selection);
+        let mut scratch = JudgeScratch::new();
+        self.kernel.select(embedding, &mut scratch);
         let expert = &self.experts[0];
-        let scores = &self.cal_scores[0];
-        let samples: Vec<ScoredSample> = selected
-            .iter()
-            .map(|s| ScoredSample {
-                label: self.records[s.index].label,
-                adjusted_score: s.weight * scores[s.index],
-            })
-            .collect();
-        let test_scores: Vec<f64> = (0..self.n_classes).map(|y| expert.score(probs, y)).collect();
-        p_values(&samples, &test_scores)
+        scratch.test_scores.extend((0..self.n_classes).map(|y| expert.score(probs, y)));
+        self.kernel.p_values_into(0, &mut scratch);
+        scratch
+            .p_values
             .iter()
             .enumerate()
             .filter(|&(_, &p)| p > self.config.epsilon)
@@ -252,6 +302,20 @@ impl PromClassifier {
     /// Names of the experts on the committee.
     pub fn expert_names(&self) -> Vec<&'static str> {
         self.experts.iter().map(|e| e.name()).collect()
+    }
+}
+
+impl DriftDetector for PromClassifier {
+    fn name(&self) -> &'static str {
+        "PROM"
+    }
+
+    fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement {
+        Judgement::from(self.judge(embedding, outputs))
+    }
+
+    fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
+        self.judge_batch(samples).into_iter().map(Judgement::from).collect()
     }
 }
 
@@ -315,6 +379,24 @@ mod tests {
         assert_eq!(j.verdicts.len(), 4);
         let names: Vec<&str> = j.verdicts.iter().map(|v| v.expert.as_str()).collect();
         assert_eq!(names, vec!["LAC", "Top-K", "APS", "RAPS"]);
+    }
+
+    #[test]
+    fn rethresholding_cached_p_values_matches_judge_with() {
+        let prom = PromClassifier::new(toy_records(60), PromConfig::default()).unwrap();
+        let cases = [(vec![0.1, -0.1], vec![0.85, 0.15]), (vec![500.0, -500.0], vec![0.51, 0.49])];
+        for (embedding, probs) in &cases {
+            let ps = prom.expert_p_values(embedding, probs);
+            let predicted = prom_ml::matrix::argmax(probs);
+            for eps in [0.02, 0.1, 0.3] {
+                let cfg = PromConfig { epsilon: eps, ..PromConfig::default() };
+                assert_eq!(
+                    prom.judgement_from_p_values(&ps, predicted, &cfg),
+                    prom.judge_with(embedding, probs, &cfg),
+                    "eps {eps}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -384,5 +466,44 @@ mod tests {
             PromClassifier::from_model(&Stub, &inputs, &labels, PromConfig::default()).unwrap();
         assert_eq!(prom.calibration_len(), 20);
         assert!(prom.judge(&[0.0], &[0.9, 0.1]).accepted);
+    }
+
+    #[test]
+    fn judge_batch_matches_looped_judge_exactly() {
+        // Cover both selection modes: small set (all kept, no sort) and a
+        // large set (nearest-fraction sort).
+        for n in [60, 400] {
+            let prom = PromClassifier::new(toy_records(n), PromConfig::default()).unwrap();
+            let samples: Vec<Sample> = (0..30)
+                .map(|i| {
+                    let x = (i as f64 * 0.7) - 5.0;
+                    let conf = 0.5 + 0.49 * ((i * 11 % 17) as f64 / 17.0);
+                    Sample::new(vec![x, -x], vec![conf, 1.0 - conf])
+                })
+                .collect();
+            let batched = prom.judge_batch(&samples);
+            for (s, b) in samples.iter().zip(batched.iter()) {
+                let single = prom.judge(&s.embedding, &s.outputs);
+                assert_eq!(single.accepted, b.accepted);
+                assert_eq!(single.reject_votes, b.reject_votes);
+                for (vs, vb) in single.verdicts.iter().zip(b.verdicts.iter()) {
+                    assert_eq!(vs.credibility.to_bits(), vb.credibility.to_bits());
+                    assert_eq!(vs.confidence.to_bits(), vb.confidence.to_bits());
+                    assert_eq!(vs.prediction_set_size, vb.prediction_set_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_judgement_mirrors_inherent_judge() {
+        let prom = PromClassifier::new(toy_records(50), PromConfig::default()).unwrap();
+        let det: &dyn DriftDetector = &prom;
+        assert_eq!(det.name(), "PROM");
+        let rich = prom.judge(&[0.2, -0.2], &[0.8, 0.2]);
+        let flat = det.judge_one(&[0.2, -0.2], &[0.8, 0.2]);
+        assert_eq!(flat.accepted, rich.accepted);
+        assert_eq!(flat.reject_votes, rich.reject_votes);
+        assert_eq!(flat.n_experts, 4);
     }
 }

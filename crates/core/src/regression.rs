@@ -11,11 +11,12 @@
 use prom_ml::cluster::{gap_statistic_k, KMeans};
 use prom_ml::knn::k_nearest;
 
-use crate::calibration::{select_weighted_subset, SelectionConfig};
+use crate::calibration::SelectionConfig;
 use crate::committee::{
-    committee_accepts, confidence_score, expert_rejects, ExpertVerdict, PromConfig, PromJudgement,
+    committee_accepts, verdict_from_p_values, ExpertVerdict, PromConfig, PromJudgement,
 };
-use crate::pvalue::{p_values, ScoredSample};
+use crate::detector::{DriftDetector, Judgement, Sample};
+use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
 
 /// One regression calibration sample.
@@ -158,24 +159,18 @@ pub struct PromRegressorConfig {
 
 impl Default for PromRegressorConfig {
     fn default() -> Self {
-        Self {
-            prom: PromConfig::default(),
-            knn_k: 3,
-            clusters: ClusterChoice::default(),
-            seed: 0,
-        }
+        Self { prom: PromConfig::default(), knn_k: 3, clusters: ClusterChoice::default(), seed: 0 }
     }
 }
 
 /// Drift detector for a deployed regression model.
 pub struct PromRegressor {
     records: Vec<RegressionRecord>,
-    embeddings: Vec<Vec<f64>>,
-    cluster_labels: Vec<usize>,
     kmeans: KMeans,
     experts: Vec<Box<dyn RegressionNonconformity>>,
-    /// `cal_scores[e][i]`: expert `e`'s residual nonconformity of record `i`.
-    cal_scores: Vec<Vec<f64>>,
+    /// The shared scoring kernel over pseudo-label clusters: calibration
+    /// embeddings, cluster labels, and per-expert residual score tables.
+    kernel: ScoringKernel,
     residual_scale: f64,
     config: PromRegressorConfig,
 }
@@ -215,8 +210,7 @@ impl PromRegressor {
         }
         config.prom.validate().map_err(|detail| PromError::InvalidConfig { detail })?;
         let emb_dim = records[0].embedding.len();
-        if let Some((i, r)) =
-            records.iter().enumerate().find(|(_, r)| r.embedding.len() != emb_dim)
+        if let Some((i, r)) = records.iter().enumerate().find(|(_, r)| r.embedding.len() != emb_dim)
         {
             return Err(PromError::DimensionMismatch {
                 detail: format!(
@@ -248,38 +242,33 @@ impl PromRegressor {
         let kmeans = KMeans::fit(&embeddings, k, config.seed);
         let cluster_labels: Vec<usize> = embeddings.iter().map(|e| kmeans.assign(e)).collect();
 
-        let residual_scale = records
-            .iter()
-            .map(|r| (r.prediction - r.target).abs())
-            .sum::<f64>()
+        let residual_scale = records.iter().map(|r| (r.prediction - r.target).abs()).sum::<f64>()
             / records.len() as f64;
         let cal_scores: Vec<Vec<f64>> = experts
             .iter()
             .map(|e| {
-                records
-                    .iter()
-                    .map(|r| e.score(r.prediction, r.target, residual_scale))
-                    .collect()
+                records.iter().map(|r| e.score(r.prediction, r.target, residual_scale)).collect()
             })
             .collect();
-        Ok(Self {
-            records,
+        let kernel = ScoringKernel::new(
             embeddings,
             cluster_labels,
-            kmeans,
-            experts,
+            kmeans.k(),
             cal_scores,
-            residual_scale,
-            config,
-        })
+            SelectionConfig {
+                fraction: config.prom.selection_fraction,
+                min_full_size: config.prom.min_full_size,
+                tau: config.prom.tau,
+            },
+        );
+        Ok(Self { records, kmeans, experts, kernel, residual_scale, config })
     }
 
     /// Approximates the deployment-time ground truth of a test input as the
     /// mean target of its `knn_k` nearest calibration samples (Sec. 5.1.1).
     pub fn approximate_target(&self, embedding: &[f64]) -> f64 {
-        let neighbours = k_nearest(&self.embeddings, embedding, self.config.knn_k);
-        neighbours.iter().map(|&i| self.records[i].target).sum::<f64>()
-            / neighbours.len() as f64
+        let neighbours = k_nearest(self.kernel.embeddings(), embedding, self.config.knn_k);
+        neighbours.iter().map(|&i| self.records[i].target).sum::<f64>() / neighbours.len() as f64
     }
 
     /// Judges one deployment-time regression prediction.
@@ -288,48 +277,70 @@ impl PromRegressor {
     ///
     /// Panics on an embedding-dimension mismatch.
     pub fn judge(&self, embedding: &[f64], prediction: f64) -> PromJudgement {
-        let proxy_target = self.approximate_target(embedding);
+        let mut scratch = JudgeScratch::new();
+        let mut neighbours = Vec::new();
+        self.judge_scratch(embedding, prediction, &mut scratch, &mut neighbours)
+    }
+
+    /// Judges a window of predictions (`outputs[0]` of each sample is the
+    /// model's scalar estimate), reusing one scratch buffer for the whole
+    /// window. Returns the same judgements as calling
+    /// [`PromRegressor::judge`] per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an embedding-dimension mismatch or a sample whose
+    /// `outputs` is not a single element.
+    pub fn judge_batch(&self, samples: &[Sample]) -> Vec<PromJudgement> {
+        let mut scratch = JudgeScratch::new();
+        let mut neighbours = Vec::new();
+        samples
+            .iter()
+            .map(|s| {
+                assert_eq!(
+                    s.outputs.len(),
+                    1,
+                    "regression samples carry a single prediction in outputs"
+                );
+                self.judge_scratch(&s.embedding, s.outputs[0], &mut scratch, &mut neighbours)
+            })
+            .collect()
+    }
+
+    /// The single-sample kernel run both paths share. The distance pass of
+    /// the Eq. 1 selection is reused for the k-NN ground-truth proxy and
+    /// the pseudo-label assignment instead of being recomputed three times.
+    fn judge_scratch(
+        &self,
+        embedding: &[f64],
+        prediction: f64,
+        scratch: &mut JudgeScratch,
+        neighbours: &mut Vec<usize>,
+    ) -> PromJudgement {
+        self.kernel.select(embedding, scratch);
+
+        // Ground-truth proxy: mean target of the knn_k nearest calibration
+        // samples (Sec. 5.1.1), from the selection's own distance pass.
+        self.kernel.nearest(scratch, self.config.knn_k, neighbours);
+        let proxy_target = neighbours.iter().map(|&i| self.records[i].target).sum::<f64>()
+            / neighbours.len() as f64;
         // Pseudo-label of the test input: the cluster of its nearest
         // calibration sample (Sec. 5.1.2).
-        let nearest = k_nearest(&self.embeddings, embedding, 1)[0];
-        let assigned = self.cluster_labels[nearest];
+        let assigned = self.kernel.labels()[neighbours[0]];
         let n_clusters = self.kmeans.k();
-
-        let selection = SelectionConfig {
-            fraction: self.config.prom.selection_fraction,
-            min_full_size: self.config.prom.min_full_size,
-            tau: self.config.prom.tau,
-        };
-        let selected = select_weighted_subset(&self.embeddings, embedding, &selection);
 
         let verdicts: Vec<ExpertVerdict> = self
             .experts
             .iter()
-            .zip(self.cal_scores.iter())
-            .map(|(expert, scores)| {
-                let samples: Vec<ScoredSample> = selected
-                    .iter()
-                    .map(|s| ScoredSample {
-                        label: self.cluster_labels[s.index],
-                        adjusted_score: s.weight * scores[s.index],
-                    })
-                    .collect();
+            .enumerate()
+            .map(|(e, expert)| {
                 let test_score = expert.score(prediction, proxy_target, self.residual_scale);
                 // The residual score does not depend on the candidate
                 // cluster, but the per-cluster calibration populations do.
-                let test_scores = vec![test_score; n_clusters];
-                let ps = p_values(&samples, &test_scores);
-                let credibility = ps[assigned];
-                let set_size =
-                    ps.iter().filter(|&&p| p > self.config.prom.epsilon).count();
-                let confidence = confidence_score(set_size, self.config.prom.gaussian_c);
-                ExpertVerdict {
-                    expert: expert.name().to_string(),
-                    credibility,
-                    confidence,
-                    prediction_set_size: set_size,
-                    reject: expert_rejects(credibility, confidence, &self.config.prom),
-                }
+                scratch.test_scores.clear();
+                scratch.test_scores.resize(n_clusters, test_score);
+                self.kernel.p_values_into(e, scratch);
+                verdict_from_p_values(expert.name(), &scratch.p_values, assigned, &self.config.prom)
             })
             .collect();
         let (accepted, reject_votes) = committee_accepts(&verdicts);
@@ -361,6 +372,23 @@ impl PromRegressor {
     /// The robust residual scale of the calibration set.
     pub fn residual_scale(&self) -> f64 {
         self.residual_scale
+    }
+}
+
+impl DriftDetector for PromRegressor {
+    fn name(&self) -> &'static str {
+        "PROM"
+    }
+
+    /// `outputs` must be a single-element slice holding the model's scalar
+    /// prediction (see [`Sample::regression`]).
+    fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement {
+        assert_eq!(outputs.len(), 1, "regression samples carry a single prediction in outputs");
+        Judgement::from(self.judge(embedding, outputs[0]))
+    }
+
+    fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
+        self.judge_batch(samples).into_iter().map(Judgement::from).collect()
     }
 }
 
@@ -454,6 +482,37 @@ mod tests {
         let mut prom = PromRegressor::new(records(30), config_fixed(2)).unwrap();
         prom.recalibrate(records(50)).unwrap();
         assert_eq!(prom.calibration_len(), 50);
+    }
+
+    #[test]
+    fn judge_batch_matches_looped_judge_exactly() {
+        let prom = PromRegressor::new(records(80), config_fixed(3)).unwrap();
+        let samples: Vec<Sample> = (0..25)
+            .map(|i| {
+                let x = (i as f64) * 0.6 - 2.0;
+                Sample::regression(vec![x, x * 0.5], 2.0 * x + (i as f64 * 0.3).sin())
+            })
+            .collect();
+        let batched = prom.judge_batch(&samples);
+        for (s, b) in samples.iter().zip(batched.iter()) {
+            let single = prom.judge(&s.embedding, s.outputs[0]);
+            assert_eq!(single.accepted, b.accepted);
+            assert_eq!(single.reject_votes, b.reject_votes);
+            for (vs, vb) in single.verdicts.iter().zip(b.verdicts.iter()) {
+                assert_eq!(vs.credibility.to_bits(), vb.credibility.to_bits());
+                assert_eq!(vs.prediction_set_size, vb.prediction_set_size);
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_judgement_mirrors_inherent_judge() {
+        let prom = PromRegressor::new(records(40), config_fixed(2)).unwrap();
+        let det: &dyn DriftDetector = &prom;
+        let flat = det.judge_one(&[0.1, 0.05], &[0.2]);
+        let rich = prom.judge(&[0.1, 0.05], 0.2);
+        assert_eq!(flat.accepted, rich.accepted);
+        assert_eq!(flat.n_experts, 4);
     }
 
     #[test]

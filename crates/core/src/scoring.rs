@@ -1,0 +1,550 @@
+//! The shared scoring kernel behind every conformal judgement.
+//!
+//! Before this module existed, each detector re-derived the same machinery
+//! per judgement: the classifier and regressor each re-sorted the
+//! calibration set by distance and re-allocated per-expert score vectors on
+//! **every** `judge` call, and the baselines re-scanned the full calibration
+//! set linearly per p-value. This module centralizes that work in two
+//! structures built for the batched deployment loop:
+//!
+//! * [`ScoreTable`] — per-label calibration score tables, **pre-sorted once
+//!   at construction**, giving `O(log n)` unweighted p-values by binary
+//!   search (the full-set path used by naive CP, TESSERACT, and RISE);
+//! * [`ScoringKernel`] + [`JudgeScratch`] — the Eq. 1/Eq. 2 weighted path
+//!   used by Prom itself: one distance pass per test sample into a
+//!   **reusable scratch buffer**, selection without a sort when the whole
+//!   calibration set is kept, and per-expert p-values computed from a
+//!   label-grouped view in `O(S + L)` per expert instead of `O(S · L)`.
+//!
+//! `judge` and `judge_batch` run the exact same kernel code — the batched
+//! path only reuses one [`JudgeScratch`] across samples — so batched and
+//! looped judgements are bit-identical by construction.
+
+use crate::calibration::{CalibrationRecord, SelectionConfig};
+use crate::nonconformity::Nonconformity;
+use prom_ml::matrix::l2_distance;
+
+/// Per-label calibration nonconformity scores, sorted ascending at
+/// construction for binary-search p-values.
+///
+/// This is the unweighted (full calibration set, no Eq. 1 selection)
+/// conformal machinery shared by the prior-work baselines: the p-value of a
+/// test score under label `y` is the fraction of label-`y` calibration
+/// scores at least as large.
+#[derive(Debug, Clone)]
+pub struct ScoreTable {
+    per_label: Vec<Vec<f64>>,
+}
+
+impl ScoreTable {
+    /// Builds the table from parallel `labels` / `scores` arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays disagree in length, a label is out of range, or
+    /// a score is NaN.
+    pub fn new(labels: &[usize], scores: &[f64], n_labels: usize) -> Self {
+        assert_eq!(labels.len(), scores.len(), "label/score length mismatch");
+        let mut per_label = vec![Vec::new(); n_labels];
+        for (&label, &score) in labels.iter().zip(scores.iter()) {
+            assert!(label < n_labels, "label {label} out of range for {n_labels} labels");
+            assert!(!score.is_nan(), "NaN calibration score");
+            per_label[label].push(score);
+        }
+        for bucket in &mut per_label {
+            bucket.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+        }
+        Self { per_label }
+    }
+
+    /// Builds the table from calibration records scored at their true
+    /// labels under `ncm` — the construction every unweighted baseline
+    /// shares. The table covers at least `min_labels` labels, widened to
+    /// the largest calibration label if records exceed it.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ScoreTable::new`].
+    pub fn from_records(
+        records: &[CalibrationRecord],
+        ncm: &dyn Nonconformity,
+        min_labels: usize,
+    ) -> Self {
+        let labels: Vec<usize> = records.iter().map(|r| r.label).collect();
+        let scores: Vec<f64> = records.iter().map(|r| ncm.score(&r.probs, r.label)).collect();
+        let n_labels = min_labels.max(labels.iter().map(|&l| l + 1).max().unwrap_or(0));
+        Self::new(&labels, &scores, n_labels)
+    }
+
+    /// Number of labels.
+    pub fn n_labels(&self) -> usize {
+        self.per_label.len()
+    }
+
+    /// The Eq. 2 p-value of `test_score` under `label`: the fraction of
+    /// label-`label` calibration scores `>= test_score`. Returns 0 for a
+    /// label with no calibration samples — including one beyond the table's
+    /// range (no evidence of conformity either way).
+    pub fn p_value(&self, label: usize, test_score: f64) -> f64 {
+        let Some(bucket) = self.per_label.get(label) else {
+            return 0.0;
+        };
+        // A NaN test score (degenerate model output) conforms to nothing:
+        // `partition_point` below would count every calibration score as
+        // "at least as strange" and silently accept it.
+        if bucket.is_empty() || test_score.is_nan() {
+            return 0.0;
+        }
+        // First index whose score is >= test_score; everything from there on
+        // counts as "at least as strange".
+        let at_least = bucket.len() - bucket.partition_point(|&s| s < test_score);
+        at_least as f64 / bucket.len() as f64
+    }
+
+    /// P-values for every label given per-label test scores
+    /// (`test_scores[y]` is the test nonconformity assuming label `y`).
+    pub fn p_values(&self, test_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(test_scores.len(), self.n_labels(), "test-score length mismatch");
+        test_scores.iter().enumerate().map(|(y, &t)| self.p_value(y, t)).collect()
+    }
+}
+
+/// Reusable per-stream scratch space for the weighted scoring kernel.
+///
+/// Allocate once (per deployment stream, thread, or batch) and pass to
+/// every [`ScoringKernel::select`] / [`ScoringKernel::p_values_into`] call;
+/// all interior vectors are recycled, so a long `judge_batch` performs no
+/// per-sample allocation.
+#[derive(Debug, Default)]
+pub struct JudgeScratch {
+    /// (distance, record index) for every calibration record.
+    dist: Vec<(f64, u32)>,
+    /// (record index, Eq. 1 weight) of the selected subset.
+    selected: Vec<(u32, f64)>,
+    /// Positions into `selected`, grouped by calibration label.
+    by_label: Vec<Vec<u32>>,
+    /// Per-label test nonconformity scores; filled by the caller before
+    /// [`ScoringKernel::p_values_into`].
+    pub test_scores: Vec<f64>,
+    /// Per-label p-values; output of [`ScoringKernel::p_values_into`].
+    pub p_values: Vec<f64>,
+}
+
+impl JudgeScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The weighted conformal scoring kernel of Prom's hot path: Eq. 1
+/// distance-weighted subset selection plus Eq. 2 per-label p-values for any
+/// number of nonconformity experts.
+///
+/// Built once at detector construction; immutable afterwards, so it is
+/// freely shared across threads while each stream judges with its own
+/// [`JudgeScratch`].
+#[derive(Debug)]
+pub struct ScoringKernel {
+    embeddings: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_labels: usize,
+    /// `cal_scores[e][i]`: expert `e`'s nonconformity of calibration record
+    /// `i` at its true label, precomputed offline.
+    cal_scores: Vec<Vec<f64>>,
+    selection: SelectionConfig,
+}
+
+impl ScoringKernel {
+    /// Builds the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty calibration data, ragged score tables, or an
+    /// out-of-range label.
+    pub fn new(
+        embeddings: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        n_labels: usize,
+        cal_scores: Vec<Vec<f64>>,
+        selection: SelectionConfig,
+    ) -> Self {
+        assert!(!embeddings.is_empty(), "empty calibration set");
+        assert_eq!(embeddings.len(), labels.len(), "embedding/label length mismatch");
+        assert!(labels.iter().all(|&l| l < n_labels), "label out of range");
+        for scores in &cal_scores {
+            assert_eq!(scores.len(), embeddings.len(), "ragged expert score table");
+        }
+        Self { embeddings, labels, n_labels, cal_scores, selection }
+    }
+
+    /// Number of calibration records.
+    pub fn n_records(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Number of labels (classes or pseudo-label clusters).
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Number of experts whose score tables the kernel holds.
+    pub fn n_experts(&self) -> usize {
+        self.cal_scores.len()
+    }
+
+    /// Borrows the calibration embeddings.
+    pub fn embeddings(&self) -> &[Vec<f64>] {
+        &self.embeddings
+    }
+
+    /// Borrows the calibration labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Runs the Eq. 1 selection for one test embedding into `scratch`:
+    /// computes every calibration distance (one pass, reused buffer), keeps
+    /// the nearest fraction per [`SelectionConfig`], weights the kept
+    /// records by `exp(-d / tau)`, and groups them by label for the p-value
+    /// pass.
+    ///
+    /// When the whole calibration set is kept (small sets, or
+    /// `fraction = 1`), the distance sort is skipped entirely — p-values
+    /// are counts, so selection order is irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an embedding-length mismatch.
+    pub fn select(&self, test_embedding: &[f64], scratch: &mut JudgeScratch) {
+        let n = self.embeddings.len();
+        scratch.dist.clear();
+        scratch.dist.extend(self.embeddings.iter().enumerate().map(|(i, e)| {
+            assert_eq!(e.len(), test_embedding.len(), "embedding length mismatch");
+            let d = l2_distance(e, test_embedding);
+            // Fail loudly on every path (the keep-everything branch below
+            // never compares distances): a NaN here means the model's
+            // embedding diverged, and NaN weights would silently turn
+            // every p-value into 0.
+            assert!(!d.is_nan(), "NaN distance");
+            (d, i as u32)
+        }));
+
+        let keep = if n < self.selection.min_full_size {
+            n
+        } else {
+            ((n as f64 * self.selection.fraction).round() as usize).clamp(1, n)
+        };
+        if keep < n {
+            // P-values are counts over the selected *set* — order within it
+            // is irrelevant — so an O(n) partition replaces a full sort.
+            // Ties break by record index so the kept set is well-defined
+            // even with duplicate embeddings at the boundary.
+            scratch.dist.select_nth_unstable_by(keep - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("NaN distance").then(a.1.cmp(&b.1))
+            });
+        }
+
+        scratch.selected.clear();
+        scratch.selected.extend(
+            scratch.dist[..keep].iter().map(|&(d, i)| (i, (-d / self.selection.tau).exp())),
+        );
+
+        scratch.by_label.resize_with(self.n_labels, Vec::new);
+        for bucket in &mut scratch.by_label {
+            bucket.clear();
+        }
+        for (pos, &(record, _)) in scratch.selected.iter().enumerate() {
+            scratch.by_label[self.labels[record as usize]].push(pos as u32);
+        }
+    }
+
+    /// The `k` nearest calibration records to the embedding last passed to
+    /// [`ScoringKernel::select`], nearest first (the k-NN ground-truth
+    /// proxy reuses the selection's distance pass instead of recomputing
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or [`ScoringKernel::select`] has not run.
+    pub fn nearest(&self, scratch: &JudgeScratch, k: usize, out: &mut Vec<usize>) {
+        assert!(k > 0, "nearest needs k >= 1");
+        assert!(!scratch.dist.is_empty(), "select() must run before nearest()");
+        let k = k.min(scratch.dist.len());
+        // When select() partitioned the buffer, the selected prefix holds
+        // the nearest records; restrict the scan to it if it covers k.
+        let kept = scratch.selected.len();
+        let candidates = if kept < scratch.dist.len() && k <= kept {
+            &scratch.dist[..kept]
+        } else {
+            &scratch.dist[..]
+        };
+        // Insertion-select the k smallest (k is tiny — the paper uses
+        // k = 3). Ties break by record index — the same rule as
+        // `prom_ml::knn::k_nearest`'s stable sort — so the result does not
+        // depend on the candidate buffer's (partition-scrambled) order.
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        for &(d, i) in candidates {
+            let pos = best.partition_point(|&(bd, bi)| bd < d || (bd == d && bi < i));
+            if pos < k {
+                best.insert(pos, (d, i));
+                best.truncate(k);
+            }
+        }
+        out.clear();
+        out.extend(best.iter().map(|&(_, i)| i as usize));
+    }
+
+    /// Eq. 2 p-values for expert `expert` over the selection in `scratch`,
+    /// reading per-label test scores from `scratch.test_scores` and writing
+    /// per-label p-values to `scratch.p_values`.
+    ///
+    /// For each label `y`, the p-value is the fraction of *selected*
+    /// label-`y` calibration records whose weight-adjusted score
+    /// `w_i * a_i` is `>= test_scores[y]`; labels absent from the selection
+    /// get 0. One scan over the selection per expert, not per label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expert` is out of range or `scratch.test_scores` has the
+    /// wrong length.
+    pub fn p_values_into(&self, expert: usize, scratch: &mut JudgeScratch) {
+        let scores = &self.cal_scores[expert];
+        assert_eq!(scratch.test_scores.len(), self.n_labels, "test-score length mismatch");
+        scratch.p_values.clear();
+        for (label, bucket) in scratch.by_label.iter().enumerate() {
+            if bucket.is_empty() {
+                scratch.p_values.push(0.0);
+                continue;
+            }
+            let test = scratch.test_scores[label];
+            let at_least = bucket
+                .iter()
+                .filter(|&&pos| {
+                    let (record, weight) = scratch.selected[pos as usize];
+                    weight * scores[record as usize] >= test
+                })
+                .count();
+            scratch.p_values.push(at_least as f64 / bucket.len() as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvalue::{p_value_for_label, ScoredSample};
+
+    #[test]
+    fn score_table_matches_linear_scan() {
+        let labels = [0, 0, 0, 0, 1, 1, 2];
+        let scores = [0.1, 0.4, 0.2, 0.3, 0.9, 0.5, 0.7];
+        let table = ScoreTable::new(&labels, &scores, 4);
+        let samples: Vec<ScoredSample> = labels
+            .iter()
+            .zip(scores.iter())
+            .map(|(&label, &adjusted_score)| ScoredSample { label, adjusted_score })
+            .collect();
+        for label in 0..4 {
+            for test in [-1.0, 0.0, 0.15, 0.2, 0.35, 0.5, 0.9, 2.0] {
+                assert_eq!(
+                    table.p_value(label, test),
+                    p_value_for_label(&samples, label, test),
+                    "label {label}, test {test}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_table_ties_count_as_at_least() {
+        let table = ScoreTable::new(&[0, 0], &[0.5, 0.5], 1);
+        assert_eq!(table.p_value(0, 0.5), 1.0);
+        assert_eq!(table.p_value(0, 0.5 + 1e-12), 0.0);
+    }
+
+    #[test]
+    fn score_table_nan_test_score_rejects() {
+        // Matches the pre-kernel linear scan: `score >= NaN` held for no
+        // calibration sample, so a NaN model output got p = 0 (rejected).
+        let table = ScoreTable::new(&[0, 0], &[0.2, 0.8], 1);
+        assert_eq!(table.p_value(0, f64::NAN), 0.0);
+        assert_eq!(
+            table.p_value(0, f64::NAN),
+            p_value_for_label(
+                &[
+                    ScoredSample { label: 0, adjusted_score: 0.2 },
+                    ScoredSample { label: 0, adjusted_score: 0.8 }
+                ],
+                0,
+                f64::NAN
+            )
+        );
+    }
+
+    #[test]
+    fn score_table_out_of_range_label_rejects() {
+        let table = ScoreTable::new(&[0], &[0.5], 1);
+        assert_eq!(table.p_value(7, 0.0), 0.0);
+    }
+
+    #[test]
+    fn score_table_vector_form() {
+        let table = ScoreTable::new(&[0, 1], &[0.2, 0.8], 2);
+        assert_eq!(table.p_values(&[0.1, 0.9]), vec![1.0, 0.0]);
+    }
+
+    fn kernel_fixture(n: usize, min_full_size: usize) -> ScoringKernel {
+        let embeddings: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.5]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let scores: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let scores2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos().abs()).collect();
+        ScoringKernel::new(
+            embeddings,
+            labels,
+            3,
+            vec![scores, scores2],
+            SelectionConfig { fraction: 0.5, min_full_size, tau: 10.0 },
+        )
+    }
+
+    /// Reference implementation: the old per-judgement path (allocate,
+    /// sort, linear scans) via `calibration::select_weighted_subset` +
+    /// `pvalue::p_values`.
+    fn reference_p_values(
+        kernel: &ScoringKernel,
+        expert: usize,
+        test: &[f64],
+        ts: &[f64],
+    ) -> Vec<f64> {
+        let selection = crate::calibration::select_weighted_subset(
+            kernel.embeddings(),
+            test,
+            &kernel.selection,
+        );
+        let samples: Vec<ScoredSample> = selection
+            .iter()
+            .map(|s| ScoredSample {
+                label: kernel.labels()[s.index],
+                adjusted_score: s.weight * kernel.cal_scores[expert][s.index],
+            })
+            .collect();
+        crate::pvalue::p_values(&samples, ts)
+    }
+
+    #[test]
+    fn kernel_matches_reference_when_all_records_kept() {
+        let kernel = kernel_fixture(40, 200); // 40 < 200: everything selected
+        let mut scratch = JudgeScratch::new();
+        for probe in [0.0, 3.3, 19.0] {
+            kernel.select(&[probe], &mut scratch);
+            for expert in 0..kernel.n_experts() {
+                scratch.test_scores.clear();
+                scratch.test_scores.extend_from_slice(&[0.2, 0.5, 0.8]);
+                kernel.p_values_into(expert, &mut scratch);
+                let reference = reference_p_values(&kernel, expert, &[probe], &[0.2, 0.5, 0.8]);
+                assert_eq!(scratch.p_values, reference, "probe {probe}, expert {expert}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_with_nearest_fraction_selection() {
+        let kernel = kernel_fixture(300, 200); // 300 >= 200: keep nearest 50%
+        let mut scratch = JudgeScratch::new();
+        for probe in [0.0, 40.0, 150.0] {
+            kernel.select(&[probe], &mut scratch);
+            assert_eq!(scratch.selected.len(), 150);
+            for expert in 0..kernel.n_experts() {
+                scratch.test_scores.clear();
+                scratch.test_scores.extend_from_slice(&[0.1, 0.4, 0.9]);
+                kernel.p_values_into(expert, &mut scratch);
+                let reference = reference_p_values(&kernel, expert, &[probe], &[0.1, 0.4, 0.9]);
+                assert_eq!(scratch.p_values, reference, "probe {probe}, expert {expert}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_samples() {
+        let kernel = kernel_fixture(120, 50);
+        let mut reused = JudgeScratch::new();
+        for probe in [0.0, 17.0, 3.0, 55.0, 17.0] {
+            kernel.select(&[probe], &mut reused);
+            reused.test_scores.clear();
+            reused.test_scores.extend_from_slice(&[0.3, 0.3, 0.3]);
+            kernel.p_values_into(0, &mut reused);
+            let from_reused = reused.p_values.clone();
+
+            let mut fresh = JudgeScratch::new();
+            kernel.select(&[probe], &mut fresh);
+            fresh.test_scores.extend_from_slice(&[0.3, 0.3, 0.3]);
+            kernel.p_values_into(0, &mut fresh);
+            assert_eq!(from_reused, fresh.p_values, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn nearest_agrees_with_knn_helper_in_both_selection_modes() {
+        for min_full in [10, 1000] {
+            let kernel = kernel_fixture(60, min_full);
+            let mut scratch = JudgeScratch::new();
+            let mut out = Vec::new();
+            for probe in [0.0, 7.2, 29.9] {
+                kernel.select(&[probe], &mut scratch);
+                kernel.nearest(&scratch, 3, &mut out);
+                let expect = prom_ml::knn::k_nearest(kernel.embeddings(), &[probe], 3);
+                assert_eq!(out, expect, "probe {probe}, min_full {min_full}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN distance")]
+    fn nan_embedding_panics_even_when_all_records_kept() {
+        // The keep-everything path never compares distances, so the guard
+        // must live in the distance pass itself.
+        let kernel = kernel_fixture(10, 200);
+        let mut scratch = JudgeScratch::new();
+        kernel.select(&[f64::NAN], &mut scratch);
+    }
+
+    #[test]
+    fn from_records_widens_to_largest_label() {
+        use crate::nonconformity::Lac;
+        let records = vec![
+            CalibrationRecord::new(vec![0.0], vec![0.7, 0.3], 0),
+            CalibrationRecord::new(vec![1.0], vec![0.2, 0.8], 1),
+        ];
+        // min_labels below the data's own range widens to cover label 1…
+        let table = ScoreTable::from_records(&records, &Lac, 1);
+        assert_eq!(table.n_labels(), 2);
+        // …and above it wins outright.
+        let table = ScoreTable::from_records(&records, &Lac, 5);
+        assert_eq!(table.n_labels(), 5);
+        assert_eq!(table.p_value(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn unselected_labels_get_zero_p_value() {
+        // All label-2 records are far away; with aggressive selection they
+        // drop out and label 2's p-value must be 0.
+        let embeddings: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![if i % 3 == 2 { 1.0e6 } else { i as f64 }]).collect();
+        let labels: Vec<usize> = (0..200).map(|i| i % 3).collect();
+        let scores = vec![0.5; 200];
+        let kernel = ScoringKernel::new(
+            embeddings,
+            labels,
+            3,
+            vec![scores],
+            SelectionConfig { fraction: 0.25, min_full_size: 10, tau: 100.0 },
+        );
+        let mut scratch = JudgeScratch::new();
+        kernel.select(&[0.0], &mut scratch);
+        scratch.test_scores.extend_from_slice(&[0.0, 0.0, 0.0]);
+        kernel.p_values_into(0, &mut scratch);
+        assert_eq!(scratch.p_values[2], 0.0);
+        assert!(scratch.p_values[0] > 0.0);
+    }
+}

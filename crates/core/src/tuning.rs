@@ -12,6 +12,7 @@ use prom_ml::metrics::BinaryConfusion;
 
 use crate::calibration::CalibrationRecord;
 use crate::committee::PromConfig;
+use crate::detector::Sample;
 use crate::predictor::PromClassifier;
 use crate::PromError;
 
@@ -70,21 +71,21 @@ pub fn calibrate_tau(
         let mut rejected = 0usize;
         let mut total = 0usize;
         for _ in 0..rounds {
-            let (cal_idx, val_idx) =
-                prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
-            let cal: Vec<CalibrationRecord> =
-                cal_idx.iter().map(|i| records[*i].clone()).collect();
+            let (cal_idx, val_idx) = prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
+            let cal: Vec<CalibrationRecord> = cal_idx.iter().map(|i| records[*i].clone()).collect();
             let config = PromConfig { tau, ..base.clone() };
             let prom = PromClassifier::new(cal, config)?;
-            for &i in &val_idx {
-                let r = &records[i];
-                total += 1;
-                rejected += usize::from(!prom.judge(&r.embedding, &r.probs).accepted);
-            }
+            let held_out: Vec<Sample> = val_idx
+                .iter()
+                .map(|&i| Sample::new(records[i].embedding.clone(), records[i].probs.clone()))
+                .collect();
+            total += held_out.len();
+            rejected += prom.judge_batch(&held_out).iter().filter(|j| !j.accepted).count();
         }
         Ok(rejected as f64 / total.max(1) as f64)
     };
-    let (mut lo, mut hi) = (0.25f64, 64.0f64); // multipliers of the median
+    // Multipliers of the median pairwise distance.
+    let (mut lo, mut hi) = (0.25f64, 64.0f64);
     // If even the weakest weighting rejects less than the target, the
     // distance signal is irrelevant; keep the weak end.
     if rate_at(hi * med)? >= target_reject_rate {
@@ -106,10 +107,7 @@ fn median_pairwise_distance(records: &[CalibrationRecord]) -> f64 {
     let mut dists = Vec::new();
     for i in 0..cap {
         for j in (i + 1)..cap {
-            dists.push(prom_ml::matrix::l2_distance(
-                &records[i].embedding,
-                &records[j].embedding,
-            ));
+            dists.push(prom_ml::matrix::l2_distance(&records[i].embedding, &records[j].embedding));
         }
     }
     if dists.is_empty() {
@@ -141,21 +139,24 @@ pub fn grid_search(
         return Err(PromError::InvalidConfig { detail: "empty grid axis".into() });
     }
     let prom = PromClassifier::new(records, base.clone())?;
+    // P-values are independent of the thresholds being swept: run the
+    // conformal kernel once per validation sample and re-threshold per
+    // grid point.
+    let cached: Vec<(usize, Vec<Vec<f64>>)> = validation
+        .iter()
+        .map(|v| (prom_ml::matrix::argmax(&v.probs), prom.expert_p_values(&v.embedding, &v.probs)))
+        .collect();
     let mut grid = Vec::with_capacity(epsilons.len() * confidence_thresholds.len());
     let mut best: Option<(PromConfig, f64)> = None;
     for &eps in epsilons {
         for &thr in confidence_thresholds {
-            let candidate = PromConfig {
-                epsilon: eps,
-                confidence_threshold: thr,
-                ..base.clone()
-            };
+            let candidate = PromConfig { epsilon: eps, confidence_threshold: thr, ..base.clone() };
             if candidate.validate().is_err() {
                 continue;
             }
             let mut confusion = BinaryConfusion::default();
-            for v in validation {
-                let judgement = prom.judge_with(&v.embedding, &v.probs, &candidate);
+            for ((predicted, ps), v) in cached.iter().zip(validation) {
+                let judgement = prom.judgement_from_p_values(ps, *predicted, &candidate);
                 confusion.record(!judgement.accepted, !v.correct);
             }
             let f1 = confusion.f1();
@@ -165,9 +166,8 @@ pub fn grid_search(
             }
         }
     }
-    let (config, f1) = best.ok_or_else(|| PromError::InvalidConfig {
-        detail: "no valid grid point".into(),
-    })?;
+    let (config, f1) =
+        best.ok_or_else(|| PromError::InvalidConfig { detail: "no valid grid point".into() })?;
     Ok(GridSearchResult { config, f1, grid })
 }
 
@@ -185,8 +185,11 @@ mod tests {
                 // calibration errors, as real model outputs have.
                 let conf = 0.6 + 0.38 * ((i * 13 % 97) as f64 / 97.0);
                 let p_true = if i % 9 == 4 { 1.0 - conf } else { conf };
-                let probs =
-                    if label == 0 { vec![p_true, 1.0 - p_true] } else { vec![1.0 - p_true, p_true] };
+                let probs = if label == 0 {
+                    vec![p_true, 1.0 - p_true]
+                } else {
+                    vec![1.0 - p_true, p_true]
+                };
                 CalibrationRecord::new(vec![base + jitter, base - jitter], probs, label)
             })
             .collect()
@@ -228,13 +231,7 @@ mod tests {
 
     #[test]
     fn empty_axis_is_an_error() {
-        let err = grid_search(
-            toy_records(20),
-            &validation(),
-            PromConfig::default(),
-            &[],
-            &[0.9],
-        );
+        let err = grid_search(toy_records(20), &validation(), PromConfig::default(), &[], &[0.9]);
         assert!(err.is_err());
     }
 
@@ -246,12 +243,9 @@ mod tests {
         assert!(tau > 0.0);
         // Rebuild with the calibrated tau and measure the in-distribution
         // rejection rate on the records themselves.
-        let prom =
-            PromClassifier::new(records.clone(), PromConfig { tau, ..base }).unwrap();
-        let rejected = records
-            .iter()
-            .filter(|r| !prom.judge(&r.embedding, &r.probs).accepted)
-            .count();
+        let prom = PromClassifier::new(records.clone(), PromConfig { tau, ..base }).unwrap();
+        let rejected =
+            records.iter().filter(|r| !prom.judge(&r.embedding, &r.probs).accepted).count();
         let rate = rejected as f64 / records.len() as f64;
         assert!(rate <= 0.35, "calibrated in-distribution rejection too high: {rate}");
     }

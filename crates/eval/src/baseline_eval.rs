@@ -2,14 +2,22 @@
 //!
 //! All detectors share one trained underlying model and one calibration
 //! split; TESSERACT and RISE additionally receive the design-time (i.i.d.)
-//! test outcomes as their validation data for threshold/SVM tuning.
+//! test outcomes as their validation data for threshold/SVM tuning. Every
+//! method — Prom included — is driven uniformly as a
+//! [`&dyn DriftDetector`](DriftDetector) over one shared deployment
+//! [`Sample`] stream through the batched [`DriftDetector::judge_batch`]
+//! path: the underlying model runs **once** per test input, not once per
+//! detector.
 
 use prom_baselines::tesseract::LabeledOutcome;
-use prom_baselines::{DriftDetector, NaiveCp, Rise, Tesseract};
+use prom_baselines::{NaiveCp, Rise, Tesseract};
+use prom_core::detector::{DriftDetector, Sample};
 use prom_ml::metrics::BinaryConfusion;
 
 use crate::report::DetectionStats;
-use crate::scenario::{fit_scenario, is_misprediction, FittedScenario, ScenarioConfig};
+use crate::scenario::{
+    deployment_samples, fit_scenario, is_misprediction, misprediction_flags, ScenarioConfig,
+};
 
 /// Detection quality of every method on one scenario.
 #[derive(Debug, Clone)]
@@ -22,16 +30,17 @@ pub struct BaselineComparison {
     pub methods: Vec<(String, DetectionStats)>,
 }
 
-fn evaluate_detector(
-    fitted: &FittedScenario,
-    rejects: &mut dyn FnMut(&[f64], &[f64]) -> bool,
+/// Judges the shared stream with one detector and scores the reject
+/// decisions against misprediction truth.
+pub fn evaluate_detector(
+    detector: &dyn DriftDetector,
+    stream: &[Sample],
+    mispredicted: &[bool],
 ) -> DetectionStats {
+    let judgements = detector.judge_batch(stream);
     let mut confusion = BinaryConfusion::default();
-    for s in &fitted.data.drift_test {
-        let probs = fitted.model.predict_proba(s);
-        let embedding = fitted.model.embed(s);
-        let pred = prom_ml::matrix::argmax(&probs);
-        confusion.record(rejects(&embedding, &probs), is_misprediction(s, pred));
+    for (j, &wrong) in judgements.iter().zip(mispredicted.iter()) {
+        confusion.record(!j.accepted, wrong);
     }
     DetectionStats::from_confusion(&confusion)
 }
@@ -52,35 +61,27 @@ pub fn compare_detectors(config: &ScenarioConfig) -> BaselineComparison {
             LabeledOutcome { probs, correct: !is_misprediction(s, pred) }
         })
         .collect();
-    let has_both =
-        validation.iter().any(|v| v.correct) && validation.iter().any(|v| !v.correct);
+    let has_both = validation.iter().any(|v| v.correct) && validation.iter().any(|v| !v.correct);
 
-    let mut methods = Vec::new();
-
-    methods.push((
-        "PROM".to_string(),
-        evaluate_detector(&fitted, &mut |e, p| !fitted.prom.judge(e, p).accepted),
-    ));
+    // One shared deployment stream: each drift-test input is embedded and
+    // classified exactly once, for every detector.
+    let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
+    let mispredicted = misprediction_flags(&fitted.data.drift_test, &stream);
 
     let naive = NaiveCp::new(&fitted.records, fitted.prom_config.epsilon);
-    methods.push((
-        naive.name().to_string(),
-        evaluate_detector(&fitted, &mut |e, p| naive.rejects(e, p)),
-    ));
-
     let tesseract = Tesseract::fit(&fitted.records, &validation, fitted.data.n_classes);
-    methods.push((
-        tesseract.name().to_string(),
-        evaluate_detector(&fitted, &mut |e, p| tesseract.rejects(e, p)),
-    ));
+    let rise =
+        has_both.then(|| Rise::fit(&fitted.records, &validation, fitted.prom_config.epsilon));
 
-    if has_both {
-        let rise = Rise::fit(&fitted.records, &validation, fitted.prom_config.epsilon);
-        methods.push((
-            rise.name().to_string(),
-            evaluate_detector(&fitted, &mut |e, p| rise.rejects(e, p)),
-        ));
+    let mut detectors: Vec<&dyn DriftDetector> = vec![&fitted.prom, &naive, &tesseract];
+    if let Some(rise) = rise.as_ref() {
+        detectors.push(rise);
     }
+
+    let methods = detectors
+        .into_iter()
+        .map(|d| (d.name().to_string(), evaluate_detector(d, &stream, &mispredicted)))
+        .collect();
 
     BaselineComparison {
         case_name: config.case.name(),
@@ -100,10 +101,7 @@ mod tests {
         let config = ScenarioConfig {
             scale: CaseScale { data_scale: 0.12, seed: 5 },
             budget: TrainBudget { epochs_scale: 0.2, seed: 5 },
-            ..ScenarioConfig::new(
-                CaseId::Devmap,
-                ModelSpec { paper_name: "test", arch: Arch::Mlp },
-            )
+            ..ScenarioConfig::new(CaseId::Devmap, ModelSpec { paper_name: "test", arch: Arch::Mlp })
         };
         let cmp = compare_detectors(&config);
         assert!(cmp.methods.len() >= 3, "expected Prom + at least 2 baselines");
@@ -114,5 +112,21 @@ mod tests {
         for (name, stats) in &cmp.methods {
             assert!(stats.n > 0, "{name} evaluated nothing");
         }
+    }
+
+    #[test]
+    fn detectors_share_one_stream_and_stats_line_up() {
+        let config = ScenarioConfig {
+            scale: CaseScale { data_scale: 0.12, seed: 2 },
+            budget: TrainBudget { epochs_scale: 0.2, seed: 2 },
+            ..ScenarioConfig::new(
+                CaseId::Coarsening,
+                ModelSpec { paper_name: "test", arch: Arch::Mlp },
+            )
+        };
+        let cmp = compare_detectors(&config);
+        // Every method judged the same number of samples.
+        let n = cmp.methods[0].1.n;
+        assert!(cmp.methods.iter().all(|(_, s)| s.n == n), "stream sizes diverge: {cmp:?}");
     }
 }

@@ -7,9 +7,7 @@ use std::time::Instant;
 
 use prom_core::committee::PromJudgement;
 use prom_core::incremental::{select_for_relabeling, RelabelBudget};
-use prom_core::regression::{
-    ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord,
-};
+use prom_core::regression::{ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord};
 use prom_ml::data::Standardizer;
 use prom_ml::matrix::l2_distance;
 use prom_ml::metrics::BinaryConfusion;
@@ -70,11 +68,11 @@ impl CodegenConfig {
     /// A reduced-scale configuration for tests.
     pub fn small() -> Self {
         Self {
-            train_tasks: 8,
-            records_per_task: 25,
+            train_tasks: 10,
+            records_per_task: 30,
             variant_tasks: 5,
             variant_records: 20,
-            epochs: 6,
+            epochs: 8,
             ..Default::default()
         }
     }
@@ -178,10 +176,8 @@ fn calibrate_regression_tau(
         let mut rejected = 0usize;
         let mut total = 0usize;
         for _ in 0..2 {
-            let (cal_idx, val_idx) =
-                prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
-            let cal: Vec<RegressionRecord> =
-                cal_idx.iter().map(|i| records[*i].clone()).collect();
+            let (cal_idx, val_idx) = prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
+            let cal: Vec<RegressionRecord> = cal_idx.iter().map(|i| records[*i].clone()).collect();
             let mut config = base.clone();
             config.prom.tau = tau;
             let Ok(prom) = PromRegressor::new(cal, config) else {
@@ -244,31 +240,25 @@ pub fn run_codegen(config: &CodegenConfig) -> CodegenResult {
     );
     let train_seconds = t0.elapsed().as_secs_f64();
 
-    let design_test: Vec<ScheduleSample> =
-        test_idx.iter().map(|&i| corpus[i].clone()).collect();
+    let design_test: Vec<ScheduleSample> = test_idx.iter().map(|&i| corpus[i].clone()).collect();
     let base_design_accuracy = estimation_accuracy(&base_model, &design_test);
 
     // Prom regression detector from the calibration split. The embedding
     // standardizer is fitted on the training features.
-    let feature_std = Standardizer::fit(
-        &train.iter().map(|r| r.features.clone()).collect::<Vec<_>>(),
-    );
+    let feature_std =
+        Standardizer::fit(&train.iter().map(|r| r.features.clone()).collect::<Vec<_>>());
     let cal_samples: Vec<ScheduleSample> = cal_idx.iter().map(|&i| corpus[i].clone()).collect();
     let cal_records = regression_records(&base_model, &feature_std, &cal_samples);
     let clusters = match config.fixed_clusters {
         Some(k) => ClusterChoice::Fixed(k),
         None => ClusterChoice::GapStatistic { min_k: 2, max_k: 20 },
     };
-    let mut prom_config = PromRegressorConfig {
-        clusters,
-        seed: config.seed,
-        ..Default::default()
-    };
+    let mut prom_config = PromRegressorConfig { clusters, seed: config.seed, ..Default::default() };
 
     // Auto-calibrate tau for a ~12% in-distribution rejection rate.
     prom_config.prom.tau = calibrate_regression_tau(&cal_records, &prom_config, 0.14);
-    let prom = PromRegressor::new(cal_records, prom_config)
-        .expect("calibration records should be valid");
+    let prom =
+        PromRegressor::new(cal_records, prom_config).expect("calibration records should be valid");
     let n_clusters = prom.n_clusters();
 
     let mut variants = Vec::new();
@@ -328,13 +318,7 @@ pub fn run_codegen(config: &CodegenConfig) -> CodegenResult {
         });
     }
 
-    CodegenResult {
-        base_design_accuracy,
-        variants,
-        train_seconds,
-        incremental_seconds,
-        n_clusters,
-    }
+    CodegenResult { base_design_accuracy, variants, train_seconds, incremental_seconds, n_clusters }
 }
 
 /// Fig. 13(b): detection F1 as a function of a fixed cluster count.

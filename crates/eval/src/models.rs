@@ -56,12 +56,15 @@ fn scaled(base: usize, scale: f64) -> usize {
     ((base as f64 * scale).round() as usize).max(1)
 }
 
+// One instance per scenario; the size spread between model variants is
+// irrelevant next to their heap-allocated weights.
+#[allow(clippy::large_enum_variant)]
 enum Inner {
     Mlp(Mlp),
     Svm(LinearSvm),
     Gbc(GradientBoostingClassifier),
     Lstm(Lstm),
-    Transformer(Transformer),
+    Transformer(Box<Transformer>),
     Gnn(Gnn),
 }
 
@@ -81,11 +84,7 @@ pub struct TrainedModel {
     budget: TrainBudget,
 }
 
-fn feature_dataset(
-    samples: &[CodeSample],
-    n_classes: usize,
-    std: &Standardizer,
-) -> Dataset {
+fn feature_dataset(samples: &[CodeSample], n_classes: usize, std: &Standardizer) -> Dataset {
     let x = samples.iter().map(|s| std.transform(&s.features)).collect();
     let y = samples.iter().map(|s| s.label).collect();
     let mut d = Dataset::new(x, y);
@@ -109,10 +108,8 @@ fn seq_dataset(samples: &[CodeSample], n_classes: usize, vocab: usize) -> SeqDat
 }
 
 fn graph_dataset(samples: &[CodeSample], n_classes: usize) -> GraphDataset {
-    let graphs = samples
-        .iter()
-        .map(|s| s.graph.clone().expect("GNN model needs graph views"))
-        .collect();
+    let graphs =
+        samples.iter().map(|s| s.graph.clone().expect("GNN model needs graph views")).collect();
     let y: Vec<usize> = samples.iter().map(|s| s.label).collect();
     let mut d = GraphDataset::new(graphs, y);
     if d.n_classes() < n_classes {
@@ -140,9 +137,8 @@ impl TrainedModel {
         assert!(!samples.is_empty(), "cannot train on empty data");
         let scale = budget.epochs_scale;
         let seed = budget.seed;
-        let standardizer = Standardizer::fit(
-            &samples.iter().map(|s| s.features.clone()).collect::<Vec<_>>(),
-        );
+        let standardizer =
+            Standardizer::fit(&samples.iter().map(|s| s.features.clone()).collect::<Vec<_>>());
         let inner = match arch {
             Arch::Mlp => {
                 let data = feature_dataset(samples, n_classes, &standardizer);
@@ -161,8 +157,7 @@ impl TrainedModel {
             }
             Arch::Gbc => {
                 let data = feature_dataset(samples, n_classes, &standardizer);
-                let config =
-                    BoostingConfig { n_stages: scaled(35, scale), ..Default::default() };
+                let config = BoostingConfig { n_stages: scaled(35, scale), ..Default::default() };
                 Inner::Gbc(GradientBoostingClassifier::fit(&data, config))
             }
             Arch::Lstm | Arch::BiLstm => {
@@ -179,7 +174,7 @@ impl TrainedModel {
                 let data = seq_dataset(samples, n_classes, vocab);
                 let config =
                     TransformerConfig { epochs: scaled(16, scale), seed, ..Default::default() };
-                Inner::Transformer(Transformer::fit_classifier(&data, config))
+                Inner::Transformer(Box::new(Transformer::fit_classifier(&data, config)))
             }
             Arch::Gnn => {
                 let data = graph_dataset(samples, n_classes);
@@ -215,7 +210,7 @@ impl TrainedModel {
             Inner::Svm(m) => m.predict_proba(&self.standardizer.transform(&s.features)),
             Inner::Gbc(m) => m.predict_proba(&self.standardizer.transform(&s.features)),
             Inner::Lstm(m) => m.predict_proba(&s.tokens),
-            Inner::Transformer(m) => Classifier::predict_proba(m, &s.tokens[..]),
+            Inner::Transformer(m) => Classifier::predict_proba(m.as_ref(), &s.tokens[..]),
             Inner::Gnn(m) => m.predict_proba(s.graph.as_ref().expect("graph view")),
         }
     }
@@ -228,7 +223,7 @@ impl TrainedModel {
         match &self.inner {
             Inner::Mlp(_) | Inner::Svm(_) | Inner::Gbc(_) => {}
             Inner::Lstm(m) => emb.extend(m.embed(&s.tokens)),
-            Inner::Transformer(m) => emb.extend(Classifier::embed(m, &s.tokens[..])),
+            Inner::Transformer(m) => emb.extend(Classifier::embed(m.as_ref(), &s.tokens[..])),
             Inner::Gnn(m) => emb.extend(m.embed(s.graph.as_ref().expect("graph view"))),
         }
         emb
@@ -306,10 +301,8 @@ mod tests {
 
     #[test]
     fn every_arch_trains_and_predicts_on_coarsening() {
-        let case = coarsening::generate(&CoarseningConfig {
-            kernels_per_suite: 8,
-            ..Default::default()
-        });
+        let case =
+            coarsening::generate(&CoarseningConfig { kernels_per_suite: 8, ..Default::default() });
         for arch in [Arch::Mlp, Arch::Svm, Arch::Gbc, Arch::Lstm, Arch::Transformer] {
             let model =
                 TrainedModel::fit(arch, &case.train, case.n_classes, case.vocab, tiny_budget());
@@ -332,17 +325,10 @@ mod tests {
 
     #[test]
     fn bilstm_reports_bidirectional_arch() {
-        let case = coarsening::generate(&CoarseningConfig {
-            kernels_per_suite: 5,
-            ..Default::default()
-        });
-        let model = TrainedModel::fit(
-            Arch::BiLstm,
-            &case.train,
-            case.n_classes,
-            case.vocab,
-            tiny_budget(),
-        );
+        let case =
+            coarsening::generate(&CoarseningConfig { kernels_per_suite: 5, ..Default::default() });
+        let model =
+            TrainedModel::fit(Arch::BiLstm, &case.train, case.n_classes, case.vocab, tiny_budget());
         assert_eq!(model.arch(), Arch::BiLstm);
     }
 
@@ -357,17 +343,9 @@ mod tests {
             TrainBudget { epochs_scale: 0.3, seed: 2 },
         );
         let relabeled: Vec<_> = case.drift_test.iter().take(5).cloned().collect();
-        let before: usize = case
-            .drift_test
-            .iter()
-            .filter(|s| model.predict(s) == s.label)
-            .count();
+        let before: usize = case.drift_test.iter().filter(|s| model.predict(s) == s.label).count();
         model.retrain(&case.train, &relabeled);
-        let after: usize = case
-            .drift_test
-            .iter()
-            .filter(|s| model.predict(s) == s.label)
-            .count();
+        let after: usize = case.drift_test.iter().filter(|s| model.predict(s) == s.label).count();
         // Retraining with drift feedback should not make things much worse.
         assert!(
             after + 5 >= before,

@@ -125,11 +125,8 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths.iter())
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         format!("| {} |\n", padded.join(" | "))
     };
     out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));

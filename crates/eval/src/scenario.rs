@@ -11,6 +11,7 @@ use std::time::Instant;
 use prom_core::assessment::assess_initialization;
 use prom_core::calibration::CalibrationRecord;
 use prom_core::committee::{PromConfig, PromJudgement};
+use prom_core::detector::Sample;
 use prom_core::incremental::{select_for_relabeling, RelabelBudget};
 use prom_core::predictor::PromClassifier;
 use prom_core::tuning::calibrate_tau;
@@ -101,11 +102,7 @@ pub struct FittedScenario {
 /// exists), and on these workloads the search under-tunes; the paper's
 /// fixed ε = 0.1 with τ calibration is more faithful and more robust.
 #[allow(dead_code)]
-pub fn tune_thresholds(
-    records: &[CalibrationRecord],
-    base: &PromConfig,
-    seed: u64,
-) -> PromConfig {
+pub fn tune_thresholds(records: &[CalibrationRecord], base: &PromConfig, seed: u64) -> PromConfig {
     const EPSILONS: [f64; 6] = [0.02, 0.05, 0.1, 0.15, 0.25, 0.35];
     const CONF_THRESHOLDS: [f64; 3] = [0.95, 0.9, 0.5];
     const FPR_CAP: f64 = 0.15;
@@ -115,8 +112,7 @@ pub fn tune_thresholds(
     let mut rng = prom_ml::rng::rng_from_seed(seed ^ 0x6e1d);
     let holdout = records.len() / 4;
     // Accumulate one confusion per grid point over 2 rounds.
-    let mut tallies =
-        vec![BinaryConfusion::default(); EPSILONS.len() * CONF_THRESHOLDS.len()];
+    let mut tallies = vec![BinaryConfusion::default(); EPSILONS.len() * CONF_THRESHOLDS.len()];
     for _ in 0..2 {
         let (cal_idx, val_idx) = prom_ml::rng::split_indices(&mut rng, records.len(), holdout);
         let cal: Vec<CalibrationRecord> = cal_idx.iter().map(|i| records[*i].clone()).collect();
@@ -187,11 +183,8 @@ pub fn fit_scenario(config: &ScenarioConfig) -> FittedScenario {
         .map(|s| {
             let probs = model.predict_proba(s);
             let pred = prom_ml::matrix::argmax(&probs);
-            let label = if !s.runtimes.is_empty() && !s.is_misprediction(pred) {
-                pred
-            } else {
-                s.label
-            };
+            let label =
+                if !s.runtimes.is_empty() && !s.is_misprediction(pred) { pred } else { s.label };
             CalibrationRecord::new(model.embed(s), probs, label)
         })
         .collect();
@@ -234,25 +227,41 @@ pub fn is_misprediction(sample: &CodeSample, pred: usize) -> bool {
     }
 }
 
-/// Judges every sample with Prom, returning the per-sample judgements.
+/// Extracts the deployment-time [`Sample`] stream for a set of inputs: one
+/// model forward pass each, shared by every detector that judges the
+/// stream (Prom and the baselines alike).
+pub fn deployment_samples(model: &TrainedModel, samples: &[CodeSample]) -> Vec<Sample> {
+    samples.iter().map(|s| Sample::new(model.embed(s), model.predict_proba(s))).collect()
+}
+
+/// Misprediction truth for a deployment stream: whether each model
+/// output's argmax prediction counts as a misprediction for its sample
+/// under the paper's rules ([`is_misprediction`]). Shared by every
+/// detector-quality evaluation (Figs. 8, 10, 11, 13(a)).
+pub fn misprediction_flags(samples: &[CodeSample], stream: &[Sample]) -> Vec<bool> {
+    samples
+        .iter()
+        .zip(stream.iter())
+        .map(|(s, d)| is_misprediction(s, prom_ml::matrix::argmax(&d.outputs)))
+        .collect()
+}
+
+/// Judges every sample with Prom through the batched hot path, returning
+/// the per-sample judgements.
 pub fn judge_all(
     prom: &PromClassifier,
     model: &TrainedModel,
     samples: &[CodeSample],
 ) -> Vec<PromJudgement> {
-    samples.iter().map(|s| prom.judge(&model.embed(s), &model.predict_proba(s))).collect()
+    prom.judge_batch(&deployment_samples(model, samples))
 }
 
-/// Detection quality of reject decisions against misprediction truth.
-pub fn detection_stats(
-    model: &TrainedModel,
-    samples: &[CodeSample],
-    judgements: &[PromJudgement],
-) -> DetectionStats {
+/// Detection quality of reject decisions against misprediction truth
+/// (from [`misprediction_flags`], so the model is not run a second time).
+pub fn detection_stats(judgements: &[PromJudgement], mispredicted: &[bool]) -> DetectionStats {
     let mut confusion = BinaryConfusion::default();
-    for (s, j) in samples.iter().zip(judgements.iter()) {
-        let pred = model.predict(s);
-        confusion.record(!j.accepted, is_misprediction(s, pred));
+    for (j, &wrong) in judgements.iter().zip(mispredicted.iter()) {
+        confusion.record(!j.accepted, wrong);
     }
     DetectionStats::from_confusion(&confusion)
 }
@@ -290,8 +299,12 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
     let design = evaluate_model(&fitted.model, &fitted.data.iid_test, n_classes);
     let deploy = evaluate_model(&fitted.model, &fitted.data.drift_test, n_classes);
 
-    let judgements = judge_all(&fitted.prom, &fitted.model, &fitted.data.drift_test);
-    let detection = detection_stats(&fitted.model, &fitted.data.drift_test, &judgements);
+    // One model forward pass per drift-test sample, shared between the
+    // judging and the misprediction ground truth.
+    let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
+    let judgements = fitted.prom.judge_batch(&stream);
+    let detection =
+        detection_stats(&judgements, &misprediction_flags(&fitted.data.drift_test, &stream));
 
     let coverage_deviation =
         assess_initialization(&fitted.records, &fitted.prom_config, 3, config.scale.seed)
@@ -324,24 +337,28 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
 }
 
 /// Sweeps the significance level ε on an already-fitted scenario,
-/// re-thresholding the cached p-values (Fig. 13(a)).
-pub fn sweep_epsilon(
-    fitted: &FittedScenario,
-    epsilons: &[f64],
-) -> Vec<(f64, DetectionStats)> {
-    let samples = &fitted.data.drift_test;
+/// re-thresholding the cached p-values (Fig. 13(a)): the model forward
+/// passes and the conformal kernel run once per sample; each grid point
+/// only re-runs the committee vote.
+pub fn sweep_epsilon(fitted: &FittedScenario, epsilons: &[f64]) -> Vec<(f64, DetectionStats)> {
+    let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
+    let mispredicted = misprediction_flags(&fitted.data.drift_test, &stream);
+    let cached: Vec<(usize, Vec<Vec<f64>>)> = stream
+        .iter()
+        .map(|s| {
+            let predicted = prom_ml::matrix::argmax(&s.outputs);
+            (predicted, fitted.prom.expert_p_values(&s.embedding, &s.outputs))
+        })
+        .collect();
     epsilons
         .iter()
         .map(|&eps| {
             let cfg = PromConfig { epsilon: eps, ..fitted.prom_config.clone() };
-            let mut confusion = BinaryConfusion::default();
-            for s in samples {
-                let probs = fitted.model.predict_proba(s);
-                let j = fitted.prom.judge_with(&fitted.model.embed(s), &probs, &cfg);
-                let pred = prom_ml::matrix::argmax(&probs);
-                confusion.record(!j.accepted, is_misprediction(s, pred));
-            }
-            (eps, DetectionStats::from_confusion(&confusion))
+            let judgements: Vec<PromJudgement> = cached
+                .iter()
+                .map(|(predicted, ps)| fitted.prom.judgement_from_p_values(ps, *predicted, &cfg))
+                .collect();
+            (eps, detection_stats(&judgements, &mispredicted))
         })
         .collect()
 }

@@ -11,13 +11,16 @@ use prom_ml::lstm::{Lstm, LstmConfig};
 use prom_ml::metrics::{BinaryConfusion, ConfusionMatrix};
 use prom_workloads::vulnerability;
 
-use crate::baseline_eval::{compare_detectors, BaselineComparison};
+use prom_core::detector::DriftDetector;
+
+use crate::baseline_eval::{compare_detectors, evaluate_detector, BaselineComparison};
 use crate::codegen_eval::{run_codegen, CodegenConfig, CodegenResult};
 use crate::models::TrainBudget;
 use crate::registry::{models_for, CaseId, CaseScale};
 use crate::report::DetectionStats;
 use crate::scenario::{
-    detection_stats, fit_scenario, judge_all, run_scenario, ScenarioConfig, ScenarioResult,
+    deployment_samples, fit_scenario, misprediction_flags, run_scenario, ScenarioConfig,
+    ScenarioResult,
 };
 
 /// Global scale of an evaluation run: 1.0 reproduces the full experiment;
@@ -62,8 +65,7 @@ impl SuiteScale {
                 as usize)
                 .max(10),
             variant_tasks: ((full.variant_tasks as f64 * self.data).round() as usize).max(3),
-            variant_records: ((full.variant_records as f64 * self.data.max(0.4)).round()
-                as usize)
+            variant_records: ((full.variant_records as f64 * self.data.max(0.4)).round() as usize)
                 .max(10),
             epochs: ((full.epochs as f64 * self.epochs).round() as usize).max(3),
             seed: self.seed,
@@ -129,34 +131,35 @@ pub fn run_baseline_suite(scale: SuiteScale) -> Vec<BaselineComparison> {
 
 /// Fig. 11: detection quality of each single nonconformity function vs the
 /// full Prom committee, on one (case, model) scenario.
+///
+/// Every variant is driven as a [`DriftDetector`] over one shared
+/// deployment stream (the model runs once per test input, not once per
+/// committee variant).
 pub fn run_ncm_ablation(config: &ScenarioConfig) -> Vec<(String, DetectionStats)> {
     let fitted = fit_scenario(config);
-    let mut out = Vec::new();
-    for name in ["LAC", "Top-K", "APS", "RAPS"] {
-        let expert = nonconformity::by_name(name).expect("known NCM");
-        let prom = PromClassifier::with_experts(
-            fitted.records.clone(),
-            vec![expert],
-            fitted.prom_config.clone(),
-        )
-        .expect("valid single-expert committee");
-        let judgements: Vec<_> = fitted
-            .data
-            .drift_test
-            .iter()
-            .map(|s| prom.judge(&fitted.model.embed(s), &fitted.model.predict_proba(s)))
-            .collect();
-        out.push((
-            name.to_string(),
-            detection_stats(&fitted.model, &fitted.data.drift_test, &judgements),
-        ));
-    }
-    let judgements = judge_all(&fitted.prom, &fitted.model, &fitted.data.drift_test);
-    out.push((
-        "PROM".to_string(),
-        detection_stats(&fitted.model, &fitted.data.drift_test, &judgements),
-    ));
-    out
+    let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
+    let mispredicted = misprediction_flags(&fitted.data.drift_test, &stream);
+
+    let single_expert: Vec<(String, PromClassifier)> = ["LAC", "Top-K", "APS", "RAPS"]
+        .into_iter()
+        .map(|name| {
+            let expert = nonconformity::by_name(name).expect("known NCM");
+            let prom = PromClassifier::with_experts(
+                fitted.records.clone(),
+                vec![expert],
+                fitted.prom_config.clone(),
+            )
+            .expect("valid single-expert committee");
+            (name.to_string(), prom)
+        })
+        .collect();
+
+    single_expert
+        .iter()
+        .map(|(name, prom)| (name.clone(), prom as &dyn DriftDetector))
+        .chain(std::iter::once(("PROM".to_string(), &fitted.prom as &dyn DriftDetector)))
+        .map(|(name, det)| (name, evaluate_detector(det, &stream, &mispredicted)))
+        .collect()
 }
 
 /// Fig. 1(a): trains the Vulde-style Bi-LSTM on the earliest era bucket and
@@ -183,8 +186,10 @@ pub fn run_motivation(scale: SuiteScale) -> Vec<(String, f64)> {
     buckets
         .iter()
         .map(|(name, samples)| {
-            let pred: Vec<usize> =
-                samples.iter().map(|s| prom_ml::traits::Classifier::predict(&model, &s.tokens[..])).collect();
+            let pred: Vec<usize> = samples
+                .iter()
+                .map(|s| prom_ml::traits::Classifier::predict(&model, &s.tokens[..]))
+                .collect();
             let truth: Vec<usize> = samples.iter().map(|s| s.label).collect();
             let f1 = ConfusionMatrix::new(2, &pred, &truth)
                 .recall(1)
@@ -248,11 +253,9 @@ pub struct Summary {
 pub fn summarize(results: &[ScenarioResult]) -> Summary {
     let perf: Vec<(f64, f64, f64)> = results
         .iter()
-        .filter_map(|r| {
-            match (&r.design.perf, &r.deploy.perf, &r.prom_deploy.perf) {
-                (Some(d), Some(x), Some(p)) => Some((d.mean, x.mean, p.mean)),
-                _ => None,
-            }
+        .filter_map(|r| match (&r.design.perf, &r.deploy.perf, &r.prom_deploy.perf) {
+            (Some(d), Some(x), Some(p)) => Some((d.mean, x.mean, p.mean)),
+            _ => None,
         })
         .collect();
     let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| -> f64 {
@@ -312,10 +315,8 @@ mod tests {
 
     #[test]
     fn ncm_ablation_reports_five_methods() {
-        let cfg = tiny().scenario(
-            CaseId::Devmap,
-            ModelSpec { paper_name: "test", arch: Arch::Mlp },
-        );
+        let cfg =
+            tiny().scenario(CaseId::Devmap, ModelSpec { paper_name: "test", arch: Arch::Mlp });
         let rows = run_ncm_ablation(&cfg);
         let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["LAC", "Top-K", "APS", "RAPS", "PROM"]);
@@ -323,10 +324,8 @@ mod tests {
 
     #[test]
     fn summary_pools_detection_counts() {
-        let cfg = tiny().scenario(
-            CaseId::Coarsening,
-            ModelSpec { paper_name: "test", arch: Arch::Mlp },
-        );
+        let cfg =
+            tiny().scenario(CaseId::Coarsening, ModelSpec { paper_name: "test", arch: Arch::Mlp });
         let r = run_scenario(&cfg);
         let s = summarize(&[r]);
         assert!((0.0..=1.0).contains(&s.accuracy));

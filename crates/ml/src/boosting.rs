@@ -59,12 +59,8 @@ impl GradientBoostingRegressor {
     /// data — incremental learning for tree ensembles.
     pub fn boost(&mut self, data: &RegressionDataset, extra_stages: usize) {
         for _ in 0..extra_stages {
-            let residuals: Vec<f64> = data
-                .x
-                .iter()
-                .zip(data.y.iter())
-                .map(|(x, &y)| y - self.predict_value(x))
-                .collect();
+            let residuals: Vec<f64> =
+                data.x.iter().zip(data.y.iter()).map(|(x, &y)| y - self.predict_value(x)).collect();
             let tree = DecisionTree::fit_regressor(&data.x, &residuals, &self.config.tree);
             self.stages.push(tree);
         }
@@ -72,9 +68,7 @@ impl GradientBoostingRegressor {
 
     /// Ensemble prediction.
     pub fn predict_value(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.stages.iter().map(|t| t.predict_value(x)).sum::<f64>()
+        self.base + self.learning_rate * self.stages.iter().map(|t| t.predict_value(x)).sum::<f64>()
     }
 
     /// Number of fitted stages.
@@ -113,12 +107,8 @@ impl GradientBoostingClassifier {
         assert!(!data.is_empty(), "cannot fit boosting on empty data");
         let n_classes = data.n_classes();
         assert!(n_classes >= 2, "boosted classifier needs at least two classes");
-        let mut model = Self {
-            n_classes,
-            stages: Vec::new(),
-            learning_rate: config.learning_rate,
-            config,
-        };
+        let mut model =
+            Self { n_classes, stages: Vec::new(), learning_rate: config.learning_rate, config };
         model.boost(data, model.config.n_stages);
         model
     }
@@ -192,17 +182,11 @@ mod tests {
             &data,
             BoostingConfig { n_stages: 5, ..Default::default() },
         );
-        let err5: f64 = x
-            .iter()
-            .zip(y.iter())
-            .map(|(xi, &yi)| (model.predict_value(xi) - yi).abs())
-            .sum();
+        let err5: f64 =
+            x.iter().zip(y.iter()).map(|(xi, &yi)| (model.predict_value(xi) - yi).abs()).sum();
         model.boost(&data, 40);
-        let err45: f64 = x
-            .iter()
-            .zip(y.iter())
-            .map(|(xi, &yi)| (model.predict_value(xi) - yi).abs())
-            .sum();
+        let err45: f64 =
+            x.iter().zip(y.iter()).map(|(xi, &yi)| (model.predict_value(xi) - yi).abs()).sum();
         assert!(err45 < err5, "boosting more stages must reduce training error");
         assert_eq!(model.n_stages(), 45);
     }
@@ -230,10 +214,7 @@ mod tests {
 
     #[test]
     fn classifier_probabilities_are_normalized() {
-        let data = Dataset::new(
-            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
-            vec![0, 0, 1, 1],
-        );
+        let data = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]], vec![0, 0, 1, 1]);
         let model = GradientBoostingClassifier::fit(
             &data,
             BoostingConfig { n_stages: 10, ..Default::default() },

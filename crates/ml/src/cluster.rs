@@ -190,8 +190,7 @@ pub fn gap_statistic_k(
                         .collect()
                 })
                 .collect();
-            let ref_model =
-                KMeans::fit(&reference, k, seed.wrapping_add((r * 1000 + k) as u64));
+            let ref_model = KMeans::fit(&reference, k, seed.wrapping_add((r * 1000 + k) as u64));
             ref_logs.push(ref_model.inertia(&reference).max(1e-12).ln());
         }
         let mean_ref = ref_logs.iter().sum::<f64>() / n_refs as f64;
@@ -230,10 +229,7 @@ mod tests {
         let mut pts = Vec::new();
         for &(cx, cy) in &centers {
             for _ in 0..n_per {
-                pts.push(vec![
-                    gaussian_with(&mut rng, cx, 0.5),
-                    gaussian_with(&mut rng, cy, 0.5),
-                ]);
+                pts.push(vec![gaussian_with(&mut rng, cx, 0.5), gaussian_with(&mut rng, cy, 0.5)]);
             }
         }
         pts

@@ -335,7 +335,7 @@ mod tests {
         let mut rng = rng_from_seed(9);
         let folds = k_fold_indices(&mut rng, 23, 5);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![0usize; 23];
+        let mut seen = [0usize; 23];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 23);
             for &i in test {

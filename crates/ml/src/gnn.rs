@@ -34,10 +34,7 @@ impl Graph {
         let d = node_features[0].len();
         assert!(node_features.iter().all(|f| f.len() == d), "ragged node features");
         let n = node_features.len();
-        assert!(
-            edges.iter().all(|&(u, v)| u < n && v < n),
-            "edge endpoint out of range"
-        );
+        assert!(edges.iter().all(|&(u, v)| u < n && v < n), "edge endpoint out of range");
         Self { node_features, edges }
     }
 
@@ -412,10 +409,8 @@ mod tests {
     #[test]
     fn embedding_width_matches_last_layer() {
         let train = graph_dataset(20, 4);
-        let model = Gnn::fit(
-            &train,
-            GnnConfig { hidden: vec![12, 7], epochs: 1, ..Default::default() },
-        );
+        let model =
+            Gnn::fit(&train, GnnConfig { hidden: vec![12, 7], epochs: 1, ..Default::default() });
         assert_eq!(model.embed(&train.graphs[0]).len(), 7);
     }
 

@@ -141,7 +141,10 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let center = if label == 0 { -2.0 } else { 2.0 };
-            x.push(vec![gaussian_with(&mut rng, center, 0.7), gaussian_with(&mut rng, -center, 0.7)]);
+            x.push(vec![
+                gaussian_with(&mut rng, center, 0.7),
+                gaussian_with(&mut rng, -center, 0.7),
+            ]);
             y.push(label);
         }
         Dataset::new(x, y)
@@ -200,7 +203,10 @@ mod tests {
         for i in 0..150 {
             let label = i % 2;
             let center = if label == 0 { 6.0 } else { 10.0 };
-            x.push(vec![gaussian_with(&mut rng, center, 0.4), gaussian_with(&mut rng, center, 0.4)]);
+            x.push(vec![
+                gaussian_with(&mut rng, center, 0.4),
+                gaussian_with(&mut rng, center, 0.4),
+            ]);
             y.push(label);
         }
         let shifted = Dataset::new(x, y);

@@ -58,14 +58,14 @@ struct Direction {
 }
 
 struct StepCache {
-    xh: Vec<f64>,   // concatenated [x_t, h_prev]
+    xh: Vec<f64>, // concatenated [x_t, h_prev]
     i: Vec<f64>,
     f: Vec<f64>,
     g: Vec<f64>,
     o: Vec<f64>,
-    c: Vec<f64>,    // cell state after this step
+    c: Vec<f64>, // cell state after this step
     tanh_c: Vec<f64>,
-    h: Vec<f64>,    // hidden after this step
+    h: Vec<f64>, // hidden after this step
 }
 
 impl Direction {
@@ -105,20 +105,10 @@ impl Direction {
             let f: Vec<f64> = z[h_dim..2 * h_dim].iter().map(|&v| sigmoid(v)).collect();
             let g: Vec<f64> = z[2 * h_dim..3 * h_dim].iter().map(|&v| v.tanh()).collect();
             let o: Vec<f64> = z[3 * h_dim..].iter().map(|&v| sigmoid(v)).collect();
-            let new_c: Vec<f64> =
-                (0..h_dim).map(|j| f[j] * c[j] + i[j] * g[j]).collect();
+            let new_c: Vec<f64> = (0..h_dim).map(|j| f[j] * c[j] + i[j] * g[j]).collect();
             let tanh_c: Vec<f64> = new_c.iter().map(|&v| v.tanh()).collect();
             let new_h: Vec<f64> = (0..h_dim).map(|j| o[j] * tanh_c[j]).collect();
-            caches.push(StepCache {
-                xh,
-                i,
-                f,
-                g,
-                o,
-                c: new_c.clone(),
-                tanh_c,
-                h: new_h.clone(),
-            });
+            caches.push(StepCache { xh, i, f, g, o, c: new_c.clone(), tanh_c, h: new_h.clone() });
             h = new_h;
             c = new_c;
         }
@@ -143,11 +133,7 @@ impl Direction {
         let mut dc = vec![0.0; h_dim];
         for t in (0..t_len).rev() {
             let cache = &caches[t];
-            let c_prev: Vec<f64> = if t == 0 {
-                vec![0.0; h_dim]
-            } else {
-                caches[t - 1].c.clone()
-            };
+            let c_prev: Vec<f64> = if t == 0 { vec![0.0; h_dim] } else { caches[t - 1].c.clone() };
             let mut dz = vec![0.0; 4 * h_dim];
             for j in 0..h_dim {
                 let do_ = dh[j] * cache.tanh_c[j];
@@ -287,13 +273,8 @@ impl Lstm {
             let drep = self.head_w.vecmat(&delta);
 
             // Backprop through each direction.
-            let dx_fwd = self.forward_dir.backward(
-                &fwd_caches,
-                &drep[..h],
-                e,
-                &mut g_fw,
-                &mut g_fb,
-            );
+            let dx_fwd =
+                self.forward_dir.backward(&fwd_caches, &drep[..h], e, &mut g_fw, &mut g_fb);
             for (t, dx) in dx_fwd.iter().enumerate() {
                 axpy(g_embed.row_mut(seq[t]), dx, 1.0);
             }
@@ -446,10 +427,7 @@ mod tests {
     #[test]
     fn bidirectional_representation_is_wider() {
         let train = token_dataset(60, 10, 8, 5);
-        let uni = Lstm::fit(
-            &train,
-            LstmConfig { epochs: 2, hidden_dim: 6, ..Default::default() },
-        );
+        let uni = Lstm::fit(&train, LstmConfig { epochs: 2, hidden_dim: 6, ..Default::default() });
         let bi = Lstm::fit(
             &train,
             LstmConfig { epochs: 2, hidden_dim: 6, bidirectional: true, ..Default::default() },

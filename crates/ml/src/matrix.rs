@@ -144,7 +144,8 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} * {:?}",
             self.shape(),
             other.shape()
@@ -169,7 +170,8 @@ impl Matrix {
     /// Matrix product `self * other^T` without materializing the transpose.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_transpose_b shape mismatch: {:?} * {:?}^T",
             self.shape(),
             other.shape()
@@ -187,7 +189,8 @@ impl Matrix {
     /// Matrix product `self^T * other` without materializing the transpose.
     pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "transpose_a_matmul shape mismatch: {:?}^T * {:?}",
             self.shape(),
             other.shape()

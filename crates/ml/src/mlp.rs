@@ -106,8 +106,7 @@ impl Mlp {
         let mut dims = vec![input_dim];
         dims.extend_from_slice(&config.hidden);
         dims.push(out_dim);
-        let layers =
-            dims.windows(2).map(|pair| Layer::new(&mut rng, pair[0], pair[1])).collect();
+        let layers = dims.windows(2).map(|pair| Layer::new(&mut rng, pair[0], pair[1])).collect();
         Self { layers, task, config, input_dim }
     }
 
@@ -158,9 +157,7 @@ impl Mlp {
         for _ in 0..epochs {
             let order = rng::permutation(&mut rng, data.len());
             for chunk in order.chunks(self.config.batch_size.max(1)) {
-                self.step_batch(chunk, &|i| &data.x[i], &|i, out: &[f64]| {
-                    vec![out[0] - data.y[i]]
-                });
+                self.step_batch(chunk, &|i| &data.x[i], &|i, out: &[f64]| vec![out[0] - data.y[i]]);
             }
         }
     }
@@ -308,7 +305,7 @@ mod tests {
                 gaussian_with(&mut rng, a as f64 * 2.0 - 1.0, 0.2),
                 gaussian_with(&mut rng, b as f64 * 2.0 - 1.0, 0.2),
             ]);
-            y.push((a ^ b) as usize);
+            y.push(a ^ b);
         }
         Dataset::new(x, y)
     }
@@ -321,8 +318,7 @@ mod tests {
             &train,
             MlpConfig { hidden: vec![16], epochs: 250, ..Default::default() },
         );
-        let pred: Vec<usize> =
-            test.x.iter().map(|x| Classifier::predict(&model, &x[..])).collect();
+        let pred: Vec<usize> = test.x.iter().map(|x| Classifier::predict(&model, &x[..])).collect();
         assert!(accuracy(&pred, &test.y) > 0.95, "MLP failed XOR");
     }
 

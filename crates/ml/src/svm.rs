@@ -129,8 +129,7 @@ impl LinearSvm {
         let mut rng = rng_from_seed(config.seed);
         let machines = (0..n_classes)
             .map(|c| {
-                let y: Vec<f64> =
-                    data.y.iter().map(|&v| if v == c { 1.0 } else { -1.0 }).collect();
+                let y: Vec<f64> = data.y.iter().map(|&v| if v == c { 1.0 } else { -1.0 }).collect();
                 BinarySvm::fit(&data.x, &y, &config, &mut rng)
             })
             .collect();

@@ -106,15 +106,15 @@ struct Opt {
 }
 
 struct Cache {
-    x: Matrix,      // T x d (embedded + positional)
-    q: Matrix,      // T x a
-    k: Matrix,      // T x a
-    v: Matrix,      // T x a
-    attn: Matrix,   // T x T (post-softmax)
-    h: Matrix,      // T x a
-    u: Matrix,      // T x d (projected + residual)
-    z1: Matrix,     // T x f (pre-ReLU)
-    g: Matrix,      // T x f (post-ReLU)
+    x: Matrix,    // T x d (embedded + positional)
+    q: Matrix,    // T x a
+    k: Matrix,    // T x a
+    v: Matrix,    // T x a
+    attn: Matrix, // T x T (post-softmax)
+    h: Matrix,    // T x a
+    u: Matrix,    // T x d (projected + residual)
+    z1: Matrix,   // T x f (pre-ReLU)
+    g: Matrix,    // T x f (post-ReLU)
     pooled: Vec<f64>,
 }
 
@@ -225,19 +225,12 @@ impl Transformer {
     }
 
     /// Continues regressor training (incremental learning).
-    pub fn train_regressor_epochs(
-        &mut self,
-        seqs: &[Vec<usize>],
-        targets: &[f64],
-        epochs: usize,
-    ) {
+    pub fn train_regressor_epochs(&mut self, seqs: &[Vec<usize>], targets: &[f64], epochs: usize) {
         let mut rng = rng_from_seed(self.config.seed.wrapping_add(31));
         for _ in 0..epochs {
             let order = rng::permutation(&mut rng, seqs.len());
             for chunk in order.chunks(self.config.batch_size.max(1)) {
-                self.step_batch(chunk, &|i| &seqs[i], &|i, out: &[f64]| {
-                    vec![out[0] - targets[i]]
-                });
+                self.step_batch(chunk, &|i| &seqs[i], &|i, out: &[f64]| vec![out[0] - targets[i]]);
             }
         }
     }
@@ -396,6 +389,7 @@ impl Transformer {
         // Attention: h = attn v.
         let dattn = dh.matmul_transpose_b(&cache.v); // T x T
         let dv = cache.attn.transpose_a_matmul(&dh); // T x a
+
         // Row-wise softmax backward.
         let mut ds = Matrix::zeros(t_len, t_len);
         for i in 0..t_len {

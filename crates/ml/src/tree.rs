@@ -170,9 +170,7 @@ fn build(
     depth: usize,
 ) -> Node {
     let parent_impurity = impurity(targets, idx, criterion);
-    if depth >= config.max_depth
-        || idx.len() < config.min_samples_split
-        || parent_impurity < 1e-12
+    if depth >= config.max_depth || idx.len() < config.min_samples_split || parent_impurity < 1e-12
     {
         return leaf_for(targets, idx, criterion);
     }
@@ -180,6 +178,7 @@ fn build(
     let n_features = x[0].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted impurity)
     let mut values: Vec<f64> = Vec::with_capacity(idx.len());
+    #[allow(clippy::needless_range_loop)] // `feature` indexes inner rows via `idx`, not `x` itself
     for feature in 0..n_features {
         values.clear();
         values.extend(idx.iter().map(|&i| x[i][feature]));
@@ -246,8 +245,7 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let mut rng = rng_from_seed(1);
-        let x: Vec<Vec<f64>> =
-            (0..200).map(|_| vec![gaussian_with(&mut rng, 0.0, 1.0)]).collect();
+        let x: Vec<Vec<f64>> = (0..200).map(|_| vec![gaussian_with(&mut rng, 0.0, 1.0)]).collect();
         let y: Vec<usize> = x.iter().map(|v| if v[0].sin() > 0.0 { 1 } else { 0 }).collect();
         let tree = DecisionTree::fit_classifier(
             &x,
@@ -271,11 +269,8 @@ mod tests {
     fn regression_tree_fits_step_function() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
         let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 3.0 }).collect();
-        let tree = DecisionTree::fit_regressor(
-            &x,
-            &y,
-            &TreeConfig { max_depth: 2, ..Default::default() },
-        );
+        let tree =
+            DecisionTree::fit_regressor(&x, &y, &TreeConfig { max_depth: 2, ..Default::default() });
         assert!((tree.predict_value(&[0.2]) - 1.0).abs() < 1e-9);
         assert!((tree.predict_value(&[0.8]) - 3.0).abs() < 1e-9);
     }
@@ -295,10 +290,8 @@ mod tests {
             y.push(c);
         }
         let tree = DecisionTree::fit_classifier(&x, &y, 2, &TreeConfig::default());
-        let pred: Vec<usize> = x
-            .iter()
-            .map(|v| crate::matrix::argmax(&tree.predict_proba(v)))
-            .collect();
+        let pred: Vec<usize> =
+            x.iter().map(|v| crate::matrix::argmax(&tree.predict_proba(v))).collect();
         assert!(accuracy(&pred, &y) > 0.95);
     }
 }

@@ -190,10 +190,14 @@ pub fn runtime(kernel: &Kernel, gpu: &Gpu, cf: usize) -> f64 {
     // the achievable gain scales with locality and saturates with cf.
     let reuse = kernel.locality * (1.0 - 1.0 / cf) * 0.6;
     let dyn_irregular = 1.0 + kernel.hidden_irregularity;
-    let compute_work = items * kernel.compute * (1.0 - reuse)
+    let compute_work = items
+        * kernel.compute
+        * (1.0 - reuse)
         * (1.0 + kernel.divergence * dyn_irregular * gpu.div_sens * (cf - 1.0) / 12.0);
     let mem_reuse = kernel.locality * (1.0 - 1.0 / cf) * 0.45;
-    let mem_work = items * kernel.mem * (1.0 - mem_reuse)
+    let mem_work = items
+        * kernel.mem
+        * (1.0 - mem_reuse)
         * (1.0 + gpu.coal_sens * dyn_irregular * (1.0 - kernel.locality) * (cf - 1.0) / 24.0);
 
     let compute_time = compute_work / (gpu.flops * occupancy * 1e6);
@@ -225,11 +229,12 @@ fn bin4(value: f64, lo: f64, hi: f64) -> usize {
 }
 
 fn tokens(kernel: &Kernel, gpu_id: usize, rng: &mut StdRng) -> Vec<usize> {
-    let mut toks = Vec::new();
-    toks.push(T_GPU_BASE + gpu_id);
-    toks.push(T_WI_BASE + bin4(kernel.log_work_items, 10.0, 21.0));
-    toks.push(T_REG_BASE + bin4(kernel.regs, 8.0, 64.0));
-    toks.push(T_LOOP);
+    let mut toks = vec![
+        T_GPU_BASE + gpu_id,
+        T_WI_BASE + bin4(kernel.log_work_items, 10.0, 21.0),
+        T_REG_BASE + bin4(kernel.regs, 8.0, 64.0),
+        T_LOOP,
+    ];
     let pushes = [
         (T_COMPUTE, (kernel.compute / 8.0).round() as usize),
         (T_LOAD, (kernel.mem / 5.0).round() as usize),
@@ -305,13 +310,12 @@ pub fn generate(config: &CoarseningConfig) -> ClassificationCase {
     for suite in 0..3 {
         for _ in 0..config.kernels_per_suite {
             // A slice of the held-out suite resembles the training suites.
-            let source_suite = if suite == config.holdout_suite
-                && rng.gen::<f64>() < config.familiar_fraction
-            {
-                (config.holdout_suite + 1 + rng.gen_range(0..2)) % 3
-            } else {
-                suite
-            };
+            let source_suite =
+                if suite == config.holdout_suite && rng.gen::<f64>() < config.familiar_fraction {
+                    (config.holdout_suite + 1 + rng.gen_range(0..2)) % 3
+                } else {
+                    suite
+                };
             for (gpu_id, gpu) in gpus.iter().enumerate() {
                 let mut s = make_sample(source_suite, gpu_id, gpu, &mut rng);
                 s.group = suite;
@@ -325,8 +329,7 @@ pub fn generate(config: &CoarseningConfig) -> ClassificationCase {
     }
     // 85/15 train / design-time-test split of the in-distribution samples.
     let n_test = in_dist.len() / 7;
-    let (train_idx, test_idx) =
-        prom_ml::rng::split_indices(&mut rng, in_dist.len(), n_test);
+    let (train_idx, test_idx) = prom_ml::rng::split_indices(&mut rng, in_dist.len(), n_test);
     let train: Vec<CodeSample> = train_idx.iter().map(|&i| in_dist[i].clone()).collect();
     let iid_test: Vec<CodeSample> = test_idx.iter().map(|&i| in_dist[i].clone()).collect();
     let case = ClassificationCase {

@@ -213,12 +213,12 @@ fn tile_bin(log_tile: f64) -> usize {
 /// owning a disjoint id range (sequence length 10, vocabulary [`VOCAB`]).
 pub fn tokenize(w: &Workload, s: &Schedule) -> Vec<usize> {
     vec![
-        dim_bin(w.log_m),               // 0..6
-        6 + dim_bin(w.log_n),           // 6..12
-        12 + dim_bin(w.log_k),          // 12..18
-        18 + tile_bin(s.log_tile_m),    // 18..24
-        24 + tile_bin(s.log_tile_n),    // 24..30
-        30 + tile_bin(s.log_tile_k),    // 30..36
+        dim_bin(w.log_m),                       // 0..6
+        6 + dim_bin(w.log_n),                   // 6..12
+        12 + dim_bin(w.log_k),                  // 12..18
+        18 + tile_bin(s.log_tile_m),            // 18..24
+        24 + tile_bin(s.log_tile_n),            // 24..30
+        30 + tile_bin(s.log_tile_k),            // 30..36
         36 + (s.unroll.log2() as usize).min(3), // 36..40
         40 + (s.vec.log2() as usize).min(4),    // 40..45
         45 + (s.par.log2() as usize).min(5),    // 45..51

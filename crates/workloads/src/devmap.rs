@@ -79,13 +79,10 @@ pub fn runtimes(k: &MappingKernel) -> (f64, f64) {
 
     // GPU: ~40x peak parallel throughput, scaled down by divergence,
     // irregular access, and atomics; plus PCIe transfer cost.
-    let gpu_throughput = 40.0
-        * (1.0 - 0.75 * k.divergence)
-        * (0.3 + 0.7 * k.regularity)
-        * (1.0 - 0.6 * k.atomics);
+    let gpu_throughput =
+        40.0 * (1.0 - 0.75 * k.divergence) * (0.3 + 0.7 * k.regularity) * (1.0 - 0.6 * k.atomics);
     let gpu_time = transfer / 8.0e6
-        + work
-            * (serial + k.parallel_fraction * (1.0 + k.hidden_stall) / gpu_throughput.max(0.5))
+        + work * (serial + k.parallel_fraction * (1.0 + k.hidden_stall) / gpu_throughput.max(0.5))
             / 1.0e6;
     (cpu_time, gpu_time)
 }
@@ -308,10 +305,7 @@ mod tests {
         let case = generate(&DevmapConfig::default());
         let ones: usize = case.train.iter().map(|s| s.label).sum();
         let frac = ones as f64 / case.train.len() as f64;
-        assert!(
-            (0.15..=0.85).contains(&frac),
-            "label balance out of range: {frac}"
-        );
+        assert!((0.15..=0.85).contains(&frac), "label balance out of range: {frac}");
     }
 
     #[test]
@@ -327,9 +321,8 @@ mod tests {
     #[test]
     fn drift_suite_prefers_cpu_more_often() {
         let case = generate(&DevmapConfig::default());
-        let gpu_frac = |xs: &[CodeSample]| {
-            xs.iter().map(|s| s.label).sum::<usize>() as f64 / xs.len() as f64
-        };
+        let gpu_frac =
+            |xs: &[CodeSample]| xs.iter().map(|s| s.label).sum::<usize>() as f64 / xs.len() as f64;
         // Hidden stalls push most of the holdout suite onto the CPU.
         assert!(
             gpu_frac(&case.train) > gpu_frac(&case.drift_test) + 0.15,

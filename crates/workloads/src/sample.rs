@@ -76,11 +76,9 @@ impl ClassificationCase {
         assert!(!self.train.is_empty(), "{}: empty training set", self.name);
         assert!(!self.iid_test.is_empty(), "{}: empty iid test set", self.name);
         assert!(!self.drift_test.is_empty(), "{}: empty drift test set", self.name);
-        for (part, samples) in [
-            ("train", &self.train),
-            ("iid_test", &self.iid_test),
-            ("drift_test", &self.drift_test),
-        ] {
+        for (part, samples) in
+            [("train", &self.train), ("iid_test", &self.iid_test), ("drift_test", &self.drift_test)]
+        {
             for (i, s) in samples.iter().enumerate() {
                 assert!(
                     s.label < self.n_classes,
@@ -109,8 +107,7 @@ impl ClassificationCase {
     /// Mean oracle-relative performance of always predicting each sample's
     /// own label (always 1.0; useful as a harness sanity check).
     pub fn oracle_ratio(&self, samples: &[CodeSample]) -> f64 {
-        let with_rt: Vec<&CodeSample> =
-            samples.iter().filter(|s| !s.runtimes.is_empty()).collect();
+        let with_rt: Vec<&CodeSample> = samples.iter().filter(|s| !s.runtimes.is_empty()).collect();
         if with_rt.is_empty() {
             return 1.0;
         }

@@ -111,7 +111,9 @@ pub fn runtime(l: &Loop, cpu: &Cpu, vf: usize, il: usize) -> f64 {
     let mask_waste = 1.0 + l.branch * (vf_f - 1.0) / 8.0;
     // Strided access turns vector loads into gathers.
     let gather = if l.stride > 1.0 && vf > 1 {
-        1.0 + (cpu.gather_cost - 1.0) * (1.0 - 1.0 / l.stride.min(8.0)) * (l.mem / (l.mem + l.arith))
+        1.0 + (cpu.gather_cost - 1.0)
+            * (1.0 - 1.0 / l.stride.min(8.0))
+            * (l.mem / (l.mem + l.arith))
     } else {
         1.0
     };
@@ -157,8 +159,8 @@ fn sample_loop(family: usize, rng: &mut StdRng) -> Loop {
                 64.0
             },
             branch: gaussian_with(rng, 0.08, 0.06).clamp(0.0, 0.8),
-            dtype_bytes: if family % 3 == 0 { 8.0 } else { 4.0 },
-            reduction: if family % 4 == 0 { 1.0 } else { 0.0 },
+            dtype_bytes: if family.is_multiple_of(3) { 8.0 } else { 4.0 },
+            reduction: if family.is_multiple_of(4) { 1.0 } else { 0.0 },
         }
     } else {
         // Drifted families: strided gathers, short dependences, branchy.
@@ -169,8 +171,8 @@ fn sample_loop(family: usize, rng: &mut StdRng) -> Loop {
             mem: gaussian_with(rng, 6.0, 1.5).clamp(2.0, 12.0),
             dep_distance: gaussian_with(rng, 4.0, 2.0).clamp(1.0, 16.0),
             branch: gaussian_with(rng, 0.4, 0.15).clamp(0.0, 1.0),
-            dtype_bytes: if family % 2 == 0 { 8.0 } else { 4.0 },
-            reduction: if family % 3 == 0 { 1.0 } else { 0.0 },
+            dtype_bytes: if family.is_multiple_of(2) { 8.0 } else { 4.0 },
+            reduction: if family.is_multiple_of(3) { 1.0 } else { 0.0 },
         }
     }
 }
@@ -358,7 +360,8 @@ mod tests {
 
     #[test]
     fn drifted_families_have_different_optima() {
-        let case = generate(&VectorizationConfig { loops_per_family: 30, seed: 1, ..Default::default() });
+        let case =
+            generate(&VectorizationConfig { loops_per_family: 30, seed: 1, ..Default::default() });
         let mean_label_train: f64 =
             case.train.iter().map(|s| s.label as f64).sum::<f64>() / case.train.len() as f64;
         let mean_label_drift: f64 = case.drift_test.iter().map(|s| s.label as f64).sum::<f64>()
@@ -373,7 +376,8 @@ mod tests {
 
     #[test]
     fn oracle_uses_multiple_classes() {
-        let case = generate(&VectorizationConfig { loops_per_family: 20, seed: 2, ..Default::default() });
+        let case =
+            generate(&VectorizationConfig { loops_per_family: 20, seed: 2, ..Default::default() });
         let mut seen = std::collections::HashSet::new();
         for s in &case.train {
             seen.insert(s.label);

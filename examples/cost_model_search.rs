@@ -10,9 +10,7 @@
 //! near-oracle search quality at a bounded profiling budget — the paper's
 //! "apply other, more expensive measures to drifting samples".
 
-use prom::core::regression::{
-    ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord,
-};
+use prom::core::regression::{ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord};
 use prom::ml::traits::Regressor;
 use prom::ml::transformer::{Transformer, TransformerConfig};
 use prom::workloads::codegen::{self, BertVariant};
@@ -35,9 +33,7 @@ fn main() {
     let cal: Vec<RegressionRecord> = corpus
         .iter()
         .step_by(7)
-        .map(|r| {
-            RegressionRecord::new(r.features.clone(), predict(&r.tokens), r.target)
-        })
+        .map(|r| RegressionRecord::new(r.features.clone(), predict(&r.tokens), r.target))
         .collect();
     let prom = PromRegressor::new(
         cal,
@@ -64,11 +60,8 @@ fn main() {
             scored.iter().take(TOP_K).map(|&(_, t)| t).fold(f64::NEG_INFINITY, f64::max)
         };
 
-        let native: Vec<(f64, f64)> = task
-            .candidates
-            .iter()
-            .map(|c| (predict(&c.tokens), c.target))
-            .collect();
+        let native: Vec<(f64, f64)> =
+            task.candidates.iter().map(|c| (predict(&c.tokens), c.target)).collect();
         native_ratio += best_of_topk(native) / oracle;
 
         let guarded: Vec<(f64, f64)> = task

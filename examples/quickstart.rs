@@ -54,8 +54,8 @@ fn main() {
             CalibrationRecord::new(Classifier::embed(&model, &x[..]), model.predict_proba(x), y)
         })
         .collect();
-    let prom = PromClassifier::new(records, PromConfig::default())
-        .expect("valid calibration records");
+    let prom =
+        PromClassifier::new(records, PromConfig::default()).expect("valid calibration records");
 
     // 4. Deployment: in-distribution inputs vs drifted inputs.
     for (name, shift) in [("in-distribution", 0.0), ("drifted", 12.0)] {
@@ -67,8 +67,7 @@ fn main() {
             let judgement = prom.judge(&Classifier::embed(&model, &x[..]), &probs);
             if judgement.accepted {
                 accepted += 1;
-                correct_accepted +=
-                    usize::from(prom::ml::matrix::argmax(&probs) == y);
+                correct_accepted += usize::from(prom::ml::matrix::argmax(&probs) == y);
             }
         }
         println!(

@@ -5,9 +5,7 @@ use prom::core::assessment::assess_initialization;
 use prom::core::calibration::CalibrationRecord;
 use prom::core::committee::PromConfig;
 use prom::core::predictor::PromClassifier;
-use prom::core::regression::{
-    ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord,
-};
+use prom::core::regression::{ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord};
 use prom::ml::rng::{gaussian_with, rng_from_seed};
 use rand::Rng;
 
@@ -41,10 +39,7 @@ fn prediction_sets_cover_exchangeable_data() {
         .filter(|r| prom.prediction_set(&r.embedding, &r.probs).contains(&r.label))
         .count();
     let coverage = covered as f64 / test.len() as f64;
-    assert!(
-        (0.78..=1.0).contains(&coverage),
-        "coverage {coverage} too far from the 0.9 target"
-    );
+    assert!((0.78..=1.0).contains(&coverage), "coverage {coverage} too far from the 0.9 target");
 }
 
 #[test]
@@ -53,10 +48,8 @@ fn drifted_inputs_are_rejected_more_often_than_iid_inputs() {
     let prom = PromClassifier::new(cal, PromConfig { tau: 40.0, ..Default::default() }).unwrap();
     let reject_rate = |shift: f64, seed: u64| -> f64 {
         let batch = draw(200, shift, seed);
-        let rejected = batch
-            .iter()
-            .filter(|r| !prom.judge(&r.embedding, &r.probs).accepted)
-            .count();
+        let rejected =
+            batch.iter().filter(|r| !prom.judge(&r.embedding, &r.probs).accepted).count();
         rejected as f64 / batch.len() as f64
     };
     let iid = reject_rate(0.0, 3);
@@ -88,11 +81,7 @@ fn regression_detector_separates_systematic_model_error() {
             let target = x0 + x1;
             // Calibration residuals are on the same scale as the k-NN
             // ground-truth proxy's own error, as in a realistic cost model.
-            RegressionRecord::new(
-                vec![x0, x1],
-                target + gaussian_with(&mut rng, 0.0, 0.3),
-                target,
-            )
+            RegressionRecord::new(vec![x0, x1], target + gaussian_with(&mut rng, 0.0, 0.3), target)
         })
         .collect();
     let prom = PromRegressor::new(

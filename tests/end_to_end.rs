@@ -20,10 +20,8 @@ fn tiny(case: CaseId, arch: Arch) -> ScenarioConfig {
 
 #[test]
 fn workload_to_model_to_prom_pipeline() {
-    let case = coarsening::generate(&CoarseningConfig {
-        kernels_per_suite: 10,
-        ..Default::default()
-    });
+    let case =
+        coarsening::generate(&CoarseningConfig { kernels_per_suite: 10, ..Default::default() });
     let model = TrainedModel::fit(
         Arch::Mlp,
         &case.train,
