@@ -71,7 +71,16 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-fn run_measurement<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+fn run_measurement<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, quick: bool, mut f: F) {
+    // Quick (smoke) mode: one un-calibrated iteration per sample, one
+    // sample — enough to prove the benchmark code still runs, which is
+    // what CI wants from `cargo bench -- --quick`.
+    if quick {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{id:<48} quick {:>10}  (1 sample × 1 iter)", format_duration(b.elapsed));
+        return;
+    }
     // Calibrate: find an iteration count that runs for ≳2 ms per sample.
     let mut iters = 1u64;
     loop {
@@ -89,7 +98,7 @@ fn run_measurement<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: 
             b.elapsed.as_secs_f64() / iters as f64
         })
         .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    per_iter.sort_by(f64::total_cmp);
     let min = per_iter[0];
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
@@ -123,7 +132,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
         if self.criterion.matches(&id) {
-            run_measurement(&id, self.criterion.sample_size, f);
+            run_measurement(&id, self.criterion.sample_size, self.criterion.quick, f);
         }
         self
     }
@@ -136,23 +145,26 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 20, filter: None }
+        Self { sample_size: 20, filter: None, quick: false }
     }
 }
 
 impl Criterion {
     /// Applies CLI arguments. Supported: an optional positional substring
-    /// filter; `--bench`/`--test` harness flags and `--sample-size N`.
-    /// (Cargo passes `--bench` when running registered benches.)
+    /// filter; `--bench`/`--test` harness flags, `--sample-size N`, and
+    /// `--quick` (smoke mode: one iteration per benchmark, mirroring
+    /// upstream criterion's flag).
     pub fn configure_from_args(mut self) -> Self {
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--bench" | "--test" | "--verbose" | "--quiet" => {}
+                "--quick" => self.quick = true,
                 "--sample-size" => {
                     if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
                         self.sample_size = n;
@@ -182,7 +194,7 @@ impl Criterion {
     ) -> &mut Self {
         let id = id.into();
         if self.matches(&id) {
-            run_measurement(&id, self.sample_size, f);
+            run_measurement(&id, self.sample_size, self.quick, f);
         }
         self
     }
@@ -215,7 +227,7 @@ mod tests {
 
     #[test]
     fn harness_runs_grouped_and_batched_benchmarks() {
-        let mut c = Criterion { sample_size: 3, filter: None };
+        let mut c = Criterion { sample_size: 3, filter: None, quick: false };
         let mut group = c.benchmark_group("g");
         group.sample_size(2);
         let mut runs = 0u64;
@@ -229,10 +241,18 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching() {
-        let mut c = Criterion { sample_size: 2, filter: Some("nomatch".into()) };
+        let mut c = Criterion { sample_size: 2, filter: Some("nomatch".into()), quick: false };
         let mut ran = false;
         c.bench_function("other", |b| b.iter(|| ran = true));
         assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn quick_mode_runs_exactly_one_iteration() {
+        let mut c = Criterion { sample_size: 20, filter: None, quick: true };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "--quick must run the routine exactly once");
     }
 
     #[test]

@@ -76,13 +76,29 @@ impl Rise {
     }
 }
 
-/// The score vector RISE feeds its SVM: credibility (p-value of the
-/// predicted label), confidence (1 - the runner-up p-value), and the
-/// prediction-set size as an auxiliary signal.
-fn score_features(table: &ScoreTable, probs: &[f64], epsilon: f64) -> Vec<f64> {
+/// Reusable buffers for [`score_features_into`], so a batched deployment
+/// window computes per-sample features without per-sample allocation.
+#[derive(Debug, Default)]
+struct ScoreScratch {
+    test_scores: Vec<f64>,
+    p_values: Vec<f64>,
+}
+
+/// The score vector RISE feeds its SVM, written into `features`:
+/// credibility (p-value of the predicted label), confidence (1 - the
+/// runner-up p-value), and the prediction-set size as an auxiliary signal.
+fn score_features_into(
+    table: &ScoreTable,
+    probs: &[f64],
+    epsilon: f64,
+    scratch: &mut ScoreScratch,
+    features: &mut Vec<f64>,
+) {
     let predicted = prom_ml::matrix::argmax(probs);
-    let test_scores: Vec<f64> = (0..probs.len()).map(|y| Lac.score(probs, y)).collect();
-    let ps = table.p_values(&test_scores);
+    scratch.test_scores.clear();
+    scratch.test_scores.extend((0..probs.len()).map(|y| Lac.score(probs, y)));
+    table.p_values_into(&scratch.test_scores, &mut scratch.p_values);
+    let ps = &scratch.p_values;
     let credibility = ps[predicted];
     let runner_up = ps
         .iter()
@@ -92,7 +108,16 @@ fn score_features(table: &ScoreTable, probs: &[f64], epsilon: f64) -> Vec<f64> {
         .fold(0.0f64, f64::max);
     let confidence = 1.0 - runner_up;
     let set_size = ps.iter().filter(|&&p| p > epsilon).count() as f64;
-    vec![credibility, confidence, set_size]
+    features.clear();
+    features.extend_from_slice(&[credibility, confidence, set_size]);
+}
+
+/// One-shot form of [`score_features_into`] for the fitting path.
+fn score_features(table: &ScoreTable, probs: &[f64], epsilon: f64) -> Vec<f64> {
+    let mut scratch = ScoreScratch::default();
+    let mut features = Vec::with_capacity(3);
+    score_features_into(table, probs, epsilon, &mut scratch, &mut features);
+    features
 }
 
 impl DriftDetector for Rise {
@@ -103,6 +128,29 @@ impl DriftDetector for Rise {
     fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
         let features = score_features(&self.table, outputs, self.epsilon);
         Judgement::single(self.svm.predict(&features) == 1)
+    }
+
+    /// Batched override: identical judgements to the looped path, but one
+    /// set of score buffers is reused across the whole window — the only
+    /// baseline where per-judgement allocation is worth amortizing
+    /// (`NaiveCp` and `Tesseract` judge with a single allocation-free
+    /// binary search each).
+    fn judge_batch(&self, samples: &[prom_core::detector::Sample]) -> Vec<Judgement> {
+        let mut scratch = ScoreScratch::default();
+        let mut features = Vec::with_capacity(3);
+        samples
+            .iter()
+            .map(|s| {
+                score_features_into(
+                    &self.table,
+                    &s.outputs,
+                    self.epsilon,
+                    &mut scratch,
+                    &mut features,
+                );
+                Judgement::single(self.svm.predict(&features) == 1)
+            })
+            .collect()
     }
 }
 

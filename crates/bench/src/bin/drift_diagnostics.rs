@@ -19,7 +19,10 @@ fn median(mut v: Vec<f64>) -> f64 {
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    // IEEE total order: defined for NaN (sign-dependent position), so the
+    // median never panics on a degenerate distance.
+    v.sort_by(f64::total_cmp);
+
     v[v.len() / 2]
 }
 

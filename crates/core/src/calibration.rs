@@ -20,10 +20,15 @@ impl CalibrationRecord {
     ///
     /// # Panics
     ///
-    /// Panics if `label` is out of range for `probs` or either vector is
-    /// empty.
+    /// Panics if `label` is out of range for `probs`, either vector is
+    /// empty, or the embedding contains NaN. Calibration is a design-time
+    /// (or recalibration-time) step, so a corrupt record fails loudly here;
+    /// the NaN-tolerant "infinitely far" policy in the scoring kernel is
+    /// reserved for *test* embeddings, which arrive adversarially at
+    /// serving time.
     pub fn new(embedding: Vec<f64>, probs: Vec<f64>, label: usize) -> Self {
         assert!(!embedding.is_empty(), "empty embedding");
+        assert!(embedding.iter().all(|v| !v.is_nan()), "NaN in calibration embedding");
         assert!(!probs.is_empty(), "empty probability vector");
         assert!(label < probs.len(), "label {label} out of range for {} classes", probs.len());
         Self { embedding, probs, label }
@@ -81,10 +86,14 @@ pub fn select_weighted_subset(
         .enumerate()
         .map(|(i, e)| {
             assert_eq!(e.len(), test_embedding.len(), "embedding length mismatch");
-            (l2_distance(e, test_embedding), i)
+            let d = l2_distance(e, test_embedding);
+            // Same NaN policy as `ScoringKernel::select`: a NaN distance is
+            // infinitely far (weight 0), keeping this reference path
+            // bit-equivalent to the kernel on degenerate inputs.
+            (if d.is_nan() { f64::INFINITY } else { d }, i)
         })
         .collect();
-    by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+    by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
     let keep = if n < config.min_full_size {
         n
     } else {
@@ -102,6 +111,12 @@ mod tests {
 
     fn line_embeddings(n: usize) -> Vec<Vec<f64>> {
         (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in calibration embedding")]
+    fn nan_calibration_embedding_fails_at_construction() {
+        let _ = CalibrationRecord::new(vec![0.1, f64::NAN], vec![0.5, 0.5], 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! (the paper relabels at most 5% of flagged samples, sometimes just one).
 
 use crate::committee::PromJudgement;
+use crate::detector::Judgement;
 
 /// A relabeling budget.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +41,12 @@ impl RelabelBudget {
 /// drifted first (lowest mean credibility), bounded by the budget.
 ///
 /// `judgements[i]` must correspond to deployment sample `i`; the returned
-/// indices point into that array.
+/// indices point into that array. A NaN credibility (a degenerate model
+/// output can poison every expert's p-value) orders **after** every real
+/// credibility and is never selected: a sample whose drift signal is
+/// undefined must not consume the ground-truth labeling budget — and it
+/// must not abort the serving path the way the previous
+/// `partial_cmp().expect(...)` sort did.
 pub fn select_for_relabeling(judgements: &[PromJudgement], budget: RelabelBudget) -> Vec<usize> {
     let mut flagged: Vec<(usize, f64)> = judgements
         .iter()
@@ -48,7 +54,28 @@ pub fn select_for_relabeling(judgements: &[PromJudgement], budget: RelabelBudget
         .filter(|(_, j)| !j.accepted)
         .map(|(i, j)| (i, j.mean_credibility()))
         .collect();
-    flagged.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN credibility"));
+    // Stable sort, NaN last regardless of sign bit (`total_cmp` alone would
+    // order -NaN first).
+    flagged.sort_by(|a, b| a.1.is_nan().cmp(&b.1.is_nan()).then(a.1.total_cmp(&b.1)));
+    let take = budget.allowance(flagged.len());
+    flagged.into_iter().take(take).filter(|(_, c)| !c.is_nan()).map(|(i, _)| i).collect()
+}
+
+/// [`select_for_relabeling`] for the detector-agnostic [`Judgement`] form
+/// used by the streaming deployment pipeline: flagged samples are ranked by
+/// reject-vote fraction, most votes first (the strongest committee drift
+/// signal available without per-expert credibilities), ties broken by
+/// stream order.
+pub fn select_flagged(judgements: &[Judgement], budget: RelabelBudget) -> Vec<usize> {
+    let mut flagged: Vec<(usize, f64)> = judgements
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| !j.accepted)
+        .map(|(i, j)| (i, j.reject_votes as f64 / j.n_experts.max(1) as f64))
+        .collect();
+    // Vote fractions are finite by construction, so `total_cmp` is a plain
+    // descending order here.
+    flagged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let take = budget.allowance(flagged.len());
     flagged.into_iter().take(take).map(|(i, _)| i).collect()
 }
@@ -107,5 +134,38 @@ mod tests {
     fn nothing_flagged_nothing_selected() {
         let js = vec![judgement(true, 0.9); 5];
         assert!(select_for_relabeling(&js, RelabelBudget::default()).is_empty());
+    }
+
+    #[test]
+    fn nan_credibility_orders_last_and_is_never_selected() {
+        // Regression: this panicked ("NaN credibility") before the
+        // `total_cmp` switch.
+        let js = vec![
+            judgement(false, f64::NAN),
+            judgement(false, 0.3),
+            judgement(false, -f64::NAN), // negative NaN must also order last
+            judgement(false, 0.1),
+        ];
+        let picked = select_for_relabeling(&js, RelabelBudget { fraction: 1.0, min_count: 1 });
+        assert_eq!(picked, vec![3, 1], "NaN credibility must never be selected");
+
+        let all_nan = vec![judgement(false, f64::NAN); 3];
+        assert!(
+            select_for_relabeling(&all_nan, RelabelBudget::default()).is_empty(),
+            "an all-NaN window selects nothing rather than guessing"
+        );
+    }
+
+    fn flat(accepted: bool, reject_votes: usize) -> crate::detector::Judgement {
+        crate::detector::Judgement { accepted, reject_votes, n_experts: 4 }
+    }
+
+    #[test]
+    fn flat_selection_prefers_more_reject_votes_then_stream_order() {
+        let js =
+            vec![flat(true, 0), flat(false, 3), flat(false, 4), flat(false, 3), flat(false, 2)];
+        let picked = select_flagged(&js, RelabelBudget { fraction: 0.6, min_count: 1 });
+        assert_eq!(picked, vec![2, 1, 3], "most votes first, ties by stream order");
+        assert!(select_flagged(&[flat(true, 0)], RelabelBudget::default()).is_empty());
     }
 }

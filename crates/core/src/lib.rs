@@ -70,6 +70,7 @@ pub mod committee;
 pub mod detector;
 pub mod incremental;
 pub mod nonconformity;
+pub mod pipeline;
 pub mod predictor;
 pub mod pvalue;
 pub mod regression;
@@ -79,6 +80,7 @@ pub mod tuning;
 pub use calibration::CalibrationRecord;
 pub use committee::{PromConfig, PromJudgement};
 pub use detector::{DriftDetector, Judgement, Sample};
+pub use pipeline::{DeploymentPipeline, PipelineConfig};
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;
 

@@ -1,0 +1,414 @@
+//! The sharded, thread-parallel deployment pipeline (the serving-path
+//! counterpart of the paper's Figs. 10/12 deployment loop).
+//!
+//! [`DriftDetector::judge_batch`] amortizes per-call work across a window,
+//! but still runs on one core. At the traffic rates the ROADMAP targets the
+//! judging itself becomes the bottleneck, so this module adds the layer
+//! above the batch API:
+//!
+//! * [`map_sharded`] / [`judge_sharded`] — split a window into contiguous
+//!   shards, judge each shard on its own scoped thread (every shard's
+//!   `judge_batch` call owns its own scratch buffers), and stitch the
+//!   results back in input order. Judging is per-sample pure, so the
+//!   stitched output is **bit-identical** to a single sequential
+//!   `judge_batch` call — parallelism is an implementation detail, never a
+//!   behaviour change (`tests/batch_equivalence.rs` asserts this for all
+//!   five detectors across shard counts).
+//! * [`DeploymentPipeline`] — the streaming form: `push` samples as they
+//!   arrive, and every full window is judged (sharded), its rejects are
+//!   ranked, the [`RelabelBudget`] picks the slice worth ground-truth
+//!   labels, and an optional window hook hands the report plus the window's
+//!   samples to the caller — the online half of the paper's Sec. 5.4
+//!   incremental-learning loop (the caller relabels and recalibrates
+//!   between streams; see `examples/deployment_pipeline.rs`).
+
+use crate::detector::{DriftDetector, Judgement, Sample};
+use crate::incremental::{select_flagged, RelabelBudget};
+
+/// The shard count matching this machine's available parallelism (1 when
+/// it cannot be queried).
+pub fn available_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `samples` into at most `n_shards` contiguous chunks, maps each
+/// chunk with `judge_window` on its own scoped thread, and concatenates the
+/// results in input order.
+///
+/// `judge_window` must return exactly one result per input sample (as every
+/// `judge_batch` does); order within a chunk is preserved and chunks are
+/// stitched in input order, so `map_sharded(s, k, f)` equals `f(s)`
+/// element-for-element regardless of `k`. A shard count of 0 or 1 — or a
+/// window smaller than the shard count — degrades gracefully (each shard
+/// judges at least one sample; a single shard runs inline without
+/// spawning).
+///
+/// # Panics
+///
+/// Panics if `judge_window` returns a different number of results than it
+/// was given samples, or if a shard thread panics.
+pub fn map_sharded<T, F>(samples: &[Sample], n_shards: usize, judge_window: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[Sample]) -> Vec<T> + Sync,
+{
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let shards = n_shards.clamp(1, samples.len());
+    let out = if shards == 1 {
+        judge_window(samples)
+    } else {
+        let chunk = samples.len().div_ceil(shards);
+        let mut stitched = Vec::with_capacity(samples.len());
+        crossbeam::thread::scope(|scope| {
+            let judge_window = &judge_window;
+            let handles: Vec<_> = samples
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move |_| judge_window(shard)))
+                .collect();
+            // Joining in spawn order stitches shard results back in input
+            // order.
+            for handle in handles {
+                stitched.extend(handle.join().expect("shard thread panicked"));
+            }
+        })
+        .expect("shard scope panicked");
+        stitched
+    };
+    assert_eq!(out.len(), samples.len(), "judge_window must return one result per sample");
+    out
+}
+
+/// Judges a window through [`DriftDetector::judge_batch`] across `n_shards`
+/// scoped threads. Bit-identical to `detector.judge_batch(samples)` (see
+/// [`map_sharded`]).
+pub fn judge_sharded<D: DriftDetector + ?Sized>(
+    detector: &D,
+    samples: &[Sample],
+    n_shards: usize,
+) -> Vec<Judgement> {
+    map_sharded(samples, n_shards, |shard| detector.judge_batch(shard))
+}
+
+/// Configuration of a [`DeploymentPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Samples per window: a full window is judged and reported as one
+    /// unit. Must be at least 1.
+    pub window: usize,
+    /// Shard-thread count per window (0 and 1 both mean sequential).
+    pub shards: usize,
+    /// Relabeling budget applied to each window's rejects.
+    pub budget: RelabelBudget,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { window: 1024, shards: available_shards(), budget: RelabelBudget::default() }
+    }
+}
+
+/// Running totals of a pipeline's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Samples pushed so far (judged or still buffered).
+    pub pushed: usize,
+    /// Samples judged so far.
+    pub judged: usize,
+    /// Windows emitted so far.
+    pub windows: usize,
+    /// Judged samples the detector rejected.
+    pub rejected: usize,
+    /// Rejected samples selected for relabeling across all windows.
+    pub relabel_selected: usize,
+}
+
+/// What one judged window produced. All indices are **global stream
+/// positions** (the i-th pushed sample has index i), so reports compose
+/// across windows.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// 0-based window number.
+    pub index: usize,
+    /// Global index of the window's first sample.
+    pub start: usize,
+    /// One judgement per sample of the window, in push order.
+    pub judgements: Vec<Judgement>,
+    /// Global indices the detector rejected, ascending.
+    pub flagged: Vec<usize>,
+    /// Global indices selected for relabeling (most drifted first, per
+    /// [`RelabelBudget`]); always a subset of `flagged`.
+    pub relabel: Vec<usize>,
+}
+
+/// The per-window hook: receives each report together with the window's
+/// samples (`samples[i]` is global index `report.start + i`), so the caller
+/// can queue the `relabel` picks for ground-truth labeling and recalibrate
+/// the detector between streams.
+pub type WindowHook<'a> = Box<dyn FnMut(&WindowReport, &[Sample]) + Send + 'a>;
+
+/// A streaming deployment front-end over any [`DriftDetector`]: buffers
+/// pushed samples into fixed-size windows, judges each window on shard
+/// threads (bit-identical to sequential judging), and applies the
+/// relabeling budget per window.
+///
+/// ```
+/// use prom_core::detector::{DriftDetector, Judgement, Sample};
+/// use prom_core::pipeline::{DeploymentPipeline, PipelineConfig};
+///
+/// struct Flat;
+/// impl DriftDetector for Flat {
+///     fn name(&self) -> &'static str {
+///         "flat"
+///     }
+///     fn judge_one(&self, _e: &[f64], outputs: &[f64]) -> Judgement {
+///         Judgement::single(outputs[0] < 0.6)
+///     }
+/// }
+///
+/// let det = Flat;
+/// let mut pipeline = DeploymentPipeline::new(
+///     &det,
+///     PipelineConfig { window: 2, shards: 2, ..Default::default() },
+/// );
+/// assert!(pipeline.push(Sample::new(vec![0.0], vec![0.9, 0.1])).is_none());
+/// let report = pipeline.push(Sample::new(vec![1.0], vec![0.5, 0.5])).unwrap();
+/// assert_eq!(report.flagged, vec![1]);
+/// assert!(pipeline.flush().is_none(), "nothing left buffered");
+/// ```
+pub struct DeploymentPipeline<'a> {
+    detector: &'a dyn DriftDetector,
+    config: PipelineConfig,
+    buffer: Vec<Sample>,
+    stats: PipelineStats,
+    hook: Option<WindowHook<'a>>,
+}
+
+impl<'a> DeploymentPipeline<'a> {
+    /// Creates a pipeline over `detector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window` is 0.
+    pub fn new(detector: &'a dyn DriftDetector, config: PipelineConfig) -> Self {
+        assert!(config.window >= 1, "pipeline window must hold at least one sample");
+        Self {
+            detector,
+            config,
+            buffer: Vec::with_capacity(config.window),
+            stats: PipelineStats::default(),
+            hook: None,
+        }
+    }
+
+    /// Installs the per-window hook (replacing any previous one).
+    #[must_use]
+    pub fn on_window(mut self, hook: impl FnMut(&WindowReport, &[Sample]) + Send + 'a) -> Self {
+        self.hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Pushes one sample; returns the window report when this sample
+    /// completes a window.
+    pub fn push(&mut self, sample: Sample) -> Option<WindowReport> {
+        self.buffer.push(sample);
+        self.stats.pushed += 1;
+        (self.buffer.len() >= self.config.window).then(|| self.emit())
+    }
+
+    /// Pushes every sample of `stream`, collecting the reports of all
+    /// windows completed along the way.
+    pub fn extend(&mut self, stream: impl IntoIterator<Item = Sample>) -> Vec<WindowReport> {
+        stream.into_iter().filter_map(|s| self.push(s)).collect()
+    }
+
+    /// Judges whatever is buffered as a final (possibly short) window;
+    /// `None` when nothing is pending.
+    pub fn flush(&mut self) -> Option<WindowReport> {
+        (!self.buffer.is_empty()).then(|| self.emit())
+    }
+
+    /// Samples buffered but not yet judged.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Lifetime totals.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    fn emit(&mut self) -> WindowReport {
+        let judgements = judge_sharded(self.detector, &self.buffer, self.config.shards);
+        let start = self.stats.judged;
+        let flagged: Vec<usize> = judgements
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.accepted)
+            .map(|(i, _)| start + i)
+            .collect();
+        let relabel: Vec<usize> = select_flagged(&judgements, self.config.budget)
+            .into_iter()
+            .map(|i| start + i)
+            .collect();
+
+        self.stats.judged += judgements.len();
+        self.stats.windows += 1;
+        self.stats.rejected += flagged.len();
+        self.stats.relabel_selected += relabel.len();
+        let report =
+            WindowReport { index: self.stats.windows - 1, start, judgements, flagged, relabel };
+        if let Some(hook) = self.hook.as_mut() {
+            hook(&report, &self.buffer);
+        }
+        self.buffer.clear();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rejects samples whose first output is below 0.5.
+    struct Threshold;
+
+    impl DriftDetector for Threshold {
+        fn name(&self) -> &'static str {
+            "threshold"
+        }
+
+        fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+            Judgement::single(outputs[0] < 0.5)
+        }
+    }
+
+    fn stream(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let conf = 0.2 + 0.6 * ((i % 7) as f64 / 6.0);
+                Sample::new(vec![i as f64], vec![conf, 1.0 - conf])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_judging_matches_sequential_for_any_shard_count() {
+        let det = Threshold;
+        let samples = stream(53);
+        let sequential = det.judge_batch(&samples);
+        for shards in [0, 1, 2, 3, 7, 16, 64, 1000] {
+            assert_eq!(judge_sharded(&det, &samples, shards), sequential, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_judging_handles_degenerate_windows() {
+        let det = Threshold;
+        assert!(judge_sharded(&det, &[], 8).is_empty());
+        let one = stream(1);
+        assert_eq!(judge_sharded(&det, &one, 8), det.judge_batch(&one));
+    }
+
+    #[test]
+    fn map_sharded_preserves_input_order() {
+        let samples = stream(100);
+        let ids = map_sharded(&samples, 7, |shard| {
+            shard.iter().map(|s| s.embedding[0] as usize).collect()
+        });
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per sample")]
+    fn short_judge_window_results_panic() {
+        let samples = stream(4);
+        let _ = map_sharded(&samples, 1, |_| vec![0usize]);
+    }
+
+    #[test]
+    fn pipeline_emits_full_windows_and_flushes_the_tail() {
+        let det = Threshold;
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 10, shards: 3, ..Default::default() },
+        );
+        let reports = pipeline.extend(stream(25));
+        assert_eq!(reports.len(), 2);
+        assert_eq!(pipeline.pending(), 5);
+        let tail = pipeline.flush().expect("tail window");
+        assert_eq!(tail.index, 2);
+        assert_eq!(tail.start, 20);
+        assert_eq!(tail.judgements.len(), 5);
+        assert!(pipeline.flush().is_none());
+
+        let stats = pipeline.stats();
+        assert_eq!(stats.pushed, 25);
+        assert_eq!(stats.judged, 25);
+        assert_eq!(stats.windows, 3);
+    }
+
+    #[test]
+    fn pipeline_judgements_match_one_sequential_batch() {
+        let det = Threshold;
+        let samples = stream(47);
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 8, shards: 4, ..Default::default() },
+        );
+        let mut windowed = Vec::new();
+        for r in pipeline.extend(samples.iter().cloned()) {
+            windowed.extend(r.judgements);
+        }
+        if let Some(r) = pipeline.flush() {
+            windowed.extend(r.judgements);
+        }
+        assert_eq!(windowed, det.judge_batch(&samples));
+    }
+
+    #[test]
+    fn window_reports_use_global_indices_and_budgeted_selection() {
+        let det = Threshold;
+        // Window of 4 with conf pattern: indices 0,7,14,... rejected.
+        let budget = RelabelBudget { fraction: 0.5, min_count: 1 };
+        let mut pipeline =
+            DeploymentPipeline::new(&det, PipelineConfig { window: 4, shards: 2, budget });
+        let reports = pipeline.extend(stream(8));
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert!(report.flagged.iter().all(|&i| i >= report.start && i < report.start + 4));
+            assert!(report.relabel.iter().all(|i| report.flagged.contains(i)));
+            assert_eq!(report.relabel.len(), budget.allowance(report.flagged.len()));
+        }
+        // Sample 7 (conf 0.2) is rejected and lands in the second window.
+        assert!(reports[1].flagged.contains(&7));
+    }
+
+    #[test]
+    fn window_hook_sees_every_window_with_its_samples() {
+        let det = Threshold;
+        let mut seen: Vec<(usize, usize, f64)> = Vec::new();
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 5, shards: 2, ..Default::default() },
+        )
+        .on_window(|report, samples| {
+            seen.push((report.index, samples.len(), samples[0].embedding[0]));
+        });
+        pipeline.extend(stream(12));
+        pipeline.flush();
+        drop(pipeline);
+        assert_eq!(seen, vec![(0, 5, 0.0), (1, 5, 5.0), (2, 2, 10.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_window_panics() {
+        let det = Threshold;
+        let _ = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 0, shards: 1, ..Default::default() },
+        );
+    }
+}

@@ -167,9 +167,24 @@ impl PromClassifier {
     /// form behind ε/confidence sweeps.
     pub fn judge_batch_with(&self, samples: &[Sample], config: &PromConfig) -> Vec<PromJudgement> {
         let mut scratch = JudgeScratch::new();
+        self.judge_batch_scratch(samples, config, &mut scratch)
+    }
+
+    /// The shard entry point of the parallel deployment pipeline: judges a
+    /// window with a **caller-owned** scratch, so a long-lived shard thread
+    /// can reuse one [`JudgeScratch`] (which is `Send`) across every window
+    /// it judges instead of re-growing buffers per window. Judgements are
+    /// identical to [`PromClassifier::judge_batch_with`] — the scratch is
+    /// stateless between samples.
+    pub fn judge_batch_scratch(
+        &self,
+        samples: &[Sample],
+        config: &PromConfig,
+        scratch: &mut JudgeScratch,
+    ) -> Vec<PromJudgement> {
         samples
             .iter()
-            .map(|s| self.judge_scratch(&s.embedding, &s.outputs, config, &mut scratch))
+            .map(|s| self.judge_scratch(&s.embedding, &s.outputs, config, scratch))
             .collect()
     }
 
@@ -493,6 +508,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nan_inputs_produce_defined_judgements_not_panics() {
+        let prom = PromClassifier::new(toy_records(60), PromConfig::default()).unwrap();
+        // NaN embedding: every Eq. 1 weight collapses to 0 and every test
+        // score here is strictly positive, so nothing conforms and the
+        // committee rejects.
+        let j = prom.judge(&[f64::NAN, 0.0], &[0.8, 0.2]);
+        assert!(!j.accepted, "NaN embedding must be rejected, got {j:?}");
+        // NaN probability vector: the judgement is *defined* (no panic) —
+        // experts whose test score turns NaN see p = 0 on the predicted
+        // label (a NaN output conforms to nothing) and vote reject; experts
+        // whose scores stay finite may still vote accept.
+        let j = prom.judge(&[0.1, -0.1], &[f64::NAN, 0.2]);
+        assert_eq!(j.verdicts.len(), 4, "judgement must be fully formed");
+        let lac = &j.verdicts[0];
+        assert_eq!(lac.credibility, 0.0, "NaN LAC score must conform to nothing");
+        assert!(lac.reject);
     }
 
     #[test]

@@ -35,9 +35,13 @@ impl RegressionRecord {
     ///
     /// # Panics
     ///
-    /// Panics on an empty embedding or non-finite values.
+    /// Panics on an empty embedding, a NaN embedding coordinate, or
+    /// non-finite prediction/target. Calibration is a design-time step, so
+    /// corrupt records fail loudly here; only *test* embeddings get the
+    /// scoring kernel's NaN-tolerant treatment.
     pub fn new(embedding: Vec<f64>, prediction: f64, target: f64) -> Self {
         assert!(!embedding.is_empty(), "empty embedding");
+        assert!(embedding.iter().all(|v| !v.is_nan()), "NaN in calibration embedding");
         assert!(prediction.is_finite() && target.is_finite(), "non-finite record");
         Self { embedding, prediction, target }
     }
@@ -294,6 +298,28 @@ impl PromRegressor {
     pub fn judge_batch(&self, samples: &[Sample]) -> Vec<PromJudgement> {
         let mut scratch = JudgeScratch::new();
         let mut neighbours = Vec::new();
+        self.judge_batch_scratch(samples, &mut scratch, &mut neighbours)
+    }
+
+    /// The shard entry point of the parallel deployment pipeline (the
+    /// regression twin of [`PromClassifier::judge_batch_scratch`]): judges
+    /// a window with caller-owned buffers, so a long-lived shard thread
+    /// reuses one `Send` scratch (and k-NN neighbour buffer) across every
+    /// window it judges. Judgements are identical to
+    /// [`PromRegressor::judge_batch`].
+    ///
+    /// [`PromClassifier::judge_batch_scratch`]:
+    /// crate::predictor::PromClassifier::judge_batch_scratch
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PromRegressor::judge_batch`].
+    pub fn judge_batch_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+        neighbours: &mut Vec<usize>,
+    ) -> Vec<PromJudgement> {
         samples
             .iter()
             .map(|s| {
@@ -302,7 +328,7 @@ impl PromRegressor {
                     1,
                     "regression samples carry a single prediction in outputs"
                 );
-                self.judge_scratch(&s.embedding, s.outputs[0], &mut scratch, &mut neighbours)
+                self.judge_scratch(&s.embedding, s.outputs[0], scratch, neighbours)
             })
             .collect()
     }
@@ -513,6 +539,22 @@ mod tests {
         let rich = prom.judge(&[0.1, 0.05], 0.2);
         assert_eq!(flat.accepted, rich.accepted);
         assert_eq!(flat.n_experts, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in calibration embedding")]
+    fn nan_calibration_embedding_fails_at_construction() {
+        let _ = RegressionRecord::new(vec![f64::NAN], 1.0, 1.0);
+    }
+
+    #[test]
+    fn nan_embedding_produces_a_defined_judgement() {
+        let prom = PromRegressor::new(records(80), config_fixed(2)).unwrap();
+        // All distances collapse to +inf: the k-NN proxy falls back to the
+        // lowest-index records and every weight is 0, so the judgement is
+        // defined (and, with positive residual scores, a rejection).
+        let j = prom.judge(&[f64::NAN, f64::NAN], 1.0);
+        assert!(!j.accepted, "NaN embedding must be rejected, got {j:?}");
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl ScoreTable {
             per_label[label].push(score);
         }
         for bucket in &mut per_label {
-            bucket.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+            // Scores were asserted non-NaN above; `total_cmp` keeps the
+            // sort total-order-safe regardless.
+            bucket.sort_unstable_by(f64::total_cmp);
         }
         Self { per_label }
     }
@@ -104,8 +106,19 @@ impl ScoreTable {
     /// P-values for every label given per-label test scores
     /// (`test_scores[y]` is the test nonconformity assuming label `y`).
     pub fn p_values(&self, test_scores: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.p_values_into(test_scores, &mut out);
+        out
+    }
+
+    /// [`ScoreTable::p_values`] into a caller-owned buffer — the
+    /// batched-deployment form, letting a `judge_batch` override reuse one
+    /// output vector across a whole window instead of allocating per
+    /// sample.
+    pub fn p_values_into(&self, test_scores: &[f64], out: &mut Vec<f64>) {
         assert_eq!(test_scores.len(), self.n_labels(), "test-score length mismatch");
-        test_scores.iter().enumerate().map(|(y, &t)| self.p_value(y, t)).collect()
+        out.clear();
+        out.extend(test_scores.iter().enumerate().map(|(y, &t)| self.p_value(y, t)));
     }
 }
 
@@ -222,11 +235,17 @@ impl ScoringKernel {
         scratch.dist.extend(self.embeddings.iter().enumerate().map(|(i, e)| {
             assert_eq!(e.len(), test_embedding.len(), "embedding length mismatch");
             let d = l2_distance(e, test_embedding);
-            // Fail loudly on every path (the keep-everything branch below
-            // never compares distances): a NaN here means the model's
-            // embedding diverged, and NaN weights would silently turn
-            // every p-value into 0.
-            assert!(!d.is_nan(), "NaN distance");
+            // A NaN distance (the *test* embedding diverged — calibration
+            // embeddings are validated NaN-free at record construction)
+            // means the pair conforms to nothing: treat it as infinitely
+            // far, so its Eq. 1 weight is exactly 0 and the judgement stays
+            // *defined* instead of panicking in the serving path. Every
+            // strictly positive test score then gets p = 0; a test score of
+            // exactly 0 (a maximally conforming output) still ties as
+            // `0 >= 0`, matching the reference path's tie rule. Previously
+            // this asserted; a deployment-time detector must never abort on
+            // adversarial inputs.
+            let d = if d.is_nan() { f64::INFINITY } else { d };
             (d, i as u32)
         }));
 
@@ -240,9 +259,9 @@ impl ScoringKernel {
             // is irrelevant — so an O(n) partition replaces a full sort.
             // Ties break by record index so the kept set is well-defined
             // even with duplicate embeddings at the boundary.
-            scratch.dist.select_nth_unstable_by(keep - 1, |a, b| {
-                a.0.partial_cmp(&b.0).expect("NaN distance").then(a.1.cmp(&b.1))
-            });
+            scratch
+                .dist
+                .select_nth_unstable_by(keep - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         }
 
         scratch.selected.clear();
@@ -500,13 +519,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN distance")]
-    fn nan_embedding_panics_even_when_all_records_kept() {
-        // The keep-everything path never compares distances, so the guard
-        // must live in the distance pass itself.
-        let kernel = kernel_fixture(10, 200);
-        let mut scratch = JudgeScratch::new();
-        kernel.select(&[f64::NAN], &mut scratch);
+    fn nan_embedding_yields_zero_weights_and_zero_p_values() {
+        // A NaN test embedding makes every distance NaN; the kernel maps
+        // them to +inf, so every Eq. 1 weight is exactly 0 and positive
+        // test scores get p = 0 on every label — a defined rejection, not
+        // a panic, on both selection paths.
+        for min_full in [200, 5] {
+            let kernel = kernel_fixture(10, min_full);
+            let mut scratch = JudgeScratch::new();
+            kernel.select(&[f64::NAN], &mut scratch);
+            assert!(scratch.selected.iter().all(|&(_, w)| w == 0.0), "min_full {min_full}");
+            scratch.test_scores.clear();
+            scratch.test_scores.extend_from_slice(&[0.2, 0.5, 0.8]);
+            kernel.p_values_into(0, &mut scratch);
+            assert!(scratch.p_values.iter().all(|&p| p == 0.0), "min_full {min_full}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_send_for_shard_threads() {
+        fn assert_send<T: Send>() {}
+        assert_send::<JudgeScratch>();
     }
 
     #[test]

@@ -113,7 +113,10 @@ fn median_pairwise_distance(records: &[CalibrationRecord]) -> f64 {
     if dists.is_empty() {
         return 1.0;
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    // IEEE total order keeps the sort defined for NaN distances (their
+    // position is sign-dependent); a degenerate embedding can shift the
+    // median but no longer panics the τ calibration.
+    dists.sort_by(f64::total_cmp);
     dists[dists.len() / 2].max(1e-6)
 }
 

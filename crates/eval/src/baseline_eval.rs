@@ -12,6 +12,7 @@
 use prom_baselines::tesseract::LabeledOutcome;
 use prom_baselines::{NaiveCp, Rise, Tesseract};
 use prom_core::detector::{DriftDetector, Sample};
+use prom_core::pipeline::{available_shards, judge_sharded};
 use prom_ml::metrics::BinaryConfusion;
 
 use crate::report::DetectionStats;
@@ -30,14 +31,18 @@ pub struct BaselineComparison {
     pub methods: Vec<(String, DetectionStats)>,
 }
 
-/// Judges the shared stream with one detector and scores the reject
+/// Judges the shared stream with one detector — sharded across threads via
+/// the deployment pipeline's [`judge_sharded`] (bit-identical to a single
+/// sequential `judge_batch`, see `prom_core::pipeline`; the stream is
+/// already materialized, so the windowed `push`/`flush` front-end and its
+/// per-sample clones would be pure overhead here) — and scores the reject
 /// decisions against misprediction truth.
 pub fn evaluate_detector(
     detector: &dyn DriftDetector,
     stream: &[Sample],
     mispredicted: &[bool],
 ) -> DetectionStats {
-    let judgements = detector.judge_batch(stream);
+    let judgements = judge_sharded(detector, stream, available_shards());
     let mut confusion = BinaryConfusion::default();
     for (j, &wrong) in judgements.iter().zip(mispredicted.iter()) {
         confusion.record(!j.accepted, wrong);

@@ -27,13 +27,20 @@ pub struct DistStats {
 impl DistStats {
     /// Summarizes a non-empty slice of values.
     ///
+    /// NaN values sort to the **end** of the distribution (IEEE total
+    /// order; a negative-sign NaN sorts first) and propagate into whichever
+    /// statistics touch them — the mean always, upper quantiles usually —
+    /// instead of aborting a whole suite run the way the previous
+    /// `partial_cmp().expect(...)` sort did. Every statistic is a defined
+    /// `f64` for any input.
+    ///
     /// # Panics
     ///
     /// Panics on empty input.
     pub fn from_values(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "cannot summarize an empty distribution");
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN value"));
+        sorted.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             let idx = p * (sorted.len() - 1) as f64;
             let lo = idx.floor() as usize;
@@ -66,6 +73,11 @@ pub struct EvalStats {
 }
 
 /// Drift-detection quality (the metrics of Sec. 6.6).
+///
+/// Carries the **integer confusion counts** alongside the derived rates:
+/// aggregation across scenarios pools the counts exactly (see
+/// [`DetectionStats::confusion`]) instead of reconstructing them from
+/// rounded rates, a lossy round-trip that drifted counts by ±1.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetectionStats {
     /// Detection accuracy.
@@ -84,6 +96,14 @@ pub struct DetectionStats {
     pub n: usize,
     /// Number of true mispredictions among them.
     pub n_mispredictions: usize,
+    /// True positives: mispredictions correctly flagged.
+    pub tp: usize,
+    /// False positives: correct predictions flagged.
+    pub fp: usize,
+    /// True negatives: correct predictions accepted.
+    pub tn: usize,
+    /// False negatives: mispredictions accepted.
+    pub fn_: usize,
 }
 
 impl DetectionStats {
@@ -98,7 +118,16 @@ impl DetectionStats {
             fnr: c.false_negative_rate(),
             n: c.total(),
             n_mispredictions: c.tp + c.fn_,
+            tp: c.tp,
+            fp: c.fp,
+            tn: c.tn,
+            fn_: c.fn_,
         }
+    }
+
+    /// The exact confusion table these stats were derived from.
+    pub fn confusion(&self) -> BinaryConfusion {
+        BinaryConfusion { tp: self.tp, fp: self.fp, tn: self.tn, fn_: self.fn_ }
     }
 }
 
@@ -162,6 +191,18 @@ mod tests {
     }
 
     #[test]
+    fn dist_stats_with_nan_values_stays_defined() {
+        // Regression: this panicked ("NaN value") before the `total_cmp`
+        // switch; a single NaN perf ratio aborted a whole suite run.
+        let s = DistStats::from_values(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0, "NaN sorts last, so min stays real");
+        assert!(s.max.is_nan(), "NaN sorts last and lands in max");
+        assert!(s.mean.is_nan(), "mean must propagate, not panic");
+        assert!((s.median - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn detection_stats_from_confusion() {
         let mut c = BinaryConfusion::default();
         for _ in 0..9 {
@@ -177,6 +218,8 @@ mod tests {
         assert!((d.precision - 0.9).abs() < 1e-12);
         assert_eq!(d.n, 20);
         assert_eq!(d.n_mispredictions, 10);
+        assert_eq!((d.tp, d.fp, d.tn, d.fn_), (9, 1, 9, 1));
+        assert_eq!(d.confusion(), c, "counts must round-trip exactly");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use prom_core::calibration::CalibrationRecord;
 use prom_core::committee::{PromConfig, PromJudgement};
 use prom_core::detector::Sample;
 use prom_core::incremental::{select_for_relabeling, RelabelBudget};
+use prom_core::pipeline::{available_shards, map_sharded};
 use prom_core::predictor::PromClassifier;
 use prom_core::tuning::calibrate_tau;
 use prom_ml::metrics::BinaryConfusion;
@@ -246,14 +247,22 @@ pub fn misprediction_flags(samples: &[CodeSample], stream: &[Sample]) -> Vec<boo
         .collect()
 }
 
-/// Judges every sample with Prom through the batched hot path, returning
-/// the per-sample judgements.
+/// Judges a deployment stream with Prom, keeping the rich per-expert
+/// judgements, across shard threads: each shard runs the batched hot path
+/// on a contiguous slice, and the stitched result is bit-identical to one
+/// sequential `judge_batch` call (see `prom_core::pipeline`).
+pub fn judge_stream_parallel(prom: &PromClassifier, stream: &[Sample]) -> Vec<PromJudgement> {
+    map_sharded(stream, available_shards(), |shard| prom.judge_batch(shard))
+}
+
+/// Judges every sample with Prom through the sharded batched hot path,
+/// returning the per-sample judgements.
 pub fn judge_all(
     prom: &PromClassifier,
     model: &TrainedModel,
     samples: &[CodeSample],
 ) -> Vec<PromJudgement> {
-    prom.judge_batch(&deployment_samples(model, samples))
+    judge_stream_parallel(prom, &deployment_samples(model, samples))
 }
 
 /// Detection quality of reject decisions against misprediction truth
@@ -300,9 +309,10 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
     let deploy = evaluate_model(&fitted.model, &fitted.data.drift_test, n_classes);
 
     // One model forward pass per drift-test sample, shared between the
-    // judging and the misprediction ground truth.
+    // judging and the misprediction ground truth. Judging runs sharded
+    // across threads (bit-identical to sequential).
     let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
-    let judgements = fitted.prom.judge_batch(&stream);
+    let judgements = judge_stream_parallel(&fitted.prom, &stream);
     let detection =
         detection_stats(&judgements, &misprediction_flags(&fitted.data.drift_test, &stream));
 

@@ -249,6 +249,20 @@ pub struct Summary {
     pub f1: f64,
 }
 
+/// Pools detection confusion counts exactly: the aggregate's tp/fp/tn/fn
+/// are the integer sums of the per-scenario counts.
+pub fn pool_detection<'a>(stats: impl IntoIterator<Item = &'a DetectionStats>) -> BinaryConfusion {
+    let mut pooled = BinaryConfusion::default();
+    for d in stats {
+        let c = d.confusion();
+        pooled.tp += c.tp;
+        pooled.fp += c.fp;
+        pooled.tn += c.tn;
+        pooled.fn_ += c.fn_;
+    }
+    pooled
+}
+
 /// Aggregates scenario results into the Table 2 row.
 pub fn summarize(results: &[ScenarioResult]) -> Summary {
     let perf: Vec<(f64, f64, f64)> = results
@@ -264,21 +278,10 @@ pub fn summarize(results: &[ScenarioResult]) -> Summary {
         }
         perf.iter().map(f).sum::<f64>() / perf.len() as f64
     };
-    // Pool detection confusion counts across scenarios.
-    let mut pooled = BinaryConfusion::default();
-    for r in results {
-        let d = &r.detection;
-        // Reconstruct approximate counts from rates and totals.
-        let tp = (d.recall * d.n_mispredictions as f64).round() as usize;
-        let fn_ = d.n_mispredictions - tp.min(d.n_mispredictions);
-        let negatives = d.n - d.n_mispredictions;
-        let fp = (d.fpr * negatives as f64).round() as usize;
-        let tn = negatives - fp.min(negatives);
-        pooled.tp += tp;
-        pooled.fn_ += fn_;
-        pooled.fp += fp;
-        pooled.tn += tn;
-    }
+    // Pool detection confusion counts across scenarios — exactly, from the
+    // integer counts each DetectionStats carries (reconstructing them from
+    // `recall * n` / `fpr * negatives` floats drifted counts by ±1).
+    let pooled = pool_detection(results.iter().map(|r| &r.detection));
     Summary {
         perf_training: mean(&|t| t.0),
         perf_deploy: mean(&|t| t.1),
@@ -320,6 +323,35 @@ mod tests {
         let rows = run_ncm_ablation(&cfg);
         let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["LAC", "Top-K", "APS", "RAPS", "PROM"]);
+    }
+
+    #[test]
+    fn detection_pooling_is_exact_integer_aggregation() {
+        // Two confusions whose rates are not exactly representable: the old
+        // rate-times-total reconstruction drifted these by ±1.
+        let mut a = BinaryConfusion::default();
+        for (fired, real) in
+            [(true, true), (true, true), (false, true), (true, false), (false, false)]
+        {
+            a.record(fired, real);
+        }
+        let mut b = BinaryConfusion::default();
+        for (fired, real) in [(true, true), (false, true), (false, true), (false, false)] {
+            b.record(fired, real);
+        }
+        let stats = [DetectionStats::from_confusion(&a), DetectionStats::from_confusion(&b)];
+        let pooled = pool_detection(stats.iter());
+        assert_eq!(
+            pooled,
+            BinaryConfusion {
+                tp: a.tp + b.tp,
+                fp: a.fp + b.fp,
+                tn: a.tn + b.tn,
+                fn_: a.fn_ + b.fn_
+            },
+            "pooled counts must be the exact integer sums"
+        );
+        assert_eq!(pooled.total(), a.total() + b.total());
     }
 
     #[test]

@@ -10,16 +10,28 @@ use crate::traits::{Classifier, Regressor};
 /// Returns the indices of the `k` nearest rows of `points` to `query`,
 /// ordered from nearest to farthest.
 ///
+/// A NaN distance (a NaN coordinate, or `inf - inf` from overflowed
+/// features — which yields a *negative-sign* NaN that `total_cmp` alone
+/// would rank first) is treated as **infinitely far**, so degenerate rows
+/// are only ever picked once every finite distance is exhausted — the
+/// lookup stays defined instead of panicking on deployment inputs.
+///
 /// # Panics
 ///
 /// Panics if `points` is empty or `k == 0`.
 pub fn k_nearest(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
     assert!(!points.is_empty(), "k_nearest over empty points");
     assert!(k > 0, "k_nearest needs k >= 1");
-    let mut dist: Vec<(f64, usize)> =
-        points.iter().enumerate().map(|(i, p)| (l2_distance(p, query), i)).collect();
+    let mut dist: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let d = l2_distance(p, query);
+            (if d.is_nan() { f64::INFINITY } else { d }, i)
+        })
+        .collect();
     let k = k.min(dist.len());
-    dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+    dist.sort_by(|a, b| a.0.total_cmp(&b.0));
     dist[..k].iter().map(|&(_, i)| i).collect()
 }
 
@@ -125,6 +137,23 @@ mod tests {
     fn k_nearest_caps_k_at_population() {
         let pts = vec![vec![0.0], vec![1.0]];
         assert_eq!(k_nearest(&pts, &[0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn k_nearest_orders_nan_rows_last_instead_of_panicking() {
+        let pts = vec![vec![f64::NAN], vec![10.0], vec![1.0]];
+        assert_eq!(k_nearest(&pts, &[0.0], 2), vec![2, 1], "NaN row must never be nearest");
+        // Only when k exhausts the well-defined rows does the NaN row appear.
+        assert_eq!(k_nearest(&pts, &[0.0], 3), vec![2, 1, 0]);
+        // Negative-sign NaN (what `inf - inf` produces at runtime) is the
+        // trap: raw total_cmp ranks it FIRST, so the is_nan -> +inf
+        // mapping must demote it behind every finite row.
+        let negative_nan = vec![vec![-f64::NAN], vec![10.0], vec![1.0]];
+        assert_eq!(
+            k_nearest(&negative_nan, &[0.0], 2),
+            vec![2, 1],
+            "a negative-NaN distance must never be nearest"
+        );
     }
 
     #[test]

@@ -182,7 +182,11 @@ fn build(
     for feature in 0..n_features {
         values.clear();
         values.extend(idx.iter().map(|&i| x[i][feature]));
-        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        // IEEE total order keeps the sort defined for NaN features (their
+        // position is sign-dependent); a NaN-adjacent midpoint makes a NaN
+        // threshold, whose split is a no-op (x < NaN is always false) and
+        // loses to any real gain — the fit degrades instead of aborting.
+        values.sort_by(f64::total_cmp);
         values.dedup();
         if values.len() < 2 {
             continue;

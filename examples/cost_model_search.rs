@@ -56,7 +56,9 @@ fn main() {
         let oracle = task.oracle();
         let best_of_topk = |mut scored: Vec<(f64, f64)>| -> f64 {
             // (score, true efficiency); measure the top-K, keep the best.
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+            // Descending by score; a NaN estimate sorts last and is never
+            // ranked ahead of real candidates.
+            scored.sort_by(|a, b| a.0.is_nan().cmp(&b.0.is_nan()).then(b.0.total_cmp(&a.0)));
             scored.iter().take(TOP_K).map(|&(_, t)| t).fold(f64::NEG_INFINITY, f64::max)
         };
 

@@ -1,14 +1,21 @@
-//! Batch/single equivalence: for every detector in the workspace —
+//! Batch/single/parallel equivalence: for every detector in the workspace —
 //! `PromClassifier`, `PromRegressor`, and the three prior-work baselines —
 //! `judge_batch` must return **bit-identical** judgements to looping
-//! `judge_one` over the same stream. The batched path exists purely to
-//! amortize per-call work; it must never change a decision.
+//! `judge_one` over the same stream, and sharded parallel judging
+//! (`prom::core::pipeline::judge_sharded`) must return bit-identical
+//! judgements to sequential `judge_batch` for every shard count. The
+//! batched and parallel paths exist purely to amortize and parallelize
+//! per-call work; they must never change a decision.
+//!
+//! CI additionally runs this file with `--test-threads=1`, so a
+//! shard-order bug cannot hide behind test-runner parallelism.
 
 use prom::baselines::tesseract::LabeledOutcome;
 use prom::baselines::{NaiveCp, Rise, Tesseract};
 use prom::core::calibration::CalibrationRecord;
 use prom::core::committee::PromConfig;
 use prom::core::detector::{DriftDetector, Judgement, Sample};
+use prom::core::pipeline::{judge_sharded, map_sharded};
 use prom::core::predictor::PromClassifier;
 use prom::core::regression::{ClusterChoice, PromRegressor, PromRegressorConfig, RegressionRecord};
 use prom::ml::rng::{gaussian_with, rng_from_seed};
@@ -65,6 +72,33 @@ fn assert_batch_equivalence(detector: &dyn DriftDetector, stream: &[Sample]) {
     // The stream must exercise both outcomes, or equivalence is vacuous.
     assert!(batched.iter().any(|j| j.accepted), "{}: nothing accepted", detector.name());
     assert!(batched.iter().any(|j| !j.accepted), "{}: nothing rejected", detector.name());
+}
+
+/// Shard counts the parallel-equivalence tests sweep: degenerate, small,
+/// coprime-to-window, and whatever the pipeline itself would pick.
+fn shard_counts() -> [usize; 4] {
+    [1, 2, 7, prom::core::pipeline::available_shards()]
+}
+
+fn assert_parallel_equivalence(detector: &dyn DriftDetector, stream: &[Sample]) {
+    let sequential = detector.judge_batch(stream);
+    for shards in shard_counts() {
+        let parallel = judge_sharded(detector, stream, shards);
+        assert_eq!(
+            parallel,
+            sequential,
+            "{}: sharded judging diverges from sequential at {shards} shards",
+            detector.name()
+        );
+        // Empty and single-sample windows must also hold.
+        assert!(judge_sharded(detector, &[], shards).is_empty(), "{}", detector.name());
+        assert_eq!(
+            judge_sharded(detector, &stream[..1], shards),
+            sequential[..1],
+            "{}: single-sample window diverges at {shards} shards",
+            detector.name()
+        );
+    }
 }
 
 #[test]
@@ -126,6 +160,81 @@ fn baselines_batch_equals_looped() {
 
     let rise = Rise::fit(&records, &validation, 0.1);
     assert_batch_equivalence(&rise, &stream);
+}
+
+#[test]
+fn all_five_detectors_judge_identically_across_shard_counts() {
+    let records = classification_records(400, 8);
+    let stream = classification_stream(83, 8); // odd length: ragged shards
+    let validation: Vec<LabeledOutcome> = classification_stream(120, 9)
+        .iter()
+        .enumerate()
+        .map(|(i, s)| LabeledOutcome { probs: s.outputs.clone(), correct: i % 4 != 0 })
+        .collect();
+
+    let prom = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+    assert_parallel_equivalence(&prom, &stream);
+
+    let small = PromClassifier::new(classification_records(90, 8), PromConfig::default()).unwrap();
+    assert_parallel_equivalence(&small, &stream); // keep-everything selection
+
+    assert_parallel_equivalence(&NaiveCp::new(&records, 0.1), &stream);
+    assert_parallel_equivalence(&Tesseract::fit(&records, &validation, 3), &stream);
+    assert_parallel_equivalence(&Rise::fit(&records, &validation, 0.1), &stream);
+
+    let mut rng = rng_from_seed(10);
+    let reg_records: Vec<RegressionRecord> = (0..250)
+        .map(|_| {
+            let x0 = rng.gen_range(-2.0..2.0);
+            let x1 = rng.gen_range(-2.0..2.0);
+            let target = x0 + x1;
+            RegressionRecord::new(vec![x0, x1], target + gaussian_with(&mut rng, 0.0, 0.3), target)
+        })
+        .collect();
+    let regressor = PromRegressor::new(
+        reg_records,
+        PromRegressorConfig { clusters: ClusterChoice::Fixed(4), ..Default::default() },
+    )
+    .unwrap();
+    let reg_stream: Vec<Sample> = (0..83)
+        .map(|i| {
+            let drifted = i % 3 == 0;
+            let x0 = (i as f64 / 20.0) - 2.0 + if drifted { 25.0 } else { 0.0 };
+            Sample::regression(vec![x0, 0.3], x0 + 0.3 + if drifted { 10.0 } else { 0.0 })
+        })
+        .collect();
+    assert_parallel_equivalence(&regressor, &reg_stream);
+}
+
+#[test]
+fn rich_judgements_are_bitwise_identical_across_shards() {
+    // The flat `Judgement` carries no floats; assert the full per-expert
+    // credibility/confidence bits survive sharding on the rich path the
+    // eval harness uses (`map_sharded` over `PromClassifier::judge_batch`).
+    let prom = PromClassifier::new(classification_records(400, 11), PromConfig::default()).unwrap();
+    let stream = classification_stream(61, 11);
+    let sequential = prom.judge_batch(&stream);
+    for shards in shard_counts() {
+        let parallel = map_sharded(&stream, shards, |chunk| prom.judge_batch(chunk));
+        assert_eq!(parallel.len(), sequential.len());
+        for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
+            assert_eq!(p.accepted, s.accepted, "sample {i}, {shards} shards");
+            assert_eq!(p.reject_votes, s.reject_votes, "sample {i}, {shards} shards");
+            for (vp, vs) in p.verdicts.iter().zip(s.verdicts.iter()) {
+                assert_eq!(
+                    vp.credibility.to_bits(),
+                    vs.credibility.to_bits(),
+                    "sample {i}, {shards} shards"
+                );
+                assert_eq!(
+                    vp.confidence.to_bits(),
+                    vs.confidence.to_bits(),
+                    "sample {i}, {shards} shards"
+                );
+                assert_eq!(vp.prediction_set_size, vs.prediction_set_size);
+            }
+        }
+    }
 }
 
 #[test]

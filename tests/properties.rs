@@ -6,7 +6,10 @@ use proptest::prelude::*;
 
 use prom::core::calibration::{select_weighted_subset, SelectionConfig};
 use prom::core::committee::confidence_score;
+use prom::core::detector::{DriftDetector, Judgement, Sample};
+use prom::core::incremental::RelabelBudget;
 use prom::core::nonconformity::default_committee;
+use prom::core::pipeline::{DeploymentPipeline, PipelineConfig};
 use prom::core::pvalue::{p_value_for_label, ScoredSample};
 use prom::ml::activations::softmax;
 use prom::ml::cluster::KMeans;
@@ -177,6 +180,90 @@ proptest! {
             prop_assert!((c.recall() + c.false_negative_rate() - 1.0).abs() < 1e-12);
         }
         prop_assert!(c.accuracy() <= 1.0);
+    }
+}
+
+/// A cheap deterministic detector for pipeline accounting properties:
+/// rejects when the first output falls below 0.55, with a vote count
+/// derived from the embedding so relabel ranking has structure.
+struct ThresholdCommittee;
+
+impl DriftDetector for ThresholdCommittee {
+    fn name(&self) -> &'static str {
+        "threshold-committee"
+    }
+
+    fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement {
+        let rejects = outputs[0] < 0.55;
+        Judgement {
+            accepted: !rejects,
+            reject_votes: if rejects { 1 + (embedding[0] as usize % 4) } else { 0 },
+            n_experts: 4,
+        }
+    }
+}
+
+fn pipeline_sample(i: usize) -> Sample {
+    let conf = 0.3 + 0.65 * ((i % 11) as f64 / 10.0);
+    Sample::new(vec![i as f64], vec![conf, 1.0 - conf])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// DeploymentPipeline window accounting: every pushed sample is judged
+    /// exactly once, in push order, across any (window, shards, budget)
+    /// configuration; flagged/relabel indices are in-window globals and the
+    /// relabel pick honours the budget.
+    #[test]
+    fn pipeline_judges_every_pushed_sample_exactly_once_in_order(
+        n in 0usize..200,
+        window in 1usize..64,
+        shards in 0usize..9,
+        fraction in 0.01f64..1.0,
+    ) {
+        let det = ThresholdCommittee;
+        let stream: Vec<Sample> = (0..n).map(pipeline_sample).collect();
+        let budget = RelabelBudget { fraction, min_count: 1 };
+        let mut pipeline =
+            DeploymentPipeline::new(&det, PipelineConfig { window, shards, budget });
+
+        let mut reports = pipeline.extend(stream.iter().cloned());
+        reports.extend(pipeline.flush());
+        prop_assert!(pipeline.flush().is_none(), "flush must be idempotent");
+
+        let mut covered = 0usize;
+        for (w, report) in reports.iter().enumerate() {
+            prop_assert_eq!(report.index, w);
+            prop_assert_eq!(report.start, covered, "windows must be contiguous");
+            let len = report.judgements.len();
+            prop_assert!(len == window || (w + 1 == reports.len() && len >= 1));
+            covered += len;
+
+            let end = report.start + len;
+            prop_assert!(
+                report.flagged.windows(2).all(|p| p[0] < p[1]),
+                "flagged indices must be strictly ascending"
+            );
+            prop_assert!(report.flagged.iter().all(|&i| i >= report.start && i < end));
+            prop_assert!(report.relabel.iter().all(|i| report.flagged.contains(i)));
+            prop_assert_eq!(report.relabel.len(), budget.allowance(report.flagged.len()));
+        }
+        prop_assert_eq!(covered, n, "every pushed sample judged exactly once");
+
+        // Reassembled judgements equal one sequential batch, in order.
+        let rebuilt: Vec<Judgement> =
+            reports.iter().flat_map(|r| r.judgements.clone()).collect();
+        prop_assert_eq!(rebuilt, det.judge_batch(&stream));
+
+        let stats = pipeline.stats();
+        prop_assert_eq!(stats.pushed, n);
+        prop_assert_eq!(stats.judged, n);
+        prop_assert_eq!(stats.windows, reports.len());
+        prop_assert_eq!(
+            stats.rejected,
+            reports.iter().map(|r| r.flagged.len()).sum::<usize>()
+        );
     }
 }
 
