@@ -8,10 +8,43 @@
 //! taken, reporting min/median/mean. No statistical regression analysis, no
 //! HTML reports — enough to compare the relative cost of two code paths,
 //! which is what the workspace's overhead benchmarks do.
+//!
+//! For the CI perf-regression gate (`scripts/perf_gate.sh`), setting the
+//! `CRITERION_MEDIAN_JSONL` environment variable to a file path makes every
+//! *measured* benchmark (not `--quick` smoke runs, whose single iteration
+//! is noise) append one JSON line `{"id": …, "median_ns": …}` to that file;
+//! append mode lets several bench harnesses share one output file.
 
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
+
+/// Appends `{"id": …, "median_ns": …}` to the `CRITERION_MEDIAN_JSONL`
+/// file when the variable is set; measurement never fails because the
+/// gate's bookkeeping could not be written — errors only warn.
+fn emit_median(id: &str, median: f64) {
+    let Ok(path) = std::env::var("CRITERION_MEDIAN_JSONL") else {
+        return;
+    };
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!("{{\"id\": \"{escaped}\", \"median_ns\": {:.1}}}\n", median * 1e9);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: could not append bench median to {path}: {e}");
+    }
+}
 
 /// How batched inputs are sized (accepted for API compatibility; the
 /// stand-in re-runs setup per measured batch either way).
@@ -102,6 +135,7 @@ fn run_measurement<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, quick: 
     let min = per_iter[0];
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    emit_median(id, median);
     println!(
         "{id:<48} min {:>10}  med {:>10}  mean {:>10}  ({} samples × {iters} iters)",
         format_duration(Duration::from_secs_f64(min)),
@@ -259,5 +293,32 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(format_duration(Duration::from_nanos(500)), "500.0 ns");
         assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+
+    /// One test covers both emission cases — the env var is process-global,
+    /// so splitting them would race under the parallel test runner.
+    #[test]
+    fn median_jsonl_emission_follows_env_var_and_skips_quick_mode() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-medians-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_MEDIAN_JSONL", &path);
+        let mut measured = Criterion { sample_size: 2, filter: None, quick: false };
+        measured.bench_function("gate/\"probe\"", |b| b.iter(|| 1 + 1));
+        let mut quick = Criterion { sample_size: 2, filter: None, quick: true };
+        quick.bench_function("gate/quick", |b| b.iter(|| 1 + 1));
+        std::env::remove_var("CRITERION_MEDIAN_JSONL");
+
+        let content = std::fs::read_to_string(&path).expect("median file written");
+        let line = content
+            .lines()
+            .find(|l| l.contains("gate/\\\"probe\\\""))
+            .expect("probe line present with escaped quotes");
+        assert!(line.contains("\"median_ns\": "), "line carries the median: {line}");
+        assert!(
+            !content.contains("gate/quick"),
+            "--quick single-iteration noise must not enter the gate"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,5 +1,7 @@
 //! Offline stand-in for the slice of `serde_json` this workspace uses:
-//! [`Value`], [`Map`], the [`json!`] macro, and [`to_string_pretty`].
+//! [`Value`], [`Map`], the [`json!`] macro, [`to_string_pretty`], and the
+//! [`from_str`] parser (used by the perf-regression gate to read committed
+//! bench baselines back).
 //!
 //! [`Map`] preserves insertion order (like `serde_json` with its
 //! `preserve_order` feature), which keeps the generated
@@ -152,17 +154,283 @@ impl From<Map> for Value {
     }
 }
 
-/// Error type of the serializer (infallible here; kept for API shape).
+impl Value {
+    /// Object member lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (`Int` and `UInt` convert losslessly for
+    /// magnitudes below 2^53, like the real crate's `as_f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice of a `String` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean of a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The map of an `Object` value.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Array` value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error type of the serializer and parser.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    detail: String,
+}
+
+impl Error {
+    fn msg(detail: impl Into<String>) -> Self {
+        Self { detail: detail.into() }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serde_json stand-in error")
+        write!(f, "serde_json stand-in error: {}", self.detail)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict on structure (trailing input, unterminated strings, and malformed
+/// numbers are errors) and faithful on numbers: integers that fit `i64` /
+/// `u64` are stored exactly ([`Value::Int`] / [`Value::UInt`]), everything
+/// else as `f64`.
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset on malformed input.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!("trailing input at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected '{}' at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::msg(format!("expected '{literal}' at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::msg(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
+                            // Surrogates (used by the real crate for
+                            // astral-plane characters) are out of scope for
+                            // the stand-in's inputs; map them to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::msg(format!("bad escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| Error::msg("invalid UTF-8 in string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::msg(format!("malformed number '{text}'")))
+    }
+}
 
 /// Values the top-level serializer accepts (`serde_json` is generic over
 /// `Serialize`; the stand-in enumerates the two types the workspace passes).
@@ -433,6 +701,61 @@ mod tests {
     fn strings_are_escaped() {
         let s = to_string_pretty(&Value::String("a\"b\n".into())).unwrap();
         assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn parser_round_trips_pretty_printer_output() {
+        let mut doc = Map::new();
+        doc.insert("machine".into(), json!("Linux x86_64"));
+        doc.insert(
+            "medians".into(),
+            json!({"group/bench_a": 1234.5, "group/\"quoted\"": 8, "neg": -2.25}),
+        );
+        doc.insert("list".into(), json!([1, 2.5, "three", Value::Null, true, false]));
+        doc.insert("big".into(), Value::from(9_007_199_254_740_993u64));
+        let text = to_string_pretty(&doc).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, Value::Object(doc));
+    }
+
+    #[test]
+    fn parser_keeps_integer_precision_and_types() {
+        let v =
+            from_str("{\"a\": 9007199254740993, \"b\": 18446744073709551615, \"c\": -7}").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(9_007_199_254_740_993)));
+        assert_eq!(v.get("b"), Some(&Value::UInt(u64::MAX)));
+        assert_eq!(v.get("c"), Some(&Value::Int(-7)));
+        let v = from_str("[1e3, -1.5E-2, 0.25]").unwrap();
+        let nums: Vec<f64> = v.as_array().unwrap().iter().map(|x| x.as_f64().unwrap()).collect();
+        assert_eq!(nums, vec![1000.0, -0.015, 0.25]);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_whitespace() {
+        let v = from_str(" { \"k\\n\\\"\" : \"a\\tb\\u0041\" } ").unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("k\n\""), Some(&Value::String("a\tbA".into())));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"open", "{\"a\":}", "nul"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn value_accessors_select_the_right_variants() {
+        let v = json!({"s": "x", "n": 2, "f": 2.5, "b": true, "arr": [1], "o": {"k": 1}});
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("arr").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert!(v.get("o").and_then(Value::as_object).is_some());
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Null.get("k"), None);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! each judgement costs one binary search.
 
 use prom_core::calibration::CalibrationRecord;
-use prom_core::detector::{DriftDetector, Judgement};
-use prom_core::nonconformity::Lac;
+use prom_core::detector::{DriftDetector, Judgement, Relabeled, Truth};
+use prom_core::nonconformity::{Lac, Nonconformity};
 use prom_core::scoring::ScoreTable;
 
 /// A plain split-CP misprediction detector.
@@ -34,6 +34,23 @@ impl NaiveCp {
     pub fn credibility(&self, probs: &[f64]) -> f64 {
         crate::lac_credibility(&self.table, probs, prom_ml::matrix::argmax(probs))
     }
+
+    /// A relabeled deployment sample viewed as a calibration record, when
+    /// valid for this table (matched truth kind, in-range label, NaN-free
+    /// embedding and LAC score).
+    fn record_from_relabeled(&self, r: &Relabeled) -> Option<CalibrationRecord> {
+        let Truth::Label(label) = r.truth else {
+            return None;
+        };
+        if label >= r.sample.outputs.len()
+            || label >= self.table.n_labels()
+            || Lac.score(&r.sample.outputs, label).is_nan()
+            || r.sample.embedding.iter().any(|v| v.is_nan())
+        {
+            return None;
+        }
+        Some(CalibrationRecord::new(r.sample.embedding.clone(), r.sample.outputs.clone(), label))
+    }
 }
 
 impl DriftDetector for NaiveCp {
@@ -43,6 +60,30 @@ impl DriftDetector for NaiveCp {
 
     fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
         Judgement::single(self.credibility(outputs) < self.epsilon)
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.table.len())
+    }
+
+    fn can_absorb(&self, r: &Relabeled) -> bool {
+        self.record_from_relabeled(r).is_some()
+    }
+
+    /// Incremental override: each valid relabel grows the pre-sorted table
+    /// in place via [`ScoreTable::insert_record`] — bit-identical to
+    /// rebuilding it with `from_records` over the same records. (No
+    /// `replace_record` override: naive CP keeps no slot bookkeeping, so
+    /// under a reservoir policy it only ever grows to the cap.)
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        let mut absorbed = 0;
+        for r in batch {
+            if let Some(record) = self.record_from_relabeled(r) {
+                self.table.insert_record(&record, &Lac);
+                absorbed += 1;
+            }
+        }
+        absorbed
     }
 }
 
@@ -105,5 +146,45 @@ mod tests {
     #[should_panic(expected = "empty calibration set")]
     fn empty_records_panic() {
         let _ = NaiveCp::new(&[], 0.1);
+    }
+
+    #[test]
+    fn absorb_grows_table_identically_to_refit_and_skips_invalid() {
+        use prom_core::detector::Sample;
+        let recs = records();
+        let mut cp = NaiveCp::new(&recs, 0.1);
+        let extra: Vec<CalibrationRecord> = (0..20)
+            .map(|i| {
+                let conf = 0.55 + 0.4 * ((i * 3 % 7) as f64 / 7.0);
+                CalibrationRecord::new(vec![i as f64, 1.0], vec![1.0 - conf, conf], 1)
+            })
+            .collect();
+        let batch: Vec<Relabeled> = extra
+            .iter()
+            .map(|r| Relabeled::labeled(Sample::new(r.embedding.clone(), r.probs.clone()), r.label))
+            // Invalid relabels absorb must skip: out-of-range label, NaN
+            // embedding, regression truth.
+            .chain([
+                Relabeled::labeled(Sample::new(vec![0.0], vec![0.6, 0.4]), 5),
+                Relabeled::labeled(Sample::new(vec![f64::NAN], vec![0.6, 0.4]), 0),
+                Relabeled::measured(Sample::new(vec![0.0], vec![0.6, 0.4]), 0.5),
+            ])
+            .collect();
+        assert!(batch.iter().take(extra.len()).all(|r| cp.can_absorb(r)));
+        assert!(batch.iter().skip(extra.len()).all(|r| !cp.can_absorb(r)));
+        assert_eq!(cp.absorb_relabeled(&batch), extra.len());
+        assert_eq!(cp.calibration_size(), Some(recs.len() + extra.len()));
+
+        let mut all = recs.clone();
+        all.extend(extra);
+        let refit = NaiveCp::new(&all, 0.1);
+        for conf in [0.5, 0.62, 0.7, 0.85, 0.99] {
+            let probs = [conf, 1.0 - conf];
+            assert_eq!(
+                cp.credibility(&probs).to_bits(),
+                refit.credibility(&probs).to_bits(),
+                "conf {conf}"
+            );
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! [`ScoreTable`], one binary search per candidate label.
 
 use prom_core::calibration::CalibrationRecord;
-use prom_core::detector::{DriftDetector, Judgement};
+use prom_core::detector::{DriftDetector, Judgement, Relabeled, Truth};
 use prom_core::nonconformity::{Lac, Nonconformity};
 use prom_core::scoring::ScoreTable;
 use prom_ml::data::Dataset;
@@ -24,6 +24,13 @@ pub struct Rise {
     table: ScoreTable,
     svm: LinearSvm,
     epsilon: f64,
+    /// Size of the design-time calibration set; records at indices below
+    /// this are never evicted by the online reservoir.
+    base_len: usize,
+    /// `(label, score)` of each record absorbed online, in absorb order —
+    /// the bookkeeping `replace_record` needs to evict a reservoir slot
+    /// from the pre-sorted table.
+    absorbed: Vec<(usize, f64)>,
 }
 
 impl Rise {
@@ -72,7 +79,51 @@ impl Rise {
             }
         }
         let svm = LinearSvm::fit(&Dataset::new(x, y), SvmConfig::default());
-        Self { table, svm, epsilon }
+        let base_len = records.len();
+        Self { table, svm, epsilon, base_len, absorbed: Vec::new() }
+    }
+
+    /// Inserts one calibration record into the pre-sorted score table
+    /// incrementally (`O(log n + shift)`, no refit) — the grown table is
+    /// bit-identical to `ScoreTable::from_records` over the same records.
+    /// The SVM decision boundary is a *design-time* artifact tuned on
+    /// validation outcomes and stays frozen; only the conformal score
+    /// population grows. Returns `false` (skipping the record) when its
+    /// label is out of the table's range or its LAC score is NaN.
+    pub fn insert_record(&mut self, record: &CalibrationRecord) -> bool {
+        let score = Lac.score(&record.probs, record.label);
+        if record.label >= self.table.n_labels() || score.is_nan() {
+            return false;
+        }
+        self.insert_scored(record.label, score);
+        true
+    }
+
+    /// The one insert+bookkeeping pair every online path shares: the
+    /// absorbed-slot ledger must stay bit-exactly in sync with the live
+    /// table for `replace_record` eviction to find what it removes.
+    fn insert_scored(&mut self, label: usize, score: f64) {
+        self.table.insert(label, score);
+        self.absorbed.push((label, score));
+    }
+
+    /// Borrows the live conformal score table (the incremental-equivalence
+    /// tests compare it bit-for-bit against a from-scratch refit).
+    pub fn score_table(&self) -> &ScoreTable {
+        &self.table
+    }
+
+    /// A relabeled deployment sample viewed as a calibration record, when
+    /// valid for this table.
+    fn record_from_relabeled(&self, r: &Relabeled) -> Option<(usize, f64)> {
+        let Truth::Label(label) = r.truth else {
+            return None;
+        };
+        if label >= r.sample.outputs.len() || label >= self.table.n_labels() {
+            return None;
+        }
+        let score = Lac.score(&r.sample.outputs, label);
+        (!score.is_nan()).then_some((label, score))
     }
 }
 
@@ -151,6 +202,48 @@ impl DriftDetector for Rise {
                 Judgement::single(self.svm.predict(&features) == 1)
             })
             .collect()
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.table.len())
+    }
+
+    fn can_absorb(&self, r: &Relabeled) -> bool {
+        self.record_from_relabeled(r).is_some()
+    }
+
+    /// Incremental override: each valid relabel's LAC score is inserted
+    /// into the pre-sorted table in place (see [`Rise::insert_record`]).
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        let mut absorbed = 0;
+        for r in batch {
+            if let Some((label, score)) = self.record_from_relabeled(r) {
+                self.insert_scored(label, score);
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
+    /// Evicts the online record at `index` (indices below the design-time
+    /// base are never evicted) and inserts `r` in its slot: one
+    /// binary-search removal plus one binary-search insert.
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        let Some(slot) = index.checked_sub(self.base_len) else {
+            return false;
+        };
+        if slot >= self.absorbed.len() {
+            return false;
+        }
+        let Some((label, score)) = self.record_from_relabeled(r) else {
+            return false;
+        };
+        let (old_label, old_score) = self.absorbed[slot];
+        let removed = self.table.remove(old_label, old_score);
+        debug_assert!(removed, "absorbed bookkeeping must track the live table");
+        self.table.insert(label, score);
+        self.absorbed[slot] = (label, score);
+        true
     }
 }
 

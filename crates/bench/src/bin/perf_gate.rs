@@ -1,0 +1,208 @@
+//! The CI perf-regression gate (ROADMAP item): compares the medians of a
+//! fresh `cargo bench` run against the committed baseline and fails on
+//! regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate <baseline.json> <current.jsonl> <machine-fingerprint>
+//! ```
+//!
+//! `current.jsonl` is the file the compat-criterion harness appends to when
+//! `CRITERION_MEDIAN_JSONL` is set (one `{"id", "median_ns"}` line per
+//! measured benchmark); `scripts/perf_gate.sh` produces it and invokes this
+//! binary. The baseline is a committed JSON document carrying the machine
+//! fingerprint it was recorded on plus an `id → median_ns` map.
+//!
+//! Semantics:
+//! * baseline absent → **bootstrap**: write the current medians as the new
+//!   baseline and pass (the first run seeds the gate);
+//! * baseline recorded on a different machine → re-bootstrap and pass with
+//!   a warning (absolute wall-clock medians do not transfer between hosts;
+//!   a 25% tolerance would fail spuriously on every runner change);
+//! * same machine → fail (exit 1) if any benchmark's median slowed down by
+//!   more than 25%, listing every offender. New or vanished benchmark ids
+//!   are reported but never fail the gate.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Median slowdown beyond which the gate fails.
+const TOLERANCE: f64 = 1.25;
+
+fn read_current(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read current medians {path}: {e}"))?;
+    let mut medians = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let id = value
+            .get("id")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing id", lineno + 1))?;
+        let median = value
+            .get("median_ns")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{path}:{}: missing median_ns", lineno + 1))?;
+        // Re-runs of the same benchmark in one session: last wins.
+        medians.insert(id.to_string(), median);
+    }
+    if medians.is_empty() {
+        return Err(format!("{path} holds no medians — did the bench run emit any?"));
+    }
+    Ok(medians)
+}
+
+fn write_baseline(
+    path: &str,
+    machine: &str,
+    medians: &BTreeMap<String, f64>,
+) -> Result<(), String> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("machine".into(), serde_json::Value::from(machine));
+    doc.insert("tolerance_pct".into(), serde_json::Value::from(((TOLERANCE - 1.0) * 100.0) as i64));
+    let mut map = serde_json::Map::new();
+    for (id, median) in medians {
+        map.insert(id.clone(), serde_json::Value::from(*median));
+    }
+    doc.insert("medians".into(), serde_json::Value::Object(map));
+    let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(path, text + "\n").map_err(|e| format!("cannot write baseline {path}: {e}"))
+}
+
+/// `check-machine <baseline.json> <fingerprint>`: succeeds when running
+/// the measured benches could change the gate's outcome — the baseline is
+/// missing (a run would bootstrap it) or was recorded on this machine (a
+/// run would be compared). `Ok(false)` (a foreign-machine baseline, exit
+/// code 2) lets `scripts/perf_gate.sh` skip the expensive measured run
+/// whose outcome would be predetermined (re-bootstrap-and-pass); a
+/// malformed baseline is `Err` (exit 1) so corruption fails the CI step
+/// loudly instead of silently disarming the gate.
+fn check_machine(baseline_path: &str, machine: &str) -> Result<bool, String> {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        println!("perf gate: no baseline at {baseline_path}; a run would bootstrap it");
+        return Ok(true);
+    };
+    let baseline = serde_json::from_str(&text)
+        .map_err(|e| format!("malformed baseline {baseline_path}: {e}"))?;
+    let recorded =
+        baseline.get("machine").and_then(serde_json::Value::as_str).unwrap_or("<unknown>");
+    if recorded == machine {
+        return Ok(true);
+    }
+    println!("perf gate: baseline machine is '{recorded}', this is '{machine}'");
+    Ok(false)
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let [baseline_path, current_path, machine] = args else {
+        return Err("usage: perf_gate <baseline.json> <current.jsonl> <machine-fingerprint> \
+                    | perf_gate check-machine <baseline.json> <machine-fingerprint>"
+            .into());
+    };
+    let current = read_current(current_path)?;
+
+    let Ok(baseline_text) = std::fs::read_to_string(baseline_path) else {
+        write_baseline(baseline_path, machine, &current)?;
+        println!(
+            "perf gate: no baseline at {baseline_path}; bootstrapped it with {} medians \
+             (commit it to arm the gate)",
+            current.len()
+        );
+        return Ok(true);
+    };
+    let baseline = serde_json::from_str(&baseline_text)
+        .map_err(|e| format!("malformed baseline {baseline_path}: {e}"))?;
+    let recorded_machine =
+        baseline.get("machine").and_then(serde_json::Value::as_str).unwrap_or("<unknown>");
+    if recorded_machine != machine {
+        write_baseline(baseline_path, machine, &current)?;
+        println!(
+            "perf gate: baseline was recorded on '{recorded_machine}', this is '{machine}'; \
+             absolute medians do not transfer across hosts — re-bootstrapped and passing"
+        );
+        return Ok(true);
+    }
+    let baseline_medians = baseline
+        .get("medians")
+        .and_then(serde_json::Value::as_object)
+        .ok_or_else(|| format!("baseline {baseline_path} has no medians object"))?;
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for (id, base) in baseline_medians.iter() {
+        let Some(base) = base.as_f64() else {
+            return Err(format!("baseline median for '{id}' is not a number"));
+        };
+        let Some(&cur) = current.get(id) else {
+            println!("perf gate: '{id}' is in the baseline but was not measured this run");
+            continue;
+        };
+        compared += 1;
+        let ratio = cur / base;
+        let verdict = if ratio > TOLERANCE { "FAIL" } else { "ok" };
+        println!(
+            "perf gate: {verdict:>4}  {id:<48} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",
+            base,
+            cur,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > TOLERANCE {
+            failures.push((id.clone(), ratio));
+        }
+    }
+    for id in current.keys() {
+        if baseline_medians.get(id).is_none() {
+            println!("perf gate: '{id}' is new (not in the baseline yet)");
+        }
+    }
+    if compared == 0 {
+        return Err("no benchmark id overlaps the baseline — wrong bench set?".into());
+    }
+    if failures.is_empty() {
+        println!(
+            "perf gate: {compared} benchmarks within {:.0}% of baseline ✓",
+            (TOLERANCE - 1.0) * 100.0
+        );
+        return Ok(true);
+    }
+    for (id, ratio) in &failures {
+        eprintln!(
+            "perf gate: REGRESSION {id}: median {:.1}% over baseline (tolerance {:.0}%)",
+            (ratio - 1.0) * 100.0,
+            (TOLERANCE - 1.0) * 100.0
+        );
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let ["check-machine", baseline_path, machine] =
+        &args.iter().map(String::as_str).collect::<Vec<_>>()[..]
+    {
+        // Exit codes are the contract with scripts/perf_gate.sh: 0 = run
+        // the benches, 2 = foreign machine (skip, gate unarmed), 1 = real
+        // error (fail the CI step — never silently disarm the gate).
+        return match check_machine(baseline_path, machine) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(2),
+            Err(message) => {
+                eprintln!("perf gate: error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("perf gate: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,7 +1,11 @@
-//! Calibration records and the adaptive, distance-weighted subset selection
-//! of Sec. 5.1.2 (Fig. 6) of the paper.
+//! Calibration records, the adaptive distance-weighted subset selection of
+//! Sec. 5.1.2 (Fig. 6) of the paper, and the capped reservoir that keeps
+//! the *online* calibration set bounded on unbounded deployment streams
+//! ([`ReservoirCalibration`]).
 
 use prom_ml::matrix::l2_distance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One calibration sample: the model's embedding of the input, its
 /// probability vector, and the ground-truth label.
@@ -105,6 +109,111 @@ pub fn select_weighted_subset(
         .collect()
 }
 
+/// What [`ReservoirCalibration::offer`] decided for one stream item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservoirDecision {
+    /// The item takes the (previously empty) slot `0..cap` — the reservoir
+    /// was not yet full. The caller should *append* it to the live set.
+    Appended(usize),
+    /// The item evicts the current occupant of the slot — the caller
+    /// should *replace* that record in the live set.
+    Replaced(usize),
+    /// The item was not sampled; the live set is unchanged.
+    Skipped,
+}
+
+/// Algorithm-R reservoir sampling over the online half of a calibration
+/// set: at most `cap` of the relabeled samples ever offered are live, and
+/// once the stream is long every offered sample is equally likely to be —
+/// so the bounded set stays an unbiased snapshot of the relabel stream,
+/// and both memory and per-judgement cost stay bounded on unbounded
+/// deployment streams.
+///
+/// The sampler is **seeded and deterministic**: the same seed and the same
+/// offer sequence reproduce the same decisions run-to-run (the pipeline
+/// property `tests/properties.rs` relies on). It tracks slot *decisions*
+/// only — the records themselves live in the detector (which supports
+/// `O(log n)` insert/replace; see `DriftDetector::absorb_relabeled` /
+/// `replace_record`) — so the reservoir itself is a few machine words.
+#[derive(Debug, Clone)]
+pub struct ReservoirCalibration {
+    cap: usize,
+    /// Items offered (and not retracted) so far.
+    seen: u64,
+    /// Slots currently filled (`<= cap`).
+    len: usize,
+    rng: StdRng,
+}
+
+impl ReservoirCalibration {
+    /// Creates an empty reservoir of capacity `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is 0 (a reservoir that can hold nothing cannot
+    /// calibrate anything).
+    pub fn new(cap: usize, seed: u64) -> Self {
+        assert!(cap >= 1, "reservoir capacity must be at least 1");
+        Self { cap, seen: 0, len: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Decides the fate of the next stream item: append while the
+    /// reservoir has room, then replace a uniformly chosen slot with
+    /// probability `cap / seen` (Algorithm R).
+    pub fn offer(&mut self) -> ReservoirDecision {
+        self.seen += 1;
+        if self.len < self.cap {
+            let slot = self.len;
+            self.len += 1;
+            return ReservoirDecision::Appended(slot);
+        }
+        let j = self.rng.gen_range(0..self.seen);
+        if j < self.cap as u64 {
+            ReservoirDecision::Replaced(j as usize)
+        } else {
+            ReservoirDecision::Skipped
+        }
+    }
+
+    /// Rolls the bookkeeping of the most recent [`ReservoirCalibration::offer`]
+    /// back — the safety net for an item that passed the caller's
+    /// screening (`DriftDetector::can_absorb`) yet still failed to absorb,
+    /// so such items neither occupy slots nor count toward the stream
+    /// length. Items *known* invalid must be screened out before `offer`:
+    /// an invalid item whose decision lands on "skip" never reaches the
+    /// detector, could never be retracted, and would bias the sample. The
+    /// RNG stream is *not* rewound; determinism holds because the same
+    /// input stream retracts at the same points.
+    pub fn retract(&mut self, decision: ReservoirDecision) {
+        debug_assert!(self.seen > 0, "retract without a matching offer");
+        self.seen = self.seen.saturating_sub(1);
+        if let ReservoirDecision::Appended(slot) = decision {
+            debug_assert_eq!(slot + 1, self.len, "retract must undo the latest append");
+            self.len -= 1;
+        }
+    }
+
+    /// Slots currently filled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is filled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The capacity the reservoir never exceeds.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Items offered (and not retracted) so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +281,91 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn record_label_out_of_range_panics() {
         let _ = CalibrationRecord::new(vec![1.0], vec![0.7, 0.3], 2);
+    }
+
+    #[test]
+    fn reservoir_appends_until_cap_then_never_exceeds_it() {
+        let mut r = ReservoirCalibration::new(5, 42);
+        for expect in 0..5 {
+            assert_eq!(r.offer(), ReservoirDecision::Appended(expect));
+        }
+        assert_eq!(r.len(), 5);
+        for _ in 0..1000 {
+            match r.offer() {
+                ReservoirDecision::Appended(_) => panic!("appended past capacity"),
+                ReservoirDecision::Replaced(slot) => assert!(slot < 5),
+                ReservoirDecision::Skipped => {}
+            }
+            assert_eq!(r.len(), 5, "a full reservoir stays exactly at cap");
+        }
+        assert_eq!(r.seen(), 1005);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let decisions = |seed: u64| -> Vec<ReservoirDecision> {
+            let mut r = ReservoirCalibration::new(8, seed);
+            (0..200).map(|_| r.offer()).collect()
+        };
+        assert_eq!(decisions(7), decisions(7));
+        assert_ne!(decisions(7), decisions(8), "different seeds must diverge");
+    }
+
+    #[test]
+    fn reservoir_samples_roughly_uniformly() {
+        // Each of 100 offered items should survive in the final reservoir
+        // with probability cap/n = 0.2; over 400 seeds the per-item survival
+        // frequency concentrates near that (±0.1 is ~8 sigma).
+        let n = 100;
+        let cap = 20;
+        let mut survivals = vec![0u32; n];
+        for seed in 0..400 {
+            let mut r = ReservoirCalibration::new(cap, seed);
+            let mut slots: Vec<usize> = Vec::new();
+            for item in 0..n {
+                match r.offer() {
+                    ReservoirDecision::Appended(slot) => {
+                        assert_eq!(slot, slots.len());
+                        slots.push(item);
+                    }
+                    ReservoirDecision::Replaced(slot) => slots[slot] = item,
+                    ReservoirDecision::Skipped => {}
+                }
+            }
+            for &item in &slots {
+                survivals[item] += 1;
+            }
+        }
+        for (item, &count) in survivals.iter().enumerate() {
+            let freq = count as f64 / 400.0;
+            assert!(
+                (freq - 0.2).abs() < 0.1,
+                "item {item} survival frequency {freq} far from cap/n = 0.2"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_retract_undoes_bookkeeping() {
+        let mut r = ReservoirCalibration::new(2, 0);
+        let d0 = r.offer();
+        r.retract(d0);
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.seen(), 0);
+        // The freed slot is handed out again.
+        assert_eq!(r.offer(), ReservoirDecision::Appended(0));
+        assert_eq!(r.offer(), ReservoirDecision::Appended(1));
+        // Retracting a full-reservoir decision only unwinds the count.
+        let d = r.offer();
+        let seen_before = r.seen();
+        r.retract(d);
+        assert_eq!(r.seen(), seen_before - 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_reservoir_panics() {
+        let _ = ReservoirCalibration::new(0, 0);
     }
 }

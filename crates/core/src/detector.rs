@@ -83,6 +83,39 @@ impl From<crate::committee::PromJudgement> for Judgement {
     }
 }
 
+/// The expert-provided ground truth for a relabeled deployment sample —
+/// the "ask an expert" answer the Sec. 5.4 online loop folds back into the
+/// calibration set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Truth {
+    /// A class label (classification detectors).
+    Label(usize),
+    /// A regression target (regression detectors).
+    Target(f64),
+}
+
+/// One relabeled deployment sample: the sample exactly as it was judged,
+/// plus its expert-provided ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relabeled {
+    /// The sample as it appeared on the deployment stream.
+    pub sample: Sample,
+    /// The expert's ground truth for it.
+    pub truth: Truth,
+}
+
+impl Relabeled {
+    /// A relabeled classification sample.
+    pub fn labeled(sample: Sample, label: usize) -> Self {
+        Self { sample, truth: Truth::Label(label) }
+    }
+
+    /// A relabeled regression sample.
+    pub fn measured(sample: Sample, target: f64) -> Self {
+        Self { sample, truth: Truth::Target(target) }
+    }
+}
+
 /// A deployment-time drift/misprediction detector: decides whether to
 /// trust an underlying model's prediction given the model's embedding and
 /// output vector for the input.
@@ -109,6 +142,62 @@ pub trait DriftDetector: Send + Sync {
     /// `true` if the detector would reject (flag) this prediction.
     fn rejects(&self, embedding: &[f64], outputs: &[f64]) -> bool {
         !self.judge_one(embedding, outputs).accepted
+    }
+
+    /// Number of live calibration records, when the detector exposes one
+    /// (`None` for detectors without an inspectable calibration set).
+    fn calibration_size(&self) -> Option<usize> {
+        None
+    }
+
+    /// Folds expert-relabeled samples into the live calibration set —
+    /// the detector-side half of the Sec. 5.4 online recalibration loop —
+    /// returning how many were absorbed.
+    ///
+    /// The default absorbs nothing: a detector without an online update
+    /// path simply stays frozen, which is always *correct* (the
+    /// [`CalibrationPolicy::Frozen`] behavior), just not adaptive. A
+    /// detector whose only update path is a full `recalibrate`-style
+    /// rebuild may implement this by rebuilding with the relabels appended;
+    /// `PromClassifier`, `PromRegressor`, and the baselines override it
+    /// with **incremental inserts** that are bit-identical in judgement to
+    /// that full rebuild at `O(log n)` instead of `O(n log n)` per record
+    /// (proven by `tests/recalibration_equivalence.rs`).
+    ///
+    /// Relabels arrive from the serving path, so implementations must
+    /// *skip* samples that fail calibration validation (NaN embeddings,
+    /// out-of-range labels, a mismatched [`Truth`] kind, non-finite
+    /// targets) rather than panic; skipped samples do not count toward the
+    /// returned total.
+    ///
+    /// [`CalibrationPolicy::Frozen`]: crate::pipeline::CalibrationPolicy
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        let _ = batch;
+        0
+    }
+
+    /// Whether `r` would pass [`DriftDetector::absorb_relabeled`]'s
+    /// validation, without absorbing it. The online pipeline screens every
+    /// relabel pick with this *before* committing reservoir bookkeeping —
+    /// otherwise an invalid pick whose reservoir decision is "skip" would
+    /// silently count toward the sampled stream length and bias the
+    /// reservoir against later valid picks. The default mirrors the
+    /// default `absorb_relabeled`: a detector that absorbs nothing can
+    /// absorb nothing.
+    fn can_absorb(&self, r: &Relabeled) -> bool {
+        let _ = r;
+        false
+    }
+
+    /// Replaces the live calibration record at `index` (a record index as
+    /// counted by [`DriftDetector::calibration_size`]) with `r` — the
+    /// eviction path of a capped reservoir calibration set. Returns `false`
+    /// (leaving the calibration set unchanged) when the detector does not
+    /// support in-place replacement, the index is out of range, or `r`
+    /// fails the same validation as [`DriftDetector::absorb_relabeled`].
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        let _ = (index, r);
+        false
     }
 }
 
@@ -178,5 +267,22 @@ mod tests {
         let js = dyn_det.judge_batch(&[Sample::new(vec![0.0], vec![1.0])]);
         assert_eq!(js.len(), 1);
         assert!(js[0].accepted);
+    }
+
+    #[test]
+    fn default_online_calibration_is_a_frozen_noop() {
+        let mut det = SignDetector;
+        assert_eq!(det.calibration_size(), None);
+        let batch = vec![Relabeled::labeled(Sample::new(vec![0.0], vec![1.0]), 0); 3];
+        assert_eq!(det.absorb_relabeled(&batch), 0, "default detector absorbs nothing");
+        assert!(!det.can_absorb(&batch[0]), "can_absorb must mirror the default absorb");
+        assert!(!det.replace_record(0, &batch[0]), "default detector replaces nothing");
+    }
+
+    #[test]
+    fn relabeled_constructors_wrap_truth() {
+        let s = Sample::new(vec![1.0], vec![0.5, 0.5]);
+        assert_eq!(Relabeled::labeled(s.clone(), 1).truth, Truth::Label(1));
+        assert_eq!(Relabeled::measured(s, 0.25).truth, Truth::Target(0.25));
     }
 }

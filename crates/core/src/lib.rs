@@ -77,10 +77,10 @@ pub mod regression;
 pub mod scoring;
 pub mod tuning;
 
-pub use calibration::CalibrationRecord;
+pub use calibration::{CalibrationRecord, ReservoirCalibration};
 pub use committee::{PromConfig, PromJudgement};
-pub use detector::{DriftDetector, Judgement, Sample};
-pub use pipeline::{DeploymentPipeline, PipelineConfig};
+pub use detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
+pub use pipeline::{CalibrationPolicy, DeploymentPipeline, PipelineConfig};
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;
 

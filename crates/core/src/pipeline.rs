@@ -18,11 +18,20 @@
 //!   arrive, and every full window is judged (sharded), its rejects are
 //!   ranked, the [`RelabelBudget`] picks the slice worth ground-truth
 //!   labels, and an optional window hook hands the report plus the window's
-//!   samples to the caller — the online half of the paper's Sec. 5.4
-//!   incremental-learning loop (the caller relabels and recalibrates
-//!   between streams; see `examples/deployment_pipeline.rs`).
+//!   samples to the caller.
+//! * **In-pipeline online recalibration** — a pipeline built with
+//!   [`DeploymentPipeline::online`] closes the paper's Sec. 5.4 loop
+//!   *inside* the pipeline: each window's budget-selected relabels are
+//!   handed to the caller's label oracle (the "ask an expert" step) and
+//!   folded straight into the detector's live calibration set under a
+//!   [`CalibrationPolicy`] — growing it without bound, capping it with a
+//!   seeded [`ReservoirCalibration`], or leaving it frozen (exactly the
+//!   caller-driven PR 2 behavior). Folding uses the detectors' incremental
+//!   `absorb_relabeled` / `replace_record` overrides, so no window pays a
+//!   full recalibration rebuild (see `benches/recalibration.rs`).
 
-use crate::detector::{DriftDetector, Judgement, Sample};
+use crate::calibration::{ReservoirCalibration, ReservoirDecision};
+use crate::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 use crate::incremental::{select_flagged, RelabelBudget};
 
 /// The shard count matching this machine's available parallelism (1 when
@@ -91,6 +100,36 @@ pub fn judge_sharded<D: DriftDetector + ?Sized>(
     map_sharded(samples, n_shards, |shard| detector.judge_batch(shard))
 }
 
+/// How an *online* pipeline maintains the detector's live calibration set
+/// as windows complete — the in-pipeline half of the paper's Sec. 5.4
+/// online recalibration loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CalibrationPolicy {
+    /// Never touch the calibration set: judging behaves exactly like a
+    /// pipeline built with [`DeploymentPipeline::new`] (the PR 2
+    /// caller-driven behavior, asserted by `tests/properties.rs`).
+    #[default]
+    Frozen,
+    /// Absorb every successfully labeled relabel pick; the live set grows
+    /// without bound. Simple and maximally adaptive, but per-judgement cost
+    /// grows with the stream — prefer [`CalibrationPolicy::Reservoir`] on
+    /// long streams.
+    GrowUnbounded,
+    /// Keep at most `cap` *online* records, chosen by seeded, deterministic
+    /// reservoir sampling ([`ReservoirCalibration`]) over every relabel
+    /// offered: the design-time base set stays intact, online growth stops
+    /// at `cap`, and once full each new relabel evicts a uniformly chosen
+    /// online record in place — so memory and per-sample judging cost stay
+    /// bounded on unbounded streams.
+    Reservoir {
+        /// Maximum number of online (absorbed) calibration records.
+        cap: usize,
+        /// Seed of the deterministic sampler: the same seed over the same
+        /// stream reproduces identical window reports run-to-run.
+        seed: u64,
+    },
+}
+
 /// Configuration of a [`DeploymentPipeline`].
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -101,11 +140,21 @@ pub struct PipelineConfig {
     pub shards: usize,
     /// Relabeling budget applied to each window's rejects.
     pub budget: RelabelBudget,
+    /// How the detector's calibration set is maintained across windows.
+    /// Anything but [`CalibrationPolicy::Frozen`] requires the pipeline to
+    /// own exclusive access to the detector — see
+    /// [`DeploymentPipeline::online`].
+    pub policy: CalibrationPolicy,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { window: 1024, shards: available_shards(), budget: RelabelBudget::default() }
+        Self {
+            window: 1024,
+            shards: available_shards(),
+            budget: RelabelBudget::default(),
+            policy: CalibrationPolicy::Frozen,
+        }
     }
 }
 
@@ -122,6 +171,10 @@ pub struct PipelineStats {
     pub rejected: usize,
     /// Rejected samples selected for relabeling across all windows.
     pub relabel_selected: usize,
+    /// Relabeled samples folded into the detector's calibration set by the
+    /// online policy (appends plus reservoir replacements; always 0 under
+    /// [`CalibrationPolicy::Frozen`]).
+    pub absorbed: usize,
 }
 
 /// What one judged window produced. All indices are **global stream
@@ -140,6 +193,13 @@ pub struct WindowReport {
     /// Global indices selected for relabeling (most drifted first, per
     /// [`RelabelBudget`]); always a subset of `flagged`.
     pub relabel: Vec<usize>,
+    /// How many of this window's relabel picks the online policy folded
+    /// into the detector's calibration set (0 under
+    /// [`CalibrationPolicy::Frozen`] or when no oracle answered).
+    pub absorbed: usize,
+    /// The detector's live calibration size after this window's folding,
+    /// when the detector exposes one ([`DriftDetector::calibration_size`]).
+    pub calibration_size: Option<usize>,
 }
 
 /// The per-window hook: receives each report together with the window's
@@ -147,6 +207,28 @@ pub struct WindowReport {
 /// can queue the `relabel` picks for ground-truth labeling and recalibrate
 /// the detector between streams.
 pub type WindowHook<'a> = Box<dyn FnMut(&WindowReport, &[Sample]) + Send + 'a>;
+
+/// The caller-supplied expert labeler of an online pipeline: given a
+/// relabel pick (its global stream index and the sample), returns the
+/// ground truth, or `None` when no expert answer is available — an
+/// unanswered pick is simply not folded in.
+pub type LabelOracle<'a> = Box<dyn FnMut(usize, &Sample) -> Option<Truth> + Send + 'a>;
+
+/// Shared (frozen) or exclusive (online) access to the pipeline's
+/// detector.
+enum DetectorHandle<'a> {
+    Shared(&'a dyn DriftDetector),
+    Exclusive(&'a mut dyn DriftDetector),
+}
+
+impl DetectorHandle<'_> {
+    fn get(&self) -> &dyn DriftDetector {
+        match self {
+            DetectorHandle::Shared(d) => *d,
+            DetectorHandle::Exclusive(d) => &**d,
+        }
+    }
+}
 
 /// A streaming deployment front-end over any [`DriftDetector`]: buffers
 /// pushed samples into fixed-size windows, judges each window on shard
@@ -178,27 +260,78 @@ pub type WindowHook<'a> = Box<dyn FnMut(&WindowReport, &[Sample]) + Send + 'a>;
 /// assert!(pipeline.flush().is_none(), "nothing left buffered");
 /// ```
 pub struct DeploymentPipeline<'a> {
-    detector: &'a dyn DriftDetector,
+    detector: DetectorHandle<'a>,
     config: PipelineConfig,
     buffer: Vec<Sample>,
     stats: PipelineStats,
     hook: Option<WindowHook<'a>>,
+    oracle: Option<LabelOracle<'a>>,
+    reservoir: Option<ReservoirCalibration>,
+    /// The detector's calibration size at pipeline construction: reservoir
+    /// slot `s` lives at detector record index `base_len + s`.
+    base_len: usize,
 }
 
 impl<'a> DeploymentPipeline<'a> {
-    /// Creates a pipeline over `detector`.
+    /// Creates a *frozen* pipeline over `detector`: the calibration set is
+    /// never touched, so shared access suffices.
     ///
     /// # Panics
     ///
-    /// Panics if `config.window` is 0.
+    /// Panics if `config.window` is 0, or if `config.policy` is not
+    /// [`CalibrationPolicy::Frozen`] — an online policy needs exclusive
+    /// detector access and a label oracle; use
+    /// [`DeploymentPipeline::online`].
     pub fn new(detector: &'a dyn DriftDetector, config: PipelineConfig) -> Self {
+        assert!(
+            config.policy == CalibrationPolicy::Frozen,
+            "an online calibration policy needs DeploymentPipeline::online \
+             (exclusive detector access and a label oracle)"
+        );
+        Self::build(DetectorHandle::Shared(detector), config, None)
+    }
+
+    /// Creates an *online* pipeline: each window's budget-selected relabel
+    /// picks are labeled by `oracle` and folded into `detector`'s live
+    /// calibration set under `config.policy`, closing the Sec. 5.4 online
+    /// recalibration loop in-pipeline. With
+    /// [`CalibrationPolicy::Frozen`] the pipeline behaves exactly like
+    /// [`DeploymentPipeline::new`] (and never calls the oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window` is 0, or if a
+    /// [`CalibrationPolicy::Reservoir`] capacity is 0.
+    pub fn online(
+        detector: &'a mut dyn DriftDetector,
+        config: PipelineConfig,
+        oracle: impl FnMut(usize, &Sample) -> Option<Truth> + Send + 'a,
+    ) -> Self {
+        Self::build(DetectorHandle::Exclusive(detector), config, Some(Box::new(oracle)))
+    }
+
+    fn build(
+        detector: DetectorHandle<'a>,
+        config: PipelineConfig,
+        oracle: Option<LabelOracle<'a>>,
+    ) -> Self {
         assert!(config.window >= 1, "pipeline window must hold at least one sample");
+        let reservoir = match config.policy {
+            CalibrationPolicy::Reservoir { cap, seed } => {
+                Some(ReservoirCalibration::new(cap, seed))
+            }
+            _ => None,
+        };
+        let base_len = detector.get().calibration_size().unwrap_or(0);
         Self {
             detector,
             config,
             buffer: Vec::with_capacity(config.window),
             stats: PipelineStats::default(),
             hook: None,
+            oracle,
+            reservoir,
+            base_len,
         }
     }
 
@@ -240,7 +373,7 @@ impl<'a> DeploymentPipeline<'a> {
     }
 
     fn emit(&mut self) -> WindowReport {
-        let judgements = judge_sharded(self.detector, &self.buffer, self.config.shards);
+        let judgements = judge_sharded(self.detector.get(), &self.buffer, self.config.shards);
         let start = self.stats.judged;
         let flagged: Vec<usize> = judgements
             .iter()
@@ -253,17 +386,80 @@ impl<'a> DeploymentPipeline<'a> {
             .map(|i| start + i)
             .collect();
 
+        let absorbed = self.fold_relabels(start, &relabel);
+
         self.stats.judged += judgements.len();
         self.stats.windows += 1;
         self.stats.rejected += flagged.len();
         self.stats.relabel_selected += relabel.len();
-        let report =
-            WindowReport { index: self.stats.windows - 1, start, judgements, flagged, relabel };
+        self.stats.absorbed += absorbed;
+        let report = WindowReport {
+            index: self.stats.windows - 1,
+            start,
+            judgements,
+            flagged,
+            relabel,
+            absorbed,
+            calibration_size: self.detector.get().calibration_size(),
+        };
         if let Some(hook) = self.hook.as_mut() {
             hook(&report, &self.buffer);
         }
         self.buffer.clear();
         report
+    }
+
+    /// Folds this window's relabel picks into the detector under the
+    /// configured [`CalibrationPolicy`], returning how many were absorbed
+    /// (appended or reservoir-replaced). Judging already happened, so the
+    /// fold affects the *next* window onward — the same ordering as the
+    /// caller-driven loop it replaces.
+    fn fold_relabels(&mut self, start: usize, relabel: &[usize]) -> usize {
+        if self.config.policy == CalibrationPolicy::Frozen || relabel.is_empty() {
+            return 0;
+        }
+        let (Some(oracle), DetectorHandle::Exclusive(detector)) =
+            (self.oracle.as_mut(), &mut self.detector)
+        else {
+            return 0;
+        };
+        let mut absorbed = 0;
+        for &global in relabel {
+            let sample = &self.buffer[global - start];
+            let Some(truth) = oracle(global, sample) else {
+                continue;
+            };
+            let item = Relabeled { sample: sample.clone(), truth };
+            match self.reservoir.as_mut() {
+                // Unbounded growth: append every labeled pick.
+                None => absorbed += detector.absorb_relabeled(std::slice::from_ref(&item)),
+                // Screen before offering: an invalid pick must not count
+                // toward the reservoir's sampled stream length (a "skip"
+                // decision would never reach the detector, so it could
+                // never be retracted and would bias the sample).
+                Some(_) if !detector.can_absorb(&item) => {}
+                Some(reservoir) => match reservoir.offer() {
+                    decision @ ReservoirDecision::Appended(_) => {
+                        if detector.absorb_relabeled(std::slice::from_ref(&item)) == 1 {
+                            absorbed += 1;
+                        } else {
+                            // The detector rejected the record (failed
+                            // validation): free the slot it was promised.
+                            reservoir.retract(decision);
+                        }
+                    }
+                    decision @ ReservoirDecision::Replaced(slot) => {
+                        if detector.replace_record(self.base_len + slot, &item) {
+                            absorbed += 1;
+                        } else {
+                            reservoir.retract(decision);
+                        }
+                    }
+                    ReservoirDecision::Skipped => {}
+                },
+            }
+        }
+        absorbed
     }
 }
 
@@ -372,8 +568,10 @@ mod tests {
         let det = Threshold;
         // Window of 4 with conf pattern: indices 0,7,14,... rejected.
         let budget = RelabelBudget { fraction: 0.5, min_count: 1 };
-        let mut pipeline =
-            DeploymentPipeline::new(&det, PipelineConfig { window: 4, shards: 2, budget });
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 4, shards: 2, budget, ..Default::default() },
+        );
         let reports = pipeline.extend(stream(8));
         assert_eq!(reports.len(), 2);
         for report in &reports {
@@ -410,5 +608,227 @@ mod tests {
             &det,
             PipelineConfig { window: 0, shards: 1, ..Default::default() },
         );
+    }
+
+    /// A detector with a live calibration store, for online-policy tests:
+    /// judges like [`Threshold`] and records every absorb/replace.
+    struct Absorbing {
+        base: usize,
+        online: Vec<Relabeled>,
+    }
+
+    impl Absorbing {
+        fn new(base: usize) -> Self {
+            Self { base, online: Vec::new() }
+        }
+    }
+
+    impl DriftDetector for Absorbing {
+        fn name(&self) -> &'static str {
+            "absorbing"
+        }
+
+        fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+            Judgement::single(outputs[0] < 0.5)
+        }
+
+        fn calibration_size(&self) -> Option<usize> {
+            Some(self.base + self.online.len())
+        }
+
+        fn can_absorb(&self, r: &Relabeled) -> bool {
+            r.sample.embedding.iter().all(|v| !v.is_nan())
+        }
+
+        fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+            // Skip NaN embeddings, like the real detectors.
+            let valid: Vec<Relabeled> =
+                batch.iter().filter(|r| self.can_absorb(r)).cloned().collect();
+            let n = valid.len();
+            self.online.extend(valid);
+            n
+        }
+
+        fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+            let Some(slot) = index.checked_sub(self.base) else {
+                return false;
+            };
+            if slot >= self.online.len() || r.sample.embedding.iter().any(|v| v.is_nan()) {
+                return false;
+            }
+            self.online[slot] = r.clone();
+            true
+        }
+    }
+
+    #[test]
+    fn online_grow_unbounded_folds_every_labeled_pick() {
+        let mut det = Absorbing::new(10);
+        let mut pipeline = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                window: 5,
+                shards: 2,
+                policy: CalibrationPolicy::GrowUnbounded,
+                ..Default::default()
+            },
+            |global, _s| Some(Truth::Label(global % 2)),
+        );
+        let mut reports = pipeline.extend(stream(23));
+        reports.extend(pipeline.flush());
+        let stats = pipeline.stats();
+        drop(pipeline);
+
+        let selected: usize = reports.iter().map(|r| r.relabel.len()).sum();
+        assert!(selected > 0, "the stream must flag something");
+        assert_eq!(stats.absorbed, selected, "every labeled pick is absorbed");
+        assert_eq!(det.online.len(), selected);
+        for report in &reports {
+            assert_eq!(report.absorbed, report.relabel.len());
+        }
+        // The last report sees the fully grown set.
+        assert_eq!(reports.last().unwrap().calibration_size, Some(10 + selected));
+        // Absorbed samples carry the oracle's truth for their global index.
+        for (r, report_global) in
+            det.online.iter().zip(reports.iter().flat_map(|r| r.relabel.iter()))
+        {
+            assert_eq!(r.truth, Truth::Label(report_global % 2));
+        }
+    }
+
+    #[test]
+    fn online_reservoir_caps_growth_and_replaces_in_place() {
+        let cap = 3;
+        let mut det = Absorbing::new(7);
+        let mut pipeline = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                window: 4,
+                shards: 1,
+                budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+                policy: CalibrationPolicy::Reservoir { cap, seed: 11 },
+            },
+            |global, _s| Some(Truth::Label(global)),
+        );
+        let mut reports = pipeline.extend(stream(60));
+        reports.extend(pipeline.flush());
+        let stats = pipeline.stats();
+        drop(pipeline);
+
+        assert!(det.online.len() <= cap, "online growth must stay within cap");
+        assert!(
+            stats.relabel_selected > cap,
+            "the stream must offer more relabels than the cap to exercise eviction"
+        );
+        assert!(
+            stats.absorbed > det.online.len(),
+            "replacements count as absorbed beyond the live slots"
+        );
+        for report in &reports {
+            assert!(report.calibration_size.unwrap() <= 7 + cap);
+        }
+    }
+
+    #[test]
+    fn online_reservoir_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (Vec<usize>, Vec<usize>) {
+            let mut det = Absorbing::new(5);
+            let mut pipeline = DeploymentPipeline::online(
+                &mut det,
+                PipelineConfig {
+                    window: 6,
+                    shards: 2,
+                    budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+                    policy: CalibrationPolicy::Reservoir { cap: 4, seed },
+                },
+                |global, _s| Some(Truth::Label(global)),
+            );
+            let mut reports = pipeline.extend(stream(90));
+            reports.extend(pipeline.flush());
+            drop(pipeline);
+            let absorbed_per_window = reports.iter().map(|r| r.absorbed).collect();
+            let live: Vec<usize> = det
+                .online
+                .iter()
+                .map(|r| match r.truth {
+                    Truth::Label(g) => g,
+                    Truth::Target(_) => unreachable!(),
+                })
+                .collect();
+            (absorbed_per_window, live)
+        };
+        assert_eq!(run(3), run(3), "same seed, same stream: identical folding");
+    }
+
+    #[test]
+    fn online_frozen_matches_shared_pipeline_and_never_calls_the_oracle() {
+        let det = Threshold;
+        let mut frozen = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 6, shards: 2, ..Default::default() },
+        );
+        let mut frozen_reports = frozen.extend(stream(40));
+        frozen_reports.extend(frozen.flush());
+
+        let mut absorbing = Absorbing::new(3);
+        let mut online = DeploymentPipeline::online(
+            &mut absorbing,
+            PipelineConfig { window: 6, shards: 2, ..Default::default() },
+            |_, _| panic!("a frozen online pipeline must never consult the oracle"),
+        );
+        let mut online_reports = online.extend(stream(40));
+        online_reports.extend(online.flush());
+        let stats = online.stats();
+        drop(online);
+
+        assert_eq!(stats.absorbed, 0);
+        assert!(absorbing.online.is_empty(), "frozen must not touch the calibration set");
+        assert_eq!(frozen_reports.len(), online_reports.len());
+        for (f, o) in frozen_reports.iter().zip(online_reports.iter()) {
+            assert_eq!(f.judgements, o.judgements);
+            assert_eq!(f.flagged, o.flagged);
+            assert_eq!(f.relabel, o.relabel);
+            assert_eq!(o.absorbed, 0);
+        }
+    }
+
+    #[test]
+    fn online_skips_unlabeled_and_invalid_picks_without_slot_leaks() {
+        // The oracle answers only even indices, and every answered sample
+        // at index divisible by 4 carries a NaN embedding the detector
+        // must reject: neither may leak a reservoir slot.
+        let cap = 2;
+        let mut det = Absorbing::new(0);
+        let mut samples = stream(24);
+        for (i, s) in samples.iter_mut().enumerate() {
+            if i % 4 == 0 {
+                s.embedding[0] = f64::NAN;
+            }
+        }
+        let mut pipeline = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                window: 4,
+                shards: 1,
+                budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+                policy: CalibrationPolicy::Reservoir { cap, seed: 5 },
+            },
+            |global, _s| (global % 2 == 0).then_some(Truth::Label(global)),
+        );
+        let mut reports = pipeline.extend(samples);
+        reports.extend(pipeline.flush());
+        let stats = pipeline.stats();
+        drop(pipeline);
+
+        assert!(det.online.len() <= cap);
+        for r in &det.online {
+            assert!(
+                r.sample.embedding.iter().all(|v| !v.is_nan()),
+                "a NaN-embedding pick must never occupy a slot"
+            );
+            let Truth::Label(g) = r.truth else { unreachable!() };
+            assert_eq!(g % 2, 0, "only oracle-answered picks are live");
+        }
+        assert!(stats.absorbed <= stats.relabel_selected);
     }
 }

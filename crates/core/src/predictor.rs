@@ -7,7 +7,7 @@ use crate::calibration::{CalibrationRecord, SelectionConfig};
 use crate::committee::{
     committee_accepts, verdict_from_p_values, ExpertVerdict, PromConfig, PromJudgement,
 };
-use crate::detector::{DriftDetector, Judgement, Sample};
+use crate::detector::{DriftDetector, Judgement, Relabeled, Sample};
 use crate::nonconformity::{default_committee, Nonconformity};
 use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
@@ -294,6 +294,97 @@ impl PromClassifier {
         Ok(())
     }
 
+    /// Validates that `record` is shaped like the live calibration set.
+    fn check_record(&self, record: &CalibrationRecord) -> Result<(), PromError> {
+        if record.embedding.len() != self.records[0].embedding.len() {
+            return Err(PromError::DimensionMismatch {
+                detail: format!(
+                    "inserted embedding has length {}, expected {}",
+                    record.embedding.len(),
+                    self.records[0].embedding.len()
+                ),
+            });
+        }
+        if record.probs.len() != self.n_classes {
+            return Err(PromError::DimensionMismatch {
+                detail: format!(
+                    "inserted record has {} classes, expected {}",
+                    record.probs.len(),
+                    self.n_classes
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Grows the calibration set by one record **without a rebuild**: only
+    /// the new record's per-expert scores are computed and the scoring
+    /// kernel is appended in place — `O(experts)` per insert instead of
+    /// [`PromClassifier::recalibrate`]'s `O(n · experts)` refit. Judgements
+    /// afterwards are **bit-identical** to recalibrating with the same
+    /// record appended (`tests/recalibration_equivalence.rs`); this is the
+    /// fast path behind [`DriftDetector::absorb_relabeled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError::DimensionMismatch`] if the record's embedding
+    /// or probability vector disagrees with the live calibration set.
+    pub fn insert_record(&mut self, record: CalibrationRecord) -> Result<(), PromError> {
+        self.check_record(&record)?;
+        let scores: Vec<f64> =
+            self.experts.iter().map(|e| e.score(&record.probs, record.label)).collect();
+        self.kernel.insert(record.embedding.clone(), record.label, &scores);
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Replaces calibration record `index` in place (`O(experts)`, no
+    /// rebuild) — the eviction path of a capped reservoir calibration set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError`] on an out-of-range index or a record that
+    /// fails [`PromClassifier::insert_record`]'s validation.
+    pub fn replace_record_at(
+        &mut self,
+        index: usize,
+        record: CalibrationRecord,
+    ) -> Result<(), PromError> {
+        if index >= self.records.len() {
+            return Err(PromError::InvalidConfig {
+                detail: format!(
+                    "record index {index} out of range for {} records",
+                    self.records.len()
+                ),
+            });
+        }
+        self.check_record(&record)?;
+        let scores: Vec<f64> =
+            self.experts.iter().map(|e| e.score(&record.probs, record.label)).collect();
+        self.kernel.replace(index, record.embedding.clone(), record.label, &scores);
+        self.records[index] = record;
+        Ok(())
+    }
+
+    /// Converts a relabeled deployment sample into a calibration record,
+    /// skipping anything the serving path may hand over that calibration
+    /// validation would reject: mismatched truth kind, out-of-range label,
+    /// NaN embedding, or a NaN probability vector — a NaN output would
+    /// produce NaN expert scores that count in every p-value denominator
+    /// but never the numerator, silently poisoning the label forever.
+    fn record_from_relabeled(&self, r: &Relabeled) -> Option<CalibrationRecord> {
+        let crate::detector::Truth::Label(label) = r.truth else {
+            return None;
+        };
+        if label >= r.sample.outputs.len()
+            || r.sample.embedding.iter().any(|v| v.is_nan())
+            || r.sample.outputs.iter().any(|v| v.is_nan())
+        {
+            return None;
+        }
+        Some(CalibrationRecord::new(r.sample.embedding.clone(), r.sample.outputs.clone(), label))
+    }
+
     /// Number of calibration records.
     pub fn calibration_len(&self) -> usize {
         self.records.len()
@@ -331,6 +422,33 @@ impl DriftDetector for PromClassifier {
 
     fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
         self.judge_batch(samples).into_iter().map(Judgement::from).collect()
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.records.len())
+    }
+
+    /// Incremental override: each valid relabel is folded in via
+    /// [`PromClassifier::insert_record`] — bit-identical in judgement to a
+    /// full `recalibrate` with the same records appended, at `O(experts)`
+    /// per record instead of a rebuild. Invalid relabels are skipped.
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        batch
+            .iter()
+            .filter(|r| {
+                self.record_from_relabeled(r)
+                    .is_some_and(|record| self.insert_record(record).is_ok())
+            })
+            .count()
+    }
+
+    fn can_absorb(&self, r: &Relabeled) -> bool {
+        self.record_from_relabeled(r).is_some_and(|record| self.check_record(&record).is_ok())
+    }
+
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        self.record_from_relabeled(r)
+            .is_some_and(|record| self.replace_record_at(index, record).is_ok())
     }
 }
 

@@ -15,7 +15,7 @@ use crate::calibration::SelectionConfig;
 use crate::committee::{
     committee_accepts, verdict_from_p_values, ExpertVerdict, PromConfig, PromJudgement,
 };
-use crate::detector::{DriftDetector, Judgement, Sample};
+use crate::detector::{DriftDetector, Judgement, Relabeled, Sample};
 use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
 
@@ -385,6 +385,158 @@ impl PromRegressor {
         Ok(())
     }
 
+    /// Validates that `record` is shaped like the live calibration set.
+    fn check_record(&self, record: &RegressionRecord) -> Result<(), PromError> {
+        if record.embedding.len() != self.records[0].embedding.len() {
+            return Err(PromError::DimensionMismatch {
+                detail: format!(
+                    "inserted embedding has length {}, expected {}",
+                    record.embedding.len(),
+                    self.records[0].embedding.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The (pseudo-label, per-expert scores) a record calibrates under,
+    /// given the frozen design-time cluster model and residual scale.
+    fn score_record(&self, record: &RegressionRecord) -> (usize, Vec<f64>) {
+        let label = self.kmeans.assign(&record.embedding);
+        let scores = self
+            .experts
+            .iter()
+            .map(|e| e.score(record.prediction, record.target, self.residual_scale))
+            .collect();
+        (label, scores)
+    }
+
+    /// Grows the calibration set by one record **without a rebuild**,
+    /// keeping the design-time pseudo-label model frozen: the record is
+    /// assigned to its nearest existing cluster, scored by every residual
+    /// expert under the frozen residual scale, and appended to the scoring
+    /// kernel in place. Judgements afterwards are **bit-identical** to
+    /// [`PromRegressor::recalibrate_frozen_clusters`] over the same records
+    /// (`tests/recalibration_equivalence.rs`).
+    ///
+    /// Clustering (and the residual scale) are *design-time* artifacts: the
+    /// Sec. 5.4 loop folds relabeled samples into the calibration set, it
+    /// does not re-derive the pseudo-label space — use the full
+    /// [`PromRegressor::recalibrate`] when the model itself is retrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError::DimensionMismatch`] on an embedding-length
+    /// mismatch.
+    pub fn insert_record(&mut self, record: RegressionRecord) -> Result<(), PromError> {
+        self.check_record(&record)?;
+        let (label, scores) = self.score_record(&record);
+        self.kernel.insert(record.embedding.clone(), label, &scores);
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Replaces calibration record `index` in place (no rebuild), under the
+    /// same frozen-model semantics as [`PromRegressor::insert_record`] —
+    /// the eviction path of a capped reservoir calibration set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError`] on an out-of-range index or an
+    /// embedding-length mismatch.
+    pub fn replace_record_at(
+        &mut self,
+        index: usize,
+        record: RegressionRecord,
+    ) -> Result<(), PromError> {
+        if index >= self.records.len() {
+            return Err(PromError::InvalidConfig {
+                detail: format!(
+                    "record index {index} out of range for {} records",
+                    self.records.len()
+                ),
+            });
+        }
+        self.check_record(&record)?;
+        let (label, scores) = self.score_record(&record);
+        self.kernel.replace(index, record.embedding.clone(), label, &scores);
+        self.records[index] = record;
+        Ok(())
+    }
+
+    /// Rebuilds the score tables from scratch over `records` while keeping
+    /// the design-time pseudo-label model (cluster centroids and count) and
+    /// residual scale — the full-refit **reference** for the incremental
+    /// [`PromRegressor::insert_record`] path, and the recalibration to use
+    /// when the calibration set changes wholesale but the underlying model
+    /// (and therefore its embedding space) has not been retrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError`] on an empty record set or inconsistent
+    /// embedding dimensions.
+    pub fn recalibrate_frozen_clusters(
+        &mut self,
+        records: Vec<RegressionRecord>,
+    ) -> Result<(), PromError> {
+        if records.is_empty() {
+            return Err(PromError::EmptyCalibration);
+        }
+        let emb_dim = self.records[0].embedding.len();
+        if let Some((i, r)) = records.iter().enumerate().find(|(_, r)| r.embedding.len() != emb_dim)
+        {
+            return Err(PromError::DimensionMismatch {
+                detail: format!(
+                    "record {i} embedding has length {}, expected {emb_dim}",
+                    r.embedding.len()
+                ),
+            });
+        }
+        let embeddings: Vec<Vec<f64>> = records.iter().map(|r| r.embedding.clone()).collect();
+        let labels: Vec<usize> = embeddings.iter().map(|e| self.kmeans.assign(e)).collect();
+        let cal_scores: Vec<Vec<f64>> = self
+            .experts
+            .iter()
+            .map(|e| {
+                records
+                    .iter()
+                    .map(|r| e.score(r.prediction, r.target, self.residual_scale))
+                    .collect()
+            })
+            .collect();
+        self.kernel = ScoringKernel::new(
+            embeddings,
+            labels,
+            self.kmeans.k(),
+            cal_scores,
+            SelectionConfig {
+                fraction: self.config.prom.selection_fraction,
+                min_full_size: self.config.prom.min_full_size,
+                tau: self.config.prom.tau,
+            },
+        );
+        self.records = records;
+        Ok(())
+    }
+
+    /// Converts a relabeled deployment sample into a regression record,
+    /// skipping anything calibration validation would reject.
+    fn record_from_relabeled(&self, r: &Relabeled) -> Option<RegressionRecord> {
+        let crate::detector::Truth::Target(target) = r.truth else {
+            return None;
+        };
+        let &[prediction] = &r.sample.outputs[..] else {
+            return None;
+        };
+        if !target.is_finite()
+            || !prediction.is_finite()
+            || r.sample.embedding.iter().any(|v| v.is_nan())
+        {
+            return None;
+        }
+        Some(RegressionRecord::new(r.sample.embedding.clone(), prediction, target))
+    }
+
     /// Number of pseudo-label clusters in use.
     pub fn n_clusters(&self) -> usize {
         self.kmeans.k()
@@ -415,6 +567,34 @@ impl DriftDetector for PromRegressor {
 
     fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
         self.judge_batch(samples).into_iter().map(Judgement::from).collect()
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.records.len())
+    }
+
+    /// Incremental override: each valid relabel is folded in via
+    /// [`PromRegressor::insert_record`] under the frozen design-time
+    /// pseudo-label model — bit-identical in judgement to
+    /// [`PromRegressor::recalibrate_frozen_clusters`] over the same
+    /// records. Invalid relabels are skipped.
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        batch
+            .iter()
+            .filter(|r| {
+                self.record_from_relabeled(r)
+                    .is_some_and(|record| self.insert_record(record).is_ok())
+            })
+            .count()
+    }
+
+    fn can_absorb(&self, r: &Relabeled) -> bool {
+        self.record_from_relabeled(r).is_some_and(|record| self.check_record(&record).is_ok())
+    }
+
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        self.record_from_relabeled(r)
+            .is_some_and(|record| self.replace_record_at(index, record).is_ok())
     }
 }
 

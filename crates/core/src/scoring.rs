@@ -83,6 +83,90 @@ impl ScoreTable {
         self.per_label.len()
     }
 
+    /// Total number of calibration scores across all labels.
+    pub fn len(&self) -> usize {
+        self.per_label.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no calibration scores.
+    pub fn is_empty(&self) -> bool {
+        self.per_label.iter().all(Vec::is_empty)
+    }
+
+    /// The sorted calibration scores of `label` (empty for a label with no
+    /// samples, including one beyond the table's range).
+    pub fn scores(&self, label: usize) -> &[f64] {
+        self.per_label.get(label).map_or(&[], Vec::as_slice)
+    }
+
+    /// Inserts one calibration score, maintaining the pre-sorted per-label
+    /// invariant: a binary search finds the insertion point, so one insert
+    /// costs `O(log n + shift)` instead of the `O(n log n)` full refit.
+    /// Because the buckets are totally ordered by `total_cmp`, the grown
+    /// table is **bit-identical** to one rebuilt from scratch over the same
+    /// score multiset (`tests/recalibration_equivalence.rs`), duplicates
+    /// included.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ScoreTable::new`]: an out-of-range label or a
+    /// NaN score. The insert boundary is a *recalibration-time* step, so
+    /// corrupt inputs fail as loudly here as they do at construction;
+    /// callers folding serving-path relabels in must validate first (see
+    /// `DriftDetector::absorb_relabeled`).
+    pub fn insert(&mut self, label: usize, score: f64) {
+        let n_labels = self.per_label.len();
+        assert!(label < n_labels, "label {label} out of range for {n_labels} labels");
+        assert!(!score.is_nan(), "NaN calibration score");
+        let bucket = &mut self.per_label[label];
+        let pos = bucket.partition_point(|s| s.total_cmp(&score).is_lt());
+        bucket.insert(pos, score);
+    }
+
+    /// Inserts parallel `labels` / `scores` arrays — the batched form of
+    /// [`ScoreTable::insert`] used when a window's relabels are folded in
+    /// together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays disagree in length, plus the per-insert
+    /// conditions of [`ScoreTable::insert`].
+    pub fn insert_scores(&mut self, labels: &[usize], scores: &[f64]) {
+        assert_eq!(labels.len(), scores.len(), "label/score length mismatch");
+        for (&label, &score) in labels.iter().zip(scores.iter()) {
+            self.insert(label, score);
+        }
+    }
+
+    /// Inserts one calibration record scored at its true label under `ncm`
+    /// — the incremental twin of [`ScoreTable::from_records`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ScoreTable::insert`]. Unlike `from_records`,
+    /// inserting never widens the table: a record labeled beyond
+    /// [`ScoreTable::n_labels`] panics.
+    pub fn insert_record(&mut self, record: &CalibrationRecord, ncm: &dyn Nonconformity) {
+        self.insert(record.label, ncm.score(&record.probs, record.label));
+    }
+
+    /// Removes one occurrence of `score` (matched bit-exactly via
+    /// `total_cmp`) from `label`'s bucket — the eviction half of a capped
+    /// reservoir calibration set. Returns `false` (and leaves the table
+    /// unchanged) when the label is out of range or the score is absent.
+    pub fn remove(&mut self, label: usize, score: f64) -> bool {
+        let Some(bucket) = self.per_label.get_mut(label) else {
+            return false;
+        };
+        let pos = bucket.partition_point(|s| s.total_cmp(&score).is_lt());
+        if bucket.get(pos).is_some_and(|s| s.total_cmp(&score).is_eq()) {
+            bucket.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
     /// The Eq. 2 p-value of `test_score` under `label`: the fraction of
     /// label-`label` calibration scores `>= test_score`. Returns 0 for a
     /// label with no calibration samples — including one beyond the table's
@@ -214,6 +298,57 @@ impl ScoringKernel {
     /// Borrows the calibration labels.
     pub fn labels(&self) -> &[usize] {
         &self.labels
+    }
+
+    /// Appends one calibration record: its embedding, (pseudo-)label, and
+    /// one precomputed nonconformity score per expert. `O(1)` amortized —
+    /// the kernel keeps no distance-dependent state, so growth needs no
+    /// refit, and judgements afterwards are **bit-identical** to a kernel
+    /// rebuilt from scratch with the record appended to the same
+    /// construction order (`select` breaks distance ties by record index,
+    /// which appending preserves).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an embedding-length mismatch, an out-of-range label, or a
+    /// score count that disagrees with [`ScoringKernel::n_experts`].
+    pub fn insert(&mut self, embedding: Vec<f64>, label: usize, scores: &[f64]) {
+        assert_eq!(
+            embedding.len(),
+            self.embeddings[0].len(),
+            "embedding length mismatch on insert"
+        );
+        assert!(label < self.n_labels, "label {label} out of range for {} labels", self.n_labels);
+        assert_eq!(scores.len(), self.cal_scores.len(), "one score per expert required");
+        for (table, &score) in self.cal_scores.iter_mut().zip(scores.iter()) {
+            table.push(score);
+        }
+        self.embeddings.push(embedding);
+        self.labels.push(label);
+    }
+
+    /// Overwrites calibration record `index` in place — the `O(1)` eviction
+    /// path of a capped reservoir calibration set. The record keeps its
+    /// index, so tie-breaking stays well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ScoringKernel::insert`], plus an out-of-range
+    /// `index`.
+    pub fn replace(&mut self, index: usize, embedding: Vec<f64>, label: usize, scores: &[f64]) {
+        assert!(index < self.embeddings.len(), "record index {index} out of range");
+        assert_eq!(
+            embedding.len(),
+            self.embeddings[0].len(),
+            "embedding length mismatch on replace"
+        );
+        assert!(label < self.n_labels, "label {label} out of range for {} labels", self.n_labels);
+        assert_eq!(scores.len(), self.cal_scores.len(), "one score per expert required");
+        for (table, &score) in self.cal_scores.iter_mut().zip(scores.iter()) {
+            table[index] = score;
+        }
+        self.embeddings[index] = embedding;
+        self.labels[index] = label;
     }
 
     /// Runs the Eq. 1 selection for one test embedding into `scratch`:
@@ -413,6 +548,68 @@ mod tests {
         assert_eq!(table.p_values(&[0.1, 0.9]), vec![1.0, 0.0]);
     }
 
+    #[test]
+    fn insert_grows_bit_identically_to_rebuild() {
+        let base_labels = [0, 1, 0, 2, 1];
+        let base_scores = [0.4, 0.9, 0.1, 0.5, 0.2];
+        // Duplicates (0.4 twice), boundary values, and a -0.0/+0.0 pair —
+        // the orderings where a sloppy insert would diverge from a sort.
+        let extra_labels = [0, 0, 1, 2, 0, 0];
+        let extra_scores = [0.4, -0.0, 0.0, 0.5, 2.0, -1.0];
+
+        let mut grown = ScoreTable::new(&base_labels, &base_scores, 3);
+        grown.insert_scores(&extra_labels, &extra_scores);
+
+        let all_labels: Vec<usize> =
+            base_labels.iter().chain(extra_labels.iter()).copied().collect();
+        let all_scores: Vec<f64> = base_scores.iter().chain(extra_scores.iter()).copied().collect();
+        let rebuilt = ScoreTable::new(&all_labels, &all_scores, 3);
+
+        assert_eq!(grown.len(), rebuilt.len());
+        for label in 0..3 {
+            let g: Vec<u64> = grown.scores(label).iter().map(|s| s.to_bits()).collect();
+            let r: Vec<u64> = rebuilt.scores(label).iter().map(|s| s.to_bits()).collect();
+            assert_eq!(g, r, "label {label} buckets must match bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn remove_evicts_exactly_one_occurrence() {
+        let mut table = ScoreTable::new(&[0, 0, 0], &[0.5, 0.5, 0.2], 1);
+        assert!(table.remove(0, 0.5));
+        assert_eq!(table.scores(0), &[0.2, 0.5]);
+        assert!(!table.remove(0, 0.7), "absent score must not remove anything");
+        assert!(!table.remove(5, 0.5), "out-of-range label must not panic");
+        assert!(!table.remove(0, f64::NAN), "NaN matches nothing");
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_label_panics_like_new() {
+        let mut table = ScoreTable::new(&[0], &[0.5], 1);
+        table.insert(1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN calibration score")]
+    fn insert_nan_score_panics_like_new() {
+        let mut table = ScoreTable::new(&[0], &[0.5], 1);
+        table.insert(0, f64::NAN);
+    }
+
+    #[test]
+    fn insert_record_scores_at_true_label() {
+        use crate::nonconformity::Lac;
+        let record = CalibrationRecord::new(vec![0.0], vec![0.3, 0.7], 1);
+        let mut grown = ScoreTable::new(&[], &[], 2);
+        grown.insert_record(&record, &Lac);
+        let rebuilt = ScoreTable::from_records(&[record], &Lac, 2);
+        for label in 0..2 {
+            assert_eq!(grown.scores(label), rebuilt.scores(label));
+        }
+    }
+
     fn kernel_fixture(n: usize, min_full_size: usize) -> ScoringKernel {
         let embeddings: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.5]).collect();
         let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
@@ -556,6 +753,58 @@ mod tests {
         let table = ScoreTable::from_records(&records, &Lac, 5);
         assert_eq!(table.n_labels(), 5);
         assert_eq!(table.p_value(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_insert_matches_rebuilt_kernel_on_both_selection_paths() {
+        // Grow a kernel record-by-record and compare every p-value against
+        // a kernel constructed from scratch with the same record order, in
+        // both the keep-everything and nearest-fraction selection modes.
+        for min_full in [1000, 20] {
+            let full = kernel_fixture(60, min_full);
+            let mut grown = kernel_fixture(40, min_full);
+            for i in 40..60 {
+                let scores: Vec<f64> =
+                    (0..full.n_experts()).map(|e| full.cal_scores[e][i]).collect();
+                grown.insert(full.embeddings()[i].clone(), full.labels()[i], &scores);
+            }
+            assert_eq!(grown.n_records(), full.n_records());
+            let mut sa = JudgeScratch::new();
+            let mut sb = JudgeScratch::new();
+            for probe in [0.0, 3.3, 19.0, 29.5] {
+                grown.select(&[probe], &mut sa);
+                full.select(&[probe], &mut sb);
+                for expert in 0..full.n_experts() {
+                    for scratch in [&mut sa, &mut sb] {
+                        scratch.test_scores.clear();
+                        scratch.test_scores.extend_from_slice(&[0.2, 0.5, 0.8]);
+                    }
+                    grown.p_values_into(expert, &mut sa);
+                    full.p_values_into(expert, &mut sb);
+                    let a: Vec<u64> = sa.p_values.iter().map(|p| p.to_bits()).collect();
+                    let b: Vec<u64> = sb.p_values.iter().map(|p| p.to_bits()).collect();
+                    assert_eq!(a, b, "probe {probe}, expert {expert}, min_full {min_full}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_replace_overwrites_in_place() {
+        let mut kernel = kernel_fixture(10, 1000);
+        kernel.replace(3, vec![99.0], 2, &[0.11, 0.22]);
+        assert_eq!(kernel.embeddings()[3], vec![99.0]);
+        assert_eq!(kernel.labels()[3], 2);
+        assert_eq!(kernel.cal_scores[0][3], 0.11);
+        assert_eq!(kernel.cal_scores[1][3], 0.22);
+        assert_eq!(kernel.n_records(), 10, "replace must not grow the kernel");
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per expert")]
+    fn kernel_insert_rejects_ragged_scores() {
+        let mut kernel = kernel_fixture(10, 1000);
+        kernel.insert(vec![0.0], 0, &[0.5]);
     }
 
     #[test]

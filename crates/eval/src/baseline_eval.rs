@@ -11,8 +11,10 @@
 
 use prom_baselines::tesseract::LabeledOutcome;
 use prom_baselines::{NaiveCp, Rise, Tesseract};
-use prom_core::detector::{DriftDetector, Sample};
-use prom_core::pipeline::{available_shards, judge_sharded};
+use prom_core::detector::{DriftDetector, Sample, Truth};
+use prom_core::pipeline::{
+    available_shards, judge_sharded, CalibrationPolicy, DeploymentPipeline, PipelineConfig,
+};
 use prom_ml::metrics::BinaryConfusion;
 
 use crate::report::DetectionStats;
@@ -48,6 +50,57 @@ pub fn evaluate_detector(
         confusion.record(!j.accepted, wrong);
     }
     DetectionStats::from_confusion(&confusion)
+}
+
+/// What an online-policy evaluation produced, alongside the detection
+/// quality: how much the calibration set moved.
+#[derive(Debug, Clone)]
+pub struct OnlineEvalResult {
+    /// Detection quality of the reject decisions over the whole stream.
+    pub detection: DetectionStats,
+    /// Relabeled samples folded into the detector across the run.
+    pub absorbed: usize,
+    /// The detector's live calibration size after the run, when exposed.
+    pub calibration_size: Option<usize>,
+}
+
+/// The *online* twin of [`evaluate_detector`]: drives the stream through a
+/// windowed [`DeploymentPipeline`] under `policy`, folding each window's
+/// budget-selected relabels back into the detector with `oracle_labels`
+/// playing the expert (`oracle_labels[i]` is stream sample `i`'s ground
+/// truth). Under [`CalibrationPolicy::Frozen`] the reject decisions are
+/// identical to [`evaluate_detector`]'s; under the growing policies the
+/// detector adapts mid-stream, which is the paper's Sec. 5.4 deployment
+/// mode.
+pub fn evaluate_detector_online(
+    detector: &mut dyn DriftDetector,
+    stream: &[Sample],
+    mispredicted: &[bool],
+    oracle_labels: &[usize],
+    policy: CalibrationPolicy,
+    window: usize,
+) -> OnlineEvalResult {
+    assert_eq!(stream.len(), oracle_labels.len(), "one oracle label per stream sample");
+    assert_eq!(stream.len(), mispredicted.len(), "one misprediction flag per stream sample");
+    let mut pipeline = DeploymentPipeline::online(
+        detector,
+        PipelineConfig { window, shards: available_shards(), policy, ..Default::default() },
+        |global, _s| Some(Truth::Label(oracle_labels[global])),
+    );
+    let mut reports = pipeline.extend(stream.iter().cloned());
+    reports.extend(pipeline.flush());
+    let stats = pipeline.stats();
+    drop(pipeline);
+
+    let mut confusion = BinaryConfusion::default();
+    for (j, &wrong) in reports.iter().flat_map(|r| r.judgements.iter()).zip(mispredicted.iter()) {
+        confusion.record(!j.accepted, wrong);
+    }
+    OnlineEvalResult {
+        detection: DetectionStats::from_confusion(&confusion),
+        absorbed: stats.absorbed,
+        calibration_size: reports.last().and_then(|r| r.calibration_size),
+    }
 }
 
 /// Runs Prom and all three baselines on one scenario.

@@ -13,7 +13,10 @@ use prom_workloads::vulnerability;
 
 use prom_core::detector::DriftDetector;
 
-use crate::baseline_eval::{compare_detectors, evaluate_detector, BaselineComparison};
+use crate::baseline_eval::{
+    compare_detectors, evaluate_detector, evaluate_detector_online, BaselineComparison,
+    OnlineEvalResult,
+};
 use crate::codegen_eval::{run_codegen, CodegenConfig, CodegenResult};
 use crate::models::TrainBudget;
 use crate::registry::{models_for, CaseId, CaseScale};
@@ -159,6 +162,40 @@ pub fn run_ncm_ablation(config: &ScenarioConfig) -> Vec<(String, DetectionStats)
         .map(|(name, prom)| (name.clone(), prom as &dyn DriftDetector))
         .chain(std::iter::once(("PROM".to_string(), &fitted.prom as &dyn DriftDetector)))
         .map(|(name, det)| (name, evaluate_detector(det, &stream, &mispredicted)))
+        .collect()
+}
+
+/// The in-pipeline online-recalibration ablation: Prom's detection quality
+/// on one scenario's drift stream under each [`CalibrationPolicy`], with
+/// the drift samples' ground-truth labels playing the relabeling expert.
+/// One model and one fitted detector configuration are shared; each policy
+/// gets its own fresh detector clone of the calibration records, so the
+/// policies are compared like-for-like.
+pub fn run_online_ablation(
+    config: &ScenarioConfig,
+    policies: &[(&str, prom_core::pipeline::CalibrationPolicy)],
+    window: usize,
+) -> Vec<(String, OnlineEvalResult)> {
+    let fitted = fit_scenario(config);
+    let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
+    let mispredicted = misprediction_flags(&fitted.data.drift_test, &stream);
+    let oracle_labels: Vec<usize> = fitted.data.drift_test.iter().map(|s| s.label).collect();
+
+    policies
+        .iter()
+        .map(|(name, policy)| {
+            let mut prom = PromClassifier::new(fitted.records.clone(), fitted.prom_config.clone())
+                .expect("fitted records are valid");
+            let result = evaluate_detector_online(
+                &mut prom,
+                &stream,
+                &mispredicted,
+                &oracle_labels,
+                *policy,
+                window,
+            );
+            (name.to_string(), result)
+        })
         .collect()
 }
 
@@ -352,6 +389,46 @@ mod tests {
             "pooled counts must be the exact integer sums"
         );
         assert_eq!(pooled.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn online_ablation_frozen_matches_offline_and_policies_stay_capped() {
+        use prom_core::pipeline::CalibrationPolicy;
+        let cfg =
+            tiny().scenario(CaseId::Devmap, ModelSpec { paper_name: "test", arch: Arch::Mlp });
+        let cap = 40;
+        let rows = run_online_ablation(
+            &cfg,
+            &[
+                ("frozen", CalibrationPolicy::Frozen),
+                ("grow", CalibrationPolicy::GrowUnbounded),
+                ("reservoir", CalibrationPolicy::Reservoir { cap, seed: 1 }),
+            ],
+            64,
+        );
+        assert_eq!(rows.len(), 3);
+        let frozen = &rows[0].1;
+        let grow = &rows[1].1;
+        let reservoir = &rows[2].1;
+
+        // Frozen online == the plain offline evaluation, sample counts and
+        // confusion alike.
+        let fitted = fit_scenario(&cfg);
+        let stream = deployment_samples(&fitted.model, &fitted.data.drift_test);
+        let mispredicted = misprediction_flags(&fitted.data.drift_test, &stream);
+        let offline = evaluate_detector(&fitted.prom, &stream, &mispredicted);
+        assert_eq!(frozen.detection.confusion(), offline.confusion());
+        assert_eq!(frozen.absorbed, 0);
+
+        // Growing policies actually absorb, and the reservoir stays capped.
+        assert!(grow.absorbed > 0, "drift stream must produce relabels");
+        let base = fitted.records.len();
+        assert_eq!(grow.calibration_size, Some(base + grow.absorbed));
+        let reservoir_size = reservoir.calibration_size.expect("Prom exposes its size");
+        assert!(
+            reservoir_size <= base + cap,
+            "reservoir must cap online growth: {reservoir_size} > {base} + {cap}"
+        );
     }
 
     #[test]

@@ -1,20 +1,28 @@
 //! Deployment at scale: stream ~1M synthetic samples through the sharded
-//! [`DeploymentPipeline`] and close the paper's Sec. 5.4 incremental loop
-//! end-to-end.
+//! [`DeploymentPipeline`] with the paper's Sec. 5.4 incremental loop closed
+//! **in-pipeline**.
 //!
 //! Run with: `cargo run --release --example deployment_pipeline [n_samples]`
 //! (default 1,000,000).
 //!
 //! The flow:
 //! 1. build a Prom detector from an in-distribution calibration set;
-//! 2. **phase 1** — stream the first half (drift begins mid-phase); the
-//!    pipeline judges fixed windows on shard threads, and the window hook
-//!    queues each window's budgeted relabel picks with their oracle labels
-//!    (the "ask an expert" step);
-//! 3. between phases, fold the relabeled samples into the calibration set
-//!    and `recalibrate` — the online calibration update;
-//! 4. **phase 2** — stream the second half (fully drifted) through the
-//!    updated detector and compare reject rates and throughput.
+//! 2. stream everything through **one online pipeline** under
+//!    `CalibrationPolicy::Reservoir`: every window is judged on shard
+//!    threads, its budgeted relabel picks are labeled by the oracle (the
+//!    "ask an expert" step), and the picks are folded straight into the
+//!    detector's live calibration set by incremental insert/replace — no
+//!    full recalibration rebuild anywhere;
+//! 3. drift begins 40% into the stream (mid phase 1); the detector adapts
+//!    as it streams, so phase 2 (the fully drifted half) runs against an
+//!    already-updated calibration set;
+//! 4. the reservoir caps online growth, so the calibration size — and with
+//!    it the per-window judging cost — plateaus instead of growing with
+//!    the stream: the periodic `calibration/throughput` lines stay flat
+//!    once the cap is reached. (The previous caller-driven version of this
+//!    example rebuilt the full calibration set between phases and phase-2
+//!    throughput dropped as the set grew — that slowdown is what the cap
+//!    removes.)
 //!
 //! Samples are generated on the fly: the pipeline only ever buffers one
 //! window, so the 1M-sample stream needs no 1M-sample allocation.
@@ -23,13 +31,17 @@ use std::time::Instant;
 
 use prom::core::calibration::CalibrationRecord;
 use prom::core::committee::PromConfig;
-use prom::core::detector::{DriftDetector, Sample};
-use prom::core::pipeline::{available_shards, DeploymentPipeline, PipelineConfig};
+use prom::core::detector::{DriftDetector, Sample, Truth};
+use prom::core::pipeline::{
+    available_shards, CalibrationPolicy, DeploymentPipeline, PipelineConfig,
+};
 use prom::core::predictor::PromClassifier;
 
 const N_CLASSES: usize = 3;
 const DIM: usize = 8;
 const WINDOW: usize = 8192;
+/// Online calibration records the reservoir keeps live at most.
+const RESERVOIR_CAP: usize = 1024;
 
 /// Deterministic synthetic deployment sample `i` of `total`: three class
 /// clusters whose embedding distribution shifts after 40% of the stream
@@ -53,40 +65,21 @@ fn sample_at(i: usize, total: usize) -> (Sample, usize) {
 fn calibration_records(n: usize) -> Vec<CalibrationRecord> {
     (0..n)
         .map(|i| {
-            // Calibration mirrors the pre-drift regime.
-            let (s, label) = sample_at(i * 3, usize::MAX);
+            // Calibration mirrors the pre-drift regime. The stride must be
+            // coprime with N_CLASSES so every class is represented (a
+            // stride of 3 silently produced an all-label-0 set).
+            let (s, label) = sample_at(i * 7, usize::MAX);
             CalibrationRecord::new(s.embedding, s.outputs, label)
         })
         .collect()
 }
 
-/// Streams samples `[from, to)` through a pipeline over `prom`, queueing
-/// every relabel pick (sample + oracle label) via the window hook.
-fn run_phase(
-    prom: &PromClassifier,
-    from: usize,
-    to: usize,
-    total: usize,
-) -> (usize, usize, Vec<(Sample, usize)>, f64) {
-    let mut relabeled: Vec<(Sample, usize)> = Vec::new();
-    let t0 = Instant::now();
-    let mut pipeline = DeploymentPipeline::new(
-        prom,
-        PipelineConfig { window: WINDOW, shards: available_shards(), ..Default::default() },
-    )
-    .on_window(|report, samples| {
-        for &global in &report.relabel {
-            let (_, oracle) = sample_at(global + from, total);
-            relabeled.push((samples[global - report.start].clone(), oracle));
-        }
-    });
-    for i in from..to {
-        pipeline.push(sample_at(i, total).0);
-    }
-    pipeline.flush();
-    let stats = pipeline.stats();
-    drop(pipeline);
-    (stats.judged, stats.rejected, relabeled, t0.elapsed().as_secs_f64())
+/// Per-phase accumulation: judged samples, rejected samples, seconds.
+#[derive(Default, Clone, Copy)]
+struct PhaseTotals {
+    judged: usize,
+    rejected: usize,
+    secs: f64,
 }
 
 fn main() {
@@ -96,51 +89,109 @@ fn main() {
         .unwrap_or(1_000_000);
     let half = total / 2;
     println!(
-        "streaming {total} samples in {WINDOW}-sample windows across {} shards",
+        "streaming {total} samples in {WINDOW}-sample windows across {} shards, \
+         online reservoir cap {RESERVOIR_CAP}",
         available_shards()
     );
 
     let records = calibration_records(300);
-    let mut prom =
+    // A frozen twin for the closing comparison: same design-time records,
+    // never updated.
+    let frozen =
         PromClassifier::new(records.clone(), PromConfig::default()).expect("valid calibration");
+    let mut prom = PromClassifier::new(records, PromConfig::default()).expect("valid calibration");
+    let base = prom.calibration_len();
 
-    // Phase 1: drift starts at 40% of the stream, i.e. inside this phase.
-    let (judged, rejected, relabeled, secs) = run_phase(&prom, 0, half, total);
-    println!(
-        "phase 1: {judged} judged in {secs:.2}s ({:.0} samples/s), reject rate {:.1}%, \
-         {} relabeled",
-        judged as f64 / secs,
-        100.0 * rejected as f64 / judged as f64,
-        relabeled.len(),
+    // One online pipeline over the whole stream: the Sec. 5.4 loop closes
+    // per window, with the sample generator's true label as the expert.
+    let mut phases = [PhaseTotals::default(); 2];
+    let mut pipeline = DeploymentPipeline::online(
+        &mut prom,
+        PipelineConfig {
+            window: WINDOW,
+            shards: available_shards(),
+            policy: CalibrationPolicy::Reservoir { cap: RESERVOIR_CAP, seed: 0 },
+            ..Default::default()
+        },
+        |global, _s| Some(Truth::Label(sample_at(global, total).1)),
     );
 
-    // Online calibration update: fold the expert-labeled picks back in.
-    let mut updated = records;
-    updated.extend(
-        relabeled
-            .iter()
-            .map(|(s, y)| CalibrationRecord::new(s.embedding.clone(), s.outputs.clone(), *y)),
-    );
-    prom.recalibrate(updated).expect("recalibration records are valid");
-    println!("recalibrated with {} expert-labeled samples", relabeled.len());
+    let mut window_clock = Instant::now();
+    let account = |report: &prom::core::pipeline::WindowReport,
+                   phases: &mut [PhaseTotals; 2],
+                   window_clock: &mut Instant| {
+        let secs = window_clock.elapsed().as_secs_f64();
+        *window_clock = Instant::now();
+        let phase = usize::from(report.start >= half);
+        phases[phase].judged += report.judgements.len();
+        phases[phase].rejected += report.flagged.len();
+        phases[phase].secs += secs;
+        if report.index.is_multiple_of(8) {
+            println!(
+                "  window {:>4}  calibration {:>5}  {:>9.0} samples/s  reject {:>5.1}%  \
+                 absorbed {:>2}",
+                report.index,
+                report.calibration_size.unwrap_or(0),
+                report.judgements.len() as f64 / secs,
+                100.0 * report.flagged.len() as f64 / report.judgements.len() as f64,
+                report.absorbed,
+            );
+        }
+    };
+    for i in 0..total {
+        if let Some(report) = pipeline.push(sample_at(i, total).0) {
+            account(&report, &mut phases, &mut window_clock);
+        }
+    }
+    if let Some(report) = pipeline.flush() {
+        account(&report, &mut phases, &mut window_clock);
+    }
+    let stats = pipeline.stats();
+    drop(pipeline);
 
-    // Phase 2: the fully drifted half against the updated detector.
-    let (judged, rejected, relabeled, secs) = run_phase(&prom, half, total, total);
+    for (phase, totals) in phases.iter().enumerate() {
+        if totals.judged == 0 {
+            continue;
+        }
+        println!(
+            "phase {}: {} judged in {:.2}s ({:.0} samples/s), reject rate {:.1}%",
+            phase + 1,
+            totals.judged,
+            totals.secs,
+            totals.judged as f64 / totals.secs,
+            100.0 * totals.rejected as f64 / totals.judged as f64,
+        );
+    }
     println!(
-        "phase 2: {judged} judged in {secs:.2}s ({:.0} samples/s), reject rate {:.1}%, \
-         {} queued for the next update",
-        judged as f64 / secs,
-        100.0 * rejected as f64 / judged as f64,
-        relabeled.len(),
+        "online loop: {} relabels selected, {} absorbed, calibration {} -> {} \
+         (capped at {} + {RESERVOIR_CAP})",
+        stats.relabel_selected,
+        stats.absorbed,
+        base,
+        prom.calibration_len(),
+        base,
+    );
+
+    // The payoff: on a fully drifted probe window the adapted detector
+    // trusts the model again, while the frozen twin still rejects en masse.
+    let probe: Vec<Sample> =
+        (0..WINDOW).map(|i| sample_at(total.saturating_sub(WINDOW) + i, total).0).collect();
+    let reject_rate = |det: &dyn DriftDetector| {
+        let js = det.judge_batch(&probe);
+        100.0 * js.iter().filter(|j| !j.accepted).count() as f64 / js.len() as f64
+    };
+    println!(
+        "drifted probe window: frozen detector rejects {:.1}%, online-recalibrated {:.1}%",
+        reject_rate(&frozen),
+        reject_rate(&prom),
     );
 
     // Sanity: sharded and sequential judging agree bit-for-bit.
-    let probe: Vec<Sample> = (0..512).map(|i| sample_at(i, total).0).collect();
     let det: &dyn DriftDetector = &prom;
     assert_eq!(
         prom::core::pipeline::judge_sharded(det, &probe, available_shards()),
         det.judge_batch(&probe),
         "parallel judging must be bit-identical to sequential"
     );
-    println!("parallel == sequential on a 512-sample probe window ✓");
+    println!("parallel == sequential on a {WINDOW}-sample probe window ✓");
 }

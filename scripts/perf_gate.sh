@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the criterion benches with median capture and
+# compare against the committed baseline (BENCH_pipeline.json).
+#
+#   scripts/perf_gate.sh [bench-name ...]     # default: pipeline recalibration
+#
+# Semantics live in crates/bench/src/bin/perf_gate.rs: on the baseline's
+# own machine any >25% median slowdown fails the gate; a missing baseline
+# bootstraps. When the committed baseline was recorded on a *different*
+# machine, the measured run's outcome is predetermined (re-bootstrap and
+# pass), so this script skips the expensive benches entirely unless
+# PERF_GATE_BOOTSTRAP=1 forces a run to re-record the baseline here —
+# that is how you arm the gate on a new machine: run with the variable
+# set, then commit the rewritten BENCH_pipeline.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Machine fingerprint: kernel/arch plus CPU identity — kernel alone is not
+# enough (two cloud runners can share a kernel image across different CPU
+# generations, and absolute medians do not transfer between CPUs).
+cpu="$(grep -m1 '^model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | xargs || true)"
+if [ -z "$cpu" ] && command -v sysctl >/dev/null 2>&1; then
+    cpu="$(sysctl -n machdep.cpu.brand_string 2>/dev/null || true)"
+fi
+fingerprint="$(uname -srm)${cpu:+ / $cpu}"
+
+if [ "${PERF_GATE_BOOTSTRAP:-0}" != "1" ]; then
+    # Exit-code contract with perf_gate: 0 = armed (or bootstrap) — run the
+    # benches; 2 = foreign machine — skip the predetermined run; anything
+    # else (e.g. a corrupted committed baseline) must FAIL the step, never
+    # silently disarm the gate.
+    status=0
+    cargo run -q --release -p prom-bench --bin perf_gate -- \
+        check-machine BENCH_pipeline.json "$fingerprint" || status=$?
+    if [ "$status" -eq 2 ]; then
+        echo "perf gate: skipping measured run (gate is not armed for this machine;"
+        echo "perf gate: set PERF_GATE_BOOTSTRAP=1 to re-record the baseline here)"
+        exit 0
+    elif [ "$status" -ne 0 ]; then
+        echo "perf gate: check-machine failed (exit $status)" >&2
+        exit "$status"
+    fi
+fi
+
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+    benches=(pipeline recalibration)
+fi
+bench_args=()
+for b in "${benches[@]}"; do
+    bench_args+=(--bench "$b")
+done
+
+medians="$PWD/target/criterion-medians.jsonl"
+rm -f "$medians"
+
+# Sample counts come from the group-level sample_size() calls in the bench
+# sources (a CLI --sample-size would be overridden by them anyway).
+CRITERION_MEDIAN_JSONL="$medians" cargo bench -p prom-bench "${bench_args[@]}"
+
+cargo run --release -q -p prom-bench --bin perf_gate -- \
+    BENCH_pipeline.json "$medians" "$fingerprint"

@@ -3,11 +3,15 @@
 
 use prom::core::calibration::CalibrationRecord;
 use prom::core::committee::PromConfig;
+use prom::core::detector::{Judgement, Sample, Truth};
+use prom::core::incremental::RelabelBudget;
+use prom::core::pipeline::{CalibrationPolicy, DeploymentPipeline, PipelineConfig};
 use prom::core::predictor::PromClassifier;
 use prom::eval::models::{Arch, TrainBudget, TrainedModel};
 use prom::eval::registry::{generate_case, models_for, CaseId, CaseScale};
 use prom::eval::scenario::{fit_scenario, run_scenario, ScenarioConfig};
 use prom::eval::ModelSpec;
+use prom::ml::metrics::BinaryConfusion;
 use prom::workloads::coarsening::{self, CoarseningConfig};
 
 fn tiny(case: CaseId, arch: Arch) -> ScenarioConfig {
@@ -92,6 +96,157 @@ fn calibrated_tau_tracks_embedding_scale() {
     // configuration must validate.
     assert!(fitted.prom_config.tau.is_finite() && fitted.prom_config.tau > 0.0);
     assert!(fitted.prom_config.validate().is_ok());
+}
+
+/// Deterministic two-phase deployment sample `i` of `total`: two class
+/// clusters whose embeddings shift 40% into the stream, with the model
+/// turning 40% wrong (and under-confident) on drifted inputs. Returns the
+/// sample and its oracle label.
+fn drift_stream_sample(i: usize, total: usize) -> (Sample, usize) {
+    let label = i % 2;
+    let drifted = i >= total / 5 * 2;
+    let shift = if drifted { 12.0 } else { 0.0 };
+    let jitter = |k: usize| ((i * 29 + k * 13) % 83) as f64 / 83.0 - 0.5;
+    let embedding = vec![
+        label as f64 * 4.0 + shift + jitter(0),
+        -(label as f64) * 4.0 + shift + jitter(1),
+        jitter(2),
+    ];
+    let wrong = if drifted { i % 5 < 2 } else { i % 19 == 7 };
+    let predicted = if wrong { 1 - label } else { label };
+    let conf = if drifted { 0.55 + 0.1 * jitter(3).abs() } else { 0.75 + 0.2 * jitter(4).abs() };
+    let mut probs = vec![1.0 - conf; 2];
+    probs[predicted] = conf;
+    (Sample::new(embedding, probs), label)
+}
+
+/// Pools the reject-decision confusion (fired = rejected, real = model
+/// mispredicted) over a judgement slice whose first element judged stream
+/// position `offset`, from exact integer counts.
+fn pooled_confusion(judgements: &[Judgement], offset: usize, total: usize) -> BinaryConfusion {
+    let mut confusion = BinaryConfusion::default();
+    for (i, j) in judgements.iter().enumerate() {
+        let (sample, oracle) = drift_stream_sample(offset + i, total);
+        let wrong = prom::ml::matrix::argmax(&sample.outputs) != oracle;
+        confusion.record(!j.accepted, wrong);
+    }
+    confusion
+}
+
+#[test]
+fn in_pipeline_recalibration_recovers_like_the_manual_loop() {
+    // The Sec. 5.4 loop three ways over one two-phase drift stream:
+    //   frozen — no recalibration at all;
+    //   manual — PR 2's caller-driven loop (phase 1 frozen, collect the
+    //            budgeted relabels, full `recalibrate` between phases);
+    //   online — the in-pipeline policy folding the same budgeted picks in
+    //            window-by-window via incremental inserts.
+    // Compared on *pooled integer confusion counts* over phase 2, not
+    // rounded rates.
+    const TOTAL: usize = 4000;
+    const HALF: usize = TOTAL / 2;
+    let config = PipelineConfig {
+        window: 200,
+        shards: 2,
+        budget: RelabelBudget { fraction: 0.25, min_count: 4 },
+        ..Default::default()
+    };
+    let records: Vec<CalibrationRecord> = (0..160)
+        .map(|i| {
+            // Pre-drift regime; stride 7 is coprime with the class count.
+            let (s, label) = drift_stream_sample(i * 7, usize::MAX);
+            CalibrationRecord::new(s.embedding, s.outputs, label)
+        })
+        .collect();
+    let judge_frozen = |prom: &PromClassifier, from: usize, to: usize| -> Vec<Judgement> {
+        let mut pipeline = DeploymentPipeline::new(prom, config);
+        let mut out = Vec::new();
+        for r in pipeline
+            .extend((from..to).map(|i| drift_stream_sample(i, TOTAL).0))
+            .into_iter()
+            .chain(pipeline.flush())
+        {
+            out.extend(r.judgements);
+        }
+        out
+    };
+
+    // Frozen: the whole stream against the design-time calibration set.
+    let frozen_prom = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+    let frozen_judgements = judge_frozen(&frozen_prom, 0, TOTAL);
+    let frozen = pooled_confusion(&frozen_judgements[HALF..], HALF, TOTAL);
+
+    // Manual: phase 1 frozen + hook-collected relabels, one full
+    // recalibrate between phases, phase 2 frozen.
+    let mut manual_prom = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+    let mut relabeled: Vec<CalibrationRecord> = Vec::new();
+    {
+        let mut pipeline =
+            DeploymentPipeline::new(&manual_prom, config).on_window(|report, samples| {
+                for &global in &report.relabel {
+                    let (_, oracle) = drift_stream_sample(global, TOTAL);
+                    let s = &samples[global - report.start];
+                    relabeled.push(CalibrationRecord::new(
+                        s.embedding.clone(),
+                        s.outputs.clone(),
+                        oracle,
+                    ));
+                }
+            });
+        pipeline.extend((0..HALF).map(|i| drift_stream_sample(i, TOTAL).0));
+        pipeline.flush();
+    }
+    assert!(!relabeled.is_empty(), "phase 1 must flag and relabel something");
+    let mut updated = records.clone();
+    updated.extend(relabeled);
+    manual_prom.recalibrate(updated).unwrap();
+    let manual_judgements = judge_frozen(&manual_prom, HALF, TOTAL);
+    let manual = pooled_confusion(&manual_judgements, HALF, TOTAL);
+
+    // Online: one in-pipeline loop over the whole stream, same budget.
+    let mut online_prom = PromClassifier::new(records, PromConfig::default()).unwrap();
+    let mut online_judgements = Vec::new();
+    {
+        let mut pipeline = DeploymentPipeline::online(
+            &mut online_prom,
+            PipelineConfig { policy: CalibrationPolicy::GrowUnbounded, ..config },
+            |global, _s| Some(Truth::Label(drift_stream_sample(global, TOTAL).1)),
+        );
+        for r in pipeline
+            .extend((0..TOTAL).map(|i| drift_stream_sample(i, TOTAL).0))
+            .into_iter()
+            .chain(pipeline.flush())
+        {
+            online_judgements.extend(r.judgements);
+        }
+    }
+    assert!(online_prom.calibration_len() > 160, "the online loop must absorb relabels");
+    let online = pooled_confusion(&online_judgements[HALF..], HALF, TOTAL);
+
+    // Recovery, on integer counts: the adapted detectors make strictly
+    // more correct reject/accept decisions on the drifted half than the
+    // frozen one...
+    let correct = |c: &BinaryConfusion| c.tp + c.tn;
+    assert!(
+        correct(&online) > correct(&frozen),
+        "online recalibration must recover decisions: online {online:?} vs frozen {frozen:?}"
+    );
+    assert!(
+        correct(&manual) > correct(&frozen),
+        "manual recalibration must recover decisions: manual {manual:?} vs frozen {frozen:?}"
+    );
+    // ...and the in-pipeline loop is comparable to the manual rebuild —
+    // within 5% of the phase's samples on pooled correct-decision counts.
+    let n2 = TOTAL - HALF;
+    assert_eq!(online.total(), n2);
+    assert_eq!(manual.total(), n2);
+    assert!(
+        correct(&online) + n2 / 20 >= correct(&manual),
+        "in-pipeline must be comparable to the manual loop: online {online:?} ({} correct) \
+         vs manual {manual:?} ({} correct)",
+        correct(&online),
+        correct(&manual)
+    );
 }
 
 #[test]

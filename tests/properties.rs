@@ -3,13 +3,14 @@
 //! generators.
 
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 use prom::core::calibration::{select_weighted_subset, SelectionConfig};
 use prom::core::committee::confidence_score;
-use prom::core::detector::{DriftDetector, Judgement, Sample};
+use prom::core::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 use prom::core::incremental::RelabelBudget;
 use prom::core::nonconformity::default_committee;
-use prom::core::pipeline::{DeploymentPipeline, PipelineConfig};
+use prom::core::pipeline::{CalibrationPolicy, DeploymentPipeline, PipelineConfig};
 use prom::core::pvalue::{p_value_for_label, ScoredSample};
 use prom::ml::activations::softmax;
 use prom::ml::cluster::KMeans;
@@ -226,7 +227,10 @@ proptest! {
         let stream: Vec<Sample> = (0..n).map(pipeline_sample).collect();
         let budget = RelabelBudget { fraction, min_count: 1 };
         let mut pipeline =
-            DeploymentPipeline::new(&det, PipelineConfig { window, shards, budget });
+            DeploymentPipeline::new(
+                &det,
+                PipelineConfig { window, shards, budget, ..Default::default() },
+            );
 
         let mut reports = pipeline.extend(stream.iter().cloned());
         reports.extend(pipeline.flush());
@@ -264,6 +268,169 @@ proptest! {
             stats.rejected,
             reports.iter().map(|r| r.flagged.len()).sum::<usize>()
         );
+    }
+}
+
+/// A [`ThresholdCommittee`]-style detector with a live calibration store,
+/// so pipeline-level calibration policies can be property-tested without
+/// the cost of a real conformal detector.
+struct AbsorbingCommittee {
+    base: usize,
+    online: Vec<Relabeled>,
+}
+
+impl DriftDetector for AbsorbingCommittee {
+    fn name(&self) -> &'static str {
+        "absorbing-committee"
+    }
+
+    fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement {
+        let rejects = outputs[0] < 0.55;
+        Judgement {
+            accepted: !rejects,
+            reject_votes: if rejects { 1 + (embedding[0] as usize % 4) } else { 0 },
+            n_experts: 4,
+        }
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.base + self.online.len())
+    }
+
+    fn can_absorb(&self, _r: &Relabeled) -> bool {
+        true
+    }
+
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        self.online.extend(batch.iter().cloned());
+        batch.len()
+    }
+
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        let Some(slot) = index.checked_sub(self.base) else { return false };
+        if slot >= self.online.len() {
+            return false;
+        }
+        self.online[slot] = r.clone();
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Online-pipeline calibration policies: under `Reservoir{cap}` the
+    /// online calibration set never exceeds `cap` (for any stream length,
+    /// window, budget, or seed), replacements only ever touch online
+    /// slots, the same seed reproduces the identical fold run-to-run, and
+    /// `Frozen` behaves exactly like the shared-reference PR 2 pipeline.
+    #[test]
+    fn reservoir_policy_caps_online_growth_and_is_seed_deterministic(
+        n in 0usize..250,
+        window in 1usize..48,
+        cap in 1usize..12,
+        seed in 0u64..1000,
+        fraction in 0.05f64..1.0,
+        base in 0usize..30,
+    ) {
+        let budget = RelabelBudget { fraction, min_count: 1 };
+        let run = || {
+            let mut det = AbsorbingCommittee { base, online: Vec::new() };
+            let mut pipeline = DeploymentPipeline::online(
+                &mut det,
+                PipelineConfig {
+                    window,
+                    shards: 2,
+                    budget,
+                    policy: CalibrationPolicy::Reservoir { cap, seed },
+                },
+                |global, _s| Some(Truth::Label(global)),
+            );
+            let mut reports = pipeline.extend((0..n).map(pipeline_sample));
+            reports.extend(pipeline.flush());
+            let stats = pipeline.stats();
+            drop(pipeline);
+            (reports, stats, det.online)
+        };
+        let (reports, stats, online) = run();
+
+        // The cap binds at every window boundary, not just at the end.
+        for report in &reports {
+            prop_assert!(report.calibration_size.unwrap() <= base + cap);
+            prop_assert!(report.absorbed <= report.relabel.len());
+        }
+        prop_assert!(online.len() <= cap);
+        prop_assert_eq!(
+            stats.absorbed,
+            reports.iter().map(|r| r.absorbed).sum::<usize>()
+        );
+        prop_assert!(stats.absorbed <= stats.relabel_selected);
+        // Every live record is a genuinely selected pick, labeled by the
+        // oracle for its own global index.
+        let selected: Vec<usize> =
+            reports.iter().flat_map(|r| r.relabel.iter().copied()).collect();
+        for r in &online {
+            let Truth::Label(global) = r.truth else {
+                return Err(TestCaseError::fail("truth kind changed in flight"));
+            };
+            prop_assert!(selected.contains(&global));
+        }
+
+        // Determinism: the same seed over the same stream folds the same.
+        let (reports2, stats2, online2) = run();
+        prop_assert_eq!(stats, stats2);
+        prop_assert_eq!(online.len(), online2.len());
+        for (a, b) in online.iter().zip(online2.iter()) {
+            prop_assert_eq!(a, b);
+        }
+        for (a, b) in reports.iter().zip(reports2.iter()) {
+            prop_assert_eq!(&a.judgements, &b.judgements);
+            prop_assert_eq!(&a.relabel, &b.relabel);
+            prop_assert_eq!(a.absorbed, b.absorbed);
+            prop_assert_eq!(a.calibration_size, b.calibration_size);
+        }
+    }
+
+    /// `CalibrationPolicy::Frozen` — through either constructor — matches
+    /// the PR 2 shared pipeline exactly: same judgements, same reports,
+    /// untouched calibration set, zero absorption.
+    #[test]
+    fn frozen_policy_matches_pr2_pipeline_exactly(
+        n in 0usize..160,
+        window in 1usize..32,
+        fraction in 0.05f64..1.0,
+    ) {
+        let budget = RelabelBudget { fraction, min_count: 1 };
+        let shared_det = ThresholdCommittee;
+        let mut shared = DeploymentPipeline::new(
+            &shared_det,
+            PipelineConfig { window, shards: 2, budget, ..Default::default() },
+        );
+        let mut shared_reports = shared.extend((0..n).map(pipeline_sample));
+        shared_reports.extend(shared.flush());
+
+        let mut online_det = AbsorbingCommittee { base: 5, online: Vec::new() };
+        let mut online = DeploymentPipeline::online(
+            &mut online_det,
+            PipelineConfig { window, shards: 2, budget, ..Default::default() },
+            |_, _| -> Option<Truth> {
+                panic!("a frozen pipeline must never consult the oracle")
+            },
+        );
+        let mut online_reports = online.extend((0..n).map(pipeline_sample));
+        online_reports.extend(online.flush());
+        let online_stats = online.stats();
+        drop(online);
+
+        prop_assert!(online_det.online.is_empty(), "frozen must not absorb");
+        prop_assert_eq!(online_stats.absorbed, 0);
+        prop_assert_eq!(shared_reports.len(), online_reports.len());
+        for (s, o) in shared_reports.iter().zip(online_reports.iter()) {
+            prop_assert_eq!(&s.judgements, &o.judgements);
+            prop_assert_eq!(&s.flagged, &o.flagged);
+            prop_assert_eq!(&s.relabel, &o.relabel);
+            prop_assert_eq!(o.absorbed, 0);
+        }
     }
 }
 
