@@ -1,13 +1,93 @@
 //! Offline stand-in for the slice of `crossbeam` this workspace uses:
-//! [`thread::scope`] with `scope.spawn(|_| ...)` closures.
+//! [`thread::scope`] with `scope.spawn(|_| ...)` closures, and the
+//! [`channel`] module's `unbounded` MPSC channels (the transport of
+//! `prom_core::pool::ShardPool`'s persistent workers).
 //!
-//! Backed by [`std::thread::scope`] (stable since Rust 1.63, which
-//! post-dates crossbeam's scoped threads). One behavioural difference: a
-//! panicking child thread re-raises at the end of the scope instead of
-//! surfacing as `Err`, so the `Result` returned here is always `Ok` — fine
-//! for the workspace, which only ever `.expect()`s it.
+//! Scoped threads are backed by [`std::thread::scope`] (stable since Rust
+//! 1.63, which post-dates crossbeam's scoped threads). One behavioural
+//! difference: a panicking child thread re-raises at the end of the scope
+//! instead of surfacing as `Err`, so the `Result` returned here is always
+//! `Ok` — fine for the workspace, which only ever `.expect()`s it.
+//!
+//! Channels are backed by [`std::sync::mpsc`]. The stand-in covers the
+//! subset the workspace uses — `unbounded`, `Sender::send` (+ `Clone`),
+//! `Receiver::recv`/`try_recv`/`iter` — and differs from real crossbeam in
+//! one way: the `Receiver` is single-consumer (not `Clone`), which the
+//! worker-per-queue pool design never needs.
 
 #![warn(missing_docs)]
+
+/// MPSC channels (mirrors the used subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel. Cloneable; `send` fails
+    /// only when the receiver is gone.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    // Derived `Clone` would bound `T: Clone`; the handle itself never
+    // clones payloads.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back when the receiving half has been
+        /// dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when every sender has been dropped and
+        /// the queue is drained — the disconnect signal the pool's
+        /// workers shut down on.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no value is queued,
+        /// [`TryRecvError::Disconnected`] when every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over received values; ends on disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
 
 /// Scoped threads (mirrors `crossbeam::thread`).
 pub mod thread {
@@ -59,6 +139,40 @@ mod tests {
         })
         .expect("scope");
         assert_eq!(sums.into_inner().unwrap(), vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn unbounded_channel_delivers_in_order_across_threads() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).expect("receiver alive");
+            }
+        });
+        producer.join().unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(rx.recv().is_err(), "disconnected after all senders drop");
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        assert!(matches!(rx.try_recv(), Err(super::channel::TryRecvError::Empty)));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        drop(rx);
+        let err = tx.send(9).unwrap_err();
+        assert_eq!(err.0, 9);
     }
 
     #[test]

@@ -15,6 +15,13 @@ use prom_core::scoring::ScoreTable;
 pub struct NaiveCp {
     table: ScoreTable,
     epsilon: f64,
+    /// Size of the design-time calibration set; records at indices below
+    /// this are never evicted by the online reservoir.
+    base_len: usize,
+    /// `(label, score)` of each record absorbed online, in absorb order —
+    /// the bookkeeping `replace_record` needs to evict a reservoir slot
+    /// from the pre-sorted table.
+    absorbed: Vec<(usize, f64)>,
 }
 
 impl NaiveCp {
@@ -26,7 +33,18 @@ impl NaiveCp {
     pub fn new(records: &[CalibrationRecord], epsilon: f64) -> Self {
         assert!(!records.is_empty(), "empty calibration set");
         assert!((0.0..1.0).contains(&epsilon), "epsilon out of range");
-        Self { table: ScoreTable::from_records(records, &Lac, records[0].probs.len()), epsilon }
+        Self {
+            table: ScoreTable::from_records(records, &Lac, records[0].probs.len()),
+            epsilon,
+            base_len: records.len(),
+            absorbed: Vec::new(),
+        }
+    }
+
+    /// Borrows the live conformal score table (the incremental-equivalence
+    /// tests compare it bit-for-bit against a from-scratch refit).
+    pub fn score_table(&self) -> &ScoreTable {
+        &self.table
     }
 
     /// The p-value of the predicted (argmax) label; a label never seen in
@@ -71,19 +89,44 @@ impl DriftDetector for NaiveCp {
     }
 
     /// Incremental override: each valid relabel grows the pre-sorted table
-    /// in place via [`ScoreTable::insert_record`] — bit-identical to
-    /// rebuilding it with `from_records` over the same records. (No
-    /// `replace_record` override: naive CP keeps no slot bookkeeping, so
-    /// under a reservoir policy it only ever grows to the cap.)
+    /// in place via [`ScoreTable::insert`] — bit-identical to rebuilding
+    /// it with `from_records` over the same records — and is ledgered so
+    /// the reservoir's eviction path ([`DriftDetector::replace_record`])
+    /// can find it later.
     fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
         let mut absorbed = 0;
         for r in batch {
             if let Some(record) = self.record_from_relabeled(r) {
-                self.table.insert_record(&record, &Lac);
+                let score = Lac.score(&record.probs, record.label);
+                self.table.insert(record.label, score);
+                self.absorbed.push((record.label, score));
                 absorbed += 1;
             }
         }
         absorbed
+    }
+
+    /// Evicts the online record at `index` (indices below the design-time
+    /// base are never evicted) and inserts `r` in its slot: one
+    /// binary-search removal plus one binary-search insert, the same
+    /// absorbed-slot scheme as `Rise`.
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        let Some(slot) = index.checked_sub(self.base_len) else {
+            return false;
+        };
+        if slot >= self.absorbed.len() {
+            return false;
+        }
+        let Some(record) = self.record_from_relabeled(r) else {
+            return false;
+        };
+        let score = Lac.score(&record.probs, record.label);
+        let (old_label, old_score) = self.absorbed[slot];
+        let removed = self.table.remove(old_label, old_score);
+        debug_assert!(removed, "absorbed bookkeeping must track the live table");
+        self.table.insert(record.label, score);
+        self.absorbed[slot] = (record.label, score);
+        true
     }
 }
 

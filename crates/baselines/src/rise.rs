@@ -127,47 +127,42 @@ impl Rise {
     }
 }
 
-/// Reusable buffers for [`score_features_into`], so a batched deployment
-/// window computes per-sample features without per-sample allocation.
-#[derive(Debug, Default)]
-struct ScoreScratch {
-    test_scores: Vec<f64>,
-    p_values: Vec<f64>,
-}
-
 /// The score vector RISE feeds its SVM, written into `features`:
 /// credibility (p-value of the predicted label), confidence (1 - the
 /// runner-up p-value), and the prediction-set size as an auxiliary signal.
+/// `test_scores` and `p_values` are reusable work buffers (a batched
+/// deployment window — or a persistent shard worker's whole lifetime —
+/// computes per-sample features without per-sample allocation).
 fn score_features_into(
     table: &ScoreTable,
     probs: &[f64],
     epsilon: f64,
-    scratch: &mut ScoreScratch,
+    test_scores: &mut Vec<f64>,
+    p_values: &mut Vec<f64>,
     features: &mut Vec<f64>,
 ) {
     let predicted = prom_ml::matrix::argmax(probs);
-    scratch.test_scores.clear();
-    scratch.test_scores.extend((0..probs.len()).map(|y| Lac.score(probs, y)));
-    table.p_values_into(&scratch.test_scores, &mut scratch.p_values);
-    let ps = &scratch.p_values;
-    let credibility = ps[predicted];
-    let runner_up = ps
+    test_scores.clear();
+    test_scores.extend((0..probs.len()).map(|y| Lac.score(probs, y)));
+    table.p_values_into(test_scores, p_values);
+    let credibility = p_values[predicted];
+    let runner_up = p_values
         .iter()
         .enumerate()
         .filter(|&(i, _)| i != predicted)
         .map(|(_, &p)| p)
         .fold(0.0f64, f64::max);
     let confidence = 1.0 - runner_up;
-    let set_size = ps.iter().filter(|&&p| p > epsilon).count() as f64;
+    let set_size = p_values.iter().filter(|&&p| p > epsilon).count() as f64;
     features.clear();
     features.extend_from_slice(&[credibility, confidence, set_size]);
 }
 
 /// One-shot form of [`score_features_into`] for the fitting path.
 fn score_features(table: &ScoreTable, probs: &[f64], epsilon: f64) -> Vec<f64> {
-    let mut scratch = ScoreScratch::default();
+    let (mut test_scores, mut p_values) = (Vec::new(), Vec::new());
     let mut features = Vec::with_capacity(3);
-    score_features_into(table, probs, epsilon, &mut scratch, &mut features);
+    score_features_into(table, probs, epsilon, &mut test_scores, &mut p_values, &mut features);
     features
 }
 
@@ -187,21 +182,40 @@ impl DriftDetector for Rise {
     /// (`NaiveCp` and `Tesseract` judge with a single allocation-free
     /// binary search each).
     fn judge_batch(&self, samples: &[prom_core::detector::Sample]) -> Vec<Judgement> {
-        let mut scratch = ScoreScratch::default();
+        let mut scratch = prom_core::scoring::JudgeScratch::new();
+        self.judge_batch_scratch(samples, &mut scratch)
+    }
+
+    /// Pool entry point: the batched path over the shard worker's
+    /// long-lived scratch — its `test_scores`/`p_values` buffers carry the
+    /// score features, so a worker never re-grows them between windows.
+    /// Bit-identical to `judge_batch`.
+    fn judge_batch_scratch(
+        &self,
+        samples: &[prom_core::detector::Sample],
+        scratch: &mut prom_core::scoring::JudgeScratch,
+    ) -> Vec<Judgement> {
         let mut features = Vec::with_capacity(3);
-        samples
+        // Lift the buffers out so the borrows stay disjoint.
+        let mut test_scores = std::mem::take(&mut scratch.test_scores);
+        let mut p_values = std::mem::take(&mut scratch.p_values);
+        let judgements = samples
             .iter()
             .map(|s| {
                 score_features_into(
                     &self.table,
                     &s.outputs,
                     self.epsilon,
-                    &mut scratch,
+                    &mut test_scores,
+                    &mut p_values,
                     &mut features,
                 );
                 Judgement::single(self.svm.predict(&features) == 1)
             })
-            .collect()
+            .collect();
+        scratch.test_scores = test_scores;
+        scratch.p_values = p_values;
+        judgements
     }
 
     fn calibration_size(&self) -> Option<usize> {

@@ -8,8 +8,8 @@
 //! [`ScoreTable`], both during threshold tuning and at deployment.
 
 use prom_core::calibration::CalibrationRecord;
-use prom_core::detector::{DriftDetector, Judgement};
-use prom_core::nonconformity::Lac;
+use prom_core::detector::{DriftDetector, Judgement, Relabeled, Truth};
+use prom_core::nonconformity::{Lac, Nonconformity};
 use prom_core::scoring::ScoreTable;
 use prom_ml::metrics::BinaryConfusion;
 
@@ -28,6 +28,13 @@ pub struct Tesseract {
     table: ScoreTable,
     /// Per-class p-value thresholds.
     thresholds: Vec<f64>,
+    /// Size of the design-time calibration set; records at indices below
+    /// this are never evicted by the online reservoir.
+    base_len: usize,
+    /// `(label, score)` of each record absorbed online, in absorb order —
+    /// the bookkeeping `replace_record` needs to evict a reservoir slot
+    /// from the pre-sorted table.
+    absorbed: Vec<(usize, f64)>,
 }
 
 impl Tesseract {
@@ -79,12 +86,35 @@ impl Tesseract {
             }
             *threshold = best.0;
         }
-        Self { table, thresholds }
+        Self { table, thresholds, base_len: records.len(), absorbed: Vec::new() }
     }
 
     /// The tuned per-class thresholds.
     pub fn thresholds(&self) -> &[f64] {
         &self.thresholds
+    }
+
+    /// Borrows the live conformal score table (the incremental-equivalence
+    /// tests compare it bit-for-bit against a from-scratch refit).
+    pub fn score_table(&self) -> &ScoreTable {
+        &self.table
+    }
+
+    /// A relabeled deployment sample viewed as a `(label, LAC score)`
+    /// calibration entry, when valid for this table (matched truth kind,
+    /// in-range label, NaN-free embedding and score).
+    fn entry_from_relabeled(&self, r: &Relabeled) -> Option<(usize, f64)> {
+        let Truth::Label(label) = r.truth else {
+            return None;
+        };
+        if label >= r.sample.outputs.len()
+            || label >= self.table.n_labels()
+            || r.sample.embedding.iter().any(|v| v.is_nan())
+        {
+            return None;
+        }
+        let score = Lac.score(&r.sample.outputs, label);
+        (!score.is_nan()).then_some((label, score))
     }
 }
 
@@ -97,6 +127,55 @@ impl DriftDetector for Tesseract {
         let predicted = prom_ml::matrix::argmax(outputs);
         let p = crate::lac_credibility(&self.table, outputs, predicted);
         Judgement::single(p < self.thresholds.get(predicted).copied().unwrap_or(0.1))
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.table.len())
+    }
+
+    fn can_absorb(&self, r: &Relabeled) -> bool {
+        self.entry_from_relabeled(r).is_some()
+    }
+
+    /// Incremental override: each valid relabel's LAC score grows the
+    /// pre-sorted conformal table in place — bit-identical to rebuilding
+    /// it with `from_records` over the same records
+    /// (`tests/recalibration_equivalence.rs`). The per-class rejection
+    /// thresholds are *design-time* artifacts tuned on validation
+    /// outcomes and stay frozen; only the conformal score population the
+    /// p-values are computed against adapts.
+    fn absorb_relabeled(&mut self, batch: &[Relabeled]) -> usize {
+        let mut absorbed = 0;
+        for r in batch {
+            if let Some((label, score)) = self.entry_from_relabeled(r) {
+                self.table.insert(label, score);
+                self.absorbed.push((label, score));
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
+    /// Evicts the online record at `index` (indices below the design-time
+    /// base are never evicted) and inserts `r` in its slot: one
+    /// binary-search removal plus one binary-search insert, the same
+    /// absorbed-slot scheme as `Rise`.
+    fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
+        let Some(slot) = index.checked_sub(self.base_len) else {
+            return false;
+        };
+        if slot >= self.absorbed.len() {
+            return false;
+        }
+        let Some((label, score)) = self.entry_from_relabeled(r) else {
+            return false;
+        };
+        let (old_label, old_score) = self.absorbed[slot];
+        let removed = self.table.remove(old_label, old_score);
+        debug_assert!(removed, "absorbed bookkeeping must track the live table");
+        self.table.insert(label, score);
+        self.absorbed[slot] = (label, score);
+        true
     }
 }
 

@@ -10,6 +10,7 @@ use prom_core::calibration::CalibrationRecord;
 use prom_core::committee::PromConfig;
 use prom_core::detector::{DriftDetector, Sample};
 use prom_core::pipeline::{available_shards, judge_sharded, DeploymentPipeline, PipelineConfig};
+use prom_core::pool::ShardPool;
 use prom_core::predictor::PromClassifier;
 use prom_ml::rng::{gaussian_with, rng_from_seed};
 use rand::Rng;
@@ -82,27 +83,42 @@ fn bench_par_vs_seq(c: &mut Criterion) {
     group.finish();
 }
 
-/// The full streaming front-end at scale: windowed push/flush over the
-/// 100k stream, including per-window relabel selection and report
-/// assembly — what a serving loop actually pays per window.
-fn bench_stream_100k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stream_100k");
+/// Persistent pool vs per-window scoped spawning on the same windowed
+/// 100k stream: both judge every window at `available_shards()`-way
+/// parallelism with bit-identical results
+/// (`tests/pipeline_equivalence.rs`); the delta is thread churn plus
+/// per-window scratch regrowth, which the pool's long-lived workers
+/// amortize away. The gate for the pool rewrite is `pool_100k` no slower
+/// than `scoped_100k`.
+fn bench_pool_vs_scoped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_vs_scoped");
     group.sample_size(10);
     let prom = PromClassifier::new(calibration(256), PromConfig::default()).unwrap();
+    let det: &dyn DriftDetector = &prom;
     let samples = stream(STREAM_LEN);
+    let shards = available_shards();
+    const WINDOW: usize = 8192;
 
-    group.bench_function("windowed_pipeline", |b| {
+    group.bench_function("scoped_100k", |b| {
         b.iter(|| {
-            let mut pipeline = DeploymentPipeline::new(
-                &prom,
-                PipelineConfig { window: 8192, ..Default::default() },
-            );
             let mut rejected = 0usize;
-            for report in pipeline.extend(samples.iter().cloned()) {
-                rejected += report.flagged.len();
+            for window in samples.chunks(WINDOW) {
+                let judgements = judge_sharded(det, window, shards);
+                rejected += judgements.iter().filter(|j| !j.accepted).count();
             }
-            if let Some(report) = pipeline.flush() {
-                rejected += report.flagged.len();
+            std::hint::black_box(rejected)
+        })
+    });
+    // The pool outlives the iterations: worker threads and their
+    // scratches are reused across every window of every iteration,
+    // exactly like a long-running deployment.
+    let pool = ShardPool::new(shards);
+    group.bench_function("pool_100k", |b| {
+        b.iter(|| {
+            let mut rejected = 0usize;
+            for window in samples.chunks(WINDOW) {
+                let judgements = pool.judge(det, window);
+                rejected += judgements.iter().filter(|j| !j.accepted).count();
             }
             std::hint::black_box(rejected)
         })
@@ -110,5 +126,39 @@ fn bench_stream_100k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_par_vs_seq, bench_stream_100k);
+/// The full streaming front-end at scale: windowed push/flush over the
+/// 100k stream, including per-window relabel selection and report
+/// assembly — what a serving loop actually pays per window. The
+/// double-buffered variant overlaps ingest with judging on the same
+/// persistent pool.
+fn bench_stream_100k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_100k");
+    group.sample_size(10);
+    let prom = PromClassifier::new(calibration(256), PromConfig::default()).unwrap();
+    let samples = stream(STREAM_LEN);
+
+    for (name, double_buffer) in
+        [("windowed_pipeline", false), ("windowed_pipeline_double_buffered", true)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pipeline = DeploymentPipeline::new(
+                    &prom,
+                    PipelineConfig { window: 8192, double_buffer, ..Default::default() },
+                );
+                let mut rejected = 0usize;
+                for report in pipeline.extend(samples.iter().cloned()) {
+                    rejected += report.flagged.len();
+                }
+                while let Some(report) = pipeline.flush() {
+                    rejected += report.flagged.len();
+                }
+                std::hint::black_box(rejected)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_vs_seq, bench_pool_vs_scoped, bench_stream_100k);
 criterion_main!(benches);

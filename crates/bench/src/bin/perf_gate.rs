@@ -6,23 +6,29 @@
 //!
 //! ```text
 //! perf_gate <baseline.json> <current.jsonl> <machine-fingerprint>
+//! perf_gate check-machine <baseline.json> <machine-fingerprint>
 //! ```
 //!
 //! `current.jsonl` is the file the compat-criterion harness appends to when
 //! `CRITERION_MEDIAN_JSONL` is set (one `{"id", "median_ns"}` line per
 //! measured benchmark); `scripts/perf_gate.sh` produces it and invokes this
-//! binary. The baseline is a committed JSON document carrying the machine
-//! fingerprint it was recorded on plus an `id → median_ns` map.
+//! binary.
+//!
+//! The baseline is a committed JSON document holding **one medians map per
+//! machine fingerprint** — absolute wall-clock medians do not transfer
+//! between hosts, so each machine (a developer box, a GitHub-hosted runner
+//! class) is armed independently by recording its own entry with
+//! `PERF_GATE_BOOTSTRAP=1 scripts/perf_gate.sh` and committing the result;
+//! entries for other machines are always preserved. The legacy
+//! single-machine layout (`{"machine": …, "medians": …}`) is still read.
 //!
 //! Semantics:
-//! * baseline absent → **bootstrap**: write the current medians as the new
-//!   baseline and pass (the first run seeds the gate);
-//! * baseline recorded on a different machine → re-bootstrap and pass with
-//!   a warning (absolute wall-clock medians do not transfer between hosts;
-//!   a 25% tolerance would fail spuriously on every runner change);
-//! * same machine → fail (exit 1) if any benchmark's median slowed down by
-//!   more than 25%, listing every offender. New or vanished benchmark ids
-//!   are reported but never fail the gate.
+//! * no baseline, or no entry for this machine → **bootstrap**: record the
+//!   current medians under this machine's fingerprint and pass (commit the
+//!   rewritten file to arm the gate here);
+//! * entry for this machine present → fail (exit 1) if any benchmark's
+//!   median slowed down by more than 25%, listing every offender. New or
+//!   vanished benchmark ids are reported but never fail the gate.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -30,7 +36,9 @@ use std::process::ExitCode;
 /// Median slowdown beyond which the gate fails.
 const TOLERANCE: f64 = 1.25;
 
-fn read_current(path: &str) -> Result<BTreeMap<String, f64>, String> {
+type Medians = BTreeMap<String, f64>;
+
+fn read_current(path: &str) -> Result<Medians, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read current medians {path}: {e}"))?;
     let mut medians = BTreeMap::new();
@@ -57,87 +65,133 @@ fn read_current(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(medians)
 }
 
-fn write_baseline(
-    path: &str,
-    machine: &str,
-    medians: &BTreeMap<String, f64>,
-) -> Result<(), String> {
-    let mut doc = serde_json::Map::new();
-    doc.insert("machine".into(), serde_json::Value::from(machine));
-    doc.insert("tolerance_pct".into(), serde_json::Value::from(((TOLERANCE - 1.0) * 100.0) as i64));
-    let mut map = serde_json::Map::new();
-    for (id, median) in medians {
-        map.insert(id.clone(), serde_json::Value::from(*median));
+/// Parses a medians JSON object into a map, rejecting non-numeric entries.
+fn medians_from_value(value: &serde_json::Value, context: &str) -> Result<Medians, String> {
+    let object = value.as_object().ok_or_else(|| format!("{context}: medians is not an object"))?;
+    let mut medians = BTreeMap::new();
+    for (id, median) in object.iter() {
+        let median = median
+            .as_f64()
+            .ok_or_else(|| format!("{context}: median for '{id}' is not a number"))?;
+        medians.insert(id.clone(), median);
     }
-    doc.insert("medians".into(), serde_json::Value::Object(map));
-    let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    Ok(medians)
+}
+
+/// Reads the committed baseline into fingerprint → medians, accepting both
+/// the multi-machine layout and the legacy single-machine one. A missing
+/// file is an empty map; a malformed file is an error (corruption must
+/// fail the CI step loudly instead of silently disarming the gate).
+fn read_baseline(path: &str) -> Result<BTreeMap<String, Medians>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        // Only a genuinely absent baseline may bootstrap; any other read
+        // failure (permissions, transient I/O) must fail loudly — treating
+        // it as "no baseline" would silently disarm the gate and let a
+        // bootstrap clobber every other machine's committed entries.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(format!("cannot read baseline {path}: {e}")),
+    };
+    let doc = serde_json::from_str(&text).map_err(|e| format!("malformed baseline {path}: {e}"))?;
+    let mut machines = BTreeMap::new();
+    if let Some(per_machine) = doc.get("machines").and_then(serde_json::Value::as_object) {
+        for (fingerprint, entry) in per_machine.iter() {
+            let medians = entry.get("medians").ok_or_else(|| {
+                format!("baseline {path}: machine '{fingerprint}' has no medians")
+            })?;
+            machines.insert(
+                fingerprint.clone(),
+                medians_from_value(medians, &format!("baseline {path}, machine '{fingerprint}'"))?,
+            );
+        }
+        return Ok(machines);
+    }
+    // Legacy single-machine layout.
+    let fingerprint = doc
+        .get("machine")
+        .and_then(serde_json::Value::as_str)
+        .ok_or_else(|| format!("baseline {path} has neither 'machines' nor 'machine'"))?;
+    let medians =
+        doc.get("medians").ok_or_else(|| format!("baseline {path} has no medians object"))?;
+    machines
+        .insert(fingerprint.to_string(), medians_from_value(medians, &format!("baseline {path}"))?);
+    Ok(machines)
+}
+
+fn write_baseline(path: &str, machines: &BTreeMap<String, Medians>) -> Result<(), String> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("tolerance_pct".into(), serde_json::Value::from(((TOLERANCE - 1.0) * 100.0) as i64));
+    let mut per_machine = serde_json::Map::new();
+    for (fingerprint, medians) in machines {
+        let mut entry = serde_json::Map::new();
+        let mut map = serde_json::Map::new();
+        for (id, median) in medians {
+            map.insert(id.clone(), serde_json::Value::from(*median));
+        }
+        entry.insert("medians".into(), serde_json::Value::Object(map));
+        per_machine.insert(fingerprint.clone(), serde_json::Value::Object(entry));
+    }
+    doc.insert("machines".into(), serde_json::Value::Object(per_machine));
+    let text =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).map_err(|e| e.to_string())?;
     std::fs::write(path, text + "\n").map_err(|e| format!("cannot write baseline {path}: {e}"))
 }
 
 /// `check-machine <baseline.json> <fingerprint>`: succeeds when running
 /// the measured benches could change the gate's outcome — the baseline is
-/// missing (a run would bootstrap it) or was recorded on this machine (a
-/// run would be compared). `Ok(false)` (a foreign-machine baseline, exit
-/// code 2) lets `scripts/perf_gate.sh` skip the expensive measured run
-/// whose outcome would be predetermined (re-bootstrap-and-pass); a
-/// malformed baseline is `Err` (exit 1) so corruption fails the CI step
-/// loudly instead of silently disarming the gate.
+/// missing (a run would bootstrap it) or holds an entry for this machine
+/// (a run would be compared). `Ok(false)` (no entry for this machine,
+/// exit code 2) lets `scripts/perf_gate.sh` skip the expensive measured
+/// run whose outcome would be predetermined (bootstrap-and-pass); a
+/// malformed baseline is `Err` (exit 1).
 fn check_machine(baseline_path: &str, machine: &str) -> Result<bool, String> {
-    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+    if !std::path::Path::new(baseline_path).exists() {
         println!("perf gate: no baseline at {baseline_path}; a run would bootstrap it");
         return Ok(true);
-    };
-    let baseline = serde_json::from_str(&text)
-        .map_err(|e| format!("malformed baseline {baseline_path}: {e}"))?;
-    let recorded =
-        baseline.get("machine").and_then(serde_json::Value::as_str).unwrap_or("<unknown>");
-    if recorded == machine {
+    }
+    let machines = read_baseline(baseline_path)?;
+    if machines.contains_key(machine) {
         return Ok(true);
     }
-    println!("perf gate: baseline machine is '{recorded}', this is '{machine}'");
+    let known: Vec<&str> = machines.keys().map(String::as_str).collect();
+    println!("perf gate: no baseline entry for '{machine}' (recorded: {known:?})");
     Ok(false)
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
+    let (args, bootstrap) = match args {
+        [rest @ .., flag] if flag == "--bootstrap" => (rest, true),
+        _ => (args, false),
+    };
     let [baseline_path, current_path, machine] = args else {
         return Err("usage: perf_gate <baseline.json> <current.jsonl> <machine-fingerprint> \
+                    [--bootstrap] \
                     | perf_gate check-machine <baseline.json> <machine-fingerprint>"
             .into());
     };
     let current = read_current(current_path)?;
+    let mut machines = read_baseline(baseline_path)?;
 
-    let Ok(baseline_text) = std::fs::read_to_string(baseline_path) else {
-        write_baseline(baseline_path, machine, &current)?;
+    // Bootstrap (explicit, or first sighting of this machine): fold the
+    // fresh medians into this fingerprint's entry — ids not measured this
+    // run (another bench suite's) and every other machine's entry are
+    // preserved — and pass.
+    if bootstrap || !machines.contains_key(machine) {
+        let recorded = current.len();
+        machines.entry(machine.clone()).or_default().extend(current);
+        write_baseline(baseline_path, &machines)?;
         println!(
-            "perf gate: no baseline at {baseline_path}; bootstrapped it with {} medians \
-             (commit it to arm the gate)",
-            current.len()
-        );
-        return Ok(true);
-    };
-    let baseline = serde_json::from_str(&baseline_text)
-        .map_err(|e| format!("malformed baseline {baseline_path}: {e}"))?;
-    let recorded_machine =
-        baseline.get("machine").and_then(serde_json::Value::as_str).unwrap_or("<unknown>");
-    if recorded_machine != machine {
-        write_baseline(baseline_path, machine, &current)?;
-        println!(
-            "perf gate: baseline was recorded on '{recorded_machine}', this is '{machine}'; \
-             absolute medians do not transfer across hosts — re-bootstrapped and passing"
+            "perf gate: recorded {recorded} medians for '{machine}' ({} machine(s) in the \
+             baseline) — commit {baseline_path} to arm the gate on this machine",
+            machines.len()
         );
         return Ok(true);
     }
-    let baseline_medians = baseline
-        .get("medians")
-        .and_then(serde_json::Value::as_object)
-        .ok_or_else(|| format!("baseline {baseline_path} has no medians object"))?;
+    let baseline_medians = &machines[machine];
 
     let mut failures = Vec::new();
     let mut compared = 0usize;
-    for (id, base) in baseline_medians.iter() {
-        let Some(base) = base.as_f64() else {
-            return Err(format!("baseline median for '{id}' is not a number"));
-        };
+    for (id, &base) in baseline_medians.iter() {
         let Some(&cur) = current.get(id) else {
             println!("perf gate: '{id}' is in the baseline but was not measured this run");
             continue;
@@ -156,8 +210,8 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
     }
     for id in current.keys() {
-        if baseline_medians.get(id).is_none() {
-            println!("perf gate: '{id}' is new (not in the baseline yet)");
+        if !baseline_medians.contains_key(id) {
+            println!("perf gate: '{id}' is new (not in this machine's baseline yet)");
         }
     }
     if compared == 0 {
@@ -186,8 +240,8 @@ fn main() -> ExitCode {
         &args.iter().map(String::as_str).collect::<Vec<_>>()[..]
     {
         // Exit codes are the contract with scripts/perf_gate.sh: 0 = run
-        // the benches, 2 = foreign machine (skip, gate unarmed), 1 = real
-        // error (fail the CI step — never silently disarm the gate).
+        // the benches, 2 = machine not armed (skip), 1 = real error (fail
+        // the CI step — never silently disarm the gate).
         return match check_machine(baseline_path, machine) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::from(2),

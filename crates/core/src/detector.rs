@@ -20,6 +20,9 @@
 //! `prom-baselines` detectors; the `prom-eval` harness consumes detectors
 //! only as `&dyn DriftDetector`.
 
+use crate::committee::PromJudgement;
+use crate::scoring::JudgeScratch;
+
 /// One deployment-time observation handed to a detector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -137,6 +140,50 @@ pub trait DriftDetector: Send + Sync {
     /// the looped path.
     fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
         samples.iter().map(|s| self.judge_one(&s.embedding, &s.outputs)).collect()
+    }
+
+    /// Judges a window with a **caller-owned** scratch — the trait-level
+    /// entry point of the persistent shard-worker pool
+    /// (`prom_core::pool::ShardPool`), where each long-lived worker thread
+    /// owns one [`JudgeScratch`] and reuses it across every window it ever
+    /// judges instead of re-growing buffers per window.
+    ///
+    /// The default ignores the scratch and delegates to
+    /// [`DriftDetector::judge_batch`] (correct for detectors whose judging
+    /// is allocation-free anyway, like the binary-search baselines).
+    /// Overrides must return judgements **bit-identical** to `judge_batch`
+    /// — the scratch is stateless between samples and between windows, so
+    /// buffer reuse is an implementation detail, never a behaviour change
+    /// (`tests/pipeline_equivalence.rs`).
+    fn judge_batch_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Vec<Judgement> {
+        let _ = scratch;
+        self.judge_batch(samples)
+    }
+
+    /// The rich twin of [`DriftDetector::judge_batch_scratch`]: judges a
+    /// window keeping the full per-expert committee detail, for detectors
+    /// that have one. Returns `None` for single-function detectors (the
+    /// flat [`Judgement`] already carries everything they produce) —
+    /// support is a property of the detector, so the answer is the same
+    /// for every window, empty ones included.
+    ///
+    /// This unifies what used to be two sharding paths (a flat
+    /// `judge_sharded` helper and a rich `map_sharded` closure) behind one
+    /// trait-level batched API: the pool's shard workers drive either form
+    /// through the same owned scratch, and the rich form lets deployment
+    /// callers rank relabels by credibility instead of reject-vote
+    /// fraction.
+    fn judge_batch_rich_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Option<Vec<PromJudgement>> {
+        let _ = (samples, scratch);
+        None
     }
 
     /// `true` if the detector would reject (flag) this prediction.

@@ -71,6 +71,7 @@ pub mod detector;
 pub mod incremental;
 pub mod nonconformity;
 pub mod pipeline;
+pub mod pool;
 pub mod predictor;
 pub mod pvalue;
 pub mod regression;
@@ -81,6 +82,7 @@ pub use calibration::{CalibrationRecord, ReservoirCalibration};
 pub use committee::{PromConfig, PromJudgement};
 pub use detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 pub use pipeline::{CalibrationPolicy, DeploymentPipeline, PipelineConfig};
+pub use pool::ShardPool;
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;
 

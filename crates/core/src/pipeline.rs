@@ -6,19 +6,24 @@
 //! judging itself becomes the bottleneck, so this module adds the layer
 //! above the batch API:
 //!
-//! * [`map_sharded`] / [`judge_sharded`] — split a window into contiguous
-//!   shards, judge each shard on its own scoped thread (every shard's
-//!   `judge_batch` call owns its own scratch buffers), and stitch the
-//!   results back in input order. Judging is per-sample pure, so the
-//!   stitched output is **bit-identical** to a single sequential
-//!   `judge_batch` call — parallelism is an implementation detail, never a
-//!   behaviour change (`tests/batch_equivalence.rs` asserts this for all
-//!   five detectors across shard counts).
+//! * [`crate::pool::ShardPool`] — the execution layer: persistent shard
+//!   workers (long-lived threads, each owning one reusable `JudgeScratch`)
+//!   judge every window; results are stitched in input order, so pooled
+//!   judging is **bit-identical** to a single sequential `judge_batch`
+//!   call (`tests/pipeline_equivalence.rs` proves pool == scoped threads
+//!   == sequential for all five detectors).
+//! * [`map_sharded`] / [`judge_sharded`] — the original per-window
+//!   scoped-thread form, kept as the independent *reference
+//!   implementation* the equivalence tier compares the pool against
+//!   (`tests/batch_equivalence.rs` asserts it equals sequential judging).
 //! * [`DeploymentPipeline`] — the streaming form: `push` samples as they
-//!   arrive, and every full window is judged (sharded), its rejects are
+//!   arrive, and every full window is judged on the pool, its rejects are
 //!   ranked, the [`RelabelBudget`] picks the slice worth ground-truth
 //!   labels, and an optional window hook hands the report plus the window's
-//!   samples to the caller.
+//!   samples to the caller. With [`PipelineConfig::double_buffer`] set,
+//!   ingest overlaps judging: while the workers judge window N, `push`
+//!   keeps filling window N+1, and reports drain strictly in window order
+//!   with byte-identical contents.
 //! * **In-pipeline online recalibration** — a pipeline built with
 //!   [`DeploymentPipeline::online`] closes the paper's Sec. 5.4 loop
 //!   *inside* the pipeline: each window's budget-selected relabels are
@@ -33,6 +38,7 @@
 use crate::calibration::{ReservoirCalibration, ReservoirDecision};
 use crate::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 use crate::incremental::{select_flagged, RelabelBudget};
+use crate::pool::{PendingJudge, ShardPool};
 
 /// The shard count matching this machine's available parallelism (1 when
 /// it cannot be queried).
@@ -136,7 +142,9 @@ pub struct PipelineConfig {
     /// Samples per window: a full window is judged and reported as one
     /// unit. Must be at least 1.
     pub window: usize,
-    /// Shard-thread count per window (0 and 1 both mean sequential).
+    /// Persistent shard workers judging each window (0 and 1 both mean
+    /// sequential judging on the caller thread, unless
+    /// [`PipelineConfig::double_buffer`] asks for a worker anyway).
     pub shards: usize,
     /// Relabeling budget applied to each window's rejects.
     pub budget: RelabelBudget,
@@ -145,6 +153,16 @@ pub struct PipelineConfig {
     /// own exclusive access to the detector — see
     /// [`DeploymentPipeline::online`].
     pub policy: CalibrationPolicy,
+    /// Overlap judging with ingest: when a window fills, hand it to the
+    /// shard workers and return to the caller immediately, so pushes keep
+    /// filling window N+1 while the pool judges window N. Reports then
+    /// arrive one window *late* — the `push` that fills window N+1 returns
+    /// window N's report, and [`DeploymentPipeline::flush`] must be called
+    /// until it returns `None` to drain the tail — but their contents
+    /// (judgements, selection, absorption, calibration sizes) are
+    /// byte-identical to the non-overlapped pipeline
+    /// (`tests/pipeline_equivalence.rs`).
+    pub double_buffer: bool,
 }
 
 impl Default for PipelineConfig {
@@ -154,6 +172,7 @@ impl Default for PipelineConfig {
             shards: available_shards(),
             budget: RelabelBudget::default(),
             policy: CalibrationPolicy::Frozen,
+            double_buffer: false,
         }
     }
 }
@@ -260,9 +279,24 @@ impl DetectorHandle<'_> {
 /// assert!(pipeline.flush().is_none(), "nothing left buffered");
 /// ```
 pub struct DeploymentPipeline<'a> {
+    // Field order matters for `Drop`: an in-flight window drains its
+    // worker jobs (which borrow the detector and the window's samples)
+    // before the pool joins its workers.
+    /// The window currently being judged on the pool, in double-buffered
+    /// mode, together with its global start index.
+    in_flight: Option<(PendingJudge, usize)>,
+    /// The persistent shard workers (absent when judging runs inline on
+    /// the caller thread).
+    pool: Option<ShardPool>,
     detector: DetectorHandle<'a>,
     config: PipelineConfig,
     buffer: Vec<Sample>,
+    /// Recycled window allocation: the samples of the last collected
+    /// window, cleared, ready to become the next ingest buffer.
+    spare: Option<Vec<Sample>>,
+    /// Global index of the first sample of the next window to be judged
+    /// (submission-time counter; `stats.judged` advances at collection).
+    next_start: usize,
     stats: PipelineStats,
     hook: Option<WindowHook<'a>>,
     oracle: Option<LabelOracle<'a>>,
@@ -323,10 +357,18 @@ impl<'a> DeploymentPipeline<'a> {
             _ => None,
         };
         let base_len = detector.get().calibration_size().unwrap_or(0);
+        // Double-buffering needs at least one worker to hand windows to;
+        // otherwise shards <= 1 judges inline without any threads.
+        let pool = (config.shards >= 2 || config.double_buffer)
+            .then(|| ShardPool::new(config.shards.max(1)));
         Self {
+            in_flight: None,
+            pool,
             detector,
             config,
             buffer: Vec::with_capacity(config.window),
+            spare: None,
+            next_start: 0,
             stats: PipelineStats::default(),
             hook: None,
             oracle,
@@ -342,12 +384,25 @@ impl<'a> DeploymentPipeline<'a> {
         self
     }
 
-    /// Pushes one sample; returns the window report when this sample
-    /// completes a window.
+    /// Pushes one sample; returns a window report when one is due.
+    ///
+    /// Without [`PipelineConfig::double_buffer`], the push that completes
+    /// window N returns window N's report (judging runs to completion
+    /// inside the call). With it, that push *submits* window N to the
+    /// shard workers and returns the report of window N−1 (collected just
+    /// before the submission, so reports still arrive strictly in window
+    /// order) — ingest never stalls behind judging.
     pub fn push(&mut self, sample: Sample) -> Option<WindowReport> {
         self.buffer.push(sample);
         self.stats.pushed += 1;
-        (self.buffer.len() >= self.config.window).then(|| self.emit())
+        if self.buffer.len() < self.config.window {
+            return None;
+        }
+        if self.config.double_buffer && self.pool.is_some() {
+            self.rotate()
+        } else {
+            Some(self.emit())
+        }
     }
 
     /// Pushes every sample of `stream`, collecting the reports of all
@@ -356,25 +411,107 @@ impl<'a> DeploymentPipeline<'a> {
         stream.into_iter().filter_map(|s| self.push(s)).collect()
     }
 
-    /// Judges whatever is buffered as a final (possibly short) window;
-    /// `None` when nothing is pending.
+    /// Drains pending work in window order: first the in-flight window (if
+    /// double-buffering left one judging on the pool), then whatever is
+    /// buffered as a final (possibly short) window. Returns one report per
+    /// call; **call until it returns `None`** to drain everything (at most
+    /// two reports: the in-flight window, then the partial tail).
+    ///
+    /// Once nothing is pending — in particular on a second `flush` after a
+    /// full drain, when the partial window is empty — `flush` is a
+    /// documented no-op returning `None`: it judges nothing, reports
+    /// nothing, calls no hook, and leaves every counter untouched, so
+    /// defensive double-flushing is always safe.
     pub fn flush(&mut self) -> Option<WindowReport> {
+        if let Some((pending, start)) = self.in_flight.take() {
+            return Some(self.finish_in_flight(pending, start));
+        }
         (!self.buffer.is_empty()).then(|| self.emit())
     }
 
-    /// Samples buffered but not yet judged.
+    /// Samples accepted by `push` but not yet reported: the partial ingest
+    /// buffer plus, in double-buffered mode, the window currently being
+    /// judged on the shard workers.
     pub fn pending(&self) -> usize {
-        self.buffer.len()
+        self.buffer.len() + self.in_flight.as_ref().map_or(0, |(w, _)| w.len())
     }
 
-    /// Lifetime totals.
+    /// Lifetime totals. In double-buffered mode `judged` (and the other
+    /// per-window counters) advance when a window's report is collected,
+    /// so they can trail `pushed` by up to one full window plus the
+    /// partial buffer.
     pub fn stats(&self) -> PipelineStats {
         self.stats
     }
 
+    /// Synchronous window emission: judge the buffered window to
+    /// completion (on the pool when one exists) and report it.
     fn emit(&mut self) -> WindowReport {
-        let judgements = judge_sharded(self.detector.get(), &self.buffer, self.config.shards);
-        let start = self.stats.judged;
+        let samples = std::mem::take(&mut self.buffer);
+        let start = self.next_start;
+        self.next_start += samples.len();
+        let judgements = match &self.pool {
+            Some(pool) => pool.judge(self.detector.get(), &samples),
+            None => self.detector.get().judge_batch(&samples),
+        };
+        let report = self.finish_window(&samples, judgements, start);
+        // Recycle the window's allocation as the next ingest buffer.
+        let mut samples = samples;
+        samples.clear();
+        self.buffer = samples;
+        report
+    }
+
+    /// Double-buffered rotation: collect the previous in-flight window
+    /// (folding its relabels — which is why collection must precede the
+    /// next submission: window N+1's judging has to see the calibration
+    /// state window N left behind, exactly as in the sequential order),
+    /// then hand the just-filled buffer to the pool and return
+    /// immediately.
+    fn rotate(&mut self) -> Option<WindowReport> {
+        let prev =
+            self.in_flight.take().map(|(pending, start)| self.finish_in_flight(pending, start));
+        let next = self.spare.take().unwrap_or_default();
+        let samples = std::mem::replace(&mut self.buffer, next);
+        let start = self.next_start;
+        self.next_start += samples.len();
+        // SAFETY: the detector outlives the pipeline (`'a` borrow), the
+        // handle is stored in `self.in_flight` and always collected or
+        // dropped (field order drains it before the pool joins), and the
+        // only detector mutation (`fold_relabels`) happens in
+        // `finish_window`, strictly after the handle's collect drained
+        // every worker job.
+        let pending = unsafe {
+            self.pool
+                .as_ref()
+                .expect("double-buffered mode always builds a pool")
+                .submit_judge(self.detector.get(), samples)
+        };
+        self.in_flight = Some((pending, start));
+        prev
+    }
+
+    /// Blocks for an in-flight window's judgements and reports it.
+    fn finish_in_flight(&mut self, pending: PendingJudge, start: usize) -> WindowReport {
+        let (samples, judgements) = pending.collect();
+        let report = self.finish_window(&samples, judgements, start);
+        let mut samples = samples;
+        samples.clear();
+        self.spare = Some(samples);
+        report
+    }
+
+    /// The per-window bookkeeping both paths share: global-index flagging,
+    /// budgeted relabel selection, online folding, stats, and the hook.
+    /// Runs strictly in window order on the caller thread, so every output
+    /// is deterministic regardless of how (or whether) the judging was
+    /// parallelized.
+    fn finish_window(
+        &mut self,
+        samples: &[Sample],
+        judgements: Vec<Judgement>,
+        start: usize,
+    ) -> WindowReport {
         let flagged: Vec<usize> = judgements
             .iter()
             .enumerate()
@@ -386,7 +523,7 @@ impl<'a> DeploymentPipeline<'a> {
             .map(|i| start + i)
             .collect();
 
-        let absorbed = self.fold_relabels(start, &relabel);
+        let absorbed = self.fold_relabels(samples, start, &relabel);
 
         self.stats.judged += judgements.len();
         self.stats.windows += 1;
@@ -403,9 +540,8 @@ impl<'a> DeploymentPipeline<'a> {
             calibration_size: self.detector.get().calibration_size(),
         };
         if let Some(hook) = self.hook.as_mut() {
-            hook(&report, &self.buffer);
+            hook(&report, samples);
         }
-        self.buffer.clear();
         report
     }
 
@@ -414,7 +550,7 @@ impl<'a> DeploymentPipeline<'a> {
     /// (appended or reservoir-replaced). Judging already happened, so the
     /// fold affects the *next* window onward — the same ordering as the
     /// caller-driven loop it replaces.
-    fn fold_relabels(&mut self, start: usize, relabel: &[usize]) -> usize {
+    fn fold_relabels(&mut self, samples: &[Sample], start: usize, relabel: &[usize]) -> usize {
         if self.config.policy == CalibrationPolicy::Frozen || relabel.is_empty() {
             return 0;
         }
@@ -425,7 +561,7 @@ impl<'a> DeploymentPipeline<'a> {
         };
         let mut absorbed = 0;
         for &global in relabel {
-            let sample = &self.buffer[global - start];
+            let sample = &samples[global - start];
             let Some(truth) = oracle(global, sample) else {
                 continue;
             };
@@ -601,6 +737,112 @@ mod tests {
     }
 
     #[test]
+    fn double_buffered_reports_match_the_synchronous_pipeline() {
+        let det = Threshold;
+        let run = |double_buffer: bool| {
+            let mut pipeline = DeploymentPipeline::new(
+                &det,
+                PipelineConfig { window: 6, shards: 3, double_buffer, ..Default::default() },
+            );
+            let mut reports = pipeline.extend(stream(40));
+            while let Some(report) = pipeline.flush() {
+                reports.push(report);
+            }
+            (reports, pipeline.stats())
+        };
+        let (sync_reports, sync_stats) = run(false);
+        let (db_reports, db_stats) = run(true);
+        assert_eq!(sync_reports.len(), db_reports.len());
+        for (a, b) in sync_reports.iter().zip(db_reports.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.judgements, b.judgements);
+            assert_eq!(a.flagged, b.flagged);
+            assert_eq!(a.relabel, b.relabel);
+        }
+        assert_eq!(sync_stats, db_stats);
+    }
+
+    #[test]
+    fn double_buffered_push_returns_the_previous_windows_report() {
+        let det = Threshold;
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 4, shards: 2, double_buffer: true, ..Default::default() },
+        );
+        let mut samples = stream(8).into_iter();
+        for _ in 0..3 {
+            assert!(pipeline.push(samples.next().unwrap()).is_none());
+        }
+        // Filling window 0 only submits it.
+        assert!(pipeline.push(samples.next().unwrap()).is_none());
+        assert_eq!(pipeline.pending(), 4, "window 0 is in flight");
+        for _ in 0..3 {
+            assert!(pipeline.push(samples.next().unwrap()).is_none());
+        }
+        // Filling window 1 returns window 0's report.
+        let report = pipeline.push(samples.next().unwrap()).expect("window 0 report");
+        assert_eq!(report.index, 0);
+        assert_eq!(report.start, 0);
+        // Draining: window 1 first, then nothing is buffered.
+        let tail = pipeline.flush().expect("window 1 report");
+        assert_eq!(tail.index, 1);
+        assert_eq!(tail.start, 4);
+        assert!(pipeline.flush().is_none());
+    }
+
+    #[test]
+    fn flush_after_a_full_drain_is_a_noop_in_both_modes() {
+        let det = Threshold;
+        for double_buffer in [false, true] {
+            let hook_calls = std::sync::atomic::AtomicUsize::new(0);
+            let mut pipeline = DeploymentPipeline::new(
+                &det,
+                PipelineConfig { window: 5, shards: 2, double_buffer, ..Default::default() },
+            )
+            .on_window(|_, _| {
+                hook_calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            pipeline.extend(stream(13));
+            while pipeline.flush().is_some() {}
+            let drained = pipeline.stats();
+            assert_eq!(drained.judged, 13, "double_buffer {double_buffer}");
+            assert_eq!(drained.windows, 3, "double_buffer {double_buffer}");
+            assert_eq!(
+                hook_calls.load(std::sync::atomic::Ordering::SeqCst),
+                3,
+                "double_buffer {double_buffer}"
+            );
+
+            // The documented no-op: an empty partial window means flush
+            // judges nothing, reports nothing, calls no hook, and leaves
+            // every counter untouched — however often it is called.
+            for _ in 0..3 {
+                assert!(pipeline.flush().is_none(), "double_buffer {double_buffer}");
+            }
+            assert_eq!(pipeline.stats(), drained, "double_buffer {double_buffer}");
+            assert_eq!(
+                hook_calls.load(std::sync::atomic::Ordering::SeqCst),
+                3,
+                "double_buffer {double_buffer}"
+            );
+            drop(pipeline);
+        }
+    }
+
+    #[test]
+    fn dropping_a_double_buffered_pipeline_with_an_in_flight_window_is_clean() {
+        let det = Threshold;
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig { window: 4, shards: 2, double_buffer: true, ..Default::default() },
+        );
+        pipeline.extend(stream(4)); // submits window 0, never collected
+        assert_eq!(pipeline.pending(), 4);
+        drop(pipeline); // must drain, not deadlock or crash
+    }
+
+    #[test]
     #[should_panic(expected = "at least one sample")]
     fn zero_window_panics() {
         let det = Threshold;
@@ -707,6 +949,7 @@ mod tests {
                 shards: 1,
                 budget: RelabelBudget { fraction: 1.0, min_count: 1 },
                 policy: CalibrationPolicy::Reservoir { cap, seed: 11 },
+                ..Default::default()
             },
             |global, _s| Some(Truth::Label(global)),
         );
@@ -740,6 +983,7 @@ mod tests {
                     shards: 2,
                     budget: RelabelBudget { fraction: 1.0, min_count: 1 },
                     policy: CalibrationPolicy::Reservoir { cap: 4, seed },
+                    ..Default::default()
                 },
                 |global, _s| Some(Truth::Label(global)),
             );
@@ -812,6 +1056,7 @@ mod tests {
                 shards: 1,
                 budget: RelabelBudget { fraction: 1.0, min_count: 1 },
                 policy: CalibrationPolicy::Reservoir { cap, seed: 5 },
+                ..Default::default()
             },
             |global, _s| (global % 2 == 0).then_some(Truth::Label(global)),
         );

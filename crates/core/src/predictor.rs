@@ -424,6 +424,29 @@ impl DriftDetector for PromClassifier {
         self.judge_batch(samples).into_iter().map(Judgement::from).collect()
     }
 
+    /// Pool entry point: judge with the worker's long-lived scratch under
+    /// the stored configuration. Bit-identical to `judge_batch`.
+    fn judge_batch_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Vec<Judgement> {
+        self.judge_batch_scratch(samples, &self.config, scratch)
+            .into_iter()
+            .map(Judgement::from)
+            .collect()
+    }
+
+    /// Rich pool entry point: the same batched kernel, keeping the full
+    /// per-expert verdicts.
+    fn judge_batch_rich_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Option<Vec<PromJudgement>> {
+        Some(self.judge_batch_scratch(samples, &self.config, scratch))
+    }
+
     fn calibration_size(&self) -> Option<usize> {
         Some(self.records.len())
     }

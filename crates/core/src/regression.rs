@@ -297,16 +297,15 @@ impl PromRegressor {
     /// `outputs` is not a single element.
     pub fn judge_batch(&self, samples: &[Sample]) -> Vec<PromJudgement> {
         let mut scratch = JudgeScratch::new();
-        let mut neighbours = Vec::new();
-        self.judge_batch_scratch(samples, &mut scratch, &mut neighbours)
+        self.judge_batch_scratch(samples, &mut scratch)
     }
 
     /// The shard entry point of the parallel deployment pipeline (the
     /// regression twin of [`PromClassifier::judge_batch_scratch`]): judges
-    /// a window with caller-owned buffers, so a long-lived shard thread
-    /// reuses one `Send` scratch (and k-NN neighbour buffer) across every
-    /// window it judges. Judgements are identical to
-    /// [`PromRegressor::judge_batch`].
+    /// a window with one caller-owned scratch — whose `neighbours` field
+    /// doubles as the k-NN buffer — so a long-lived shard worker reuses
+    /// one `Send` scratch across every window it ever judges. Judgements
+    /// are identical to [`PromRegressor::judge_batch`].
     ///
     /// [`PromClassifier::judge_batch_scratch`]:
     /// crate::predictor::PromClassifier::judge_batch_scratch
@@ -318,9 +317,11 @@ impl PromRegressor {
         &self,
         samples: &[Sample],
         scratch: &mut JudgeScratch,
-        neighbours: &mut Vec<usize>,
     ) -> Vec<PromJudgement> {
-        samples
+        // The neighbour buffer rides in the scratch but is borrowed
+        // alongside it, so lift it out for the window.
+        let mut neighbours = std::mem::take(&mut scratch.neighbours);
+        let judgements = samples
             .iter()
             .map(|s| {
                 assert_eq!(
@@ -328,9 +329,11 @@ impl PromRegressor {
                     1,
                     "regression samples carry a single prediction in outputs"
                 );
-                self.judge_scratch(&s.embedding, s.outputs[0], scratch, neighbours)
+                self.judge_scratch(&s.embedding, s.outputs[0], scratch, &mut neighbours)
             })
-            .collect()
+            .collect();
+        scratch.neighbours = neighbours;
+        judgements
     }
 
     /// The single-sample kernel run both paths share. The distance pass of
@@ -567,6 +570,27 @@ impl DriftDetector for PromRegressor {
 
     fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
         self.judge_batch(samples).into_iter().map(Judgement::from).collect()
+    }
+
+    /// Pool entry point: judge with the worker's long-lived scratch (its
+    /// `neighbours` field carries the k-NN buffer). Bit-identical to
+    /// `judge_batch`.
+    fn judge_batch_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Vec<Judgement> {
+        self.judge_batch_scratch(samples, scratch).into_iter().map(Judgement::from).collect()
+    }
+
+    /// Rich pool entry point: the same batched kernel, keeping the full
+    /// per-expert verdicts.
+    fn judge_batch_rich_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Option<Vec<PromJudgement>> {
+        Some(self.judge_batch_scratch(samples, scratch))
     }
 
     fn calibration_size(&self) -> Option<usize> {

@@ -225,6 +225,10 @@ pub struct JudgeScratch {
     pub test_scores: Vec<f64>,
     /// Per-label p-values; output of [`ScoringKernel::p_values_into`].
     pub p_values: Vec<f64>,
+    /// k-NN record indices; output of [`ScoringKernel::nearest`]. Carried
+    /// here so the one scratch a persistent shard worker owns covers the
+    /// regression path's neighbour buffer too.
+    pub neighbours: Vec<usize>,
 }
 
 impl JudgeScratch {

@@ -13,8 +13,9 @@ use prom_baselines::tesseract::LabeledOutcome;
 use prom_baselines::{NaiveCp, Rise, Tesseract};
 use prom_core::detector::{DriftDetector, Sample, Truth};
 use prom_core::pipeline::{
-    available_shards, judge_sharded, CalibrationPolicy, DeploymentPipeline, PipelineConfig,
+    available_shards, CalibrationPolicy, DeploymentPipeline, PipelineConfig,
 };
+use prom_core::pool::ShardPool;
 use prom_ml::metrics::BinaryConfusion;
 
 use crate::report::DetectionStats;
@@ -33,18 +34,32 @@ pub struct BaselineComparison {
     pub methods: Vec<(String, DetectionStats)>,
 }
 
-/// Judges the shared stream with one detector — sharded across threads via
-/// the deployment pipeline's [`judge_sharded`] (bit-identical to a single
-/// sequential `judge_batch`, see `prom_core::pipeline`; the stream is
-/// already materialized, so the windowed `push`/`flush` front-end and its
-/// per-sample clones would be pure overhead here) — and scores the reject
-/// decisions against misprediction truth.
+/// Judges the shared stream with one detector — on a persistent
+/// [`ShardPool`] whose workers each reuse one scratch across their shards
+/// (bit-identical to a single sequential `judge_batch`, see
+/// `prom_core::pool`; the stream is already materialized, so the windowed
+/// `push`/`flush` front-end and its per-sample clones would be pure
+/// overhead here) — and scores the reject decisions against misprediction
+/// truth.
 pub fn evaluate_detector(
     detector: &dyn DriftDetector,
     stream: &[Sample],
     mispredicted: &[bool],
 ) -> DetectionStats {
-    let judgements = judge_sharded(detector, stream, available_shards());
+    evaluate_detector_on(&ShardPool::with_available_parallelism(), detector, stream, mispredicted)
+}
+
+/// [`evaluate_detector`] on a caller-provided pool — the form for loops
+/// that score several detectors over one stream, so the worker threads
+/// (and their scratches) are spawned once per comparison, not once per
+/// detector.
+pub fn evaluate_detector_on(
+    pool: &ShardPool,
+    detector: &dyn DriftDetector,
+    stream: &[Sample],
+    mispredicted: &[bool],
+) -> DetectionStats {
+    let judgements = pool.judge(detector, stream);
     let mut confusion = BinaryConfusion::default();
     for (j, &wrong) in judgements.iter().zip(mispredicted.iter()) {
         confusion.record(!j.accepted, wrong);
@@ -84,11 +99,24 @@ pub fn evaluate_detector_online(
     assert_eq!(stream.len(), mispredicted.len(), "one misprediction flag per stream sample");
     let mut pipeline = DeploymentPipeline::online(
         detector,
-        PipelineConfig { window, shards: available_shards(), policy, ..Default::default() },
+        PipelineConfig {
+            window,
+            shards: available_shards(),
+            policy,
+            // Overlap judging with ingest: while the pool judges window N
+            // the loop below feeds window N+1. Report contents are
+            // byte-identical either way (`tests/pipeline_equivalence.rs`).
+            double_buffer: true,
+            ..Default::default()
+        },
         |global, _s| Some(Truth::Label(oracle_labels[global])),
     );
     let mut reports = pipeline.extend(stream.iter().cloned());
-    reports.extend(pipeline.flush());
+    // Double-buffered draining: flush until the in-flight window and the
+    // partial tail are both reported.
+    while let Some(report) = pipeline.flush() {
+        reports.push(report);
+    }
     let stats = pipeline.stats();
     drop(pipeline);
 
@@ -136,9 +164,12 @@ pub fn compare_detectors(config: &ScenarioConfig) -> BaselineComparison {
         detectors.push(rise);
     }
 
+    // One pool for the whole comparison: every detector judges the shared
+    // stream on the same persistent workers.
+    let pool = ShardPool::with_available_parallelism();
     let methods = detectors
         .into_iter()
-        .map(|d| (d.name().to_string(), evaluate_detector(d, &stream, &mispredicted)))
+        .map(|d| (d.name().to_string(), evaluate_detector_on(&pool, d, &stream, &mispredicted)))
         .collect();
 
     BaselineComparison {

@@ -13,7 +13,7 @@ use prom_core::calibration::CalibrationRecord;
 use prom_core::committee::{PromConfig, PromJudgement};
 use prom_core::detector::Sample;
 use prom_core::incremental::{select_for_relabeling, RelabelBudget};
-use prom_core::pipeline::{available_shards, map_sharded};
+use prom_core::pool::ShardPool;
 use prom_core::predictor::PromClassifier;
 use prom_core::tuning::calibrate_tau;
 use prom_ml::metrics::BinaryConfusion;
@@ -248,11 +248,14 @@ pub fn misprediction_flags(samples: &[CodeSample], stream: &[Sample]) -> Vec<boo
 }
 
 /// Judges a deployment stream with Prom, keeping the rich per-expert
-/// judgements, across shard threads: each shard runs the batched hot path
-/// on a contiguous slice, and the stitched result is bit-identical to one
-/// sequential `judge_batch` call (see `prom_core::pipeline`).
+/// judgements, on a persistent shard-worker pool: each worker runs the
+/// batched hot path over a contiguous slice with its own long-lived
+/// scratch, and the stitched result is bit-identical to one sequential
+/// `judge_batch` call (see `prom_core::pool`).
 pub fn judge_stream_parallel(prom: &PromClassifier, stream: &[Sample]) -> Vec<PromJudgement> {
-    map_sharded(stream, available_shards(), |shard| prom.judge_batch(shard))
+    ShardPool::with_available_parallelism()
+        .judge_rich(prom, stream)
+        .expect("PromClassifier supports rich judgements")
 }
 
 /// Judges every sample with Prom through the sharded batched hot path,

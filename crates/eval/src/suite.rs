@@ -13,8 +13,10 @@ use prom_workloads::vulnerability;
 
 use prom_core::detector::DriftDetector;
 
+#[cfg(test)]
+use crate::baseline_eval::evaluate_detector;
 use crate::baseline_eval::{
-    compare_detectors, evaluate_detector, evaluate_detector_online, BaselineComparison,
+    compare_detectors, evaluate_detector_on, evaluate_detector_online, BaselineComparison,
     OnlineEvalResult,
 };
 use crate::codegen_eval::{run_codegen, CodegenConfig, CodegenResult};
@@ -157,11 +159,14 @@ pub fn run_ncm_ablation(config: &ScenarioConfig) -> Vec<(String, DetectionStats)
         })
         .collect();
 
+    // One pool for the whole ablation: every committee variant judges the
+    // shared stream on the same persistent workers.
+    let pool = prom_core::pool::ShardPool::with_available_parallelism();
     single_expert
         .iter()
         .map(|(name, prom)| (name.clone(), prom as &dyn DriftDetector))
         .chain(std::iter::once(("PROM".to_string(), &fitted.prom as &dyn DriftDetector)))
-        .map(|(name, det)| (name, evaluate_detector(det, &stream, &mispredicted)))
+        .map(|(name, det)| (name, evaluate_detector_on(&pool, det, &stream, &mispredicted)))
         .collect()
 }
 

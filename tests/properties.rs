@@ -343,6 +343,7 @@ proptest! {
                     shards: 2,
                     budget,
                     policy: CalibrationPolicy::Reservoir { cap, seed },
+                    ..Default::default()
                 },
                 |global, _s| Some(Truth::Label(global)),
             );

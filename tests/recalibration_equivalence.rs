@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 
-use prom::baselines::tesseract::LabeledOutcome;
-use prom::baselines::Rise;
+use prom::baselines::tesseract::{LabeledOutcome, Tesseract};
+use prom::baselines::{NaiveCp, Rise};
 use prom::core::calibration::CalibrationRecord;
 use prom::core::committee::PromConfig;
 use prom::core::detector::{DriftDetector, Relabeled, Sample};
@@ -299,6 +299,183 @@ fn rise_absorb_and_replace_keep_judgements_defined() {
     assert!(!rise.replace_record(base_size + 5, &replacement), "empty slots are not evictable");
     let judgement = rise.judge_one(&[0.0, 0.0], &[0.6, 0.3, 0.1]);
     assert_eq!(judgement.n_experts, 1);
+}
+
+/// Compares two pre-sorted score tables bit-for-bit, bucket-for-bucket.
+fn assert_tables_bit_identical(
+    grown: &ScoreTable,
+    refit: &ScoreTable,
+    n_labels: usize,
+    context: &str,
+) {
+    assert_eq!(grown.len(), refit.len(), "{context}: table sizes diverge");
+    for label in 0..n_labels {
+        let grown_bits: Vec<u64> = grown.scores(label).iter().map(|s| s.to_bits()).collect();
+        let refit_bits: Vec<u64> = refit.scores(label).iter().map(|s| s.to_bits()).collect();
+        assert_eq!(grown_bits, refit_bits, "{context}: label {label} buckets diverge");
+    }
+    // And the p-values they imply agree bit-for-bit on a dense grid that
+    // includes the exact stored scores (where the >= tie rule bites).
+    for label in 0..n_labels {
+        for &test in refit.scores(label).iter().chain([0.0, 0.25, 0.5, 1.0, 1.5].iter()) {
+            assert_eq!(
+                grown.p_value(label, test).to_bits(),
+                refit.p_value(label, test).to_bits(),
+                "{context}: label {label}, test score {test}"
+            );
+        }
+    }
+}
+
+/// The relabel batch every baseline test feeds: `extra` as valid picks,
+/// interleaved with relabels absorb must skip (out-of-range label, NaN
+/// embedding, regression truth).
+fn relabel_batch_with_invalid(extra: &[CalibrationRecord]) -> Vec<Relabeled> {
+    let mut batch: Vec<Relabeled> = Vec::new();
+    for (i, r) in extra.iter().enumerate() {
+        batch.push(Relabeled::labeled(Sample::new(r.embedding.clone(), r.probs.clone()), r.label));
+        match i % 3 {
+            0 => {
+                batch.push(Relabeled::labeled(Sample::new(vec![0.0, 0.0], vec![0.5, 0.3, 0.2]), 9))
+            }
+            1 => batch
+                .push(Relabeled::labeled(Sample::new(vec![f64::NAN, 1.0], vec![0.5, 0.3, 0.2]), 0)),
+            _ => batch
+                .push(Relabeled::measured(Sample::new(vec![0.0, 0.0], vec![0.5, 0.3, 0.2]), 1.5)),
+        }
+    }
+    batch
+}
+
+#[test]
+fn naive_cp_absorb_is_bit_identical_to_refit_and_replace_matches_substitution() {
+    let base = classification_records(90, 61);
+    let extra = classification_records(40, 62);
+    let batch = relabel_batch_with_invalid(&extra);
+
+    let mut grown = NaiveCp::new(&base, 0.1);
+    assert_eq!(grown.absorb_relabeled(&batch), extra.len(), "only valid relabels absorb");
+    assert_eq!(grown.calibration_size(), Some(base.len() + extra.len()));
+
+    let mut all = base.clone();
+    all.extend(extra.iter().cloned());
+    let refit = NaiveCp::new(&all, 0.1);
+    assert_tables_bit_identical(grown.score_table(), refit.score_table(), 3, "naive-cp grow");
+    for conf in [0.4, 0.55, 0.7, 0.85, 0.99] {
+        let probs = [conf, (1.0 - conf) / 2.0, (1.0 - conf) / 2.0];
+        assert_eq!(
+            grown.credibility(&probs).to_bits(),
+            refit.credibility(&probs).to_bits(),
+            "conf {conf}"
+        );
+    }
+
+    // The reservoir eviction path: replacing absorbed slot `s` must be
+    // bit-identical to a refit whose record list substitutes that slot.
+    let replacement = &classification_records(1, 99)[0];
+    let replacement_relabel = Relabeled::labeled(
+        Sample::new(replacement.embedding.clone(), replacement.probs.clone()),
+        replacement.label,
+    );
+    for slot in [0, extra.len() / 2, extra.len() - 1] {
+        assert!(
+            grown.replace_record(base.len() + slot, &replacement_relabel),
+            "valid online slot {slot} must be replaceable"
+        );
+        all[base.len() + slot] = replacement.clone();
+        let refit = NaiveCp::new(&all, 0.1);
+        assert_tables_bit_identical(
+            grown.score_table(),
+            refit.score_table(),
+            3,
+            &format!("naive-cp replace at slot {slot}"),
+        );
+    }
+    assert!(
+        !grown.replace_record(0, &replacement_relabel),
+        "design-time records are not evictable"
+    );
+    assert!(
+        !grown.replace_record(base.len() + extra.len() + 4, &replacement_relabel),
+        "empty slots are not evictable"
+    );
+    assert_eq!(
+        grown.calibration_size(),
+        Some(base.len() + extra.len()),
+        "replacement neither grows nor shrinks the live set"
+    );
+}
+
+#[test]
+fn tesseract_absorb_is_bit_identical_to_refit_with_frozen_thresholds() {
+    let base = classification_records(100, 71);
+    let extra = classification_records(35, 72);
+    let validation: Vec<LabeledOutcome> = (0..60)
+        .map(|i| {
+            let conf = 0.6 + 0.35 * ((i * 5 % 11) as f64 / 11.0);
+            if i % 4 == 0 {
+                LabeledOutcome { probs: vec![0.52, 0.26, 0.22], correct: false }
+            } else {
+                LabeledOutcome {
+                    probs: vec![conf, (1.0 - conf) / 2.0, (1.0 - conf) / 2.0],
+                    correct: true,
+                }
+            }
+        })
+        .collect();
+
+    let mut grown = Tesseract::fit(&base, &validation, 3);
+    let tuned = grown.thresholds().to_vec();
+    let batch = relabel_batch_with_invalid(&extra);
+    for r in &batch[..extra.len().min(4)] {
+        // can_absorb screens exactly what absorb_relabeled accepts.
+        assert_eq!(grown.can_absorb(r), grown.absorb_relabeled(std::slice::from_ref(r)) == 1);
+    }
+    let already = grown.calibration_size().unwrap() - base.len();
+    let absorbed = grown.absorb_relabeled(&batch[already * 2..]);
+    assert_eq!(already + absorbed, extra.len(), "exactly the valid relabels absorb");
+    assert_eq!(grown.calibration_size(), Some(base.len() + extra.len()));
+    assert_eq!(
+        grown.thresholds(),
+        &tuned[..],
+        "per-class thresholds are design-time artifacts and stay frozen"
+    );
+
+    // The grown conformal table equals a from-scratch refit over the same
+    // records…
+    let mut all = base.clone();
+    all.extend(extra.iter().cloned());
+    let refit_table = ScoreTable::from_records(&all, &Lac, 3);
+    assert_tables_bit_identical(grown.score_table(), &refit_table, 3, "tesseract grow");
+
+    // …and the eviction path matches a substituted rebuild, exactly like
+    // the other table baselines.
+    let replacement = &classification_records(1, 98)[0];
+    let replacement_relabel = Relabeled::labeled(
+        Sample::new(replacement.embedding.clone(), replacement.probs.clone()),
+        replacement.label,
+    );
+    assert!(grown.replace_record(base.len(), &replacement_relabel));
+    all[base.len()] = replacement.clone();
+    let refit_table = ScoreTable::from_records(&all, &Lac, 3);
+    assert_tables_bit_identical(grown.score_table(), &refit_table, 3, "tesseract replace");
+    assert!(!grown.replace_record(0, &replacement_relabel), "base records are not evictable");
+
+    // Judgements flow through the grown table: both detectors agree on a
+    // probe sweep (thresholds are identical by construction).
+    let twin = {
+        let mut t = Tesseract::fit(&base, &validation, 3);
+        let valid: Vec<Relabeled> = all[base.len()..]
+            .iter()
+            .map(|r| Relabeled::labeled(Sample::new(r.embedding.clone(), r.probs.clone()), r.label))
+            .collect();
+        assert_eq!(t.absorb_relabeled(&valid), valid.len());
+        t
+    };
+    for conf in [0.4, 0.55, 0.7, 0.85, 0.99] {
+        let probs = [conf, (1.0 - conf) / 2.0, (1.0 - conf) / 2.0];
+        assert_eq!(grown.judge_one(&[0.0, 0.0], &probs), twin.judge_one(&[0.0, 0.0], &probs));
+    }
 }
 
 proptest! {
