@@ -81,7 +81,10 @@ pub mod tuning;
 pub use calibration::{CalibrationRecord, ReservoirCalibration};
 pub use committee::{PromConfig, PromJudgement};
 pub use detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
-pub use pipeline::{CalibrationPolicy, DeploymentPipeline, PipelineConfig};
+pub use pipeline::{
+    BudgetSharing, CalibrationPolicy, DeploymentPipeline, MultiPipeline, MultiReport,
+    PipelineConfig, SelectionPolicy,
+};
 pub use pool::ShardPool;
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;

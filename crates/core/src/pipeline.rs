@@ -18,12 +18,21 @@
 //!   (`tests/batch_equivalence.rs` asserts it equals sequential judging).
 //! * [`DeploymentPipeline`] — the streaming form: `push` samples as they
 //!   arrive, and every full window is judged on the pool, its rejects are
-//!   ranked, the [`RelabelBudget`] picks the slice worth ground-truth
-//!   labels, and an optional window hook hands the report plus the window's
-//!   samples to the caller. With [`PipelineConfig::double_buffer`] set,
-//!   ingest overlaps judging: while the workers judge window N, `push`
-//!   keeps filling window N+1, and reports drain strictly in window order
-//!   with byte-identical contents.
+//!   ranked under a [`SelectionPolicy`] (reject-vote fraction, or lowest
+//!   credibility through the rich per-expert path), the [`RelabelBudget`]
+//!   picks the slice worth ground-truth labels, and an optional window
+//!   hook hands the report plus the window's samples to the caller. With
+//!   [`PipelineConfig::double_buffer`] set, ingest overlaps judging: while
+//!   the workers judge window N, `push` keeps filling window N+1, and
+//!   reports drain strictly in window order with byte-identical contents —
+//!   one window late (the push completing window N+1 returns window N's
+//!   report; `flush` drains the tail).
+//! * [`MultiPipeline`] — the multi-detector form: one `push`/`flush`
+//!   stream fanned out to N registered detectors on one shared pool, each
+//!   window ingested once, every detector reporting exactly what its own
+//!   single-detector pipeline would have (optionally under one shared
+//!   relabeling budget, [`BudgetSharing::Shared`], for honest same-stream
+//!   detector comparison).
 //! * **In-pipeline online recalibration** — a pipeline built with
 //!   [`DeploymentPipeline::online`] closes the paper's Sec. 5.4 loop
 //!   *inside* the pipeline: each window's budget-selected relabels are
@@ -36,9 +45,15 @@
 //!   full recalibration rebuild (see `benches/recalibration.rs`).
 
 use crate::calibration::{ReservoirCalibration, ReservoirDecision};
+use crate::committee::PromJudgement;
 use crate::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
-use crate::incremental::{select_flagged, RelabelBudget};
-use crate::pool::{PendingJudge, ShardPool};
+use crate::incremental::{select_flagged, select_for_relabeling, RelabelBudget};
+use crate::pool::{PendingResults, ShardPool};
+use crate::scoring::JudgeScratch;
+
+/// The panic message of a detector whose rich-judgement support changed
+/// between windows — which the [`DriftDetector`] contract forbids.
+const RICH_IS_GLOBAL: &str = "rich-judgement support is a detector-global property";
 
 /// The shard count matching this machine's available parallelism (1 when
 /// it cannot be queried).
@@ -136,7 +151,45 @@ pub enum CalibrationPolicy {
     },
 }
 
-/// Configuration of a [`DeploymentPipeline`].
+/// How a pipeline ranks a window's rejected samples when picking the
+/// slice worth ground-truth labels (the [`RelabelBudget`] slice).
+///
+/// ```
+/// use prom_core::pipeline::{PipelineConfig, SelectionPolicy};
+///
+/// // The default is the bit-compatible reject-vote ranking…
+/// assert_eq!(PipelineConfig::default().selection, SelectionPolicy::RejectVote);
+/// // …and credibility ranking is an opt-in config switch.
+/// let config = PipelineConfig {
+///     selection: SelectionPolicy::CredibilityRank,
+///     ..Default::default()
+/// };
+/// assert_eq!(config.selection, SelectionPolicy::CredibilityRank);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Rank flagged samples by reject-vote fraction over the flat
+    /// [`Judgement`]s, most votes first, ties broken by stream order
+    /// ([`select_flagged`]) — the PR 2 pipeline behaviour, bit-compatible
+    /// with every pipeline built before this policy existed.
+    #[default]
+    RejectVote,
+    /// Judge each window through the **rich** per-expert path
+    /// ([`DriftDetector::judge_batch_rich_scratch`]) and rank flagged
+    /// samples by *lowest mean credibility* first
+    /// ([`select_for_relabeling`]) — the Prom drift signal of the source
+    /// paper, which separates "rejected by many experts" from "rejected
+    /// *far* from the calibration distribution". Detectors without a rich
+    /// path (the single-function baselines) fall back to
+    /// [`SelectionPolicy::RejectVote`] per detector; the flat judgements
+    /// in the window reports are identical either way (flattening the
+    /// rich judgement is exactly `judge_batch`'s own definition), so
+    /// switching the policy changes *which* rejects are relabeled, never
+    /// what is judged or flagged.
+    CredibilityRank,
+}
+
+/// Configuration of a [`DeploymentPipeline`] or [`MultiPipeline`].
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
     /// Samples per window: a full window is judged and reported as one
@@ -148,6 +201,8 @@ pub struct PipelineConfig {
     pub shards: usize,
     /// Relabeling budget applied to each window's rejects.
     pub budget: RelabelBudget,
+    /// How relabel candidates are ranked within the budget.
+    pub selection: SelectionPolicy,
     /// How the detector's calibration set is maintained across windows.
     /// Anything but [`CalibrationPolicy::Frozen`] requires the pipeline to
     /// own exclusive access to the detector — see
@@ -171,6 +226,7 @@ impl Default for PipelineConfig {
             window: 1024,
             shards: available_shards(),
             budget: RelabelBudget::default(),
+            selection: SelectionPolicy::RejectVote,
             policy: CalibrationPolicy::Frozen,
             double_buffer: false,
         }
@@ -209,8 +265,11 @@ pub struct WindowReport {
     pub judgements: Vec<Judgement>,
     /// Global indices the detector rejected, ascending.
     pub flagged: Vec<usize>,
-    /// Global indices selected for relabeling (most drifted first, per
-    /// [`RelabelBudget`]); always a subset of `flagged`.
+    /// Global indices selected for relabeling, most drifted first as
+    /// ranked by the pipeline's [`SelectionPolicy`], bounded by the
+    /// [`RelabelBudget`]; always a subset of `flagged` (or, in a
+    /// [`MultiPipeline`] under [`BudgetSharing::Shared`], the shared pick
+    /// set — a subset of the *selector* detector's flags).
     pub relabel: Vec<usize>,
     /// How many of this window's relabel picks the online policy folded
     /// into the detector's calibration set (0 under
@@ -233,7 +292,7 @@ pub type WindowHook<'a> = Box<dyn FnMut(&WindowReport, &[Sample]) + Send + 'a>;
 /// unanswered pick is simply not folded in.
 pub type LabelOracle<'a> = Box<dyn FnMut(usize, &Sample) -> Option<Truth> + Send + 'a>;
 
-/// Shared (frozen) or exclusive (online) access to the pipeline's
+/// Shared (frozen) or exclusive (online) access to a pipeline's
 /// detector.
 enum DetectorHandle<'a> {
     Shared(&'a dyn DriftDetector),
@@ -247,6 +306,270 @@ impl DetectorHandle<'_> {
             DetectorHandle::Exclusive(d) => &**d,
         }
     }
+}
+
+/// One judged window, in whichever form the selection policy asked for:
+/// flat detector-agnostic judgements, or the rich per-expert committee
+/// detail that credibility ranking consumes.
+enum Judged {
+    Flat(Vec<Judgement>),
+    Rich(Vec<PromJudgement>),
+}
+
+impl Judged {
+    /// Global indices of the window's rejected samples, ascending.
+    fn flagged(&self, start: usize) -> Vec<usize> {
+        fn collect<'j>(accepted: impl Iterator<Item = &'j bool>, start: usize) -> Vec<usize> {
+            accepted
+                .enumerate()
+                .filter(|(_, accepted)| !**accepted)
+                .map(|(i, _)| start + i)
+                .collect()
+        }
+        match self {
+            Judged::Flat(js) => collect(js.iter().map(|j| &j.accepted), start),
+            Judged::Rich(js) => collect(js.iter().map(|j| &j.accepted), start),
+        }
+    }
+
+    /// Budget-bounded relabel selection, as **window-local** indices:
+    /// reject-vote ranking on the flat form, lowest-credibility-first on
+    /// the rich form.
+    fn select(&self, budget: RelabelBudget) -> Vec<usize> {
+        match self {
+            Judged::Flat(js) => select_flagged(js, budget),
+            Judged::Rich(js) => select_for_relabeling(js, budget),
+        }
+    }
+
+    /// The window's flat judgements (rich windows flatten per expert
+    /// exactly like [`DriftDetector::judge_batch`] does, so reports are
+    /// identical across selection policies).
+    fn into_flat(self) -> Vec<Judgement> {
+        match self {
+            Judged::Flat(js) => js,
+            Judged::Rich(js) => js.into_iter().map(Judgement::from).collect(),
+        }
+    }
+}
+
+/// One asynchronously judged window of one detector, in either form.
+enum PendingWindow {
+    Flat(PendingResults<Judgement>),
+    Rich(PendingResults<PromJudgement>),
+}
+
+impl PendingWindow {
+    /// Blocks for the stitched judgements (see [`PendingResults::collect`]).
+    fn collect(self) -> Judged {
+        match self {
+            PendingWindow::Flat(pending) => Judged::Flat(pending.collect()),
+            PendingWindow::Rich(pending) => Judged::Rich(pending.collect()),
+        }
+    }
+}
+
+/// Everything one detector carries through a pipeline's lifetime: its
+/// handle, its judging mode, its reservoir bookkeeping, and its stats.
+/// [`DeploymentPipeline`] owns one; [`MultiPipeline`] owns N and drives
+/// them over one shared sample stream.
+struct DetectorState<'a> {
+    detector: DetectorHandle<'a>,
+    /// Judge windows through the rich per-expert path
+    /// ([`SelectionPolicy::CredibilityRank`] on a detector that has one).
+    rich: bool,
+    reservoir: Option<ReservoirCalibration>,
+    /// The detector's calibration size at pipeline construction: reservoir
+    /// slot `s` lives at detector record index `base_len + s`.
+    base_len: usize,
+    stats: PipelineStats,
+}
+
+impl<'a> DetectorState<'a> {
+    fn new(detector: DetectorHandle<'a>, config: &PipelineConfig) -> Self {
+        // Rich support is detector-global, so probe it once with an empty
+        // window; detectors without a rich path fall back to flat
+        // reject-vote selection.
+        let rich = config.selection == SelectionPolicy::CredibilityRank
+            && detector.get().judge_batch_rich_scratch(&[], &mut JudgeScratch::new()).is_some();
+        let reservoir = match config.policy {
+            CalibrationPolicy::Reservoir { cap, seed } => {
+                Some(ReservoirCalibration::new(cap, seed))
+            }
+            _ => None,
+        };
+        let base_len = detector.get().calibration_size().unwrap_or(0);
+        Self { detector, rich, reservoir, base_len, stats: PipelineStats::default() }
+    }
+
+    /// Judges a window to completion — on `pool` when one exists,
+    /// inline with `scratch` otherwise — in the form the selection
+    /// policy picked at construction.
+    fn judge_sync(
+        &self,
+        pool: Option<&ShardPool>,
+        scratch: &mut JudgeScratch,
+        samples: &[Sample],
+    ) -> Judged {
+        let detector = self.detector.get();
+        match (self.rich, pool) {
+            (false, Some(pool)) => Judged::Flat(pool.judge(detector, samples)),
+            (false, None) => Judged::Flat(detector.judge_batch(samples)),
+            (true, Some(pool)) => Judged::Rich(pool.map(samples, |shard, scratch| {
+                detector.judge_batch_rich_scratch(shard, scratch).expect(RICH_IS_GLOBAL)
+            })),
+            (true, None) => Judged::Rich(
+                detector.judge_batch_rich_scratch(samples, scratch).expect(RICH_IS_GLOBAL),
+            ),
+        }
+    }
+
+    /// Starts judging a window on the pool without waiting (the
+    /// double-buffered ingest path).
+    ///
+    /// # Safety
+    ///
+    /// Lifetime erasure only — see [`ShardPool::submit_with`]: the caller
+    /// must keep `samples`' heap buffer and this state's detector alive
+    /// (and the detector un-mutated) until the handle is collected or
+    /// dropped.
+    unsafe fn submit(&self, pool: &ShardPool, samples: &[Sample]) -> PendingWindow {
+        // SAFETY: erasing the detector borrow to 'static for the worker
+        // jobs; the caller contract above keeps it alive and un-mutated
+        // until the handle drains.
+        let detector: &'static dyn DriftDetector =
+            unsafe { std::mem::transmute(self.detector.get()) };
+        if self.rich {
+            // SAFETY: forwarded caller contract (samples outlive the handle).
+            PendingWindow::Rich(unsafe {
+                pool.submit_with(
+                    move |shard, scratch| {
+                        detector.judge_batch_rich_scratch(shard, scratch).expect(RICH_IS_GLOBAL)
+                    },
+                    samples,
+                )
+            })
+        } else {
+            // SAFETY: forwarded caller contract (samples outlive the handle).
+            PendingWindow::Flat(unsafe {
+                pool.submit_with(
+                    move |shard, scratch| detector.judge_batch_scratch(shard, scratch),
+                    samples,
+                )
+            })
+        }
+    }
+
+    /// The per-window bookkeeping every execution mode shares:
+    /// global-index flagging, budgeted relabel selection (or the shared
+    /// multi-detector selection when `shared_relabel` overrides it),
+    /// online folding, and stats. Runs strictly in window order on the
+    /// caller thread, so every output is deterministic regardless of how
+    /// (or whether) the judging was parallelized.
+    fn finish_window(
+        &mut self,
+        samples: &[Sample],
+        judged: Judged,
+        start: usize,
+        config: &PipelineConfig,
+        oracle: Option<&mut LabelOracle<'_>>,
+        shared_relabel: Option<&[usize]>,
+    ) -> WindowReport {
+        let flagged = judged.flagged(start);
+        let relabel: Vec<usize> = match shared_relabel {
+            Some(picks) => picks.to_vec(),
+            None => judged.select(config.budget).into_iter().map(|i| start + i).collect(),
+        };
+
+        let absorbed = self.fold_relabels(samples, start, &relabel, config, oracle);
+
+        let judgements = judged.into_flat();
+        self.stats.judged += judgements.len();
+        self.stats.windows += 1;
+        self.stats.rejected += flagged.len();
+        self.stats.relabel_selected += relabel.len();
+        self.stats.absorbed += absorbed;
+        WindowReport {
+            index: self.stats.windows - 1,
+            start,
+            judgements,
+            flagged,
+            relabel,
+            absorbed,
+            calibration_size: self.detector.get().calibration_size(),
+        }
+    }
+
+    /// Folds this window's relabel picks into the detector under the
+    /// configured [`CalibrationPolicy`], returning how many were absorbed
+    /// (appended or reservoir-replaced). Judging already happened, so the
+    /// fold affects the *next* window onward — the same ordering as the
+    /// caller-driven loop it replaces.
+    fn fold_relabels(
+        &mut self,
+        samples: &[Sample],
+        start: usize,
+        relabel: &[usize],
+        config: &PipelineConfig,
+        oracle: Option<&mut LabelOracle<'_>>,
+    ) -> usize {
+        if config.policy == CalibrationPolicy::Frozen || relabel.is_empty() {
+            return 0;
+        }
+        let (Some(oracle), DetectorHandle::Exclusive(detector)) = (oracle, &mut self.detector)
+        else {
+            return 0;
+        };
+        let mut absorbed = 0;
+        for &global in relabel {
+            let sample = &samples[global - start];
+            let Some(truth) = oracle(global, sample) else {
+                continue;
+            };
+            let item = Relabeled { sample: sample.clone(), truth };
+            match self.reservoir.as_mut() {
+                // Unbounded growth: append every labeled pick.
+                None => absorbed += detector.absorb_relabeled(std::slice::from_ref(&item)),
+                // Screen before offering: an invalid pick must not count
+                // toward the reservoir's sampled stream length (a "skip"
+                // decision would never reach the detector, so it could
+                // never be retracted and would bias the sample).
+                Some(_) if !detector.can_absorb(&item) => {}
+                Some(reservoir) => match reservoir.offer() {
+                    decision @ ReservoirDecision::Appended(_) => {
+                        if detector.absorb_relabeled(std::slice::from_ref(&item)) == 1 {
+                            absorbed += 1;
+                        } else {
+                            // The detector rejected the record (failed
+                            // validation): free the slot it was promised.
+                            reservoir.retract(decision);
+                        }
+                    }
+                    decision @ ReservoirDecision::Replaced(slot) => {
+                        if detector.replace_record(self.base_len + slot, &item) {
+                            absorbed += 1;
+                        } else {
+                            reservoir.retract(decision);
+                        }
+                    }
+                    ReservoirDecision::Skipped => {}
+                },
+            }
+        }
+        absorbed
+    }
+}
+
+/// One in-flight asynchronously judged window: the pending worker
+/// handle(s) plus the sample buffer the jobs point into.
+struct InFlight {
+    // Field order matters for `Drop`: the pending handles drain their
+    // jobs (which point into `samples`' heap buffer) before the buffer
+    // drops.
+    /// One handle per detector (exactly one for [`DeploymentPipeline`]).
+    pending: Vec<PendingWindow>,
+    samples: Vec<Sample>,
+    start: usize,
 }
 
 /// A streaming deployment front-end over any [`DriftDetector`]: buffers
@@ -283,12 +606,12 @@ pub struct DeploymentPipeline<'a> {
     // worker jobs (which borrow the detector and the window's samples)
     // before the pool joins its workers.
     /// The window currently being judged on the pool, in double-buffered
-    /// mode, together with its global start index.
-    in_flight: Option<(PendingJudge, usize)>,
+    /// mode.
+    in_flight: Option<InFlight>,
     /// The persistent shard workers (absent when judging runs inline on
     /// the caller thread).
     pool: Option<ShardPool>,
-    detector: DetectorHandle<'a>,
+    state: DetectorState<'a>,
     config: PipelineConfig,
     buffer: Vec<Sample>,
     /// Recycled window allocation: the samples of the last collected
@@ -297,13 +620,10 @@ pub struct DeploymentPipeline<'a> {
     /// Global index of the first sample of the next window to be judged
     /// (submission-time counter; `stats.judged` advances at collection).
     next_start: usize,
-    stats: PipelineStats,
     hook: Option<WindowHook<'a>>,
     oracle: Option<LabelOracle<'a>>,
-    reservoir: Option<ReservoirCalibration>,
-    /// The detector's calibration size at pipeline construction: reservoir
-    /// slot `s` lives at detector record index `base_len + s`.
-    base_len: usize,
+    /// The caller-side scratch for inline (pool-less) rich judging.
+    scratch: JudgeScratch,
 }
 
 impl<'a> DeploymentPipeline<'a> {
@@ -350,13 +670,6 @@ impl<'a> DeploymentPipeline<'a> {
         oracle: Option<LabelOracle<'a>>,
     ) -> Self {
         assert!(config.window >= 1, "pipeline window must hold at least one sample");
-        let reservoir = match config.policy {
-            CalibrationPolicy::Reservoir { cap, seed } => {
-                Some(ReservoirCalibration::new(cap, seed))
-            }
-            _ => None,
-        };
-        let base_len = detector.get().calibration_size().unwrap_or(0);
         // Double-buffering needs at least one worker to hand windows to;
         // otherwise shards <= 1 judges inline without any threads.
         let pool = (config.shards >= 2 || config.double_buffer)
@@ -364,16 +677,14 @@ impl<'a> DeploymentPipeline<'a> {
         Self {
             in_flight: None,
             pool,
-            detector,
+            state: DetectorState::new(detector, &config),
             config,
             buffer: Vec::with_capacity(config.window),
             spare: None,
             next_start: 0,
-            stats: PipelineStats::default(),
             hook: None,
             oracle,
-            reservoir,
-            base_len,
+            scratch: JudgeScratch::new(),
         }
     }
 
@@ -394,7 +705,7 @@ impl<'a> DeploymentPipeline<'a> {
     /// order) — ingest never stalls behind judging.
     pub fn push(&mut self, sample: Sample) -> Option<WindowReport> {
         self.buffer.push(sample);
-        self.stats.pushed += 1;
+        self.state.stats.pushed += 1;
         if self.buffer.len() < self.config.window {
             return None;
         }
@@ -417,14 +728,21 @@ impl<'a> DeploymentPipeline<'a> {
     /// call; **call until it returns `None`** to drain everything (at most
     /// two reports: the in-flight window, then the partial tail).
     ///
+    /// Double-buffering delays reports by exactly **one window** — the
+    /// `push` that fills window N+1 returns window N's report — but never
+    /// reorders them: `flush` always yields the oldest outstanding window
+    /// first, so reports arrive strictly in window order in every
+    /// execution mode (the same contract as [`MultiPipeline::flush`],
+    /// which extends it per detector).
+    ///
     /// Once nothing is pending — in particular on a second `flush` after a
     /// full drain, when the partial window is empty — `flush` is a
     /// documented no-op returning `None`: it judges nothing, reports
     /// nothing, calls no hook, and leaves every counter untouched, so
     /// defensive double-flushing is always safe.
     pub fn flush(&mut self) -> Option<WindowReport> {
-        if let Some((pending, start)) = self.in_flight.take() {
-            return Some(self.finish_in_flight(pending, start));
+        if let Some(window) = self.in_flight.take() {
+            return Some(self.finish_in_flight(window));
         }
         (!self.buffer.is_empty()).then(|| self.emit())
     }
@@ -433,7 +751,7 @@ impl<'a> DeploymentPipeline<'a> {
     /// buffer plus, in double-buffered mode, the window currently being
     /// judged on the shard workers.
     pub fn pending(&self) -> usize {
-        self.buffer.len() + self.in_flight.as_ref().map_or(0, |(w, _)| w.len())
+        self.buffer.len() + self.in_flight.as_ref().map_or(0, |w| w.samples.len())
     }
 
     /// Lifetime totals. In double-buffered mode `judged` (and the other
@@ -441,7 +759,7 @@ impl<'a> DeploymentPipeline<'a> {
     /// so they can trail `pushed` by up to one full window plus the
     /// partial buffer.
     pub fn stats(&self) -> PipelineStats {
-        self.stats
+        self.state.stats
     }
 
     /// Synchronous window emission: judge the buffered window to
@@ -450,11 +768,8 @@ impl<'a> DeploymentPipeline<'a> {
         let samples = std::mem::take(&mut self.buffer);
         let start = self.next_start;
         self.next_start += samples.len();
-        let judgements = match &self.pool {
-            Some(pool) => pool.judge(self.detector.get(), &samples),
-            None => self.detector.get().judge_batch(&samples),
-        };
-        let report = self.finish_window(&samples, judgements, start);
+        let judged = self.state.judge_sync(self.pool.as_ref(), &mut self.scratch, &samples);
+        let report = self.finish_window(&samples, judged, start);
         // Recycle the window's allocation as the next ingest buffer.
         let mut samples = samples;
         samples.clear();
@@ -469,133 +784,462 @@ impl<'a> DeploymentPipeline<'a> {
     /// then hand the just-filled buffer to the pool and return
     /// immediately.
     fn rotate(&mut self) -> Option<WindowReport> {
-        let prev =
-            self.in_flight.take().map(|(pending, start)| self.finish_in_flight(pending, start));
+        let prev = self.in_flight.take().map(|window| self.finish_in_flight(window));
         let next = self.spare.take().unwrap_or_default();
         let samples = std::mem::replace(&mut self.buffer, next);
         let start = self.next_start;
         self.next_start += samples.len();
         // SAFETY: the detector outlives the pipeline (`'a` borrow), the
-        // handle is stored in `self.in_flight` and always collected or
-        // dropped (field order drains it before the pool joins), and the
-        // only detector mutation (`fold_relabels`) happens in
+        // handle is stored in `self.in_flight` next to the sample buffer
+        // its jobs point into and always collected or dropped (field
+        // order drains it before the buffer and the pool go away), and
+        // the only detector mutation (`fold_relabels`) happens in
         // `finish_window`, strictly after the handle's collect drained
         // every worker job.
         let pending = unsafe {
-            self.pool
-                .as_ref()
-                .expect("double-buffered mode always builds a pool")
-                .submit_judge(self.detector.get(), samples)
+            let pool = self.pool.as_ref().expect("double-buffered mode always builds a pool");
+            self.state.submit(pool, &samples)
         };
-        self.in_flight = Some((pending, start));
+        self.in_flight = Some(InFlight { pending: vec![pending], samples, start });
         prev
     }
 
     /// Blocks for an in-flight window's judgements and reports it.
-    fn finish_in_flight(&mut self, pending: PendingJudge, start: usize) -> WindowReport {
-        let (samples, judgements) = pending.collect();
-        let report = self.finish_window(&samples, judgements, start);
+    fn finish_in_flight(&mut self, window: InFlight) -> WindowReport {
+        let InFlight { mut pending, samples, start } = window;
+        let judged = pending.pop().expect("single-detector windows carry one handle").collect();
+        let report = self.finish_window(&samples, judged, start);
         let mut samples = samples;
         samples.clear();
         self.spare = Some(samples);
         report
     }
 
-    /// The per-window bookkeeping both paths share: global-index flagging,
-    /// budgeted relabel selection, online folding, stats, and the hook.
-    /// Runs strictly in window order on the caller thread, so every output
-    /// is deterministic regardless of how (or whether) the judging was
-    /// parallelized.
-    fn finish_window(
-        &mut self,
-        samples: &[Sample],
-        judgements: Vec<Judgement>,
-        start: usize,
-    ) -> WindowReport {
-        let flagged: Vec<usize> = judgements
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| !j.accepted)
-            .map(|(i, _)| start + i)
-            .collect();
-        let relabel: Vec<usize> = select_flagged(&judgements, self.config.budget)
-            .into_iter()
-            .map(|i| start + i)
-            .collect();
-
-        let absorbed = self.fold_relabels(samples, start, &relabel);
-
-        self.stats.judged += judgements.len();
-        self.stats.windows += 1;
-        self.stats.rejected += flagged.len();
-        self.stats.relabel_selected += relabel.len();
-        self.stats.absorbed += absorbed;
-        let report = WindowReport {
-            index: self.stats.windows - 1,
+    /// Per-window bookkeeping (see [`DetectorState::finish_window`]) plus
+    /// the caller's hook.
+    fn finish_window(&mut self, samples: &[Sample], judged: Judged, start: usize) -> WindowReport {
+        let report = self.state.finish_window(
+            samples,
+            judged,
             start,
-            judgements,
-            flagged,
-            relabel,
-            absorbed,
-            calibration_size: self.detector.get().calibration_size(),
-        };
+            &self.config,
+            self.oracle.as_mut(),
+            None,
+        );
         if let Some(hook) = self.hook.as_mut() {
             hook(&report, samples);
         }
         report
     }
+}
 
-    /// Folds this window's relabel picks into the detector under the
-    /// configured [`CalibrationPolicy`], returning how many were absorbed
-    /// (appended or reservoir-replaced). Judging already happened, so the
-    /// fold affects the *next* window onward — the same ordering as the
-    /// caller-driven loop it replaces.
-    fn fold_relabels(&mut self, samples: &[Sample], start: usize, relabel: &[usize]) -> usize {
-        if self.config.policy == CalibrationPolicy::Frozen || relabel.is_empty() {
-            return 0;
+/// How a [`MultiPipeline`] spends its relabeling budget across the
+/// detectors it serves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BudgetSharing {
+    /// Every detector selects (and, online, absorbs) its **own** relabel
+    /// picks from its own judgements — exactly what N independent
+    /// single-detector pipelines would do, which is why this mode is
+    /// bit-identical to them (`tests/pipeline_equivalence.rs`). The
+    /// labeling cost is up to N × the per-window budget.
+    #[default]
+    PerDetector,
+    /// One selection per window, made from the designated detector's
+    /// judgements under the pipeline's [`SelectionPolicy`], and offered
+    /// to **every** detector's calibration policy: the stream pays one
+    /// relabeling budget total, and each detector absorbs the same
+    /// expert labels — the honest same-stream comparison mode, where
+    /// detectors differ only in how they judge, never in what ground
+    /// truth they were fed.
+    Shared {
+        /// Index (registration order) of the detector whose judgements
+        /// drive the shared selection.
+        selector: usize,
+    },
+}
+
+/// What one judged window produced across every detector of a
+/// [`MultiPipeline`]: the shared window geometry plus one full
+/// [`WindowReport`] per detector, in registration order. Each
+/// per-detector report is exactly what a single-detector
+/// [`DeploymentPipeline`] over the same stream would have produced
+/// (under [`BudgetSharing::PerDetector`]).
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// 0-based window number.
+    pub index: usize,
+    /// Global index of the window's first sample.
+    pub start: usize,
+    /// One report per registered detector, in registration order.
+    pub reports: Vec<WindowReport>,
+}
+
+/// The multi-detector window hook: each [`MultiReport`] together with the
+/// window's samples (`samples[i]` is global index `report.start + i`).
+pub type MultiWindowHook<'a> = Box<dyn FnMut(&MultiReport, &[Sample]) + Send + 'a>;
+
+/// A streaming deployment front-end that serves **N detectors over one
+/// sample stream**: each window is ingested once and fanned out to every
+/// registered detector as independent jobs on one shared [`ShardPool`],
+/// so comparing detectors in production shape no longer means replaying
+/// the stream (and re-paying the underlying model's forward pass) once
+/// per detector.
+///
+/// Everything [`DeploymentPipeline`] guarantees holds per detector:
+/// reports are bit-identical to N independent single-detector pipelines
+/// over the same stream — judgements, flagged/relabel indices, online
+/// absorption, post-run calibration sets — in every execution mode
+/// (`tests/pipeline_equivalence.rs`), provided the label oracle is a pure
+/// function of `(global index, sample)`. With
+/// [`PipelineConfig::double_buffer`], all N detectors' jobs for window W
+/// overlap with the ingest of window W+1 on the same worker pool, and
+/// reports arrive one window late exactly as in the single-detector
+/// pipeline ([`MultiPipeline::flush`] drains the tail).
+///
+/// ```
+/// use prom_core::detector::{DriftDetector, Judgement, Sample};
+/// use prom_core::pipeline::{MultiPipeline, PipelineConfig};
+///
+/// struct Threshold(f64);
+/// impl DriftDetector for Threshold {
+///     fn name(&self) -> &'static str {
+///         "threshold"
+///     }
+///     fn judge_one(&self, _e: &[f64], outputs: &[f64]) -> Judgement {
+///         Judgement::single(outputs[0] < self.0)
+///     }
+/// }
+///
+/// let (strict, lax) = (Threshold(0.8), Threshold(0.3));
+/// let mut pipeline = MultiPipeline::new(
+///     vec![&strict, &lax],
+///     PipelineConfig { window: 2, shards: 2, ..Default::default() },
+/// );
+/// assert!(pipeline.push(Sample::new(vec![0.0], vec![0.5, 0.5])).is_none());
+/// let multi = pipeline.push(Sample::new(vec![1.0], vec![0.9, 0.1])).unwrap();
+/// // One report per detector over the SAME two samples:
+/// assert_eq!(multi.reports.len(), 2);
+/// assert_eq!(multi.reports[0].flagged, vec![0], "strict flags the 0.5");
+/// assert!(multi.reports[1].flagged.is_empty(), "lax accepts both");
+/// assert!(pipeline.flush().is_none(), "nothing left buffered");
+/// ```
+pub struct MultiPipeline<'a> {
+    // Field order matters for `Drop`: an in-flight window drains its
+    // worker jobs (which borrow the detectors and the window's samples)
+    // before the pool joins its workers.
+    /// The window currently being judged on the pool (one pending handle
+    /// per detector), in double-buffered mode.
+    in_flight: Option<InFlight>,
+    /// The shared persistent shard workers every detector's windows are
+    /// judged on.
+    pool: ShardPool,
+    states: Vec<DetectorState<'a>>,
+    config: PipelineConfig,
+    sharing: BudgetSharing,
+    buffer: Vec<Sample>,
+    /// Recycled window allocation (see [`DeploymentPipeline`]).
+    spare: Option<Vec<Sample>>,
+    /// Global index of the first sample of the next window to be judged.
+    next_start: usize,
+    /// Windows reported so far (every detector reports every window).
+    windows: usize,
+    hook: Option<MultiWindowHook<'a>>,
+    oracle: Option<LabelOracle<'a>>,
+}
+
+impl<'a> MultiPipeline<'a> {
+    /// Creates a *frozen* multi-detector pipeline: no calibration set is
+    /// ever touched, so shared access suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors` is empty, if `config.window` is 0, or if
+    /// `config.policy` is not [`CalibrationPolicy::Frozen`] — an online
+    /// policy needs exclusive detector access and a label oracle; use
+    /// [`MultiPipeline::online`].
+    pub fn new(detectors: Vec<&'a dyn DriftDetector>, config: PipelineConfig) -> Self {
+        assert!(
+            config.policy == CalibrationPolicy::Frozen,
+            "an online calibration policy needs MultiPipeline::online \
+             (exclusive detector access and a label oracle)"
+        );
+        Self::build(detectors.into_iter().map(DetectorHandle::Shared).collect(), config, None)
+    }
+
+    /// Creates an *online* multi-detector pipeline: each window's relabel
+    /// picks are labeled by `oracle` and folded into every detector's
+    /// live calibration set under `config.policy` — per-detector picks by
+    /// default, or one shared pick set via
+    /// [`MultiPipeline::shared_budget`].
+    ///
+    /// For the per-detector reports to match N independent
+    /// single-detector pipelines bit-for-bit, `oracle` must be a pure
+    /// function of its arguments (the same `(global, sample)` query can
+    /// be asked once per detector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors` is empty, if `config.window` is 0, or if a
+    /// [`CalibrationPolicy::Reservoir`] capacity is 0.
+    pub fn online(
+        detectors: Vec<&'a mut dyn DriftDetector>,
+        config: PipelineConfig,
+        oracle: impl FnMut(usize, &Sample) -> Option<Truth> + Send + 'a,
+    ) -> Self {
+        Self::build(
+            detectors.into_iter().map(DetectorHandle::Exclusive).collect(),
+            config,
+            Some(Box::new(oracle)),
+        )
+    }
+
+    fn build(
+        handles: Vec<DetectorHandle<'a>>,
+        config: PipelineConfig,
+        oracle: Option<LabelOracle<'a>>,
+    ) -> Self {
+        assert!(!handles.is_empty(), "a multi-detector pipeline needs at least one detector");
+        assert!(config.window >= 1, "pipeline window must hold at least one sample");
+        let states = handles.into_iter().map(|h| DetectorState::new(h, &config)).collect();
+        Self {
+            in_flight: None,
+            // The fan-out always runs on a pool: with one worker the
+            // single-chunk windows still judge inline on the caller via
+            // the pool's owned scratch (no cross-thread handoff), and
+            // double-buffering has a worker to hand windows to.
+            pool: ShardPool::new(config.shards.max(1)),
+            states,
+            config,
+            sharing: BudgetSharing::PerDetector,
+            buffer: Vec::with_capacity(config.window),
+            spare: None,
+            next_start: 0,
+            windows: 0,
+            hook: None,
+            oracle,
         }
-        let (Some(oracle), DetectorHandle::Exclusive(detector)) =
-            (self.oracle.as_mut(), &mut self.detector)
-        else {
-            return 0;
+    }
+
+    /// Switches the pipeline to [`BudgetSharing::Shared`]: one relabel
+    /// selection per window, made from detector `selector`'s judgements,
+    /// absorbed by every detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selector` is not a registered detector index.
+    #[must_use]
+    pub fn shared_budget(mut self, selector: usize) -> Self {
+        assert!(
+            selector < self.states.len(),
+            "shared-budget selector {selector} out of range ({} detectors)",
+            self.states.len()
+        );
+        self.sharing = BudgetSharing::Shared { selector };
+        self
+    }
+
+    /// Installs the per-window hook (replacing any previous one).
+    #[must_use]
+    pub fn on_window(mut self, hook: impl FnMut(&MultiReport, &[Sample]) + Send + 'a) -> Self {
+        self.hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Number of registered detectors.
+    pub fn detectors(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Detector display names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.states.iter().map(|s| s.detector.get().name()).collect()
+    }
+
+    /// Pushes one sample; returns a window's worth of per-detector
+    /// reports when one is due. The double-buffered contract is the same
+    /// one-window-late deal as [`DeploymentPipeline::push`]: the push
+    /// that fills window N+1 returns window N's reports, and
+    /// [`MultiPipeline::flush`] drains the tail.
+    pub fn push(&mut self, sample: Sample) -> Option<MultiReport> {
+        self.buffer.push(sample);
+        for state in &mut self.states {
+            state.stats.pushed += 1;
+        }
+        if self.buffer.len() < self.config.window {
+            return None;
+        }
+        if self.config.double_buffer {
+            self.rotate()
+        } else {
+            Some(self.emit())
+        }
+    }
+
+    /// Pushes every sample of `stream`, collecting the reports of all
+    /// windows completed along the way.
+    pub fn extend(&mut self, stream: impl IntoIterator<Item = Sample>) -> Vec<MultiReport> {
+        stream.into_iter().filter_map(|s| self.push(s)).collect()
+    }
+
+    /// Drains pending work in window order, exactly like
+    /// [`DeploymentPipeline::flush`]: first the in-flight window (if
+    /// double-buffering left one judging on the pool), then whatever is
+    /// buffered as a final (possibly short) window; one report-set per
+    /// call, **call until it returns `None`**. Within every
+    /// [`MultiReport`] the per-detector reports are already in
+    /// registration order, and successive `MultiReport`s are in window
+    /// order for every detector — double-buffering delays reports by one
+    /// window but never reorders them. Once nothing is pending, `flush`
+    /// is the same documented no-op: judges nothing, reports nothing,
+    /// calls no hook, leaves every counter untouched.
+    pub fn flush(&mut self) -> Option<MultiReport> {
+        if let Some(window) = self.in_flight.take() {
+            return Some(self.finish_in_flight(window));
+        }
+        (!self.buffer.is_empty()).then(|| self.emit())
+    }
+
+    /// Samples accepted by `push` but not yet reported (partial ingest
+    /// buffer plus any in-flight window).
+    pub fn pending(&self) -> usize {
+        self.buffer.len() + self.in_flight.as_ref().map_or(0, |w| w.samples.len())
+    }
+
+    /// Lifetime totals, one per detector in registration order. Each
+    /// entry is exactly what the corresponding single-detector pipeline's
+    /// [`DeploymentPipeline::stats`] would report.
+    pub fn stats(&self) -> Vec<PipelineStats> {
+        self.states.iter().map(|s| s.stats).collect()
+    }
+
+    /// Synchronous window emission: judge the buffered window to
+    /// completion for every detector (each on the shared pool, one
+    /// detector at a time) and report it.
+    fn emit(&mut self) -> MultiReport {
+        let samples = std::mem::take(&mut self.buffer);
+        let start = self.next_start;
+        self.next_start += samples.len();
+        let judged: Vec<Judged> = if self.pool.workers() > 1 {
+            // Fan every detector's jobs out before collecting any, so a
+            // cheap detector's chunks fill worker idle time while an
+            // expensive detector's window is still judging — judging one
+            // detector at a time would pay a full dispatch/drain barrier
+            // per detector.
+            //
+            // SAFETY: `samples` outlives the handles — every handle is
+            // collected (or, on unwind, dropped and thereby drained)
+            // within this frame before the buffer can go away — and no
+            // detector is mutated until all handles have been collected.
+            let pending: Vec<PendingWindow> = self
+                .states
+                .iter()
+                .map(|state| unsafe { state.submit(&self.pool, &samples) })
+                .collect();
+            pending.into_iter().map(PendingWindow::collect).collect()
+        } else {
+            // One worker: judge inline, detector by detector — the
+            // pool's single-chunk path runs on the caller thread with
+            // the pool-owned scratch, so a 1-CPU host pays no
+            // cross-thread handoff for zero parallelism. (The caller
+            // scratch below is only read by `judge_sync`'s pool-less
+            // rich arm, unreachable here.)
+            let mut scratch = JudgeScratch::new();
+            self.states
+                .iter()
+                .map(|state| state.judge_sync(Some(&self.pool), &mut scratch, &samples))
+                .collect()
         };
-        let mut absorbed = 0;
-        for &global in relabel {
-            let sample = &samples[global - start];
-            let Some(truth) = oracle(global, sample) else {
-                continue;
-            };
-            let item = Relabeled { sample: sample.clone(), truth };
-            match self.reservoir.as_mut() {
-                // Unbounded growth: append every labeled pick.
-                None => absorbed += detector.absorb_relabeled(std::slice::from_ref(&item)),
-                // Screen before offering: an invalid pick must not count
-                // toward the reservoir's sampled stream length (a "skip"
-                // decision would never reach the detector, so it could
-                // never be retracted and would bias the sample).
-                Some(_) if !detector.can_absorb(&item) => {}
-                Some(reservoir) => match reservoir.offer() {
-                    decision @ ReservoirDecision::Appended(_) => {
-                        if detector.absorb_relabeled(std::slice::from_ref(&item)) == 1 {
-                            absorbed += 1;
-                        } else {
-                            // The detector rejected the record (failed
-                            // validation): free the slot it was promised.
-                            reservoir.retract(decision);
-                        }
-                    }
-                    decision @ ReservoirDecision::Replaced(slot) => {
-                        if detector.replace_record(self.base_len + slot, &item) {
-                            absorbed += 1;
-                        } else {
-                            reservoir.retract(decision);
-                        }
-                    }
-                    ReservoirDecision::Skipped => {}
-                },
-            }
+        let report = self.finish_window(&samples, judged, start);
+        let mut samples = samples;
+        samples.clear();
+        self.buffer = samples;
+        report
+    }
+
+    /// Double-buffered rotation: collect the previous in-flight window
+    /// for every detector (folding relabels before the next submission,
+    /// so window N+1's judging sees the calibration state window N left
+    /// behind — per detector, the sequential order), then fan the
+    /// just-filled buffer out to all detectors and return immediately.
+    fn rotate(&mut self) -> Option<MultiReport> {
+        let prev = self.in_flight.take().map(|window| self.finish_in_flight(window));
+        let next = self.spare.take().unwrap_or_default();
+        let samples = std::mem::replace(&mut self.buffer, next);
+        let start = self.next_start;
+        self.next_start += samples.len();
+        // SAFETY: the detectors outlive the pipeline (`'a` borrows), all
+        // handles live in `self.in_flight` next to the one sample buffer
+        // their jobs point into and are always collected or dropped
+        // (field order drains them before the buffer and the pool go
+        // away), and detector mutation (relabel folding) happens strictly
+        // after every handle of the window has been collected.
+        let pending: Vec<PendingWindow> =
+            self.states.iter().map(|state| unsafe { state.submit(&self.pool, &samples) }).collect();
+        self.in_flight = Some(InFlight { pending, samples, start });
+        prev
+    }
+
+    /// Blocks for an in-flight window's judgements (all detectors) and
+    /// reports it.
+    fn finish_in_flight(&mut self, window: InFlight) -> MultiReport {
+        let InFlight { pending, samples, start } = window;
+        // Collect every detector's handle before any bookkeeping: no
+        // detector may be mutated while another detector's jobs are
+        // still borrowing the window.
+        let judged: Vec<Judged> = pending.into_iter().map(PendingWindow::collect).collect();
+        let report = self.finish_window(&samples, judged, start);
+        let mut samples = samples;
+        samples.clear();
+        self.spare = Some(samples);
+        report
+    }
+
+    /// The per-window bookkeeping fan-in: shared-budget selection (when
+    /// configured), then every detector's flagging / selection / folding
+    /// / stats, in registration order, strictly on the caller thread.
+    fn finish_window(
+        &mut self,
+        samples: &[Sample],
+        judged: Vec<Judged>,
+        start: usize,
+    ) -> MultiReport {
+        // Shared-budget mode: one selection per window, from the
+        // designated detector's judgements (computed before any folding,
+        // exactly like the per-detector selections).
+        let shared: Option<Vec<usize>> = match self.sharing {
+            BudgetSharing::PerDetector => None,
+            BudgetSharing::Shared { selector } => Some(
+                judged[selector]
+                    .select(self.config.budget)
+                    .into_iter()
+                    .map(|i| start + i)
+                    .collect(),
+            ),
+        };
+        let index = self.windows;
+        self.windows += 1;
+        let config = &self.config;
+        let oracle = &mut self.oracle;
+        let reports: Vec<WindowReport> = self
+            .states
+            .iter_mut()
+            .zip(judged)
+            .map(|(state, judged)| {
+                state.finish_window(
+                    samples,
+                    judged,
+                    start,
+                    config,
+                    oracle.as_mut(),
+                    shared.as_deref(),
+                )
+            })
+            .collect();
+        let report = MultiReport { index, start, reports };
+        if let Some(hook) = self.hook.as_mut() {
+            hook(&report, samples);
         }
-        absorbed
+        report
     }
 }
 
@@ -1034,6 +1678,195 @@ mod tests {
             assert_eq!(f.relabel, o.relabel);
             assert_eq!(o.absorbed, 0);
         }
+    }
+
+    /// A rich-path detector for selection-policy tests: rejects first
+    /// outputs below 0.5, and reports the first output itself as every
+    /// expert's credibility (so credibility ranking picks the *lowest*
+    /// first outputs while reject-vote ranking falls back to stream
+    /// order).
+    struct RichThreshold;
+
+    impl DriftDetector for RichThreshold {
+        fn name(&self) -> &'static str {
+            "rich-threshold"
+        }
+
+        fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement {
+            Judgement::from(self.rich_one(embedding, outputs))
+        }
+
+        fn judge_batch_rich_scratch(
+            &self,
+            samples: &[Sample],
+            _scratch: &mut JudgeScratch,
+        ) -> Option<Vec<PromJudgement>> {
+            Some(samples.iter().map(|s| self.rich_one(&s.embedding, &s.outputs)).collect())
+        }
+    }
+
+    impl RichThreshold {
+        fn rich_one(&self, _embedding: &[f64], outputs: &[f64]) -> PromJudgement {
+            let reject = outputs[0] < 0.5;
+            PromJudgement {
+                accepted: !reject,
+                reject_votes: usize::from(reject),
+                verdicts: vec![crate::committee::ExpertVerdict {
+                    expert: "unit".into(),
+                    credibility: outputs[0],
+                    confidence: 1.0,
+                    prediction_set_size: 1,
+                    reject,
+                }],
+            }
+        }
+    }
+
+    #[test]
+    fn credibility_rank_selects_lowest_credibility_rejects() {
+        let det = RichThreshold;
+        // Rejected confidences, in stream order: 0.4, 0.1, 0.3.
+        let samples = [
+            Sample::new(vec![0.0], vec![0.4, 0.6]),
+            Sample::new(vec![1.0], vec![0.9, 0.1]),
+            Sample::new(vec![2.0], vec![0.1, 0.9]),
+            Sample::new(vec![3.0], vec![0.3, 0.7]),
+        ];
+        // 3 flagged × 0.5, ceiled: 2 picks.
+        let budget = RelabelBudget { fraction: 0.5, min_count: 1 };
+        let run = |selection: SelectionPolicy| {
+            let mut pipeline = DeploymentPipeline::new(
+                &det,
+                PipelineConfig { window: 4, shards: 2, budget, selection, ..Default::default() },
+            );
+            let mut reports = pipeline.extend(samples.iter().cloned());
+            reports.extend(pipeline.flush());
+            reports.remove(0)
+        };
+
+        let by_votes = run(SelectionPolicy::RejectVote);
+        let by_credibility = run(SelectionPolicy::CredibilityRank);
+        // Same judgements, same flags — flattening the rich judgement is
+        // judge_batch's own definition.
+        assert_eq!(by_votes.judgements, by_credibility.judgements);
+        assert_eq!(by_votes.flagged, by_credibility.flagged);
+        assert_eq!(by_votes.flagged, vec![0, 2, 3]);
+        // Reject-vote: equal vote fractions, ties by stream order.
+        assert_eq!(by_votes.relabel, vec![0, 2]);
+        // Credibility: most drifted (lowest credibility) first.
+        assert_eq!(by_credibility.relabel, vec![2, 3]);
+    }
+
+    #[test]
+    fn credibility_rank_falls_back_to_reject_vote_without_a_rich_path() {
+        let det = Threshold;
+        let run = |selection: SelectionPolicy| {
+            let mut pipeline = DeploymentPipeline::new(
+                &det,
+                PipelineConfig { window: 5, shards: 2, selection, ..Default::default() },
+            );
+            let mut reports = pipeline.extend(stream(23));
+            reports.extend(pipeline.flush());
+            reports
+        };
+        let votes = run(SelectionPolicy::RejectVote);
+        let credibility = run(SelectionPolicy::CredibilityRank);
+        assert_eq!(votes.len(), credibility.len());
+        for (a, b) in votes.iter().zip(credibility.iter()) {
+            assert_eq!(a.judgements, b.judgements);
+            assert_eq!(a.relabel, b.relabel, "no rich path: selection must fall back");
+        }
+    }
+
+    #[test]
+    fn multi_pipeline_reports_match_independent_single_pipelines() {
+        let strict = Threshold;
+        let rich = RichThreshold;
+        let config = PipelineConfig { window: 6, shards: 2, ..Default::default() };
+        let single = |det: &dyn DriftDetector| {
+            let mut pipeline = DeploymentPipeline::new(det, config);
+            let mut reports = pipeline.extend(stream(40));
+            while let Some(r) = pipeline.flush() {
+                reports.push(r);
+            }
+            (reports, pipeline.stats())
+        };
+        let (strict_reports, strict_stats) = single(&strict);
+        let (rich_reports, rich_stats) = single(&rich);
+
+        for double_buffer in [false, true] {
+            let mut multi = MultiPipeline::new(
+                vec![&strict, &rich],
+                PipelineConfig { double_buffer, ..config },
+            );
+            let mut reports = multi.extend(stream(40));
+            while let Some(r) = multi.flush() {
+                reports.push(r);
+            }
+            assert_eq!(multi.names(), vec!["threshold", "rich-threshold"]);
+            assert_eq!(reports.len(), strict_reports.len(), "db={double_buffer}");
+            for (w, multi_report) in reports.iter().enumerate() {
+                for (single_report, multi_detector_report) in [&strict_reports[w], &rich_reports[w]]
+                    .into_iter()
+                    .zip(multi_report.reports.iter())
+                {
+                    assert_eq!(multi_report.index, single_report.index);
+                    assert_eq!(multi_report.start, single_report.start);
+                    assert_eq!(single_report.judgements, multi_detector_report.judgements);
+                    assert_eq!(single_report.flagged, multi_detector_report.flagged);
+                    assert_eq!(single_report.relabel, multi_detector_report.relabel);
+                }
+            }
+            assert_eq!(multi.stats(), vec![strict_stats, rich_stats], "db={double_buffer}");
+        }
+    }
+
+    #[test]
+    fn multi_shared_budget_feeds_every_detector_the_selectors_picks() {
+        let mut a = Absorbing::new(3);
+        let mut b = Absorbing::new(8);
+        let mut pipeline = MultiPipeline::online(
+            vec![&mut a, &mut b],
+            PipelineConfig {
+                window: 5,
+                shards: 2,
+                policy: CalibrationPolicy::GrowUnbounded,
+                ..Default::default()
+            },
+            |global, _s| Some(Truth::Label(global)),
+        )
+        .shared_budget(0);
+        let mut reports = pipeline.extend(stream(25));
+        while let Some(r) = pipeline.flush() {
+            reports.push(r);
+        }
+        drop(pipeline);
+
+        let mut selected = 0usize;
+        for multi in &reports {
+            let [ra, rb] = &multi.reports[..] else { panic!("two detectors") };
+            assert_eq!(ra.relabel, rb.relabel, "shared budget: one pick set per window");
+            assert_eq!(ra.absorbed, rb.absorbed);
+            selected += ra.relabel.len();
+        }
+        assert!(selected > 0, "the stream must flag something");
+        // Both detectors absorbed the same oracle labels, in the same order.
+        assert_eq!(a.online.len(), selected);
+        let labels = |d: &Absorbing| d.online.iter().map(|r| r.truth).collect::<Vec<_>>();
+        assert_eq!(labels(&a), labels(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one detector")]
+    fn multi_pipeline_rejects_zero_detectors() {
+        let _ = MultiPipeline::new(Vec::new(), PipelineConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "selector 2 out of range")]
+    fn multi_pipeline_rejects_out_of_range_selector() {
+        let det = Threshold;
+        let _ = MultiPipeline::new(vec![&det, &det], PipelineConfig::default()).shared_budget(2);
     }
 
     #[test]

@@ -51,9 +51,6 @@ use crate::scoring::JudgeScratch;
 /// What a panicking shard job left behind.
 type PanicPayload = Box<dyn Any + Send + 'static>;
 
-/// The type-erased judging closure an asynchronous window keeps alive.
-type BoxedJudge = Box<dyn Fn(&[Sample], &mut JudgeScratch) -> Vec<Judgement> + Send + Sync>;
-
 /// One type-erased shard job: a monomorphized trampoline plus the raw
 /// pointers it reinterprets. The trampoline is a plain `fn` pointer, so
 /// the job type never mentions the (possibly non-`'static`) closure or
@@ -249,12 +246,73 @@ impl ShardPool {
         }))
     }
 
+    /// Starts mapping `samples` through `f` on the pool **without
+    /// waiting** — the generic asynchronous form behind the pipelines'
+    /// double-buffered ingest (and the multi-detector fan-out, which
+    /// submits one such window per detector over a single shared sample
+    /// buffer). Returns a [`PendingResults`] that owns the workers'
+    /// output slots; judging proceeds on the workers while the caller
+    /// does other work, and [`PendingResults::collect`] blocks for the
+    /// stitched results.
+    ///
+    /// Unlike [`ShardPool::submit_judge`], the returned handle does
+    /// **not** own the samples: the jobs hold raw pointers into
+    /// `samples`' heap buffer.
+    ///
+    /// # Safety
+    ///
+    /// `f` must be `'static` in name only — it typically captures a
+    /// detector reference transmuted to `'static`. The caller must keep
+    /// everything the jobs reference alive and un-mutated until the
+    /// handle is collected or dropped (both drain every outstanding
+    /// job): the `samples` heap buffer (moving the `Vec` handle is fine;
+    /// dropping, clearing, or reallocating it is not) and whatever `f`'s
+    /// captures really borrow. The caller must also not defeat the drain
+    /// with `std::mem::forget` on the handle. Violating either is a data
+    /// race / use-after-free on a worker thread. `DeploymentPipeline`
+    /// and `MultiPipeline` uphold this by storing the handle(s) next to
+    /// the sample buffer they were made from, collecting before any
+    /// detector mutation (online relabel folding), and draining on drop.
+    pub unsafe fn submit_with<T, F>(&self, f: F, samples: &[Sample]) -> PendingResults<T>
+    where
+        T: Send + 'static,
+        F: Fn(&[Sample], &mut JudgeScratch) -> Vec<T> + Send + Sync + 'static,
+    {
+        // Boxed so the closure lives on the heap: the jobs point at the
+        // heap closure, which stays put while the owning Box handle moves
+        // into the returned struct.
+        let f = Box::new(f);
+        let run = run_shard::<T, F>;
+        let f_ptr: *const () = std::ptr::from_ref(&*f).cast();
+
+        let (chunk, chunks) =
+            if samples.is_empty() { (1, 0) } else { self.chunking(samples.len()) };
+        let mut outputs: Vec<Option<Vec<T>>> = Vec::new();
+        outputs.resize_with(chunks, || None);
+        let (done_tx, done_rx) = unbounded();
+
+        // Pointers were taken before the Vec/Box containers move into the
+        // returned struct: moving a Vec or Box relocates only the handle,
+        // never the heap data the pointers target.
+        //
+        // SAFETY: the boxed closure and the outputs Vec move into (and
+        // are kept alive by) the returned PendingResults, whose
+        // collect/Drop drain every job; the samples buffer is kept alive
+        // by the caller (this function's contract).
+        unsafe {
+            self.dispatch(run, f_ptr, samples, chunk, outputs.as_mut_ptr(), &done_tx);
+        }
+        // Drop our sender so a vanished worker surfaces as a disconnect
+        // instead of a deadlock.
+        drop(done_tx);
+        PendingResults { len: samples.len(), outputs, done_rx, outstanding: chunks, _keep: f }
+    }
+
     /// Starts judging `samples` on the pool **without waiting**: the
-    /// asynchronous form behind the pipeline's double-buffered ingest.
-    /// Returns a [`PendingJudge`] that owns the window; judging proceeds
-    /// on the workers while the caller does other work (fills the next
-    /// window), and [`PendingJudge::collect`] blocks for the stitched
-    /// judgements.
+    /// flat-judgement asynchronous form. Returns a [`PendingJudge`] that
+    /// owns the window; judging proceeds on the workers while the caller
+    /// does other work (fills the next window), and
+    /// [`PendingJudge::collect`] blocks for the stitched judgements.
     ///
     /// # Safety
     ///
@@ -265,7 +323,7 @@ impl ShardPool {
     /// outstanding job), and must not defeat that drain with
     /// `std::mem::forget` on the handle. Dropping the detector first (or
     /// mutating it mid-flight) is a data race / use-after-free on a
-    /// worker thread. `DeploymentPipeline` upholds this by storing the
+    /// worker thread. The deployment pipelines uphold this by storing the
     /// handle next to the detector borrow it was made from, collecting
     /// before any mutation (online relabel folding), and draining on
     /// drop.
@@ -278,46 +336,18 @@ impl ShardPool {
         // guarantees the reference never outlives (and is never mutated
         // during) the jobs that use it.
         let detector: &'static dyn DriftDetector = unsafe { std::mem::transmute(detector) };
-        // Boxed so the closure lives on the heap: the jobs point at the
-        // heap closure, which stays put while the owning Box handle moves
-        // into the returned struct.
-        let judge =
-            Box::new(move |shard: &[Sample], scratch: &mut JudgeScratch| -> Vec<Judgement> {
-                detector.judge_batch_scratch(shard, scratch)
-            });
-        /// Names the monomorphized trampoline of an unnameable closure
-        /// type.
-        fn trampoline_of<T, F>(
-            _: &F,
-        ) -> unsafe fn(*const (), *const Sample, usize, *mut (), &mut JudgeScratch)
-        where
-            F: Fn(&[Sample], &mut JudgeScratch) -> Vec<T>,
-        {
-            run_shard::<T, F>
-        }
-        let run = trampoline_of(&*judge);
-        let f_ptr: *const () = std::ptr::from_ref(&*judge).cast();
-
-        let (chunk, chunks) =
-            if samples.is_empty() { (1, 0) } else { self.chunking(samples.len()) };
-        let mut outputs: Vec<Option<Vec<Judgement>>> = Vec::new();
-        outputs.resize_with(chunks, || None);
-        let (done_tx, done_rx) = unbounded();
-
-        // Pointers were taken before the Vec/Box containers move into the
-        // returned struct: moving a Vec or Box relocates only the handle,
-        // never the heap data the pointers target.
-        //
-        // SAFETY: the boxed closure, the samples Vec, and the outputs Vec
-        // all move into (and are kept alive by) the returned
-        // PendingJudge, whose collect/Drop drain every job.
-        unsafe {
-            self.dispatch(run, f_ptr, &samples, chunk, outputs.as_mut_ptr(), &done_tx);
-        }
-        // Drop our sender so a vanished worker surfaces as a disconnect
-        // instead of a deadlock.
-        drop(done_tx);
-        PendingJudge { samples, outputs, done_rx, outstanding: chunks, _judge: judge }
+        // SAFETY: the samples Vec moves into the returned PendingJudge
+        // alongside the results handle (handle first, so it drains before
+        // the buffer drops), satisfying submit_with's keep-alive contract.
+        let results = unsafe {
+            self.submit_with(
+                move |shard: &[Sample], scratch: &mut JudgeScratch| {
+                    detector.judge_batch_scratch(shard, scratch)
+                },
+                &samples,
+            )
+        };
+        PendingJudge { results, samples }
     }
 
     /// The chunk geometry both entry points share: contiguous `div_ceil`
@@ -386,18 +416,75 @@ impl Drop for ShardPool {
     }
 }
 
-/// One in-flight asynchronously judged window (see
-/// [`ShardPool::submit_judge`]). Owns the window's samples and the
-/// workers' output slots; dropping it without collecting still drains
-/// every outstanding job (discarding the results).
-pub struct PendingJudge {
-    samples: Vec<Sample>,
-    outputs: Vec<Option<Vec<Judgement>>>,
+/// One in-flight asynchronously mapped window (see
+/// [`ShardPool::submit_with`]). Owns the workers' output slots and the
+/// type-erased closure — but **not** the window's samples, which the
+/// submitting caller must keep alive (that is what lets the
+/// multi-detector fan-out share one sample buffer across N handles).
+/// Dropping it without collecting still drains every outstanding job
+/// (discarding the results).
+pub struct PendingResults<T> {
+    len: usize,
+    outputs: Vec<Option<Vec<T>>>,
     done_rx: Receiver<Result<(), PanicPayload>>,
     outstanding: usize,
-    /// Keeps the type-erased judge closure (and with it the erased
-    /// detector reference) alive until every job has drained.
-    _judge: BoxedJudge,
+    /// Keeps the type-erased job closure (and with it whatever erased
+    /// references it captured) alive until every job has drained.
+    _keep: Box<dyn Any + Send + Sync>,
+}
+
+impl<T> PendingResults<T> {
+    /// Number of samples in the window being mapped.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the submitted window was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Blocks until every shard job has completed and returns the
+    /// stitched results (bit-identical to running the closure over the
+    /// whole window sequentially).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (on this thread) the panic of any shard job — after all
+    /// jobs have drained, so the pool and the caller's state stay
+    /// consistent.
+    pub fn collect(mut self) -> Vec<T> {
+        let panic = drain(&self.done_rx, std::mem::take(&mut self.outstanding));
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        self.outputs
+            .iter_mut()
+            .flat_map(|slot| slot.take().expect("completed job must have written its slot"))
+            .collect()
+    }
+}
+
+impl<T> Drop for PendingResults<T> {
+    fn drop(&mut self) {
+        // `collect` zeroes `outstanding`; an uncollected handle drains
+        // here so the borrows the jobs hold end before the owner goes
+        // away. Panic payloads are discarded — dropping the handle is
+        // the caller abandoning the window.
+        let _ = drain(&self.done_rx, self.outstanding);
+        self.outstanding = 0;
+    }
+}
+
+/// One in-flight asynchronously judged window (see
+/// [`ShardPool::submit_judge`]): a [`PendingResults`] that additionally
+/// owns the window's samples, so the flat single-detector caller has
+/// nothing to keep alive itself.
+pub struct PendingJudge {
+    // Field order matters for `Drop`: the results handle drains its jobs
+    // (which point into `samples`' heap buffer) before the buffer drops.
+    results: PendingResults<Judgement>,
+    samples: Vec<Sample>,
 }
 
 impl PendingJudge {
@@ -420,28 +507,9 @@ impl PendingJudge {
     /// Re-raises (on this thread) the panic of any shard job — after all
     /// jobs have drained, so the pool and the caller's state stay
     /// consistent.
-    pub fn collect(mut self) -> (Vec<Sample>, Vec<Judgement>) {
-        let panic = drain(&self.done_rx, std::mem::take(&mut self.outstanding));
-        if let Some(payload) = panic {
-            resume_unwind(payload);
-        }
-        let judgements = self
-            .outputs
-            .iter_mut()
-            .flat_map(|slot| slot.take().expect("completed job must have written its slot"))
-            .collect();
-        (std::mem::take(&mut self.samples), judgements)
-    }
-}
-
-impl Drop for PendingJudge {
-    fn drop(&mut self) {
-        // `collect` zeroes `outstanding`; an uncollected handle drains
-        // here so the borrows the jobs hold end before the owner goes
-        // away. Panic payloads are discarded — dropping the handle is
-        // the caller abandoning the window.
-        let _ = drain(&self.done_rx, self.outstanding);
-        self.outstanding = 0;
+    pub fn collect(self) -> (Vec<Sample>, Vec<Judgement>) {
+        let judgements = self.results.collect();
+        (self.samples, judgements)
     }
 }
 

@@ -13,7 +13,8 @@ use prom_baselines::tesseract::LabeledOutcome;
 use prom_baselines::{NaiveCp, Rise, Tesseract};
 use prom_core::detector::{DriftDetector, Sample, Truth};
 use prom_core::pipeline::{
-    available_shards, CalibrationPolicy, DeploymentPipeline, PipelineConfig,
+    available_shards, CalibrationPolicy, DeploymentPipeline, MultiPipeline, MultiReport,
+    PipelineConfig,
 };
 use prom_core::pool::ShardPool;
 use prom_ml::metrics::BinaryConfusion;
@@ -49,10 +50,10 @@ pub fn evaluate_detector(
     evaluate_detector_on(&ShardPool::with_available_parallelism(), detector, stream, mispredicted)
 }
 
-/// [`evaluate_detector`] on a caller-provided pool — the form for loops
-/// that score several detectors over one stream, so the worker threads
-/// (and their scratches) are spawned once per comparison, not once per
-/// detector.
+/// [`evaluate_detector`] on a caller-provided pool — the single-detector
+/// form for callers that already own a pool. Loops scoring several
+/// detectors over one stream should prefer [`evaluate_detectors`], which
+/// fans the stream out to all of them in one pass.
 pub fn evaluate_detector_on(
     pool: &ShardPool,
     detector: &dyn DriftDetector,
@@ -65,6 +66,49 @@ pub fn evaluate_detector_on(
         confusion.record(!j.accepted, wrong);
     }
     DetectionStats::from_confusion(&confusion)
+}
+
+/// Judges the shared stream with **every** detector at once — one
+/// [`MultiPipeline`] fan-out over one shard pool, each window ingested
+/// once — and scores each detector's reject decisions against
+/// misprediction truth. This replaces the detector-by-detector judging
+/// loop the detector-quality figures used to run (N passes over the
+/// stream): one pass now serves all N detectors, with ingest overlapping
+/// judging ([`PipelineConfig::double_buffer`]). Per-detector judgements
+/// are bit-identical to [`evaluate_detector`] over the same stream
+/// (`tests/pipeline_equivalence.rs`), so adopting the fan-out changes
+/// figure throughput, never figures.
+pub fn evaluate_detectors(
+    detectors: &[&dyn DriftDetector],
+    stream: &[Sample],
+    mispredicted: &[bool],
+) -> Vec<DetectionStats> {
+    assert_eq!(stream.len(), mispredicted.len(), "one misprediction flag per stream sample");
+    let mut pipeline = MultiPipeline::new(
+        detectors.to_vec(),
+        PipelineConfig {
+            window: 4096,
+            shards: available_shards(),
+            double_buffer: true,
+            ..Default::default()
+        },
+    );
+    let mut confusions = vec![BinaryConfusion::default(); detectors.len()];
+    let mut record = |multi: &MultiReport| {
+        for (confusion, report) in confusions.iter_mut().zip(multi.reports.iter()) {
+            for (j, &wrong) in report.judgements.iter().zip(&mispredicted[report.start..]) {
+                confusion.record(!j.accepted, wrong);
+            }
+        }
+    };
+    for multi in pipeline.extend(stream.iter().cloned()) {
+        record(&multi);
+    }
+    while let Some(multi) = pipeline.flush() {
+        record(&multi);
+    }
+    drop(pipeline);
+    confusions.iter().map(DetectionStats::from_confusion).collect()
 }
 
 /// What an online-policy evaluation produced, alongside the detection
@@ -164,13 +208,13 @@ pub fn compare_detectors(config: &ScenarioConfig) -> BaselineComparison {
         detectors.push(rise);
     }
 
-    // One pool for the whole comparison: every detector judges the shared
-    // stream on the same persistent workers.
-    let pool = ShardPool::with_available_parallelism();
-    let methods = detectors
-        .into_iter()
-        .map(|d| (d.name().to_string(), evaluate_detector_on(&pool, d, &stream, &mispredicted)))
-        .collect();
+    // One multi-detector pipeline for the whole comparison: every
+    // detector judges the shared stream in one fan-out pass on the same
+    // persistent workers (the stream is ingested once, not once per
+    // detector).
+    let names: Vec<String> = detectors.iter().map(|d| d.name().to_string()).collect();
+    let stats = evaluate_detectors(&detectors, &stream, &mispredicted);
+    let methods = names.into_iter().zip(stats).collect();
 
     BaselineComparison {
         case_name: config.case.name(),

@@ -16,7 +16,7 @@ use prom_core::detector::DriftDetector;
 #[cfg(test)]
 use crate::baseline_eval::evaluate_detector;
 use crate::baseline_eval::{
-    compare_detectors, evaluate_detector_on, evaluate_detector_online, BaselineComparison,
+    compare_detectors, evaluate_detector_online, evaluate_detectors, BaselineComparison,
     OnlineEvalResult,
 };
 use crate::codegen_eval::{run_codegen, CodegenConfig, CodegenResult};
@@ -159,19 +159,20 @@ pub fn run_ncm_ablation(config: &ScenarioConfig) -> Vec<(String, DetectionStats)
         })
         .collect();
 
-    // One pool for the whole ablation: every committee variant judges the
-    // shared stream on the same persistent workers.
-    let pool = prom_core::pool::ShardPool::with_available_parallelism();
-    single_expert
+    // One multi-detector fan-out for the whole ablation: every committee
+    // variant judges the shared stream in one pass on the same persistent
+    // workers (the stream is ingested once, not once per variant).
+    let (names, detectors): (Vec<String>, Vec<&dyn DriftDetector>) = single_expert
         .iter()
         .map(|(name, prom)| (name.clone(), prom as &dyn DriftDetector))
         .chain(std::iter::once(("PROM".to_string(), &fitted.prom as &dyn DriftDetector)))
-        .map(|(name, det)| (name, evaluate_detector_on(&pool, det, &stream, &mispredicted)))
-        .collect()
+        .unzip();
+    names.into_iter().zip(evaluate_detectors(&detectors, &stream, &mispredicted)).collect()
 }
 
 /// The in-pipeline online-recalibration ablation: Prom's detection quality
-/// on one scenario's drift stream under each [`CalibrationPolicy`], with
+/// on one scenario's drift stream under each
+/// [`CalibrationPolicy`](prom_core::pipeline::CalibrationPolicy), with
 /// the drift samples' ground-truth labels playing the relabeling expert.
 /// One model and one fitted detector configuration are shared; each policy
 /// gets its own fresh detector clone of the calibration records, so the

@@ -2,7 +2,8 @@
 # Perf-regression gate: run the criterion benches with median capture and
 # compare against the committed baseline (BENCH_pipeline.json).
 #
-#   scripts/perf_gate.sh [bench-name ...]     # default: pipeline recalibration
+#   scripts/perf_gate.sh [bench-name ...]   # default: pipeline recalibration
+#                                           #          multi_pipeline
 #
 # Semantics live in crates/bench/src/bin/perf_gate.rs. The baseline holds
 # one medians map per machine fingerprint: on a machine with a recorded
@@ -46,7 +47,7 @@ fi
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(pipeline recalibration)
+    benches=(pipeline recalibration multi_pipeline)
 fi
 bench_args=()
 for b in "${benches[@]}"; do

@@ -23,7 +23,18 @@
 //!   worker, no half-judged window corrupting later ones);
 //! * **(proptest)** arbitrarily interleaved `push`/`flush` under
 //!   double-buffering judges every pushed sample exactly once, in input
-//!   order.
+//!   order;
+//! * **multi-detector fan-out changes nothing**: a `MultiPipeline` over N
+//!   detectors produces, per detector, byte-identical reports — and, in
+//!   online mode, bit-identical post-run calibration sets — to N
+//!   independent single-detector pipelines over the same stream, for both
+//!   selection policies, frozen and reservoir-online, double-buffered,
+//!   ragged tails included;
+//! * **selection policies are what they claim**:
+//!   `SelectionPolicy::RejectVote` reproduces the PR 2–4 pipeline exactly
+//!   (manual `judge_batch` + `select_flagged` reference), and
+//!   `CredibilityRank` picks exactly what `select_for_relabeling` ranks
+//!   over the window's rich judgements, flags and judgements unchanged.
 //!
 //! CI additionally runs this file with `--test-threads=1`, so a
 //! stitch-order bug cannot hide behind test-runner parallelism.
@@ -37,9 +48,10 @@ use prom::baselines::{NaiveCp, Rise, Tesseract};
 use prom::core::calibration::CalibrationRecord;
 use prom::core::committee::PromConfig;
 use prom::core::detector::{DriftDetector, Judgement, Sample, Truth};
+use prom::core::incremental::{select_flagged, select_for_relabeling, RelabelBudget};
 use prom::core::pipeline::{
-    available_shards, judge_sharded, CalibrationPolicy, DeploymentPipeline, PipelineConfig,
-    WindowReport,
+    available_shards, judge_sharded, CalibrationPolicy, DeploymentPipeline, MultiPipeline,
+    MultiReport, PipelineConfig, SelectionPolicy, WindowReport,
 };
 use prom::core::pool::ShardPool;
 use prom::core::predictor::PromClassifier;
@@ -323,6 +335,7 @@ fn run_online(
             budget: prom::core::incremental::RelabelBudget { fraction: 1.0, min_count: 1 },
             policy: CalibrationPolicy::Reservoir { cap: 9, seed: 7 },
             double_buffer,
+            ..Default::default()
         },
         |global, _s| Some(Truth::Label(global % 3)),
     );
@@ -436,6 +449,7 @@ fn online_reservoir_absorption_is_identical_across_modes_for_the_regressor() {
                 budget: prom::core::incremental::RelabelBudget { fraction: 1.0, min_count: 1 },
                 policy: CalibrationPolicy::Reservoir { cap: 9, seed: 3 },
                 double_buffer,
+                ..Default::default()
             },
             // The expert measures the true target of the drifted stream.
             |global, s: &Sample| Some(Truth::Target(s.embedding[0] + 0.3 + global as f64 * 1e-3)),
@@ -608,4 +622,343 @@ proptest! {
             reports.iter().flat_map(|r| r.judgements.iter().cloned()).collect();
         prop_assert_eq!(stitched, det.judge_batch(&pushed));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-detector fan-out tier: MultiPipeline == N independent pipelines.
+// ---------------------------------------------------------------------------
+
+/// Runs one frozen single-detector pipeline over the stream (tail
+/// included) and returns every report.
+fn run_single(
+    detector: &dyn DriftDetector,
+    stream: &[Sample],
+    config: PipelineConfig,
+) -> Vec<WindowReport> {
+    let mut pipeline = DeploymentPipeline::new(detector, config);
+    let mut reports = pipeline.extend(stream.iter().cloned());
+    while let Some(report) = pipeline.flush() {
+        reports.push(report);
+    }
+    reports
+}
+
+/// Runs one frozen multi-detector pipeline over the stream (tail
+/// included) and returns every window's report set.
+fn run_multi(
+    detectors: Vec<&dyn DriftDetector>,
+    stream: &[Sample],
+    config: PipelineConfig,
+) -> Vec<MultiReport> {
+    let mut pipeline = MultiPipeline::new(detectors, config);
+    let mut reports = pipeline.extend(stream.iter().cloned());
+    while let Some(report) = pipeline.flush() {
+        reports.push(report);
+    }
+    reports
+}
+
+/// Per-detector slice of a multi run: window reports of detector `d`.
+fn detector_reports(multi: &[MultiReport], d: usize) -> Vec<WindowReport> {
+    multi.iter().map(|m| m.reports[d].clone()).collect()
+}
+
+#[test]
+fn multi_pipeline_matches_independent_pipelines_for_all_detectors_frozen() {
+    let records = classification_records(300, 61);
+    let stream = classification_stream(101, 61); // 101 % 16 != 0: ragged tail
+    let validation = validation_outcomes(62);
+    let prom = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+    let naive = NaiveCp::new(&records, 0.1);
+    let tesseract = Tesseract::fit(&records, &validation, 3);
+    let rise = Rise::fit(&records, &validation, 0.1);
+    let detectors: Vec<&dyn DriftDetector> = vec![&prom, &naive, &tesseract, &rise];
+
+    for selection in [SelectionPolicy::RejectVote, SelectionPolicy::CredibilityRank] {
+        for (shards, double_buffer) in
+            [(1, false), (7, false), (2, true), (available_shards(), true)]
+        {
+            let config = PipelineConfig {
+                window: 16,
+                shards,
+                selection,
+                double_buffer,
+                ..Default::default()
+            };
+            let multi = run_multi(detectors.clone(), &stream, config);
+            assert_eq!(multi.len(), stream.len().div_ceil(16));
+            for (d, detector) in detectors.iter().enumerate() {
+                let context = format!(
+                    "{} d={d} sel={selection:?} shards={shards} db={double_buffer}",
+                    detector.name()
+                );
+                let single = run_single(*detector, &stream, config);
+                assert_reports_identical(&single, &detector_reports(&multi, d), &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_pipeline_matches_independent_pipelines_for_the_regressor() {
+    let records = regression_records(200, 63);
+    let stream = regression_stream(77);
+    let config = PromRegressorConfig { clusters: ClusterChoice::Fixed(4), ..Default::default() };
+    let a = PromRegressor::new(records.clone(), config.clone()).unwrap();
+    let b = PromRegressor::new(
+        records,
+        PromRegressorConfig { clusters: ClusterChoice::Fixed(2), ..config },
+    )
+    .unwrap();
+    let detectors: Vec<&dyn DriftDetector> = vec![&a, &b];
+    for selection in [SelectionPolicy::RejectVote, SelectionPolicy::CredibilityRank] {
+        let pipeline_config = PipelineConfig {
+            window: 16,
+            shards: 7,
+            selection,
+            double_buffer: true,
+            ..Default::default()
+        };
+        let multi = run_multi(detectors.clone(), &stream, pipeline_config);
+        for (d, detector) in detectors.iter().enumerate() {
+            let single = run_single(*detector, &stream, pipeline_config);
+            let context = format!("regressor d={d} sel={selection:?}");
+            assert_reports_identical(&single, &detector_reports(&multi, d), &context);
+        }
+    }
+}
+
+/// Runs an online reservoir pipeline (single) for one detector — the
+/// reference the multi-detector online runs are compared against.
+fn run_single_online(
+    detector: &mut dyn DriftDetector,
+    stream: &[Sample],
+    selection: SelectionPolicy,
+) -> Vec<WindowReport> {
+    let mut pipeline = DeploymentPipeline::online(
+        detector,
+        PipelineConfig {
+            window: 16,
+            shards: 2,
+            budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+            selection,
+            policy: CalibrationPolicy::Reservoir { cap: 9, seed: 7 },
+            double_buffer: true,
+        },
+        |global, _s| Some(Truth::Label(global % 3)),
+    );
+    let mut reports = pipeline.extend(stream.iter().cloned());
+    while let Some(report) = pipeline.flush() {
+        reports.push(report);
+    }
+    reports
+}
+
+#[test]
+fn multi_pipeline_online_reservoir_matches_independent_pipelines() {
+    let records = classification_records(120, 71);
+    let stream = classification_stream(140, 71);
+    let validation = validation_outcomes(72);
+    let probes = classification_stream(20, 73);
+
+    for selection in [SelectionPolicy::RejectVote, SelectionPolicy::CredibilityRank] {
+        // Independent single-detector references, each over a fresh
+        // detector.
+        let mut prom_ref = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+        let mut naive_ref = NaiveCp::new(&records, 0.1);
+        let mut tess_ref = Tesseract::fit(&records, &validation, 3);
+        let prom_reports = run_single_online(&mut prom_ref, &stream, selection);
+        let naive_reports = run_single_online(&mut naive_ref, &stream, selection);
+        let tess_reports = run_single_online(&mut tess_ref, &stream, selection);
+        assert!(
+            prom_reports.iter().map(|r| r.absorbed).sum::<usize>() > 9,
+            "the stream must absorb past the reservoir cap to exercise replacement"
+        );
+
+        // The same three detectors, rebuilt fresh, served by ONE
+        // multi-detector pipeline over the same stream.
+        let mut prom = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+        let mut naive = NaiveCp::new(&records, 0.1);
+        let mut tess = Tesseract::fit(&records, &validation, 3);
+        let mut multi = MultiPipeline::online(
+            vec![&mut prom, &mut naive, &mut tess],
+            PipelineConfig {
+                window: 16,
+                shards: 2,
+                budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+                selection,
+                policy: CalibrationPolicy::Reservoir { cap: 9, seed: 7 },
+                double_buffer: true,
+            },
+            |global, _s| Some(Truth::Label(global % 3)),
+        );
+        let mut reports = multi.extend(stream.iter().cloned());
+        while let Some(report) = multi.flush() {
+            reports.push(report);
+        }
+        drop(multi);
+
+        let context = format!("multi-online sel={selection:?}");
+        assert_reports_identical(&prom_reports, &detector_reports(&reports, 0), &context);
+        assert_reports_identical(&naive_reports, &detector_reports(&reports, 1), &context);
+        assert_reports_identical(&tess_reports, &detector_reports(&reports, 2), &context);
+
+        // The live calibration state ended up bit-identical per detector.
+        assert_eq!(prom_ref.calibration_len(), prom.calibration_len(), "{context}");
+        for probe in &probes {
+            let pa = prom_ref.expert_p_values(&probe.embedding, &probe.outputs);
+            let pb = prom.expert_p_values(&probe.embedding, &probe.outputs);
+            for (ea, eb) in pa.iter().zip(pb.iter()) {
+                let bits_a: Vec<u64> = ea.iter().map(|p| p.to_bits()).collect();
+                let bits_b: Vec<u64> = eb.iter().map(|p| p.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "{context}: post-run p-values diverge");
+            }
+        }
+        assert_score_tables_identical(naive_ref.score_table(), naive.score_table(), &context);
+        assert_score_tables_identical(tess_ref.score_table(), tess.score_table(), &context);
+    }
+}
+
+#[test]
+fn reject_vote_selection_is_the_pr2_reference_and_credibility_rank_is_ranked() {
+    let prom = PromClassifier::new(classification_records(300, 81), PromConfig::default()).unwrap();
+    let stream = classification_stream(90, 81);
+    let budget = RelabelBudget { fraction: 0.5, min_count: 1 };
+
+    // RejectVote ≡ the PR 2–4 pipeline: manual judge_batch +
+    // select_flagged over each window is the committed reference.
+    let config = PipelineConfig { window: 16, shards: 2, budget, ..Default::default() };
+    assert_eq!(config.selection, SelectionPolicy::RejectVote, "RejectVote is the default");
+    for report in run_single(&prom, &stream, config) {
+        let window = &stream[report.start..report.start + report.judgements.len()];
+        let judgements = DriftDetector::judge_batch(&prom, window);
+        let expected: Vec<usize> =
+            select_flagged(&judgements, budget).into_iter().map(|i| report.start + i).collect();
+        assert_eq!(report.judgements, judgements, "window {}", report.index);
+        assert_eq!(report.relabel, expected, "window {}", report.index);
+    }
+
+    // CredibilityRank picks exactly what select_for_relabeling ranks over
+    // the window's rich judgements — flags and flat judgements unchanged.
+    let rich_config = PipelineConfig { selection: SelectionPolicy::CredibilityRank, ..config };
+    for (a, b) in
+        run_single(&prom, &stream, config).iter().zip(run_single(&prom, &stream, rich_config))
+    {
+        let window = &stream[b.start..b.start + b.judgements.len()];
+        let rich = PromClassifier::judge_batch(&prom, window);
+        let expected: Vec<usize> =
+            select_for_relabeling(&rich, budget).into_iter().map(|i| b.start + i).collect();
+        assert_eq!(a.judgements, b.judgements, "window {}", b.index);
+        assert_eq!(a.flagged, b.flagged, "window {}", b.index);
+        assert_eq!(b.relabel, expected, "window {}", b.index);
+    }
+}
+
+#[test]
+fn multi_shared_budget_absorbs_identically_across_execution_modes() {
+    let records = classification_records(100, 91);
+    let stream = classification_stream(120, 91);
+
+    let run = |shards: usize, double_buffer: bool| {
+        let mut prom_a = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+        let mut prom_b = PromClassifier::new(
+            records.clone(),
+            PromConfig { epsilon: 0.2, ..PromConfig::default() },
+        )
+        .unwrap();
+        let mut multi = MultiPipeline::online(
+            vec![&mut prom_a, &mut prom_b],
+            PipelineConfig {
+                window: 16,
+                shards,
+                budget: RelabelBudget { fraction: 0.5, min_count: 1 },
+                selection: SelectionPolicy::CredibilityRank,
+                policy: CalibrationPolicy::Reservoir { cap: 9, seed: 5 },
+                double_buffer,
+            },
+            |global, _s| Some(Truth::Label(global % 3)),
+        )
+        .shared_budget(0);
+        let mut reports = multi.extend(stream.iter().cloned());
+        while let Some(report) = multi.flush() {
+            reports.push(report);
+        }
+        drop(multi);
+        (reports, prom_a.calibration_len(), prom_b.calibration_len())
+    };
+
+    let (reference, ref_a, ref_b) = run(1, false);
+    // The shared pick set is detector 0's selection, mirrored into every
+    // detector's report.
+    let mut any_picks = false;
+    for multi in &reference {
+        let [a, b] = &multi.reports[..] else { panic!("two detectors") };
+        assert_eq!(a.relabel, b.relabel, "window {}", multi.index);
+        any_picks |= !a.relabel.is_empty();
+        for pick in &b.relabel {
+            assert!(
+                a.flagged.contains(pick),
+                "shared picks come from the selector's flags (window {})",
+                multi.index
+            );
+        }
+    }
+    assert!(any_picks, "the stream must select something");
+
+    // And the whole shared-budget run is execution-mode independent.
+    for (shards, double_buffer) in [(7, false), (2, true), (available_shards(), true)] {
+        let (candidate, cand_a, cand_b) = run(shards, double_buffer);
+        let context = format!("shared-budget shards={shards} db={double_buffer}");
+        assert_eq!(reference.len(), candidate.len(), "{context}");
+        for (r, c) in reference.iter().zip(candidate.iter()) {
+            for (d, (a, b)) in r.reports.iter().zip(c.reports.iter()).enumerate() {
+                assert_reports_identical(
+                    std::slice::from_ref(a),
+                    std::slice::from_ref(b),
+                    &format!("{context} d={d}"),
+                );
+            }
+        }
+        assert_eq!((ref_a, ref_b), (cand_a, cand_b), "{context}");
+    }
+}
+
+#[test]
+fn multi_pipeline_double_buffering_reports_one_window_late_in_order() {
+    let records = classification_records(90, 95);
+    let prom = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+    let naive = NaiveCp::new(&records, 0.1);
+    let mut pipeline = MultiPipeline::new(
+        vec![&prom, &naive],
+        PipelineConfig { window: 4, shards: 2, double_buffer: true, ..Default::default() },
+    );
+    let stream = classification_stream(10, 95);
+    let mut samples = stream.iter().cloned();
+    for _ in 0..3 {
+        assert!(pipeline.push(samples.next().unwrap()).is_none());
+    }
+    // Filling window 0 only submits it — for BOTH detectors.
+    assert!(pipeline.push(samples.next().unwrap()).is_none());
+    assert_eq!(pipeline.pending(), 4, "window 0 is in flight");
+    for _ in 0..3 {
+        assert!(pipeline.push(samples.next().unwrap()).is_none());
+    }
+    // Filling window 1 returns window 0's report set.
+    let report = pipeline.push(samples.next().unwrap()).expect("window 0 reports");
+    assert_eq!(report.index, 0);
+    assert_eq!(report.start, 0);
+    assert_eq!(report.reports.len(), 2);
+    assert!(report.reports.iter().all(|r| (r.index, r.start) == (0, 0)));
+    // Draining: window 1 first, then the 2-sample tail, then the no-op.
+    pipeline.extend(samples);
+    let w1 = pipeline.flush().expect("window 1 reports");
+    assert_eq!(w1.index, 1);
+    assert_eq!(w1.start, 4);
+    let tail = pipeline.flush().expect("tail reports");
+    assert_eq!(tail.index, 2);
+    assert_eq!(tail.start, 8);
+    assert!(tail.reports.iter().all(|r| r.judgements.len() == 2));
+    assert!(pipeline.flush().is_none());
+    let stats = pipeline.stats();
+    assert!(stats.iter().all(|s| s.judged == 10 && s.windows == 3));
 }
