@@ -119,6 +119,54 @@ fn bench_multi_pipeline(c: &mut Criterion) {
         })
     });
 
+    // Three Prom threshold variants as the detector set — the common
+    // "compare ε settings in production shape" case, where every
+    // registered detector wraps the SAME conformal kernel.
+    let prom_configs: Vec<PromConfig> = [0.02, 0.1, 0.3]
+        .iter()
+        .map(|&eps| PromConfig { epsilon: eps, ..PromConfig::default() })
+        .collect();
+    let standalone: Vec<PromClassifier> = prom_configs
+        .iter()
+        .map(|c| PromClassifier::new(records.clone(), c.clone()).unwrap())
+        .collect();
+
+    // Independent fan-out: N standalone classifiers, so every sample pays
+    // N subset selections and N p-value passes.
+    group.bench_function("prom_fanout_3x_100k", |b| {
+        b.iter(|| {
+            let dets: Vec<&dyn DriftDetector> =
+                standalone.iter().map(|d| d as &dyn DriftDetector).collect();
+            let mut pipeline = MultiPipeline::new(dets, config);
+            let mut rejected = 0usize;
+            for multi in pipeline.extend(samples.iter().cloned()) {
+                rejected += multi.reports.iter().map(|r| r.flagged.len()).sum::<usize>();
+            }
+            while let Some(multi) = pipeline.flush() {
+                rejected += multi.reports.iter().map(|r| r.flagged.len()).sum::<usize>();
+            }
+            std::hint::black_box(rejected)
+        })
+    });
+
+    // Fused fan-out (`MultiPipeline::fanout`): one subset selection and
+    // one p-value pass per (sample, expert), re-thresholded N times —
+    // bit-identical reports (`tests/kernel_equivalence.rs`) at roughly
+    // 1/N the kernel work.
+    group.bench_function("prom_fused_3x_100k", |b| {
+        b.iter(|| {
+            let mut pipeline = MultiPipeline::fanout(&prom, prom_configs.clone(), config).unwrap();
+            let mut rejected = 0usize;
+            for multi in pipeline.extend(samples.iter().cloned()) {
+                rejected += multi.reports.iter().map(|r| r.flagged.len()).sum::<usize>();
+            }
+            while let Some(multi) = pipeline.flush() {
+                rejected += multi.reports.iter().map(|r| r.flagged.len()).sum::<usize>();
+            }
+            std::hint::black_box(rejected)
+        })
+    });
+
     group.finish();
 }
 

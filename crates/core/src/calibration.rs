@@ -3,7 +3,7 @@
 //! the *online* calibration set bounded on unbounded deployment streams
 //! ([`ReservoirCalibration`]).
 
-use prom_ml::matrix::l2_distance;
+use prom_ml::matrix::l2_distance_sq;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,29 +75,40 @@ pub struct SelectedSample {
 /// of them are selected; otherwise the nearest `fraction` (at least one)
 /// are.
 ///
+/// This is the **scalar reference** the optimized `ScoringKernel` paths are
+/// proven bit-identical against (`tests/kernel_equivalence.rs`), so its
+/// comparison key is pinned: records are ordered by *squared* distance with
+/// ties broken by index. Squaring is where the tie classes live — `sqrt`
+/// rounds distinct d² to equal d, so ordering by `(d, index)` would break
+/// boundary ties differently than any path that compares squared distances;
+/// `(d², index)` is the finer (and therefore canonical) key. The Eq. 1
+/// weight is `exp(-sqrt(d²) / tau)`, the same bits as the kernel computes.
+///
 /// # Panics
 ///
-/// Panics on an empty calibration set or an embedding-length mismatch.
+/// Panics on an empty calibration set or an embedding-length mismatch
+/// between the first record and the test embedding (one check per call;
+/// callers hold uniform-dimension record sets).
 pub fn select_weighted_subset(
     embeddings: &[Vec<f64>],
     test_embedding: &[f64],
     config: &SelectionConfig,
 ) -> Vec<SelectedSample> {
     assert!(!embeddings.is_empty(), "cannot select from an empty calibration set");
+    assert_eq!(embeddings[0].len(), test_embedding.len(), "embedding length mismatch");
     let n = embeddings.len();
     let mut by_distance: Vec<(f64, usize)> = embeddings
         .iter()
         .enumerate()
         .map(|(i, e)| {
-            assert_eq!(e.len(), test_embedding.len(), "embedding length mismatch");
-            let d = l2_distance(e, test_embedding);
+            let d2 = l2_distance_sq(e, test_embedding);
             // Same NaN policy as `ScoringKernel::select`: a NaN distance is
             // infinitely far (weight 0), keeping this reference path
             // bit-equivalent to the kernel on degenerate inputs.
-            (if d.is_nan() { f64::INFINITY } else { d }, i)
+            (if d2.is_nan() { f64::INFINITY } else { d2 }, i)
         })
         .collect();
-    by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
+    by_distance.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let keep = if n < config.min_full_size {
         n
     } else {
@@ -105,7 +116,7 @@ pub fn select_weighted_subset(
     };
     by_distance[..keep]
         .iter()
-        .map(|&(d, index)| SelectedSample { index, weight: (-d / config.tau).exp() })
+        .map(|&(d2, index)| SelectedSample { index, weight: (-d2.sqrt() / config.tau).exp() })
         .collect()
 }
 

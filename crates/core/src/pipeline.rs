@@ -44,12 +44,16 @@
 //!   `absorb_relabeled` / `replace_record` overrides, so no window pays a
 //!   full recalibration rebuild (see `benches/recalibration.rs`).
 
+use std::sync::Arc;
+
 use crate::calibration::{ReservoirCalibration, ReservoirDecision};
-use crate::committee::PromJudgement;
+use crate::committee::{PromConfig, PromJudgement};
 use crate::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 use crate::incremental::{select_flagged, select_for_relabeling, RelabelBudget};
 use crate::pool::{PendingResults, ShardPool};
+use crate::predictor::{PromClassifier, PromThresholdView};
 use crate::scoring::JudgeScratch;
+use crate::PromError;
 
 /// The panic message of a detector whose rich-judgement support changed
 /// between windows — which the [`DriftDetector`] contract forbids.
@@ -292,11 +296,16 @@ pub type WindowHook<'a> = Box<dyn FnMut(&WindowReport, &[Sample]) + Send + 'a>;
 /// unanswered pick is simply not folded in.
 pub type LabelOracle<'a> = Box<dyn FnMut(usize, &Sample) -> Option<Truth> + Send + 'a>;
 
-/// Shared (frozen) or exclusive (online) access to a pipeline's
-/// detector.
+/// Shared (frozen), exclusive (online), or pipeline-owned (the fused
+/// fan-out's threshold views) access to a pipeline's detector.
 enum DetectorHandle<'a> {
     Shared(&'a dyn DriftDetector),
     Exclusive(&'a mut dyn DriftDetector),
+    /// A detector the pipeline owns outright — [`MultiPipeline::fanout`]
+    /// builds one [`PromThresholdView`] per served configuration. Owned
+    /// detectors are frozen: the online fold only mutates `Exclusive`
+    /// handles.
+    Owned(Box<dyn DriftDetector + 'a>),
 }
 
 impl DetectorHandle<'_> {
@@ -304,6 +313,7 @@ impl DetectorHandle<'_> {
         match self {
             DetectorHandle::Shared(d) => *d,
             DetectorHandle::Exclusive(d) => &**d,
+            DetectorHandle::Owned(d) => &**d,
         }
     }
 }
@@ -560,14 +570,27 @@ impl<'a> DetectorState<'a> {
     }
 }
 
+/// The asynchronously judged form of one window across a pipeline's
+/// detectors: independent per-detector jobs, or — for
+/// [`MultiPipeline::fanout`] — one **fused** job set whose every sample is
+/// judged once and re-thresholded per served configuration.
+enum PendingWindows {
+    /// One handle per detector (exactly one for [`DeploymentPipeline`]).
+    PerDetector(Vec<PendingWindow>),
+    /// One shared handle: each stitched element is one sample's
+    /// judgements across every served configuration, in registration
+    /// order ([`PromClassifier::judge_batch_fanout_scratch`] transposed
+    /// to sample-major for shard stitching).
+    Fused(PendingResults<Vec<PromJudgement>>),
+}
+
 /// One in-flight asynchronously judged window: the pending worker
 /// handle(s) plus the sample buffer the jobs point into.
 struct InFlight {
     // Field order matters for `Drop`: the pending handles drain their
     // jobs (which point into `samples`' heap buffer) before the buffer
     // drops.
-    /// One handle per detector (exactly one for [`DeploymentPipeline`]).
-    pending: Vec<PendingWindow>,
+    pending: PendingWindows,
     samples: Vec<Sample>,
     start: usize,
 }
@@ -800,13 +823,17 @@ impl<'a> DeploymentPipeline<'a> {
             let pool = self.pool.as_ref().expect("double-buffered mode always builds a pool");
             self.state.submit(pool, &samples)
         };
-        self.in_flight = Some(InFlight { pending: vec![pending], samples, start });
+        self.in_flight =
+            Some(InFlight { pending: PendingWindows::PerDetector(vec![pending]), samples, start });
         prev
     }
 
     /// Blocks for an in-flight window's judgements and reports it.
     fn finish_in_flight(&mut self, window: InFlight) -> WindowReport {
-        let InFlight { mut pending, samples, start } = window;
+        let InFlight { pending, samples, start } = window;
+        let PendingWindows::PerDetector(mut pending) = pending else {
+            unreachable!("single-detector pipelines never submit fused windows");
+        };
         let judged = pending.pop().expect("single-detector windows carry one handle").collect();
         let report = self.finish_window(&samples, judged, start);
         let mut samples = samples;
@@ -945,6 +972,67 @@ pub struct MultiPipeline<'a> {
     windows: usize,
     hook: Option<MultiWindowHook<'a>>,
     oracle: Option<LabelOracle<'a>>,
+    /// The fused fan-out engine, when this pipeline was built with
+    /// [`MultiPipeline::fanout`]: windows are judged through ONE kernel
+    /// pass per sample and re-thresholded per served configuration,
+    /// instead of one independent full judging job per detector.
+    fused: Option<FusedFanout<'a>>,
+}
+
+/// The shared-kernel engine behind [`MultiPipeline::fanout`].
+struct FusedFanout<'a> {
+    base: &'a PromClassifier,
+    /// One threshold configuration per registered detector, in
+    /// registration order. `Arc`ed so the double-buffered submission can
+    /// hand the worker closure a `'static` handle without transmuting.
+    configs: Arc<[PromConfig]>,
+}
+
+/// Judges `shard` once per sample through the shared kernel and returns
+/// **sample-major** rows (`rows[s][c]` = sample `s` under configuration
+/// `c`) — the shape [`ShardPool`] stitching needs (one element per input
+/// sample).
+fn fanout_rows(
+    base: &PromClassifier,
+    configs: &[PromConfig],
+    shard: &[Sample],
+    scratch: &mut JudgeScratch,
+) -> Vec<Vec<PromJudgement>> {
+    let per_config = base.judge_batch_fanout_scratch(shard, configs, scratch);
+    let mut rows: Vec<Vec<PromJudgement>> =
+        (0..shard.len()).map(|_| Vec::with_capacity(configs.len())).collect();
+    for column in per_config {
+        for (row, judgement) in rows.iter_mut().zip(column) {
+            row.push(judgement);
+        }
+    }
+    rows
+}
+
+/// Transposes stitched sample-major fan-out rows back into one
+/// [`Judged`] window per detector, in the form each detector's selection
+/// policy picked at construction (rich, or flattened exactly like
+/// [`DriftDetector::judge_batch`] flattens).
+fn split_fanout(rows: Vec<Vec<PromJudgement>>, states: &[DetectorState<'_>]) -> Vec<Judged> {
+    let mut columns: Vec<Vec<PromJudgement>> =
+        (0..states.len()).map(|_| Vec::with_capacity(rows.len())).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), states.len(), "one judgement per served configuration");
+        for (column, judgement) in columns.iter_mut().zip(row) {
+            column.push(judgement);
+        }
+    }
+    columns
+        .into_iter()
+        .zip(states)
+        .map(|(column, state)| {
+            if state.rich {
+                Judged::Rich(column)
+            } else {
+                Judged::Flat(column.into_iter().map(Judgement::from).collect())
+            }
+        })
+        .collect()
 }
 
 impl<'a> MultiPipeline<'a> {
@@ -993,6 +1081,53 @@ impl<'a> MultiPipeline<'a> {
         )
     }
 
+    /// Creates a **fused** frozen multi-detector pipeline: `configs.len()`
+    /// detectors, each a [`PromThresholdView`] of `base` with its own
+    /// ε / confidence / committee thresholds, served from **one conformal
+    /// kernel pass per sample**. Where [`MultiPipeline::new`] over N
+    /// independent `PromClassifier`s pays N subset selections and N
+    /// p-value passes per sample, the fused form pays one selection and
+    /// one p-value pass per (sample, expert) and re-thresholds N times —
+    /// thresholding is arithmetic on four floats, so fan-out is nearly
+    /// free (`benches/multi_pipeline.rs`).
+    ///
+    /// Reports are bit-identical to [`MultiPipeline::new`] over N
+    /// standalone `PromClassifier`s built from the same calibration
+    /// records with the same selection parameters
+    /// (`tests/kernel_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError::InvalidConfig`] if any served configuration
+    /// fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, if `config.window` is 0, or if
+    /// `config.policy` is not [`CalibrationPolicy::Frozen`] (threshold
+    /// views borrow `base` immutably and cannot absorb relabels).
+    pub fn fanout(
+        base: &'a PromClassifier,
+        configs: Vec<PromConfig>,
+        config: PipelineConfig,
+    ) -> Result<Self, PromError> {
+        assert!(
+            config.policy == CalibrationPolicy::Frozen,
+            "a fused fan-out serves frozen threshold views; online \
+             calibration needs MultiPipeline::online over exclusive detectors"
+        );
+        let handles = configs
+            .iter()
+            .map(|c| {
+                PromThresholdView::new(base, c.clone())
+                    .map(|view| DetectorHandle::Owned(Box::new(view)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut built = Self::build(handles, config, None);
+        built.fused = Some(FusedFanout { base, configs: configs.into() });
+        Ok(built)
+    }
+
     fn build(
         handles: Vec<DetectorHandle<'a>>,
         config: PipelineConfig,
@@ -1017,6 +1152,7 @@ impl<'a> MultiPipeline<'a> {
             windows: 0,
             hook: None,
             oracle,
+            fused: None,
         }
     }
 
@@ -1119,7 +1255,16 @@ impl<'a> MultiPipeline<'a> {
         let samples = std::mem::take(&mut self.buffer);
         let start = self.next_start;
         self.next_start += samples.len();
-        let judged: Vec<Judged> = if self.pool.workers() > 1 {
+        let judged: Vec<Judged> = if let Some(fused) = &self.fused {
+            // Fused form: each shard judges its samples ONCE through the
+            // shared kernel and re-thresholds per configuration —
+            // `pool.map` shards across workers (or runs inline on the
+            // caller with the pool's scratch for single-chunk windows).
+            let rows = self.pool.map(&samples, |shard, scratch| {
+                fanout_rows(fused.base, &fused.configs, shard, scratch)
+            });
+            split_fanout(rows, &self.states)
+        } else if self.pool.workers() > 1 {
             // Fan every detector's jobs out before collecting any, so a
             // cheap detector's chunks fill worker idle time while an
             // expensive detector's window is still judging — judging one
@@ -1167,14 +1312,35 @@ impl<'a> MultiPipeline<'a> {
         let samples = std::mem::replace(&mut self.buffer, next);
         let start = self.next_start;
         self.next_start += samples.len();
-        // SAFETY: the detectors outlive the pipeline (`'a` borrows), all
-        // handles live in `self.in_flight` next to the one sample buffer
-        // their jobs point into and are always collected or dropped
-        // (field order drains them before the buffer and the pool go
-        // away), and detector mutation (relabel folding) happens strictly
-        // after every handle of the window has been collected.
-        let pending: Vec<PendingWindow> =
-            self.states.iter().map(|state| unsafe { state.submit(&self.pool, &samples) }).collect();
+        // SAFETY: the detectors (and the fused base) outlive the pipeline
+        // (`'a` borrows), all handles live in `self.in_flight` next to
+        // the one sample buffer their jobs point into and are always
+        // collected or dropped (field order drains them before the
+        // buffer and the pool go away), and detector mutation (relabel
+        // folding) happens strictly after every handle of the window has
+        // been collected.
+        let pending = if let Some(fused) = &self.fused {
+            // SAFETY: erasing the base borrow to 'static for the worker
+            // job; the caller contract above keeps it alive and
+            // un-mutated until the handle drains. The configs travel by
+            // `Arc`, so they need no erasure.
+            let base: &'static PromClassifier = unsafe { std::mem::transmute(fused.base) };
+            let configs = Arc::clone(&fused.configs);
+            // SAFETY: samples outlive the handle (stored beside it).
+            PendingWindows::Fused(unsafe {
+                self.pool.submit_with(
+                    move |shard, scratch| fanout_rows(base, &configs, shard, scratch),
+                    &samples,
+                )
+            })
+        } else {
+            PendingWindows::PerDetector(
+                self.states
+                    .iter()
+                    .map(|state| unsafe { state.submit(&self.pool, &samples) })
+                    .collect(),
+            )
+        };
         self.in_flight = Some(InFlight { pending, samples, start });
         prev
     }
@@ -1183,10 +1349,15 @@ impl<'a> MultiPipeline<'a> {
     /// reports it.
     fn finish_in_flight(&mut self, window: InFlight) -> MultiReport {
         let InFlight { pending, samples, start } = window;
-        // Collect every detector's handle before any bookkeeping: no
-        // detector may be mutated while another detector's jobs are
-        // still borrowing the window.
-        let judged: Vec<Judged> = pending.into_iter().map(PendingWindow::collect).collect();
+        // Collect every handle before any bookkeeping: no detector may
+        // be mutated while another detector's jobs are still borrowing
+        // the window.
+        let judged: Vec<Judged> = match pending {
+            PendingWindows::PerDetector(pending) => {
+                pending.into_iter().map(PendingWindow::collect).collect()
+            }
+            PendingWindows::Fused(pending) => split_fanout(pending.collect(), &self.states),
+        };
         let report = self.finish_window(&samples, judged, start);
         let mut samples = samples;
         samples.clear();
@@ -1908,5 +2079,100 @@ mod tests {
             assert_eq!(g % 2, 0, "only oracle-answered picks are live");
         }
         assert!(stats.absorbed <= stats.relabel_selected);
+    }
+
+    /// Calibration fixture for fused fan-out tests (mirrors the predictor
+    /// tests' two-cluster records with realistic outputs).
+    fn prom_records(n: usize) -> Vec<crate::calibration::CalibrationRecord> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let base = if label == 0 { 0.0 } else { 6.0 };
+                let jitter = ((i * 37 % 100) as f64 / 100.0 - 0.5) * 0.8;
+                let conf = 0.6 + 0.38 * ((i * 13 % 23) as f64 / 23.0);
+                let p_true = if i % 7 == 3 { 1.0 - conf } else { conf };
+                let probs = if label == 0 {
+                    vec![p_true, 1.0 - p_true]
+                } else {
+                    vec![1.0 - p_true, p_true]
+                };
+                crate::calibration::CalibrationRecord::new(
+                    vec![base + jitter, base - jitter],
+                    probs,
+                    label,
+                )
+            })
+            .collect()
+    }
+
+    /// Deployment stream mixing in-distribution and drifted samples.
+    fn prom_stream(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let jitter = ((i * 41 % 100) as f64 / 100.0 - 0.5) * 0.8;
+                let conf = 0.6 + 0.38 * ((i * 17 % 23) as f64 / 23.0);
+                let emb =
+                    if i % 5 == 0 { vec![200.0 + jitter, -200.0] } else { vec![jitter, -jitter] };
+                Sample::new(emb, vec![conf, 1.0 - conf])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_fanout_matches_independent_multi_pipeline() {
+        let records = prom_records(60);
+        let configs: Vec<PromConfig> = [0.02, 0.1, 0.3]
+            .iter()
+            .map(|&eps| PromConfig { epsilon: eps, ..PromConfig::default() })
+            .collect();
+        let base = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+        let standalone: Vec<PromClassifier> = configs
+            .iter()
+            .map(|c| PromClassifier::new(records.clone(), c.clone()).unwrap())
+            .collect();
+
+        let run = |mut p: MultiPipeline<'_>| -> Vec<MultiReport> {
+            let mut reports = p.extend(prom_stream(33));
+            while let Some(r) = p.flush() {
+                reports.push(r);
+            }
+            reports
+        };
+        for (shards, double_buffer, selection) in [
+            (1, false, SelectionPolicy::RejectVote),
+            (2, false, SelectionPolicy::RejectVote),
+            (2, true, SelectionPolicy::CredibilityRank),
+        ] {
+            let pc = PipelineConfig {
+                window: 7,
+                shards,
+                double_buffer,
+                selection,
+                budget: RelabelBudget { fraction: 0.5, min_count: 1 },
+                ..Default::default()
+            };
+            let fused = run(MultiPipeline::fanout(&base, configs.clone(), pc).unwrap());
+            let refs: Vec<&dyn DriftDetector> =
+                standalone.iter().map(|d| d as &dyn DriftDetector).collect();
+            let independent = run(MultiPipeline::new(refs, pc));
+            assert_eq!(fused.len(), independent.len());
+            for (f, ind) in fused.iter().zip(&independent) {
+                assert_eq!((f.index, f.start), (ind.index, ind.start));
+                assert_eq!(f.reports.len(), ind.reports.len());
+                for (fr, ir) in f.reports.iter().zip(&ind.reports) {
+                    let mode = format!("shards {shards} db {double_buffer} {selection:?}");
+                    assert_eq!(fr.judgements, ir.judgements, "judgements diverged: {mode}");
+                    assert_eq!(fr.flagged, ir.flagged, "flagged diverged: {mode}");
+                    assert_eq!(fr.relabel, ir.relabel, "relabel picks diverged: {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_rejects_invalid_configs() {
+        let base = PromClassifier::new(prom_records(20), PromConfig::default()).unwrap();
+        let bad = PromConfig { epsilon: 7.0, ..PromConfig::default() };
+        assert!(MultiPipeline::fanout(&base, vec![bad], PipelineConfig::default()).is_err());
     }
 }

@@ -12,6 +12,12 @@ use crate::nonconformity::{default_committee, Nonconformity};
 use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
 
+/// Samples per blocked distance pass in the batched judging paths: the
+/// whole query block must stay cache-resident while the calibration store
+/// streams past it once, and eight queries already cut the store traffic
+/// 8× — wider blocks buy little and cost query-block locality.
+const QUERY_BLOCK: usize = 8;
+
 /// Drift detector for a deployed probabilistic classifier.
 ///
 /// Construct once at design time from a calibration set (held out from the
@@ -182,10 +188,31 @@ impl PromClassifier {
         config: &PromConfig,
         scratch: &mut JudgeScratch,
     ) -> Vec<PromJudgement> {
-        samples
-            .iter()
-            .map(|s| self.judge_scratch(&s.embedding, &s.outputs, config, scratch))
-            .collect()
+        if !self.use_blocked_pass(samples) {
+            return samples
+                .iter()
+                .map(|s| self.judge_scratch(&s.embedding, &s.outputs, config, scratch))
+                .collect();
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        for chunk in samples.chunks(QUERY_BLOCK) {
+            let queries: Vec<&[f64]> = chunk.iter().map(|s| s.embedding.as_slice()).collect();
+            self.kernel.distance_block(&queries, scratch);
+            for (j, s) in chunk.iter().enumerate() {
+                self.kernel.select_from_block(j, &s.embedding, scratch);
+                out.push(self.judge_selected(&s.outputs, config, scratch));
+            }
+        }
+        out
+    }
+
+    /// Whether a batch should run the blocked distance pass: one streaming
+    /// read of the calibration store per [`QUERY_BLOCK`] samples
+    /// ([`ScoringKernel::distance_block`]) instead of one per sample.
+    /// Worthless on the pruned selection path (which exists to *skip* most
+    /// distances) and for single-sample batches (nothing to amortize).
+    fn use_blocked_pass(&self, samples: &[Sample]) -> bool {
+        samples.len() > 1 && !self.kernel.uses_pruned_path()
     }
 
     /// The single-sample kernel run both paths share: one Eq. 1 selection,
@@ -197,9 +224,20 @@ impl PromClassifier {
         config: &PromConfig,
         scratch: &mut JudgeScratch,
     ) -> PromJudgement {
+        self.kernel.select(embedding, scratch);
+        self.judge_selected(probs, config, scratch)
+    }
+
+    /// Scores and votes the sample whose Eq. 1 selection is already in
+    /// `scratch` — the tail shared by the single-query and blocked paths.
+    fn judge_selected(
+        &self,
+        probs: &[f64],
+        config: &PromConfig,
+        scratch: &mut JudgeScratch,
+    ) -> PromJudgement {
         assert_eq!(probs.len(), self.n_classes, "class-count mismatch");
         let predicted = prom_ml::matrix::argmax(probs);
-        self.kernel.select(embedding, scratch);
         let verdicts: Vec<ExpertVerdict> = self
             .experts
             .iter()
@@ -213,6 +251,79 @@ impl PromClassifier {
             .collect();
         let (accepted, reject_votes) = committee_accepts(&verdicts);
         PromJudgement { accepted, reject_votes, verdicts }
+    }
+
+    /// Judges a window once and re-thresholds it under every configuration:
+    /// one Eq. 1 selection and one per-expert p-value pass per *sample*,
+    /// then `configs.len()` cheap committee votes — the shared-embedding
+    /// fan-out behind `MultiPipeline::fanout`. Returns one judgement vector
+    /// per configuration (`result[c][s]`), each **bit-identical** to
+    /// `judge_batch_with(samples, &configs[c])`: p-values depend only on
+    /// the calibration set and the stored *selection* parameters, never on
+    /// the ε/confidence thresholds being fanned out (the same invariant the
+    /// grid search relies on), so fusing the kernel work changes no bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a class-count or embedding-dimension mismatch in any
+    /// sample.
+    pub fn judge_batch_fanout_scratch(
+        &self,
+        samples: &[Sample],
+        configs: &[PromConfig],
+        scratch: &mut JudgeScratch,
+    ) -> Vec<Vec<PromJudgement>> {
+        let mut out: Vec<Vec<PromJudgement>> =
+            (0..configs.len()).map(|_| Vec::with_capacity(samples.len())).collect();
+        if self.use_blocked_pass(samples) {
+            for chunk in samples.chunks(QUERY_BLOCK) {
+                let queries: Vec<&[f64]> = chunk.iter().map(|s| s.embedding.as_slice()).collect();
+                self.kernel.distance_block(&queries, scratch);
+                for (j, s) in chunk.iter().enumerate() {
+                    self.kernel.select_from_block(j, &s.embedding, scratch);
+                    self.fanout_selected(s, configs, scratch, &mut out);
+                }
+            }
+        } else {
+            for s in samples {
+                self.kernel.select(&s.embedding, scratch);
+                self.fanout_selected(s, configs, scratch, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Scores the sample whose Eq. 1 selection is already in `scratch` once
+    /// per expert and re-thresholds it under every fanned-out
+    /// configuration, appending one judgement per configuration to `out`.
+    fn fanout_selected(
+        &self,
+        s: &Sample,
+        configs: &[PromConfig],
+        scratch: &mut JudgeScratch,
+        out: &mut [Vec<PromJudgement>],
+    ) {
+        assert_eq!(s.outputs.len(), self.n_classes, "class-count mismatch");
+        let predicted = prom_ml::matrix::argmax(&s.outputs);
+        let mut verdicts: Vec<Vec<ExpertVerdict>> =
+            (0..configs.len()).map(|_| Vec::with_capacity(self.experts.len())).collect();
+        for (e, expert) in self.experts.iter().enumerate() {
+            scratch.test_scores.clear();
+            scratch.test_scores.extend((0..self.n_classes).map(|y| expert.score(&s.outputs, y)));
+            self.kernel.p_values_into(e, scratch);
+            for (config, per_config) in configs.iter().zip(verdicts.iter_mut()) {
+                per_config.push(verdict_from_p_values(
+                    expert.name(),
+                    &scratch.p_values,
+                    predicted,
+                    config,
+                ));
+            }
+        }
+        for (per_config, judged) in verdicts.into_iter().zip(out.iter_mut()) {
+            let (accepted, reject_votes) = committee_accepts(&per_config);
+            judged.push(PromJudgement { accepted, reject_votes, verdicts: per_config });
+        }
     }
 
     /// Per-expert p-values for every candidate label (`result[e][y]`).
@@ -475,6 +586,89 @@ impl DriftDetector for PromClassifier {
     }
 }
 
+/// A borrowed, threshold-only view of a shared [`PromClassifier`]: judges
+/// with the base detector's calibration set, experts, and *selection*
+/// parameters, but its own ε / confidence / committee thresholds.
+///
+/// This is what lets `MultiPipeline::fanout` serve N detector
+/// configurations from ONE model and ONE conformal kernel pass per sample
+/// (via [`PromClassifier::judge_batch_fanout_scratch`]): each registered
+/// "detector" is just a re-thresholding of the shared p-values. The view is
+/// **frozen** — it borrows the base immutably, so the online-calibration
+/// hooks keep their default no-op behaviour (`absorb_relabeled` returns 0).
+///
+/// Judgements are bit-identical to a standalone `PromClassifier` built with
+/// the same calibration records and this view's thresholds (provided the
+/// selection parameters match the base's — they come from the base).
+pub struct PromThresholdView<'a> {
+    base: &'a PromClassifier,
+    config: PromConfig,
+}
+
+impl<'a> PromThresholdView<'a> {
+    /// Wraps `base` with alternative threshold parameters. The selection
+    /// parameters inside `config` are ignored — the base's kernel already
+    /// fixed them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PromError::InvalidConfig`] if `config` fails validation.
+    pub fn new(base: &'a PromClassifier, config: PromConfig) -> Result<Self, PromError> {
+        config.validate().map_err(|detail| PromError::InvalidConfig { detail })?;
+        Ok(Self { base, config })
+    }
+
+    /// The view's threshold configuration.
+    pub fn config(&self) -> &PromConfig {
+        &self.config
+    }
+
+    /// The shared base detector.
+    pub fn base(&self) -> &PromClassifier {
+        self.base
+    }
+}
+
+impl DriftDetector for PromThresholdView<'_> {
+    fn name(&self) -> &'static str {
+        "PROM-view"
+    }
+
+    fn judge_one(&self, embedding: &[f64], outputs: &[f64]) -> Judgement {
+        Judgement::from(self.base.judge_with(embedding, outputs, &self.config))
+    }
+
+    fn judge_batch(&self, samples: &[Sample]) -> Vec<Judgement> {
+        self.base.judge_batch_with(samples, &self.config).into_iter().map(Judgement::from).collect()
+    }
+
+    fn judge_batch_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Vec<Judgement> {
+        self.base
+            .judge_batch_scratch(samples, &self.config, scratch)
+            .into_iter()
+            .map(Judgement::from)
+            .collect()
+    }
+
+    fn judge_batch_rich_scratch(
+        &self,
+        samples: &[Sample],
+        scratch: &mut JudgeScratch,
+    ) -> Option<Vec<PromJudgement>> {
+        Some(self.base.judge_batch_scratch(samples, &self.config, scratch))
+    }
+
+    fn calibration_size(&self) -> Option<usize> {
+        Some(self.base.calibration_len())
+    }
+    // `absorb_relabeled` / `can_absorb` / `replace_record` keep their
+    // frozen defaults: the view cannot mutate the shared base.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +747,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fanout_batch_is_bit_identical_to_independent_judging() {
+        let prom = PromClassifier::new(toy_records(60), PromConfig::default()).unwrap();
+        let samples: Vec<Sample> = (0..12)
+            .map(|i| {
+                let jitter = ((i * 41 % 100) as f64 / 100.0 - 0.5) * 0.8;
+                let conf = 0.6 + 0.38 * ((i * 17 % 23) as f64 / 23.0);
+                // Mix in-distribution samples with drifted ones.
+                let emb =
+                    if i % 4 == 0 { vec![300.0 + jitter, -300.0] } else { vec![jitter, -jitter] };
+                Sample::new(emb, vec![conf, 1.0 - conf])
+            })
+            .collect();
+        let configs: Vec<PromConfig> = [0.02, 0.1, 0.3]
+            .iter()
+            .map(|&eps| PromConfig { epsilon: eps, ..PromConfig::default() })
+            .collect();
+        let mut scratch = JudgeScratch::default();
+        let fanned = prom.judge_batch_fanout_scratch(&samples, &configs, &mut scratch);
+        assert_eq!(fanned.len(), configs.len());
+        for (c, config) in configs.iter().enumerate() {
+            assert_eq!(
+                fanned[c],
+                prom.judge_batch_with(&samples, config),
+                "fanout output diverged from independent judging at config {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_view_matches_standalone_detector() {
+        let records = toy_records(60);
+        let strict = PromConfig { epsilon: 0.02, ..PromConfig::default() };
+        let base = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+        let standalone = PromClassifier::new(records, strict.clone()).unwrap();
+        let view = PromThresholdView::new(&base, strict).unwrap();
+        let samples: Vec<Sample> = (0..8)
+            .map(|i| {
+                let jitter = ((i * 29 % 100) as f64 / 100.0 - 0.5) * 0.8;
+                Sample::new(vec![jitter, -jitter], vec![0.8, 0.2])
+            })
+            .collect();
+        let mut scratch = JudgeScratch::default();
+        let standalone_flat: Vec<Judgement> =
+            standalone.judge_batch(&samples).into_iter().map(Judgement::from).collect();
+        assert_eq!(DriftDetector::judge_batch(&view, &samples), standalone_flat);
+        assert_eq!(
+            view.judge_batch_rich_scratch(&samples, &mut scratch).unwrap(),
+            standalone.judge_batch_rich_scratch(&samples, &mut scratch).unwrap(),
+        );
+        assert_eq!(view.calibration_size(), Some(base.calibration_len()));
+        // The view is frozen: online-calibration hooks stay no-ops.
+        assert!(
+            !view.can_absorb(&Relabeled::labeled(Sample::new(vec![0.0, 0.0], vec![0.5, 0.5]), 0))
+        );
     }
 
     #[test]

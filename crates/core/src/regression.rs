@@ -9,7 +9,7 @@
 //! proxy.
 
 use prom_ml::cluster::{gap_statistic_k, KMeans};
-use prom_ml::knn::k_nearest;
+use prom_ml::knn::k_nearest_flat;
 
 use crate::calibration::SelectionConfig;
 use crate::committee::{
@@ -271,7 +271,12 @@ impl PromRegressor {
     /// Approximates the deployment-time ground truth of a test input as the
     /// mean target of its `knn_k` nearest calibration samples (Sec. 5.1.1).
     pub fn approximate_target(&self, embedding: &[f64]) -> f64 {
-        let neighbours = k_nearest(self.kernel.embeddings(), embedding, self.config.knn_k);
+        let neighbours = k_nearest_flat(
+            self.kernel.embeddings_flat(),
+            self.kernel.dim(),
+            embedding,
+            self.config.knn_k,
+        );
         neighbours.iter().map(|&i| self.records[i].target).sum::<f64>() / neighbours.len() as f64
     }
 

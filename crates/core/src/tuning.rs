@@ -107,7 +107,14 @@ fn median_pairwise_distance(records: &[CalibrationRecord]) -> f64 {
     let mut dists = Vec::new();
     for i in 0..cap {
         for j in (i + 1)..cap {
-            dists.push(prom_ml::matrix::l2_distance(&records[i].embedding, &records[j].embedding));
+            // Squared distances: one sqrt on the selected median instead of
+            // one per pair. sqrt is monotone, so sorting squared distances
+            // selects the same pair as sorting true distances would — the
+            // returned median is bit-identical.
+            dists.push(prom_ml::matrix::l2_distance_sq(
+                &records[i].embedding,
+                &records[j].embedding,
+            ));
         }
     }
     if dists.is_empty() {
@@ -117,7 +124,7 @@ fn median_pairwise_distance(records: &[CalibrationRecord]) -> f64 {
     // position is sign-dependent); a degenerate embedding can shift the
     // median but no longer panics the τ calibration.
     dists.sort_by(f64::total_cmp);
-    dists[dists.len() / 2].max(1e-6)
+    dists[dists.len() / 2].sqrt().max(1e-6)
 }
 
 /// Sweeps `epsilons x confidence_thresholds`, evaluating each pair's

@@ -389,17 +389,195 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
-/// Euclidean (l2) distance between two equal-length slices.
+/// Number of independent accumulators in [`l2_distance_sq`] /
+/// [`l2_norm_sq`]. Four `f64` lanes fill one AVX2 register; the compiler
+/// auto-vectorizes the fixed-width inner loop because the accumulators are
+/// independent (no loop-carried dependency between lanes).
+pub const L2_LANES: usize = 4;
+
+/// **Squared** Euclidean (l2) distance between two equal-length slices,
+/// accumulated in [`L2_LANES`] independent lanes.
+///
+/// This is the one canonical distance summation of the workspace: every
+/// distance the system compares — kernel selection, k-NN, k-means, τ
+/// calibration — goes through this function (or [`l2_distance`], which is
+/// exactly `l2_distance_sq(..).sqrt()`), so two code paths computing the
+/// distance between the same pair of slices always agree **bit for bit**.
+///
+/// The chunked accumulation order (`(acc0+acc1) + (acc2+acc3) + tail`) is
+/// part of that contract: it generally differs in the last ulps from a
+/// sequential left-to-right sum for `len >= L2_LANES` (floating-point
+/// addition is not associative) and is bit-identical to it below that —
+/// see the reordering caveat tests. What is *invariant* under the
+/// reordering: every partial sum is non-negative, the result is NaN iff
+/// some coordinate pair produces one, and overflow saturates to `+inf`
+/// (squared distances overflow for norms ≳ 1.3e154 — callers comparing
+/// squared distances inherit `+inf` ties there, resolved by index as
+/// everywhere else).
 #[inline]
-pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+pub fn l2_distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "l2_distance_sq length mismatch");
+    // chunks_exact + fixed-size array views: same lane/op sequence as the
+    // obvious indexed loop (so identical bits), but the compiler sees every
+    // access is in bounds and vectorizes without checks.
+    let chunks = a.len() / L2_LANES;
+    let mut acc = [0.0f64; L2_LANES];
+    for (ra, rb) in a.chunks_exact(L2_LANES).zip(b.chunks_exact(L2_LANES)) {
+        let ra: &[f64; L2_LANES] = ra.try_into().unwrap();
+        let rb: &[f64; L2_LANES] = rb.try_into().unwrap();
+        for l in 0..L2_LANES {
+            let d = ra[l] - rb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in a[L2_LANES * chunks..].iter().zip(&b[L2_LANES * chunks..]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
-/// l2 norm of a slice.
+/// Euclidean (l2) distance between two equal-length slices — exactly
+/// [`l2_distance_sq`]`.sqrt()`, sharing its summation order (and caveats).
+#[inline]
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    l2_distance_sq(a, b).sqrt()
+}
+
+/// [`l2_distance_sq`] with partial-distance early exit: returns `None` as
+/// soon as the partial sum already reaches `bound`, `Some(d²)` otherwise —
+/// where the `Some` value is **bit-identical** to `l2_distance_sq(a, b)`.
+///
+/// Soundness of the exit: every term is non-negative, IEEE round-to-nearest
+/// addition of a non-negative value never decreases a sum
+/// (`fl(s + t) >= s` for `t >= 0`), and the lane combine is monotone in
+/// each argument — so every partial combined sum is `<=` the final one, and
+/// `partial >= bound` proves `final >= bound`. The exit checks only *read*
+/// the accumulators (every survivor runs the exact same sequence of
+/// additions as the unbounded kernel), which is what keeps survivors
+/// bit-identical. A NaN partial compares false against any bound, so NaN
+/// inputs never exit early and surface as `Some(NaN)` exactly like the
+/// unbounded kernel.
+#[inline]
+pub fn l2_distance_sq_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "l2_distance_sq length mismatch");
+    let chunks = a.len() / L2_LANES;
+    let mut acc = [0.0f64; L2_LANES];
+    for (c, (ra, rb)) in a.chunks_exact(L2_LANES).zip(b.chunks_exact(L2_LANES)).enumerate() {
+        let ra: &[f64; L2_LANES] = ra.try_into().unwrap();
+        let rb: &[f64; L2_LANES] = rb.try_into().unwrap();
+        for l in 0..L2_LANES {
+            let d = ra[l] - rb[l];
+            acc[l] += d * d;
+        }
+        // Check every 4 chunks (16 elements) — often enough to save work on
+        // far records, rare enough not to tax the vectorized inner loop.
+        if c % 4 == 3 && (acc[0] + acc[1]) + (acc[2] + acc[3]) >= bound {
+            return None;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in a[L2_LANES * chunks..].iter().zip(&b[L2_LANES * chunks..]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    Some((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail)
+}
+
+/// Blocked multi-query form of [`l2_distance_sq`]: squared distances from
+/// every row of the row-major `store` (`n × dim`) to every row of the
+/// row-major `queries` block (`q × dim`), written query-major to
+/// `out[j * n + i]` for store row `i` and query `j`.
+///
+/// Every `(row, query)` pair goes through [`l2_distance_sq`] itself, so
+/// each value is **bit-identical** to the single-query pass — the blocking
+/// only reorders the loops so one streaming read of the store serves the
+/// whole query block. That is the point: for stores beyond cache the
+/// single-query pass is memory-bound (it re-streams `n × dim` values per
+/// query), while a block of `q` cache-resident queries amortizes the
+/// stream `q`-fold.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, either input is not a multiple of `dim`, or `out`
+/// is not exactly `n * q` long.
+pub fn l2_distances_sq_block(store: &[f64], dim: usize, queries: &[f64], out: &mut [f64]) {
+    assert!(dim > 0, "l2_distances_sq_block needs dim >= 1");
+    assert!(store.len().is_multiple_of(dim), "store length not a multiple of dim");
+    assert!(queries.len().is_multiple_of(dim), "query-block length not a multiple of dim");
+    let n = store.len() / dim;
+    assert_eq!(out.len(), n * (queries.len() / dim), "output length mismatch");
+    // Tile the store so each (query, tile) inner loop is the tight
+    // single-query pass — sequential reads over a cache-resident tile,
+    // sequential writes into one output run — instead of switching query
+    // (and output stream) every record. ~16KB tiles keep a tile plus the
+    // query block L1-resident; the loop order per (row, query) pair is
+    // irrelevant to the result, which is computed pairwise.
+    let tile_rows = (TILE_ELEMS / dim).max(1);
+    for (t, tile) in store.chunks(tile_rows * dim).enumerate() {
+        let base = t * tile_rows;
+        for (j, query) in queries.chunks_exact(dim).enumerate() {
+            let dst = &mut out[j * n + base..];
+            // Dispatch the common power-of-two dims to a const-generic
+            // tile loop: with `D` known at compile time the short
+            // per-pair kernel fully unrolls (no chunk-loop overhead),
+            // which is where the time goes at small dims. Every arm runs
+            // the same `l2_distance_sq` op sequence, so bits are
+            // unchanged — unrolling is scheduling, not arithmetic.
+            match dim {
+                4 => tile_distances::<4>(tile, query, dst),
+                8 => tile_distances::<8>(tile, query, dst),
+                16 => tile_distances::<16>(tile, query, dst),
+                32 => tile_distances::<32>(tile, query, dst),
+                64 => tile_distances::<64>(tile, query, dst),
+                _ => {
+                    for (i, row) in tile.chunks_exact(dim).enumerate() {
+                        dst[i] = l2_distance_sq(row, query);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One (tile × query) inner pass of [`l2_distances_sq_block`] with the
+/// embedding dimension as a compile-time constant.
+#[inline]
+fn tile_distances<const D: usize>(tile: &[f64], query: &[f64], dst: &mut [f64]) {
+    debug_assert_eq!(query.len(), D);
+    for (o, row) in dst.iter_mut().zip(tile.chunks_exact(D)) {
+        *o = l2_distance_sq(row, query);
+    }
+}
+
+/// Store elements per tile of the blocked pass: 2048 × 8 bytes = 16KB,
+/// half a typical 32KB L1d, leaving room for the query block and outputs.
+const TILE_ELEMS: usize = 2048;
+
+/// **Squared** l2 norm of a slice, accumulated exactly like
+/// [`l2_distance_sq`] against an implicit zero vector.
+#[inline]
+pub fn l2_norm_sq(a: &[f64]) -> f64 {
+    let chunks = a.len() / L2_LANES;
+    let mut acc = [0.0f64; L2_LANES];
+    for ra in a.chunks_exact(L2_LANES) {
+        let ra: &[f64; L2_LANES] = ra.try_into().unwrap();
+        for l in 0..L2_LANES {
+            acc[l] += ra[l] * ra[l];
+        }
+    }
+    let mut tail = 0.0f64;
+    for x in &a[L2_LANES * chunks..] {
+        tail += x * x;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// l2 norm of a slice — exactly [`l2_norm_sq`]`.sqrt()`.
 #[inline]
 pub fn l2_norm(a: &[f64]) -> f64 {
-    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+    l2_norm_sq(a).sqrt()
 }
 
 /// In-place `a += alpha * b` for slices.
@@ -543,5 +721,121 @@ mod tests {
         let c = [6.0, 8.0];
         assert!((l2_distance(&a, &b) - 5.0).abs() < 1e-12);
         assert!(l2_distance(&a, &c) <= l2_distance(&a, &b) + l2_distance(&b, &c) + 1e-12);
+    }
+
+    /// Sequential left-to-right reference sum — what `l2_distance` computed
+    /// before the chunked kernel. Used to pin the reordering caveat.
+    fn sequential_distance_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+    }
+
+    #[test]
+    fn l2_distance_is_exactly_sqrt_of_l2_distance_sq() {
+        let a: Vec<f64> = (0..17).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i as f64 * 1.3).cos() * 2.0).collect();
+        assert_eq!(l2_distance(&a, &b).to_bits(), l2_distance_sq(&a, &b).sqrt().to_bits());
+        assert_eq!(l2_norm(&a).to_bits(), l2_norm_sq(&a).sqrt().to_bits());
+    }
+
+    /// Below `L2_LANES` elements the chunked kernel degenerates to the
+    /// sequential tail loop, so its bits match the old left-to-right sum
+    /// exactly — the workspace's dim-1/dim-3 fixtures are bit-stable across
+    /// the kernel swap.
+    #[test]
+    fn chunked_sum_matches_sequential_below_lane_width() {
+        for dim in 1..L2_LANES {
+            let a: Vec<f64> = (0..dim).map(|i| (i as f64 + 0.1) * 1.7).collect();
+            let b: Vec<f64> = (0..dim).map(|i| (i as f64 - 0.3) * 0.9).collect();
+            assert_eq!(
+                l2_distance_sq(&a, &b).to_bits(),
+                sequential_distance_sq(&a, &b).to_bits(),
+                "dim {dim} must be bit-identical to the sequential sum"
+            );
+        }
+    }
+
+    /// The documented caveat, pinned so it cannot silently change: at
+    /// `len >= L2_LANES` the chunked combine is a *different* (equally
+    /// valid) rounding of the same exact sum. A deterministic family of
+    /// inputs must contain at least one last-ulp divergence — proof that
+    /// bit-equivalence claims about the kernel swap must come from sharing
+    /// one summation, not from float algebra. (Each individual divergence
+    /// is within a few ulps; the test also pins that.)
+    #[test]
+    fn chunked_sum_reordering_caveat_witness() {
+        let mut witnessed = false;
+        for len in L2_LANES..40 {
+            let a: Vec<f64> = (0..len).map(|i| 0.1 * (i as f64 * 0.73).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| 0.2 * (i as f64 * 1.31).cos()).collect();
+            let chunked = l2_distance_sq(&a, &b);
+            let sequential = sequential_distance_sq(&a, &b);
+            let ulps = (chunked.to_bits() as i64 - sequential.to_bits() as i64).unsigned_abs();
+            assert!(ulps <= 8, "len {len}: {ulps} ulps apart — more than reassociation explains");
+            witnessed |= ulps > 0;
+        }
+        assert!(
+            witnessed,
+            "witness regressed: chunked and sequential sums agree bit-for-bit on the whole \
+             family; the caveat docs (and this pin) need re-examination"
+        );
+    }
+
+    #[test]
+    fn bounded_distance_survivors_are_bit_identical_and_exits_are_sound() {
+        let a: Vec<f64> = (0..37).map(|i| (i as f64 * 0.31).sin() * 4.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64 * 0.17).cos() * 3.0).collect();
+        let exact = l2_distance_sq(&a, &b);
+        // A bound above the distance must survive with identical bits.
+        let survived = l2_distance_sq_bounded(&a, &b, exact * 2.0).expect("under the bound");
+        assert_eq!(survived.to_bits(), exact.to_bits());
+        // A bound the partial sum reaches must exit; one it never reaches
+        // (inf) must not.
+        assert_eq!(l2_distance_sq_bounded(&a, &b, exact * 0.25), None);
+        assert_eq!(
+            l2_distance_sq_bounded(&a, &b, f64::INFINITY).map(f64::to_bits),
+            Some(exact.to_bits())
+        );
+        // NaN never exits early: it surfaces like the unbounded kernel.
+        let nan = vec![f64::NAN; 37];
+        assert!(l2_distance_sq_bounded(&nan, &b, 0.0).expect("NaN must not exit").is_nan());
+    }
+
+    #[test]
+    fn blocked_distance_pass_is_bit_identical_to_single_query_calls() {
+        // (600, 5, 3) and (70, 64, 2) span multiple ~16KB store tiles,
+        // including a partial final tile, so the tiled write offsets are
+        // exercised on both the generic and const-dispatched inner loops;
+        // dims 4/8/64 hit the const-generic arms.
+        let cases =
+            [(1, 1, 1), (7, 3, 2), (40, 5, 8), (9, 4, 3), (600, 5, 3), (33, 8, 4), (70, 64, 2)];
+        for (n, dim, q) in cases {
+            let store: Vec<f64> = (0..n * dim).map(|i| (i as f64 * 0.23).sin() * 5.0).collect();
+            let mut queries: Vec<f64> =
+                (0..q * dim).map(|i| (i as f64 * 0.41).cos() * 4.0).collect();
+            // A NaN query coordinate must surface per-pair, like the
+            // single-query kernel.
+            queries[0] = f64::NAN;
+            let mut out = vec![0.0; n * q];
+            l2_distances_sq_block(&store, dim, &queries, &mut out);
+            for (j, query) in queries.chunks_exact(dim).enumerate() {
+                for (i, row) in store.chunks_exact(dim).enumerate() {
+                    assert_eq!(
+                        out[j * n + i].to_bits(),
+                        l2_distance_sq(row, query).to_bits(),
+                        "row {i}, query {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_sq_nan_and_overflow_semantics() {
+        assert!(l2_distance_sq(&[f64::NAN, 0.0], &[0.0, 0.0]).is_nan());
+        // inf - inf inside the kernel is NaN, not inf.
+        assert!(l2_distance_sq(&[f64::INFINITY], &[f64::INFINITY]).is_nan());
+        // Squared distances overflow to +inf for norms ~> 1.3e154.
+        assert_eq!(l2_distance_sq(&[1.0e200], &[0.0]), f64::INFINITY);
+        assert_eq!(l2_norm_sq(&[1.0e200]), f64::INFINITY);
     }
 }

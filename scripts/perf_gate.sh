@@ -47,7 +47,7 @@ fi
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(pipeline recalibration multi_pipeline)
+    benches=(pipeline recalibration multi_pipeline kernel)
 fi
 bench_args=()
 for b in "${benches[@]}"; do
