@@ -12,38 +12,78 @@
 //! For the CI perf-regression gate (`scripts/perf_gate.sh`), setting the
 //! `CRITERION_MEDIAN_JSONL` environment variable to a file path makes every
 //! *measured* benchmark (not `--quick` smoke runs, whose single iteration
-//! is noise) append one JSON line `{"id": …, "median_ns": …}` to that file;
-//! append mode lets several bench harnesses share one output file.
+//! is noise) append one JSON line
+//! `{"id": …, "median_ns": …, "p50_ns": …, "p99_ns": …, "p999_ns": …}` to
+//! that file — the latency-percentile keys let the gate police tails, not
+//! just medians; append mode lets several bench harnesses share one output
+//! file. Benchmarks that measure their own distributions (e.g. a serving
+//! run recording per-sample latency) can publish extra gateable scalars
+//! through [`emit_gate_metric`].
 
 #![warn(missing_docs)]
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-/// Appends `{"id": …, "median_ns": …}` to the `CRITERION_MEDIAN_JSONL`
-/// file when the variable is set; measurement never fails because the
-/// gate's bookkeeping could not be written — errors only warn.
-fn emit_median(id: &str, median: f64) {
-    let Ok(path) = std::env::var("CRITERION_MEDIAN_JSONL") else {
-        return;
-    };
-    let escaped: String = id
-        .chars()
+/// JSON-escapes a benchmark id for the gate file.
+fn escape_id(id: &str) -> String {
+    id.chars()
         .flat_map(|c| match c {
             '"' | '\\' => vec!['\\', c],
             c if c.is_control() => " ".chars().collect(),
             c => vec![c],
         })
-        .collect();
-    let line = format!("{{\"id\": \"{escaped}\", \"median_ns\": {:.1}}}\n", median * 1e9);
+        .collect()
+}
+
+/// Appends one pre-formatted JSON line to the `CRITERION_MEDIAN_JSONL`
+/// file when the variable is set; measurement never fails because the
+/// gate's bookkeeping could not be written — errors only warn.
+fn emit_gate_line(line: &str) {
+    let Ok(path) = std::env::var("CRITERION_MEDIAN_JSONL") else {
+        return;
+    };
     let written = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(&path)
         .and_then(|mut f| f.write_all(line.as_bytes()));
     if let Err(e) = written {
-        eprintln!("warning: could not append bench median to {path}: {e}");
+        eprintln!("warning: could not append bench metric to {path}: {e}");
     }
+}
+
+/// Appends the full `{"id", "median_ns", "p50_ns", "p99_ns", "p999_ns"}`
+/// record for one measured benchmark (durations in seconds).
+fn emit_median(id: &str, median: f64, p50: f64, p99: f64, p999: f64) {
+    let line = format!(
+        "{{\"id\": \"{}\", \"median_ns\": {:.1}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+         \"p999_ns\": {:.1}}}\n",
+        escape_id(id),
+        median * 1e9,
+        p50 * 1e9,
+        p99 * 1e9,
+        p999 * 1e9,
+    );
+    emit_gate_line(&line);
+}
+
+/// Publishes one externally measured scalar (`nanos`, in nanoseconds)
+/// under `id` to the `CRITERION_MEDIAN_JSONL` gate file — a no-op when
+/// the variable is unset. This is how a benchmark that measures its own
+/// distribution (a serving run recording per-sample latency histograms)
+/// makes its percentiles gateable: each percentile becomes its own id
+/// (e.g. `serving/4x100k/p99_ns`), carried in the `median_ns` key the
+/// gate compares.
+pub fn emit_gate_metric(id: &str, nanos: f64) {
+    emit_gate_line(&format!("{{\"id\": \"{}\", \"median_ns\": {nanos:.1}}}\n", escape_id(id)));
+}
+
+/// The rank-`ceil(q·n)` value of an ascending-sorted slice (the same
+/// nearest-rank definition the workspace's latency histograms use).
+fn sorted_percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// How batched inputs are sized (accepted for API compatibility; the
@@ -135,7 +175,13 @@ fn run_measurement<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, quick: 
     let min = per_iter[0];
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-    emit_median(id, median);
+    emit_median(
+        id,
+        median,
+        sorted_percentile(&per_iter, 0.50),
+        sorted_percentile(&per_iter, 0.99),
+        sorted_percentile(&per_iter, 0.999),
+    );
     println!(
         "{id:<48} min {:>10}  med {:>10}  mean {:>10}  ({} samples × {iters} iters)",
         format_duration(Duration::from_secs_f64(min)),
@@ -307,7 +353,9 @@ mod tests {
         measured.bench_function("gate/\"probe\"", |b| b.iter(|| 1 + 1));
         let mut quick = Criterion { sample_size: 2, filter: None, quick: true };
         quick.bench_function("gate/quick", |b| b.iter(|| 1 + 1));
+        emit_gate_metric("gate/external/p99_ns", 1234.5);
         std::env::remove_var("CRITERION_MEDIAN_JSONL");
+        emit_gate_metric("gate/after-unset", 1.0);
 
         let content = std::fs::read_to_string(&path).expect("median file written");
         let line = content
@@ -315,10 +363,22 @@ mod tests {
             .find(|l| l.contains("gate/\\\"probe\\\""))
             .expect("probe line present with escaped quotes");
         assert!(line.contains("\"median_ns\": "), "line carries the median: {line}");
+        for key in ["\"p50_ns\": ", "\"p99_ns\": ", "\"p999_ns\": "] {
+            assert!(line.contains(key), "line carries {key}: {line}");
+        }
         assert!(
             !content.contains("gate/quick"),
             "--quick single-iteration noise must not enter the gate"
         );
+        let external = content
+            .lines()
+            .find(|l| l.contains("gate/external/p99_ns"))
+            .expect("externally measured metric present");
+        assert!(
+            external.contains("\"median_ns\": 1234.5"),
+            "external metric rides the median key: {external}"
+        );
+        assert!(!content.contains("after-unset"), "emission stops with the env var");
         let _ = std::fs::remove_file(&path);
     }
 }

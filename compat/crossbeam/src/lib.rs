@@ -1,7 +1,8 @@
 //! Offline stand-in for the slice of `crossbeam` this workspace uses:
 //! [`thread::scope`] with `scope.spawn(|_| ...)` closures, and the
-//! [`channel`] module's `unbounded` MPSC channels (the transport of
-//! `prom_core::pool::ShardPool`'s persistent workers).
+//! [`channel`] module's MPMC channels — `unbounded` (the transport of
+//! `prom_core::pool::ShardPool`'s shared job queue) and `bounded` (the
+//! admission/backpressure primitive of `prom_core::serving`).
 //!
 //! Scoped threads are backed by [`std::thread::scope`] (stable since Rust
 //! 1.63, which post-dates crossbeam's scoped threads). One behavioural
@@ -9,49 +10,233 @@
 //! instead of surfacing as `Err`, so the `Result` returned here is always
 //! `Ok` — fine for the workspace, which only ever `.expect()`s it.
 //!
-//! Channels are backed by [`std::sync::mpsc`]. The stand-in covers the
-//! subset the workspace uses — `unbounded`, `Sender::send` (+ `Clone`),
-//! `Receiver::recv`/`try_recv`/`iter` — and differs from real crossbeam in
-//! one way: the `Receiver` is single-consumer (not `Clone`), which the
-//! worker-per-queue pool design never needs.
+//! Channels are a from-scratch `Mutex<VecDeque>` + two-`Condvar` queue —
+//! unlike the std `mpsc` the earlier revisions wrapped, both halves are
+//! cloneable (**multi-producer, multi-consumer**, which the shard pool's
+//! shared worker queue and the serving front-end's many producer handles
+//! both need) and a capacity bound turns `send` into a blocking
+//! backpressure point with a non-blocking `try_send` escape. Two
+//! divergences from real crossbeam, neither used by the workspace:
+//! rendezvous channels (`bounded(0)`) are not supported, and `select!`
+//! does not exist.
 
 #![warn(missing_docs)]
 
-/// MPSC channels (mirrors the used subset of `crossbeam::channel`).
+/// MPMC channels (mirrors the used subset of `crossbeam::channel`).
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    /// The error returned by [`Sender::send`] when every receiver has been
+    /// dropped; gives the unsent value back.
+    pub struct SendError<T>(pub T);
 
-    /// The sending half of an unbounded channel. Cloneable; `send` fails
-    /// only when the receiver is gone.
-    pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+    // Manual impls so `T` needs no bounds (a job type holding raw
+    // pointers is neither Debug nor PartialEq).
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
     }
 
-    // Derived `Clone` would bound `T: Clone`; the handle itself never
-    // clones payloads.
+    /// The error returned by [`Sender::try_send`]; gives the value back.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity (backpressure: the caller may
+        /// retry, drop the value, or fall back to a blocking `send`).
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a capacity bound (retryable), not a
+        /// disconnect.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    /// The error returned by [`Receiver::recv`] when every sender has been
+    /// dropped and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No value is queued right now (senders still exist).
+        Empty,
+        /// Every sender has been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// The queue plus the hangup bookkeeping, behind the shared mutex.
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// One channel: the locked state and the two wait conditions.
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled on every enqueue and on last-sender drop.
+        not_empty: Condvar,
+        /// Signalled on every dequeue and on last-receiver drop.
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// Locks the state; a poisoned lock is taken anyway — the queue
+        /// holds plain values and both counters are only touched under
+        /// the lock, so there is no broken invariant to protect (the
+        /// workspace's shard workers run jobs under `catch_unwind` and
+        /// never panic while holding this lock in the first place).
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half. Cloneable (multi-producer); with a capacity
+    /// bound, [`Sender::send`] blocks while the queue is full and
+    /// [`Sender::try_send`] fails fast instead.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self { inner: self.inner.clone() }
+            self.shared.lock().senders += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                // Receivers blocked on an empty queue must wake to see
+                // the disconnect.
+                self.shared.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`.
+        /// Enqueues `value`, blocking while a bounded channel is at
+        /// capacity (the backpressure path).
         ///
         /// # Errors
         ///
-        /// Returns the value back when the receiving half has been
-        /// dropped.
+        /// Returns the value back when every receiver has been dropped —
+        /// checked before and during the wait, so a sender can never
+        /// block forever on a dead channel.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value)
+            let mut inner = self.shared.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match inner.capacity {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self
+                            .shared
+                            .not_full
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => {
+                        inner.queue.push_back(value);
+                        drop(inner);
+                        self.shared.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// Non-blocking enqueue.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity
+        /// (the value comes back; retry, drop, or fall back to blocking
+        /// [`Sender::send`]), [`TrySendError::Disconnected`] when every
+        /// receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.lock();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            match inner.capacity {
+                Some(cap) if inner.queue.len() >= cap => Err(TrySendError::Full(value)),
+                _ => {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    Ok(())
+                }
+            }
+        }
+
+        /// Number of values currently queued (racy by nature; a metric,
+        /// not a synchronization primitive).
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy; see [`Sender::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half. Cloneable (multi-consumer): every queued value
+    /// is delivered to exactly **one** receiver — the work-queue
+    /// semantics the shard pool's shared worker queue relies on.
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                // Senders blocked on a full queue must wake to see the
+                // disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
     }
 
     impl<T> Receiver<T> {
@@ -60,10 +245,21 @@ pub mod channel {
         /// # Errors
         ///
         /// Returns [`RecvError`] when every sender has been dropped and
-        /// the queue is drained — the disconnect signal the pool's
-        /// workers shut down on.
+        /// the queue is drained — the shutdown signal the pool's workers
+        /// and the serving collator both drain on.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv()
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            }
         }
 
         /// Non-blocking receive.
@@ -71,21 +267,63 @@ pub mod channel {
         /// # Errors
         ///
         /// [`TryRecvError::Empty`] when no value is queued,
-        /// [`TryRecvError::Disconnected`] when every sender is gone.
+        /// [`TryRecvError::Disconnected`] when every sender is gone and
+        /// the queue is drained.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv()
+            let mut inner = self.shared.lock();
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
         }
 
         /// Blocking iterator over received values; ends on disconnect.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.inner.iter()
+            std::iter::from_fn(move || self.recv().ok())
+        }
+
+        /// Number of values currently queued (racy; a metric only).
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy; see
+        /// [`Receiver::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
-    /// Creates an unbounded MPSC channel.
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), capacity, senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `capacity` queued
+    /// values: a full queue blocks [`Sender::send`] and fails
+    /// [`Sender::try_send`] — the admission/backpressure primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is 0 (real crossbeam's rendezvous channel;
+    /// this stand-in does not support it).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity >= 1, "bounded(0) rendezvous channels are not supported");
+        with_capacity(Some(capacity))
     }
 }
 
@@ -128,6 +366,8 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
+
     #[test]
     fn scope_joins_borrowing_threads() {
         let data = [1, 2, 3];
@@ -143,7 +383,7 @@ mod tests {
 
     #[test]
     fn unbounded_channel_delivers_in_order_across_threads() {
-        let (tx, rx) = super::channel::unbounded();
+        let (tx, rx) = unbounded();
         let tx2 = tx.clone();
         let producer = std::thread::spawn(move || {
             for i in 0..100 {
@@ -159,17 +399,17 @@ mod tests {
 
     #[test]
     fn try_recv_reports_empty_then_disconnected() {
-        let (tx, rx) = super::channel::unbounded::<u8>();
-        assert!(matches!(rx.try_recv(), Err(super::channel::TryRecvError::Empty)));
+        let (tx, rx) = unbounded::<u8>();
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
         tx.send(7).unwrap();
         assert_eq!(rx.try_recv(), Ok(7));
         drop(tx);
-        assert!(matches!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected)));
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
     }
 
     #[test]
     fn send_to_dropped_receiver_returns_the_value() {
-        let (tx, rx) = super::channel::unbounded::<u8>();
+        let (tx, rx) = unbounded::<u8>();
         drop(rx);
         let err = tx.send(9).unwrap_err();
         assert_eq!(err.0, 9);
@@ -188,5 +428,118 @@ mod tests {
         })
         .expect("scope");
         assert_eq!(hit.into_inner(), 2);
+    }
+
+    #[test]
+    fn bounded_capacity_binds_try_send() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full(), "third value must hit the capacity bound");
+        assert_eq!(err.into_inner(), 3, "the full error returns the value");
+        assert_eq!(tx.len(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3), "FIFO order across the refill");
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || {
+            // Blocks until the main thread drains the single slot.
+            tx.send(2).unwrap();
+        });
+        // Give the sender a moment to actually block on the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2), "the blocked send completes after the drain");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_to_dropped_receiver_fails_even_when_full() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        drop(rx);
+        // Both forms must fail with a disconnect, never block forever.
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+        assert_eq!(tx.send(3).unwrap_err().0, 3);
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue_without_duplication() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = std::thread::spawn(move || rx.iter().collect::<Vec<_>>());
+        let b = std::thread::spawn(move || rx2.iter().collect::<Vec<_>>());
+        let mut all = a.join().unwrap();
+        all.extend(b.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>(), "each value delivered exactly once");
+    }
+
+    #[test]
+    fn multiple_producers_multiple_consumers_deliver_every_value_once() {
+        let (tx, rx) = bounded::<u32>(4);
+        let mut producers = Vec::new();
+        for p in 0..3u32 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || rx.iter().collect::<Vec<u32>>()));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u32> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..3).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn per_sender_fifo_order_is_preserved() {
+        // MPMC interleaving may mix producers, but one producer's values
+        // never reorder relative to each other.
+        let (tx, rx) = bounded::<(u8, u32)>(8);
+        let t1 = tx.clone();
+        let a = std::thread::spawn(move || (0..200).for_each(|i| t1.send((1, i)).unwrap()));
+        let t2 = tx.clone();
+        let b = std::thread::spawn(move || (0..200).for_each(|i| t2.send((2, i)).unwrap()));
+        drop(tx);
+        let got: Vec<(u8, u32)> = rx.iter().collect();
+        a.join().unwrap();
+        b.join().unwrap();
+        for source in [1, 2] {
+            let seq: Vec<u32> = got.iter().filter(|(s, _)| *s == source).map(|&(_, i)| i).collect();
+            assert_eq!(seq, (0..200).collect::<Vec<_>>(), "producer {source} order");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn zero_capacity_is_rejected() {
+        let _ = bounded::<u8>(0);
     }
 }

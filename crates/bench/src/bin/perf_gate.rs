@@ -1,6 +1,6 @@
-//! The CI perf-regression gate (ROADMAP item): compares the medians of a
-//! fresh `cargo bench` run against the committed baseline and fails on
-//! regressions.
+//! The CI perf-regression gate (ROADMAP item): compares the medians — and
+//! tail-latency percentiles — of a fresh `cargo bench` run against the
+//! committed baseline and fails on regressions.
 //!
 //! Usage:
 //!
@@ -10,79 +10,120 @@
 //! ```
 //!
 //! `current.jsonl` is the file the compat-criterion harness appends to when
-//! `CRITERION_MEDIAN_JSONL` is set (one `{"id", "median_ns"}` line per
-//! measured benchmark); `scripts/perf_gate.sh` produces it and invokes this
+//! `CRITERION_MEDIAN_JSONL` is set (one
+//! `{"id", "median_ns", "p50_ns", "p99_ns", "p999_ns"}` line per measured
+//! benchmark; the percentile keys are optional — externally measured
+//! metrics published through `criterion::emit_gate_metric` carry only
+//! `median_ns`); `scripts/perf_gate.sh` produces it and invokes this
 //! binary.
 //!
-//! The baseline is a committed JSON document holding **one medians map per
-//! machine fingerprint** — absolute wall-clock medians do not transfer
+//! The baseline is a committed JSON document holding **one metrics map per
+//! machine fingerprint** — absolute wall-clock numbers do not transfer
 //! between hosts, so each machine (a developer box, a GitHub-hosted runner
 //! class) is armed independently by recording its own entry with
 //! `PERF_GATE_BOOTSTRAP=1 scripts/perf_gate.sh` and committing the result;
-//! entries for other machines are always preserved. The legacy
-//! single-machine layout (`{"machine": …, "medians": …}`) is still read.
+//! entries for other machines are always preserved. Two legacy layouts are
+//! still read: the single-machine `{"machine": …, "medians": …}` document,
+//! and plain-number per-id values (median only, no percentiles) — so a
+//! baseline recorded before the latency keys existed keeps passing, it
+//! just cannot police tails until re-bootstrapped.
 //!
 //! Semantics:
 //! * no baseline, or no entry for this machine → **bootstrap**: record the
-//!   current medians under this machine's fingerprint and pass (commit the
+//!   current metrics under this machine's fingerprint and pass (commit the
 //!   rewritten file to arm the gate here);
 //! * entry for this machine present → fail (exit 1) if any benchmark's
-//!   median slowed down by more than 25%, listing every offender. New or
-//!   vanished benchmark ids are reported but never fail the gate.
+//!   **median** slowed down by more than 25%, or its **p99** did (when
+//!   both sides recorded one) — tail regressions fail CI exactly like
+//!   throughput regressions. p50/p999 are recorded for inspection but not
+//!   gated (too noisy at bench sample counts). New or vanished benchmark
+//!   ids are reported but never fail the gate.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Median slowdown beyond which the gate fails.
+/// Slowdown (median or p99) beyond which the gate fails.
 const TOLERANCE: f64 = 1.25;
 
-type Medians = BTreeMap<String, f64>;
+/// One benchmark id's recorded numbers. `median` is always present; the
+/// percentiles only when the measuring side emitted them (post-latency-keys
+/// compat-criterion, or a histogram-backed serving metric).
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    median: f64,
+    p50: Option<f64>,
+    p99: Option<f64>,
+    p999: Option<f64>,
+}
 
-fn read_current(path: &str) -> Result<Medians, String> {
+type Metrics = BTreeMap<String, Entry>;
+
+/// Pulls an optional numeric key out of a JSON object.
+fn get_ns(value: &serde_json::Value, key: &str) -> Option<f64> {
+    value.get(key).and_then(serde_json::Value::as_f64)
+}
+
+fn read_current(path: &str) -> Result<Metrics, String> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read current medians {path}: {e}"))?;
-    let mut medians = BTreeMap::new();
+        .map_err(|e| format!("cannot read current metrics {path}: {e}"))?;
+    let mut metrics = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let value =
+        let value: serde_json::Value =
             serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         let id = value
             .get("id")
             .and_then(serde_json::Value::as_str)
             .ok_or_else(|| format!("{path}:{}: missing id", lineno + 1))?;
-        let median = value
-            .get("median_ns")
-            .and_then(serde_json::Value::as_f64)
+        let median = get_ns(&value, "median_ns")
             .ok_or_else(|| format!("{path}:{}: missing median_ns", lineno + 1))?;
+        let entry = Entry {
+            median,
+            p50: get_ns(&value, "p50_ns"),
+            p99: get_ns(&value, "p99_ns"),
+            p999: get_ns(&value, "p999_ns"),
+        };
         // Re-runs of the same benchmark in one session: last wins.
-        medians.insert(id.to_string(), median);
+        metrics.insert(id.to_string(), entry);
     }
-    if medians.is_empty() {
-        return Err(format!("{path} holds no medians — did the bench run emit any?"));
+    if metrics.is_empty() {
+        return Err(format!("{path} holds no metrics — did the bench run emit any?"));
     }
-    Ok(medians)
+    Ok(metrics)
 }
 
-/// Parses a medians JSON object into a map, rejecting non-numeric entries.
-fn medians_from_value(value: &serde_json::Value, context: &str) -> Result<Medians, String> {
-    let object = value.as_object().ok_or_else(|| format!("{context}: medians is not an object"))?;
-    let mut medians = BTreeMap::new();
-    for (id, median) in object.iter() {
-        let median = median
-            .as_f64()
-            .ok_or_else(|| format!("{context}: median for '{id}' is not a number"))?;
-        medians.insert(id.clone(), median);
+/// Parses a per-machine metrics JSON object, accepting plain numbers
+/// (legacy median-only baselines) and `{"median_ns", …}` objects.
+fn metrics_from_value(value: &serde_json::Value, context: &str) -> Result<Metrics, String> {
+    let object = value.as_object().ok_or_else(|| format!("{context}: metrics is not an object"))?;
+    let mut metrics = BTreeMap::new();
+    for (id, recorded) in object.iter() {
+        let entry = if let Some(median) = recorded.as_f64() {
+            Entry { median, ..Default::default() }
+        } else if recorded.as_object().is_some() {
+            let median = get_ns(recorded, "median_ns")
+                .ok_or_else(|| format!("{context}: entry '{id}' has no median_ns"))?;
+            Entry {
+                median,
+                p50: get_ns(recorded, "p50_ns"),
+                p99: get_ns(recorded, "p99_ns"),
+                p999: get_ns(recorded, "p999_ns"),
+            }
+        } else {
+            return Err(format!("{context}: entry '{id}' is neither a number nor an object"));
+        };
+        metrics.insert(id.clone(), entry);
     }
-    Ok(medians)
+    Ok(metrics)
 }
 
-/// Reads the committed baseline into fingerprint → medians, accepting both
+/// Reads the committed baseline into fingerprint → metrics, accepting both
 /// the multi-machine layout and the legacy single-machine one. A missing
 /// file is an empty map; a malformed file is an error (corruption must
 /// fail the CI step loudly instead of silently disarming the gate).
-fn read_baseline(path: &str) -> Result<BTreeMap<String, Medians>, String> {
+fn read_baseline(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         // Only a genuinely absent baseline may bootstrap; any other read
@@ -92,16 +133,17 @@ fn read_baseline(path: &str) -> Result<BTreeMap<String, Medians>, String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
         Err(e) => return Err(format!("cannot read baseline {path}: {e}")),
     };
-    let doc = serde_json::from_str(&text).map_err(|e| format!("malformed baseline {path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("malformed baseline {path}: {e}"))?;
     let mut machines = BTreeMap::new();
     if let Some(per_machine) = doc.get("machines").and_then(serde_json::Value::as_object) {
         for (fingerprint, entry) in per_machine.iter() {
-            let medians = entry.get("medians").ok_or_else(|| {
+            let metrics = entry.get("medians").ok_or_else(|| {
                 format!("baseline {path}: machine '{fingerprint}' has no medians")
             })?;
             machines.insert(
                 fingerprint.clone(),
-                medians_from_value(medians, &format!("baseline {path}, machine '{fingerprint}'"))?,
+                metrics_from_value(metrics, &format!("baseline {path}, machine '{fingerprint}'"))?,
             );
         }
         return Ok(machines);
@@ -111,22 +153,31 @@ fn read_baseline(path: &str) -> Result<BTreeMap<String, Medians>, String> {
         .get("machine")
         .and_then(serde_json::Value::as_str)
         .ok_or_else(|| format!("baseline {path} has neither 'machines' nor 'machine'"))?;
-    let medians =
+    let metrics =
         doc.get("medians").ok_or_else(|| format!("baseline {path} has no medians object"))?;
     machines
-        .insert(fingerprint.to_string(), medians_from_value(medians, &format!("baseline {path}"))?);
+        .insert(fingerprint.to_string(), metrics_from_value(metrics, &format!("baseline {path}"))?);
     Ok(machines)
 }
 
-fn write_baseline(path: &str, machines: &BTreeMap<String, Medians>) -> Result<(), String> {
+fn write_baseline(path: &str, machines: &BTreeMap<String, Metrics>) -> Result<(), String> {
     let mut doc = serde_json::Map::new();
     doc.insert("tolerance_pct".into(), serde_json::Value::from(((TOLERANCE - 1.0) * 100.0) as i64));
     let mut per_machine = serde_json::Map::new();
-    for (fingerprint, medians) in machines {
+    for (fingerprint, metrics) in machines {
         let mut entry = serde_json::Map::new();
         let mut map = serde_json::Map::new();
-        for (id, median) in medians {
-            map.insert(id.clone(), serde_json::Value::from(*median));
+        for (id, recorded) in metrics {
+            let mut numbers = serde_json::Map::new();
+            numbers.insert("median_ns".into(), serde_json::Value::from(recorded.median));
+            for (key, value) in
+                [("p50_ns", recorded.p50), ("p99_ns", recorded.p99), ("p999_ns", recorded.p999)]
+            {
+                if let Some(value) = value {
+                    numbers.insert(key.into(), serde_json::Value::from(value));
+                }
+            }
+            map.insert(id.clone(), serde_json::Value::Object(numbers));
         }
         entry.insert("medians".into(), serde_json::Value::Object(map));
         per_machine.insert(fingerprint.clone(), serde_json::Value::Object(entry));
@@ -173,7 +224,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut machines = read_baseline(baseline_path)?;
 
     // Bootstrap (explicit, or first sighting of this machine): fold the
-    // fresh medians into this fingerprint's entry — ids not measured this
+    // fresh metrics into this fingerprint's entry — ids not measured this
     // run (another bench suite's) and every other machine's entry are
     // preserved — and pass.
     if bootstrap || !machines.contains_key(machine) {
@@ -181,36 +232,43 @@ fn run(args: &[String]) -> Result<bool, String> {
         machines.entry(machine.clone()).or_default().extend(current);
         write_baseline(baseline_path, &machines)?;
         println!(
-            "perf gate: recorded {recorded} medians for '{machine}' ({} machine(s) in the \
+            "perf gate: recorded {recorded} metrics for '{machine}' ({} machine(s) in the \
              baseline) — commit {baseline_path} to arm the gate on this machine",
             machines.len()
         );
         return Ok(true);
     }
-    let baseline_medians = &machines[machine];
+    let baseline_metrics = &machines[machine];
 
     let mut failures = Vec::new();
     let mut compared = 0usize;
-    for (id, &base) in baseline_medians.iter() {
-        let Some(&cur) = current.get(id) else {
+    for (id, base) in baseline_metrics.iter() {
+        let Some(cur) = current.get(id) else {
             println!("perf gate: '{id}' is in the baseline but was not measured this run");
             continue;
         };
         compared += 1;
-        let ratio = cur / base;
-        let verdict = if ratio > TOLERANCE { "FAIL" } else { "ok" };
+        let median_ratio = cur.median / base.median;
+        // The tail gate arms itself per id: only when both the baseline
+        // and this run recorded a p99 (a baseline from before the latency
+        // keys, or an emit_gate_metric scalar, simply has none).
+        let p99_ratio = base.p99.zip(cur.p99).map(|(base, cur)| cur / base);
+        let failed = median_ratio > TOLERANCE || p99_ratio.is_some_and(|r| r > TOLERANCE);
+        let verdict = if failed { "FAIL" } else { "ok" };
+        let tail =
+            p99_ratio.map(|r| format!("  p99 {:+.1}%", (r - 1.0) * 100.0)).unwrap_or_default();
         println!(
-            "perf gate: {verdict:>4}  {id:<48} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",
-            base,
-            cur,
-            (ratio - 1.0) * 100.0
+            "perf gate: {verdict:>4}  {id:<48} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%){tail}",
+            base.median,
+            cur.median,
+            (median_ratio - 1.0) * 100.0
         );
-        if ratio > TOLERANCE {
-            failures.push((id.clone(), ratio));
+        if failed {
+            failures.push((id.clone(), median_ratio, p99_ratio));
         }
     }
     for id in current.keys() {
-        if !baseline_medians.contains_key(id) {
+        if !baseline_metrics.contains_key(id) {
             println!("perf gate: '{id}' is new (not in this machine's baseline yet)");
         }
     }
@@ -219,15 +277,20 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
     if failures.is_empty() {
         println!(
-            "perf gate: {compared} benchmarks within {:.0}% of baseline ✓",
+            "perf gate: {compared} benchmarks within {:.0}% of baseline (median and p99) ✓",
             (TOLERANCE - 1.0) * 100.0
         );
         return Ok(true);
     }
-    for (id, ratio) in &failures {
+    for (id, median_ratio, p99_ratio) in &failures {
+        let offender = if *median_ratio > TOLERANCE {
+            format!("median {:+.1}%", (median_ratio - 1.0) * 100.0)
+        } else {
+            let p99 = p99_ratio.expect("a failure without a median offense has a p99 one");
+            format!("p99 {:+.1}%", (p99 - 1.0) * 100.0)
+        };
         eprintln!(
-            "perf gate: REGRESSION {id}: median {:.1}% over baseline (tolerance {:.0}%)",
-            (ratio - 1.0) * 100.0,
+            "perf gate: REGRESSION {id}: {offender} over baseline (tolerance {:.0}%)",
             (TOLERANCE - 1.0) * 100.0
         );
     }

@@ -76,6 +76,7 @@ pub mod predictor;
 pub mod pvalue;
 pub mod regression;
 pub mod scoring;
+pub mod serving;
 pub mod tuning;
 
 pub use calibration::{CalibrationRecord, ReservoirCalibration};
@@ -88,6 +89,9 @@ pub use pipeline::{
 pub use pool::ShardPool;
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;
+pub use serving::{
+    LatencyHistogram, LatencySummary, ServingConfig, ServingFrontEnd, ServingHandle, ServingOutcome,
+};
 
 /// Errors produced when constructing or using a Prom predictor.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -65,6 +65,20 @@ pub fn available_shards() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Validates [`PipelineConfig::in_flight_windows`] at pipeline build time:
+/// at least 1, and above 1 only under [`CalibrationPolicy::Frozen`] — a
+/// deeper queue submits window N+1 before window N is collected, which
+/// must never race with (or hide results from) online calibration folding.
+fn assert_in_flight_depth(config: &PipelineConfig) {
+    assert!(config.in_flight_windows >= 1, "in_flight_windows must be at least 1");
+    assert!(
+        config.in_flight_windows == 1 || config.policy == CalibrationPolicy::Frozen,
+        "in_flight_windows > 1 requires CalibrationPolicy::Frozen: an online policy \
+         mutates the detector when a window is collected, and overlapped later \
+         windows would race with (and judge blind to) that mutation"
+    );
+}
+
 /// Splits `samples` into at most `n_shards` contiguous chunks, maps each
 /// chunk with `judge_window` on its own scoped thread, and concatenates the
 /// results in input order.
@@ -222,6 +236,18 @@ pub struct PipelineConfig {
     /// byte-identical to the non-overlapped pipeline
     /// (`tests/pipeline_equivalence.rs`).
     pub double_buffer: bool,
+    /// Maximum windows judging on the pool at once in double-buffered
+    /// mode (ignored without [`PipelineConfig::double_buffer`]). The
+    /// default, 1, is classic double-buffering: ingest N+1 overlaps
+    /// judging N. A deeper queue keeps up to this many windows in flight
+    /// simultaneously, so the pool's shared job queue can interleave
+    /// window N+1's shard jobs into window N's straggler idle time —
+    /// reports then arrive up to this many windows late, still strictly
+    /// in window order and byte-identical. Must be at least 1; depths
+    /// above 1 require [`CalibrationPolicy::Frozen`], because overlapped
+    /// judging of window N+1 must never race with (or observe) the
+    /// calibration folding that collecting window N performs.
+    pub in_flight_windows: usize,
 }
 
 impl Default for PipelineConfig {
@@ -233,6 +259,7 @@ impl Default for PipelineConfig {
             selection: SelectionPolicy::RejectVote,
             policy: CalibrationPolicy::Frozen,
             double_buffer: false,
+            in_flight_windows: 1,
         }
     }
 }
@@ -628,9 +655,10 @@ pub struct DeploymentPipeline<'a> {
     // Field order matters for `Drop`: an in-flight window drains its
     // worker jobs (which borrow the detector and the window's samples)
     // before the pool joins its workers.
-    /// The window currently being judged on the pool, in double-buffered
-    /// mode.
-    in_flight: Option<InFlight>,
+    /// The windows currently judging on the pool (oldest first), in
+    /// double-buffered mode — at most
+    /// [`PipelineConfig::in_flight_windows`] of them.
+    in_flight: std::collections::VecDeque<InFlight>,
     /// The persistent shard workers (absent when judging runs inline on
     /// the caller thread).
     pool: Option<ShardPool>,
@@ -693,12 +721,13 @@ impl<'a> DeploymentPipeline<'a> {
         oracle: Option<LabelOracle<'a>>,
     ) -> Self {
         assert!(config.window >= 1, "pipeline window must hold at least one sample");
+        assert_in_flight_depth(&config);
         // Double-buffering needs at least one worker to hand windows to;
         // otherwise shards <= 1 judges inline without any threads.
         let pool = (config.shards >= 2 || config.double_buffer)
             .then(|| ShardPool::new(config.shards.max(1)));
         Self {
-            in_flight: None,
+            in_flight: std::collections::VecDeque::new(),
             pool,
             state: DetectorState::new(detector, &config),
             config,
@@ -745,13 +774,15 @@ impl<'a> DeploymentPipeline<'a> {
         stream.into_iter().filter_map(|s| self.push(s)).collect()
     }
 
-    /// Drains pending work in window order: first the in-flight window (if
-    /// double-buffering left one judging on the pool), then whatever is
-    /// buffered as a final (possibly short) window. Returns one report per
-    /// call; **call until it returns `None`** to drain everything (at most
-    /// two reports: the in-flight window, then the partial tail).
+    /// Drains pending work in window order: first the in-flight windows
+    /// (oldest first, if double-buffering left any judging on the pool),
+    /// then whatever is buffered as a final (possibly short) window.
+    /// Returns one report per call; **call until it returns `None`** to
+    /// drain everything (at most [`PipelineConfig::in_flight_windows`]
+    /// in-flight reports, then the partial tail).
     ///
-    /// Double-buffering delays reports by exactly **one window** — the
+    /// Double-buffering delays reports by up to
+    /// [`PipelineConfig::in_flight_windows`] windows — at depth 1, the
     /// `push` that fills window N+1 returns window N's report — but never
     /// reorders them: `flush` always yields the oldest outstanding window
     /// first, so reports arrive strictly in window order in every
@@ -764,17 +795,17 @@ impl<'a> DeploymentPipeline<'a> {
     /// nothing, calls no hook, and leaves every counter untouched, so
     /// defensive double-flushing is always safe.
     pub fn flush(&mut self) -> Option<WindowReport> {
-        if let Some(window) = self.in_flight.take() {
+        if let Some(window) = self.in_flight.pop_front() {
             return Some(self.finish_in_flight(window));
         }
         (!self.buffer.is_empty()).then(|| self.emit())
     }
 
     /// Samples accepted by `push` but not yet reported: the partial ingest
-    /// buffer plus, in double-buffered mode, the window currently being
+    /// buffer plus, in double-buffered mode, the windows currently being
     /// judged on the shard workers.
     pub fn pending(&self) -> usize {
-        self.buffer.len() + self.in_flight.as_ref().map_or(0, |w| w.samples.len())
+        self.buffer.len() + self.in_flight.iter().map(|w| w.samples.len()).sum::<usize>()
     }
 
     /// Lifetime totals. In double-buffered mode `judged` (and the other
@@ -800,14 +831,18 @@ impl<'a> DeploymentPipeline<'a> {
         report
     }
 
-    /// Double-buffered rotation: collect the previous in-flight window
-    /// (folding its relabels — which is why collection must precede the
-    /// next submission: window N+1's judging has to see the calibration
-    /// state window N left behind, exactly as in the sequential order),
-    /// then hand the just-filled buffer to the pool and return
-    /// immediately.
+    /// Double-buffered rotation: collect the oldest in-flight window once
+    /// the queue is at its configured depth (folding its relabels — which
+    /// at depth 1 is why collection must precede the next submission:
+    /// window N+1's judging has to see the calibration state window N
+    /// left behind, exactly as in the sequential order; deeper queues are
+    /// frozen-only, where folding never mutates), then hand the
+    /// just-filled buffer to the pool and return immediately.
     fn rotate(&mut self) -> Option<WindowReport> {
-        let prev = self.in_flight.take().map(|window| self.finish_in_flight(window));
+        let prev = (self.in_flight.len() >= self.config.in_flight_windows)
+            .then(|| self.in_flight.pop_front())
+            .flatten()
+            .map(|window| self.finish_in_flight(window));
         let next = self.spare.take().unwrap_or_default();
         let samples = std::mem::replace(&mut self.buffer, next);
         let start = self.next_start;
@@ -817,14 +852,18 @@ impl<'a> DeploymentPipeline<'a> {
         // its jobs point into and always collected or dropped (field
         // order drains it before the buffer and the pool go away), and
         // the only detector mutation (`fold_relabels`) happens in
-        // `finish_window`, strictly after the handle's collect drained
-        // every worker job.
+        // `finish_window`, strictly after every handle submitted earlier
+        // has been collected (depth 1), or never at all (deeper queues
+        // are frozen-only — `assert_in_flight_depth`).
         let pending = unsafe {
             let pool = self.pool.as_ref().expect("double-buffered mode always builds a pool");
             self.state.submit(pool, &samples)
         };
-        self.in_flight =
-            Some(InFlight { pending: PendingWindows::PerDetector(vec![pending]), samples, start });
+        self.in_flight.push_back(InFlight {
+            pending: PendingWindows::PerDetector(vec![pending]),
+            samples,
+            start,
+        });
         prev
     }
 
@@ -954,9 +993,10 @@ pub struct MultiPipeline<'a> {
     // Field order matters for `Drop`: an in-flight window drains its
     // worker jobs (which borrow the detectors and the window's samples)
     // before the pool joins its workers.
-    /// The window currently being judged on the pool (one pending handle
-    /// per detector), in double-buffered mode.
-    in_flight: Option<InFlight>,
+    /// The windows currently judging on the pool (oldest first, one
+    /// pending handle set per detector per window), in double-buffered
+    /// mode — at most [`PipelineConfig::in_flight_windows`] of them.
+    in_flight: std::collections::VecDeque<InFlight>,
     /// The shared persistent shard workers every detector's windows are
     /// judged on.
     pool: ShardPool,
@@ -1135,9 +1175,10 @@ impl<'a> MultiPipeline<'a> {
     ) -> Self {
         assert!(!handles.is_empty(), "a multi-detector pipeline needs at least one detector");
         assert!(config.window >= 1, "pipeline window must hold at least one sample");
+        assert_in_flight_depth(&config);
         let states = handles.into_iter().map(|h| DetectorState::new(h, &config)).collect();
         Self {
-            in_flight: None,
+            in_flight: std::collections::VecDeque::new(),
             // The fan-out always runs on a pool: with one worker the
             // single-chunk windows still judge inline on the caller via
             // the pool's owned scratch (no cross-thread handoff), and
@@ -1229,16 +1270,16 @@ impl<'a> MultiPipeline<'a> {
     /// is the same documented no-op: judges nothing, reports nothing,
     /// calls no hook, leaves every counter untouched.
     pub fn flush(&mut self) -> Option<MultiReport> {
-        if let Some(window) = self.in_flight.take() {
+        if let Some(window) = self.in_flight.pop_front() {
             return Some(self.finish_in_flight(window));
         }
         (!self.buffer.is_empty()).then(|| self.emit())
     }
 
     /// Samples accepted by `push` but not yet reported (partial ingest
-    /// buffer plus any in-flight window).
+    /// buffer plus any in-flight windows).
     pub fn pending(&self) -> usize {
-        self.buffer.len() + self.in_flight.as_ref().map_or(0, |w| w.samples.len())
+        self.buffer.len() + self.in_flight.iter().map(|w| w.samples.len()).sum::<usize>()
     }
 
     /// Lifetime totals, one per detector in registration order. Each
@@ -1301,13 +1342,18 @@ impl<'a> MultiPipeline<'a> {
         report
     }
 
-    /// Double-buffered rotation: collect the previous in-flight window
-    /// for every detector (folding relabels before the next submission,
-    /// so window N+1's judging sees the calibration state window N left
-    /// behind — per detector, the sequential order), then fan the
-    /// just-filled buffer out to all detectors and return immediately.
+    /// Double-buffered rotation: collect the oldest in-flight window for
+    /// every detector once the queue is at its configured depth (folding
+    /// relabels before the next submission, so at depth 1 window N+1's
+    /// judging sees the calibration state window N left behind — per
+    /// detector, the sequential order; deeper queues are frozen-only),
+    /// then fan the just-filled buffer out to all detectors and return
+    /// immediately.
     fn rotate(&mut self) -> Option<MultiReport> {
-        let prev = self.in_flight.take().map(|window| self.finish_in_flight(window));
+        let prev = (self.in_flight.len() >= self.config.in_flight_windows)
+            .then(|| self.in_flight.pop_front())
+            .flatten()
+            .map(|window| self.finish_in_flight(window));
         let next = self.spare.take().unwrap_or_default();
         let samples = std::mem::replace(&mut self.buffer, next);
         let start = self.next_start;
@@ -1341,7 +1387,7 @@ impl<'a> MultiPipeline<'a> {
                     .collect(),
             )
         };
-        self.in_flight = Some(InFlight { pending, samples, start });
+        self.in_flight.push_back(InFlight { pending, samples, start });
         prev
     }
 
@@ -1576,6 +1622,88 @@ mod tests {
             assert_eq!(a.relabel, b.relabel);
         }
         assert_eq!(sync_stats, db_stats);
+    }
+
+    #[test]
+    fn deeper_in_flight_queues_report_identically_and_in_order() {
+        let det = Threshold;
+        let run = |depth: usize| {
+            let mut pipeline = DeploymentPipeline::new(
+                &det,
+                PipelineConfig {
+                    window: 5,
+                    shards: 3,
+                    double_buffer: depth >= 1,
+                    in_flight_windows: depth.max(1),
+                    ..Default::default()
+                },
+            );
+            let mut reports = pipeline.extend(stream(47));
+            while let Some(report) = pipeline.flush() {
+                reports.push(report);
+            }
+            (reports, pipeline.stats())
+        };
+        let (sync_reports, sync_stats) = run(0);
+        for depth in [1, 2, 4, 16] {
+            let (deep_reports, deep_stats) = run(depth);
+            assert_eq!(sync_reports.len(), deep_reports.len(), "depth {depth}");
+            for (a, b) in sync_reports.iter().zip(deep_reports.iter()) {
+                assert_eq!(a.index, b.index, "depth {depth}: in window order");
+                assert_eq!(a.start, b.start, "depth {depth}");
+                assert_eq!(a.judgements, b.judgements, "depth {depth}");
+                assert_eq!(a.flagged, b.flagged, "depth {depth}");
+                assert_eq!(a.relabel, b.relabel, "depth {depth}");
+            }
+            assert_eq!(sync_stats, deep_stats, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn deep_in_flight_push_delays_reports_by_the_configured_depth() {
+        let det = Threshold;
+        let mut pipeline = DeploymentPipeline::new(
+            &det,
+            PipelineConfig {
+                window: 2,
+                shards: 2,
+                double_buffer: true,
+                in_flight_windows: 3,
+                ..Default::default()
+            },
+        );
+        let mut samples = stream(10).into_iter();
+        // Windows 0, 1, 2 fill the in-flight queue without reporting.
+        for i in 0..6 {
+            assert!(pipeline.push(samples.next().unwrap()).is_none(), "push {i}");
+        }
+        assert_eq!(pipeline.pending(), 6, "three windows in flight");
+        // Filling window 3 evicts (and reports) window 0.
+        assert!(pipeline.push(samples.next().unwrap()).is_none());
+        let report = pipeline.push(samples.next().unwrap()).expect("window 0 evicted");
+        assert_eq!(report.index, 0);
+        // Drain: windows 1, 2, 3 in order.
+        let mut indices = Vec::new();
+        while let Some(report) = pipeline.flush() {
+            indices.push(report.index);
+        }
+        assert_eq!(indices, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires CalibrationPolicy::Frozen")]
+    fn deep_in_flight_queues_reject_online_policies() {
+        let mut det = Threshold;
+        let _ = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                policy: CalibrationPolicy::GrowUnbounded,
+                double_buffer: true,
+                in_flight_windows: 2,
+                ..Default::default()
+            },
+            |_, _| None,
+        );
     }
 
     #[test]

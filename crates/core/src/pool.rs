@@ -11,13 +11,26 @@
 //! # Determinism
 //!
 //! A window is split into at most `n` contiguous chunks (the same
-//! `div_ceil` chunking as `map_sharded`), chunk `i` goes to worker `i`,
-//! and results are stitched back **in chunk order**. Judging is per-sample
-//! pure and the scratch is stateless between samples, so the stitched
-//! output is bit-identical to one sequential `judge_batch` call — which
-//! worker judged which chunk, and in what real-time order the chunks
-//! finished, never matters (`tests/pipeline_equivalence.rs` proves pool ==
-//! scoped threads == sequential for every detector).
+//! `div_ceil` chunking as `map_sharded`), the chunks go into one shared
+//! MPMC job queue that every worker pulls from, and results are stitched
+//! back **in chunk order** through per-chunk output slots. Judging is
+//! per-sample pure and the scratch is stateless between samples, so the
+//! stitched output is bit-identical to one sequential `judge_batch` call
+//! — which worker judged which chunk, and in what real-time order the
+//! chunks finished, never matters (`tests/pipeline_equivalence.rs` proves
+//! pool == scoped threads == sequential for every detector).
+//!
+//! # Cross-window scheduling
+//!
+//! Because all jobs flow through the one shared queue, the pool is a
+//! natural cross-window scheduler: when window N is down to a single
+//! straggler chunk, the workers that finished early immediately pull
+//! window N+1's chunks (submitted by the pipelines' double-buffered
+//! ingest, by a deeper [`crate::pipeline::PipelineConfig`] in-flight
+//! queue, or by a *different* producer thread — the pool is `Sync` and
+//! every entry point takes `&self`) instead of idling behind the
+//! straggler. Each submission drains its own completion channel, so
+//! concurrent windows never observe each other's results.
 //!
 //! # Panic hygiene
 //!
@@ -100,20 +113,19 @@ unsafe fn run_shard<T, F>(
     *(out as *mut Option<Vec<T>>) = Some(result);
 }
 
-/// A worker's send handle plus its join handle (joined on pool drop).
-struct Worker {
-    jobs: Sender<RawJob>,
-    thread: Option<std::thread::JoinHandle<()>>,
-}
-
 /// A pool of persistent shard-worker threads, each owning one reusable
-/// [`JudgeScratch`].
+/// [`JudgeScratch`], all pulling from one shared job queue.
 ///
 /// Build it once (per pipeline, per evaluation run, …) and judge any
 /// number of windows through it; see the module docs for the determinism
-/// and panic-hygiene guarantees.
+/// and panic-hygiene guarantees. The pool is `Sync` and every entry point
+/// takes `&self`, so any number of producer threads may submit windows
+/// concurrently — the serving front-end leans on exactly this.
 pub struct ShardPool {
-    workers: Vec<Worker>,
+    /// The shared job queue's send side; every worker holds a cloned
+    /// receiver. Swapped for a closed dummy on drop to end the workers.
+    injector: Sender<RawJob>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     /// The caller-side scratch for single-chunk synchronous calls: when a
     /// window would occupy only one worker anyway, dispatching it buys no
     /// parallelism and costs a cross-thread handoff (ruinous on a 1-CPU
@@ -126,17 +138,17 @@ pub struct ShardPool {
 impl ShardPool {
     /// Spawns a pool of `workers` threads (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
+        let (injector, jobs) = unbounded::<RawJob>();
         let workers = (0..workers.max(1))
             .map(|i| {
-                let (tx, rx) = unbounded::<RawJob>();
-                let thread = std::thread::Builder::new()
+                let rx = jobs.clone();
+                std::thread::Builder::new()
                     .name(format!("prom-shard-{i}"))
                     .spawn(move || worker_loop(&rx))
-                    .expect("spawn shard worker");
-                Worker { jobs: tx, thread: Some(thread) }
+                    .expect("spawn shard worker")
             })
             .collect();
-        Self { workers, inline_scratch: std::sync::Mutex::new(JudgeScratch::new()) }
+        Self { injector, workers, inline_scratch: std::sync::Mutex::new(JudgeScratch::new()) }
     }
 
     /// A pool sized to this machine's available parallelism.
@@ -360,9 +372,10 @@ impl ShardPool {
         (chunk, len.div_ceil(chunk))
     }
 
-    /// Sends one [`RawJob`] per chunk of `samples` to the workers —
-    /// chunk `i` to worker `i`, output slot `i` — the single dispatch
-    /// loop behind both the synchronous and asynchronous entry points.
+    /// Sends one [`RawJob`] per chunk of `samples` into the shared job
+    /// queue — chunk `i` writes output slot `i`, whichever worker pulls
+    /// it — the single dispatch loop behind both the synchronous and
+    /// asynchronous entry points.
     ///
     /// # Safety
     ///
@@ -391,27 +404,22 @@ impl ShardPool {
                 out: unsafe { out_base.add(i) }.cast(),
                 done: done_tx.clone(),
             };
-            self.workers[i].jobs.send(job).expect("shard worker hung up");
+            self.injector.send(job).expect("shard workers hung up");
         }
     }
 }
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
-        // Closing every job queue ends the worker loops; join so no
-        // worker outlives the pool.
-        for worker in &mut self.workers {
-            // Replace the sender with a dummy wired to nothing.
-            let (closed, _) = unbounded();
-            worker.jobs = closed;
-        }
-        for worker in &mut self.workers {
-            if let Some(thread) = worker.thread.take() {
-                // A worker never panics (jobs run under catch_unwind);
-                // if one somehow did, dropping the pool must not
-                // double-panic.
-                let _ = thread.join();
-            }
+        // Dropping the only real injector sender disconnects the shared
+        // queue, which ends every worker loop once the queue drains; the
+        // dummy replacement is wired to nothing.
+        let (closed, _) = unbounded();
+        self.injector = closed;
+        for thread in self.workers.drain(..) {
+            // A worker never panics (jobs run under catch_unwind); if one
+            // somehow did, dropping the pool must not double-panic.
+            let _ = thread.join();
         }
     }
 }
@@ -666,6 +674,52 @@ mod tests {
         // pool judges the next (clean) window correctly.
         let clean = stream(11);
         assert_eq!(pool.judge(&det, &clean), det.judge_batch(&clean));
+    }
+
+    #[test]
+    fn concurrent_producers_share_one_pool_without_crosstalk() {
+        // Many threads submitting windows through `&pool` at once: each
+        // caller must get exactly its own window's results, bit-identical
+        // to sequential, no matter how the shared queue interleaves the
+        // chunks.
+        let det = Trip;
+        let pool = ShardPool::new(3);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for p in 0..8usize {
+                let pool = &pool;
+                let det = &det;
+                handles.push(s.spawn(move || {
+                    let samples = stream(31 + p * 7);
+                    for _ in 0..10 {
+                        assert_eq!(pool.judge(det, &samples), det.judge_batch(&samples));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("producer thread");
+            }
+        });
+    }
+
+    #[test]
+    fn overlapping_async_windows_collect_independently() {
+        // Submit several windows before collecting any — the shared queue
+        // interleaves their chunks across the workers, but each handle
+        // stitches only its own slots.
+        let det = Trip;
+        let pool = ShardPool::new(2);
+        let windows: Vec<Vec<Sample>> = (0..5).map(|w| stream(17 + w * 5)).collect();
+        let expected: Vec<Vec<Judgement>> = windows.iter().map(|w| det.judge_batch(w)).collect();
+        // SAFETY: `det` outlives every handle; all are collected below.
+        let pending: Vec<PendingJudge> =
+            windows.iter().map(|w| unsafe { pool.submit_judge(&det, w.clone()) }).collect();
+        for (pending, (window, expected)) in pending.into_iter().zip(windows.iter().zip(&expected))
+        {
+            let (returned, judgements) = pending.collect();
+            assert_eq!(&returned, window);
+            assert_eq!(&judgements, expected);
+        }
     }
 
     #[test]

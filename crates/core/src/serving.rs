@@ -1,0 +1,914 @@
+//! The concurrent serving front-end: many producers, bounded admission,
+//! latency SLOs.
+//!
+//! The deployment pipelines ([`DeploymentPipeline`], [`MultiPipeline`])
+//! are single-caller `push`/`flush` loops: one thread owns the pipeline
+//! and feeds it. A deployed judge serves many request threads at once,
+//! and the quantity that decides whether it is usable there is not
+//! throughput but **tail latency** — how long the slowest admitted
+//! sample waits for its judgement. This module adds that serving shape
+//! without giving up one bit of the repo's determinism:
+//!
+//! * **Producers** get a cloneable [`ServingHandle`] and submit samples
+//!   from any number of threads. Admission is a *bounded* MPMC channel
+//!   (`crossbeam::channel::bounded`): [`ServingHandle::submit`] blocks
+//!   when the queue is full (backpressure), and
+//!   [`ServingHandle::try_submit`] fails fast with the sample back —
+//!   load shedding, counted per front-end in
+//!   [`ServingOutcome::rejected`].
+//! * **One collator thread** drains the queue in arrival order and runs
+//!   the pipeline exactly as a synchronous caller would: windows form
+//!   serving-side, in admission order. Everything downstream — shard
+//!   fan-out, double-buffered overlap, deeper
+//!   [`PipelineConfig::in_flight_windows`] queues, relabel selection,
+//!   online calibration folding — is the ordinary pipeline machinery.
+//! * **Latency** is recorded per sample on a monotonic clock
+//!   ([`std::time::Instant`]): stamped at submission, settled when the
+//!   sample's window report is collected, accumulated into a
+//!   log-bucketed [`LatencyHistogram`] (≈3% relative error) whose
+//!   p50/p99/p999 are first-class outputs next to the reports.
+//!
+//! # Determinism under concurrency
+//!
+//! With more than one producer the *admission order* is whatever the
+//! threads raced to — that is inherent to concurrent ingest, not a
+//! weakness of this module. Everything **after** admission is
+//! deterministic: the collator is the only pipeline caller, so the
+//! report sequence is exactly what a synchronous `push`/`flush` loop
+//! over the admitted order would produce, bit for bit — p-value bits,
+//! relabel picks, post-run calibration state. `tests/serving_equivalence.rs`
+//! proves it by capturing the admitted order
+//! ([`ServingConfig::record_admitted`]) and replaying it through the
+//! synchronous pipeline. With a single producer the admitted order is
+//! the submission order, so the whole front-end is deterministic
+//! end-to-end.
+
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use crate::detector::{DriftDetector, Sample, Truth};
+use crate::pipeline::{
+    DeploymentPipeline, MultiPipeline, MultiReport, PipelineConfig, WindowReport,
+};
+
+/// Sub-bucket resolution bits: 2^5 = 32 sub-buckets per power of two,
+/// ≈3.1% worst-case relative error per recorded value.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Bucket count covering all of `u64` nanoseconds: values below
+/// `SUB_BUCKETS` get exact unit buckets, every octave above gets
+/// `SUB_BUCKETS` sub-buckets ((63 - 5 + 1) octaves).
+const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// A log-bucketed histogram of nanosecond latencies: fixed memory, O(1)
+/// record, ≈3% relative error on percentiles — the standard
+/// HdrHistogram-style shape, small enough to sit in every serving run.
+///
+/// Values below 32 ns are exact; above that, each power of two is split
+/// into 32 sub-buckets, so a reported percentile is at most one
+/// sub-bucket (≈3.1%) above the true value, clamped to the observed
+/// maximum.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; BUCKETS], count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    /// The bucket holding `ns`: identity below `SUB_BUCKETS`, then 32
+    /// sub-buckets per octave. Strictly monotone in `ns`, continuous at
+    /// every octave boundary.
+    fn bucket_index(ns: u64) -> usize {
+        if ns < SUB_BUCKETS {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros();
+        let shift = msb - SUB_BITS;
+        ((u64::from(shift) + 1) * SUB_BUCKETS + ((ns >> shift) - SUB_BUCKETS)) as usize
+    }
+
+    /// The largest value a bucket holds (every value in the bucket is
+    /// `<=` this, and `>` the previous bucket's edge).
+    fn bucket_upper_edge(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return index;
+        }
+        let shift = index / SUB_BUCKETS - 1;
+        let sub = index % SUB_BUCKETS;
+        // The very last bucket's edge is 2^64 - 1: the shift wraps to 0
+        // and the wrapping decrement lands exactly on u64::MAX.
+        #[allow(clippy::cast_possible_truncation)]
+        (sub + SUB_BUCKETS + 1).wrapping_shl(shift as u32).wrapping_sub(1)
+    }
+
+    /// Records one latency (saturated to nanoseconds in `u64`).
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper edge of
+    /// the bucket holding the rank-`ceil(q·count)` value, clamped to the
+    /// observed extremes (so `percentile_ns(1.0)` is exactly the
+    /// maximum). Returns 0 on an empty histogram.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_upper_edge(index).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Mean latency in nanoseconds (0 on an empty histogram). Exact —
+    /// the running total is kept outside the buckets.
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        u64::try_from(self.total_ns / u128::from(self.count)).unwrap_or(u64::MAX)
+    }
+
+    /// Smallest recorded value in nanoseconds (0 on an empty histogram).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The headline percentiles as one copyable record.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50_ns: self.percentile_ns(0.50),
+            p99_ns: self.percentile_ns(0.99),
+            p999_ns: self.percentile_ns(0.999),
+            mean_ns: self.mean_ns(),
+            min_ns: self.min_ns(),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// The headline numbers of a [`LatencyHistogram`]: the SLO quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Recorded (admitted and judged) samples.
+    pub count: u64,
+    /// Median per-sample judgement latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency, nanoseconds.
+    pub p999_ns: u64,
+    /// Mean latency, nanoseconds (exact).
+    pub mean_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Configuration of a [`ServingFrontEnd`].
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// The pipeline behind the admission queue — window size, shards,
+    /// relabel budget, calibration policy, double-buffering and in-flight
+    /// depth all apply unchanged.
+    pub pipeline: PipelineConfig,
+    /// Admission queue capacity in samples (clamped to at least 1): the
+    /// backpressure bound. A full queue blocks [`ServingHandle::submit`]
+    /// and rejects [`ServingHandle::try_submit`]. Deeper queues absorb
+    /// burstier arrivals at the price of worse tail latency for the
+    /// samples queued behind the burst.
+    pub queue: usize,
+    /// Keep a copy of every admitted sample, in admission order, in
+    /// [`ServingOutcome::admitted_samples`]. This is the determinism
+    /// hook: replaying that order through a synchronous pipeline must
+    /// reproduce the reports bit for bit (`tests/serving_equivalence.rs`
+    /// holds the front-end to it). Off by default — it clones every
+    /// sample.
+    pub record_admitted: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self { pipeline: PipelineConfig::default(), queue: 4096, record_admitted: false }
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The admission queue is at capacity ([`ServingHandle::try_submit`]
+    /// only); the sample comes back. Counted in
+    /// [`ServingOutcome::rejected`].
+    Full(Sample),
+    /// The collator is gone (it panicked; the panic resurfaces when the
+    /// serve call returns). The sample comes back.
+    Closed(Sample),
+}
+
+impl SubmitError {
+    /// The sample that was not admitted.
+    pub fn into_sample(self) -> Sample {
+        match self {
+            SubmitError::Full(sample) | SubmitError::Closed(sample) => sample,
+        }
+    }
+}
+
+/// A producer's handle into a running serve call: cloneable and
+/// shareable across threads (`Send + Sync`), valid only inside the
+/// `produce` closure it was passed to — the handle's lifetime parameter
+/// keeps it from outliving the front-end's counters.
+///
+/// Dropping every handle (ending `produce`) is the shutdown signal: the
+/// collator drains what was admitted, flushes the pipeline tail, and the
+/// serve call returns.
+pub struct ServingHandle<'env> {
+    queue: Sender<Submission>,
+    admitted: &'env AtomicU64,
+    rejected: &'env AtomicU64,
+}
+
+impl Clone for ServingHandle<'_> {
+    fn clone(&self) -> Self {
+        Self { queue: self.queue.clone(), admitted: self.admitted, rejected: self.rejected }
+    }
+}
+
+impl ServingHandle<'_> {
+    /// Submits one sample, blocking while the admission queue is full —
+    /// the backpressure path. The latency clock starts *now*, so time
+    /// spent blocked on a full queue is (deliberately) not counted
+    /// against the judge; time spent queued is.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] with the sample back when the collator is
+    /// gone.
+    pub fn submit(&self, sample: Sample) -> Result<(), SubmitError> {
+        match self.queue.send(Submission { sample, at: Instant::now() }) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(err) => Err(SubmitError::Closed(err.0.sample)),
+        }
+    }
+
+    /// Submits one sample without blocking — the load-shedding path.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] with the sample back when the queue is at
+    /// capacity (counted in [`ServingOutcome::rejected`]);
+    /// [`SubmitError::Closed`] when the collator is gone.
+    pub fn try_submit(&self, sample: Sample) -> Result<(), SubmitError> {
+        match self.queue.try_send(Submission { sample, at: Instant::now() }) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(submission)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Full(submission.sample))
+            }
+            Err(TrySendError::Disconnected(submission)) => {
+                Err(SubmitError::Closed(submission.sample))
+            }
+        }
+    }
+}
+
+/// One admitted sample with its admission timestamp (the latency clock).
+struct Submission {
+    sample: Sample,
+    at: Instant,
+}
+
+/// Everything one serve call produced.
+#[derive(Debug)]
+pub struct ServingOutcome<R> {
+    /// Every window report, strictly in window order — exactly the
+    /// sequence a synchronous `push`/`flush` loop over the admitted
+    /// order produces.
+    pub reports: Vec<R>,
+    /// Per-sample judgement latency (admission to window-report
+    /// collection), monotonic clock.
+    pub latency: LatencyHistogram,
+    /// Samples admitted through the queue.
+    pub admitted: u64,
+    /// [`ServingHandle::try_submit`] calls shed on a full queue.
+    pub rejected: u64,
+    /// Samples judged and reported (equals `admitted` after the drain).
+    pub judged: usize,
+    /// Wall-clock time of the whole serve call, producers included.
+    pub elapsed: Duration,
+    /// The admitted samples in admission order, when
+    /// [`ServingConfig::record_admitted`] asked for them (empty
+    /// otherwise) — replay these synchronously to reproduce `reports`
+    /// bit for bit.
+    pub admitted_samples: Vec<Sample>,
+}
+
+/// The serving-side view of a pipeline: what the collator needs and
+/// nothing more. Private — the public surface is the typed serve calls.
+trait Engine {
+    /// The per-window report type.
+    type Report: Send;
+    fn push(&mut self, sample: Sample) -> Option<Self::Report>;
+    fn flush(&mut self) -> Option<Self::Report>;
+    /// How many samples `report` settled (its window length).
+    fn window_len(report: &Self::Report) -> usize;
+}
+
+impl Engine for DeploymentPipeline<'_> {
+    type Report = WindowReport;
+
+    fn push(&mut self, sample: Sample) -> Option<WindowReport> {
+        DeploymentPipeline::push(self, sample)
+    }
+
+    fn flush(&mut self) -> Option<WindowReport> {
+        DeploymentPipeline::flush(self)
+    }
+
+    fn window_len(report: &WindowReport) -> usize {
+        report.judgements.len()
+    }
+}
+
+impl Engine for MultiPipeline<'_> {
+    type Report = MultiReport;
+
+    fn push(&mut self, sample: Sample) -> Option<MultiReport> {
+        MultiPipeline::push(self, sample)
+    }
+
+    fn flush(&mut self) -> Option<MultiReport> {
+        MultiPipeline::flush(self)
+    }
+
+    fn window_len(report: &MultiReport) -> usize {
+        // Every detector judges every sample of the window; any report's
+        // judgement count is the window length.
+        report.reports.first().map_or(0, |r| r.judgements.len())
+    }
+}
+
+/// The concurrent serving front-end: producers on one side of a bounded
+/// admission queue, a pipeline-driving collator on the other, latency
+/// percentiles as first-class output. See the module docs for the model.
+///
+/// ```
+/// use prom_core::detector::{DriftDetector, Judgement, Sample};
+/// use prom_core::pipeline::PipelineConfig;
+/// use prom_core::serving::{ServingConfig, ServingFrontEnd};
+///
+/// struct Flat;
+/// impl DriftDetector for Flat {
+///     fn name(&self) -> &'static str {
+///         "flat"
+///     }
+///     fn judge_one(&self, _e: &[f64], outputs: &[f64]) -> Judgement {
+///         Judgement::single(outputs[0] < 0.6)
+///     }
+/// }
+///
+/// let front = ServingFrontEnd::new(ServingConfig {
+///     pipeline: PipelineConfig { window: 4, shards: 2, ..Default::default() },
+///     queue: 64,
+///     ..Default::default()
+/// });
+/// let det = Flat;
+/// // Two producer threads race 20 samples each into the queue.
+/// let (_, outcome) = front.serve(&det, |handle| {
+///     std::thread::scope(|s| {
+///         for t in 0..2 {
+///             let handle = handle.clone();
+///             s.spawn(move || {
+///                 for i in 0..20 {
+///                     let x = f64::from(t * 100 + i);
+///                     handle.submit(Sample::new(vec![x], vec![0.9, 0.1])).unwrap();
+///                 }
+///             });
+///         }
+///     });
+/// });
+/// assert_eq!(outcome.judged, 40);
+/// assert_eq!(outcome.reports.len(), 10, "40 samples / window 4");
+/// assert!(outcome.latency.percentile_ns(0.99) >= outcome.latency.percentile_ns(0.50));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServingFrontEnd {
+    config: ServingConfig,
+}
+
+impl ServingFrontEnd {
+    /// A front-end with the given configuration.
+    pub fn new(config: ServingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this front-end serves with.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Serves a *frozen* single-detector pipeline: runs `produce` with a
+    /// cloneable [`ServingHandle`], drives a [`DeploymentPipeline::new`]
+    /// pipeline from the admitted stream, and returns `produce`'s value
+    /// alongside the [`ServingOutcome`]. Returns when `produce` has
+    /// returned **and** every admitted sample has been judged (the tail
+    /// is flushed).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a collator panic (a detector panic while judging) on
+    /// this thread; panics on an invalid pipeline configuration, like
+    /// the pipeline constructors do.
+    pub fn serve<P>(
+        &self,
+        detector: &dyn DriftDetector,
+        produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
+    ) -> (P, ServingOutcome<WindowReport>) {
+        self.run(DeploymentPipeline::new(detector, self.config.pipeline), produce)
+    }
+
+    /// Serves an *online* single-detector pipeline
+    /// ([`DeploymentPipeline::online`]): relabel picks are labeled by
+    /// `oracle` on the collator thread and folded into the detector's
+    /// calibration set between windows, exactly as in the synchronous
+    /// pipeline.
+    ///
+    /// # Panics
+    ///
+    /// See [`ServingFrontEnd::serve`].
+    pub fn serve_online<'a, P>(
+        &self,
+        detector: &'a mut dyn DriftDetector,
+        oracle: impl FnMut(usize, &Sample) -> Option<Truth> + Send + 'a,
+        produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
+    ) -> (P, ServingOutcome<WindowReport>) {
+        self.run(DeploymentPipeline::online(detector, self.config.pipeline, oracle), produce)
+    }
+
+    /// Serves a *frozen* multi-detector pipeline ([`MultiPipeline::new`]):
+    /// every admitted sample is judged by every detector, one
+    /// [`MultiReport`] per window.
+    ///
+    /// # Panics
+    ///
+    /// See [`ServingFrontEnd::serve`].
+    pub fn serve_multi<P>(
+        &self,
+        detectors: Vec<&dyn DriftDetector>,
+        produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
+    ) -> (P, ServingOutcome<MultiReport>) {
+        self.run(MultiPipeline::new(detectors, self.config.pipeline), produce)
+    }
+
+    /// The one serving loop behind every typed entry point: spawn the
+    /// collator, hand `produce` its handle, join, stitch the outcome.
+    fn run<E, P>(
+        &self,
+        engine: E,
+        produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
+    ) -> (P, ServingOutcome<E::Report>)
+    where
+        E: Engine + Send,
+    {
+        let (queue_tx, queue_rx) = bounded::<Submission>(self.config.queue.max(1));
+        let admitted = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let record_admitted = self.config.record_admitted;
+        let begin = Instant::now();
+        let (produced, collated) = std::thread::scope(|s| {
+            let collator = std::thread::Builder::new()
+                .name("prom-collator".into())
+                .spawn_scoped(s, move || collate(engine, &queue_rx, record_admitted))
+                .expect("spawn collator thread");
+            let handle =
+                ServingHandle { queue: queue_tx, admitted: &admitted, rejected: &rejected };
+            // `produce` consumes the handle; when it returns, every
+            // sender clone its producer threads made is gone too (the
+            // handle cannot escape the closure), so the collator sees
+            // the disconnect and drains. If `produce` panics, unwinding
+            // drops the handle and the collator still shuts down cleanly
+            // before the scope re-raises.
+            let produced = produce(handle);
+            let collated = match collator.join() {
+                Ok(collated) => collated,
+                // A detector panic on the collator belongs to the
+                // caller, same as in the synchronous pipeline.
+                Err(payload) => resume_unwind(payload),
+            };
+            (produced, collated)
+        });
+        let Collated { reports, latency, judged, admitted_samples } = collated;
+        let outcome = ServingOutcome {
+            reports,
+            latency,
+            admitted: admitted.into_inner(),
+            rejected: rejected.into_inner(),
+            judged,
+            elapsed: begin.elapsed(),
+            admitted_samples,
+        };
+        (produced, outcome)
+    }
+}
+
+/// What the collator thread hands back at shutdown.
+struct Collated<R> {
+    reports: Vec<R>,
+    latency: LatencyHistogram,
+    judged: usize,
+    admitted_samples: Vec<Sample>,
+}
+
+/// The collator loop: drain the admission queue in arrival order into
+/// the pipeline, settle each report's latencies, flush the tail on
+/// disconnect.
+fn collate<E: Engine>(
+    mut engine: E,
+    queue: &Receiver<Submission>,
+    record_admitted: bool,
+) -> Collated<E::Report> {
+    let mut reports = Vec::new();
+    let mut latency = LatencyHistogram::new();
+    // Admission timestamps of samples pushed but not yet reported; the
+    // pipeline reports whole windows in push order, so settling is
+    // always a pop of the oldest `window_len` stamps.
+    let mut unsettled: VecDeque<Instant> = VecDeque::new();
+    let mut admitted_samples = Vec::new();
+    let mut judged = 0usize;
+    let settle = |report: &E::Report,
+                  unsettled: &mut VecDeque<Instant>,
+                  latency: &mut LatencyHistogram,
+                  judged: &mut usize| {
+        let now = Instant::now();
+        let settled = E::window_len(report);
+        for _ in 0..settled {
+            let at = unsettled.pop_front().expect("every judged sample has an admission stamp");
+            latency.record(now.saturating_duration_since(at));
+        }
+        *judged += settled;
+    };
+    while let Ok(Submission { sample, at }) = queue.recv() {
+        if record_admitted {
+            admitted_samples.push(sample.clone());
+        }
+        unsettled.push_back(at);
+        if let Some(report) = engine.push(sample) {
+            settle(&report, &mut unsettled, &mut latency, &mut judged);
+            reports.push(report);
+        }
+    }
+    // Every producer handle is gone: drain the in-flight windows and the
+    // partial tail, oldest first.
+    while let Some(report) = engine.flush() {
+        settle(&report, &mut unsettled, &mut latency, &mut judged);
+        reports.push(report);
+    }
+    debug_assert!(unsettled.is_empty(), "flush must settle every admitted sample");
+    Collated { reports, latency, judged, admitted_samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Judgement;
+
+    /// Accepts first outputs >= 0.5; optionally dawdles per sample so
+    /// tests can congest the admission queue deterministically.
+    struct Slowpoke {
+        delay: Duration,
+    }
+
+    impl DriftDetector for Slowpoke {
+        fn name(&self) -> &'static str {
+            "slowpoke"
+        }
+
+        fn judge_one(&self, _embedding: &[f64], outputs: &[f64]) -> Judgement {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            Judgement::single(outputs[0] < 0.5)
+        }
+    }
+
+    fn sample(i: usize) -> Sample {
+        let conf = 0.2 + 0.6 * ((i % 7) as f64 / 6.0);
+        Sample::new(vec![i as f64], vec![conf, 1.0 - conf])
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_edges_are_tight() {
+        let mut previous = None;
+        for ns in (0..4096u64).chain([u64::MAX - 1, u64::MAX]) {
+            let index = LatencyHistogram::bucket_index(ns);
+            if let Some(prev) = previous {
+                assert!(index >= prev, "bucket index must be monotone at {ns}");
+            }
+            previous = Some(index);
+            assert!(index < BUCKETS, "index {index} out of range at {ns}");
+            assert!(
+                LatencyHistogram::bucket_upper_edge(index) >= ns,
+                "value {ns} above its bucket's upper edge"
+            );
+            if index > 0 {
+                assert!(
+                    LatencyHistogram::bucket_upper_edge(index - 1) < ns,
+                    "value {ns} at or below the previous bucket's edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_below_32ns_and_within_error_above() {
+        let mut hist = LatencyHistogram::new();
+        for ns in 1..=31u64 {
+            hist.record_ns(ns);
+        }
+        assert_eq!(hist.percentile_ns(0.5), 16, "sub-32 values are exact");
+        assert_eq!(hist.percentile_ns(1.0), 31);
+        assert_eq!(hist.min_ns(), 1);
+
+        let mut hist = LatencyHistogram::new();
+        for ns in 1..=100_000u64 {
+            hist.record_ns(ns);
+        }
+        let p50 = hist.percentile_ns(0.5);
+        assert!((50_000..=51_600).contains(&p50), "p50 {p50} outside 3.2% above true median");
+        let p99 = hist.percentile_ns(0.99);
+        assert!((99_000..=102_200).contains(&p99), "p99 {p99} outside 3.2% above true p99");
+        assert_eq!(hist.percentile_ns(1.0), 100_000, "p100 clamps to the observed max");
+        assert_eq!(hist.mean_ns(), 50_000, "mean is exact");
+    }
+
+    #[test]
+    fn merged_histograms_match_recording_into_one() {
+        let mut all = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            let ns = (i * 7919) % 1_000_000;
+            all.record_ns(ns);
+            if i % 2 == 0 { &mut left } else { &mut right }.record_ns(ns);
+        }
+        left.merge(&right);
+        assert_eq!(left.summary(), all.summary());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(
+            hist.summary(),
+            LatencySummary {
+                count: 0,
+                p50_ns: 0,
+                p99_ns: 0,
+                p999_ns: 0,
+                mean_ns: 0,
+                min_ns: 0,
+                max_ns: 0
+            }
+        );
+    }
+
+    #[test]
+    fn single_producer_reports_match_the_synchronous_pipeline() {
+        let det = Slowpoke { delay: Duration::ZERO };
+        let config = PipelineConfig { window: 8, shards: 2, ..Default::default() };
+        let mut sync = DeploymentPipeline::new(&det, config);
+        let mut expected = sync.extend((0..45).map(sample));
+        while let Some(report) = sync.flush() {
+            expected.push(report);
+        }
+
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: config,
+            queue: 16,
+            record_admitted: false,
+        });
+        let (submitted, outcome) = front.serve(&det, |handle| {
+            for i in 0..45 {
+                handle.submit(sample(i)).expect("collator alive");
+            }
+            45
+        });
+        assert_eq!(submitted, 45);
+        assert_eq!(outcome.admitted, 45);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(outcome.judged, 45);
+        assert_eq!(outcome.latency.count(), 45);
+        assert_eq!(outcome.reports.len(), expected.len());
+        for (served, sync) in outcome.reports.iter().zip(&expected) {
+            assert_eq!(served.index, sync.index);
+            assert_eq!(served.start, sync.start);
+            assert_eq!(served.judgements, sync.judgements);
+            assert_eq!(served.flagged, sync.flagged);
+            assert_eq!(served.relabel, sync.relabel);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_judge_every_admitted_sample_exactly_once() {
+        let det = Slowpoke { delay: Duration::ZERO };
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig {
+                window: 16,
+                shards: 2,
+                double_buffer: true,
+                ..Default::default()
+            },
+            queue: 8,
+            record_admitted: true,
+        });
+        let producers = 4;
+        let per_producer = 100;
+        let ((), outcome) = front.serve(&det, |handle| {
+            std::thread::scope(|s| {
+                for p in 0..producers {
+                    let handle = handle.clone();
+                    s.spawn(move || {
+                        for i in 0..per_producer {
+                            handle.submit(sample(p * 1000 + i)).expect("collator alive");
+                        }
+                    });
+                }
+            });
+        });
+        let total = (producers * per_producer) as u64;
+        assert_eq!(outcome.admitted, total);
+        assert_eq!(outcome.judged as u64, total);
+        assert_eq!(outcome.latency.count(), total);
+        assert_eq!(outcome.admitted_samples.len() as u64, total);
+        // Every submitted sample arrived exactly once, whatever the
+        // interleaving.
+        let mut ids: Vec<i64> =
+            outcome.admitted_samples.iter().map(|s| s.embedding[0] as i64).collect();
+        ids.sort_unstable();
+        let mut expected: Vec<i64> = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| (p * 1000 + i) as i64))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+        // Reports cover the admitted order window by window.
+        let report_total: usize = outcome.reports.iter().map(|r| r.judgements.len()).sum();
+        assert_eq!(report_total as u64, total);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_on_a_congested_queue() {
+        // A dawdling detector with a tiny queue: once a window is judging,
+        // the queue backs up and try_submit must start bouncing.
+        let det = Slowpoke { delay: Duration::from_millis(5) };
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig { window: 2, shards: 1, ..Default::default() },
+            queue: 1,
+            record_admitted: false,
+        });
+        let (sheds, outcome) = front.serve(&det, |handle| {
+            let mut sheds = 0u64;
+            let mut admitted = 0;
+            // Cap the attempts so a pathological scheduler cannot hang
+            // the test; normally a handful of windows suffices.
+            for i in 0..10_000 {
+                match handle.try_submit(sample(i)) {
+                    Ok(()) => admitted += 1,
+                    Err(SubmitError::Full(_)) => sheds += 1,
+                    Err(SubmitError::Closed(_)) => unreachable!("collator died"),
+                }
+                if sheds >= 3 && admitted >= 4 {
+                    break;
+                }
+            }
+            sheds
+        });
+        assert!(sheds >= 3, "a 1-deep queue behind a dawdling judge must shed");
+        assert_eq!(outcome.rejected, sheds);
+        assert_eq!(outcome.judged as u64, outcome.admitted);
+    }
+
+    #[test]
+    fn serve_multi_reports_every_detector_per_window() {
+        let hot = Slowpoke { delay: Duration::ZERO };
+        let cold = Slowpoke { delay: Duration::ZERO };
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig { window: 4, shards: 2, ..Default::default() },
+            queue: 32,
+            record_admitted: false,
+        });
+        let ((), outcome) = front.serve_multi(vec![&hot, &cold], |handle| {
+            for i in 0..10 {
+                handle.submit(sample(i)).expect("collator alive");
+            }
+        });
+        assert_eq!(outcome.judged, 10);
+        assert_eq!(outcome.reports.len(), 3, "two full windows plus the tail");
+        for multi in &outcome.reports {
+            assert_eq!(multi.reports.len(), 2, "one report per detector");
+        }
+        assert_eq!(outcome.latency.count(), 10);
+    }
+
+    #[test]
+    fn collator_panic_resurfaces_on_the_caller() {
+        struct Grenade;
+        impl DriftDetector for Grenade {
+            fn name(&self) -> &'static str {
+                "grenade"
+            }
+            fn judge_one(&self, _e: &[f64], _o: &[f64]) -> Judgement {
+                panic!("boom: detector panicked while judging");
+            }
+        }
+        let det = Grenade;
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig { window: 1, shards: 1, ..Default::default() },
+            queue: 4,
+            record_admitted: false,
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            front.serve(&det, |handle| {
+                // The collator dies on the first sample; later submits
+                // may see Closed, which is fine — we only care that the
+                // panic reaches this caller.
+                for i in 0..4 {
+                    let _ = handle.submit(sample(i));
+                }
+            })
+        }))
+        .expect_err("the detector panic must resurface");
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(message.contains("boom"), "unexpected payload: {message}");
+    }
+}

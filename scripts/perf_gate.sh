@@ -3,11 +3,13 @@
 # compare against the committed baseline (BENCH_pipeline.json).
 #
 #   scripts/perf_gate.sh [bench-name ...]   # default: pipeline recalibration
-#                                           #          multi_pipeline
+#                                           #          multi_pipeline kernel
+#                                           #          serving
 #
 # Semantics live in crates/bench/src/bin/perf_gate.rs. The baseline holds
-# one medians map per machine fingerprint: on a machine with a recorded
-# entry any >25% median slowdown fails the gate; on a machine without one
+# one metrics map per machine fingerprint: on a machine with a recorded
+# entry any >25% median slowdown — or >25% p99 latency slowdown, where
+# both sides recorded a p99 — fails the gate; on a machine without one
 # the measured run's outcome is predetermined (bootstrap-and-pass), so
 # this script skips the expensive benches entirely unless
 # PERF_GATE_BOOTSTRAP=1 forces a run to (re-)record this machine's entry —
@@ -47,7 +49,7 @@ fi
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(pipeline recalibration multi_pipeline kernel)
+    benches=(pipeline recalibration multi_pipeline kernel serving)
 fi
 bench_args=()
 for b in "${benches[@]}"; do

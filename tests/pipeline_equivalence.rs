@@ -744,6 +744,7 @@ fn run_single_online(
             selection,
             policy: CalibrationPolicy::Reservoir { cap: 9, seed: 7 },
             double_buffer: true,
+            ..Default::default()
         },
         |global, _s| Some(Truth::Label(global % 3)),
     );
@@ -789,6 +790,7 @@ fn multi_pipeline_online_reservoir_matches_independent_pipelines() {
                 selection,
                 policy: CalibrationPolicy::Reservoir { cap: 9, seed: 7 },
                 double_buffer: true,
+                ..Default::default()
             },
             |global, _s| Some(Truth::Label(global % 3)),
         );
@@ -875,6 +877,7 @@ fn multi_shared_budget_absorbs_identically_across_execution_modes() {
                 selection: SelectionPolicy::CredibilityRank,
                 policy: CalibrationPolicy::Reservoir { cap: 9, seed: 5 },
                 double_buffer,
+                ..Default::default()
             },
             |global, _s| Some(Truth::Label(global % 3)),
         )
