@@ -1,10 +1,483 @@
-//! Offline stand-in for the `serde` facade crate.
+//! Offline stand-in for the slice of `serde` this workspace uses.
 //!
-//! Re-exports the no-op derive macros from `compat/serde_derive` so that
-//! `#[derive(Serialize, Deserialize)]` and `use serde::{Serialize,
-//! Deserialize}` compile unchanged. See `compat/serde_derive` for why a
-//! no-op expansion is sufficient here.
+//! Instead of the real crate's visitor-based data model, the stand-in
+//! defines [`Serialize`] / [`Deserialize`] directly over the
+//! `serde_json` stand-in's [`Value`] tree — the only data format the
+//! workspace serializes to. The [`Serialize`]/[`Deserialize`] **derive
+//! macros** (re-exported from `serde_derive`) generate real
+//! implementations for the shapes the workspace uses:
+//!
+//! * structs with named fields;
+//! * enums with unit, newtype (single-field tuple), and struct variants,
+//!   encoded externally tagged exactly like real serde
+//!   (`"Variant"`, `{"Variant": value}`, `{"Variant": {..fields..}}`).
+//!
+//! Round-trip fidelity is the design constraint: detector snapshots go
+//! through these traits, and a restored detector must resume
+//! **bit-identical** to the process that wrote the snapshot. `f64` values
+//! therefore serialize via [`Value::Number`] (printed shortest-round-trip
+//! by `serde_json`), with two documented normalizations: NaN payload bits
+//! collapse to the canonical NaN, and `Option<f64>::Some(NAN)` is
+//! indistinguishable from `None` on the wire (both print `null`).
 
 #![warn(missing_docs)]
 
+// Lets this crate's own tests resolve the `::serde::` paths the derive
+// macros emit.
+extern crate self as serde;
+
 pub use serde_derive::{Deserialize, Serialize};
+pub use serde_json::{Map, Value};
+
+/// Error produced when a [`Value`] does not match the shape a
+/// [`Deserialize`] implementation expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    detail: String,
+}
+
+impl DeError {
+    /// An error with a free-form description.
+    pub fn custom(detail: impl Into<String>) -> Self {
+        Self { detail: detail.into() }
+    }
+
+    /// A required field was absent from an object.
+    pub fn missing_field(name: &str) -> Self {
+        Self::custom(format!("missing field `{name}`"))
+    }
+
+    /// An enum tag named no known variant.
+    pub fn unknown_variant(tag: &str, enum_name: &str) -> Self {
+        Self::custom(format!("unknown variant `{tag}` of enum `{enum_name}`"))
+    }
+
+    /// Wraps the error with the field it occurred under.
+    pub fn in_field(self, name: &str) -> Self {
+        Self::custom(format!("field `{name}`: {}", self.detail))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree (the stand-in's whole data model).
+pub trait Serialize {
+    /// The value as a JSON tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads a value of `Self` from `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `v` does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// What a struct field of this type deserializes to when the field is
+    /// absent from the object. Errors by default; `Option<T>` overrides it
+    /// to `None`, mirroring real serde.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError::missing_field`] unless overridden.
+    fn from_missing_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(name))
+    }
+}
+
+/// Reads field `name` of object `v` — the helper behind derived struct
+/// implementations (missing fields defer to
+/// [`Deserialize::from_missing_field`], so `Option` fields may be omitted).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when `v` is not an object or the field fails to
+/// deserialize.
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(map) => match map.get(name) {
+            Some(inner) => T::from_value(inner).map_err(|e| e.in_field(name)),
+            None => T::from_missing_field(name),
+        },
+        _ => Err(DeError::custom("expected an object")),
+    }
+}
+
+/// Builds the externally tagged form `{"name": inner}` — the helper behind
+/// derived newtype/struct enum variants.
+pub fn variant_value(name: &str, inner: Value) -> Value {
+    let mut map = Map::new();
+    map.insert(name.to_string(), inner);
+    Value::Object(map)
+}
+
+/// Splits an externally tagged enum value into `(tag, payload)`:
+/// a bare string is a unit variant (`payload = None`), a single-key object
+/// is a newtype or struct variant.
+///
+/// # Errors
+///
+/// Returns [`DeError`] for any other shape.
+pub fn variant_of(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::String(tag) => Ok((tag.as_str(), None)),
+        Value::Object(map) if map.len() == 1 => {
+            let (tag, inner) = map.iter().next().expect("len() == 1");
+            Ok((tag.as_str(), Some(inner)))
+        }
+        _ => Err(DeError::custom(
+            "expected an externally tagged enum (a string or a single-key object)",
+        )),
+    }
+}
+
+impl Serialize for Value {
+    /// Identity: a [`Value`] is already its own serialized form. Lets
+    /// already-assembled trees (e.g. detector snapshots embedded in a
+    /// larger snapshot) pass through typed fields unchanged.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::custom("expected a boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::custom("expected a string"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            // Hand-written JSON may spell whole floats without a marker.
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            // The printer writes NaN as `null` (JSON has no NaN); the read
+            // side restores the canonical NaN.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::custom("expected a number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let out = match v {
+                    Value::Int(n) => <$t>::try_from(*n).ok(),
+                    Value::UInt(n) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    DeError::custom(concat!("expected an integer in range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom("expected an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected a {N}-element array, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, Serialize::to_value)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = v.as_array().ok_or_else(|| DeError::custom("expected an array"))?;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected a {LEN}-element array, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Serializes `value` to the pretty-printed JSON text used for snapshots —
+/// a convenience pairing [`Serialize`] with `serde_json`'s printer.
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    serde_json::to_string_pretty(&value.to_value()).expect("Value printing is infallible")
+}
+
+/// Parses JSON text and deserializes a `T` from it.
+///
+/// # Errors
+///
+/// Returns [`DeError`] on malformed JSON or a shape mismatch.
+pub fn from_json_str<T: Deserialize>(text: &str) -> Result<T, DeError> {
+    let value = serde_json::from_str(text).map_err(|e| DeError::custom(e.to_string()))?;
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        name: String,
+        weight: f64,
+        count: usize,
+        flag: bool,
+        maybe: Option<f64>,
+        pairs: Vec<(usize, f64)>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Newtype(usize),
+        Struct { cap: usize, seed: u64 },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        inner: Plain,
+        shapes: Vec<Shape>,
+        words: [u64; 4],
+    }
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = to_json_string(v);
+        let back: T = from_json_str(&text).unwrap_or_else(|e| panic!("{e} in {text}"));
+        assert_eq!(&back, v, "{text}");
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        round_trip(&Plain {
+            name: "a\"b\n".into(),
+            weight: 0.1 + 0.2,
+            count: 7,
+            flag: true,
+            maybe: Some(-0.0),
+            pairs: vec![(0, 1e300), (3, 5e-324)],
+        });
+    }
+
+    #[test]
+    fn derived_enum_round_trips_every_variant_shape() {
+        round_trip(&Shape::Unit);
+        round_trip(&Shape::Newtype(9));
+        round_trip(&Shape::Struct { cap: 256, seed: u64::MAX });
+        round_trip(&Nested {
+            inner: Plain {
+                name: String::new(),
+                weight: f64::NEG_INFINITY,
+                count: 0,
+                flag: false,
+                maybe: None,
+                pairs: vec![],
+            },
+            shapes: vec![Shape::Unit, Shape::Struct { cap: 1, seed: 2 }, Shape::Newtype(0)],
+            words: [u64::MAX, 0, 1, 42],
+        });
+    }
+
+    #[test]
+    fn float_bits_survive_the_typed_round_trip() {
+        for bits in
+            [(-0.0f64).to_bits(), (0.1f64 + 0.2).to_bits(), 1e300f64.to_bits(), 5e-324f64.to_bits()]
+        {
+            let v = Plain {
+                name: String::new(),
+                weight: f64::from_bits(bits),
+                count: 0,
+                flag: false,
+                maybe: None,
+                pairs: vec![],
+            };
+            let back: Plain = from_json_str(&to_json_string(&v)).unwrap();
+            assert_eq!(back.weight.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn nan_normalizes_to_canonical_nan() {
+        let v = Plain {
+            name: String::new(),
+            weight: f64::from_bits(0x7ff8_dead_beef_0001), // payload-carrying NaN
+            count: 0,
+            flag: false,
+            maybe: None,
+            pairs: vec![],
+        };
+        let back: Plain = from_json_str(&to_json_string(&v)).unwrap();
+        assert!(back.weight.is_nan(), "NaN must stay NaN (payload normalized)");
+    }
+
+    #[test]
+    fn missing_option_field_reads_as_none() {
+        let back: Plain = from_json_str(
+            r#"{"name": "x", "weight": 1.5, "count": 2, "flag": false, "pairs": []}"#,
+        )
+        .unwrap();
+        assert_eq!(back.maybe, None);
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let err = from_json_str::<Plain>(r#"{"name": "x"}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field `weight`"), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatches_are_errors_not_panics() {
+        assert!(from_json_str::<Shape>(r#"{"Unit": 1, "Newtype": 2}"#).is_err());
+        assert!(from_json_str::<Shape>(r#""NoSuchVariant""#).is_err());
+        assert!(from_json_str::<usize>("-3").is_err());
+        assert!(from_json_str::<u8>("256").is_err());
+        assert!(from_json_str::<bool>("1").is_err());
+        assert!(from_json_str::<Vec<f64>>(r#"{"a": 1}"#).is_err());
+        assert!(from_json_str::<[u64; 4]>("[1, 2, 3]").is_err());
+    }
+
+    #[test]
+    fn integers_cross_check_int_and_uint_storage() {
+        // u64::MAX round-trips through Value::UInt; i64 values through Int.
+        let big: u64 = from_json_str(&u64::MAX.to_string()).unwrap();
+        assert_eq!(big, u64::MAX);
+        let neg: i64 = from_json_str("-9007199254740993").unwrap();
+        assert_eq!(neg, -9_007_199_254_740_993);
+    }
+}

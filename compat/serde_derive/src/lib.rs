@@ -1,22 +1,369 @@
-//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! Real `Serialize` / `Deserialize` derives for the offline `serde`
 //! stand-in (see `compat/serde`).
 //!
-//! The workspace derives these traits on result/config structs so that a
-//! future build against real `serde` picks serialization up for free, but
-//! nothing in the workspace calls the traits generically — JSON output goes
-//! through the `compat/serde_json` value API instead. Expanding to nothing
-//! is therefore sufficient and keeps the stand-in dependency-free.
+//! Detector snapshots made these derives load-bearing: the workspace now
+//! calls the traits, so expanding to nothing no longer works. The macros
+//! generate [`Value`]-tree conversions for the shapes the workspace uses —
+//! structs with named fields, and enums with unit / newtype / struct
+//! variants (externally tagged, matching real serde's JSON encoding).
+//!
+//! To stay dependency-free (no `syn`/`quote`, which the build environment
+//! cannot download), the input is parsed directly from the
+//! `proc_macro::TokenTree` stream and the impl is emitted as a source
+//! string. Unsupported shapes — generics, tuple structs, multi-field tuple
+//! variants, unions — panic with a clear message at expansion time rather
+//! than generating wrong code.
+//!
+//! [`Value`]: ../serde_json/enum.Value.html
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
 
-/// Derives nothing; accepts anything `#[derive(Serialize)]` is placed on.
+/// Derives `serde::Serialize` (the offline stand-in's `to_value`).
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    let src = match &input.shape {
+        Shape::Struct(fields) => gen_struct_serialize(&input.name, fields),
+        Shape::Enum(variants) => gen_enum_serialize(&input.name, variants),
+    };
+    src.parse().expect("generated Serialize impl must parse")
 }
 
-/// Derives nothing; accepts anything `#[derive(Deserialize)]` is placed on.
+/// Derives `serde::Deserialize` (the offline stand-in's `from_value`).
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    let src = match &input.shape {
+        Shape::Struct(fields) => gen_struct_deserialize(&input.name, fields),
+        Shape::Enum(variants) => gen_enum_deserialize(&input.name, variants),
+    };
+    src.parse().expect("generated Deserialize impl must parse")
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    /// Variant name plus its named fields.
+    Struct(String, Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+/// Advances past any `#[...]` attribute pairs (doc comments arrive as
+/// attributes too). Token-level, so `]` inside a doc string cannot confuse
+/// it.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            _ => panic!("serde derive stand-in: `#` not followed by a bracketed attribute"),
+        }
+    }
+}
+
+/// Advances past `pub` / `pub(...)` if present.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive stand-in: expected {what}, found {other:?}"),
+    }
+}
+
+/// Advances past one field type, tracking `<`/`>` nesting so only a
+/// *top-level* `,` terminates it (`Vec<(usize, f64)>` is one type).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1; // consume the separator
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the contents of a `{ name: Type, ... }` group into field names.
+fn parse_named_fields(group: &proc_macro::Group, owner: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing attribute-only garbage; nothing left
+        }
+        let name = expect_ident(&tokens, &mut i, &format!("a field name in `{owner}`"));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde derive stand-in: expected `:` after `{owner}.{name}`, found {other:?}"
+            ),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// True when the paren group holds more than one tuple field (a top-level
+/// comma followed by another field — a plain trailing comma is fine).
+fn has_second_tuple_field(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut angle_depth = 0i32;
+    for (idx, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return idx + 1 < tokens.len(),
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_variants(group: &proc_macro::Group, owner: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, &format!("a variant name in `{owner}`"));
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if has_second_tuple_field(g) {
+                    panic!(
+                        "serde derive stand-in: multi-field tuple variant `{owner}::{name}` is \
+                         not supported (use a struct variant)"
+                    );
+                }
+                variants.push(Variant::Newtype(name.clone()));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g, &format!("{owner}::{name}"));
+                variants.push(Variant::Struct(name.clone(), fields));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name.clone())),
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!(
+                "serde derive stand-in: unsupported syntax after variant `{owner}::{name}` \
+                 (discriminants are not supported): {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_input(item: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    if kind == "union" {
+        panic!("serde derive stand-in: unions are not supported");
+    }
+    let name = expect_ident(&tokens, &mut i, "the type name");
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in: generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!(
+            "serde derive stand-in: `{name}` must have a braced body \
+             (tuple and unit structs are not supported)"
+        ),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name)),
+        "enum" => Shape::Enum(parse_variants(body, &name)),
+        other => panic!("serde derive stand-in: expected `struct` or `enum`, found `{other}`"),
+    };
+    Input { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (absolute `::serde::` / `::std::` paths throughout, so the
+// expansion works regardless of what the call site has in scope)
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let _ = writeln!(
+            body,
+            "        map.insert(::std::string::String::from({f:?}), \
+             ::serde::Serialize::to_value(&self.{f}));"
+        );
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{\n\
+         \x20       let mut map = ::serde::Map::new();\n\
+         {body}\
+         \x20       ::serde::Value::Object(map)\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let _ = writeln!(body, "            {f}: ::serde::de_field(value, {f:?})?,");
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         \x20       ::std::result::Result::Ok({name} {{\n\
+         {body}\
+         \x20       }})\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match v {
+            Variant::Unit(vn) => {
+                let _ = writeln!(
+                    arms,
+                    "            {name}::{vn} => \
+                     ::serde::Value::String(::std::string::String::from({vn:?})),"
+                );
+            }
+            Variant::Newtype(vn) => {
+                let _ = writeln!(
+                    arms,
+                    "            {name}::{vn}(f0) => \
+                     ::serde::variant_value({vn:?}, ::serde::Serialize::to_value(f0)),"
+                );
+            }
+            Variant::Struct(vn, fields) => {
+                let binds = fields.join(", ");
+                let mut inserts = String::new();
+                for f in fields {
+                    let _ = writeln!(
+                        inserts,
+                        "                map.insert(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}));"
+                    );
+                }
+                let _ = writeln!(
+                    arms,
+                    "            {name}::{vn} {{ {binds} }} => {{\n\
+                     \x20               let mut map = ::serde::Map::new();\n\
+                     {inserts}\
+                     \x20               ::serde::variant_value({vn:?}, ::serde::Value::Object(map))\n\
+                     \x20           }}"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{\n\
+         \x20       match self {{\n\
+         {arms}\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match v {
+            Variant::Unit(vn) => {
+                let _ = writeln!(
+                    arms,
+                    "            ({vn:?}, ::std::option::Option::None) => \
+                     ::std::result::Result::Ok({name}::{vn}),"
+                );
+            }
+            Variant::Newtype(vn) => {
+                let _ = writeln!(
+                    arms,
+                    "            ({vn:?}, ::std::option::Option::Some(inner)) => \
+                     ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(inner)?)),"
+                );
+            }
+            Variant::Struct(vn, fields) => {
+                let mut body = String::new();
+                for f in fields {
+                    let _ =
+                        writeln!(body, "                {f}: ::serde::de_field(inner, {f:?})?,");
+                }
+                let _ = writeln!(
+                    arms,
+                    "            ({vn:?}, ::std::option::Option::Some(inner)) => \
+                     ::std::result::Result::Ok({name}::{vn} {{\n\
+                     {body}\
+                     \x20           }}),"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         \x20       match ::serde::variant_of(value)? {{\n\
+         {arms}\
+         \x20           (tag, _) => \
+         ::std::result::Result::Err(::serde::DeError::unknown_variant(tag, {name:?})),\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n"
+    )
 }

@@ -469,13 +469,29 @@ fn escape_into(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Prints a [`Value::Number`] so that parsing the text back yields the
+/// **identical bit pattern** (the property detector snapshots depend on):
+///
+/// * finite values use Rust's `{:?}` formatting, which is the shortest
+///   decimal that round-trips — and, unlike `{}` plus an "integral floats
+///   print bare" fast path, never drops the float marker (`4.0` stays
+///   `4.0`, `-0.0` keeps its sign) or the exponent (`1e300`, `5e-324`), so
+///   the parser re-reads a [`Value::Number`] with the same bits rather than
+///   a [`Value::Int`];
+/// * `±inf` print as `1e999` / `-1e999` — syntactically valid JSON numbers
+///   that overflow back to the same infinities on parse;
+/// * NaN prints as `null` (JSON has no NaN; parsing returns [`Value::Null`]
+///   and the typed deserializers map it back to the *canonical* NaN —
+///   payload bits are the one documented normalization).
 fn write_number(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        out.push_str("null"); // JSON has no NaN/inf; mirror serde_json's refusal conservatively
-    } else if n == n.trunc() && n.abs() < 9.0e15 {
-        let _ = write!(out, "{}", n as i64);
+    if n.is_nan() {
+        out.push_str("null");
+    } else if n == f64::INFINITY {
+        out.push_str("1e999");
+    } else if n == f64::NEG_INFINITY {
+        out.push_str("-1e999");
     } else {
-        let _ = write!(out, "{n}");
+        let _ = write!(out, "{n:?}");
     }
 }
 
@@ -676,13 +692,49 @@ mod tests {
     }
 
     #[test]
-    fn integral_floats_print_without_fraction() {
+    fn floats_keep_their_float_marker() {
+        // Integral floats keep `.0` so the parser re-reads a Number (same
+        // bits), never an Int — the old bare-integer fast path broke the
+        // round-trip for every snapshot containing a whole-valued f64.
         let mut s = String::new();
         write_number(&mut s, 4.0);
-        assert_eq!(s, "4");
+        assert_eq!(s, "4.0");
         s.clear();
         write_number(&mut s, 4.25);
         assert_eq!(s, "4.25");
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact_on_adversarial_values() {
+        for bits in [
+            (-0.0f64).to_bits(),
+            f64::MIN_POSITIVE.to_bits(), // smallest normal
+            5e-324f64.to_bits(),         // smallest subnormal
+            1e300f64.to_bits(),
+            (-1e300f64).to_bits(),
+            (0.1f64 + 0.2f64).to_bits(),
+            f64::MAX.to_bits(),
+            f64::EPSILON.to_bits(),
+            1.0f64.to_bits(),
+            9007199254740994.0f64.to_bits(), // above 2^53: integral but f64-rounded
+        ] {
+            let n = f64::from_bits(bits);
+            let text = to_string_pretty(&Value::Number(n)).unwrap();
+            let parsed = from_str(&text).unwrap();
+            let Value::Number(back) = parsed else {
+                panic!("{text:?} must re-parse as a Number, got {parsed:?}");
+            };
+            assert_eq!(back.to_bits(), bits, "{text}");
+        }
+    }
+
+    #[test]
+    fn infinities_round_trip_and_nan_normalizes_to_null() {
+        for n in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = to_string_pretty(&Value::Number(n)).unwrap();
+            assert_eq!(from_str(&text).unwrap(), Value::Number(n), "{text}");
+        }
+        assert_eq!(to_string_pretty(&Value::Number(f64::NAN)).unwrap(), "null");
     }
 
     #[test]
@@ -756,6 +808,50 @@ mod tests {
         assert_eq!(v.get("missing"), None);
         assert_eq!(Value::Null.as_f64(), None);
         assert_eq!(Value::Null.get("k"), None);
+    }
+
+    mod float_bit_patterns {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4096))]
+
+            // Draw the sign/exponent/mantissa fields independently so every
+            // float class (normals of any magnitude, subnormals, zeros,
+            // infinities, NaNs) is generated, not just the huge-exponent
+            // values a uniform u64 draw concentrates on.
+            #[test]
+            fn every_f64_bit_pattern_round_trips(
+                sign in 0u64..2,
+                exponent in 0u64..2048,
+                mantissa in 0u64..(1u64 << 52),
+            ) {
+                let bits = (sign << 63) | (exponent << 52) | mantissa;
+                let n = f64::from_bits(bits);
+                let text = to_string_pretty(&Value::Number(n)).unwrap();
+                let parsed = from_str(&text).unwrap();
+                if n.is_nan() {
+                    // Documented normalization: NaN payloads collapse to
+                    // `null` (typed readers restore the canonical NaN).
+                    prop_assert_eq!(parsed, Value::Null);
+                } else {
+                    let Value::Number(back) = parsed else {
+                        return Err(crate::tests::fail_not_number(&text, &parsed));
+                    };
+                    prop_assert_eq!(back.to_bits(), bits, "text {}", text);
+                }
+            }
+        }
+    }
+
+    pub(super) fn fail_not_number(
+        text: &str,
+        parsed: &Value,
+    ) -> proptest::test_runner::TestCaseError {
+        proptest::test_runner::TestCaseError::fail(&format!(
+            "{text:?} must re-parse as a Number, got {parsed:?}"
+        ))
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! The shared base/absorbed score ledger of the single-function baselines.
+//!
+//! `NaiveCp`, `Tesseract`, and `Rise` all judge against a [`ScoreTable`]
+//! that only holds per-label `(label, score)` multisets — the sorted
+//! buckets forget which entry came from which record. Base eviction and
+//! snapshot/restore both need that provenance back, so each baseline
+//! carries two ledgers: the design-time **base** entries still live
+//! (oldest first) and the online **absorbed** entries in absorb order.
+//! The live table is always exactly the multiset `base ++ absorbed`,
+//! which is what makes a ledger-driven rebuild ([`ScoreTable::new`])
+//! bit-identical to the incrementally grown original, and an oldest-base
+//! removal bit-identical to a from-scratch fit on the surviving window.
+
+use prom_core::calibration::CalibrationRecord;
+use prom_core::nonconformity::{Lac, Nonconformity};
+use prom_core::scoring::ScoreTable;
+use serde::DeError;
+
+/// One ledgered calibration entry: `(label, LAC score)`.
+pub(crate) type Entry = (usize, f64);
+
+/// The `(label, LAC score)` ledger of a design-time record set, in record
+/// order — built at construction alongside `ScoreTable::from_records`,
+/// which scores the records the same way.
+pub(crate) fn base_entries(records: &[CalibrationRecord]) -> Vec<Entry> {
+    records.iter().map(|r| (r.label, Lac.score(&r.probs, r.label))).collect()
+}
+
+/// Validates snapshot ledger entries against a table shape: every label in
+/// range, every score NaN-free ([`ScoreTable::new`] would panic on either,
+/// and a corrupt snapshot must error, not panic).
+pub(crate) fn validate_entries(
+    which: &str,
+    entries: &[Entry],
+    n_labels: usize,
+) -> Result<(), DeError> {
+    for (i, &(label, score)) in entries.iter().enumerate() {
+        if label >= n_labels {
+            return Err(DeError::custom(format!(
+                "snapshot {which} entry {i} has label {label}, table holds {n_labels} labels"
+            )));
+        }
+        if score.is_nan() {
+            return Err(DeError::custom(format!("snapshot {which} entry {i} has a NaN score")));
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds the live score table from its ledgers: the sorted multiset of
+/// `base ++ absorbed`, bit-identical to the incrementally grown original
+/// (inserts and removals preserve sorted-multiset equality with a rebuild;
+/// `tests/recalibration_equivalence.rs`).
+pub(crate) fn rebuild_table(base: &[Entry], absorbed: &[Entry], n_labels: usize) -> ScoreTable {
+    let labels: Vec<usize> = base.iter().chain(absorbed).map(|&(label, _)| label).collect();
+    let scores: Vec<f64> = base.iter().chain(absorbed).map(|&(_, score)| score).collect();
+    ScoreTable::new(&labels, &scores, n_labels)
+}
+
+/// The shared `evict_oldest_base` body: retires the oldest base entry from
+/// both the ledger and the live table. Refuses when no base entries remain
+/// or eviction would empty the table (a detector must always have at least
+/// one calibration score to judge against).
+pub(crate) fn evict_oldest(base: &mut Vec<Entry>, table: &mut ScoreTable) -> bool {
+    if base.is_empty() || table.len() <= 1 {
+        return false;
+    }
+    let (label, score) = base.remove(0);
+    let removed = table.remove(label, score);
+    debug_assert!(removed, "base ledger must track the live table");
+    true
+}

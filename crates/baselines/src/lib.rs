@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub(crate) mod ledger;
 pub mod naive_cp;
 pub mod rise;
 pub mod tesseract;

@@ -10,14 +10,20 @@ use prom_core::calibration::CalibrationRecord;
 use prom_core::detector::{DriftDetector, Judgement, Relabeled, Truth};
 use prom_core::nonconformity::{Lac, Nonconformity};
 use prom_core::scoring::ScoreTable;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::ledger;
 
 /// A plain split-CP misprediction detector.
 pub struct NaiveCp {
     table: ScoreTable,
     epsilon: f64,
-    /// Size of the design-time calibration set; records at indices below
-    /// this are never evicted by the online reservoir.
-    base_len: usize,
+    /// `(label, score)` of each design-time base record still live, oldest
+    /// first — shrunk from the front by `evict_oldest_base`. Records at
+    /// indices below `base.len()` are never evicted by the online
+    /// reservoir, so the live base length is the slot offset for
+    /// `replace_record`.
+    base: Vec<(usize, f64)>,
     /// `(label, score)` of each record absorbed online, in absorb order —
     /// the bookkeeping `replace_record` needs to evict a reservoir slot
     /// from the pre-sorted table.
@@ -36,7 +42,7 @@ impl NaiveCp {
         Self {
             table: ScoreTable::from_records(records, &Lac, records[0].probs.len()),
             epsilon,
-            base_len: records.len(),
+            base: ledger::base_entries(records),
             absorbed: Vec::new(),
         }
     }
@@ -69,6 +75,22 @@ impl NaiveCp {
         }
         Some(CalibrationRecord::new(r.sample.embedding.clone(), r.sample.outputs.clone(), label))
     }
+}
+
+/// Snapshot tag distinguishing naive-CP snapshots from other detectors'.
+const NAIVE_CP_SNAPSHOT_TAG: &str = "naive-cp";
+
+/// The portable state of a [`NaiveCp`]: ε plus both score ledgers. The
+/// live table is exactly the multiset `base ++ absorbed`, so the ledgers
+/// are the complete state — restore rebuilds the table from them,
+/// bit-identical to the incrementally grown original.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NaiveCpSnapshot {
+    detector: String,
+    epsilon: f64,
+    n_labels: usize,
+    base: Vec<(usize, f64)>,
+    absorbed: Vec<(usize, f64)>,
 }
 
 impl DriftDetector for NaiveCp {
@@ -111,7 +133,7 @@ impl DriftDetector for NaiveCp {
     /// binary-search removal plus one binary-search insert, the same
     /// absorbed-slot scheme as `Rise`.
     fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
-        let Some(slot) = index.checked_sub(self.base_len) else {
+        let Some(slot) = index.checked_sub(self.base.len()) else {
             return false;
         };
         if slot >= self.absorbed.len() {
@@ -127,6 +149,57 @@ impl DriftDetector for NaiveCp {
         self.table.insert(record.label, score);
         self.absorbed[slot] = (record.label, score);
         true
+    }
+
+    fn base_len(&self) -> Option<usize> {
+        Some(self.base.len())
+    }
+
+    fn evict_oldest_base(&mut self) -> bool {
+        ledger::evict_oldest(&mut self.base, &mut self.table)
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(
+            NaiveCpSnapshot {
+                detector: NAIVE_CP_SNAPSHOT_TAG.to_string(),
+                epsilon: self.epsilon,
+                n_labels: self.table.n_labels(),
+                base: self.base.clone(),
+                absorbed: self.absorbed.clone(),
+            }
+            .to_value(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let snap = NaiveCpSnapshot::from_value(state)?;
+        if snap.detector != NAIVE_CP_SNAPSHOT_TAG {
+            return Err(DeError::custom(format!(
+                "snapshot is for detector kind {:?}, expected {NAIVE_CP_SNAPSHOT_TAG:?}",
+                snap.detector
+            )));
+        }
+        if snap.n_labels != self.table.n_labels() {
+            return Err(DeError::custom(format!(
+                "snapshot has {} labels, detector has {}",
+                snap.n_labels,
+                self.table.n_labels()
+            )));
+        }
+        if !(0.0..1.0).contains(&snap.epsilon) {
+            return Err(DeError::custom("snapshot epsilon out of [0, 1)"));
+        }
+        if snap.base.is_empty() && snap.absorbed.is_empty() {
+            return Err(DeError::custom("snapshot has no calibration entries"));
+        }
+        ledger::validate_entries("base", &snap.base, snap.n_labels)?;
+        ledger::validate_entries("absorbed", &snap.absorbed, snap.n_labels)?;
+        self.table = ledger::rebuild_table(&snap.base, &snap.absorbed, snap.n_labels);
+        self.epsilon = snap.epsilon;
+        self.base = snap.base;
+        self.absorbed = snap.absorbed;
+        Ok(())
     }
 }
 
@@ -189,6 +262,55 @@ mod tests {
     #[should_panic(expected = "empty calibration set")]
     fn empty_records_panic() {
         let _ = NaiveCp::new(&[], 0.1);
+    }
+
+    #[test]
+    fn snapshot_restore_and_eviction_are_bit_exact() {
+        use prom_core::detector::Sample;
+        let recs = records();
+        let mut cp = NaiveCp::new(&recs, 0.1);
+        let batch: Vec<Relabeled> = (0..5)
+            .map(|i| {
+                let conf = 0.58 + 0.07 * i as f64;
+                Relabeled::labeled(Sample::new(vec![i as f64], vec![1.0 - conf, conf]), 1)
+            })
+            .collect();
+        assert_eq!(cp.absorb_relabeled(&batch), 5);
+        assert!(cp.evict_oldest_base());
+        assert!(cp.evict_oldest_base());
+        assert_eq!(cp.base_len(), Some(recs.len() - 2));
+
+        // Eviction == from-scratch fit on the surviving window.
+        let mut survivors = recs[2..].to_vec();
+        survivors.extend(batch.iter().map(|r| {
+            CalibrationRecord::new(
+                r.sample.embedding.clone(),
+                r.sample.outputs.clone(),
+                match r.truth {
+                    Truth::Label(l) => l,
+                    Truth::Target(_) => unreachable!(),
+                },
+            )
+        }));
+        let refit = NaiveCp::new(&survivors, 0.1);
+        assert_eq!(cp.score_table().sorted_buckets(), refit.score_table().sorted_buckets());
+
+        // Snapshot -> JSON -> restore onto a fresh detector.
+        let json = serde::to_json_string(&cp.snapshot_state().unwrap());
+        let state: Value = serde::from_json_str(&json).unwrap();
+        let mut restored = NaiveCp::new(&recs, 0.1);
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.base_len(), Some(recs.len() - 2));
+        assert_eq!(restored.score_table().sorted_buckets(), cp.score_table().sorted_buckets());
+        for conf in [0.5, 0.62, 0.7, 0.85, 0.99] {
+            let probs = [conf, 1.0 - conf];
+            assert_eq!(restored.credibility(&probs).to_bits(), cp.credibility(&probs).to_bits());
+        }
+        // A corrupt snapshot errors and leaves the detector untouched.
+        let mut bad = NaiveCpSnapshot::from_value(&state).unwrap();
+        bad.base[0].0 = 9;
+        assert!(restored.restore_state(&bad.to_value()).is_err());
+        assert_eq!(restored.score_table().sorted_buckets(), cp.score_table().sorted_buckets());
     }
 
     #[test]

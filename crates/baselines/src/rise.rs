@@ -14,9 +14,11 @@ use prom_core::detector::{DriftDetector, Judgement, Relabeled, Truth};
 use prom_core::nonconformity::{Lac, Nonconformity};
 use prom_core::scoring::ScoreTable;
 use prom_ml::data::Dataset;
-use prom_ml::svm::{LinearSvm, SvmConfig};
+use prom_ml::svm::{LinearSvm, LinearSvmSnapshot, SvmConfig};
 use prom_ml::traits::Classifier;
+use serde::{DeError, Deserialize, Serialize, Value};
 
+use crate::ledger;
 use crate::tesseract::LabeledOutcome;
 
 /// The RISE-style detector.
@@ -24,9 +26,11 @@ pub struct Rise {
     table: ScoreTable,
     svm: LinearSvm,
     epsilon: f64,
-    /// Size of the design-time calibration set; records at indices below
-    /// this are never evicted by the online reservoir.
-    base_len: usize,
+    /// `(label, score)` of each design-time base record still live, oldest
+    /// first — shrunk from the front by `evict_oldest_base`. Records at
+    /// indices below `base.len()` are never evicted by the online
+    /// reservoir.
+    base: Vec<(usize, f64)>,
     /// `(label, score)` of each record absorbed online, in absorb order —
     /// the bookkeeping `replace_record` needs to evict a reservoir slot
     /// from the pre-sorted table.
@@ -79,8 +83,7 @@ impl Rise {
             }
         }
         let svm = LinearSvm::fit(&Dataset::new(x, y), SvmConfig::default());
-        let base_len = records.len();
-        Self { table, svm, epsilon, base_len, absorbed: Vec::new() }
+        Self { table, svm, epsilon, base: ledger::base_entries(records), absorbed: Vec::new() }
     }
 
     /// Inserts one calibration record into the pre-sorted score table
@@ -125,6 +128,24 @@ impl Rise {
         let score = Lac.score(&r.sample.outputs, label);
         (!score.is_nan()).then_some((label, score))
     }
+}
+
+/// Snapshot tag distinguishing RISE snapshots from other detectors'.
+const RISE_SNAPSHOT_TAG: &str = "rise";
+
+/// The portable state of a [`Rise`]: ε, both score ledgers, and the
+/// **frozen trained SVM** — the one fitted artifact a reconstruction would
+/// have to re-train, so the snapshot embeds its exact weights
+/// ([`LinearSvmSnapshot`]) and restore brings the decision boundary back
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RiseSnapshot {
+    detector: String,
+    epsilon: f64,
+    n_labels: usize,
+    base: Vec<(usize, f64)>,
+    absorbed: Vec<(usize, f64)>,
+    svm: LinearSvmSnapshot,
 }
 
 /// The score vector RISE feeds its SVM, written into `features`:
@@ -243,7 +264,7 @@ impl DriftDetector for Rise {
     /// base are never evicted) and inserts `r` in its slot: one
     /// binary-search removal plus one binary-search insert.
     fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
-        let Some(slot) = index.checked_sub(self.base_len) else {
+        let Some(slot) = index.checked_sub(self.base.len()) else {
             return false;
         };
         if slot >= self.absorbed.len() {
@@ -258,6 +279,68 @@ impl DriftDetector for Rise {
         self.table.insert(label, score);
         self.absorbed[slot] = (label, score);
         true
+    }
+
+    fn base_len(&self) -> Option<usize> {
+        Some(self.base.len())
+    }
+
+    fn evict_oldest_base(&mut self) -> bool {
+        ledger::evict_oldest(&mut self.base, &mut self.table)
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(
+            RiseSnapshot {
+                detector: RISE_SNAPSHOT_TAG.to_string(),
+                epsilon: self.epsilon,
+                n_labels: self.table.n_labels(),
+                base: self.base.clone(),
+                absorbed: self.absorbed.clone(),
+                svm: self.svm.snapshot(),
+            }
+            .to_value(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let snap = RiseSnapshot::from_value(state)?;
+        if snap.detector != RISE_SNAPSHOT_TAG {
+            return Err(DeError::custom(format!(
+                "snapshot is for detector kind {:?}, expected {RISE_SNAPSHOT_TAG:?}",
+                snap.detector
+            )));
+        }
+        if snap.n_labels != self.table.n_labels() {
+            return Err(DeError::custom(format!(
+                "snapshot has {} labels, detector has {}",
+                snap.n_labels,
+                self.table.n_labels()
+            )));
+        }
+        if !(0.0..1.0).contains(&snap.epsilon) {
+            return Err(DeError::custom("snapshot epsilon out of [0, 1)"));
+        }
+        if snap.base.is_empty() && snap.absorbed.is_empty() {
+            return Err(DeError::custom("snapshot has no calibration entries"));
+        }
+        ledger::validate_entries("base", &snap.base, snap.n_labels)?;
+        ledger::validate_entries("absorbed", &snap.absorbed, snap.n_labels)?;
+        // Pre-validate the SVM snapshot's shape so `LinearSvm::restore`
+        // (which asserts on design-time bugs) cannot panic on a corrupt
+        // *runtime* input.
+        if snap.svm.n_classes < 2
+            || snap.svm.machines.len() != snap.svm.n_classes
+            || snap.svm.machines.iter().any(|m| m.w.len() != snap.svm.machines[0].w.len())
+        {
+            return Err(DeError::custom("snapshot SVM has an inconsistent shape"));
+        }
+        self.svm = LinearSvm::restore(&snap.svm);
+        self.table = ledger::rebuild_table(&snap.base, &snap.absorbed, snap.n_labels);
+        self.epsilon = snap.epsilon;
+        self.base = snap.base;
+        self.absorbed = snap.absorbed;
+        Ok(())
     }
 }
 
@@ -292,6 +375,38 @@ mod tests {
         let rise = Rise::fit(&records(), &validation(), 0.1);
         assert!(!rise.rejects(&[0.0], &[0.88, 0.12]), "confident prediction rejected");
         assert!(rise.rejects(&[0.0], &[0.52, 0.48]), "uncertain prediction accepted");
+    }
+
+    #[test]
+    fn snapshot_restore_revives_the_frozen_svm_bit_for_bit() {
+        use prom_core::detector::{Relabeled, Sample};
+        let mut rise = Rise::fit(&records(), &validation(), 0.1);
+        let batch: Vec<Relabeled> = (0..4)
+            .map(|i| {
+                let conf = 0.6 + 0.08 * i as f64;
+                Relabeled::labeled(Sample::new(vec![i as f64], vec![conf, 1.0 - conf]), 0)
+            })
+            .collect();
+        assert_eq!(rise.absorb_relabeled(&batch), 4);
+        assert!(rise.evict_oldest_base());
+
+        let json = serde::to_json_string(&rise.snapshot_state().unwrap());
+        let state: serde::Value = serde::from_json_str(&json).unwrap();
+        let mut restored = Rise::fit(&records(), &validation(), 0.1);
+        restored.restore_state(&state).unwrap();
+
+        assert_eq!(restored.base_len(), rise.base_len());
+        assert_eq!(restored.score_table().sorted_buckets(), rise.score_table().sorted_buckets());
+        // The judgement path exercises both the rebuilt table and the
+        // restored SVM decision boundary.
+        for conf in [0.5, 0.55, 0.62, 0.7, 0.85, 0.99] {
+            let probs = [conf, 1.0 - conf];
+            assert_eq!(restored.judge_one(&[0.0], &probs), rise.judge_one(&[0.0], &probs));
+        }
+        // A malformed SVM snapshot must error, not panic.
+        let mut bad = RiseSnapshot::from_value(&state).unwrap();
+        bad.svm.machines.pop();
+        assert!(restored.restore_state(&bad.to_value()).is_err());
     }
 
     #[test]

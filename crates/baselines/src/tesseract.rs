@@ -12,6 +12,9 @@ use prom_core::detector::{DriftDetector, Judgement, Relabeled, Truth};
 use prom_core::nonconformity::{Lac, Nonconformity};
 use prom_core::scoring::ScoreTable;
 use prom_ml::metrics::BinaryConfusion;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::ledger;
 
 /// A validation observation: the model's probability vector and whether its
 /// prediction was correct.
@@ -28,9 +31,11 @@ pub struct Tesseract {
     table: ScoreTable,
     /// Per-class p-value thresholds.
     thresholds: Vec<f64>,
-    /// Size of the design-time calibration set; records at indices below
-    /// this are never evicted by the online reservoir.
-    base_len: usize,
+    /// `(label, score)` of each design-time base record still live, oldest
+    /// first — shrunk from the front by `evict_oldest_base`. Records at
+    /// indices below `base.len()` are never evicted by the online
+    /// reservoir.
+    base: Vec<(usize, f64)>,
     /// `(label, score)` of each record absorbed online, in absorb order —
     /// the bookkeeping `replace_record` needs to evict a reservoir slot
     /// from the pre-sorted table.
@@ -86,7 +91,7 @@ impl Tesseract {
             }
             *threshold = best.0;
         }
-        Self { table, thresholds, base_len: records.len(), absorbed: Vec::new() }
+        Self { table, thresholds, base: ledger::base_entries(records), absorbed: Vec::new() }
     }
 
     /// The tuned per-class thresholds.
@@ -116,6 +121,21 @@ impl Tesseract {
         let score = Lac.score(&r.sample.outputs, label);
         (!score.is_nan()).then_some((label, score))
     }
+}
+
+/// Snapshot tag distinguishing TESSERACT snapshots from other detectors'.
+const TESSERACT_SNAPSHOT_TAG: &str = "tesseract";
+
+/// The portable state of a [`Tesseract`]: the tuned per-class thresholds
+/// (a frozen design-time artifact a reconstruction would have to re-tune
+/// on validation data) plus both score ledgers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TesseractSnapshot {
+    detector: String,
+    n_labels: usize,
+    thresholds: Vec<f64>,
+    base: Vec<(usize, f64)>,
+    absorbed: Vec<(usize, f64)>,
 }
 
 impl DriftDetector for Tesseract {
@@ -161,7 +181,7 @@ impl DriftDetector for Tesseract {
     /// binary-search removal plus one binary-search insert, the same
     /// absorbed-slot scheme as `Rise`.
     fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
-        let Some(slot) = index.checked_sub(self.base_len) else {
+        let Some(slot) = index.checked_sub(self.base.len()) else {
             return false;
         };
         if slot >= self.absorbed.len() {
@@ -176,6 +196,64 @@ impl DriftDetector for Tesseract {
         self.table.insert(label, score);
         self.absorbed[slot] = (label, score);
         true
+    }
+
+    fn base_len(&self) -> Option<usize> {
+        Some(self.base.len())
+    }
+
+    fn evict_oldest_base(&mut self) -> bool {
+        ledger::evict_oldest(&mut self.base, &mut self.table)
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(
+            TesseractSnapshot {
+                detector: TESSERACT_SNAPSHOT_TAG.to_string(),
+                n_labels: self.table.n_labels(),
+                thresholds: self.thresholds.clone(),
+                base: self.base.clone(),
+                absorbed: self.absorbed.clone(),
+            }
+            .to_value(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let snap = TesseractSnapshot::from_value(state)?;
+        if snap.detector != TESSERACT_SNAPSHOT_TAG {
+            return Err(DeError::custom(format!(
+                "snapshot is for detector kind {:?}, expected {TESSERACT_SNAPSHOT_TAG:?}",
+                snap.detector
+            )));
+        }
+        if snap.n_labels != self.table.n_labels() {
+            return Err(DeError::custom(format!(
+                "snapshot has {} labels, detector has {}",
+                snap.n_labels,
+                self.table.n_labels()
+            )));
+        }
+        if snap.thresholds.len() != snap.n_labels {
+            return Err(DeError::custom(format!(
+                "snapshot has {} thresholds for {} labels",
+                snap.thresholds.len(),
+                snap.n_labels
+            )));
+        }
+        if snap.thresholds.iter().any(|t| !t.is_finite()) {
+            return Err(DeError::custom("snapshot threshold is not finite"));
+        }
+        if snap.base.is_empty() && snap.absorbed.is_empty() {
+            return Err(DeError::custom("snapshot has no calibration entries"));
+        }
+        ledger::validate_entries("base", &snap.base, snap.n_labels)?;
+        ledger::validate_entries("absorbed", &snap.absorbed, snap.n_labels)?;
+        self.table = ledger::rebuild_table(&snap.base, &snap.absorbed, snap.n_labels);
+        self.thresholds = snap.thresholds;
+        self.base = snap.base;
+        self.absorbed = snap.absorbed;
+        Ok(())
     }
 }
 
@@ -219,6 +297,37 @@ mod tests {
         for &thr in t.thresholds() {
             assert!((0.0..=0.5).contains(&thr));
         }
+    }
+
+    #[test]
+    fn snapshot_restore_carries_thresholds_and_ledgers() {
+        use prom_core::detector::{Relabeled, Sample};
+        let mut t = Tesseract::fit(&records(), &validation(), 2);
+        let batch: Vec<Relabeled> = (0..3)
+            .map(|i| {
+                let conf = 0.6 + 0.1 * i as f64;
+                Relabeled::labeled(Sample::new(vec![i as f64], vec![1.0 - conf, conf]), 1)
+            })
+            .collect();
+        assert_eq!(t.absorb_relabeled(&batch), 3);
+        assert!(t.evict_oldest_base());
+
+        let json = serde::to_json_string(&t.snapshot_state().unwrap());
+        let state: Value = serde::from_json_str(&json).unwrap();
+        let mut restored = Tesseract::fit(&records(), &validation(), 2);
+        restored.restore_state(&state).unwrap();
+
+        assert_eq!(restored.base_len(), t.base_len());
+        assert_eq!(restored.thresholds(), t.thresholds());
+        assert_eq!(restored.score_table().sorted_buckets(), t.score_table().sorted_buckets());
+        for conf in [0.5, 0.62, 0.7, 0.85] {
+            let probs = [conf, 1.0 - conf];
+            assert_eq!(restored.judge_one(&[0.0], &probs), t.judge_one(&[0.0], &probs));
+        }
+        // Threshold/label count mismatch must be rejected.
+        let mut bad = TesseractSnapshot::from_value(&state).unwrap();
+        bad.thresholds.pop();
+        assert!(restored.restore_state(&bad.to_value()).is_err());
     }
 
     #[test]

@@ -6,10 +6,11 @@
 use prom_ml::matrix::l2_distance_sq;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// One calibration sample: the model's embedding of the input, its
 /// probability vector, and the ground-truth label.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CalibrationRecord {
     /// Feature-space embedding of the input (see `Classifier::embed`).
     pub embedding: Vec<f64>,
@@ -36,6 +37,31 @@ impl CalibrationRecord {
         assert!(!probs.is_empty(), "empty probability vector");
         assert!(label < probs.len(), "label {label} out of range for {} classes", probs.len());
         Self { embedding, probs, label }
+    }
+
+    /// The fallible twin of [`CalibrationRecord::new`]'s validation, for
+    /// records arriving from a deserialized snapshot (whose field-by-field
+    /// construction bypasses `new`). Returns a human-readable reason on
+    /// failure instead of panicking — a corrupt snapshot is a runtime input,
+    /// not a design-time bug.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.embedding.is_empty() {
+            return Err("empty embedding".into());
+        }
+        if self.embedding.iter().any(|v| v.is_nan()) {
+            return Err("NaN in calibration embedding".into());
+        }
+        if self.probs.is_empty() {
+            return Err("empty probability vector".into());
+        }
+        if self.label >= self.probs.len() {
+            return Err(format!(
+                "label {} out of range for {} classes",
+                self.label,
+                self.probs.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -223,6 +249,48 @@ impl ReservoirCalibration {
     pub fn seen(&self) -> u64 {
         self.seen
     }
+
+    /// The reservoir's complete portable state. [`ReservoirCalibration::restore`]
+    /// rebuilds a sampler that makes **identical** future decisions: `seen`
+    /// fixes the replacement probability, `len` fixes which slots exist,
+    /// and the raw RNG words fix the exact position in the random stream
+    /// (mid-stream seeding cannot — re-seeding would rewind draws already
+    /// spent).
+    pub fn snapshot(&self) -> ReservoirSnapshot {
+        ReservoirSnapshot { cap: self.cap, seen: self.seen, len: self.len, rng: self.rng.state() }
+    }
+
+    /// Rebuilds the reservoir captured by [`ReservoirCalibration::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent snapshot: zero capacity, `len > cap`,
+    /// `len` exceeding `seen`, or an all-zero RNG state.
+    pub fn restore(snapshot: &ReservoirSnapshot) -> Self {
+        assert!(snapshot.cap >= 1, "reservoir capacity must be at least 1");
+        assert!(snapshot.len <= snapshot.cap, "snapshot len exceeds capacity");
+        assert!(snapshot.len as u64 <= snapshot.seen, "snapshot len exceeds items seen");
+        Self {
+            cap: snapshot.cap,
+            seen: snapshot.seen,
+            len: snapshot.len,
+            rng: StdRng::from_state(snapshot.rng),
+        }
+    }
+}
+
+/// Serializable state of a [`ReservoirCalibration`] (see
+/// [`ReservoirCalibration::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservoirSnapshot {
+    /// Capacity the reservoir never exceeds.
+    pub cap: usize,
+    /// Items offered (and not retracted) at snapshot time.
+    pub seen: u64,
+    /// Slots filled at snapshot time.
+    pub len: usize,
+    /// Raw xoshiro256++ state words — the RNG's exact stream position.
+    pub rng: [u64; 4],
 }
 
 #[cfg(test)]
@@ -378,5 +446,46 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_reservoir_panics() {
         let _ = ReservoirCalibration::new(0, 0);
+    }
+
+    #[test]
+    fn reservoir_snapshot_restore_resumes_identical_decisions() {
+        let mut live = ReservoirCalibration::new(8, 99);
+        for _ in 0..50 {
+            let _ = live.offer();
+        }
+        // A retract right before the snapshot exercises the `seen`
+        // accounting the restore must reproduce.
+        let d = live.offer();
+        live.retract(d);
+        let mut restored = ReservoirCalibration::restore(&live.snapshot());
+        assert_eq!(restored.seen(), live.seen());
+        assert_eq!(restored.len(), live.len());
+        for _ in 0..500 {
+            assert_eq!(live.offer(), restored.offer(), "restored reservoir diverged");
+        }
+    }
+
+    #[test]
+    fn reservoir_snapshot_round_trips_through_json() {
+        let mut r = ReservoirCalibration::new(4, 3);
+        for _ in 0..20 {
+            let _ = r.offer();
+        }
+        let snap = r.snapshot();
+        let back: ReservoirSnapshot =
+            serde::from_json_str(&serde::to_json_string(&snap)).expect("snapshot JSON");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "len exceeds capacity")]
+    fn inconsistent_reservoir_snapshot_is_rejected() {
+        let _ = ReservoirCalibration::restore(&ReservoirSnapshot {
+            cap: 2,
+            seen: 9,
+            len: 3,
+            rng: [1, 2, 3, 4],
+        });
     }
 }

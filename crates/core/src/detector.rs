@@ -22,9 +22,10 @@
 
 use crate::committee::PromJudgement;
 use crate::scoring::JudgeScratch;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One deployment-time observation handed to a detector.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
     /// The underlying model's embedding of the input.
     pub embedding: Vec<f64>,
@@ -246,6 +247,67 @@ pub trait DriftDetector: Send + Sync {
         let _ = (index, r);
         false
     }
+
+    /// Number of **design-time base records** still live in the calibration
+    /// set, when the detector tracks the base/online split (`None`
+    /// otherwise). Online absorbs land *after* the base prefix, so a
+    /// reservoir slot `s` always addresses record `base_len() + s` — and
+    /// because eviction shrinks the base prefix over time, callers must read
+    /// this *live* rather than cache the detector's construction-time
+    /// calibration size (the bug `replace_online_slot` exists to prevent).
+    fn base_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Replaces the online record occupying reservoir slot `slot` (the
+    /// `slot`-th record *after* the design-time base prefix) with `r`.
+    /// This is the index-translation the online pipeline must use for
+    /// reservoir replacements: it reads [`DriftDetector::base_len`] at call
+    /// time, so it stays correct after base eviction or a snapshot restore
+    /// shifts the prefix. Returns `false` when the detector does not track
+    /// the split or the translated index fails
+    /// [`DriftDetector::replace_record`].
+    fn replace_online_slot(&mut self, slot: usize, r: &Relabeled) -> bool {
+        match self.base_len() {
+            Some(base) => self.replace_record(base + slot, r),
+            None => false,
+        }
+    }
+
+    /// Retires the **oldest design-time base record** from the calibration
+    /// set — the sliding-window eviction path that lets online absorbs
+    /// gradually displace stale design-time calibration. Returns `false`
+    /// (leaving the set unchanged) when the detector does not support
+    /// eviction, has no base records left, or eviction would empty the
+    /// calibration set entirely. After a successful eviction the surviving
+    /// calibration state must be **bit-identical** to a from-scratch fit on
+    /// the surviving records (`tests/lifecycle_equivalence.rs`).
+    fn evict_oldest_base(&mut self) -> bool {
+        false
+    }
+
+    /// The detector's complete portable state as a serializable
+    /// [`Value`] tree, or `None` for detectors without snapshot support.
+    /// The snapshot must capture everything [`DriftDetector::restore_state`]
+    /// needs to resume **bit-identically**: calibration records in order,
+    /// the live base/online split, and any frozen fitted artifacts
+    /// (centroids, SVM weights, thresholds) that a reconstruction would
+    /// otherwise re-derive non-deterministically.
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state captured by [`DriftDetector::snapshot_state`] onto an
+    /// identically configured detector, replacing its live calibration
+    /// wholesale. After a successful restore the detector's judgements,
+    /// p-value bits, and calibration bookkeeping must be indistinguishable
+    /// from the snapshotted original. Errors (leaving the detector
+    /// unchanged) on a snapshot from a different detector kind, a
+    /// structurally incompatible configuration, or corrupt record data.
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let _ = state;
+        Err(DeError::custom("this detector does not support snapshot/restore"))
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +386,59 @@ mod tests {
         assert_eq!(det.absorb_relabeled(&batch), 0, "default detector absorbs nothing");
         assert!(!det.can_absorb(&batch[0]), "can_absorb must mirror the default absorb");
         assert!(!det.replace_record(0, &batch[0]), "default detector replaces nothing");
+    }
+
+    #[test]
+    fn default_lifecycle_surface_is_inert() {
+        let mut det = SignDetector;
+        let r = Relabeled::labeled(Sample::new(vec![0.0], vec![1.0]), 0);
+        assert_eq!(det.base_len(), None, "default detector tracks no base prefix");
+        assert!(!det.replace_online_slot(0, &r), "no base prefix means no slot translation");
+        assert!(!det.evict_oldest_base(), "default detector evicts nothing");
+        assert!(det.snapshot_state().is_none(), "default detector has no snapshot");
+        let err = det.restore_state(&Value::Null).unwrap_err();
+        assert!(err.to_string().contains("does not support snapshot/restore"), "{err}");
+    }
+
+    /// A detector that records replace_record calls, to pin down the
+    /// default slot translation in `replace_online_slot`.
+    struct SlotProbe {
+        base: usize,
+        last_index: std::sync::Mutex<Option<usize>>,
+    }
+
+    impl DriftDetector for SlotProbe {
+        fn name(&self) -> &'static str {
+            "slot-probe"
+        }
+
+        fn judge_one(&self, _embedding: &[f64], _outputs: &[f64]) -> Judgement {
+            Judgement::single(false)
+        }
+
+        fn base_len(&self) -> Option<usize> {
+            Some(self.base)
+        }
+
+        fn replace_record(&mut self, index: usize, _r: &Relabeled) -> bool {
+            *self.last_index.lock().unwrap() = Some(index);
+            true
+        }
+    }
+
+    #[test]
+    fn default_slot_translation_reads_base_len_live() {
+        let mut det = SlotProbe { base: 7, last_index: std::sync::Mutex::new(None) };
+        let r = Relabeled::labeled(Sample::new(vec![0.0], vec![1.0]), 0);
+        assert!(det.replace_online_slot(3, &r));
+        assert_eq!(*det.last_index.lock().unwrap(), Some(10), "slot 3 after a 7-record base");
+        det.base = 5; // eviction shrank the base prefix
+        assert!(det.replace_online_slot(3, &r));
+        assert_eq!(
+            *det.last_index.lock().unwrap(),
+            Some(8),
+            "translation must track live base_len"
+        );
     }
 
     #[test]

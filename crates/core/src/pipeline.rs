@@ -46,7 +46,7 @@
 
 use std::sync::Arc;
 
-use crate::calibration::{ReservoirCalibration, ReservoirDecision};
+use crate::calibration::{ReservoirCalibration, ReservoirDecision, ReservoirSnapshot};
 use crate::committee::{PromConfig, PromJudgement};
 use crate::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 use crate::incremental::{select_flagged, select_for_relabeling, RelabelBudget};
@@ -54,6 +54,7 @@ use crate::pool::{PendingResults, ShardPool};
 use crate::predictor::{PromClassifier, PromThresholdView};
 use crate::scoring::JudgeScratch;
 use crate::PromError;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// The panic message of a detector whose rich-judgement support changed
 /// between windows — which the [`DriftDetector`] contract forbids.
@@ -169,6 +170,38 @@ pub enum CalibrationPolicy {
     },
 }
 
+/// How an *online* pipeline retires **design-time base records** as online
+/// relabels are absorbed — the sliding-window half of deployment-time
+/// calibration maintenance. The [`CalibrationPolicy`] bounds *online*
+/// growth; this policy bounds how long the *design-time* records linger
+/// once fresher evidence replaces them.
+///
+/// Eviction runs through [`DriftDetector::evict_oldest_base`], which is
+/// bit-identical to a from-scratch fit on the surviving records (see the
+/// detector-level eviction tests), so turning it on changes *which*
+/// records judge future windows, never the arithmetic that judges them.
+/// Detectors that do not support base eviction (no `base_len`) simply
+/// ignore the policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BaseEviction {
+    /// Never retire design-time records (the behavior of every pipeline
+    /// built before this policy existed).
+    #[default]
+    Keep,
+    /// Count-decayed sliding window: each successfully absorbed relabel
+    /// retires up to `per_absorb` of the oldest surviving design-time
+    /// records, but never shrinks the base below `min_base` records — the
+    /// calibration set slides from "all design-time" toward "mostly
+    /// online" exactly as fast as online evidence actually arrives, and
+    /// stalls (keeping the base intact) when no relabels are absorbed.
+    SlidingWindow {
+        /// Oldest base records retired per absorbed relabel.
+        per_absorb: usize,
+        /// Design-time records the window never evicts past.
+        min_base: usize,
+    },
+}
+
 /// How a pipeline ranks a window's rejected samples when picking the
 /// slice worth ground-truth labels (the [`RelabelBudget`] slice).
 ///
@@ -226,6 +259,10 @@ pub struct PipelineConfig {
     /// own exclusive access to the detector — see
     /// [`DeploymentPipeline::online`].
     pub policy: CalibrationPolicy,
+    /// How design-time base records are retired as online relabels are
+    /// absorbed (ignored under [`CalibrationPolicy::Frozen`], which never
+    /// absorbs).
+    pub eviction: BaseEviction,
     /// Overlap judging with ingest: when a window fills, hand it to the
     /// shard workers and return to the caller immediately, so pushes keep
     /// filling window N+1 while the pool judges window N. Reports then
@@ -258,6 +295,7 @@ impl Default for PipelineConfig {
             budget: RelabelBudget::default(),
             selection: SelectionPolicy::RejectVote,
             policy: CalibrationPolicy::Frozen,
+            eviction: BaseEviction::Keep,
             double_buffer: false,
             in_flight_windows: 1,
         }
@@ -265,7 +303,7 @@ impl Default for PipelineConfig {
 }
 
 /// Running totals of a pipeline's lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Samples pushed so far (judged or still buffered).
     pub pushed: usize,
@@ -416,9 +454,6 @@ struct DetectorState<'a> {
     /// ([`SelectionPolicy::CredibilityRank`] on a detector that has one).
     rich: bool,
     reservoir: Option<ReservoirCalibration>,
-    /// The detector's calibration size at pipeline construction: reservoir
-    /// slot `s` lives at detector record index `base_len + s`.
-    base_len: usize,
     stats: PipelineStats,
 }
 
@@ -435,8 +470,7 @@ impl<'a> DetectorState<'a> {
             }
             _ => None,
         };
-        let base_len = detector.get().calibration_size().unwrap_or(0);
-        Self { detector, rich, reservoir, base_len, stats: PipelineStats::default() }
+        Self { detector, rich, reservoir, stats: PipelineStats::default() }
     }
 
     /// Judges a window to completion — on `pool` when one exists,
@@ -566,7 +600,12 @@ impl<'a> DetectorState<'a> {
             let item = Relabeled { sample: sample.clone(), truth };
             match self.reservoir.as_mut() {
                 // Unbounded growth: append every labeled pick.
-                None => absorbed += detector.absorb_relabeled(std::slice::from_ref(&item)),
+                None => {
+                    if detector.absorb_relabeled(std::slice::from_ref(&item)) == 1 {
+                        absorbed += 1;
+                        evict_for_absorb(&mut **detector, config.eviction);
+                    }
+                }
                 // Screen before offering: an invalid pick must not count
                 // toward the reservoir's sampled stream length (a "skip"
                 // decision would never reach the detector, so it could
@@ -576,6 +615,7 @@ impl<'a> DetectorState<'a> {
                     decision @ ReservoirDecision::Appended(_) => {
                         if detector.absorb_relabeled(std::slice::from_ref(&item)) == 1 {
                             absorbed += 1;
+                            evict_for_absorb(&mut **detector, config.eviction);
                         } else {
                             // The detector rejected the record (failed
                             // validation): free the slot it was promised.
@@ -583,8 +623,16 @@ impl<'a> DetectorState<'a> {
                         }
                     }
                     decision @ ReservoirDecision::Replaced(slot) => {
-                        if detector.replace_record(self.base_len + slot, &item) {
+                        // The slot-to-record translation reads the
+                        // detector's *live* base length
+                        // ([`DriftDetector::replace_online_slot`]), so it
+                        // stays correct after base eviction shrinks the
+                        // prefix or a snapshot restore rebuilds the
+                        // detector — the pipeline no longer caches the
+                        // construction-time value.
+                        if detector.replace_online_slot(slot, &item) {
                             absorbed += 1;
+                            evict_for_absorb(&mut **detector, config.eviction);
                         } else {
                             reservoir.retract(decision);
                         }
@@ -594,6 +642,28 @@ impl<'a> DetectorState<'a> {
             }
         }
         absorbed
+    }
+}
+
+/// Applies the configured [`BaseEviction`] after one successfully absorbed
+/// relabel: retires up to `per_absorb` of the oldest design-time base
+/// records, stopping at `min_base` — or as soon as the detector refuses
+/// (no base records left, or eviction would empty its calibration set).
+/// Detectors without a base/online split ([`DriftDetector::base_len`]
+/// `None`) ignore the policy entirely.
+fn evict_for_absorb(detector: &mut dyn DriftDetector, eviction: BaseEviction) {
+    let BaseEviction::SlidingWindow { per_absorb, min_base } = eviction else {
+        return;
+    };
+    for _ in 0..per_absorb {
+        match detector.base_len() {
+            Some(base) if base > min_base => {
+                if !detector.evict_oldest_base() {
+                    return;
+                }
+            }
+            _ => return,
+        }
     }
 }
 
@@ -620,6 +690,104 @@ struct InFlight {
     pending: PendingWindows,
     samples: Vec<Sample>,
     start: usize,
+}
+
+/// The format tag every [`DeploymentPipeline::snapshot`] value carries.
+const PIPELINE_SNAPSHOT_TAG: &str = "deployment-pipeline";
+
+/// Everything a [`DeploymentPipeline`] needs to resume bit-identically in
+/// a later process: the detector's portable state, the reservoir sampler's
+/// exact position, the partial ingest buffer, and the stream counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PipelineSnapshot {
+    /// Format tag ([`PIPELINE_SNAPSHOT_TAG`]).
+    pipeline: String,
+    /// Window size the stream was cut into — restoring under a different
+    /// window would shift every future report boundary, so it must match.
+    window: usize,
+    /// The detector's portable state ([`DriftDetector::snapshot_state`]),
+    /// embedded verbatim; absent only for frozen pipelines over detectors
+    /// without snapshot support (whose calibration the pipeline never
+    /// touched).
+    detector: Option<Value>,
+    /// The reservoir sampler mid-stream (seen count, fill level, RNG
+    /// position), present exactly under [`CalibrationPolicy::Reservoir`].
+    reservoir: Option<ReservoirSnapshot>,
+    /// Samples pushed but not yet judged (the partial window).
+    buffer: Vec<Sample>,
+    /// Global index of the first sample of the next window.
+    next_start: usize,
+    /// Lifetime totals at snapshot time (drives report numbering).
+    stats: PipelineStats,
+}
+
+/// Validates a decoded [`PipelineSnapshot`] against the restoring
+/// configuration before any state is touched: a corrupt or mismatched
+/// snapshot must error, never panic or half-restore.
+fn validate_pipeline_snapshot(
+    snap: &PipelineSnapshot,
+    config: &PipelineConfig,
+) -> Result<(), DeError> {
+    if snap.pipeline != PIPELINE_SNAPSHOT_TAG {
+        return Err(DeError::custom(format!(
+            "expected a '{PIPELINE_SNAPSHOT_TAG}' snapshot, found '{}'",
+            snap.pipeline
+        )));
+    }
+    if snap.window != config.window {
+        return Err(DeError::custom(format!(
+            "snapshot was cut into windows of {} but the restoring config asks for {} — \
+             restoring across window sizes would shift every report boundary",
+            snap.window, config.window
+        )));
+    }
+    if snap.buffer.len() >= config.window {
+        return Err(DeError::custom(format!(
+            "snapshot buffers {} samples but a window holds {} — a full window would \
+             already have been judged",
+            snap.buffer.len(),
+            config.window
+        )));
+    }
+    for (i, sample) in snap.buffer.iter().enumerate() {
+        if sample.embedding.is_empty() || sample.outputs.is_empty() {
+            return Err(DeError::custom(format!(
+                "snapshot buffer sample {i} has an empty embedding or output vector"
+            )));
+        }
+    }
+    if snap.stats.pushed != snap.next_start + snap.buffer.len() {
+        return Err(DeError::custom(format!(
+            "inconsistent snapshot counters: {} pushed, but {} submitted plus {} buffered",
+            snap.stats.pushed,
+            snap.next_start,
+            snap.buffer.len()
+        )));
+    }
+    match (config.policy, &snap.reservoir) {
+        (CalibrationPolicy::Reservoir { cap, .. }, Some(reservoir)) => {
+            if reservoir.cap != cap {
+                return Err(DeError::custom(format!(
+                    "snapshot reservoir capacity {} does not match the configured {cap}",
+                    reservoir.cap
+                )));
+            }
+            if reservoir.cap == 0
+                || reservoir.len > reservoir.cap
+                || reservoir.len as u64 > reservoir.seen
+            {
+                return Err(DeError::custom("malformed reservoir snapshot"));
+            }
+            Ok(())
+        }
+        (CalibrationPolicy::Reservoir { .. }, None) => Err(DeError::custom(
+            "the config asks for reservoir calibration but the snapshot has no reservoir state",
+        )),
+        (_, Some(_)) => Err(DeError::custom(
+            "the snapshot carries reservoir state but the config policy is not Reservoir",
+        )),
+        (_, None) => Ok(()),
+    }
 }
 
 /// A streaming deployment front-end over any [`DriftDetector`]: buffers
@@ -814,6 +982,130 @@ impl<'a> DeploymentPipeline<'a> {
     /// partial buffer.
     pub fn stats(&self) -> PipelineStats {
         self.state.stats
+    }
+
+    /// Captures everything this pipeline needs to resume **bit-identically**
+    /// in a later process: the detector's portable state
+    /// ([`DriftDetector::snapshot_state`]), the reservoir sampler's exact
+    /// mid-stream position, the partial ingest buffer, and the stream
+    /// counters. Any in-flight double-buffered windows are drained first —
+    /// their reports are returned alongside the state, in window order — so
+    /// a snapshot never captures a half-judged window.
+    ///
+    /// Feed the value to [`DeploymentPipeline::restore_online`] (or
+    /// [`DeploymentPipeline::restore`] for frozen pipelines) to resume;
+    /// `serde::to_json_string` / `serde::from_json_str` round-trip it
+    /// losslessly, so the snapshot survives a trip through a file.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the pipeline runs an online (mutating) calibration
+    /// policy over a detector that exposes no portable state — resuming
+    /// such a pipeline elsewhere could not reproduce its absorbed records.
+    pub fn snapshot(&mut self) -> Result<(Vec<WindowReport>, Value), DeError> {
+        let mut reports = Vec::new();
+        while let Some(window) = self.in_flight.pop_front() {
+            reports.push(self.finish_in_flight(window));
+        }
+        let detector = self.state.detector.get().snapshot_state();
+        if self.config.policy != CalibrationPolicy::Frozen && detector.is_none() {
+            return Err(DeError::custom(format!(
+                "detector '{}' exposes no portable state, so this online pipeline \
+                 cannot be snapshotted",
+                self.state.detector.get().name()
+            )));
+        }
+        let snap = PipelineSnapshot {
+            pipeline: PIPELINE_SNAPSHOT_TAG.to_string(),
+            window: self.config.window,
+            detector,
+            reservoir: self.state.reservoir.as_ref().map(ReservoirCalibration::snapshot),
+            buffer: self.buffer.clone(),
+            next_start: self.next_start,
+            stats: self.state.stats,
+        };
+        Ok((reports, snap.to_value()))
+    }
+
+    /// Rebuilds an *online* pipeline from a [`DeploymentPipeline::snapshot`]
+    /// value: restores the detector's calibration state, revives the
+    /// reservoir sampler at its exact RNG position, and resumes the stream
+    /// counters — pushing the rest of the stream then yields reports
+    /// bit-identical to the uninterrupted run
+    /// (`tests/lifecycle_equivalence.rs`).
+    ///
+    /// `config` must match the snapshotted pipeline where bits depend on
+    /// it: same `window`, same calibration policy family, same reservoir
+    /// capacity. (A [`CalibrationPolicy::Reservoir`] seed is superseded by
+    /// the snapshot's saved RNG position — the sampler resumes mid-stream,
+    /// it does not restart.) Execution knobs — `shards`, `double_buffer`,
+    /// `in_flight_windows` — may differ freely; they never change report
+    /// contents.
+    ///
+    /// # Errors
+    ///
+    /// Errors — without touching `detector` — when the value is not a
+    /// pipeline snapshot, is internally inconsistent, or does not match
+    /// `config`; and propagates [`DriftDetector::restore_state`] errors
+    /// (which likewise leave the detector unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`DeploymentPipeline::online`] does (zero window,
+    /// zero reservoir capacity, invalid in-flight depth).
+    pub fn restore_online(
+        detector: &'a mut dyn DriftDetector,
+        config: PipelineConfig,
+        oracle: impl FnMut(usize, &Sample) -> Option<Truth> + Send + 'a,
+        state: &Value,
+    ) -> Result<Self, DeError> {
+        let snap = PipelineSnapshot::from_value(state)?;
+        validate_pipeline_snapshot(&snap, &config)?;
+        if let Some(detector_state) = &snap.detector {
+            detector.restore_state(detector_state)?;
+        }
+        let mut pipeline = Self::online(detector, config, oracle);
+        pipeline.resume(snap);
+        Ok(pipeline)
+    }
+
+    /// Rebuilds a *frozen* pipeline from a [`DeploymentPipeline::snapshot`]
+    /// value. A frozen pipeline never mutates its detector, so the caller
+    /// supplies the same (externally owned) detector and only the stream
+    /// position is restored: the partial buffer, the window counters, and
+    /// the lifetime stats. The snapshot's embedded detector state, if any,
+    /// is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the value is not a pipeline snapshot, does not match
+    /// `config`, or `config.policy` is not [`CalibrationPolicy::Frozen`]
+    /// (use [`DeploymentPipeline::restore_online`]).
+    pub fn restore(
+        detector: &'a dyn DriftDetector,
+        config: PipelineConfig,
+        state: &Value,
+    ) -> Result<Self, DeError> {
+        if config.policy != CalibrationPolicy::Frozen {
+            return Err(DeError::custom(
+                "an online calibration policy needs DeploymentPipeline::restore_online \
+                 (exclusive detector access and a label oracle)",
+            ));
+        }
+        let snap = PipelineSnapshot::from_value(state)?;
+        validate_pipeline_snapshot(&snap, &config)?;
+        let mut pipeline = Self::new(detector, config);
+        pipeline.resume(snap);
+        Ok(pipeline)
+    }
+
+    /// Installs a validated snapshot's stream position into a freshly built
+    /// pipeline (the shared tail of both restore constructors).
+    fn resume(&mut self, snap: PipelineSnapshot) {
+        self.state.reservoir = snap.reservoir.as_ref().map(ReservoirCalibration::restore);
+        self.buffer = snap.buffer;
+        self.next_start = snap.next_start;
+        self.state.stats = snap.stats;
     }
 
     /// Synchronous window emission: judge the buffered window to
@@ -1844,6 +2136,18 @@ mod tests {
             self.online[slot] = r.clone();
             true
         }
+
+        fn base_len(&self) -> Option<usize> {
+            Some(self.base)
+        }
+
+        fn evict_oldest_base(&mut self) -> bool {
+            if self.base == 0 || self.base + self.online.len() <= 1 {
+                return false;
+            }
+            self.base -= 1;
+            true
+        }
     }
 
     #[test]
@@ -2302,5 +2606,171 @@ mod tests {
         let base = PromClassifier::new(prom_records(20), PromConfig::default()).unwrap();
         let bad = PromConfig { epsilon: 7.0, ..PromConfig::default() };
         assert!(MultiPipeline::fanout(&base, vec![bad], PipelineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn sliding_window_eviction_retires_base_as_relabels_absorb() {
+        let mut det = Absorbing::new(10);
+        let mut pipeline = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                window: 5,
+                shards: 1,
+                budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+                policy: CalibrationPolicy::GrowUnbounded,
+                eviction: BaseEviction::SlidingWindow { per_absorb: 2, min_base: 4 },
+                ..Default::default()
+            },
+            |global, _s| Some(Truth::Label(global % 2)),
+        );
+        let mut reports = pipeline.extend(stream(30));
+        reports.extend(pipeline.flush());
+        let stats = pipeline.stats();
+        drop(pipeline);
+
+        assert!(stats.absorbed > 0, "the stream must absorb something to drive eviction");
+        assert_eq!(det.online.len(), stats.absorbed);
+        // Two oldest base records retire per absorb, decaying toward (and
+        // never past) the configured floor.
+        assert_eq!(det.base, 10usize.saturating_sub(2 * stats.absorbed).max(4));
+    }
+
+    #[test]
+    fn reservoir_slot_translation_survives_base_eviction() {
+        // Regression: the pipeline used to cache the detector's base length
+        // at construction, so once eviction (or a restore) changed it,
+        // every reservoir replacement addressed records at the stale offset
+        // and silently failed. The translation now reads the live value
+        // (`DriftDetector::replace_online_slot`).
+        let cap = 3;
+        let mut det = Absorbing::new(12);
+        let mut pipeline = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                window: 4,
+                shards: 1,
+                budget: RelabelBudget { fraction: 1.0, min_count: 1 },
+                policy: CalibrationPolicy::Reservoir { cap, seed: 11 },
+                eviction: BaseEviction::SlidingWindow { per_absorb: 1, min_base: 0 },
+                ..Default::default()
+            },
+            |global, _s| Some(Truth::Label(global)),
+        );
+        let mut reports = pipeline.extend(stream(80));
+        reports.extend(pipeline.flush());
+        let stats = pipeline.stats();
+        drop(pipeline);
+
+        assert!(det.base < 12, "absorbs must have retired base records");
+        assert!(det.online.len() <= cap, "online growth must stay within cap");
+        // The first `cap` absorbs are appends (each evicting one base
+        // record), so any absorb beyond that is a replacement that landed
+        // *after* the base shrank — exactly what the stale cache broke.
+        assert!(
+            stats.absorbed > cap,
+            "replacements must keep landing after the base shrinks (absorbed {})",
+            stats.absorbed
+        );
+        // Every live online record is the sample the oracle labeled: slot
+        // translation never overwrote the wrong record.
+        for r in &det.online {
+            assert_eq!(r.truth, Truth::Label(r.sample.embedding[0] as usize));
+        }
+    }
+
+    #[test]
+    fn frozen_snapshot_restore_resumes_bit_identically() {
+        let det = Threshold;
+        let config = PipelineConfig { window: 5, shards: 2, ..Default::default() };
+        let samples = stream(23);
+
+        // Uninterrupted reference over the whole stream.
+        let mut reference = DeploymentPipeline::new(&det, config);
+        let mut expected = reference.extend(samples.iter().cloned());
+        expected.extend(reference.flush());
+        let expected_stats = reference.stats();
+        drop(reference);
+
+        // Interrupted run: snapshot after 13 pushes (2 full windows judged,
+        // 3 samples buffered), squeeze the state through JSON, restore.
+        let mut first = DeploymentPipeline::new(&det, config);
+        let mut reports = first.extend(samples[..13].iter().cloned());
+        let (drained, value) = first.snapshot().expect("frozen pipelines always snapshot");
+        reports.extend(drained);
+        drop(first);
+
+        let json = serde::to_json_string(&value);
+        let value: Value = serde::from_json_str(&json).expect("snapshot JSON round-trips");
+        let mut resumed =
+            DeploymentPipeline::restore(&det, config, &value).expect("matching restore");
+        assert_eq!(resumed.pending(), 3, "the partial buffer survives the trip");
+        reports.extend(resumed.extend(samples[13..].iter().cloned()));
+        reports.extend(resumed.flush());
+        let stats = resumed.stats();
+        drop(resumed);
+
+        assert_eq!(stats, expected_stats);
+        assert_eq!(reports.len(), expected.len());
+        for (r, e) in reports.iter().zip(&expected) {
+            assert_eq!((r.index, r.start), (e.index, e.start));
+            assert_eq!(r.judgements, e.judgements);
+            assert_eq!(r.flagged, e.flagged);
+            assert_eq!(r.relabel, e.relabel);
+        }
+    }
+
+    #[test]
+    fn mismatched_pipeline_snapshots_are_rejected() {
+        let det = Threshold;
+        let config = PipelineConfig { window: 5, shards: 1, ..Default::default() };
+        let mut pipeline = DeploymentPipeline::new(&det, config);
+        pipeline.extend(stream(8));
+        let (_, value) = pipeline.snapshot().unwrap();
+        drop(pipeline);
+
+        // A different window size would shift every report boundary.
+        let narrow = PipelineConfig { window: 4, ..config };
+        assert!(DeploymentPipeline::restore(&det, narrow, &value).is_err());
+
+        // An online policy must go through `restore_online`.
+        let online = PipelineConfig { policy: CalibrationPolicy::GrowUnbounded, ..config };
+        assert!(DeploymentPipeline::restore(&det, online, &value).is_err());
+
+        // A reservoir config needs reservoir state in the snapshot.
+        let mut absorbing = Absorbing::new(4);
+        let reservoir =
+            PipelineConfig { policy: CalibrationPolicy::Reservoir { cap: 2, seed: 3 }, ..config };
+        assert!(DeploymentPipeline::restore_online(&mut absorbing, reservoir, |_, _| None, &value)
+            .is_err());
+
+        // Tampered counters are caught before any state is touched.
+        let mut snap = PipelineSnapshot::from_value(&value).unwrap();
+        snap.stats.pushed += 1;
+        assert!(DeploymentPipeline::restore(&det, config, &snap.to_value()).is_err());
+
+        // A foreign tag is rejected outright.
+        let mut snap = PipelineSnapshot::from_value(&value).unwrap();
+        snap.pipeline = "torch-checkpoint".to_string();
+        assert!(DeploymentPipeline::restore(&det, config, &snap.to_value()).is_err());
+    }
+
+    #[test]
+    fn online_snapshot_needs_a_portable_detector() {
+        // `Absorbing` has live calibration state but no
+        // `snapshot_state` — an online pipeline over it must refuse to
+        // snapshot rather than silently drop its absorbed records.
+        let mut det = Absorbing::new(6);
+        let mut pipeline = DeploymentPipeline::online(
+            &mut det,
+            PipelineConfig {
+                window: 4,
+                shards: 1,
+                policy: CalibrationPolicy::GrowUnbounded,
+                ..Default::default()
+            },
+            |_, _| Some(Truth::Label(0)),
+        );
+        pipeline.extend(stream(4));
+        assert!(pipeline.snapshot().is_err(), "no portable detector state to capture");
     }
 }

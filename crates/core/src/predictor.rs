@@ -11,6 +11,7 @@ use crate::detector::{DriftDetector, Judgement, Relabeled, Sample};
 use crate::nonconformity::{default_committee, Nonconformity};
 use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Samples per blocked distance pass in the batched judging paths: the
 /// whole query block must stay cache-resident while the calibration store
@@ -35,6 +36,11 @@ pub struct PromClassifier {
     kernel: ScoringKernel,
     config: PromConfig,
     n_classes: usize,
+    /// How many of the leading `records` are design-time base records.
+    /// Online absorbs append *after* this prefix; sliding-window eviction
+    /// shrinks it from the front. Reservoir slot `s` therefore addresses
+    /// record `base_len + s`, read live (never cached by callers).
+    base_len: usize,
 }
 
 impl PromClassifier {
@@ -104,7 +110,8 @@ impl PromClassifier {
                 tau: config.tau,
             },
         );
-        Ok(Self { records, experts, kernel, config, n_classes })
+        let base_len = records.len();
+        Ok(Self { records, experts, kernel, config, n_classes, base_len })
     }
 
     /// Convenience constructor: runs `model` over the calibration inputs to
@@ -520,6 +527,51 @@ impl PromClassifier {
     pub fn expert_names(&self) -> Vec<&'static str> {
         self.experts.iter().map(|e| e.name()).collect()
     }
+
+    /// Number of design-time base records still live (see
+    /// [`DriftDetector::base_len`]). Construction and
+    /// [`PromClassifier::recalibrate`] treat the whole calibration set as
+    /// base; online absorbs append after it; eviction shrinks it.
+    pub fn base_record_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Retires the oldest design-time base record — the sliding-window
+    /// eviction path that lets online absorbs displace stale design-time
+    /// calibration. Both the record list and the scoring kernel shift down
+    /// by one, so the surviving state is **bit-identical** to a
+    /// from-scratch fit on the surviving records ([`ScoringKernel::remove`]
+    /// preserves score-bucket contents and `(distance, index)` tie-break
+    /// order). Returns `false` when no base records remain or eviction
+    /// would empty the calibration set.
+    pub fn evict_oldest_base_record(&mut self) -> bool {
+        if self.base_len == 0 || self.records.len() <= 1 {
+            return false;
+        }
+        self.records.remove(0);
+        self.kernel.remove(0);
+        self.base_len -= 1;
+        true
+    }
+}
+
+/// Snapshot tag distinguishing classifier snapshots from other detectors'.
+const CLASSIFIER_SNAPSHOT_TAG: &str = "prom-classifier";
+
+/// The portable state of a [`PromClassifier`]: the calibration records in
+/// order plus the live base/online split. The expert committee is a set of
+/// function objects, so the snapshot carries its *names* purely as a
+/// compatibility check — restore targets an identically configured
+/// detector and rebuilds scores from the records (a pure function of
+/// records and experts, so the rebuild is bit-identical to the original's
+/// incremental growth).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClassifierSnapshot {
+    detector: String,
+    expert_names: Vec<String>,
+    n_classes: usize,
+    base_len: usize,
+    records: Vec<CalibrationRecord>,
 }
 
 impl DriftDetector for PromClassifier {
@@ -583,6 +635,89 @@ impl DriftDetector for PromClassifier {
     fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
         self.record_from_relabeled(r)
             .is_some_and(|record| self.replace_record_at(index, record).is_ok())
+    }
+
+    fn base_len(&self) -> Option<usize> {
+        Some(self.base_len)
+    }
+
+    fn evict_oldest_base(&mut self) -> bool {
+        self.evict_oldest_base_record()
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(
+            ClassifierSnapshot {
+                detector: CLASSIFIER_SNAPSHOT_TAG.to_string(),
+                expert_names: self.expert_names().iter().map(|n| n.to_string()).collect(),
+                n_classes: self.n_classes,
+                base_len: self.base_len,
+                records: self.records.clone(),
+            }
+            .to_value(),
+        )
+    }
+
+    /// Restores a classifier snapshot onto an identically configured
+    /// detector. Everything a rebuild could trip over is validated *before*
+    /// any mutation, so a rejected snapshot leaves the detector untouched;
+    /// the rebuild itself goes through [`PromClassifier::recalibrate`],
+    /// whose kernel is a pure function of (records, experts, selection
+    /// config) — bit-identical to the snapshotted original's incrementally
+    /// grown state (`tests/recalibration_equivalence.rs`).
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let snap = ClassifierSnapshot::from_value(state)?;
+        if snap.detector != CLASSIFIER_SNAPSHOT_TAG {
+            return Err(DeError::custom(format!(
+                "snapshot is for detector kind {:?}, expected {CLASSIFIER_SNAPSHOT_TAG:?}",
+                snap.detector
+            )));
+        }
+        let live_names: Vec<String> = self.expert_names().iter().map(|n| n.to_string()).collect();
+        if snap.expert_names != live_names {
+            return Err(DeError::custom(format!(
+                "snapshot expert committee {:?} does not match live committee {live_names:?}",
+                snap.expert_names
+            )));
+        }
+        if snap.n_classes != self.n_classes {
+            return Err(DeError::custom(format!(
+                "snapshot has {} classes, detector has {}",
+                snap.n_classes, self.n_classes
+            )));
+        }
+        if snap.records.is_empty() {
+            return Err(DeError::custom("snapshot has no calibration records"));
+        }
+        if snap.base_len > snap.records.len() {
+            return Err(DeError::custom(format!(
+                "snapshot base_len {} exceeds its {} records",
+                snap.base_len,
+                snap.records.len()
+            )));
+        }
+        let emb_dim = self.records[0].embedding.len();
+        for (i, r) in snap.records.iter().enumerate() {
+            r.validate().map_err(|why| DeError::custom(format!("snapshot record {i}: {why}")))?;
+            if r.embedding.len() != emb_dim {
+                return Err(DeError::custom(format!(
+                    "snapshot record {i} embedding has length {}, detector expects {emb_dim}",
+                    r.embedding.len()
+                )));
+            }
+            if r.probs.len() != self.n_classes {
+                return Err(DeError::custom(format!(
+                    "snapshot record {i} has {} classes, detector expects {}",
+                    r.probs.len(),
+                    self.n_classes
+                )));
+            }
+        }
+        let base_len = snap.base_len;
+        self.recalibrate(snap.records)
+            .map_err(|e| DeError::custom(format!("snapshot calibration rejected: {e}")))?;
+        self.base_len = base_len;
+        Ok(())
     }
 }
 
@@ -919,6 +1054,100 @@ mod tests {
         let lac = &j.verdicts[0];
         assert_eq!(lac.credibility, 0.0, "NaN LAC score must conform to nothing");
         assert!(lac.reject);
+    }
+
+    /// Per-expert p-value bits for a spread of probes — the detector's
+    /// complete statistical output, used to prove bit-identity.
+    fn probe_bits(prom: &PromClassifier) -> Vec<Vec<u64>> {
+        (0..6)
+            .map(|i| {
+                let x = (i as f64) * 1.7 - 4.0;
+                prom.expert_p_values(&[x, -x], &[0.7, 0.3])
+                    .iter()
+                    .flat_map(|ps| ps.iter().map(|p| p.to_bits()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut original = PromClassifier::new(toy_records(50), PromConfig::default()).unwrap();
+        // Absorb online records so the base/online split is non-trivial.
+        let relabels: Vec<Relabeled> = (0..4)
+            .map(|i| {
+                let x = i as f64 * 0.3;
+                Relabeled::labeled(Sample::new(vec![x, -x], vec![0.8, 0.2]), 0)
+            })
+            .collect();
+        assert_eq!(original.absorb_relabeled(&relabels), 4);
+        assert!(original.evict_oldest_base_record());
+        assert_eq!(original.base_record_len(), 49);
+        assert_eq!(original.calibration_len(), 53);
+
+        // Snapshot -> JSON text -> fresh identically configured detector.
+        let json = serde::to_json_string(&original.snapshot_state().unwrap());
+        let state: Value = serde::from_json_str(&json).unwrap();
+        let mut restored = PromClassifier::new(toy_records(50), PromConfig::default()).unwrap();
+        restored.restore_state(&state).unwrap();
+
+        assert_eq!(restored.base_record_len(), 49, "base/online split must survive");
+        assert_eq!(restored.calibration_len(), 53);
+        assert_eq!(probe_bits(&restored), probe_bits(&original), "p-value bits diverged");
+        // And both continue identically after further absorbs.
+        let more = Relabeled::labeled(Sample::new(vec![0.5, -0.5], vec![0.6, 0.4]), 1);
+        assert_eq!(original.absorb_relabeled(std::slice::from_ref(&more)), 1);
+        assert_eq!(restored.absorb_relabeled(&[more]), 1);
+        assert_eq!(probe_bits(&restored), probe_bits(&original));
+    }
+
+    #[test]
+    fn eviction_matches_a_from_scratch_refit() {
+        let records = toy_records(40);
+        let mut evicted = PromClassifier::new(records.clone(), PromConfig::default()).unwrap();
+        for _ in 0..3 {
+            assert!(evicted.evict_oldest_base_record());
+        }
+        let refit = PromClassifier::new(records[3..].to_vec(), PromConfig::default()).unwrap();
+        assert_eq!(evicted.base_record_len(), 37);
+        assert_eq!(evicted.calibration_len(), 37);
+        assert_eq!(probe_bits(&evicted), probe_bits(&refit), "eviction must equal a refit");
+    }
+
+    #[test]
+    fn eviction_stops_at_an_empty_base_or_singleton_set() {
+        let mut prom = PromClassifier::new(toy_records(2), PromConfig::default()).unwrap();
+        assert!(prom.evict_oldest_base_record());
+        assert!(!prom.evict_oldest_base_record(), "must not empty the calibration set");
+        assert_eq!(prom.calibration_len(), 1);
+    }
+
+    #[test]
+    fn incompatible_snapshots_are_rejected_without_mutation() {
+        let mut prom = PromClassifier::new(toy_records(30), PromConfig::default()).unwrap();
+        let before = probe_bits(&prom);
+        // Wrong detector kind.
+        let mut snap = ClassifierSnapshot {
+            detector: "someone-else".to_string(),
+            expert_names: prom.expert_names().iter().map(|n| n.to_string()).collect(),
+            n_classes: 2,
+            base_len: 30,
+            records: toy_records(30),
+        };
+        assert!(prom.restore_state(&snap.to_value()).is_err());
+        // Mismatched committee.
+        snap.detector = CLASSIFIER_SNAPSHOT_TAG.to_string();
+        snap.expert_names = vec!["LAC".to_string()];
+        assert!(prom.restore_state(&snap.to_value()).is_err());
+        // base_len beyond the record count.
+        snap.expert_names = prom.expert_names().iter().map(|n| n.to_string()).collect();
+        snap.base_len = 31;
+        assert!(prom.restore_state(&snap.to_value()).is_err());
+        // Corrupt record (NaN embedding, built without `new`'s checks).
+        snap.base_len = 30;
+        snap.records[4].embedding[0] = f64::NAN;
+        assert!(prom.restore_state(&snap.to_value()).is_err());
+        assert_eq!(probe_bits(&prom), before, "rejected restores must not mutate");
     }
 
     #[test]

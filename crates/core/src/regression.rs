@@ -18,9 +18,10 @@ use crate::committee::{
 use crate::detector::{DriftDetector, Judgement, Relabeled, Sample};
 use crate::scoring::{JudgeScratch, ScoringKernel};
 use crate::PromError;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One regression calibration sample.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegressionRecord {
     /// Feature-space embedding of the input.
     pub embedding: Vec<f64>,
@@ -44,6 +45,22 @@ impl RegressionRecord {
         assert!(embedding.iter().all(|v| !v.is_nan()), "NaN in calibration embedding");
         assert!(prediction.is_finite() && target.is_finite(), "non-finite record");
         Self { embedding, prediction, target }
+    }
+
+    /// The fallible twin of [`RegressionRecord::new`]'s validation, for
+    /// records arriving from a deserialized snapshot (whose field-by-field
+    /// construction bypasses `new`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.embedding.is_empty() {
+            return Err("empty embedding".into());
+        }
+        if self.embedding.iter().any(|v| v.is_nan()) {
+            return Err("NaN in calibration embedding".into());
+        }
+        if !self.prediction.is_finite() || !self.target.is_finite() {
+            return Err("non-finite record".into());
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +194,12 @@ pub struct PromRegressor {
     kernel: ScoringKernel,
     residual_scale: f64,
     config: PromRegressorConfig,
+    /// How many of the leading `records` are design-time base records (see
+    /// [`PromClassifier::base_record_len`] — same base/online layout).
+    ///
+    /// [`PromClassifier::base_record_len`]:
+    /// crate::predictor::PromClassifier::base_record_len
+    base_len: usize,
 }
 
 impl PromRegressor {
@@ -265,7 +288,8 @@ impl PromRegressor {
                 tau: config.prom.tau,
             },
         );
-        Ok(Self { records, kmeans, experts, kernel, residual_scale, config })
+        let base_len = records.len();
+        Ok(Self { records, kmeans, experts, kernel, residual_scale, config, base_len })
     }
 
     /// Approximates the deployment-time ground truth of a test input as the
@@ -523,6 +547,7 @@ impl PromRegressor {
                 tau: self.config.prom.tau,
             },
         );
+        self.base_len = records.len();
         self.records = records;
         Ok(())
     }
@@ -559,6 +584,51 @@ impl PromRegressor {
     pub fn residual_scale(&self) -> f64 {
         self.residual_scale
     }
+
+    /// Names of the residual experts on the committee.
+    pub fn expert_names(&self) -> Vec<&'static str> {
+        self.experts.iter().map(|e| e.name()).collect()
+    }
+
+    /// Number of design-time base records still live (see
+    /// [`DriftDetector::base_len`]).
+    pub fn base_record_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Retires the oldest design-time base record: records and kernel shift
+    /// down one, leaving state bit-identical to
+    /// [`PromRegressor::recalibrate_frozen_clusters`] over the surviving
+    /// records. Returns `false` when no base records remain or eviction
+    /// would empty the calibration set.
+    pub fn evict_oldest_base_record(&mut self) -> bool {
+        if self.base_len == 0 || self.records.len() <= 1 {
+            return false;
+        }
+        self.records.remove(0);
+        self.kernel.remove(0);
+        self.base_len -= 1;
+        true
+    }
+}
+
+/// Snapshot tag distinguishing regressor snapshots from other detectors'.
+const REGRESSOR_SNAPSHOT_TAG: &str = "prom-regressor";
+
+/// The portable state of a [`PromRegressor`]: the calibration records in
+/// order, the base/online split, and the **frozen design-time artifacts** a
+/// reconstruction would otherwise re-derive non-deterministically — the
+/// k-means centroids (pseudo-label space) and the residual scale. Residual
+/// experts are function objects; their names travel as a compatibility
+/// check only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RegressorSnapshot {
+    detector: String,
+    expert_names: Vec<String>,
+    base_len: usize,
+    centroids: Vec<Vec<f64>>,
+    residual_scale: f64,
+    records: Vec<RegressionRecord>,
 }
 
 impl DriftDetector for PromRegressor {
@@ -624,6 +694,98 @@ impl DriftDetector for PromRegressor {
     fn replace_record(&mut self, index: usize, r: &Relabeled) -> bool {
         self.record_from_relabeled(r)
             .is_some_and(|record| self.replace_record_at(index, record).is_ok())
+    }
+
+    fn base_len(&self) -> Option<usize> {
+        Some(self.base_len)
+    }
+
+    fn evict_oldest_base(&mut self) -> bool {
+        self.evict_oldest_base_record()
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(
+            RegressorSnapshot {
+                detector: REGRESSOR_SNAPSHOT_TAG.to_string(),
+                expert_names: self.expert_names().iter().map(|n| n.to_string()).collect(),
+                base_len: self.base_len,
+                centroids: self.kmeans.centroids().to_vec(),
+                residual_scale: self.residual_scale,
+                records: self.records.clone(),
+            }
+            .to_value(),
+        )
+    }
+
+    /// Restores a regressor snapshot onto an identically configured
+    /// detector: the frozen pseudo-label model comes back via
+    /// [`KMeans::from_centroids`] (assignments are pure functions of
+    /// centroid values), the residual scale is taken verbatim, and the
+    /// score tables are rebuilt through
+    /// [`PromRegressor::recalibrate_frozen_clusters`] — together
+    /// bit-identical to the snapshotted original. Everything is validated
+    /// before any mutation, so a rejected snapshot leaves the detector
+    /// untouched.
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let snap = RegressorSnapshot::from_value(state)?;
+        if snap.detector != REGRESSOR_SNAPSHOT_TAG {
+            return Err(DeError::custom(format!(
+                "snapshot is for detector kind {:?}, expected {REGRESSOR_SNAPSHOT_TAG:?}",
+                snap.detector
+            )));
+        }
+        let live_names: Vec<String> = self.expert_names().iter().map(|n| n.to_string()).collect();
+        if snap.expert_names != live_names {
+            return Err(DeError::custom(format!(
+                "snapshot expert committee {:?} does not match live committee {live_names:?}",
+                snap.expert_names
+            )));
+        }
+        if snap.records.is_empty() {
+            return Err(DeError::custom("snapshot has no calibration records"));
+        }
+        if snap.base_len > snap.records.len() {
+            return Err(DeError::custom(format!(
+                "snapshot base_len {} exceeds its {} records",
+                snap.base_len,
+                snap.records.len()
+            )));
+        }
+        if !snap.residual_scale.is_finite() {
+            return Err(DeError::custom("snapshot residual scale is not finite"));
+        }
+        let emb_dim = self.records[0].embedding.len();
+        for (i, r) in snap.records.iter().enumerate() {
+            r.validate().map_err(|why| DeError::custom(format!("snapshot record {i}: {why}")))?;
+            if r.embedding.len() != emb_dim {
+                return Err(DeError::custom(format!(
+                    "snapshot record {i} embedding has length {}, detector expects {emb_dim}",
+                    r.embedding.len()
+                )));
+            }
+        }
+        if snap.centroids.is_empty() {
+            return Err(DeError::custom("snapshot has no cluster centroids"));
+        }
+        for (i, c) in snap.centroids.iter().enumerate() {
+            if c.len() != emb_dim {
+                return Err(DeError::custom(format!(
+                    "snapshot centroid {i} has dimension {}, detector expects {emb_dim}",
+                    c.len()
+                )));
+            }
+            if c.iter().any(|v| v.is_nan()) {
+                return Err(DeError::custom(format!("snapshot centroid {i} contains NaN")));
+            }
+        }
+        let base_len = snap.base_len;
+        self.kmeans = KMeans::from_centroids(snap.centroids);
+        self.residual_scale = snap.residual_scale;
+        self.recalibrate_frozen_clusters(snap.records)
+            .map_err(|e| DeError::custom(format!("snapshot calibration rejected: {e}")))?;
+        self.base_len = base_len;
+        Ok(())
     }
 }
 
@@ -764,6 +926,85 @@ mod tests {
         // defined (and, with positive residual scores, a rejection).
         let j = prom.judge(&[f64::NAN, f64::NAN], 1.0);
         assert!(!j.accepted, "NaN embedding must be rejected, got {j:?}");
+    }
+
+    /// Committee verdict bits (credibility + confidence per expert) for a
+    /// spread of probes — the regressor's complete statistical output.
+    fn probe_bits(prom: &PromRegressor) -> Vec<Vec<u64>> {
+        (0..6)
+            .map(|i| {
+                let x = (i as f64) * 1.3 - 1.0;
+                prom.judge(&[x, x * 0.5], 2.0 * x + 0.05)
+                    .verdicts
+                    .iter()
+                    .flat_map(|v| [v.credibility.to_bits(), v.confidence.to_bits()])
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut original = PromRegressor::new(records(60), config_fixed(2)).unwrap();
+        let relabels: Vec<Relabeled> = (0..4)
+            .map(|i| {
+                let x = i as f64 * 0.2 + 0.1;
+                Relabeled::measured(Sample::regression(vec![x, x * 0.5], 2.0 * x + 0.02), 2.0 * x)
+            })
+            .collect();
+        assert_eq!(original.absorb_relabeled(&relabels), 4);
+        assert!(original.evict_oldest_base_record());
+        assert_eq!(original.base_record_len(), 59);
+
+        let json = serde::to_json_string(&original.snapshot_state().unwrap());
+        let state: Value = serde::from_json_str(&json).unwrap();
+        let mut restored = PromRegressor::new(records(60), config_fixed(2)).unwrap();
+        restored.restore_state(&state).unwrap();
+
+        assert_eq!(restored.base_record_len(), 59);
+        assert_eq!(restored.calibration_len(), 63);
+        assert_eq!(restored.residual_scale().to_bits(), original.residual_scale().to_bits());
+        assert_eq!(probe_bits(&restored), probe_bits(&original), "verdict bits diverged");
+        // Continuation stays locked: one more absorb on each side.
+        let more = Relabeled::measured(Sample::regression(vec![0.4, 0.2], 0.85), 0.8);
+        assert_eq!(original.absorb_relabeled(std::slice::from_ref(&more)), 1);
+        assert_eq!(restored.absorb_relabeled(&[more]), 1);
+        assert_eq!(probe_bits(&restored), probe_bits(&original));
+    }
+
+    #[test]
+    fn eviction_matches_a_frozen_cluster_refit() {
+        let recs = records(50);
+        let mut evicted = PromRegressor::new(recs.clone(), config_fixed(2)).unwrap();
+        for _ in 0..4 {
+            assert!(evicted.evict_oldest_base_record());
+        }
+        // The reference: the same detector refit over the surviving window
+        // under its frozen design-time clusters and residual scale.
+        let mut refit = PromRegressor::new(recs.clone(), config_fixed(2)).unwrap();
+        refit.recalibrate_frozen_clusters(recs[4..].to_vec()).unwrap();
+        assert_eq!(evicted.base_record_len(), 46);
+        assert_eq!(probe_bits(&evicted), probe_bits(&refit), "eviction must equal a refit");
+    }
+
+    #[test]
+    fn incompatible_regressor_snapshots_are_rejected_without_mutation() {
+        let mut prom = PromRegressor::new(records(30), config_fixed(2)).unwrap();
+        let before = probe_bits(&prom);
+        let good = prom.snapshot_state().unwrap();
+        let mut snap = RegressorSnapshot::from_value(&good).unwrap();
+        snap.detector = "prom-classifier".to_string();
+        assert!(prom.restore_state(&snap.to_value()).is_err(), "wrong detector kind");
+        snap = RegressorSnapshot::from_value(&good).unwrap();
+        snap.centroids[0][0] = f64::NAN;
+        assert!(prom.restore_state(&snap.to_value()).is_err(), "NaN centroid");
+        snap = RegressorSnapshot::from_value(&good).unwrap();
+        snap.records[2].target = f64::INFINITY;
+        assert!(prom.restore_state(&snap.to_value()).is_err(), "non-finite record");
+        assert_eq!(probe_bits(&prom), before, "rejected restores must not mutate");
+        // The untouched snapshot still restores cleanly.
+        prom.restore_state(&good).unwrap();
+        assert_eq!(probe_bits(&prom), before);
     }
 
     #[test]

@@ -78,6 +78,37 @@ impl ScoreTable {
         Self::new(&labels, &scores, n_labels)
     }
 
+    /// Rebuilds a table directly from per-label sorted score buckets — the
+    /// snapshot-restore constructor. The buckets must be exactly what
+    /// [`ScoreTable::scores`] returned on the table that was snapshotted;
+    /// restoring them verbatim reproduces that table bit-for-bit (the
+    /// p-value pass reads nothing but these buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bucket contains NaN or is not sorted by `total_cmp` —
+    /// a corrupt or hand-edited snapshot fails loudly rather than silently
+    /// skewing every future p-value.
+    pub fn from_sorted_buckets(per_label: Vec<Vec<f64>>) -> Self {
+        for (label, bucket) in per_label.iter().enumerate() {
+            assert!(
+                bucket.iter().all(|s| !s.is_nan()),
+                "NaN calibration score in restored bucket {label}"
+            );
+            assert!(
+                bucket.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+                "restored bucket {label} is not sorted"
+            );
+        }
+        Self { per_label }
+    }
+
+    /// Clones every per-label sorted bucket — the snapshot-side twin of
+    /// [`ScoreTable::from_sorted_buckets`].
+    pub fn sorted_buckets(&self) -> Vec<Vec<f64>> {
+        self.per_label.clone()
+    }
+
     /// Number of labels.
     pub fn n_labels(&self) -> usize {
         self.per_label.len()
@@ -397,6 +428,43 @@ impl ScoringKernel {
         self.norms[index] = l2_norm_sq(&embedding).sqrt();
         self.store[index * self.dim..(index + 1) * self.dim].copy_from_slice(&embedding);
         self.labels[index] = label;
+    }
+
+    /// Removes calibration record `index`, shifting every later record down
+    /// one slot — the eviction path of sliding-window base retirement.
+    ///
+    /// The shift is what makes eviction *bit-equivalent to a from-scratch
+    /// refit* on the surviving records: `select` breaks distance ties by
+    /// record index, and after the shift the surviving records hold exactly
+    /// the indices they would get if a fresh kernel were built from the
+    /// surviving sequence in order. `O(n)` in records (a contiguous
+    /// `memmove` of the store), which eviction amortizes over a full
+    /// absorb window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range `index`, or when the kernel holds a single
+    /// record (an empty kernel cannot judge; construction rejects it too).
+    pub fn remove(&mut self, index: usize) {
+        let n = self.labels.len();
+        assert!(index < n, "record index {index} out of range");
+        assert!(n > 1, "cannot remove the last calibration record");
+        for table in &mut self.cal_scores {
+            table.remove(index);
+        }
+        self.norms.remove(index);
+        self.labels.remove(index);
+        self.store.drain(index * self.dim..(index + 1) * self.dim);
+    }
+
+    /// Borrows expert `expert`'s precomputed nonconformity scores, one per
+    /// calibration record in store order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range expert index.
+    pub fn expert_scores(&self, expert: usize) -> &[f64] {
+        &self.cal_scores[expert]
     }
 
     /// Runs the Eq. 1 selection for one test embedding into `scratch`:
@@ -874,6 +942,24 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sorted_buckets_round_trip_restores_the_table_bit_for_bit() {
+        let table = ScoreTable::new(&[0, 0, 1, 2, 0, 1], &[0.5, -0.0, 0.9, 0.1, 0.5, 1e-300], 4);
+        let restored = ScoreTable::from_sorted_buckets(table.sorted_buckets());
+        assert_eq!(restored.n_labels(), table.n_labels());
+        for label in 0..table.n_labels() {
+            let got: Vec<u64> = restored.scores(label).iter().map(|s| s.to_bits()).collect();
+            let want: Vec<u64> = table.scores(label).iter().map(|s| s.to_bits()).collect();
+            assert_eq!(got, want, "label {label}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn unsorted_restored_bucket_panics() {
+        let _ = ScoreTable::from_sorted_buckets(vec![vec![0.9, 0.1]]);
+    }
+
     fn kernel_fixture(n: usize, min_full_size: usize) -> ScoringKernel {
         let embeddings: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.5]).collect();
         let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
@@ -941,6 +1027,88 @@ mod tests {
                 assert_eq!(scratch.p_values, reference, "probe {probe}, expert {expert}");
             }
         }
+    }
+
+    #[test]
+    fn remove_matches_a_from_scratch_rebuild_bit_for_bit() {
+        let n = 60;
+        let embeddings: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.5]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let s0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let s1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos().abs()).collect();
+        let selection = SelectionConfig { fraction: 0.5, min_full_size: 10, tau: 10.0 };
+
+        let mut evicted = ScoringKernel::new(
+            embeddings.clone(),
+            labels.clone(),
+            3,
+            vec![s0.clone(), s1.clone()],
+            selection.clone(),
+        );
+        // Front, middle, and (shifted) back — indices valid at each step.
+        evicted.remove(0);
+        evicted.remove(20);
+        evicted.remove(evicted.n_records() - 1);
+
+        let keep = |v: &[f64], drop: &[usize]| -> Vec<f64> {
+            v.iter().enumerate().filter(|(i, _)| !drop.contains(i)).map(|(_, &x)| x).collect()
+        };
+        // Original indices of the three removals above.
+        let dropped = [0usize, 21, 59];
+        let rebuilt = ScoringKernel::new(
+            embeddings
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dropped.contains(i))
+                .map(|(_, e)| e.clone())
+                .collect(),
+            labels
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dropped.contains(i))
+                .map(|(_, &l)| l)
+                .collect(),
+            3,
+            vec![keep(&s0, &dropped), keep(&s1, &dropped)],
+            selection,
+        );
+
+        assert_eq!(evicted.n_records(), rebuilt.n_records());
+        assert_eq!(evicted.labels(), rebuilt.labels());
+        let got: Vec<u64> = evicted.embeddings_flat().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = rebuilt.embeddings_flat().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "stores must match bit-for-bit after the shift");
+
+        let mut scratch_e = JudgeScratch::new();
+        let mut scratch_r = JudgeScratch::new();
+        for probe in [0.0, 10.2, 29.5] {
+            evicted.select(&[probe], &mut scratch_e);
+            rebuilt.select(&[probe], &mut scratch_r);
+            for expert in 0..2 {
+                for scratch in [&mut scratch_e, &mut scratch_r] {
+                    scratch.test_scores.clear();
+                    scratch.test_scores.extend_from_slice(&[0.2, 0.5, 0.8]);
+                }
+                evicted.p_values_into(expert, &mut scratch_e);
+                rebuilt.p_values_into(expert, &mut scratch_r);
+                let got: Vec<u64> = scratch_e.p_values.iter().map(|p| p.to_bits()).collect();
+                let want: Vec<u64> = scratch_r.p_values.iter().map(|p| p.to_bits()).collect();
+                assert_eq!(got, want, "probe {probe}, expert {expert}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last")]
+    fn removing_the_last_record_panics() {
+        let mut kernel = ScoringKernel::new(
+            vec![vec![1.0]],
+            vec![0],
+            1,
+            vec![vec![0.5]],
+            SelectionConfig::default(),
+        );
+        kernel.remove(0);
     }
 
     /// A fixture whose selection fraction engages the pruned filtered-scan

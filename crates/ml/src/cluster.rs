@@ -61,6 +61,28 @@ impl KMeans {
         Self { centroids }
     }
 
+    /// Rebuilds a fitted model directly from its centroids — the
+    /// snapshot-restore constructor. Assignments and distances are pure
+    /// functions of the centroid values, so restoring the exact centroids
+    /// (via [`KMeans::centroids`]) reproduces the fitted model bit-for-bit
+    /// without re-running Lloyd iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty centroid set, ragged centroid dimensions, or a
+    /// NaN coordinate (a corrupt snapshot would silently poison every
+    /// distance comparison).
+    pub fn from_centroids(centroids: Vec<Vec<f64>>) -> Self {
+        assert!(!centroids.is_empty(), "k-means needs at least one centroid");
+        let dim = centroids[0].len();
+        assert!(dim > 0, "empty centroid");
+        for c in &centroids {
+            assert_eq!(c.len(), dim, "ragged centroid dimensions");
+            assert!(c.iter().all(|v| !v.is_nan()), "NaN centroid coordinate");
+        }
+        Self { centroids }
+    }
+
     /// The cluster index of the nearest centroid.
     pub fn assign(&self, point: &[f64]) -> usize {
         nearest_centroid(&self.centroids, point).0

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::activations::sigmoid;
 use crate::data::Dataset;
@@ -14,7 +15,7 @@ use crate::rng::rng_from_seed;
 use crate::traits::Classifier;
 
 /// Training hyperparameters for [`LinearSvm`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvmConfig {
     /// Number of Pegasos epochs (passes over the data).
     pub epochs: usize,
@@ -159,6 +160,87 @@ impl LinearSvm {
     pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
         self.machines.iter().map(|m| m.margin(x)).collect()
     }
+
+    /// The model's complete portable state: weights, biases, Platt
+    /// parameters, and the training config (so a restored model can keep
+    /// learning via [`LinearSvm::train_more`] with the same schedule).
+    /// Inference is a pure function of these values, so
+    /// [`LinearSvm::restore`] reproduces the model's outputs bit-for-bit.
+    pub fn snapshot(&self) -> LinearSvmSnapshot {
+        LinearSvmSnapshot {
+            machines: self
+                .machines
+                .iter()
+                .map(|m| BinarySvmSnapshot {
+                    w: m.w.clone(),
+                    b: m.b,
+                    platt_a: m.platt_a,
+                    platt_c: m.platt_c,
+                })
+                .collect(),
+            n_classes: self.n_classes,
+            config: self.config.clone(),
+        }
+    }
+
+    /// Rebuilds the model captured by [`LinearSvm::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent snapshot: machine count disagreeing with
+    /// `n_classes`, fewer than two classes, or ragged weight dimensions.
+    pub fn restore(snapshot: &LinearSvmSnapshot) -> Self {
+        assert!(snapshot.n_classes >= 2, "SVM needs at least two classes");
+        assert_eq!(
+            snapshot.machines.len(),
+            snapshot.n_classes,
+            "snapshot machine count disagrees with n_classes"
+        );
+        let dim = snapshot.machines[0].w.len();
+        assert!(
+            snapshot.machines.iter().all(|m| m.w.len() == dim),
+            "ragged weight dimensions in snapshot"
+        );
+        Self {
+            machines: snapshot
+                .machines
+                .iter()
+                .map(|m| BinarySvm {
+                    w: m.w.clone(),
+                    b: m.b,
+                    platt_a: m.platt_a,
+                    platt_c: m.platt_c,
+                })
+                .collect(),
+            n_classes: snapshot.n_classes,
+            config: snapshot.config.clone(),
+        }
+    }
+}
+
+/// Serializable state of one binary one-vs-rest machine (see
+/// [`LinearSvm::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinarySvmSnapshot {
+    /// Weight vector.
+    pub w: Vec<f64>,
+    /// Bias term.
+    pub b: f64,
+    /// Platt slope `a` of `P(y=1|x) = sigmoid(a * margin + c)`.
+    pub platt_a: f64,
+    /// Platt intercept `c`.
+    pub platt_c: f64,
+}
+
+/// Serializable state of a [`LinearSvm`] (see [`LinearSvm::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvmSnapshot {
+    /// One binary machine per class.
+    pub machines: Vec<BinarySvmSnapshot>,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Training hyperparameters carried along for future `train_more`.
+    pub config: SvmConfig,
 }
 
 impl Classifier<[f64]> for LinearSvm {
@@ -231,6 +313,26 @@ mod tests {
         let deep = svm.predict_proba(&[4.0, 0.0])[1];
         let shallow = svm.predict_proba(&[0.2, 0.0])[1];
         assert!(deep > shallow, "Platt probabilities not monotone: {deep} vs {shallow}");
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_outputs_bit_for_bit() {
+        let train = blobs(150, 6, &[(-2.0, -1.0), (2.0, 1.0), (0.0, 4.0)]);
+        let svm = LinearSvm::fit(&train, SvmConfig::default());
+        let snap = svm.snapshot();
+        // Through JSON and back: the wire format must not lose weight bits.
+        let wire: LinearSvmSnapshot =
+            serde::from_json_str(&serde::to_json_string(&snap)).expect("snapshot JSON");
+        assert_eq!(wire, snap);
+        let restored = LinearSvm::restore(&wire);
+        for x in &train.x {
+            let a: Vec<u64> = svm.predict_proba(x).iter().map(|p| p.to_bits()).collect();
+            let b: Vec<u64> = restored.predict_proba(x).iter().map(|p| p.to_bits()).collect();
+            assert_eq!(a, b);
+            let da: Vec<u64> = svm.decision_values(x).iter().map(|v| v.to_bits()).collect();
+            let db: Vec<u64> = restored.decision_values(x).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(da, db);
+        }
     }
 
     #[test]
