@@ -176,6 +176,42 @@ pub mod channel {
             }
         }
 
+        /// Like [`Sender::send`], but the value is built by `make` *inside
+        /// the critical section*, only once a queue slot is free. A caller
+        /// that wants to observe the moment of admission (e.g. stamp a
+        /// timestamp that must not include time parked on a full queue)
+        /// constructs the value here instead of before the call.
+        ///
+        /// # Errors
+        ///
+        /// Returns the (freshly built) value back when every receiver has
+        /// been dropped — checked before and during the wait, exactly as
+        /// in [`Sender::send`].
+        pub fn send_with(&self, make: impl FnOnce() -> T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.lock();
+            loop {
+                if inner.receivers == 0 {
+                    drop(inner);
+                    return Err(SendError(make()));
+                }
+                match inner.capacity {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self
+                            .shared
+                            .not_full
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => {
+                        inner.queue.push_back(make());
+                        drop(inner);
+                        self.shared.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
         /// Non-blocking enqueue.
         ///
         /// # Errors
@@ -413,6 +449,48 @@ mod tests {
         drop(rx);
         let err = tx.send(9).unwrap_err();
         assert_eq!(err.0, 9);
+    }
+
+    #[test]
+    fn send_with_builds_the_value_only_at_enqueue_time() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+
+        let (tx, rx) = bounded::<Instant>(1);
+        tx.send(Instant::now()).unwrap();
+        // The queue is full: a blocked send_with must not run `make` until
+        // a slot frees. The receiver drains after a deliberate stall, so a
+        // timestamp taken eagerly (before the block) would be ~stall older
+        // than one taken at enqueue time.
+        let stall = Duration::from_millis(50);
+        let made = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.send_with(|| {
+                    made.store(true, Ordering::SeqCst);
+                    Instant::now()
+                })
+                .unwrap();
+            });
+            std::thread::sleep(stall);
+            assert!(!made.load(Ordering::SeqCst), "make ran while the queue was full");
+            let drain_at = Instant::now();
+            rx.recv().unwrap();
+            let stamped = rx.recv().unwrap();
+            assert!(made.load(Ordering::SeqCst));
+            assert!(
+                stamped >= drain_at,
+                "the stamp must be taken at admission, not before the block"
+            );
+        });
+    }
+
+    #[test]
+    fn send_with_returns_the_built_value_on_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        let err = tx.send_with(|| 42).unwrap_err();
+        assert_eq!(err.0, 42);
     }
 
     #[test]

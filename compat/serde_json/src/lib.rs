@@ -561,6 +561,59 @@ pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes on one line with no whitespace — the JSONL shape (one value
+/// per line). Numbers print exactly as in [`to_string_pretty`], so the
+/// bit-exact round-trip guarantee carries over.
+///
+/// # Errors
+///
+/// Infallible for the stand-in's value model; the `Result` mirrors the real
+/// API.
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_json());
+    Ok(out)
+}
+
 /// Builds a [`Value`] from JSON-looking syntax; object values may be nested
 /// objects, arrays, or arbitrary expressions convertible via
 /// [`Value::from`].
@@ -768,6 +821,24 @@ mod tests {
         let text = to_string_pretty(&doc).unwrap();
         let parsed = from_str(&text).unwrap();
         assert_eq!(parsed, Value::Object(doc));
+    }
+
+    #[test]
+    fn compact_serializer_is_single_line_and_round_trips() {
+        let mut doc = Map::new();
+        doc.insert("name".into(), json!("prom_serving_admitted_total"));
+        doc.insert("labels".into(), json!({"workload": "devmap\n", "detector": "prom"}));
+        doc.insert("value".into(), Value::from(u64::MAX));
+        doc.insert("quantiles".into(), json!([0.5, 0.99, 0.999]));
+        doc.insert("empty_arr".into(), json!([]));
+        doc.insert("empty_obj".into(), json!({}));
+        doc.insert("nothing".into(), Value::Null);
+        let line = to_string(&doc).unwrap();
+        assert!(!line.contains('\n'), "compact output must be one line: {line:?}");
+        assert!(!line.contains(": "), "no space after colons: {line:?}");
+        assert_eq!(from_str(&line).unwrap(), Value::Object(doc));
+        assert_eq!(to_string(&json!([])).unwrap(), "[]");
+        assert_eq!(to_string(&json!({})).unwrap(), "{}");
     }
 
     #[test]

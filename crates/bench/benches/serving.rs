@@ -116,6 +116,7 @@ fn bench_serving(c: &mut Criterion) {
         pipeline: pipeline_config(),
         queue: 1024,
         record_admitted: false,
+        metrics: None,
     });
     group.bench_function("4x100k", |b| {
         b.iter(|| {

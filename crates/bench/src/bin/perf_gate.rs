@@ -242,9 +242,11 @@ fn run(args: &[String]) -> Result<bool, String> {
 
     let mut failures = Vec::new();
     let mut compared = 0usize;
+    let mut skipped: Vec<&str> = Vec::new();
     for (id, base) in baseline_metrics.iter() {
         let Some(cur) = current.get(id) else {
             println!("perf gate: '{id}' is in the baseline but was not measured this run");
+            skipped.push(id);
             continue;
         };
         compared += 1;
@@ -267,11 +269,24 @@ fn run(args: &[String]) -> Result<bool, String> {
             failures.push((id.clone(), median_ratio, p99_ratio));
         }
     }
-    for id in current.keys() {
-        if !baseline_metrics.contains_key(id) {
-            println!("perf gate: '{id}' is new (not in this machine's baseline yet)");
-        }
+    let new_ids: Vec<&str> = current
+        .keys()
+        .filter(|id| !baseline_metrics.contains_key(*id))
+        .map(String::as_str)
+        .collect();
+    for id in &new_ids {
+        println!("perf gate: '{id}' is new (not in this machine's baseline yet)");
     }
+    // Aggregate coverage line: a partial bench run (one --bench flag, or a
+    // loadgen-only invocation) looks green id-by-id, so make the skipped
+    // set impossible to miss.
+    println!(
+        "perf gate: compared {compared}/{} baseline id(s); skipped {}{}; {} new this run",
+        baseline_metrics.len(),
+        skipped.len(),
+        if skipped.is_empty() { String::new() } else { format!(" {skipped:?}") },
+        new_ids.len()
+    );
     if compared == 0 {
         return Err("no benchmark id overlaps the baseline — wrong bench set?".into());
     }

@@ -69,6 +69,7 @@ pub mod calibration;
 pub mod committee;
 pub mod detector;
 pub mod incremental;
+pub mod metrics;
 pub mod nonconformity;
 pub mod pipeline;
 pub mod pool;
@@ -82,6 +83,9 @@ pub mod tuning;
 pub use calibration::{CalibrationRecord, ReservoirCalibration};
 pub use committee::{PromConfig, PromJudgement};
 pub use detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
+pub use metrics::{
+    Counter, Gauge, Histogram, LatencyHistogram, LatencySummary, MetricsRegistry, MetricsSink,
+};
 pub use pipeline::{
     BudgetSharing, CalibrationPolicy, DeploymentPipeline, MultiPipeline, MultiReport,
     PipelineConfig, SelectionPolicy,
@@ -89,9 +93,7 @@ pub use pipeline::{
 pub use pool::ShardPool;
 pub use predictor::PromClassifier;
 pub use regression::PromRegressor;
-pub use serving::{
-    LatencyHistogram, LatencySummary, ServingConfig, ServingFrontEnd, ServingHandle, ServingOutcome,
-};
+pub use serving::{ServingConfig, ServingFrontEnd, ServingHandle, ServingOutcome};
 
 /// Errors produced when constructing or using a Prom predictor.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,958 @@
+//! Live metrics: counters, gauges, sharded histograms, and a registry
+//! that renders Prometheus text and JSONL snapshots.
+//!
+//! The serving stack runs for hours at a time; a post-mortem
+//! [`ServingOutcome`](crate::serving::ServingOutcome) is not enough to
+//! operate it. This module is the in-process observability layer:
+//!
+//! * [`Counter`] and [`Gauge`] are single atomics; the concurrent
+//!   [`Histogram`] stripes the same log-bucket layout as
+//!   [`LatencyHistogram`] across [`STRIPES`] independent shards so
+//!   producer threads don't contend on one cache line. Recording on any
+//!   of them is atomic operations only — no locks on the hot path.
+//! * A [`MetricsRegistry`] owns the instruments, keyed by
+//!   `(name, labels)`. It hands out `Arc` handles; the registry's own
+//!   mutex is touched only at registration and snapshot time, never per
+//!   sample.
+//! * Snapshots render two ways: [`MetricsRegistry::render_prometheus`]
+//!   (the text exposition format, histograms encoded as `summary`
+//!   quantiles) and [`MetricsRegistry::snapshot_json`] /
+//!   [`MetricsRegistry::to_jsonl`] (one compact JSON document per call —
+//!   append them to a file and you have JSONL).
+//! * A [`MetricsSink`] is a cheap handle — registry plus base labels —
+//!   that the pipelines accept. Instrumentation is **zero-cost when
+//!   unregistered**: every instrumented site holds an
+//!   `Option<Arc<...>>`-shaped handle that is `None` unless a sink was
+//!   attached, so an un-instrumented run does not even load an atomic.
+//!
+//! Snapshots are *racy by design*: they fold live atomics while writers
+//! keep recording, so a snapshot is a consistent-enough view for
+//! dashboards, not a linearization point. (The same caveat the channel
+//! `len()` carries.)
+//!
+//! # Naming scheme
+//!
+//! `prom_<subsystem>_<quantity>[_total]` with snake_case names and
+//! `_total` on monotone counters, matching Prometheus conventions:
+//! `prom_serving_admitted_total`, `prom_pipeline_judged_total{detector=…}`,
+//! `prom_serving_queue_depth`. Workload-level dimensions ride on labels
+//! (`workload`, `detector`), never on the metric name.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use serde_json::{Map, Value};
+
+/// Sub-bucket resolution bits: 2^5 = 32 sub-buckets per power of two,
+/// ≈3.1% worst-case relative error per recorded value.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (`2^SUB_BITS`); values below this are exact.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Bucket count covering all of `u64` nanoseconds: values below
+/// [`SUB_BUCKETS`] get exact unit buckets, every octave above gets
+/// [`SUB_BUCKETS`] sub-buckets ((63 - 5 + 1) octaves).
+pub const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// The bucket holding `ns`: identity below [`SUB_BUCKETS`], then 32
+/// sub-buckets per octave. Strictly monotone in `ns` (never decreases,
+/// and increases at every bucket edge), continuous at every octave
+/// boundary. Always `< BUCKETS`.
+#[must_use]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < SUB_BUCKETS {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros();
+    let shift = msb - SUB_BITS;
+    ((u64::from(shift) + 1) * SUB_BUCKETS + ((ns >> shift) - SUB_BUCKETS)) as usize
+}
+
+/// The largest value bucket `index` holds (every value in the bucket is
+/// `<=` this, and `>` the previous bucket's edge). The last bucket's
+/// edge is exactly `u64::MAX`.
+#[must_use]
+pub fn bucket_upper_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let shift = index / SUB_BUCKETS - 1;
+    let sub = index % SUB_BUCKETS;
+    // The very last bucket's edge is 2^64 - 1: the shift wraps to 0
+    // and the wrapping decrement lands exactly on u64::MAX.
+    #[allow(clippy::cast_possible_truncation)]
+    (sub + SUB_BUCKETS + 1).wrapping_shl(shift as u32).wrapping_sub(1)
+}
+
+/// A log-bucketed histogram of nanosecond latencies: fixed memory, O(1)
+/// record, ≈3% relative error on percentiles — the standard
+/// HdrHistogram-style shape, small enough to sit in every serving run.
+///
+/// Values below 32 ns are exact; above that, each power of two is split
+/// into 32 sub-buckets, so a reported percentile is at most one
+/// sub-bucket (≈3.1%) above the true value, clamped to the observed
+/// maximum.
+///
+/// This is the *single-writer* histogram: [`LatencyHistogram::record`]
+/// takes `&mut self` (one plain `u64` increment, no atomics). The
+/// concurrent, shared-writer variant is [`Histogram`], which snapshots
+/// into this type.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buckets: vec![0; BUCKETS], count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    /// Records one latency (saturated to nanoseconds in `u64`).
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper edge of
+    /// the bucket holding the rank-`ceil(q·count)` value, clamped to the
+    /// observed extremes (so `percentile_ns(1.0)` is exactly the
+    /// maximum). Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_edge(index).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Mean latency in nanoseconds (0 on an empty histogram). Exact —
+    /// the running total is kept outside the buckets.
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        u64::try_from(self.total_ns / u128::from(self.count)).unwrap_or(u64::MAX)
+    }
+
+    /// Smallest recorded value in nanoseconds (0 on an empty histogram).
+    #[must_use]
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value in nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Total of every recorded value, nanoseconds (exact, 128-bit).
+    #[must_use]
+    pub fn total_ns(&self) -> u128 {
+        self.total_ns
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The headline percentiles as one copyable record.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50_ns: self.percentile_ns(0.50),
+            p99_ns: self.percentile_ns(0.99),
+            p999_ns: self.percentile_ns(0.999),
+            mean_ns: self.mean_ns(),
+            min_ns: self.min_ns(),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// The headline numbers of a [`LatencyHistogram`]: the SLO quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Recorded (admitted and judged) samples.
+    pub count: u64,
+    /// Median per-sample judgement latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency, nanoseconds.
+    pub p999_ns: u64,
+    /// Mean latency, nanoseconds (exact).
+    pub mean_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A monotone counter: `fetch_add` on one atomic, relaxed ordering —
+/// a metric, not a synchronization point.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that moves both ways (queue depths, set
+/// sizes). Reads are racy snapshots; transient off-by-a-few values
+/// between `inc` on one thread and `dec` on another are expected and
+/// harmless for a metric.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Independent histogram shards so concurrent recorders don't serialize
+/// on one set of bucket cache lines. 8 is plenty for the thread counts
+/// this repo targets; threads are assigned round-robin, so up to 8
+/// recorders proceed with zero contention.
+pub const STRIPES: usize = 8;
+
+/// One histogram shard: its own buckets, count, and (wrapping) sum.
+struct Stripe {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The *concurrent* log-bucketed histogram: the same bucket layout as
+/// [`LatencyHistogram`], striped across [`STRIPES`] shards of atomics so
+/// any number of threads can [`Histogram::record_ns`] through a shared
+/// `&self` without locks. [`Histogram::snapshot`] folds the stripes into
+/// a plain [`LatencyHistogram`] for percentile queries.
+///
+/// Per-stripe sums are 64-bit and wrap after ~584 years of accumulated
+/// nanoseconds per stripe — irrelevant in practice, noted for honesty.
+pub struct Histogram {
+    stripes: Vec<Stripe>,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.snapshot().count()).finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty concurrent histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The stripe this thread records into: assigned once per thread,
+    /// round-robin over the stripe count, so steady-state recording
+    /// never shares bucket cache lines between up to [`STRIPES`]
+    /// threads.
+    fn stripe(&self) -> &Stripe {
+        use std::cell::Cell;
+        thread_local! {
+            static LANE: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        static NEXT_LANE: AtomicUsize = AtomicUsize::new(0);
+        let lane = LANE.with(|cell| {
+            let mut lane = cell.get();
+            if lane == usize::MAX {
+                lane = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+                cell.set(lane);
+            }
+            lane
+        });
+        &self.stripes[lane % self.stripes.len()]
+    }
+
+    /// Records one latency (saturated to nanoseconds in `u64`).
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency in nanoseconds: four relaxed atomic ops on
+    /// this thread's stripe plus two global min/max updates.
+    pub fn record_ns(&self, ns: u64) {
+        let stripe = self.stripe();
+        stripe.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Folds every stripe into a single-writer [`LatencyHistogram`].
+    /// Racy while writers are live (a concurrent `record_ns` may or may
+    /// not be included), exact once they stop.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for stripe in &self.stripes {
+            for (bucket, shard) in out.buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *bucket += shard.load(Ordering::Relaxed);
+            }
+            out.count += stripe.count.load(Ordering::Relaxed);
+            out.total_ns += u128::from(stripe.sum_ns.load(Ordering::Relaxed));
+        }
+        out.min_ns = self.min_ns.load(Ordering::Relaxed);
+        out.max_ns = self.max_ns.load(Ordering::Relaxed);
+        out
+    }
+}
+
+/// What an entry holds: the three instrument kinds.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered time series: a name, its help line, a sorted-insertion
+/// label set, and the live instrument.
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// The process-wide metrics registry: owns every instrument, keyed by
+/// `(name, labels)`, in registration order. Registration is
+/// get-or-create — asking twice for the same key returns the same
+/// `Arc`, so instrumented code can resolve its handles wherever is
+/// convenient and concurrent resolvers agree.
+///
+/// # Panics
+///
+/// Registration panics on programmer errors: a metric name that is not
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, a label name that is not
+/// `[a-zA-Z_][a-zA-Z0-9_]*`, or re-registering a name as a different
+/// instrument kind. These are bugs in the instrumentation, not runtime
+/// conditions.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        f.debug_struct("MetricsRegistry").field("series", &entries.len()).finish()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the instrument for `(name, labels)`, where `build`
+    /// makes a fresh one and `select` projects the stored kind back out
+    /// (returning `None` on a kind mismatch, which panics).
+    fn resolve<I>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        build: impl FnOnce() -> Instrument,
+        select: impl Fn(&Instrument) -> Option<Arc<I>>,
+    ) -> Arc<I> {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (key, _) in labels {
+            assert!(valid_label_name(key), "invalid label name {key:?} on metric {name:?}");
+        }
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        for entry in entries.iter() {
+            if entry.name == name {
+                if entry.labels == labels {
+                    return select(&entry.instrument).unwrap_or_else(|| {
+                        panic!(
+                            "metric {name:?} already registered as a {}",
+                            entry.instrument.kind()
+                        )
+                    });
+                }
+                // Same name, different labels: Prometheus requires one
+                // kind per name, so cross-check even without returning.
+                assert!(
+                    select(&entry.instrument).is_some(),
+                    "metric {name:?} already registered as a {}",
+                    entry.instrument.kind()
+                );
+            }
+        }
+        let instrument = build();
+        let out = select(&instrument).expect("freshly built instrument matches its own kind");
+        entries.push(Entry { name: name.to_string(), help: help.to_string(), labels, instrument });
+        out
+    }
+
+    /// Get-or-create a [`Counter`] time series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.resolve(
+            name,
+            help,
+            labels,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get-or-create a [`Gauge`] time series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            help,
+            labels,
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get-or-create a concurrent [`Histogram`] time series.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            help,
+            labels,
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every series in the Prometheus text exposition format.
+    /// `# HELP`/`# TYPE` are emitted once per metric name (first
+    /// registration order); histograms are encoded as `summary` series —
+    /// `{quantile="0.5"|"0.99"|"0.999"}` plus `_sum`/`_count` — rather
+    /// than 1920 `_bucket` lines per series.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        fn label_block(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+            if labels.is_empty() && extra.is_none() {
+                return;
+            }
+            out.push('{');
+            let mut first = true;
+            for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(k);
+                out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        '"' => out.push_str("\\\""),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            out.push('}');
+        }
+        use std::fmt::Write as _;
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        let mut announced: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if !announced.contains(&entry.name.as_str()) {
+                announced.push(&entry.name);
+                let kind = match entry.instrument {
+                    Instrument::Counter(_) => "counter",
+                    Instrument::Gauge(_) => "gauge",
+                    Instrument::Histogram(_) => "summary",
+                };
+                let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help.replace('\n', " "));
+                let _ = writeln!(out, "# TYPE {} {kind}", entry.name);
+                // HELP/TYPE head every series of that name: emit them all
+                // here so same-name series stay contiguous.
+                for series in entries.iter().filter(|e| e.name == entry.name) {
+                    match &series.instrument {
+                        Instrument::Counter(c) => {
+                            out.push_str(&series.name);
+                            label_block(&mut out, &series.labels, None);
+                            let _ = writeln!(out, " {}", c.get());
+                        }
+                        Instrument::Gauge(g) => {
+                            out.push_str(&series.name);
+                            label_block(&mut out, &series.labels, None);
+                            let _ = writeln!(out, " {}", g.get());
+                        }
+                        Instrument::Histogram(h) => {
+                            let snap = h.snapshot();
+                            for (q, v) in [
+                                ("0.5", snap.percentile_ns(0.5)),
+                                ("0.99", snap.percentile_ns(0.99)),
+                                ("0.999", snap.percentile_ns(0.999)),
+                            ] {
+                                out.push_str(&series.name);
+                                label_block(&mut out, &series.labels, Some(("quantile", q)));
+                                let _ = writeln!(out, " {v}");
+                            }
+                            out.push_str(&series.name);
+                            out.push_str("_sum");
+                            label_block(&mut out, &series.labels, None);
+                            let _ = writeln!(
+                                out,
+                                " {}",
+                                u64::try_from(snap.total_ns()).unwrap_or(u64::MAX)
+                            );
+                            out.push_str(&series.name);
+                            out.push_str("_count");
+                            label_block(&mut out, &series.labels, None);
+                            let _ = writeln!(out, " {}", snap.count());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One JSON document describing every series: counters and gauges as
+    /// `value`, histograms as count/sum plus the headline percentiles.
+    /// Serialize with [`MetricsRegistry::to_jsonl`] for the one-line
+    /// JSONL shape.
+    #[must_use]
+    pub fn snapshot_json(&self) -> Value {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let metrics: Vec<Value> = entries
+            .iter()
+            .map(|entry| {
+                let mut doc = Map::new();
+                doc.insert("name".into(), Value::String(entry.name.clone()));
+                doc.insert("type".into(), Value::String(entry.instrument.kind().into()));
+                let mut labels = Map::new();
+                for (k, v) in &entry.labels {
+                    labels.insert(k.clone(), Value::String(v.clone()));
+                }
+                doc.insert("labels".into(), Value::Object(labels));
+                match &entry.instrument {
+                    Instrument::Counter(c) => {
+                        doc.insert("value".into(), Value::from(c.get()));
+                    }
+                    Instrument::Gauge(g) => {
+                        doc.insert("value".into(), Value::from(g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        let summary = h.snapshot().summary();
+                        doc.insert("count".into(), Value::from(summary.count));
+                        doc.insert("mean_ns".into(), Value::from(summary.mean_ns));
+                        doc.insert("min_ns".into(), Value::from(summary.min_ns));
+                        doc.insert("max_ns".into(), Value::from(summary.max_ns));
+                        doc.insert("p50_ns".into(), Value::from(summary.p50_ns));
+                        doc.insert("p99_ns".into(), Value::from(summary.p99_ns));
+                        doc.insert("p999_ns".into(), Value::from(summary.p999_ns));
+                    }
+                }
+                Value::Object(doc)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("metrics".into(), Value::Array(metrics));
+        Value::Object(root)
+    }
+
+    /// [`MetricsRegistry::snapshot_json`] as one compact line — append
+    /// these to a file (with `\n` between) and the file is JSONL.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(&self.snapshot_json()).expect("compact serializer is infallible")
+    }
+}
+
+/// A cheap handle the instrumented layers accept: a shared registry plus
+/// the base labels every metric resolved through this sink carries
+/// (e.g. `workload="devmap"`). Clone freely; add labels with
+/// [`MetricsSink::with_label`].
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricsSink {
+    /// A sink over `registry` with no base labels.
+    #[must_use]
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        Self { registry, labels: Vec::new() }
+    }
+
+    /// This sink plus one more base label.
+    #[must_use]
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The registry behind this sink.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    fn merged<'a>(&'a self, extra: &'a [(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+        self.labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+            .collect()
+    }
+
+    /// Get-or-create a counter carrying this sink's base labels plus
+    /// `extra`.
+    pub fn counter(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<Counter> {
+        self.registry.counter(name, help, &self.merged(extra))
+    }
+
+    /// Get-or-create a gauge carrying this sink's base labels plus
+    /// `extra`.
+    pub fn gauge(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<Gauge> {
+        self.registry.gauge(name, help, &self.merged(extra))
+    }
+
+    /// Get-or-create a concurrent histogram carrying this sink's base
+    /// labels plus `extra`.
+    pub fn histogram(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<Histogram> {
+        self.registry.histogram(name, help, &self.merged(extra))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_edges_are_tight() {
+        let mut previous = None;
+        for ns in (0..4096u64).chain([u64::MAX - 1, u64::MAX]) {
+            let index = bucket_index(ns);
+            if let Some(prev) = previous {
+                assert!(index >= prev, "bucket index must be monotone at {ns}");
+            }
+            previous = Some(index);
+            assert!(index < BUCKETS, "index {index} out of range at {ns}");
+            assert!(bucket_upper_edge(index) >= ns, "value {ns} above its bucket's upper edge");
+            if index > 0 {
+                assert!(
+                    bucket_upper_edge(index - 1) < ns,
+                    "value {ns} at or below the previous bucket's edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_below_32ns_and_within_error_above() {
+        let mut hist = LatencyHistogram::new();
+        for ns in 1..=31u64 {
+            hist.record_ns(ns);
+        }
+        assert_eq!(hist.percentile_ns(0.5), 16, "sub-32 values are exact");
+        assert_eq!(hist.percentile_ns(1.0), 31);
+        assert_eq!(hist.min_ns(), 1);
+
+        let mut hist = LatencyHistogram::new();
+        for ns in 1..=100_000u64 {
+            hist.record_ns(ns);
+        }
+        let p50 = hist.percentile_ns(0.5);
+        assert!((50_000..=51_600).contains(&p50), "p50 {p50} outside 3.2% above true median");
+        let p99 = hist.percentile_ns(0.99);
+        assert!((99_000..=102_200).contains(&p99), "p99 {p99} outside 3.2% above true p99");
+        assert_eq!(hist.percentile_ns(1.0), 100_000, "p100 clamps to the observed max");
+        assert_eq!(hist.mean_ns(), 50_000, "mean is exact");
+    }
+
+    #[test]
+    fn merged_histograms_match_recording_into_one() {
+        let mut all = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            let ns = (i * 7919) % 1_000_000;
+            all.record_ns(ns);
+            if i % 2 == 0 { &mut left } else { &mut right }.record_ns(ns);
+        }
+        left.merge(&right);
+        assert_eq!(left.summary(), all.summary());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(
+            hist.summary(),
+            LatencySummary {
+                count: 0,
+                p50_ns: 0,
+                p99_ns: 0,
+                p999_ns: 0,
+                mean_ns: 0,
+                min_ns: 0,
+                max_ns: 0
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_histogram_matches_single_writer_reference() {
+        let shared = Histogram::new();
+        let mut reference = LatencyHistogram::new();
+        let values: Vec<u64> = (0..40_000u64).map(|i| (i * 6151) % 5_000_000).collect();
+        for &ns in &values {
+            reference.record_ns(ns);
+        }
+        std::thread::scope(|s| {
+            let shared = &shared;
+            for chunk in values.chunks(5_000) {
+                s.spawn(move || {
+                    for &ns in chunk {
+                        shared.record_ns(ns);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot().summary(), reference.summary());
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_the_same_instrument() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("prom_test_total", "a test counter", &[("k", "v")]);
+        let b = registry.counter("prom_test_total", "a test counter", &[("k", "v")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let other = registry.counter("prom_test_total", "a test counter", &[("k", "w")]);
+        other.inc();
+        assert_eq!(other.get(), 1, "distinct label sets are distinct series");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn registry_rejects_kind_mismatch() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("prom_test_total", "a counter", &[]);
+        let _ = registry.gauge("prom_test_total", "now a gauge?", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_bad_names() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("0bad-name", "nope", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_series_and_escapes_labels() {
+        let registry = MetricsRegistry::new();
+        registry.counter("prom_x_total", "Xs seen", &[("det", "a\"b\\c")]).add(7);
+        registry.counter("prom_x_total", "Xs seen", &[("det", "plain")]).add(2);
+        registry.gauge("prom_depth", "queue depth", &[]).set(-3);
+        let h = registry.histogram("prom_lat_ns", "latency", &[]);
+        for ns in [10, 20, 30] {
+            h.record_ns(ns);
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE prom_x_total counter"));
+        assert!(text.contains("prom_x_total{det=\"a\\\"b\\\\c\"} 7"));
+        assert!(text.contains("prom_x_total{det=\"plain\"} 2"));
+        assert!(text.contains("prom_depth -3"));
+        assert!(text.contains("# TYPE prom_lat_ns summary"));
+        assert!(text.contains("prom_lat_ns{quantile=\"0.5\"} 20"));
+        assert!(text.contains("prom_lat_ns_sum 60"));
+        assert!(text.contains("prom_lat_ns_count 3"));
+        let type_lines = text.lines().filter(|l| l.starts_with("# TYPE prom_x_total")).count();
+        assert_eq!(type_lines, 1, "HELP/TYPE once per name");
+    }
+
+    #[test]
+    fn jsonl_snapshot_is_one_parseable_line() {
+        let registry = MetricsRegistry::new();
+        registry.counter("prom_a_total", "as", &[("workload", "w1")]).add(5);
+        registry.histogram("prom_b_ns", "bs", &[]).record_ns(100);
+        let line = registry.to_jsonl();
+        assert!(!line.contains('\n'));
+        let doc = serde_json::from_str(&line).expect("snapshot line parses");
+        let metrics = doc.get("metrics").and_then(Value::as_array).expect("metrics array");
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].get("value").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(metrics[1].get("count").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn sink_labels_prefix_every_resolution() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry)).with_label("workload", "devmap");
+        sink.counter("prom_c_total", "cs", &[("detector", "prom")]).add(1);
+        let text = registry.render_prometheus();
+        assert!(text.contains("prom_c_total{workload=\"devmap\",detector=\"prom\"} 1"));
+    }
+}

@@ -50,6 +50,7 @@ use crate::calibration::{ReservoirCalibration, ReservoirDecision, ReservoirSnaps
 use crate::committee::{PromConfig, PromJudgement};
 use crate::detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 use crate::incremental::{select_flagged, select_for_relabeling, RelabelBudget};
+use crate::metrics::{Counter, Gauge, MetricsSink};
 use crate::pool::{PendingResults, ShardPool};
 use crate::predictor::{PromClassifier, PromThresholdView};
 use crate::scoring::JudgeScratch;
@@ -455,6 +456,58 @@ struct DetectorState<'a> {
     rich: bool,
     reservoir: Option<ReservoirCalibration>,
     stats: PipelineStats,
+    /// Live per-detector metrics, `None` unless a sink was attached —
+    /// the zero-cost-when-unregistered contract.
+    instruments: Option<DetectorInstruments>,
+}
+
+/// The live per-detector time series, labeled `detector=<name>` on top
+/// of the sink's base labels. Updated once per window in
+/// [`DetectorState::finish_window`] — never per sample.
+struct DetectorInstruments {
+    /// `prom_pipeline_judged_total`.
+    judged: Arc<Counter>,
+    /// `prom_pipeline_rejected_total` — drift-flagged samples.
+    rejected: Arc<Counter>,
+    /// `prom_pipeline_relabel_selected_total` — relabel-budget spend.
+    relabel_selected: Arc<Counter>,
+    /// `prom_pipeline_absorbed_total` — relabels folded into calibration.
+    absorbed: Arc<Counter>,
+    /// `prom_pipeline_calibration_size` — live calibration-set size.
+    calibration_size: Arc<Gauge>,
+}
+
+impl DetectorInstruments {
+    fn resolve(sink: &MetricsSink, detector: &'static str) -> Self {
+        let labels = &[("detector", detector)][..];
+        Self {
+            judged: sink.counter(
+                "prom_pipeline_judged_total",
+                "Samples judged by this detector",
+                labels,
+            ),
+            rejected: sink.counter(
+                "prom_pipeline_rejected_total",
+                "Samples flagged as drifting by this detector",
+                labels,
+            ),
+            relabel_selected: sink.counter(
+                "prom_pipeline_relabel_selected_total",
+                "Relabel-budget picks (budget spend) for this detector",
+                labels,
+            ),
+            absorbed: sink.counter(
+                "prom_pipeline_absorbed_total",
+                "Relabeled samples folded into this detector's calibration set",
+                labels,
+            ),
+            calibration_size: sink.gauge(
+                "prom_pipeline_calibration_size",
+                "Live calibration-set size of this detector (-1 when not exposed)",
+                labels,
+            ),
+        }
+    }
 }
 
 impl<'a> DetectorState<'a> {
@@ -470,7 +523,13 @@ impl<'a> DetectorState<'a> {
             }
             _ => None,
         };
-        Self { detector, rich, reservoir, stats: PipelineStats::default() }
+        Self { detector, rich, reservoir, stats: PipelineStats::default(), instruments: None }
+    }
+
+    /// Resolves this detector's live time series out of `sink`, labeled
+    /// by the detector's name.
+    fn attach_metrics(&mut self, sink: &MetricsSink) {
+        self.instruments = Some(DetectorInstruments::resolve(sink, self.detector.get().name()));
     }
 
     /// Judges a window to completion — on `pool` when one exists,
@@ -560,6 +619,15 @@ impl<'a> DetectorState<'a> {
         self.stats.rejected += flagged.len();
         self.stats.relabel_selected += relabel.len();
         self.stats.absorbed += absorbed;
+        let calibration_size = self.detector.get().calibration_size();
+        if let Some(live) = &self.instruments {
+            live.judged.add(judgements.len() as u64);
+            live.rejected.add(flagged.len() as u64);
+            live.relabel_selected.add(relabel.len() as u64);
+            live.absorbed.add(absorbed as u64);
+            live.calibration_size
+                .set(calibration_size.map_or(-1, |n| i64::try_from(n).unwrap_or(i64::MAX)));
+        }
         WindowReport {
             index: self.stats.windows - 1,
             start,
@@ -567,7 +635,7 @@ impl<'a> DetectorState<'a> {
             flagged,
             relabel,
             absorbed,
-            calibration_size: self.detector.get().calibration_size(),
+            calibration_size,
         }
     }
 
@@ -912,6 +980,20 @@ impl<'a> DeploymentPipeline<'a> {
     #[must_use]
     pub fn on_window(mut self, hook: impl FnMut(&WindowReport, &[Sample]) + Send + 'a) -> Self {
         self.hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Publishes this pipeline's per-detector counters (judged /
+    /// rejected / relabel-budget spend / absorbed, live calibration-set
+    /// size) and the shard pool's job counters into `sink`'s registry,
+    /// labeled `detector=<name>`. Without this call no instrument is
+    /// resolved and the per-window bookkeeping skips metrics entirely.
+    #[must_use]
+    pub fn with_metrics(mut self, sink: &MetricsSink) -> Self {
+        self.state.attach_metrics(sink);
+        if let Some(pool) = &self.pool {
+            pool.attach_metrics(sink);
+        }
         self
     }
 
@@ -1511,6 +1593,19 @@ impl<'a> MultiPipeline<'a> {
     #[must_use]
     pub fn on_window(mut self, hook: impl FnMut(&MultiReport, &[Sample]) + Send + 'a) -> Self {
         self.hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Publishes every detector's per-window counters and the shared
+    /// pool's job counters into `sink`'s registry, one `detector=<name>`
+    /// label per registered detector. See
+    /// [`DeploymentPipeline::with_metrics`].
+    #[must_use]
+    pub fn with_metrics(mut self, sink: &MetricsSink) -> Self {
+        for state in &mut self.states {
+            state.attach_metrics(sink);
+        }
+        self.pool.attach_metrics(sink);
         self
     }
 

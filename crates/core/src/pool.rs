@@ -133,6 +133,19 @@ pub struct ShardPool {
     /// so [`ShardPool::map`] runs it inline with this long-lived scratch
     /// instead. Same computation, same scratch reuse, zero handoff.
     inline_scratch: std::sync::Mutex<JudgeScratch>,
+    /// Live dispatch counters, set at most once by
+    /// [`ShardPool::attach_metrics`]; absent on an un-instrumented pool,
+    /// where [`ShardPool::dispatch`] skips metrics entirely.
+    instruments: std::sync::OnceLock<PoolInstruments>,
+}
+
+/// The pool's live time series: how many windows were fanned out and how
+/// many shard jobs they became (jobs / windows ≈ effective fan-out).
+struct PoolInstruments {
+    /// `prom_pool_windows_total` — dispatched (multi-chunk) windows.
+    windows: std::sync::Arc<crate::metrics::Counter>,
+    /// `prom_pool_jobs_total` — shard jobs sent to the workers.
+    jobs: std::sync::Arc<crate::metrics::Counter>,
 }
 
 impl ShardPool {
@@ -148,7 +161,32 @@ impl ShardPool {
                     .expect("spawn shard worker")
             })
             .collect();
-        Self { injector, workers, inline_scratch: std::sync::Mutex::new(JudgeScratch::new()) }
+        Self {
+            injector,
+            workers,
+            inline_scratch: std::sync::Mutex::new(JudgeScratch::new()),
+            instruments: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Publishes this pool's dispatch counters
+    /// (`prom_pool_windows_total`, `prom_pool_jobs_total`) into `sink`'s
+    /// registry. First attachment wins; later calls are no-ops (the pool
+    /// is shared by every detector of a fan-out, which all offer the
+    /// same sink).
+    pub fn attach_metrics(&self, sink: &crate::metrics::MetricsSink) {
+        let _ = self.instruments.get_or_init(|| PoolInstruments {
+            windows: sink.counter(
+                "prom_pool_windows_total",
+                "Windows fanned out to the shard workers",
+                &[],
+            ),
+            jobs: sink.counter(
+                "prom_pool_jobs_total",
+                "Shard jobs dispatched to the worker queue",
+                &[],
+            ),
+        });
     }
 
     /// A pool sized to this machine's available parallelism.
@@ -405,6 +443,10 @@ impl ShardPool {
                 done: done_tx.clone(),
             };
             self.injector.send(job).expect("shard workers hung up");
+        }
+        if let Some(live) = self.instruments.get() {
+            live.windows.inc();
+            live.jobs.add(samples.len().div_ceil(chunk) as u64);
         }
     }
 }

@@ -23,10 +23,17 @@
 //!   [`PipelineConfig::in_flight_windows`] queues, relabel selection,
 //!   online calibration folding — is the ordinary pipeline machinery.
 //! * **Latency** is recorded per sample on a monotonic clock
-//!   ([`std::time::Instant`]): stamped at submission, settled when the
+//!   ([`std::time::Instant`]): stamped at **admission** — inside the
+//!   queue-slot handoff, after any backpressure wait — settled when the
 //!   sample's window report is collected, accumulated into a
 //!   log-bucketed [`LatencyHistogram`] (≈3% relative error) whose
 //!   p50/p99/p999 are first-class outputs next to the reports.
+//! * **Live metrics** are optional: attach a
+//!   [`MetricsSink`] via
+//!   [`ServingConfig::metrics`] and the front-end publishes admission /
+//!   shed counters, the queue depth, and latency histograms into the
+//!   sink's [`MetricsRegistry`](crate::metrics::MetricsRegistry) while
+//!   serving; leave it `None` and no instrument is even resolved.
 //!
 //! # Determinism under concurrency
 //!
@@ -46,185 +53,18 @@
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use crate::detector::{DriftDetector, Sample, Truth};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsSink};
 use crate::pipeline::{
     DeploymentPipeline, MultiPipeline, MultiReport, PipelineConfig, WindowReport,
 };
 
-/// Sub-bucket resolution bits: 2^5 = 32 sub-buckets per power of two,
-/// ≈3.1% worst-case relative error per recorded value.
-const SUB_BITS: u32 = 5;
-const SUB_BUCKETS: u64 = 1 << SUB_BITS;
-/// Bucket count covering all of `u64` nanoseconds: values below
-/// `SUB_BUCKETS` get exact unit buckets, every octave above gets
-/// `SUB_BUCKETS` sub-buckets ((63 - 5 + 1) octaves).
-const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
-
-/// A log-bucketed histogram of nanosecond latencies: fixed memory, O(1)
-/// record, ≈3% relative error on percentiles — the standard
-/// HdrHistogram-style shape, small enough to sit in every serving run.
-///
-/// Values below 32 ns are exact; above that, each power of two is split
-/// into 32 sub-buckets, so a reported percentile is at most one
-/// sub-bucket (≈3.1%) above the true value, clamped to the observed
-/// maximum.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    total_ns: u128,
-    min_ns: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self { buckets: vec![0; BUCKETS], count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
-    }
-
-    /// The bucket holding `ns`: identity below `SUB_BUCKETS`, then 32
-    /// sub-buckets per octave. Strictly monotone in `ns`, continuous at
-    /// every octave boundary.
-    fn bucket_index(ns: u64) -> usize {
-        if ns < SUB_BUCKETS {
-            return ns as usize;
-        }
-        let msb = 63 - ns.leading_zeros();
-        let shift = msb - SUB_BITS;
-        ((u64::from(shift) + 1) * SUB_BUCKETS + ((ns >> shift) - SUB_BUCKETS)) as usize
-    }
-
-    /// The largest value a bucket holds (every value in the bucket is
-    /// `<=` this, and `>` the previous bucket's edge).
-    fn bucket_upper_edge(index: usize) -> u64 {
-        let index = index as u64;
-        if index < SUB_BUCKETS {
-            return index;
-        }
-        let shift = index / SUB_BUCKETS - 1;
-        let sub = index % SUB_BUCKETS;
-        // The very last bucket's edge is 2^64 - 1: the shift wraps to 0
-        // and the wrapping decrement lands exactly on u64::MAX.
-        #[allow(clippy::cast_possible_truncation)]
-        (sub + SUB_BUCKETS + 1).wrapping_shl(shift as u32).wrapping_sub(1)
-    }
-
-    /// Records one latency (saturated to nanoseconds in `u64`).
-    pub fn record(&mut self, latency: Duration) {
-        self.record_ns(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
-    }
-
-    /// Records one latency given directly in nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        self.buckets[Self::bucket_index(ns)] += 1;
-        self.count += 1;
-        self.total_ns += u128::from(ns);
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper edge of
-    /// the bucket holding the rank-`ceil(q·count)` value, clamped to the
-    /// observed extremes (so `percentile_ns(1.0)` is exactly the
-    /// maximum). Returns 0 on an empty histogram.
-    pub fn percentile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut cumulative = 0u64;
-        for (index, &n) in self.buckets.iter().enumerate() {
-            cumulative += n;
-            if cumulative >= rank {
-                return Self::bucket_upper_edge(index).clamp(self.min_ns, self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Mean latency in nanoseconds (0 on an empty histogram). Exact —
-    /// the running total is kept outside the buckets.
-    pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        u64::try_from(self.total_ns / u128::from(self.count)).unwrap_or(u64::MAX)
-    }
-
-    /// Smallest recorded value in nanoseconds (0 on an empty histogram).
-    pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    /// Largest recorded value in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Folds another histogram into this one (bucket-wise addition).
-    pub fn merge(&mut self, other: &Self) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.total_ns += other.total_ns;
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// The headline percentiles as one copyable record.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count,
-            p50_ns: self.percentile_ns(0.50),
-            p99_ns: self.percentile_ns(0.99),
-            p999_ns: self.percentile_ns(0.999),
-            mean_ns: self.mean_ns(),
-            min_ns: self.min_ns(),
-            max_ns: self.max_ns(),
-        }
-    }
-}
-
-/// The headline numbers of a [`LatencyHistogram`]: the SLO quantities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencySummary {
-    /// Recorded (admitted and judged) samples.
-    pub count: u64,
-    /// Median per-sample judgement latency, nanoseconds.
-    pub p50_ns: u64,
-    /// 99th-percentile latency, nanoseconds.
-    pub p99_ns: u64,
-    /// 99.9th-percentile latency, nanoseconds.
-    pub p999_ns: u64,
-    /// Mean latency, nanoseconds (exact).
-    pub mean_ns: u64,
-    /// Fastest sample, nanoseconds.
-    pub min_ns: u64,
-    /// Slowest sample, nanoseconds.
-    pub max_ns: u64,
-}
+pub use crate::metrics::{LatencyHistogram, LatencySummary};
 
 /// Configuration of a [`ServingFrontEnd`].
 #[derive(Debug, Clone)]
@@ -233,11 +73,13 @@ pub struct ServingConfig {
     /// relabel budget, calibration policy, double-buffering and in-flight
     /// depth all apply unchanged.
     pub pipeline: PipelineConfig,
-    /// Admission queue capacity in samples (clamped to at least 1): the
-    /// backpressure bound. A full queue blocks [`ServingHandle::submit`]
-    /// and rejects [`ServingHandle::try_submit`]. Deeper queues absorb
-    /// burstier arrivals at the price of worse tail latency for the
-    /// samples queued behind the burst.
+    /// Admission queue capacity in samples — must be at least 1
+    /// ([`ServingFrontEnd::new`] rejects 0 outright rather than silently
+    /// substituting a different capacity). This is the backpressure
+    /// bound: a full queue blocks [`ServingHandle::submit`] and rejects
+    /// [`ServingHandle::try_submit`]. Deeper queues absorb burstier
+    /// arrivals at the price of worse tail latency for the samples
+    /// queued behind the burst.
     pub queue: usize,
     /// Keep a copy of every admitted sample, in admission order, in
     /// [`ServingOutcome::admitted_samples`]. This is the determinism
@@ -246,11 +88,21 @@ pub struct ServingConfig {
     /// holds the front-end to it). Off by default — it clones every
     /// sample.
     pub record_admitted: bool,
+    /// Publish live serving metrics (admitted/shed counters, queue
+    /// depth, latency histograms, per-detector pipeline counters) into
+    /// this sink's registry while serving. `None` (the default) resolves
+    /// no instruments at all — the hot paths don't even load an atomic.
+    pub metrics: Option<MetricsSink>,
 }
 
 impl Default for ServingConfig {
     fn default() -> Self {
-        Self { pipeline: PipelineConfig::default(), queue: 4096, record_admitted: false }
+        Self {
+            pipeline: PipelineConfig::default(),
+            queue: 4096,
+            record_admitted: false,
+            metrics: None,
+        }
     }
 }
 
@@ -287,28 +139,44 @@ pub struct ServingHandle<'env> {
     queue: Sender<Submission>,
     admitted: &'env AtomicU64,
     rejected: &'env AtomicU64,
+    instruments: Option<&'env ServingInstruments>,
 }
 
 impl Clone for ServingHandle<'_> {
     fn clone(&self) -> Self {
-        Self { queue: self.queue.clone(), admitted: self.admitted, rejected: self.rejected }
+        Self {
+            queue: self.queue.clone(),
+            admitted: self.admitted,
+            rejected: self.rejected,
+            instruments: self.instruments,
+        }
     }
 }
 
 impl ServingHandle<'_> {
     /// Submits one sample, blocking while the admission queue is full —
-    /// the backpressure path. The latency clock starts *now*, so time
-    /// spent blocked on a full queue is (deliberately) not counted
-    /// against the judge; time spent queued is.
+    /// the backpressure path. The latency clock starts at **admission**:
+    /// the stamp is taken inside the queue-slot handoff, after any
+    /// backpressure wait, so time spent blocked on a full queue is
+    /// (deliberately) not counted against the judge; time spent queued
+    /// is.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Closed`] with the sample back when the collator is
     /// gone.
     pub fn submit(&self, sample: Sample) -> Result<(), SubmitError> {
-        match self.queue.send(Submission { sample, at: Instant::now() }) {
+        // `send_with` runs the constructor only once a slot is free, so
+        // the stamp cannot predate admission by more than the enqueue
+        // itself (the pre-fix `send(Submission { at: Instant::now(), .. })`
+        // charged the whole backpressure stall to judgement latency).
+        match self.queue.send_with(|| Submission { sample, at: Instant::now() }) {
             Ok(()) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(live) = self.instruments {
+                    live.admitted.inc();
+                    live.queue_depth.inc();
+                }
                 Ok(())
             }
             Err(err) => Err(SubmitError::Closed(err.0.sample)),
@@ -316,6 +184,8 @@ impl ServingHandle<'_> {
     }
 
     /// Submits one sample without blocking — the load-shedding path.
+    /// (No stamping subtlety here: a non-blocking admission *is* the
+    /// call, so the clock starts now.)
     ///
     /// # Errors
     ///
@@ -326,10 +196,17 @@ impl ServingHandle<'_> {
         match self.queue.try_send(Submission { sample, at: Instant::now() }) {
             Ok(()) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(live) = self.instruments {
+                    live.admitted.inc();
+                    live.queue_depth.inc();
+                }
                 Ok(())
             }
             Err(TrySendError::Full(submission)) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(live) = self.instruments {
+                    live.shed.inc();
+                }
                 Err(SubmitError::Full(submission.sample))
             }
             Err(TrySendError::Disconnected(submission)) => {
@@ -343,6 +220,58 @@ impl ServingHandle<'_> {
 struct Submission {
     sample: Sample,
     at: Instant,
+}
+
+/// The serving-level instruments, resolved once per serve call when a
+/// [`MetricsSink`] is configured. `None` everywhere otherwise — that
+/// absence is the zero-cost-when-unregistered contract.
+struct ServingInstruments {
+    /// `prom_serving_admitted_total`.
+    admitted: Arc<Counter>,
+    /// `prom_serving_shed_total`.
+    shed: Arc<Counter>,
+    /// `prom_serving_queue_depth` — incremented at admission, decremented
+    /// when the collator dequeues; racy by nature (a metric).
+    queue_depth: Arc<Gauge>,
+    /// `prom_serving_judgement_latency_ns` — the same quantity as
+    /// [`ServingOutcome::latency`], live.
+    latency: Arc<Histogram>,
+    /// `prom_serving_window_judge_ns` — collator time inside the
+    /// pipeline call that produced a window report (includes any wait on
+    /// in-flight windows when double-buffering).
+    window_judge: Arc<Histogram>,
+}
+
+impl ServingInstruments {
+    fn resolve(sink: &MetricsSink) -> Self {
+        Self {
+            admitted: sink.counter(
+                "prom_serving_admitted_total",
+                "Samples admitted through the queue",
+                &[],
+            ),
+            shed: sink.counter(
+                "prom_serving_shed_total",
+                "try_submit samples shed on a full queue",
+                &[],
+            ),
+            queue_depth: sink.gauge(
+                "prom_serving_queue_depth",
+                "Admission queue depth (racy snapshot)",
+                &[],
+            ),
+            latency: sink.histogram(
+                "prom_serving_judgement_latency_ns",
+                "Per-sample judgement latency, admission to window-report collection",
+                &[],
+            ),
+            window_judge: sink.histogram(
+                "prom_serving_window_judge_ns",
+                "Collator time in the pipeline call that produced a window report",
+                &[],
+            ),
+        }
+    }
 }
 
 /// Everything one serve call produced.
@@ -465,7 +394,19 @@ pub struct ServingFrontEnd {
 
 impl ServingFrontEnd {
     /// A front-end with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.queue` is 0: a zero-capacity admission queue
+    /// would be a rendezvous channel, which this front-end does not
+    /// support (and silently substituting capacity 1 would misrepresent
+    /// the caller's backpressure bound).
     pub fn new(config: ServingConfig) -> Self {
+        assert!(
+            config.queue >= 1,
+            "ServingConfig::queue must be at least 1 (got 0): the admission queue \
+             needs capacity to hold a sample"
+        );
         Self { config }
     }
 
@@ -491,7 +432,11 @@ impl ServingFrontEnd {
         detector: &dyn DriftDetector,
         produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
     ) -> (P, ServingOutcome<WindowReport>) {
-        self.run(DeploymentPipeline::new(detector, self.config.pipeline), produce)
+        let mut pipeline = DeploymentPipeline::new(detector, self.config.pipeline);
+        if let Some(sink) = &self.config.metrics {
+            pipeline = pipeline.with_metrics(sink);
+        }
+        self.run(pipeline, produce)
     }
 
     /// Serves an *online* single-detector pipeline
@@ -509,7 +454,11 @@ impl ServingFrontEnd {
         oracle: impl FnMut(usize, &Sample) -> Option<Truth> + Send + 'a,
         produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
     ) -> (P, ServingOutcome<WindowReport>) {
-        self.run(DeploymentPipeline::online(detector, self.config.pipeline, oracle), produce)
+        let mut pipeline = DeploymentPipeline::online(detector, self.config.pipeline, oracle);
+        if let Some(sink) = &self.config.metrics {
+            pipeline = pipeline.with_metrics(sink);
+        }
+        self.run(pipeline, produce)
     }
 
     /// Serves a *frozen* multi-detector pipeline ([`MultiPipeline::new`]):
@@ -524,7 +473,11 @@ impl ServingFrontEnd {
         detectors: Vec<&dyn DriftDetector>,
         produce: impl for<'env> FnOnce(ServingHandle<'env>) -> P,
     ) -> (P, ServingOutcome<MultiReport>) {
-        self.run(MultiPipeline::new(detectors, self.config.pipeline), produce)
+        let mut pipeline = MultiPipeline::new(detectors, self.config.pipeline);
+        if let Some(sink) = &self.config.metrics {
+            pipeline = pipeline.with_metrics(sink);
+        }
+        self.run(pipeline, produce)
     }
 
     /// The one serving loop behind every typed entry point: spawn the
@@ -537,18 +490,24 @@ impl ServingFrontEnd {
     where
         E: Engine + Send,
     {
-        let (queue_tx, queue_rx) = bounded::<Submission>(self.config.queue.max(1));
+        let (queue_tx, queue_rx) = bounded::<Submission>(self.config.queue);
         let admitted = AtomicU64::new(0);
         let rejected = AtomicU64::new(0);
         let record_admitted = self.config.record_admitted;
+        let instruments = self.config.metrics.as_ref().map(ServingInstruments::resolve);
         let begin = Instant::now();
         let (produced, collated) = std::thread::scope(|s| {
+            let live = instruments.as_ref();
             let collator = std::thread::Builder::new()
                 .name("prom-collator".into())
-                .spawn_scoped(s, move || collate(engine, &queue_rx, record_admitted))
+                .spawn_scoped(s, move || collate(engine, &queue_rx, record_admitted, live))
                 .expect("spawn collator thread");
-            let handle =
-                ServingHandle { queue: queue_tx, admitted: &admitted, rejected: &rejected };
+            let handle = ServingHandle {
+                queue: queue_tx,
+                admitted: &admitted,
+                rejected: &rejected,
+                instruments: instruments.as_ref(),
+            };
             // `produce` consumes the handle; when it returns, every
             // sender clone its producer threads made is gone too (the
             // handle cannot escape the closure), so the collator sees
@@ -593,6 +552,7 @@ fn collate<E: Engine>(
     mut engine: E,
     queue: &Receiver<Submission>,
     record_admitted: bool,
+    instruments: Option<&ServingInstruments>,
 ) -> Collated<E::Report> {
     let mut reports = Vec::new();
     let mut latency = LatencyHistogram::new();
@@ -610,23 +570,41 @@ fn collate<E: Engine>(
         let settled = E::window_len(report);
         for _ in 0..settled {
             let at = unsettled.pop_front().expect("every judged sample has an admission stamp");
-            latency.record(now.saturating_duration_since(at));
+            let waited = now.saturating_duration_since(at);
+            latency.record(waited);
+            if let Some(live) = instruments {
+                live.latency.record(waited);
+            }
         }
         *judged += settled;
     };
     while let Ok(Submission { sample, at }) = queue.recv() {
+        if let Some(live) = instruments {
+            live.queue_depth.dec();
+        }
         if record_admitted {
             admitted_samples.push(sample.clone());
         }
         unsettled.push_back(at);
+        // Stamp the pipeline call only when instrumented: the
+        // report-producing push is the window-judge latency.
+        let pushed_at = instruments.map(|_| Instant::now());
         if let Some(report) = engine.push(sample) {
+            if let (Some(live), Some(at)) = (instruments, pushed_at) {
+                live.window_judge.record(at.elapsed());
+            }
             settle(&report, &mut unsettled, &mut latency, &mut judged);
             reports.push(report);
         }
     }
     // Every producer handle is gone: drain the in-flight windows and the
     // partial tail, oldest first.
-    while let Some(report) = engine.flush() {
+    loop {
+        let flushed_at = instruments.map(|_| Instant::now());
+        let Some(report) = engine.flush() else { break };
+        if let (Some(live), Some(at)) = (instruments, flushed_at) {
+            live.window_judge.record(at.elapsed());
+        }
         settle(&report, &mut unsettled, &mut latency, &mut judged);
         reports.push(report);
     }
@@ -664,82 +642,6 @@ mod tests {
     }
 
     #[test]
-    fn bucket_index_is_monotone_and_edges_are_tight() {
-        let mut previous = None;
-        for ns in (0..4096u64).chain([u64::MAX - 1, u64::MAX]) {
-            let index = LatencyHistogram::bucket_index(ns);
-            if let Some(prev) = previous {
-                assert!(index >= prev, "bucket index must be monotone at {ns}");
-            }
-            previous = Some(index);
-            assert!(index < BUCKETS, "index {index} out of range at {ns}");
-            assert!(
-                LatencyHistogram::bucket_upper_edge(index) >= ns,
-                "value {ns} above its bucket's upper edge"
-            );
-            if index > 0 {
-                assert!(
-                    LatencyHistogram::bucket_upper_edge(index - 1) < ns,
-                    "value {ns} at or below the previous bucket's edge"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn percentiles_are_exact_below_32ns_and_within_error_above() {
-        let mut hist = LatencyHistogram::new();
-        for ns in 1..=31u64 {
-            hist.record_ns(ns);
-        }
-        assert_eq!(hist.percentile_ns(0.5), 16, "sub-32 values are exact");
-        assert_eq!(hist.percentile_ns(1.0), 31);
-        assert_eq!(hist.min_ns(), 1);
-
-        let mut hist = LatencyHistogram::new();
-        for ns in 1..=100_000u64 {
-            hist.record_ns(ns);
-        }
-        let p50 = hist.percentile_ns(0.5);
-        assert!((50_000..=51_600).contains(&p50), "p50 {p50} outside 3.2% above true median");
-        let p99 = hist.percentile_ns(0.99);
-        assert!((99_000..=102_200).contains(&p99), "p99 {p99} outside 3.2% above true p99");
-        assert_eq!(hist.percentile_ns(1.0), 100_000, "p100 clamps to the observed max");
-        assert_eq!(hist.mean_ns(), 50_000, "mean is exact");
-    }
-
-    #[test]
-    fn merged_histograms_match_recording_into_one() {
-        let mut all = LatencyHistogram::new();
-        let mut left = LatencyHistogram::new();
-        let mut right = LatencyHistogram::new();
-        for i in 0..10_000u64 {
-            let ns = (i * 7919) % 1_000_000;
-            all.record_ns(ns);
-            if i % 2 == 0 { &mut left } else { &mut right }.record_ns(ns);
-        }
-        left.merge(&right);
-        assert_eq!(left.summary(), all.summary());
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeroes() {
-        let hist = LatencyHistogram::new();
-        assert_eq!(
-            hist.summary(),
-            LatencySummary {
-                count: 0,
-                p50_ns: 0,
-                p99_ns: 0,
-                p999_ns: 0,
-                mean_ns: 0,
-                min_ns: 0,
-                max_ns: 0
-            }
-        );
-    }
-
-    #[test]
     fn single_producer_reports_match_the_synchronous_pipeline() {
         let det = Slowpoke { delay: Duration::ZERO };
         let config = PipelineConfig { window: 8, shards: 2, ..Default::default() };
@@ -753,6 +655,7 @@ mod tests {
             pipeline: config,
             queue: 16,
             record_admitted: false,
+            metrics: None,
         });
         let (submitted, outcome) = front.serve(&det, |handle| {
             for i in 0..45 {
@@ -787,6 +690,7 @@ mod tests {
             },
             queue: 8,
             record_admitted: true,
+            metrics: None,
         });
         let producers = 4;
         let per_producer = 100;
@@ -831,6 +735,7 @@ mod tests {
             pipeline: PipelineConfig { window: 2, shards: 1, ..Default::default() },
             queue: 1,
             record_admitted: false,
+            metrics: None,
         });
         let (sheds, outcome) = front.serve(&det, |handle| {
             let mut sheds = 0u64;
@@ -855,6 +760,115 @@ mod tests {
     }
 
     #[test]
+    fn backpressure_stall_is_not_charged_to_judgement_latency() {
+        use std::sync::atomic::AtomicBool;
+
+        /// Stalls 200 ms judging its first sample only, so the queue
+        /// backs up exactly once, deterministically.
+        struct FirstSampleStall {
+            fired: AtomicBool,
+        }
+        impl DriftDetector for FirstSampleStall {
+            fn name(&self) -> &'static str {
+                "first-sample-stall"
+            }
+            fn judge_one(&self, _e: &[f64], outputs: &[f64]) -> Judgement {
+                if !self.fired.swap(true, Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                Judgement::single(outputs[0] < 0.5)
+            }
+        }
+
+        let det = FirstSampleStall { fired: AtomicBool::new(false) };
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig { window: 1, shards: 1, ..Default::default() },
+            queue: 1,
+            ..Default::default()
+        });
+        // Timeline: s0 is admitted and judged (200 ms stall); s1 fills
+        // the 1-deep queue meanwhile; s2's submit *blocks* for ~the whole
+        // stall before its slot frees. Stamped at admission, s2's
+        // latency is microseconds. Stamped at the submit call (the
+        // pre-fix code), all three samples read ~200 ms and the minimum
+        // below explodes — this test fails under the old stamping.
+        let ((), outcome) = front.serve(&det, |handle| {
+            for i in 0..3 {
+                handle.submit(sample(i)).expect("collator alive");
+            }
+        });
+        assert_eq!(outcome.judged, 3);
+        assert!(
+            outcome.latency.min_ns() < 100_000_000,
+            "min latency {} ns: the backpressure stall was charged to the judge",
+            outcome.latency.min_ns()
+        );
+        // The stalled window itself is still honestly slow.
+        assert!(outcome.latency.max_ns() >= 200_000_000, "the stalled window must still show");
+    }
+
+    #[test]
+    #[should_panic(expected = "ServingConfig::queue must be at least 1")]
+    fn zero_queue_capacity_is_rejected_at_construction() {
+        let _ = ServingFrontEnd::new(ServingConfig { queue: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn one_deep_queue_boundary_still_serves_everything() {
+        let det = Slowpoke { delay: Duration::ZERO };
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig { window: 4, shards: 1, ..Default::default() },
+            queue: 1,
+            ..Default::default()
+        });
+        let ((), outcome) = front.serve(&det, |handle| {
+            for i in 0..17 {
+                handle.submit(sample(i)).expect("collator alive");
+            }
+        });
+        assert_eq!(outcome.admitted, 17);
+        assert_eq!(outcome.judged, 17);
+        assert_eq!(outcome.latency.count(), 17);
+    }
+
+    #[test]
+    fn live_metrics_mirror_the_outcome() {
+        use crate::metrics::{MetricsRegistry, MetricsSink};
+        use std::sync::Arc;
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let det = Slowpoke { delay: Duration::ZERO };
+        let front = ServingFrontEnd::new(ServingConfig {
+            pipeline: PipelineConfig { window: 8, shards: 2, ..Default::default() },
+            queue: 16,
+            metrics: Some(MetricsSink::new(Arc::clone(&registry)).with_label("workload", "test")),
+            ..Default::default()
+        });
+        let ((), outcome) = front.serve(&det, |handle| {
+            for i in 0..45 {
+                handle.submit(sample(i)).expect("collator alive");
+            }
+        });
+        assert_eq!(outcome.judged, 45);
+        let labels = &[("workload", "test")][..];
+        let admitted = registry.counter("prom_serving_admitted_total", "", labels);
+        assert_eq!(admitted.get(), 45);
+        let depth = registry.gauge("prom_serving_queue_depth", "", labels);
+        assert_eq!(depth.get(), 0, "every admission was dequeued");
+        let latency = registry.histogram("prom_serving_judgement_latency_ns", "", labels);
+        assert_eq!(latency.snapshot().summary(), outcome.latency.summary());
+        let windows = registry.histogram("prom_serving_window_judge_ns", "", labels);
+        assert_eq!(windows.snapshot().count(), outcome.reports.len() as u64);
+        // Per-detector pipeline counters rode along via with_metrics.
+        let judged = registry.counter(
+            "prom_pipeline_judged_total",
+            "",
+            &[("workload", "test"), ("detector", "slowpoke")],
+        );
+        assert_eq!(judged.get(), 45);
+    }
+
+    #[test]
     fn serve_multi_reports_every_detector_per_window() {
         let hot = Slowpoke { delay: Duration::ZERO };
         let cold = Slowpoke { delay: Duration::ZERO };
@@ -862,6 +876,7 @@ mod tests {
             pipeline: PipelineConfig { window: 4, shards: 2, ..Default::default() },
             queue: 32,
             record_admitted: false,
+            metrics: None,
         });
         let ((), outcome) = front.serve_multi(vec![&hot, &cold], |handle| {
             for i in 0..10 {
@@ -892,6 +907,7 @@ mod tests {
             pipeline: PipelineConfig { window: 1, shards: 1, ..Default::default() },
             queue: 4,
             record_admitted: false,
+            metrics: None,
         });
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             front.serve(&det, |handle| {

@@ -131,6 +131,7 @@ fn main() {
         pipeline: PipelineConfig { window: WINDOW, double_buffer: true, ..Default::default() },
         queue: QUEUE,
         record_admitted: false,
+        metrics: None,
     });
     println!(
         "serving 2 phases x {per_phase} samples from {PRODUCERS} producers \

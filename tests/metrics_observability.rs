@@ -1,0 +1,157 @@
+//! Round-trips the live metrics registry's two export formats.
+//!
+//! A serving run with an attached [`MetricsSink`] must produce a registry
+//! whose Prometheus text exposition and JSONL snapshot both *parse back*
+//! and agree — with each other and with the front-end's own
+//! [`ServingOutcome`] accounting. Rendering bugs (a label escape, a
+//! missing `_count` suffix, a histogram serialized as the wrong type) are
+//! exactly the kind that nothing notices until a scraper chokes in
+//! production, so this test plays the scraper.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use prom::baselines::NaiveCp;
+use prom::core::calibration::CalibrationRecord;
+use prom::core::detector::Sample;
+use prom::core::pipeline::PipelineConfig;
+use prom::core::serving::{ServingConfig, ServingFrontEnd};
+use prom::core::{MetricsRegistry, MetricsSink};
+
+const N_CLASSES: usize = 3;
+const SAMPLES: usize = 96;
+
+fn sample_at(i: usize) -> Sample {
+    let label = i % N_CLASSES;
+    let jitter = |k: usize| ((i * 31 + k * 17) % 97) as f64 / 97.0 - 0.5;
+    let embedding: Vec<f64> = (0..6).map(|d| (label * d) as f64 * 0.7 + jitter(d)).collect();
+    let conf = 0.75 + 0.2 * jitter(7);
+    let mut probs = vec![(1.0 - conf) / (N_CLASSES - 1) as f64; N_CLASSES];
+    probs[label] = conf;
+    Sample::new(embedding, probs)
+}
+
+/// Serves a small stream with a sink attached and returns the registry
+/// plus the outcome's ground-truth accounting.
+fn serve_with_metrics() -> (Arc<MetricsRegistry>, u64, u64) {
+    let records: Vec<CalibrationRecord> = (0..120)
+        .map(|i| {
+            let s = sample_at(i * 7);
+            CalibrationRecord::new(s.embedding, s.outputs, i * 7 % N_CLASSES)
+        })
+        .collect();
+    let detector = NaiveCp::new(&records, 0.1);
+    let registry = Arc::new(MetricsRegistry::new());
+    let front = ServingFrontEnd::new(ServingConfig {
+        pipeline: PipelineConfig { window: 16, ..Default::default() },
+        queue: 8,
+        record_admitted: false,
+        metrics: Some(MetricsSink::new(Arc::clone(&registry)).with_label("workload", "rt")),
+    });
+    let ((), outcome) = front.serve(&detector, |handle| {
+        for i in 0..SAMPLES {
+            handle.submit(sample_at(i)).expect("collator alive");
+        }
+    });
+    assert_eq!(outcome.admitted, SAMPLES as u64);
+    (registry, outcome.admitted, outcome.latency.summary().p99_ns)
+}
+
+/// Parses Prometheus text exposition into (sample-name, labels) → value,
+/// the way a scraper would: `name{labels} value` per non-comment line.
+fn parse_prometheus(text: &str) -> BTreeMap<(String, String), f64> {
+    let mut samples = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (series, value) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("unparseable sample line: {line}"));
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest.strip_suffix('}').expect("matched label braces");
+                (name.to_string(), labels.to_string())
+            }
+            None => (series.to_string(), String::new()),
+        };
+        let value: f64 =
+            value.parse().unwrap_or_else(|_| panic!("unparseable sample value: {line}"));
+        assert!(
+            samples.insert((name, labels), value).is_none(),
+            "duplicate series in exposition: {line}"
+        );
+    }
+    samples
+}
+
+#[test]
+fn prometheus_text_and_jsonl_round_trip_and_agree() {
+    let (registry, admitted, p99_ns) = serve_with_metrics();
+
+    // --- Prometheus text: every line parses, headline series are right.
+    let text = registry.render_prometheus();
+    let samples = parse_prometheus(&text);
+    let get = |name: &str, labels: &str| {
+        *samples
+            .get(&(name.to_string(), labels.to_string()))
+            .unwrap_or_else(|| panic!("missing series {name}{{{labels}}}"))
+    };
+    assert_eq!(get("prom_serving_admitted_total", "workload=\"rt\"") as u64, admitted);
+    assert_eq!(get("prom_serving_queue_depth", "workload=\"rt\"") as u64, 0);
+    assert_eq!(get("prom_serving_judgement_latency_ns_count", "workload=\"rt\"") as u64, admitted);
+    assert_eq!(
+        get("prom_serving_judgement_latency_ns", "workload=\"rt\",quantile=\"0.99\"") as u64,
+        p99_ns
+    );
+    assert_eq!(
+        get("prom_pipeline_judged_total", "workload=\"rt\",detector=\"MAPIE-PUNCC\"") as u64,
+        admitted
+    );
+
+    // TYPE comments must precede their family exactly once.
+    for family in ["prom_serving_admitted_total", "prom_serving_judgement_latency_ns"] {
+        let type_lines =
+            text.lines().filter(|l| l.starts_with(&format!("# TYPE {family} "))).count();
+        assert_eq!(type_lines, 1, "exactly one TYPE line for {family}");
+    }
+
+    // --- JSONL: the snapshot line parses back and matches the text.
+    let line = registry.to_jsonl();
+    assert!(!line.contains('\n'), "JSONL snapshot must be one line");
+    let doc: serde_json::Value = serde_json::from_str(&line).expect("snapshot parses as JSON");
+    let metrics = doc.get("metrics").and_then(serde_json::Value::as_array).expect("metrics array");
+    let find = |name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.get("name").and_then(serde_json::Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("missing {name} in JSONL snapshot"))
+    };
+    let admitted_json = find("prom_serving_admitted_total");
+    assert_eq!(
+        admitted_json.get("value").and_then(serde_json::Value::as_f64),
+        Some(admitted as f64)
+    );
+    assert_eq!(
+        admitted_json
+            .get("labels")
+            .and_then(|l| l.get("workload"))
+            .and_then(serde_json::Value::as_str),
+        Some("rt")
+    );
+    let latency_json = find("prom_serving_judgement_latency_ns");
+    assert_eq!(
+        latency_json.get("count").and_then(serde_json::Value::as_f64),
+        Some(admitted as f64)
+    );
+    assert_eq!(latency_json.get("p99_ns").and_then(serde_json::Value::as_f64), Some(p99_ns as f64));
+
+    // Every series in the text has a JSONL counterpart (histogram series
+    // collapse onto one snapshot entry, so compare distinct names).
+    let text_names: std::collections::BTreeSet<&str> = samples
+        .keys()
+        .map(|(name, _)| name.trim_end_matches("_sum").trim_end_matches("_count"))
+        .collect();
+    for name in text_names {
+        find(name);
+    }
+}

@@ -469,3 +469,75 @@ proptest! {
         }
     }
 }
+
+// --- Metrics histogram bucket math --------------------------------------
+//
+// `bucket_index`/`bucket_upper_edge` underpin both the single-writer
+// `LatencyHistogram` and the sharded concurrent `Histogram`; a hole or an
+// overlap in the bucket lattice silently corrupts every reported
+// percentile, so the inverse pair is pinned down property-style here.
+
+mod metrics_buckets {
+    use super::*;
+    use prom::core::metrics::{bucket_index, bucket_upper_edge, BUCKETS, SUB_BUCKETS};
+
+    /// All magnitudes of u64, not just the uniform draw's huge ones:
+    /// shifting a raw word right by 0..=63 bits covers every octave.
+    fn all_magnitudes() -> impl Strategy<Value = u64> {
+        (0u64..=u64::MAX, 0u32..64).prop_map(|(raw, shift)| raw >> shift)
+    }
+
+    proptest! {
+        /// Bucket assignment never decreases as the value grows, and the
+        /// index stays in range.
+        #[test]
+        fn bucket_index_is_monotone(a in all_magnitudes(), b in all_magnitudes()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bucket_index(lo) <= bucket_index(hi));
+            prop_assert!(bucket_index(hi) < BUCKETS);
+        }
+
+        /// `bucket_upper_edge` is a *tight* inverse: every value sits at or
+        /// below its own bucket's edge and strictly above the previous
+        /// bucket's, so buckets neither overlap nor leave gaps.
+        #[test]
+        fn bucket_upper_edge_is_a_tight_inverse(ns in all_magnitudes()) {
+            let index = bucket_index(ns);
+            prop_assert!(ns <= bucket_upper_edge(index));
+            if index > 0 {
+                prop_assert!(ns > bucket_upper_edge(index - 1));
+            }
+        }
+
+        /// Every edge maps back to its own bucket, and the next value up
+        /// crosses into the next bucket (strict growth at every edge).
+        #[test]
+        fn every_edge_is_the_last_value_of_its_bucket(index in 0usize..BUCKETS) {
+            let edge = bucket_upper_edge(index);
+            prop_assert_eq!(bucket_index(edge), index);
+            if edge < u64::MAX {
+                prop_assert_eq!(bucket_index(edge + 1), index + 1);
+            }
+        }
+    }
+
+    /// The wrapping-shift formula lands the last bucket exactly on
+    /// `u64::MAX` — the documented edge case of the encoding.
+    #[test]
+    fn top_bucket_edge_wraps_to_u64_max() {
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_edge(BUCKETS - 1), u64::MAX);
+    }
+
+    /// The identity/log switchover at `SUB_BUCKETS` is seamless: unit
+    /// buckets below, and the first log bucket picks up right after.
+    #[test]
+    fn sub_bucket_boundary_is_continuous() {
+        for ns in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(ns), ns as usize, "values below SUB_BUCKETS are exact");
+            assert_eq!(bucket_upper_edge(ns as usize), ns);
+        }
+        assert_eq!(bucket_index(SUB_BUCKETS), SUB_BUCKETS as usize);
+        assert_eq!(bucket_index(2 * SUB_BUCKETS - 1), 2 * SUB_BUCKETS as usize - 1);
+    }
+}

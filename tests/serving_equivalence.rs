@@ -203,6 +203,7 @@ fn frozen_serving_replays_bit_identically_across_producer_counts() {
                     pipeline: config,
                     queue: 8, // smaller than the stream: exercises backpressure
                     record_admitted: true,
+                    metrics: None,
                 });
                 let ((), outcome) =
                     front.serve(detector, |handle| race_producers(handle, &stream, producers));
@@ -262,6 +263,7 @@ fn online_reservoir_serving_replays_reports_and_calibration_bit_identically() {
             pipeline: config,
             queue: 8,
             record_admitted: true,
+            metrics: None,
         });
         let ((), outcome) = front.serve_online(
             &mut served,
@@ -301,6 +303,7 @@ fn online_reservoir_serving_replays_reports_and_calibration_bit_identically() {
             pipeline: config,
             queue: 8,
             record_admitted: true,
+            metrics: None,
         });
         let ((), outcome) = front.serve_online(
             &mut served,
@@ -330,6 +333,7 @@ fn multi_detector_serving_replays_bit_identically() {
             pipeline: config,
             queue: 8,
             record_admitted: true,
+            metrics: None,
         });
         let ((), outcome) = front
             .serve_multi(vec![&prom, &naive], |handle| race_producers(handle, &stream, producers));
@@ -371,6 +375,7 @@ fn deeper_in_flight_serving_queues_change_nothing_but_timing() {
                 pipeline: config,
                 queue: 8,
                 record_admitted: true,
+                metrics: None,
             });
             let ((), outcome) =
                 front.serve(&prom, |handle| race_producers(handle, &stream, producers));
@@ -437,6 +442,7 @@ proptest! {
             pipeline: config,
             queue,
             record_admitted: true,
+            metrics: None,
         });
         let ((), outcome) =
             front.serve(&det, |handle| race_producers(handle, &stream, producers));
