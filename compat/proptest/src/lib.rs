@@ -1,7 +1,7 @@
 //! Offline stand-in for the slice of `proptest` this workspace uses:
 //! the [`proptest!`] macro, range/tuple/`collection::vec` strategies with
-//! [`strategy::Strategy::prop_map`], `prop_assert!`/`prop_assert_eq!`, and
-//! [`test_runner::ProptestConfig`].
+//! [`strategy::Strategy::prop_map`], [`prop_oneof!`] unions,
+//! `prop_assert!`/`prop_assert_eq!`, and [`test_runner::ProptestConfig`].
 //!
 //! Differences from real proptest, deliberate for an offline stand-in:
 //! failing cases are **not shrunk** (the failing inputs are printed
@@ -134,6 +134,46 @@ pub mod strategy {
     }
     impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    /// One type-erased arm of a [`Union`].
+    type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// A choice among same-valued strategies — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof). Each case picks one arm
+    /// uniformly (the stand-in ignores real proptest's optional weights).
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// An arm-less union; [`prop_oneof!`](crate::prop_oneof) always
+        /// chains at least one [`Union::or`] onto it.
+        #[must_use]
+        pub fn empty() -> Self {
+            Self { arms: Vec::new() }
+        }
+
+        /// Adds one arm (a builder, so each strategy unifies its `Value`
+        /// with `T` at an argument position instead of a cast).
+        #[must_use]
+        pub fn or<S>(mut self, strategy: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            self.arms.push(Box::new(move |rng| strategy.generate(rng)));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let arm = rng.gen_range(0..self.arms.len());
+            (self.arms[arm])(rng)
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -213,7 +253,17 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Draws each case from one of several same-valued strategies, chosen
+/// uniformly at random. Unlike real proptest, per-arm weights are not
+/// supported — every arm is equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($strat))+
+    };
 }
 
 /// Defines `#[test]` functions whose arguments are drawn from strategies.
@@ -334,6 +384,26 @@ mod tests {
             // Body runs; count is implicit in the macro loop bound.
             prop_assert_eq!(1 + 1, 2);
         }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_draws_from_every_arm(
+            x in prop_oneof![Just(1usize), 10usize..20, (30usize..40).prop_map(|v| v + 1)],
+        ) {
+            prop_assert!(x == 1 || (10..20).contains(&x) || (31..41).contains(&x));
+        }
+    }
+
+    #[test]
+    fn oneof_eventually_picks_each_arm() {
+        let s = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        let mut rng = crate::test_runner::rng_for_case(0);
+        for _ in 0..100 {
+            seen[crate::strategy::Strategy::generate(&s, &mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
     }
 
     #[test]

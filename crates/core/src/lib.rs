@@ -84,7 +84,8 @@ pub use calibration::{CalibrationRecord, ReservoirCalibration};
 pub use committee::{PromConfig, PromJudgement};
 pub use detector::{DriftDetector, Judgement, Relabeled, Sample, Truth};
 pub use metrics::{
-    Counter, Gauge, Histogram, LatencyHistogram, LatencySummary, MetricsRegistry, MetricsSink,
+    Counter, DetectionLagTracker, Gauge, Histogram, LatencyHistogram, LatencySummary,
+    MetricsRegistry, MetricsSink, DETECTION_LAG_GAUGE, DETECTION_LAG_HELP,
 };
 pub use pipeline::{
     BudgetSharing, CalibrationPolicy, DeploymentPipeline, MultiPipeline, MultiReport,

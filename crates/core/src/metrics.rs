@@ -313,6 +313,150 @@ impl Gauge {
     }
 }
 
+/// Metric name of the detection-lag gauge exported by
+/// [`DetectionLagTracker::with_gauge`] consumers (the drift-matrix
+/// harness and the loadgen bin): the number of windows between the most
+/// recently annotated drift onset and the first majority-reject window
+/// that followed it, `-1` until the first detection.
+pub const DETECTION_LAG_GAUGE: &str = "prom_pipeline_detection_lag_windows";
+
+/// Help string registered alongside [`DETECTION_LAG_GAUGE`].
+pub const DETECTION_LAG_HELP: &str =
+    "Windows between annotated drift onset and first majority-reject window (-1 before any \
+     detection)";
+
+/// Measures **detection lag**: how many windows a pipeline takes to
+/// raise a majority-reject alarm after an annotated drift onset.
+///
+/// The caller walks windows in order, [`DetectionLagTracker::arm`]-ing
+/// the tracker at each ground-truth onset window (known because the
+/// drift-scenario generator annotates its streams) and
+/// [`DetectionLagTracker::observe`]-ing every window's reject counts.
+/// The first observed window `w >= onset` whose reject fraction is
+/// strictly above the majority threshold *detects* the onset with lag
+/// `w - onset`; arming again while still armed records the previous
+/// onset as **missed**. Single-threaded by design — lag is a property
+/// of the deterministic window sequence, so the tracker lives on the
+/// caller thread and only its optional exported [`Gauge`] is shared.
+///
+/// ```
+/// use prom_core::metrics::DetectionLagTracker;
+///
+/// let mut lag = DetectionLagTracker::new(0.5);
+/// lag.observe(0, 1, 16); // quiet window, nothing armed
+/// lag.arm(1); // ground truth: drift starts in window 1
+/// assert_eq!(lag.observe(1, 4, 16), None, "25% rejects: no majority");
+/// assert_eq!(lag.observe(2, 12, 16), Some(1), "alarm one window late");
+/// assert_eq!(lag.lags(), &[1]);
+/// ```
+#[derive(Debug)]
+pub struct DetectionLagTracker {
+    /// Reject fraction strictly above which a window counts as a
+    /// majority-reject alarm (0.5 = strict majority).
+    threshold: f64,
+    /// The armed onset window awaiting its first alarm, if any.
+    armed: Option<usize>,
+    /// Every measured lag, in onset order.
+    lags: Vec<usize>,
+    /// Onsets superseded by a later `arm` before any alarm fired.
+    missed: usize,
+    /// Exported mirror of the latest lag (see [`DETECTION_LAG_GAUGE`]).
+    gauge: Option<Arc<Gauge>>,
+}
+
+impl DetectionLagTracker {
+    /// A tracker alarming on reject fractions strictly above
+    /// `threshold` (use `0.5` for the standard strict majority).
+    ///
+    /// # Panics
+    ///
+    /// If `threshold` is not a finite value in `[0, 1)`.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && (0.0..1.0).contains(&threshold),
+            "majority threshold must be a finite fraction in [0, 1), got {threshold}"
+        );
+        Self { threshold, armed: None, lags: Vec::new(), missed: 0, gauge: None }
+    }
+
+    /// Mirrors every measured lag into `gauge` (and initializes it to
+    /// `-1`, the documented no-detection-yet value).
+    #[must_use]
+    pub fn with_gauge(mut self, gauge: Arc<Gauge>) -> Self {
+        gauge.set(-1);
+        self.gauge = Some(gauge);
+        self
+    }
+
+    /// Arms the tracker at a ground-truth drift onset: the window whose
+    /// first sample index falls at (or first covers) the annotated
+    /// transition from clean to drifted. If a previous onset is still
+    /// armed, it is recorded as missed — its drift burst ended without
+    /// a single majority-reject window.
+    pub fn arm(&mut self, onset_window: usize) {
+        if self.armed.is_some() {
+            self.missed += 1;
+        }
+        self.armed = Some(onset_window);
+    }
+
+    /// Feeds one window's reject tally, in window order. Returns the
+    /// measured lag when this window is the armed onset's first alarm
+    /// (and records it), `None` otherwise. Windows earlier than the
+    /// armed onset never alarm (the onset is *within* the window stream,
+    /// so pre-onset alarms would be false positives by construction —
+    /// callers wanting false-positive accounting read the reports
+    /// directly).
+    pub fn observe(&mut self, window: usize, rejected: usize, judged: usize) -> Option<usize> {
+        let onset = self.armed?;
+        if window < onset || judged == 0 {
+            return None;
+        }
+        if (rejected as f64) <= self.threshold * (judged as f64) {
+            return None;
+        }
+        let lag = window - onset;
+        self.armed = None;
+        self.lags.push(lag);
+        if let Some(gauge) = &self.gauge {
+            gauge.set(i64::try_from(lag).unwrap_or(i64::MAX));
+        }
+        Some(lag)
+    }
+
+    /// Every measured lag so far, in onset order.
+    #[must_use]
+    pub fn lags(&self) -> &[usize] {
+        &self.lags
+    }
+
+    /// Onsets that were re-armed over before any alarm fired.
+    #[must_use]
+    pub fn missed(&self) -> usize {
+        self.missed
+    }
+
+    /// Whether an onset is currently armed and un-alarmed.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Mean of the measured lags, when any exist.
+    #[must_use]
+    pub fn mean_lag(&self) -> Option<f64> {
+        (!self.lags.is_empty())
+            .then(|| self.lags.iter().sum::<usize>() as f64 / self.lags.len() as f64)
+    }
+
+    /// Largest measured lag, when any exist.
+    #[must_use]
+    pub fn max_lag(&self) -> Option<usize> {
+        self.lags.iter().copied().max()
+    }
+}
+
 /// Independent histogram shards so concurrent recorders don't serialize
 /// on one set of bucket cache lines. 8 is plenty for the thread counts
 /// this repo targets; threads are assigned round-robin, so up to 8

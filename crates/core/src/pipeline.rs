@@ -345,6 +345,15 @@ pub struct WindowReport {
     /// into the detector's calibration set (0 under
     /// [`CalibrationPolicy::Frozen`] or when no oracle answered).
     pub absorbed: usize,
+    /// How many of this window's absorbed relabels **replaced** an
+    /// existing reservoir slot rather than appending a new record —
+    /// always `<= absorbed`, and 0 unless the pipeline runs
+    /// [`CalibrationPolicy::Reservoir`] with a full reservoir. Summed
+    /// across windows this is the *reservoir churn*: the slot-replacement
+    /// rate that tells recurring-drift stress tests whether the sampler
+    /// is converging (Algorithm R replaces ever more rarely as the
+    /// stream grows) or thrashing its calibration set.
+    pub replaced: usize,
     /// The detector's live calibration size after this window's folding,
     /// when the detector exposes one ([`DriftDetector::calibration_size`]).
     pub calibration_size: Option<usize>,
@@ -456,6 +465,12 @@ struct DetectorState<'a> {
     rich: bool,
     reservoir: Option<ReservoirCalibration>,
     stats: PipelineStats,
+    /// Lifetime reservoir churn: absorbed relabels that *replaced* a
+    /// slot instead of appending. Kept outside [`PipelineStats`] so the
+    /// committed snapshot format stays unchanged — churn is a live
+    /// diagnostic, not resumable state (it restarts at 0 after
+    /// [`DeploymentPipeline::restore`]).
+    churn: usize,
     /// Live per-detector metrics, `None` unless a sink was attached —
     /// the zero-cost-when-unregistered contract.
     instruments: Option<DetectorInstruments>,
@@ -473,6 +488,8 @@ struct DetectorInstruments {
     relabel_selected: Arc<Counter>,
     /// `prom_pipeline_absorbed_total` — relabels folded into calibration.
     absorbed: Arc<Counter>,
+    /// `prom_pipeline_reservoir_replaced_total` — reservoir slot churn.
+    reservoir_replaced: Arc<Counter>,
     /// `prom_pipeline_calibration_size` — live calibration-set size.
     calibration_size: Arc<Gauge>,
 }
@@ -501,6 +518,11 @@ impl DetectorInstruments {
                 "Relabeled samples folded into this detector's calibration set",
                 labels,
             ),
+            reservoir_replaced: sink.counter(
+                "prom_pipeline_reservoir_replaced_total",
+                "Absorbed relabels that replaced an existing reservoir slot (churn)",
+                labels,
+            ),
             calibration_size: sink.gauge(
                 "prom_pipeline_calibration_size",
                 "Live calibration-set size of this detector (-1 when not exposed)",
@@ -523,7 +545,14 @@ impl<'a> DetectorState<'a> {
             }
             _ => None,
         };
-        Self { detector, rich, reservoir, stats: PipelineStats::default(), instruments: None }
+        Self {
+            detector,
+            rich,
+            reservoir,
+            stats: PipelineStats::default(),
+            churn: 0,
+            instruments: None,
+        }
     }
 
     /// Resolves this detector's live time series out of `sink`, labeled
@@ -611,7 +640,7 @@ impl<'a> DetectorState<'a> {
             None => judged.select(config.budget).into_iter().map(|i| start + i).collect(),
         };
 
-        let absorbed = self.fold_relabels(samples, start, &relabel, config, oracle);
+        let (absorbed, replaced) = self.fold_relabels(samples, start, &relabel, config, oracle);
 
         let judgements = judged.into_flat();
         self.stats.judged += judgements.len();
@@ -619,12 +648,14 @@ impl<'a> DetectorState<'a> {
         self.stats.rejected += flagged.len();
         self.stats.relabel_selected += relabel.len();
         self.stats.absorbed += absorbed;
+        self.churn += replaced;
         let calibration_size = self.detector.get().calibration_size();
         if let Some(live) = &self.instruments {
             live.judged.add(judgements.len() as u64);
             live.rejected.add(flagged.len() as u64);
             live.relabel_selected.add(relabel.len() as u64);
             live.absorbed.add(absorbed as u64);
+            live.reservoir_replaced.add(replaced as u64);
             live.calibration_size
                 .set(calibration_size.map_or(-1, |n| i64::try_from(n).unwrap_or(i64::MAX)));
         }
@@ -635,15 +666,18 @@ impl<'a> DetectorState<'a> {
             flagged,
             relabel,
             absorbed,
+            replaced,
             calibration_size,
         }
     }
 
     /// Folds this window's relabel picks into the detector under the
-    /// configured [`CalibrationPolicy`], returning how many were absorbed
-    /// (appended or reservoir-replaced). Judging already happened, so the
-    /// fold affects the *next* window onward — the same ordering as the
-    /// caller-driven loop it replaces.
+    /// configured [`CalibrationPolicy`], returning `(absorbed, replaced)`:
+    /// how many were absorbed (appended or reservoir-replaced) and how
+    /// many of those were reservoir slot *replacements* (the churn
+    /// component). Judging already happened, so the fold affects the
+    /// *next* window onward — the same ordering as the caller-driven loop
+    /// it replaces.
     fn fold_relabels(
         &mut self,
         samples: &[Sample],
@@ -651,15 +685,16 @@ impl<'a> DetectorState<'a> {
         relabel: &[usize],
         config: &PipelineConfig,
         oracle: Option<&mut LabelOracle<'_>>,
-    ) -> usize {
+    ) -> (usize, usize) {
         if config.policy == CalibrationPolicy::Frozen || relabel.is_empty() {
-            return 0;
+            return (0, 0);
         }
         let (Some(oracle), DetectorHandle::Exclusive(detector)) = (oracle, &mut self.detector)
         else {
-            return 0;
+            return (0, 0);
         };
         let mut absorbed = 0;
+        let mut replaced = 0;
         for &global in relabel {
             let sample = &samples[global - start];
             let Some(truth) = oracle(global, sample) else {
@@ -700,6 +735,7 @@ impl<'a> DetectorState<'a> {
                         // construction-time value.
                         if detector.replace_online_slot(slot, &item) {
                             absorbed += 1;
+                            replaced += 1;
                             evict_for_absorb(&mut **detector, config.eviction);
                         } else {
                             reservoir.retract(decision);
@@ -709,7 +745,7 @@ impl<'a> DetectorState<'a> {
                 },
             }
         }
-        absorbed
+        (absorbed, replaced)
     }
 }
 
@@ -1064,6 +1100,17 @@ impl<'a> DeploymentPipeline<'a> {
     /// partial buffer.
     pub fn stats(&self) -> PipelineStats {
         self.state.stats
+    }
+
+    /// Lifetime reservoir churn: how many absorbed relabels *replaced*
+    /// an existing reservoir slot instead of appending (the sum of
+    /// [`WindowReport::replaced`] over every window reported so far).
+    /// Always 0 unless the pipeline runs
+    /// [`CalibrationPolicy::Reservoir`]. Not part of
+    /// [`DeploymentPipeline::snapshot`] — a restored pipeline restarts
+    /// its churn count at 0.
+    pub fn reservoir_churn(&self) -> usize {
+        self.state.churn
     }
 
     /// Captures everything this pipeline needs to resume **bit-identically**
@@ -1674,6 +1721,12 @@ impl<'a> MultiPipeline<'a> {
     /// [`DeploymentPipeline::stats`] would report.
     pub fn stats(&self) -> Vec<PipelineStats> {
         self.states.iter().map(|s| s.stats).collect()
+    }
+
+    /// Lifetime reservoir churn per detector, in registration order —
+    /// see [`DeploymentPipeline::reservoir_churn`].
+    pub fn reservoir_churn(&self) -> Vec<usize> {
+        self.states.iter().map(|s| s.churn).collect()
     }
 
     /// Synchronous window emission: judge the buffered window to

@@ -1,0 +1,797 @@
+//! Seeded drift-scenario generator and the scenario-matrix harness.
+//!
+//! The paper evaluates its detectors on fixed train/deploy splits; this
+//! module measures them against drift **shapes**. A [`DriftScenario`]
+//! transforms any base sample stream through parameterized phases — each
+//! a [`ShiftKind`] (covariate translation / scale / rotation, class-prior
+//! label shift, bounded adversarial perturbation) under a [`Schedule`]
+//! (abrupt, gradual ramp, recurring bursts) at a configurable magnitude —
+//! and annotates every emitted sample with its ground-truth drift state.
+//! On top, [`run_drift_matrix`] drives any set of detectors through the
+//! full `{shift kind} × {schedule} × {magnitude}` grid via the existing
+//! [`MultiPipeline`] machinery and reports per-cell detection quality,
+//! **detection lag** (windows from annotated onset to the first
+//! majority-reject window, via [`DetectionLagTracker`]) and **reservoir
+//! churn** (slot replacements, via [`MultiPipeline::reservoir_churn`]).
+//!
+//! # Determinism contract
+//!
+//! Generation is a single sequential pass over one seeded RNG: the same
+//! `(base stream, phases, seed, n)` produce **bit-identical** output —
+//! every embedding `f64`, every label, every annotation — on every run,
+//! platform, and thread count (`tests/drift_scenarios.rs` pins this).
+//! Phase artifacts (translation direction, rotation plane) are drawn
+//! up-front in phase order; per-sample draws happen in stream order.
+//!
+//! # Where adversarial fits
+//!
+//! The issue sketch places `Adversarial{eps}` among the schedules; here
+//! it is a [`ShiftKind`] instead (with `eps` as the phase magnitude),
+//! which is strictly more expressive: a bounded worst-case perturbation
+//! is a *transform*, so modeling it as one lets it compose with **every**
+//! schedule — an abrupt adversary, a slow adversarial ramp, a recurring
+//! adversarial burst — rather than being its own fifth timeline shape.
+//!
+//! # Representation-space drift
+//!
+//! Covariate and adversarial phases perturb the **embedding** and leave
+//! the model outputs untouched: they model the deployment-time situation
+//! where inputs leave the training distribution and the (frozen) model's
+//! representation of them moves, which is exactly the signal Prom's
+//! kNN-based nonconformity scores consume. Label shift instead redraws
+//! whole `(embedding, outputs, label)` triples from the target class's
+//! pool, so outputs stay coherent with their sample. A corollary worth
+//! measuring (see `examples/drift_matrix.rs`): detectors that only look
+//! at output confidence are structurally blind to pure covariate shift.
+
+use prom_core::calibration::CalibrationRecord;
+use prom_core::detector::{DriftDetector, Sample, Truth};
+use prom_core::metrics::DetectionLagTracker;
+use prom_core::pipeline::{MultiPipeline, PipelineConfig, PipelineStats, WindowReport};
+use prom_ml::metrics::BinaryConfusion;
+use prom_ml::rng::{gaussian, rng_from_seed};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::report::DetectionStats;
+
+/// A clean source stream to drift: samples plus their ground-truth
+/// labels (labels feed both label-shift redraws and the online
+/// pipelines' relabeling oracle).
+#[derive(Debug, Clone)]
+pub struct BaseStream {
+    /// The clean samples, cycled round-robin when `n` exceeds the pool.
+    pub samples: Vec<Sample>,
+    /// `labels[i]` is the ground-truth class of `samples[i]`.
+    pub labels: Vec<usize>,
+}
+
+impl BaseStream {
+    /// Builds a base stream.
+    ///
+    /// # Panics
+    ///
+    /// If the pool is empty, lengths disagree, or embedding widths vary.
+    #[must_use]
+    pub fn new(samples: Vec<Sample>, labels: Vec<usize>) -> Self {
+        assert!(!samples.is_empty(), "base stream must hold at least one sample");
+        assert_eq!(samples.len(), labels.len(), "one label per base sample");
+        let dim = samples[0].embedding.len();
+        assert!(
+            samples.iter().all(|s| s.embedding.len() == dim),
+            "all base embeddings must share one width"
+        );
+        Self { samples, labels }
+    }
+
+    /// Embedding width of the pool.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.samples[0].embedding.len()
+    }
+}
+
+/// What a drift phase does to the stream's distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShiftKind {
+    /// Covariate shift: translate every embedding along one seeded unit
+    /// direction, `magnitude` measured in per-dimension standard
+    /// deviations of the base pool.
+    Translate,
+    /// Covariate shift: inflate every embedding's deviation from the
+    /// base pool mean by `1 + intensity × magnitude`.
+    Scale,
+    /// Covariate shift: rotate embeddings about the pool mean within one
+    /// seeded 2-D coordinate plane by `intensity × magnitude × π/2`
+    /// radians (a no-op on 1-dimensional embeddings).
+    Rotate,
+    /// Label shift: redraw the sample from the `target` class's pool
+    /// with probability `min(1, intensity × magnitude)`, reweighting the
+    /// class prior toward `target` without breaking sample coherence.
+    LabelShift {
+        /// Class whose prior grows; must occur in the base stream.
+        target: usize,
+    },
+    /// Bounded adversarial perturbation (Bielik & Vechev-style worst
+    /// case): push every coordinate *away* from the pool mean by exactly
+    /// `intensity × magnitude` standard deviations — the `ε`-ball corner
+    /// that maximizes distance from the calibration distribution.
+    Adversarial,
+}
+
+impl ShiftKind {
+    /// Short display name for tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShiftKind::Translate => "translate",
+            ShiftKind::Scale => "scale",
+            ShiftKind::Rotate => "rotate",
+            ShiftKind::LabelShift { .. } => "labelshift",
+            ShiftKind::Adversarial => "adversarial",
+        }
+    }
+}
+
+/// When (and how strongly) a phase applies along the stream, as an
+/// intensity in `[0, 1]` per sample position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Clean before position `at`, full intensity from `at` onward.
+    Abrupt {
+        /// First drifted sample position.
+        at: usize,
+    },
+    /// Clean before `start`; intensity ramps linearly as
+    /// `min(1, (i − start + 1) / len)` from `start`, reaching full
+    /// intensity at `start + len − 1` and staying there.
+    Gradual {
+        /// First drifted sample position.
+        start: usize,
+        /// Ramp length in samples (≥ 1).
+        len: usize,
+    },
+    /// Periodic bursts: each period of `period` samples starts clean and
+    /// ends with a full-intensity burst occupying its **last**
+    /// `duty` fraction (at least one sample), so the stream tiles as
+    /// `[clean | burst][clean | burst]…` and every burst has a fresh
+    /// onset at `k·period + (period − duty_len)`.
+    Recurring {
+        /// Tile length in samples (≥ 1).
+        period: usize,
+        /// Burst fraction of each period, in `(0, 1]`.
+        duty: f64,
+    },
+}
+
+impl Schedule {
+    /// Burst length in samples of a `Recurring{period, duty}` schedule:
+    /// `round(duty × period)` clamped into `[1, period]`. Exposed so
+    /// tests assert the tiling against the same arithmetic the
+    /// generator uses.
+    #[must_use]
+    pub fn duty_len(period: usize, duty: f64) -> usize {
+        ((duty * period as f64).round() as usize).clamp(1, period)
+    }
+
+    /// Drift intensity at sample position `i`, in `[0, 1]`.
+    #[must_use]
+    pub fn intensity(&self, i: usize) -> f64 {
+        match *self {
+            Schedule::Abrupt { at } => {
+                if i >= at {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Schedule::Gradual { start, len } => {
+                if i < start {
+                    0.0
+                } else {
+                    (((i - start + 1) as f64) / len as f64).min(1.0)
+                }
+            }
+            Schedule::Recurring { period, duty } => {
+                let burst = Self::duty_len(period, duty);
+                if i % period >= period - burst {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Whether position `i` falls inside a configured drift phase.
+    #[must_use]
+    pub fn active(&self, i: usize) -> bool {
+        self.intensity(i) > 0.0
+    }
+
+    /// Clean→drift transition positions within a stream of `n` samples,
+    /// ascending (position 0 counts when the stream starts drifted).
+    #[must_use]
+    pub fn onsets(&self, n: usize) -> Vec<usize> {
+        (0..n).filter(|&i| self.active(i) && (i == 0 || !self.active(i - 1))).collect()
+    }
+
+    /// Short display name for tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Abrupt { .. } => "abrupt",
+            Schedule::Gradual { .. } => "gradual",
+            Schedule::Recurring { .. } => "recurring",
+        }
+    }
+
+    /// Panics (with the offending parameters) unless the schedule is
+    /// well-formed: `Gradual` needs `len ≥ 1`, `Recurring` needs
+    /// `period ≥ 1` and `duty` a finite fraction in `(0, 1]`.
+    pub fn validate(&self) {
+        match *self {
+            Schedule::Abrupt { .. } => {}
+            Schedule::Gradual { len, .. } => {
+                assert!(len >= 1, "gradual ramp length must be >= 1, got {len}");
+            }
+            Schedule::Recurring { period, duty } => {
+                assert!(period >= 1, "recurring period must be >= 1, got {period}");
+                assert!(
+                    duty.is_finite() && duty > 0.0 && duty <= 1.0,
+                    "recurring duty must be a fraction in (0, 1], got {duty}"
+                );
+            }
+        }
+    }
+}
+
+/// One composable drift phase: a shift kind, its timeline, and how hard
+/// it hits at full schedule intensity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPhase {
+    /// What the phase does to the distribution.
+    pub kind: ShiftKind,
+    /// When it applies.
+    pub schedule: Schedule,
+    /// Shift strength at full intensity (≥ 0; 0 makes the phase inert
+    /// and it is then *not* annotated as drift).
+    pub magnitude: f64,
+}
+
+/// Ground truth attached to every generated sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAnnotation {
+    /// Whether the generating distribution was shifted at this position
+    /// (any phase with positive magnitude active). This is a property of
+    /// the *distribution*, not the realized draw: a label-shift sample
+    /// that happened not to be redirected is still drifted.
+    pub drifted: bool,
+    /// Largest schedule intensity among the active positive-magnitude
+    /// phases (0 when clean).
+    pub intensity: f64,
+    /// Bitmask of active positive-magnitude phases (bit `p` = phase `p`
+    /// of the scenario); `drifted == (phases != 0)` always.
+    pub phases: u64,
+}
+
+/// A generated drifted stream plus its per-sample ground truth.
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    /// The emitted samples, in stream order.
+    pub samples: Vec<Sample>,
+    /// Ground-truth label per sample (post label shift — a redirected
+    /// draw carries its *own* class).
+    pub labels: Vec<usize>,
+    /// Ground-truth drift state per sample.
+    pub annotations: Vec<DriftAnnotation>,
+}
+
+impl DriftStream {
+    /// Stream length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the stream is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample positions where the annotation transitions clean→drifted
+    /// (position 0 counts when the stream starts drifted), ascending.
+    #[must_use]
+    pub fn onsets(&self) -> Vec<usize> {
+        (0..self.annotations.len())
+            .filter(|&i| {
+                self.annotations[i].drifted && (i == 0 || !self.annotations[i - 1].drifted)
+            })
+            .collect()
+    }
+
+    /// The onsets mapped to 0-based window numbers (`position /
+    /// window`), deduplicated — what a [`DetectionLagTracker`] arms on.
+    #[must_use]
+    pub fn onset_windows(&self, window: usize) -> Vec<usize> {
+        assert!(window >= 1, "window must be >= 1");
+        let mut out: Vec<usize> = self.onsets().into_iter().map(|i| i / window).collect();
+        out.dedup();
+        out
+    }
+}
+
+/// A seeded, fully deterministic drift scenario: an ordered list of
+/// composable phases over one RNG seed. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct DriftScenario {
+    /// The phases, applied in order (label-shift redraws first, then
+    /// covariate transforms, each at its own schedule intensity).
+    pub phases: Vec<DriftPhase>,
+    /// Seed for every random artifact and per-sample draw.
+    pub seed: u64,
+}
+
+/// Per-phase artifacts drawn once before streaming.
+enum PhaseArtifact {
+    /// Seeded unit direction for [`ShiftKind::Translate`].
+    Direction(Vec<f64>),
+    /// Seeded coordinate plane for [`ShiftKind::Rotate`] (`None` when
+    /// the embedding has fewer than 2 dimensions).
+    Plane(Option<(usize, usize)>),
+    /// Nothing to pre-draw.
+    None,
+}
+
+impl DriftScenario {
+    /// A one-phase scenario.
+    #[must_use]
+    pub fn single(kind: ShiftKind, schedule: Schedule, magnitude: f64, seed: u64) -> Self {
+        Self { phases: vec![DriftPhase { kind, schedule, magnitude }], seed }
+    }
+
+    /// Generates `n` samples by cycling `base` round-robin and applying
+    /// every phase at its scheduled intensity, annotating each position
+    /// with its ground-truth drift state.
+    ///
+    /// # Panics
+    ///
+    /// On malformed scenarios: more than 64 phases, non-finite or
+    /// negative magnitudes, invalid schedules ([`Schedule::validate`]),
+    /// or a [`ShiftKind::LabelShift`] target absent from `base`.
+    #[must_use]
+    pub fn generate(&self, base: &BaseStream, n: usize) -> DriftStream {
+        assert!(self.phases.len() <= 64, "at most 64 phases per scenario (annotation bitmask)");
+        for phase in &self.phases {
+            phase.schedule.validate();
+            assert!(
+                phase.magnitude.is_finite() && phase.magnitude >= 0.0,
+                "phase magnitude must be finite and >= 0, got {}",
+                phase.magnitude
+            );
+            if let ShiftKind::LabelShift { target } = phase.kind {
+                assert!(
+                    base.labels.contains(&target),
+                    "label-shift target class {target} has no samples in the base stream"
+                );
+            }
+        }
+
+        let dim = base.dim();
+        let (mean, scale) = pool_stats(&base.samples, dim);
+        let mut rng = rng_from_seed(self.seed);
+        // Phase artifacts first, in phase order — their draws must not
+        // interleave with the per-sample stream draws.
+        let artifacts: Vec<PhaseArtifact> = self
+            .phases
+            .iter()
+            .map(|phase| match phase.kind {
+                ShiftKind::Translate => PhaseArtifact::Direction(unit_direction(&mut rng, dim)),
+                ShiftKind::Rotate => PhaseArtifact::Plane(random_plane(&mut rng, dim)),
+                _ => PhaseArtifact::None,
+            })
+            .collect();
+
+        // Per-class pools for label-shift redraws, with one rotating
+        // cursor per class so redirected draws cycle deterministically.
+        let mut class_pool: Vec<Vec<usize>> = Vec::new();
+        for (i, &label) in base.labels.iter().enumerate() {
+            if label >= class_pool.len() {
+                class_pool.resize_with(label + 1, Vec::new);
+            }
+            class_pool[label].push(i);
+        }
+        let mut class_cursor = vec![0usize; class_pool.len()];
+
+        let mut samples = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut annotations = Vec::with_capacity(n);
+        for i in 0..n {
+            // Source selection: round-robin by default; any active
+            // label-shift phase may redirect the draw to its target
+            // class's pool.
+            let mut source = i % base.samples.len();
+            for phase in &self.phases {
+                let t = phase.schedule.intensity(i);
+                if t <= 0.0 || phase.magnitude <= 0.0 {
+                    continue;
+                }
+                if let ShiftKind::LabelShift { target } = phase.kind {
+                    let p = (t * phase.magnitude).min(1.0);
+                    if rng.gen_bool(p) {
+                        let pool = &class_pool[target];
+                        source = pool[class_cursor[target] % pool.len()];
+                        class_cursor[target] += 1;
+                    }
+                }
+            }
+            let mut embedding = base.samples[source].embedding.clone();
+            let outputs = base.samples[source].outputs.clone();
+            let label = base.labels[source];
+
+            let mut intensity = 0.0f64;
+            let mut phases_mask = 0u64;
+            for (p, (phase, artifact)) in self.phases.iter().zip(&artifacts).enumerate() {
+                let t = phase.schedule.intensity(i);
+                if t <= 0.0 || phase.magnitude <= 0.0 {
+                    continue;
+                }
+                phases_mask |= 1 << p;
+                intensity = intensity.max(t);
+                let m = t * phase.magnitude;
+                match (phase.kind, artifact) {
+                    (ShiftKind::Translate, PhaseArtifact::Direction(dir)) => {
+                        for j in 0..dim {
+                            embedding[j] += m * dir[j] * scale[j];
+                        }
+                    }
+                    (ShiftKind::Scale, _) => {
+                        for j in 0..dim {
+                            embedding[j] = mean[j] + (embedding[j] - mean[j]) * (1.0 + m);
+                        }
+                    }
+                    (ShiftKind::Rotate, PhaseArtifact::Plane(Some((a, b)))) => {
+                        let angle = m * std::f64::consts::FRAC_PI_2;
+                        let (sin, cos) = angle.sin_cos();
+                        let (da, db) = (embedding[*a] - mean[*a], embedding[*b] - mean[*b]);
+                        embedding[*a] = mean[*a] + da * cos - db * sin;
+                        embedding[*b] = mean[*b] + da * sin + db * cos;
+                    }
+                    (ShiftKind::Rotate, PhaseArtifact::Plane(None)) => {}
+                    (ShiftKind::Adversarial, _) => {
+                        for j in 0..dim {
+                            let sign = if embedding[j] < mean[j] { -1.0 } else { 1.0 };
+                            embedding[j] += m * scale[j] * sign;
+                        }
+                    }
+                    (ShiftKind::LabelShift { .. }, _) => {} // applied at source selection
+                    _ => unreachable!("artifact drawn per kind above"),
+                }
+            }
+
+            samples.push(Sample::new(embedding, outputs));
+            labels.push(label);
+            annotations.push(DriftAnnotation {
+                drifted: phases_mask != 0,
+                intensity,
+                phases: phases_mask,
+            });
+        }
+        DriftStream { samples, labels, annotations }
+    }
+}
+
+/// Per-dimension mean and deviation scale of the pool (population
+/// standard deviation, floored to 1 on constant dimensions so shifts in
+/// "std units" stay meaningful).
+fn pool_stats(samples: &[Sample], dim: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = samples.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for s in samples {
+        for (m, x) in mean.iter_mut().zip(&s.embedding) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0; dim];
+    for s in samples {
+        for (v, (x, m)) in var.iter_mut().zip(s.embedding.iter().zip(&mean)) {
+            let d = x - m;
+            *v += d * d;
+        }
+    }
+    let scale = var.iter().map(|v| (v / n).sqrt()).map(|s| if s > 1e-12 { s } else { 1.0 });
+    (mean, scale.collect())
+}
+
+/// A seeded unit vector (Gaussian draws, normalized).
+fn unit_direction(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| gaussian(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+/// A seeded pair of distinct coordinate axes, when the space has two.
+fn random_plane(rng: &mut StdRng, dim: usize) -> Option<(usize, usize)> {
+    if dim < 2 {
+        return None;
+    }
+    let a = rng.gen_range(0..dim);
+    let b = rng.gen_range(0..dim - 1);
+    Some((a, if b >= a { b + 1 } else { b }))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-matrix harness
+// ---------------------------------------------------------------------------
+
+/// How [`run_drift_matrix`] drives each cell.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixConfig {
+    /// Pipeline configuration shared by every cell (window size,
+    /// calibration policy, relabel budget, sharding…). Fresh detectors
+    /// are built per cell, so online policies never leak state across
+    /// cells.
+    pub pipeline: PipelineConfig,
+    /// Stream length generated per cell.
+    pub n: usize,
+    /// Generator seed shared by every cell (cells differ only by their
+    /// phase, so magnitudes are compared on identical clean samples).
+    pub seed: u64,
+    /// Reject fraction strictly above which a window counts as a
+    /// majority-reject alarm for lag accounting (0.5 = strict majority).
+    pub threshold: f64,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        Self {
+            pipeline: PipelineConfig { window: 64, ..PipelineConfig::default() },
+            n: 2048,
+            seed: 7,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// Detection-lag accounting of one cell (one detector × one phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagSummary {
+    /// Annotated drift onsets in the generated stream (window-level,
+    /// deduplicated).
+    pub onsets: usize,
+    /// Measured lags in onset order (one per *detected* onset):
+    /// `first majority-reject window − onset window`.
+    pub lags: Vec<usize>,
+}
+
+impl LagSummary {
+    /// Onsets that raised a majority-reject alarm.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.lags.len()
+    }
+
+    /// Onsets that never alarmed before the next onset (or stream end).
+    #[must_use]
+    pub fn missed(&self) -> usize {
+        self.onsets - self.lags.len()
+    }
+
+    /// Mean measured lag, when any onset was detected.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (!self.lags.is_empty())
+            .then(|| self.lags.iter().sum::<usize>() as f64 / self.lags.len() as f64)
+    }
+
+    /// Largest measured lag, when any onset was detected.
+    #[must_use]
+    pub fn max(&self) -> Option<usize> {
+        self.lags.iter().copied().max()
+    }
+}
+
+/// One cell of the scenario matrix: one detector judged against one
+/// drift phase.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Display name of the detector (as registered by the caller).
+    pub detector: String,
+    /// The phase this cell generated.
+    pub phase: DriftPhase,
+    /// Reject-vs-annotation confusion quality: "fired" = the pipeline
+    /// flagged the sample, "real" = the annotation marks it drifted.
+    pub quality: DetectionStats,
+    /// Reject fraction over annotated-clean samples (false-alarm rate).
+    pub clean_reject_rate: f64,
+    /// Reject fraction over annotated-drifted samples.
+    pub drift_reject_rate: f64,
+    /// Detection-lag accounting for this cell.
+    pub lag: LagSummary,
+    /// The pipeline's lifetime totals for this detector.
+    pub stats: PipelineStats,
+    /// Reservoir slot replacements (churn) across the cell's stream.
+    pub churn: usize,
+    /// Windows reported for this cell.
+    pub windows: usize,
+}
+
+/// Drives every detector through every drift phase and reports one
+/// [`CellResult`] per `(phase, detector)` pair, phase-major in input
+/// order.
+///
+/// `detectors` is called once per phase and must return **fresh**
+/// detector instances (online calibration policies mutate them); all
+/// detectors of one phase share one generated stream and one
+/// [`MultiPipeline`], so N detectors pay one generation and one ingest.
+/// The relabeling oracle answers every pick with the stream's
+/// ground-truth label, so online cells measure the adapt-with-perfect-
+/// labels upper bound the paper's §5.4 loop assumes.
+///
+/// Deterministic end to end: same base, phases, and config produce
+/// identical cells (the generator contract plus the pipelines'
+/// bit-identical parallel judging).
+pub fn run_drift_matrix(
+    base: &BaseStream,
+    phases: &[DriftPhase],
+    config: &MatrixConfig,
+    mut detectors: impl FnMut() -> Vec<(String, Box<dyn DriftDetector>)>,
+) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    for phase in phases {
+        let scenario = DriftScenario { phases: vec![*phase], seed: config.seed };
+        let stream = scenario.generate(base, config.n);
+        let mut dets = detectors();
+        assert!(!dets.is_empty(), "detector factory returned no detectors");
+        let names: Vec<String> = dets.iter().map(|(name, _)| name.clone()).collect();
+
+        let oracle_labels = stream.labels.clone();
+        // The cast is a coercion site: it shortens each box's `dyn +
+        // 'static` object lifetime to the pipeline's borrow, which a
+        // plain `collect` into `Vec<&mut dyn …>` cannot do.
+        let refs: Vec<&mut dyn DriftDetector> =
+            dets.iter_mut().map(|(_, d)| &mut **d as &mut dyn DriftDetector).collect();
+        let mut pipeline = MultiPipeline::online(refs, config.pipeline, move |i, _: &Sample| {
+            Some(Truth::Label(oracle_labels[i]))
+        });
+        let mut multis = pipeline.extend(stream.samples.iter().cloned());
+        while let Some(multi) = pipeline.flush() {
+            multis.push(multi);
+        }
+        let stats = pipeline.stats();
+        let churn = pipeline.reservoir_churn();
+        drop(pipeline);
+
+        let onset_windows = stream.onset_windows(config.pipeline.window);
+        for (d, name) in names.into_iter().enumerate() {
+            let reports: Vec<&WindowReport> = multis.iter().map(|m| &m.reports[d]).collect();
+            out.push(score_cell(
+                name,
+                *phase,
+                &stream,
+                &reports,
+                &onset_windows,
+                config.threshold,
+                stats[d],
+                churn[d],
+            ));
+        }
+    }
+    out
+}
+
+/// Folds one detector's window reports over one annotated stream into a
+/// [`CellResult`]. Exposed so callers driving their own pipelines (the
+/// loadgen bin, the observability tests) share the matrix harness's
+/// exact lag and quality accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn score_cell(
+    detector: String,
+    phase: DriftPhase,
+    stream: &DriftStream,
+    reports: &[&WindowReport],
+    onset_windows: &[usize],
+    threshold: f64,
+    stats: PipelineStats,
+    churn: usize,
+) -> CellResult {
+    let mut confusion = BinaryConfusion::default();
+    let (mut clean_rejects, mut clean_n) = (0usize, 0usize);
+    let (mut drift_rejects, mut drift_n) = (0usize, 0usize);
+    let mut lag = DetectionLagTracker::new(threshold);
+    let mut next_onset = 0usize;
+    for report in reports {
+        while next_onset < onset_windows.len() && onset_windows[next_onset] <= report.index {
+            lag.arm(onset_windows[next_onset]);
+            next_onset += 1;
+        }
+        lag.observe(report.index, report.flagged.len(), report.judgements.len());
+        let mut flagged = report.flagged.iter().peekable();
+        for offset in 0..report.judgements.len() {
+            let global = report.start + offset;
+            let fired = flagged.next_if(|&&g| g == global).is_some();
+            let real = stream.annotations[global].drifted;
+            confusion.record(fired, real);
+            if real {
+                drift_n += 1;
+                drift_rejects += usize::from(fired);
+            } else {
+                clean_n += 1;
+                clean_rejects += usize::from(fired);
+            }
+        }
+    }
+    let rate = |hits: usize, n: usize| if n == 0 { 0.0 } else { hits as f64 / n as f64 };
+    CellResult {
+        detector,
+        phase,
+        quality: DetectionStats::from_confusion(&confusion),
+        clean_reject_rate: rate(clean_rejects, clean_n),
+        drift_reject_rate: rate(drift_rejects, drift_n),
+        lag: LagSummary { onsets: onset_windows.len(), lags: lag.lags().to_vec() },
+        stats,
+        churn,
+        windows: reports.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic fixture
+// ---------------------------------------------------------------------------
+
+/// A self-contained synthetic classification workload for stressing
+/// detectors without fitting any of the Table 1 models: Gaussian class
+/// clusters with coherent confidence outputs and a ~12% misprediction
+/// rate (the "model" peaks a wrong class now and then, so clean streams
+/// carry a realistic base reject rate instead of unanimous acceptance).
+/// Returns the class-balanced base stream (round-robin over classes, so
+/// every window is balanced) plus an independent calibration draw from
+/// the same distribution — exactly what
+/// [`prom_core::predictor::PromClassifier`] or the baselines need to
+/// calibrate. Fully deterministic per seed.
+#[must_use]
+pub fn synthetic_base(
+    n_classes: usize,
+    dim: usize,
+    per_class: usize,
+    seed: u64,
+) -> (BaseStream, Vec<CalibrationRecord>) {
+    assert!(n_classes >= 2, "need at least two classes");
+    assert!(dim >= 1 && per_class >= 1, "need a non-empty pool");
+    let mut rng = rng_from_seed(seed);
+    let centers: Vec<Vec<f64>> =
+        (0..n_classes).map(|_| (0..dim).map(|_| 3.0 * gaussian(&mut rng)).collect()).collect();
+    let draw = |class: usize, rng: &mut StdRng| {
+        let embedding: Vec<f64> = centers[class].iter().map(|c| c + 0.5 * gaussian(rng)).collect();
+        let predicted = if rng.gen::<f64>() < 0.12 { (class + 1) % n_classes } else { class };
+        let conf = 0.65 + 0.3 * rng.gen::<f64>();
+        let mut probs = vec![(1.0 - conf) / (n_classes - 1) as f64; n_classes];
+        probs[predicted] = conf;
+        (embedding, probs)
+    };
+    let mut samples = Vec::with_capacity(n_classes * per_class);
+    let mut labels = Vec::with_capacity(n_classes * per_class);
+    for i in 0..n_classes * per_class {
+        let class = i % n_classes;
+        let (embedding, probs) = draw(class, &mut rng);
+        samples.push(Sample::new(embedding, probs));
+        labels.push(class);
+    }
+    let records = (0..n_classes * per_class)
+        .map(|i| {
+            let class = i % n_classes;
+            let (embedding, probs) = draw(class, &mut rng);
+            CalibrationRecord::new(embedding, probs, class)
+        })
+        .collect();
+    (BaseStream::new(samples, labels), records)
+}

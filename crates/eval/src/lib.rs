@@ -13,6 +13,10 @@
 //! * [`codegen_eval`] — the regression pipeline behind Table 3 and
 //!   Fig. 8(e);
 //! * [`baseline_eval`] — Prom vs RISE / TESSERACT / naive CP (Fig. 10);
+//! * [`drift`] — the seeded drift-scenario generator (covariate / label /
+//!   adversarial shift under abrupt / gradual / recurring schedules) and
+//!   the `{kind} × {schedule} × {magnitude}` scenario-matrix harness
+//!   measuring per-cell quality, detection lag, and reservoir churn;
 //! * [`suite`] — parallel whole-evaluation orchestration and aggregation;
 //! * [`report`] — shared result structs and pretty-printing.
 
@@ -21,6 +25,7 @@
 
 pub mod baseline_eval;
 pub mod codegen_eval;
+pub mod drift;
 pub mod models;
 pub mod registry;
 pub mod report;

@@ -1,0 +1,466 @@
+//! The drift-scenario stress tier: detectors measured against drift
+//! *shapes*, not fixed splits.
+//!
+//! Pins the `prom_eval::drift` generator and the scenario-matrix harness:
+//!
+//! * **generator determinism** — the same `(base, phases, seed)` produce
+//!   bit-identical streams (every embedding bit, label, annotation);
+//! * **schedule correctness** — annotations match the parameterization
+//!   exactly (abrupt step, gradual ramp formula, recurring tiling,
+//!   inert zero-magnitude phases, composed phase masks);
+//! * **monotone sanity** — a larger shift magnitude never *lowers* the
+//!   pooled reject count of a frozen detector;
+//! * **lag ordering** — on recurring drift, the online (reservoir)
+//!   pipeline's detection lag never exceeds the frozen pipeline's at any
+//!   onset, and its clean false-alarm rate is no worse;
+//! * **no reservoir thrash** — across three recurrences the online loop
+//!   re-detects every burst, recovers on every clean span, keeps the
+//!   calibration set capped at base + reservoir, and its slot-replacement
+//!   churn decays burst over burst (Algorithm R converging, not
+//!   thrashing).
+//!
+//! Everything here is deterministic end to end (seeded generation plus
+//! the pipelines' proven bit-identical parallel judging), so this tier
+//! runs under CI both threaded and `--test-threads=1`.
+
+use prom::baselines::NaiveCp;
+use prom::core::detector::Truth;
+use prom::core::incremental::RelabelBudget;
+use prom::core::pipeline::{CalibrationPolicy, DeploymentPipeline, PipelineConfig};
+use prom::core::{PromClassifier, PromConfig};
+use prom::eval::drift::{
+    run_drift_matrix, synthetic_base, BaseStream, CellResult, DriftPhase, DriftScenario,
+    MatrixConfig, Schedule, ShiftKind,
+};
+
+const N_CLASSES: usize = 4;
+const DIM: usize = 6;
+const PER_CLASS: usize = 64;
+const BASE_SEED: u64 = 42;
+
+/// `tau` matched to the synthetic workload's distance scale (the
+/// default 500 is tuned for the paper's workloads and barely
+/// discriminates at cluster distances of ~2–20).
+fn prom_config() -> PromConfig {
+    PromConfig { tau: 20.0, ..PromConfig::default() }
+}
+
+fn fixture() -> (BaseStream, Vec<prom::core::CalibrationRecord>) {
+    synthetic_base(N_CLASSES, DIM, PER_CLASS, BASE_SEED)
+}
+
+fn stream_bits(stream: &prom::eval::drift::DriftStream) -> (Vec<u64>, Vec<u64>, Vec<usize>) {
+    let embed = stream.samples.iter().flat_map(|s| s.embedding.iter().map(|x| x.to_bits()));
+    let outs = stream.samples.iter().flat_map(|s| s.outputs.iter().map(|x| x.to_bits()));
+    (embed.collect(), outs.collect(), stream.labels.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Generator determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn same_seed_generates_bit_identical_streams() {
+    let (base, _) = fixture();
+    let kinds = [
+        ShiftKind::Translate,
+        ShiftKind::Scale,
+        ShiftKind::Rotate,
+        ShiftKind::LabelShift { target: 1 },
+        ShiftKind::Adversarial,
+    ];
+    for kind in kinds {
+        let schedule = Schedule::Recurring { period: 128, duty: 0.5 };
+        let gen = |seed| DriftScenario::single(kind, schedule, 1.5, seed).generate(&base, 512);
+        let (a, b) = (gen(9), gen(9));
+        assert_eq!(stream_bits(&a), stream_bits(&b), "{}: same seed must match bits", kind.name());
+        assert_eq!(a.annotations, b.annotations, "{}: annotations must match", kind.name());
+    }
+
+    // Seed-dependence where the kind draws randomness: a different seed
+    // turns the translation a different way…
+    let schedule = Schedule::Abrupt { at: 0 };
+    let t9 = DriftScenario::single(ShiftKind::Translate, schedule, 1.5, 9).generate(&base, 64);
+    let t10 = DriftScenario::single(ShiftKind::Translate, schedule, 1.5, 10).generate(&base, 64);
+    assert_ne!(stream_bits(&t9).0, stream_bits(&t10).0, "translate direction must be seeded");
+    // …and re-routes different label-shift redraws.
+    let ls = |seed| {
+        DriftScenario::single(ShiftKind::LabelShift { target: 1 }, schedule, 0.6, seed)
+            .generate(&base, 256)
+    };
+    assert_ne!(ls(9).labels, ls(10).labels, "label-shift redraws must be seeded");
+}
+
+// ---------------------------------------------------------------------------
+// Schedule correctness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn schedule_annotations_match_parameterization_exactly() {
+    let (base, _) = fixture();
+    let n = 600;
+
+    // Abrupt: a step at `at`, intensity exactly 1 from there on.
+    let abrupt = DriftScenario::single(ShiftKind::Translate, Schedule::Abrupt { at: 250 }, 1.0, 3)
+        .generate(&base, n);
+    for (i, ann) in abrupt.annotations.iter().enumerate() {
+        assert_eq!(ann.drifted, i >= 250, "abrupt step at 250, position {i}");
+        assert_eq!(ann.intensity, f64::from(u8::from(i >= 250)), "abrupt intensity, position {i}");
+    }
+    assert_eq!(abrupt.onsets(), vec![250]);
+    assert_eq!(abrupt.onset_windows(64), vec![250 / 64]);
+
+    // Gradual: the documented ramp formula, then a plateau at 1.
+    let gradual = DriftScenario::single(
+        ShiftKind::Translate,
+        Schedule::Gradual { start: 100, len: 50 },
+        1.0,
+        3,
+    )
+    .generate(&base, n);
+    for (i, ann) in gradual.annotations.iter().enumerate() {
+        let expect = if i < 100 { 0.0 } else { (((i - 100 + 1) as f64) / 50.0).min(1.0) };
+        assert_eq!(ann.intensity, expect, "gradual ramp, position {i}");
+        assert_eq!(ann.drifted, i >= 100, "gradual activity, position {i}");
+    }
+    assert_eq!(gradual.onsets(), vec![100]);
+
+    // Recurring: bursts tile each period's tail exactly.
+    let (period, duty) = (128, 0.25);
+    let burst = Schedule::duty_len(period, duty);
+    assert_eq!(burst, 32);
+    let recurring =
+        DriftScenario::single(ShiftKind::Translate, Schedule::Recurring { period, duty }, 1.0, 3)
+            .generate(&base, n);
+    for (i, ann) in recurring.annotations.iter().enumerate() {
+        assert_eq!(ann.drifted, i % period >= period - burst, "recurring tile, position {i}");
+    }
+    assert_eq!(
+        recurring.onsets(),
+        (0..n).step_by(period).map(|k| k + period - burst).filter(|&i| i < n).collect::<Vec<_>>()
+    );
+
+    // A zero-magnitude phase is inert: scheduled but never annotated.
+    let inert = DriftScenario::single(ShiftKind::Translate, Schedule::Abrupt { at: 0 }, 0.0, 3)
+        .generate(&base, 64);
+    assert!(inert.annotations.iter().all(|a| !a.drifted && a.intensity == 0.0 && a.phases == 0));
+    assert_eq!(stream_bits(&inert).0, {
+        let clean = DriftScenario { phases: vec![], seed: 3 }.generate(&base, 64);
+        stream_bits(&clean).0
+    });
+
+    // Composed phases: each contributes its own mask bit, intensity is
+    // the max over active phases.
+    let composed = DriftScenario {
+        phases: vec![
+            DriftPhase {
+                kind: ShiftKind::Translate,
+                schedule: Schedule::Abrupt { at: 100 },
+                magnitude: 1.0,
+            },
+            DriftPhase {
+                kind: ShiftKind::Scale,
+                schedule: Schedule::Gradual { start: 200, len: 100 },
+                magnitude: 1.0,
+            },
+        ],
+        seed: 3,
+    }
+    .generate(&base, 400);
+    for (i, ann) in composed.annotations.iter().enumerate() {
+        let want = u64::from(i >= 100) | (u64::from(i >= 200) << 1);
+        assert_eq!(ann.phases, want, "phase mask, position {i}");
+        assert_eq!(ann.drifted, want != 0);
+        let scale_t = if i < 200 { 0.0 } else { (((i - 200 + 1) as f64) / 100.0).min(1.0) };
+        let want_intensity = if i >= 100 { scale_t.max(1.0) } else { 0.0 };
+        assert_eq!(ann.intensity, want_intensity, "composed intensity, position {i}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix harness: monotone sanity + grid shape + determinism
+// ---------------------------------------------------------------------------
+
+fn frozen_config(n: usize) -> MatrixConfig {
+    MatrixConfig {
+        pipeline: PipelineConfig { window: 64, ..PipelineConfig::default() },
+        n,
+        seed: 7,
+        threshold: 0.5,
+    }
+}
+
+#[test]
+fn larger_magnitude_never_lowers_pooled_reject_rate() {
+    let (base, records) = fixture();
+    let phases: Vec<DriftPhase> = [0.0, 1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|magnitude| DriftPhase {
+            kind: ShiftKind::Translate,
+            schedule: Schedule::Abrupt { at: 1024 },
+            magnitude,
+        })
+        .collect();
+    let cells = run_drift_matrix(&base, &phases, &frozen_config(2048), || {
+        vec![(
+            "prom".to_string(),
+            Box::new(PromClassifier::new(records.clone(), prom_config()).unwrap()) as _,
+        )]
+    });
+    let rejected: Vec<usize> = cells.iter().map(|c| c.stats.rejected).collect();
+    for pair in rejected.windows(2) {
+        assert!(
+            pair[1] >= pair[0],
+            "pooled rejects must be monotone in magnitude, got {rejected:?}"
+        );
+    }
+    // And the far end is a real alarm, not a tie: magnitude 4 rejects
+    // the drifted half far harder than the clean half.
+    let strong = cells.last().unwrap();
+    assert!(
+        strong.drift_reject_rate > strong.clean_reject_rate + 0.4,
+        "magnitude 4 must separate drift ({:.3}) from clean ({:.3})",
+        strong.drift_reject_rate,
+        strong.clean_reject_rate
+    );
+}
+
+#[test]
+fn every_covariate_kind_is_detectable_and_label_shift_moves_the_prior() {
+    let (base, records) = fixture();
+    let phases = [
+        DriftPhase {
+            kind: ShiftKind::Scale,
+            schedule: Schedule::Abrupt { at: 512 },
+            magnitude: 2.0,
+        },
+        DriftPhase {
+            kind: ShiftKind::Rotate,
+            schedule: Schedule::Abrupt { at: 512 },
+            magnitude: 1.0,
+        },
+        DriftPhase {
+            kind: ShiftKind::Adversarial,
+            schedule: Schedule::Abrupt { at: 512 },
+            magnitude: 1.5,
+        },
+    ];
+    let cells = run_drift_matrix(&base, &phases, &frozen_config(1024), || {
+        vec![(
+            "prom".to_string(),
+            Box::new(PromClassifier::new(records.clone(), prom_config()).unwrap()) as _,
+        )]
+    });
+    for cell in &cells {
+        assert!(
+            cell.drift_reject_rate > cell.clean_reject_rate + 0.3,
+            "{} must be strongly detectable: drift {:.3} vs clean {:.3}",
+            cell.phase.kind.name(),
+            cell.drift_reject_rate,
+            cell.clean_reject_rate
+        );
+        assert_eq!(cell.lag.onsets, 1);
+        assert_eq!(cell.lag.lags, vec![0], "{}: immediate alarm", cell.phase.kind.name());
+    }
+
+    // Label shift reweights the class prior without leaving the
+    // distribution's support — the annotation knows it drifted even
+    // though sample-wise covariate detectors see in-distribution points.
+    let shift = DriftScenario::single(
+        ShiftKind::LabelShift { target: 2 },
+        Schedule::Abrupt { at: 0 },
+        0.8,
+        7,
+    )
+    .generate(&base, 512);
+    let target_share =
+        shift.labels.iter().filter(|&&l| l == 2).count() as f64 / shift.labels.len() as f64;
+    assert!(target_share > 0.7, "prior must shift toward the target class, got {target_share:.3}");
+    assert!(shift.annotations.iter().all(|a| a.drifted));
+}
+
+#[test]
+fn matrix_grid_is_complete_phase_major_and_deterministic() {
+    let (base, records) = fixture();
+    let phases = [
+        DriftPhase {
+            kind: ShiftKind::Translate,
+            schedule: Schedule::Abrupt { at: 512 },
+            magnitude: 2.0,
+        },
+        DriftPhase {
+            kind: ShiftKind::Scale,
+            schedule: Schedule::Recurring { period: 512, duty: 0.25 },
+            magnitude: 2.0,
+        },
+    ];
+    let run = || {
+        run_drift_matrix(&base, &phases, &frozen_config(1024), || {
+            vec![
+                (
+                    "prom".to_string(),
+                    Box::new(PromClassifier::new(records.clone(), prom_config()).unwrap()) as _,
+                ),
+                ("naive-cp".to_string(), Box::new(NaiveCp::new(&records, 0.1)) as _),
+            ]
+        })
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.len(), 4, "2 phases × 2 detectors");
+    let names: Vec<&str> = a.iter().map(|c| c.detector.as_str()).collect();
+    assert_eq!(names, ["prom", "naive-cp", "prom", "naive-cp"], "phase-major order");
+    for (x, y) in a.iter().zip(&b) {
+        let key = |c: &CellResult| {
+            (
+                c.detector.clone(),
+                c.quality.confusion(),
+                c.lag.lags.clone(),
+                c.lag.onsets,
+                c.churn,
+                c.stats,
+                c.windows,
+            )
+        };
+        assert_eq!(key(x), key(y), "matrix runs must be deterministic");
+        assert_eq!(x.quality.n, 1024, "every generated sample is scored");
+        assert_eq!(x.windows, 1024 / 64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recurring drift: lag ordering + recovery without thrash
+// ---------------------------------------------------------------------------
+
+const RECURRING: Schedule = Schedule::Recurring { period: 1024, duty: 0.375 };
+
+fn recurring_phase() -> DriftPhase {
+    DriftPhase { kind: ShiftKind::Translate, schedule: RECURRING, magnitude: 3.0 }
+}
+
+fn recurring_config(policy: CalibrationPolicy) -> MatrixConfig {
+    MatrixConfig {
+        pipeline: PipelineConfig {
+            window: 64,
+            budget: RelabelBudget { fraction: 0.25, min_count: 1 },
+            policy,
+            ..PipelineConfig::default()
+        },
+        n: 3072,
+        seed: 7,
+        threshold: 0.5,
+    }
+}
+
+#[test]
+fn online_detection_lag_never_exceeds_frozen_on_recurring_drift() {
+    let (base, records) = fixture();
+    let run = |policy| {
+        let cells =
+            run_drift_matrix(&base, &[recurring_phase()], &recurring_config(policy), || {
+                vec![(
+                    "prom".to_string(),
+                    Box::new(PromClassifier::new(records.clone(), prom_config()).unwrap()) as _,
+                )]
+            });
+        cells.into_iter().next().unwrap()
+    };
+    let frozen = run(CalibrationPolicy::Frozen);
+    let online = run(CalibrationPolicy::Reservoir { cap: 128, seed: 11 });
+
+    assert_eq!(frozen.lag.onsets, 3, "three recurrences in the stream");
+    assert_eq!(frozen.lag.detected(), 3, "frozen must alarm on every burst");
+    assert_eq!(online.lag.detected(), 3, "online must alarm on every burst");
+    for (onset, (on, fr)) in online.lag.lags.iter().zip(&frozen.lag.lags).enumerate() {
+        assert!(on <= fr, "onset {onset}: online lag {on} must not exceed frozen lag {fr}");
+    }
+    // The adaptivity dividend: absorbing relabels lowers the online
+    // pipeline's false-alarm rate on clean spans below the frozen one's.
+    assert!(
+        online.clean_reject_rate <= frozen.clean_reject_rate,
+        "online clean rejects {:.3} must not exceed frozen {:.3}",
+        online.clean_reject_rate,
+        frozen.clean_reject_rate
+    );
+    assert_eq!(frozen.churn, 0, "frozen pipelines never touch a reservoir");
+    assert!(online.churn <= online.stats.absorbed, "churn is a subset of absorbs");
+}
+
+#[test]
+fn recurring_drift_recovers_each_time_without_reservoir_thrash() {
+    let (base, records) = fixture();
+    let phase = recurring_phase();
+    let stream = DriftScenario { phases: vec![phase], seed: 7 }.generate(&base, 3072);
+    let labels = stream.labels.clone();
+    let mut prom = PromClassifier::new(records.clone(), prom_config()).unwrap();
+    let base_len = records.len();
+    let cap = 128;
+    let mut pipeline = DeploymentPipeline::online(
+        &mut prom,
+        PipelineConfig {
+            window: 64,
+            budget: RelabelBudget { fraction: 0.25, min_count: 1 },
+            policy: CalibrationPolicy::Reservoir { cap, seed: 11 },
+            ..PipelineConfig::default()
+        },
+        move |i, _s| Some(Truth::Label(labels[i])),
+    );
+    let mut reports = pipeline.extend(stream.samples.iter().cloned());
+    while let Some(report) = pipeline.flush() {
+        reports.push(report);
+    }
+    let churn = pipeline.reservoir_churn();
+    let stats = pipeline.stats();
+    drop(pipeline);
+    assert_eq!(reports.len(), 3072 / 64);
+
+    // The calibration set never outgrows base + reservoir cap: the
+    // reservoir replaces instead of growing once full — the "no thrash"
+    // size invariant, window by window.
+    for report in &reports {
+        let size = report.calibration_size.expect("prom exposes its calibration size");
+        assert!(
+            size <= base_len + cap,
+            "window {}: calibration size {size} exceeds base {base_len} + cap {cap}",
+            report.index
+        );
+        assert!(report.replaced <= report.absorbed, "window {}: churn ⊆ absorbs", report.index);
+    }
+    assert_eq!(churn, reports.iter().map(|r| r.replaced).sum::<usize>());
+    assert!(churn > 0, "the stream must exercise slot replacement");
+    assert!(churn <= stats.absorbed);
+
+    // Per-burst behavior: every burst re-raises a majority alarm in its
+    // FIRST window, and every clean span afterwards recovers (mean
+    // reject fraction back under the majority threshold).
+    let window = 64;
+    let reject_frac =
+        |r: &prom::core::pipeline::WindowReport| r.flagged.len() as f64 / r.judgements.len() as f64;
+    let onsets = stream.onset_windows(window);
+    assert_eq!(onsets.len(), 3);
+    let mut burst_churn = Vec::new();
+    for (k, &onset) in onsets.iter().enumerate() {
+        let burst_end = (k + 1) * 1024 / window; // bursts run to each period boundary
+        assert!(
+            reject_frac(&reports[onset]) > 0.5,
+            "burst {k}: the onset window itself must majority-reject (got {:.3})",
+            reject_frac(&reports[onset])
+        );
+        burst_churn.push(reports[onset..burst_end].iter().map(|r| r.replaced).sum::<usize>());
+        // The clean span after this burst (up to the next onset, or the
+        // stream end) recovers: no lingering alarm once drift stops.
+        let span_end = onsets.get(k + 1).copied().unwrap_or(reports.len());
+        let span: Vec<f64> = reports[burst_end..span_end].iter().map(reject_frac).collect();
+        if !span.is_empty() {
+            let mean = span.iter().sum::<f64>() / span.len() as f64;
+            assert!(mean < 0.5, "clean span after burst {k} must recover, mean reject {mean:.3}");
+        }
+    }
+    // Algorithm R converges: once the reservoir is warm, later bursts
+    // replace no more slots than earlier ones (the sampler admits ever
+    // more rarely as the absorbed stream grows) — recurring drift decays
+    // the churn instead of thrashing the calibration set.
+    assert!(
+        burst_churn[2] <= burst_churn[1].max(burst_churn[0]),
+        "per-burst churn must decay, got {burst_churn:?}"
+    );
+}

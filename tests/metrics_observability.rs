@@ -155,3 +155,97 @@ fn prometheus_text_and_jsonl_round_trip_and_agree() {
         find(name);
     }
 }
+
+/// The detection-lag gauge tells one story in three places: the live
+/// tracker driving a pipeline, the drift harness's offline accounting
+/// over the same window reports, and both registry exports. Any
+/// disagreement means an operator watching Prometheus sees a different
+/// lag than the evaluation tier measures.
+#[test]
+fn detection_lag_gauge_matches_harness_accounting_in_both_exports() {
+    use prom::core::detector::Truth;
+    use prom::core::pipeline::{DeploymentPipeline, WindowReport};
+    use prom::core::{
+        DetectionLagTracker, PromClassifier, PromConfig, DETECTION_LAG_GAUGE, DETECTION_LAG_HELP,
+    };
+    use prom::eval::drift::{
+        score_cell, synthetic_base, DriftPhase, DriftScenario, Schedule, ShiftKind,
+    };
+
+    let window = 64;
+    let (base, records) = synthetic_base(4, 6, 64, 42);
+    let phase = DriftPhase {
+        kind: ShiftKind::Translate,
+        schedule: Schedule::Abrupt { at: 512 },
+        magnitude: 2.0,
+    };
+    let stream = DriftScenario { phases: vec![phase], seed: 7 }.generate(&base, 1024);
+    let labels = stream.labels.clone();
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink = MetricsSink::new(Arc::clone(&registry)).with_label("workload", "drift");
+    let gauge = sink.gauge(DETECTION_LAG_GAUGE, DETECTION_LAG_HELP, &[]);
+    let mut tracker = DetectionLagTracker::new(0.5).with_gauge(Arc::clone(&gauge));
+    assert_eq!(gauge.get(), -1, "attaching the gauge sets the no-detection sentinel");
+
+    let mut prom = PromClassifier::new(records, PromConfig { tau: 20.0, ..PromConfig::default() })
+        .expect("valid synthetic records");
+    let mut pipeline = DeploymentPipeline::online(
+        &mut prom,
+        PipelineConfig { window, ..PipelineConfig::default() },
+        move |i, _s| Some(Truth::Label(labels[i])),
+    )
+    .with_metrics(&sink);
+    let mut reports = pipeline.extend(stream.samples.iter().cloned());
+    while let Some(report) = pipeline.flush() {
+        reports.push(report);
+    }
+    let stats = pipeline.stats();
+    let churn = pipeline.reservoir_churn();
+    drop(pipeline);
+
+    // Replay the window sequence through the live tracker, the way a
+    // serving loop would feed it.
+    let onsets = stream.onset_windows(window);
+    assert_eq!(onsets, vec![512 / window]);
+    let mut next = 0;
+    for report in &reports {
+        while next < onsets.len() && onsets[next] <= report.index {
+            tracker.arm(onsets[next]);
+            next += 1;
+        }
+        tracker.observe(report.index, report.flagged.len(), report.judgements.len());
+    }
+    assert_eq!(tracker.lags().len(), 1, "the abrupt onset must be detected");
+    let lag = tracker.lags()[0];
+
+    // The drift harness's offline accounting over the same reports
+    // agrees lag-for-lag.
+    let refs: Vec<&WindowReport> = reports.iter().collect();
+    let cell = score_cell("prom".to_string(), phase, &stream, &refs, &onsets, 0.5, stats, churn);
+    assert_eq!(cell.lag.lags, tracker.lags(), "harness and tracker measure the same lags");
+    assert_eq!(cell.lag.onsets, 1);
+    assert_eq!(tracker.max_lag(), cell.lag.max());
+    assert_eq!(gauge.get(), lag as i64, "gauge mirrors the latest measured lag");
+
+    // Prometheus text exposition carries the same number…
+    let samples = parse_prometheus(&registry.render_prometheus());
+    let series = samples
+        .get(&(DETECTION_LAG_GAUGE.to_string(), "workload=\"drift\"".to_string()))
+        .unwrap_or_else(|| panic!("missing {DETECTION_LAG_GAUGE} series"));
+    assert_eq!(*series, lag as f64);
+
+    // …and so does the JSONL snapshot.
+    let doc: serde_json::Value =
+        serde_json::from_str(&registry.to_jsonl()).expect("snapshot parses as JSON");
+    let metrics = doc.get("metrics").and_then(serde_json::Value::as_array).expect("metrics array");
+    let entry = metrics
+        .iter()
+        .find(|m| m.get("name").and_then(serde_json::Value::as_str) == Some(DETECTION_LAG_GAUGE))
+        .expect("lag gauge in JSONL snapshot");
+    assert_eq!(entry.get("value").and_then(serde_json::Value::as_f64), Some(lag as f64));
+    assert_eq!(
+        entry.get("labels").and_then(|l| l.get("workload")).and_then(serde_json::Value::as_str),
+        Some("drift")
+    );
+}

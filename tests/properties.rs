@@ -541,3 +541,133 @@ mod metrics_buckets {
         assert_eq!(bucket_index(2 * SUB_BUCKETS - 1), 2 * SUB_BUCKETS as usize - 1);
     }
 }
+
+// --- Drift-scenario annotations -----------------------------------------
+//
+// The scenario generator's annotations are the ground truth every lag and
+// quality number in the drift matrix is scored against; a malformed
+// annotation silently corrupts the whole stress tier, so the schedule
+// algebra is pinned down over its full parameter space here.
+
+mod drift_annotations {
+    use super::*;
+    use prom::eval::drift::{synthetic_base, DriftScenario, Schedule, ShiftKind};
+
+    fn schedules() -> impl Strategy<Value = Schedule> {
+        prop_oneof![
+            (0usize..300).prop_map(|at| Schedule::Abrupt { at }),
+            (0usize..300, 1usize..200).prop_map(|(start, len)| Schedule::Gradual { start, len }),
+            (1usize..200, 0.01f64..=1.0)
+                .prop_map(|(period, duty)| Schedule::Recurring { period, duty }),
+        ]
+    }
+
+    fn kinds() -> impl Strategy<Value = ShiftKind> {
+        prop_oneof![
+            Just(ShiftKind::Translate),
+            Just(ShiftKind::Scale),
+            Just(ShiftKind::Rotate),
+            Just(ShiftKind::LabelShift { target: 0 }),
+            Just(ShiftKind::Adversarial),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Annotations are well-formed for arbitrary single phases: drift
+        /// is flagged exactly while the schedule is active (and only for a
+        /// real magnitude), and the intensity is a unit-interval value
+        /// that is positive precisely on drifted samples.
+        #[test]
+        fn annotations_are_well_formed(
+            kind in kinds(),
+            schedule in schedules(),
+            magnitude in prop_oneof![Just(0.0f64), 0.1f64..4.0],
+            seed in 0u64..100,
+            n in 1usize..300,
+        ) {
+            let (base, _) = synthetic_base(2, 3, 4, 1);
+            let stream = DriftScenario::single(kind, schedule, magnitude, seed)
+                .generate(&base, n);
+            prop_assert_eq!(stream.len(), n);
+            for (i, ann) in stream.annotations.iter().enumerate() {
+                let active = schedule.active(i) && magnitude > 0.0;
+                prop_assert_eq!(ann.drifted, active, "position {}", i);
+                prop_assert_eq!(ann.phases != 0, active, "mask at {}", i);
+                prop_assert!((0.0..=1.0).contains(&ann.intensity), "intensity at {}", i);
+                prop_assert_eq!(ann.intensity > 0.0, active, "intensity sign at {}", i);
+                prop_assert!(
+                    (ann.intensity - schedule.intensity(i) * f64::from(u8::from(magnitude > 0.0)))
+                        .abs() == 0.0,
+                    "intensity value at {}", i
+                );
+            }
+        }
+
+        /// Recurring schedules tile exactly: position `i` is active iff it
+        /// falls in the final `duty_len` slots of its period, for every
+        /// `(period, duty)` in the domain.
+        #[test]
+        fn recurring_schedules_tile_exactly(
+            period in 1usize..200,
+            duty in 0.01f64..=1.0,
+            n in 1usize..400,
+        ) {
+            let schedule = Schedule::Recurring { period, duty };
+            let burst = Schedule::duty_len(period, duty);
+            prop_assert!((1..=period).contains(&burst));
+            for i in 0..n {
+                prop_assert_eq!(
+                    schedule.active(i),
+                    i % period >= period - burst,
+                    "period {} duty {} burst {} at {}", period, duty, burst, i
+                );
+            }
+        }
+
+        /// Gradual intensities ramp monotonically from 0 before the start
+        /// to a plateau of exactly 1 once the ramp completes.
+        #[test]
+        fn gradual_intensity_ramps_monotonically(
+            start in 0usize..200,
+            len in 1usize..150,
+        ) {
+            let schedule = Schedule::Gradual { start, len };
+            let mut prev = 0.0f64;
+            for i in 0..start + len + 50 {
+                let t = schedule.intensity(i);
+                prop_assert!((0.0..=1.0).contains(&t));
+                prop_assert!(t >= prev, "ramp must not decrease at {}", i);
+                if i < start {
+                    prop_assert_eq!(t, 0.0);
+                } else if i >= start + len - 1 {
+                    prop_assert_eq!(t, 1.0, "plateau from {} on", start + len - 1);
+                }
+                prev = t;
+            }
+        }
+
+        /// The generator is a pure function of `(base, phases, seed)`:
+        /// arbitrary parameters replay to bit-identical labels and
+        /// annotations.
+        #[test]
+        fn generation_replays_identically(
+            kind in kinds(),
+            schedule in schedules(),
+            magnitude in 0.0f64..4.0,
+            seed in 0u64..100,
+        ) {
+            let (base, _) = synthetic_base(2, 3, 4, 1);
+            let run = || DriftScenario::single(kind, schedule, magnitude, seed)
+                .generate(&base, 128);
+            let (a, b) = (run(), run());
+            prop_assert_eq!(&a.labels, &b.labels);
+            prop_assert_eq!(&a.annotations, &b.annotations);
+            for (x, y) in a.samples.iter().zip(&b.samples) {
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&x.embedding), bits(&y.embedding));
+            }
+        }
+    }
+}
